@@ -1,0 +1,67 @@
+"""Ablation — NVM read chunk size (the paper fixes 4 KB; §V-C).
+
+Sweeps the maximum ``read(2)`` size of the semi-external reader.  Expected
+shape: tiny chunks multiply request counts (IOPS-bound, slower); large
+chunks waste bandwidth on short CSR rows without helping latency-bound
+levels much — 4 KB sits near the flat part of the curve, supporting the
+paper's choice.
+"""
+
+from repro.analysis.report import ascii_table, format_teps
+from repro.bfs import AlphaBetaPolicy, SemiExternalBFS
+from repro.graph500 import Graph500Driver
+from repro.perfmodel.cost import DramCostModel
+from repro.semiext import NVMStore, PCIE_FLASH
+
+from conftest import BENCH_SEED, N_ROOTS
+
+CHUNKS = (512, 1024, 4096, 16384, 65536)
+
+
+def test_ablation_chunk_size(benchmark, figure_report, workload, tmp_path):
+    driver = Graph500Driver(
+        workload.edges, n_roots=N_ROOTS, seed=BENCH_SEED, validate=False
+    )
+    alpha = 30.0 * workload.n / (1 << 15)
+
+    def run_all():
+        out = {}
+        for chunk in CHUNKS:
+            store = NVMStore(
+                tmp_path / f"c{chunk}", PCIE_FLASH,
+                concurrency=workload.topology.n_cores,
+                chunk_bytes=chunk,
+                max_request_bytes=max(chunk, 128 * 1024),
+            )
+            engine = SemiExternalBFS.offload(
+                workload.forward, workload.backward,
+                AlphaBetaPolicy(alpha, alpha), store,
+                cost_model=DramCostModel(),
+            )
+            teps = driver.run(engine).stats_modeled.median_teps
+            out[chunk] = (teps, store.n_syscalls, store.iostats.n_requests)
+        return out
+
+    out = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = [
+        [f"{chunk} B", format_teps(teps), f"{syscalls:,}", f"{reqs:,}"]
+        for chunk, (teps, syscalls, reqs) in out.items()
+    ]
+    figure_report.add(
+        "Ablation: read chunk size (paper uses 4 KB)",
+        ascii_table(
+            ["chunk", "median TEPS", "read(2) calls", "device requests"],
+            rows,
+        ),
+    )
+    benchmark.extra_info["teps_by_chunk"] = {
+        str(k): v[0] for k, v in out.items()
+    }
+
+    # Bigger chunks mean fewer syscalls, monotonically.
+    syscalls = [out[c][1] for c in CHUNKS]
+    assert all(a >= b for a, b in zip(syscalls, syscalls[1:]))
+    # 4 KB performs within a small factor of the best chunk size.
+    best = max(v[0] for v in out.values())
+    assert out[4096][0] > best / 2

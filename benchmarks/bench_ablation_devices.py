@@ -1,0 +1,69 @@
+"""Ablation — device families (paper §VIII future work).
+
+"Future work includes ... performance studies on various NVM devices."
+Sweeps the semi-external configuration across the device catalog, from a
+spinning disk to storage-class memory, at the paper's best-style tuning.
+Expected: median TEPS strictly ordered by the devices' random-read
+capability, with the HDD catastrophic (seek-bound) and Optane-class
+closing most of the gap to DRAM-only — the paper's §VI-D extrapolation
+that higher-IOPS devices "can instantly evacuate I/O requests".
+"""
+
+from repro.analysis.report import ascii_table, format_teps
+from repro.bfs import AlphaBetaPolicy, HybridBFS, SemiExternalBFS
+from repro.graph500 import Graph500Driver
+from repro.perfmodel.cost import DramCostModel
+from repro.semiext import NVMStore
+from repro.semiext.device import DEVICE_CATALOG
+
+from conftest import BENCH_SEED, N_ROOTS
+
+
+def test_ablation_device_families(benchmark, figure_report, workload, tmp_path):
+    driver = Graph500Driver(
+        workload.edges, n_roots=N_ROOTS, seed=BENCH_SEED, validate=False
+    )
+    alpha = 244.0 * workload.n / (1 << 15)
+
+    def run_all():
+        out = {}
+        out["(DRAM-only)"] = driver.run(
+            HybridBFS(
+                workload.forward, workload.backward,
+                AlphaBetaPolicy(alpha, alpha), DramCostModel(),
+            )
+        ).stats_modeled.median_teps
+        for i, device in enumerate(DEVICE_CATALOG):
+            store = NVMStore(
+                tmp_path / f"dev{i}", device,
+                concurrency=workload.topology.n_cores,
+            )
+            engine = SemiExternalBFS.offload(
+                workload.forward, workload.backward,
+                AlphaBetaPolicy(alpha, alpha), store,
+                cost_model=DramCostModel(),
+            )
+            out[device.name] = driver.run(engine).stats_modeled.median_teps
+        return out
+
+    out = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    dram = out["(DRAM-only)"]
+    rows = [
+        [name, format_teps(teps), f"{1 - teps / dram:.1%}" if name != "(DRAM-only)" else "—"]
+        for name, teps in out.items()
+    ]
+    figure_report.add(
+        "Ablation: device families (semi-external, best-style tuning)",
+        ascii_table(["device", "median TEPS", "degradation"], rows),
+    )
+    benchmark.extra_info["gteps"] = {k: v / 1e9 for k, v in out.items()}
+
+    # TEPS ordered by the catalog's random-read capability (the two
+    # top-end devices trade IOPS against latency and land together).
+    series = [out[d.name] for d in DEVICE_CATALOG]
+    assert all(a < b for a, b in zip(series[:4], series[1:4])), series
+    assert min(series[3], series[4]) > series[2]
+    # The HDD is catastrophic; storage-class memory closes most of the gap.
+    assert series[0] < dram / 1000
+    assert series[-1] > series[1] * 5  # Optane >> SATA SSD

@@ -1,0 +1,74 @@
+"""Ablation — NUMA node count (the paper's machine has 4).
+
+Rebuilds the partitioned graphs for 1, 2, 4 and 8 simulated NUMA nodes
+(total core count held at 48) and re-runs the hybrid engine.  Expected:
+results identical in visited sets regardless of partitioning (correctness
+is partition-invariant) and edge conservation holds; the forward graph's
+index duplication grows linearly with the node count (the capacity cost
+the size model charges as 16·n·ℓ).
+"""
+
+import numpy as np
+
+from repro.analysis.report import ascii_table, format_teps
+from repro.bfs import AlphaBetaPolicy, HybridBFS
+from repro.csr import BackwardGraph, ForwardGraph
+from repro.graph500 import Graph500Driver
+from repro.numa import NumaTopology
+from repro.perfmodel.cost import DramCostModel
+from repro.util.units import format_bytes
+
+from conftest import BENCH_SEED, N_ROOTS
+
+NODE_COUNTS = (1, 2, 4, 8)
+
+
+def test_ablation_numa_nodes(benchmark, figure_report, workload):
+    driver = Graph500Driver(
+        workload.edges, n_roots=N_ROOTS, seed=BENCH_SEED, validate=False
+    )
+    alpha = 244.0 * workload.n / (1 << 15)
+
+    def run_all():
+        out = {}
+        for nodes in NODE_COUNTS:
+            topo = NumaTopology(n_nodes=nodes, cores_per_node=48 // nodes)
+            fwd = ForwardGraph(workload.csr, topo)
+            bwd = BackwardGraph(workload.csr, topo)
+            engine = HybridBFS(
+                fwd, bwd, AlphaBetaPolicy(alpha, alpha),
+                DramCostModel().with_topology(nodes, 48 // nodes),
+            )
+            output = driver.run(engine)
+            out[nodes] = (
+                output.stats_modeled.median_teps,
+                fwd.nbytes,
+                [r.result.n_visited for r in output.runs],
+            )
+        return out
+
+    out = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = [
+        [nodes, format_teps(teps), format_bytes(fwd_bytes)]
+        for nodes, (teps, fwd_bytes, _) in out.items()
+    ]
+    figure_report.add(
+        "Ablation: NUMA node count (48 cores total)",
+        ascii_table(["nodes", "median TEPS", "forward graph size"], rows),
+    )
+    benchmark.extra_info["teps_by_nodes"] = {
+        str(k): v[0] for k, v in out.items()
+    }
+
+    # Correctness is partition-invariant: identical visit counts per root.
+    visited = [v for _, _, v in out.values()]
+    for other in visited[1:]:
+        assert other == visited[0]
+    # Forward index duplication: size grows with the node count.
+    sizes = [out[n][1] for n in NODE_COUNTS]
+    assert all(a < b for a, b in zip(sizes, sizes[1:]))
+    # The per-node index overhead matches the size model's 8*n per node
+    # (two int64 offsets... one indptr entry) within rounding.
+    n = workload.n
+    assert sizes[1] - sizes[0] >= 8 * n

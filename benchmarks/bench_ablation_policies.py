@@ -1,0 +1,61 @@
+"""Ablation — direction-switch policies (DESIGN.md §6).
+
+Compares the paper's frontier-count alpha/beta rule against Beamer et
+al.'s edge-count heuristic and the two fixed directions, on the same graph
+and roots.  Expected: both hybrid policies approach each other and beat
+the fixed directions by a wide margin (the hybrid claim is robust to the
+switching heuristic; the thresholds only tune the margins).
+"""
+
+from repro.analysis.report import ascii_table, format_teps
+from repro.bfs import (
+    AlphaBetaPolicy,
+    BeamerPolicy,
+    Direction,
+    FixedPolicy,
+    HybridBFS,
+)
+from repro.graph500 import Graph500Driver
+from repro.perfmodel.cost import DramCostModel
+
+from conftest import BENCH_SEED, N_ROOTS
+
+
+def test_ablation_policies(benchmark, figure_report, workload):
+    driver = Graph500Driver(
+        workload.edges, n_roots=N_ROOTS, seed=BENCH_SEED, validate=False
+    )
+    alpha = 244.0 * workload.n / (1 << 15)
+    policies = {
+        "alpha/beta (paper)": AlphaBetaPolicy(alpha, alpha),
+        "Beamer edge-count": BeamerPolicy(),
+        "top-down only": FixedPolicy(Direction.TOP_DOWN),
+        "bottom-up only": FixedPolicy(Direction.BOTTOM_UP),
+    }
+
+    def run_all():
+        return {
+            name: driver.run(
+                HybridBFS(
+                    workload.forward, workload.backward, policy,
+                    DramCostModel(),
+                )
+            ).stats_modeled.median_teps
+            for name, policy in policies.items()
+        }
+
+    teps = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = [[name, format_teps(t)] for name, t in teps.items()]
+    figure_report.add(
+        "Ablation: direction policies (median modeled TEPS)",
+        ascii_table(["policy", "median TEPS"], rows),
+    )
+    benchmark.extra_info["gteps"] = {k: v / 1e9 for k, v in teps.items()}
+
+    hybrid_floor = min(teps["alpha/beta (paper)"], teps["Beamer edge-count"])
+    assert hybrid_floor > 3 * teps["top-down only"]
+    assert hybrid_floor > 3 * teps["bottom-up only"]
+    # The two hybrid heuristics land within a small factor of each other.
+    ratio = teps["alpha/beta (paper)"] / teps["Beamer edge-count"]
+    assert 1 / 3 < ratio < 3

@@ -1,0 +1,74 @@
+"""Figure 11 — per-level top-down degradation ratio versus average degree.
+
+Paper (alpha=1e4, beta=10a): PCIe flash degrades 1.2x-5758x and the SATA
+SSD 2.8x-123482x relative to DRAM-only, exploding as the level's average
+degree approaches 1; first top-down levels average ~11183 edges/vertex,
+the last ones ~1.
+
+Reproduced shape: the ratio spans orders of magnitude, is monotone-ish in
+degree (low degree => worse), and the SSD curve sits above the PCIe one.
+"""
+
+import numpy as np
+
+from repro.analysis.degradation import degradation_by_degree
+from repro.analysis.report import ascii_table
+from repro.bfs import AlphaBetaPolicy, HybridBFS, SemiExternalBFS
+from repro.perfmodel.cost import DramCostModel
+from repro.semiext import NVMStore, PCIE_FLASH, SATA_SSD
+
+
+def test_fig11_degradation(benchmark, figure_report, workload, tmp_path):
+    # The paper's Figure 11 setting is alpha=1e4, beta=10a at SCALE 27 —
+    # i.e. thresholds that leave both early AND late top-down levels.
+    alpha = 30.0 * workload.n / (1 << 15)
+    beta = alpha
+    root = workload.a_root(5)
+
+    def measure():
+        dram = HybridBFS(
+            workload.forward, workload.backward,
+            AlphaBetaPolicy(alpha, beta), DramCostModel(),
+        ).run(root)
+        out = {}
+        for name, dev in (("PCIeFlash", PCIE_FLASH), ("SSD", SATA_SSD)):
+            store = NVMStore(tmp_path / name, dev)
+            nvm = SemiExternalBFS.offload(
+                workload.forward, workload.backward,
+                AlphaBetaPolicy(alpha, beta), store,
+                cost_model=DramCostModel(),
+            ).run(root)
+            out[name] = degradation_by_degree(dram, nvm)
+        return out
+
+    out = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    rows = []
+    for name, points in out.items():
+        for p in points:
+            rows.append(
+                [name, p.level, f"{p.avg_degree:.1f}", f"{p.ratio:.1f}x"]
+            )
+    figure_report.add(
+        f"Figure 11: top-down degradation vs avg degree @ SCALE {workload.scale} "
+        "(paper: PCIe 1.2-5758x, SSD 2.8-123482x, exploding near degree 1)",
+        ascii_table(["device", "level", "avg degree", "NVM/DRAM time"], rows),
+    )
+    benchmark.extra_info["ratios"] = {
+        name: [(p.avg_degree, p.ratio) for p in points]
+        for name, points in out.items()
+    }
+
+    for name, points in out.items():
+        assert len(points) >= 2, f"{name}: need early and late TD levels"
+        ratios = np.array([p.ratio for p in points])
+        degrees = np.array([p.avg_degree for p in points])
+        # Low-degree levels degrade worse than high-degree ones.
+        assert ratios[np.argmin(degrees)] > ratios[np.argmax(degrees)]
+        assert ratios.min() >= 1.0
+        # The blow-up spans at least an order of magnitude.
+        assert ratios.max() / ratios.min() > 10
+    # SSD worse than PCIe at every paired level.
+    pcie = {p.level: p.ratio for p in out["PCIeFlash"]}
+    ssd = {p.level: p.ratio for p in out["SSD"]}
+    assert all(ssd[l] > pcie[l] for l in pcie)

@@ -1,0 +1,43 @@
+"""Figure 3 — breakdown of graph size at each SCALE.
+
+Paper anchors: at SCALE 31 the graph totals 1.5 TB with the edge list at
+384 GB, the forward graph at 640 GB and the backward graph at 528 GB; the
+forward graph always exceeds the backward graph.
+"""
+
+from repro.analysis.report import ascii_table
+from repro.perfmodel.sizes import GraphSizeModel
+from repro.util.units import GIB, TIB
+
+
+def test_fig3_size_breakdown(benchmark, figure_report):
+    model = GraphSizeModel()
+    scales = range(20, 32)
+
+    rows_out = benchmark(lambda: model.sweep(scales))
+
+    rows = [
+        [
+            b.scale,
+            f"{b.edge_list / GIB:.0f} GB",
+            f"{b.forward / GIB:.0f} GB",
+            f"{b.backward / GIB:.0f} GB",
+            f"{b.graph_total / GIB:.0f} GB",
+        ]
+        for b in rows_out
+    ]
+    figure_report.add(
+        "Figure 3: size breakdown per SCALE (edge list / forward / backward)",
+        ascii_table(["SCALE", "edge list", "forward", "backward", "total"], rows),
+    )
+    benchmark.extra_info["scale31_total_tib"] = rows_out[-1].graph_total / TIB
+
+    b31 = model.breakdown(31)
+    assert abs(b31.edge_list / GIB - 384) < 1
+    assert abs(b31.forward / GIB - 640) < 1
+    assert abs(b31.backward / GIB - 528) < 1
+    assert 1.45 < b31.graph_total / TIB < 1.55  # "reaches 1.5 TB"
+    for b in rows_out:
+        assert b.forward > b.backward  # the paper's ordering observation
+        # Exponential growth: each SCALE doubles the edge-proportional parts.
+    assert rows_out[1].edge_list == 2 * rows_out[0].edge_list

@@ -1,0 +1,119 @@
+"""Figure 9 — the same comparison one SCALE lower (paper: SCALE 26),
+where the spare DRAM of the 64 GB machines holds the whole forward graph.
+
+Paper observation: "the DRAM+PCIeFlash scenario exhibits competitive
+performance to the DRAM-only scenario ... only a few top-down approaches
+access the forward graph on NVM, and most of accesses are conducted to
+the backward graph on DRAM".
+
+The mechanism is the OS page cache: the reproduction sizes the store's
+modeled page cache to the scenario's spare DRAM, and at the smaller SCALE
+that spare exceeds the forward graph, so after warm-up the top-down levels
+run at memory speed.  The bench asserts the *gap narrows* relative to
+Figure 8's and that the page-cache hit ratio is near 1 at the small scale.
+"""
+
+import dataclasses
+
+from repro.analysis.perfcompare import build_engine
+from repro.analysis.report import ascii_table, format_teps
+from repro.core import DRAM_ONLY, DRAM_PCIE_FLASH
+from repro.graph500 import Graph500Driver
+
+from conftest import BENCH_SEED, N_ROOTS
+
+
+def _best_median(driver, scenario, wl, points, tmp_path, tag):
+    """Best warm-pass median TEPS over the parameter points.
+
+    Each engine runs the driver's roots twice and the second (warm) pass
+    is scored: the paper's 64-iteration benchmark likewise measures a
+    page cache that earlier iterations populated.
+    """
+    best_teps = 0.0
+    last_store = None
+    for alpha, beta in points:
+        engine = build_engine(
+            scenario, wl.forward, wl.backward, alpha, beta, tmp_path,
+            prefix=f"{tag}-{alpha:g}",
+        )
+        driver.run(engine)  # cold pass fills the page cache
+        teps = driver.run(engine).stats_modeled.median_teps
+        if teps > best_teps:
+            best_teps = teps
+            last_store = getattr(engine, "store", None)
+    return best_teps, last_store
+
+
+def test_fig9_small_scale(
+    benchmark, figure_report, workload, small_workload, tmp_path
+):
+    # The paper's budget is *absolute* (64 GB regardless of SCALE): pin
+    # the same byte budget for both scales from the large working set,
+    # scaled by the paper's 64/88.3 capacity ratio.
+    n_l = workload.n
+    status_l = n_l * 8 + 2 * (n_l // 8) + 2 * n_l * 8
+    working_set_large = (
+        workload.forward.nbytes + workload.backward.nbytes + status_l
+    )
+    budget = int(64.0 / 88.3 * working_set_large)
+    pcie_abs = dataclasses.replace(
+        DRAM_PCIE_FLASH, dram_capacity_bytes=budget
+    )
+
+    def run_both_scales():
+        out = {}
+        for tag, wl in (("large", workload), ("small", small_workload)):
+            driver = Graph500Driver(
+                wl.edges, n_roots=N_ROOTS, seed=BENCH_SEED, validate=False
+            )
+            points = ((244.0 * wl.n / (1 << 15), 2440.0 * wl.n / (1 << 15)),)
+            dram, _ = _best_median(
+                driver, DRAM_ONLY, wl, points, tmp_path, f"{tag}-d"
+            )
+            pcie, store = _best_median(
+                driver, pcie_abs, wl, points, tmp_path, f"{tag}-p"
+            )
+            out[tag] = (
+                dram,
+                pcie,
+                store.cache_hit_ratio if store else 0.0,
+                store.page_cache_bytes if store else 0,
+                wl.forward.nbytes,
+            )
+        return out
+
+    out = benchmark.pedantic(run_both_scales, rounds=1, iterations=1)
+
+    rows = []
+    gaps = {}
+    for tag, (dram, pcie, hit, cache, fwd) in out.items():
+        gaps[tag] = 1 - pcie / dram
+        rows.append(
+            [
+                tag,
+                format_teps(dram),
+                format_teps(pcie),
+                f"{gaps[tag]:.1%}",
+                f"{hit:.2f}",
+                f"{cache / fwd:.2f}x" if fwd else "-",
+            ]
+        )
+    figure_report.add(
+        f"Figure 9: SCALE {small_workload.scale} vs {workload.scale} "
+        "(paper: at SCALE 26 PCIeFlash is competitive with DRAM-only)",
+        ascii_table(
+            ["scale", "DRAM-only", "DRAM+PCIeFlash", "gap",
+             "cache hit", "cache/fwd"],
+            rows,
+        ),
+    )
+    benchmark.extra_info["gaps"] = gaps
+
+    # The defining Figure 9 behaviour: at the scale whose forward graph
+    # fits the (fixed-budget) page cache, warm PCIeFlash is competitive
+    # with DRAM-only; at the larger scale a gap remains.
+    assert out["small"][3] >= out["small"][4]  # cache holds fwd at small
+    assert out["large"][3] < out["large"][4]  # ... but not at large
+    assert gaps["small"] <= gaps["large"] + 1e-9
+    assert gaps["small"] < 0.05  # "competitive performance"

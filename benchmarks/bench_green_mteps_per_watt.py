@@ -1,0 +1,48 @@
+"""Green Graph500 — MTEPS/W of the paper's submission (§VIII, abstract).
+
+Paper: 4.35 MTEPS/W on a Huawei 4-way machine with 500 GB DRAM and 4 TB of
+NVM (Green Graph500, November 2013, Big Data category, rank 4), at the
+implementation's 4.22 GTEPS.
+
+The bench evaluates the component power model for all machine
+configurations and checks the submission lands on the paper's figure.
+"""
+
+import pytest
+
+from repro.analysis.report import ascii_table
+from repro.perfmodel.power import MachinePowerModel
+
+
+def test_green_mteps_per_watt(benchmark, figure_report):
+    machines = {
+        "DRAM-only (Table I)": MachinePowerModel.paper_dram_only(),
+        "DRAM+PCIeFlash (Table I)": MachinePowerModel.paper_pcie_flash(),
+        "DRAM+SSD (Table I)": MachinePowerModel.paper_sata_ssd(),
+        "Green submission (Huawei)": MachinePowerModel.green_graph500_submission(),
+    }
+    teps = 4.22e9  # the implementation's best semi-external score
+
+    def evaluate():
+        return {
+            name: (m.total_watts, m.mteps_per_watt(teps))
+            for name, m in machines.items()
+        }
+
+    results = benchmark(evaluate)
+
+    rows = [
+        [name, f"{watts:.0f} W", f"{mpw:.2f}"]
+        for name, (watts, mpw) in results.items()
+    ]
+    figure_report.add(
+        "Green Graph500: MTEPS/W at 4.22 GTEPS (paper: 4.35 MTEPS/W, "
+        "Nov 2013 Big Data rank 4)",
+        ascii_table(["machine", "power", "MTEPS/W"], rows),
+    )
+    benchmark.extra_info["green_mteps_per_watt"] = results[
+        "Green submission (Huawei)"
+    ][1]
+
+    submission = results["Green submission (Huawei)"][1]
+    assert submission == pytest.approx(4.35, abs=0.25)

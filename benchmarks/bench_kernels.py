@@ -1,0 +1,99 @@
+"""Microbenchmarks of the hot kernels (pytest-benchmark proper).
+
+These are classic timing benchmarks (many rounds, statistics) of the
+primitives everything else is built on: bitmap membership tests, CSR
+construction, the two step kernels, and the chunk planner.  They guard
+against performance regressions in the vectorized paths.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bfs.bottomup import InMemoryScanner, bottom_up_step
+from repro.bfs.state import BFSState
+from repro.bfs.topdown import top_down_step
+from repro.csr.builder import build_csr
+from repro.util.bitmap import Bitmap
+from repro.util.chunking import plan_chunks
+from repro.util.gather import concat_ranges, first_true_per_segment
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(7)
+
+
+def test_kernel_bitmap_test_many(benchmark, workload, rng):
+    bm = Bitmap.from_indices(
+        workload.n, rng.integers(0, workload.n, workload.n // 4)
+    )
+    queries = rng.integers(0, workload.n, 1 << 20)
+    out = benchmark(bm.test_many, queries)
+    assert out.shape == queries.shape
+
+
+def test_kernel_bitmap_set_many(benchmark, workload, rng):
+    indices = rng.integers(0, workload.n, 1 << 18)
+
+    def setup():
+        return (Bitmap(workload.n), indices), {}
+
+    benchmark.pedantic(
+        lambda bm, idx: bm.set_many(idx), setup=setup, rounds=20
+    )
+
+
+def test_kernel_csr_build(benchmark, workload):
+    g = benchmark(build_csr, workload.edges)
+    assert g.n_rows == workload.n
+
+
+def test_kernel_concat_ranges(benchmark, workload, rng):
+    rows = rng.integers(0, workload.n, 1 << 16)
+    starts, counts = workload.csr.row_extents(rows)
+    out = benchmark(concat_ranges, starts, counts)
+    assert out.size == counts.sum()
+
+
+def test_kernel_first_true(benchmark, workload, rng):
+    rows = rng.integers(0, workload.n, 1 << 16)
+    _, counts = workload.csr.row_extents(rows)
+    mask = rng.random(int(counts.sum())) < 0.05
+    hit, scanned = benchmark(first_true_per_segment, mask, counts)
+    assert scanned.size == counts.size
+
+
+def test_kernel_top_down_step(benchmark, workload):
+    root = workload.a_root(2)
+
+    def setup():
+        state = BFSState(workload.n, workload.topology, root)
+        return (list(workload.forward.shards), state), {}
+
+    benchmark.pedantic(
+        lambda shards, state: top_down_step(shards, state),
+        setup=setup,
+        rounds=20,
+    )
+
+
+def test_kernel_bottom_up_step(benchmark, workload):
+    root = workload.a_root(2)
+    scanners = [InMemoryScanner(s) for s in workload.backward.shards]
+
+    def setup():
+        state = BFSState(workload.n, workload.topology, root)
+        # A mid-BFS frontier: the root's 2-hop neighborhood.
+        _ = top_down_step(list(workload.forward.shards), state)
+        return (scanners, state), {}
+
+    benchmark.pedantic(
+        lambda sc, state: bottom_up_step(sc, state), setup=setup, rounds=10
+    )
+
+
+def test_kernel_plan_chunks(benchmark, workload, rng):
+    rows = rng.integers(0, workload.n, 1 << 14)
+    starts, counts = workload.csr.row_extents(rows)
+    plan = benchmark(plan_chunks, starts * 8, counts * 8)
+    assert plan.total_bytes == int(counts.sum()) * 8

@@ -1,0 +1,54 @@
+"""Table I — machine configurations.
+
+Renders the three scenario presets with their device models and verifies
+the capacity relationships Table I implies (the benchmark payload times
+scenario construction + offload planning, which is what a user pays per
+configuration).
+"""
+
+from repro.analysis.report import ascii_table
+from repro.core import PAPER_SCENARIOS
+from repro.core.offload import OffloadPlanner, StructureSizes
+from repro.perfmodel.sizes import GraphSizeModel
+from repro.util.units import GIB, format_bytes
+
+
+def test_table1_scenarios(benchmark, figure_report):
+    model = GraphSizeModel()
+    b27 = model.breakdown(27)
+    sizes = StructureSizes(
+        edge_list=b27.edge_list,
+        forward=b27.forward,
+        backward=b27.backward,
+        status=b27.status,
+    )
+
+    def build_and_plan():
+        rows = []
+        for scenario in PAPER_SCENARIOS:
+            planner = OffloadPlanner(scenario)
+            min_dram = planner.min_dram_bytes(sizes)
+            rows.append(
+                (
+                    scenario.name,
+                    scenario.device.name if scenario.device else "N/A",
+                    f"alpha={scenario.alpha:g}",
+                    f"beta={scenario.beta:g}",
+                    format_bytes(min_dram),
+                )
+            )
+        return rows
+
+    rows = benchmark(build_and_plan)
+    body = ascii_table(
+        ["scenario", "NVM device", "alpha", "beta", "min DRAM @ SCALE 27"],
+        rows,
+    )
+    figure_report.add("Table I: machine configurations", body)
+    benchmark.extra_info["rows"] = [list(r) for r in rows]
+
+    # The paper's capacity claim: the offloaded placement runs in 64 GB,
+    # the DRAM-only one does not.
+    semi = OffloadPlanner(PAPER_SCENARIOS[1]).min_dram_bytes(sizes)
+    dram = OffloadPlanner(PAPER_SCENARIOS[0]).min_dram_bytes(sizes)
+    assert semi < 64 * GIB < dram

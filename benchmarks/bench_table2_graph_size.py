@@ -1,0 +1,51 @@
+"""Table II — graph size at SCALE 27 (edge factor 16).
+
+Paper: forward 40.1 GB, backward 33.1 GB, BFS status 15.1 GB, total
+88.3 GB.  The analytic model reproduces the paper layout; the measured
+column reports this reproduction's actual int64 structures at bench scale
+for comparison.
+"""
+
+from repro.analysis.report import ascii_table
+from repro.bfs.state import BFSState
+from repro.perfmodel.sizes import GraphSizeModel
+from repro.util.units import GIB, format_bytes
+
+
+def test_table2_graph_size(benchmark, figure_report, workload):
+    model = GraphSizeModel()
+
+    def compute():
+        b = model.breakdown(27)
+        state = BFSState(workload.n, workload.topology, workload.a_root())
+        measured = GraphSizeModel.measured(
+            workload.forward, workload.backward, state
+        )
+        return b, measured
+
+    b, measured = benchmark(compute)
+
+    paper = {"forward": 40.1, "backward": 33.1, "status": 15.1, "total": 88.3}
+    rows = [
+        ["Forward graph", f"{b.forward / GIB:.1f} GB", f"{paper['forward']} GB",
+         format_bytes(measured.forward)],
+        ["Backward graph", f"{b.backward / GIB:.1f} GB", f"{paper['backward']} GB",
+         format_bytes(measured.backward)],
+        ["BFS status data", f"{b.status / GIB:.1f} GB", f"{paper['status']} GB",
+         format_bytes(measured.status)],
+        ["Total", f"{b.working_set / GIB:.1f} GB", f"{paper['total']} GB",
+         format_bytes(measured.forward + measured.backward + measured.status)],
+    ]
+    figure_report.add(
+        "Table II: graph size (SCALE 27 model / paper / "
+        f"measured @ SCALE {workload.scale})",
+        ascii_table(["structure", "model", "paper", "measured"], rows),
+    )
+    benchmark.extra_info["model_gib"] = {
+        "forward": b.forward / GIB,
+        "backward": b.backward / GIB,
+        "status": b.status / GIB,
+    }
+    assert abs(b.forward / GIB - paper["forward"]) < 0.5
+    assert abs(b.backward / GIB - paper["backward"]) < 0.5
+    assert abs(b.status / GIB - paper["status"]) < 0.2

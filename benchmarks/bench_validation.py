@@ -1,0 +1,39 @@
+"""Microbenchmark — Graph500 Step-4 validation throughput.
+
+The benchmark validates after *every* of the 64 iterations (§II), so
+validation cost is part of any real Graph500 campaign even though it is
+excluded from TEPS.  This bench times the full five-rule validator on a
+bench-scale tree and reports edges validated per second, plus the shape
+statistics pass used by the self-similarity analysis.
+"""
+
+import numpy as np
+
+from repro.analysis.graphstats import graph_shape
+from repro.bfs import AlphaBetaPolicy, HybridBFS
+from repro.graph500 import validate_bfs_tree
+
+
+def test_validation_throughput(benchmark, figure_report, workload):
+    engine = HybridBFS(
+        workload.forward, workload.backward, AlphaBetaPolicy(50, 500)
+    )
+    root = workload.a_root(1)
+    result = engine.run(root)
+
+    out = benchmark(validate_bfs_tree, workload.edges, result.parent, root)
+    assert out.ok
+
+    rate = workload.edges.n_edges / benchmark.stats["mean"]
+    figure_report.add(
+        "Validation microbenchmark (Graph500 Step 4)",
+        f"five-rule validation of a SCALE-{workload.scale} tree: "
+        f"{rate / 1e6:.1f} M input edges/s "
+        f"({benchmark.stats['mean'] * 1e3:.1f} ms per iteration)",
+    )
+
+
+def test_graph_shape_pass(benchmark, workload):
+    shape = benchmark(graph_shape, workload.csr)
+    assert shape.giant_component_fraction > 0.9
+    benchmark.extra_info["shape"] = shape.format()

@@ -1,0 +1,85 @@
+"""Shared benchmark fixtures and the figure-report channel.
+
+Every bench regenerates one table/figure of the paper.  The rows/series it
+produces are (a) attached to the pytest-benchmark JSON via ``extra_info``
+and (b) queued on the :class:`FigureReport` collector, which prints them in
+the terminal summary — so ``pytest benchmarks/ --benchmark-only`` shows the
+paper-comparable numbers without extra flags.
+
+Workload size defaults to SCALE 15 (override with ``REPRO_BENCH_SCALE``);
+the Figure 9 bench uses one SCALE lower, mirroring the paper's 27-vs-26
+pairing.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.csr import BackwardGraph, ForwardGraph, build_csr
+from repro.graph500 import EdgeList, generate_edges
+from repro.numa import NumaTopology
+
+BENCH_SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "15"))
+SMALL_SCALE = BENCH_SCALE - 1
+BENCH_SEED = 20140519
+N_ROOTS = int(os.environ.get("REPRO_BENCH_ROOTS", "8"))
+
+
+class FigureReport:
+    """Collects per-figure text blocks for the terminal summary."""
+
+    def __init__(self) -> None:
+        self.sections: list[tuple[str, str]] = []
+
+    def add(self, title: str, body: str) -> None:
+        self.sections.append((title, body))
+
+
+_REPORT = FigureReport()
+
+
+@pytest.fixture(scope="session")
+def figure_report() -> FigureReport:
+    """The session-wide report collector."""
+    return _REPORT
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _REPORT.sections:
+        return
+    terminalreporter.write_sep("=", "paper figure/table reproduction")
+    for title, body in _REPORT.sections:
+        terminalreporter.write_sep("-", title)
+        terminalreporter.write_line(body)
+
+
+class Workload:
+    """A fully built benchmark graph (edges, CSR, both partitions)."""
+
+    def __init__(self, scale: int, seed: int = BENCH_SEED) -> None:
+        self.scale = scale
+        self.n = 1 << scale
+        self.edges = EdgeList(generate_edges(scale, seed=seed), self.n)
+        self.csr = build_csr(self.edges)
+        self.topology = NumaTopology(4, 12)
+        self.forward = ForwardGraph(self.csr, self.topology)
+        self.backward = BackwardGraph(self.csr, self.topology)
+
+    def a_root(self, i: int = 0) -> int:
+        """The i-th non-isolated vertex (deterministic probe root)."""
+        return int(np.flatnonzero(self.csr.degrees() > 0)[i])
+
+
+@pytest.fixture(scope="session")
+def workload() -> Workload:
+    """The Figure 7/8/10..14 graph (SCALE ``REPRO_BENCH_SCALE``)."""
+    return Workload(BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def small_workload() -> Workload:
+    """The Figure 9 graph (one SCALE below, as the paper's 26 vs 27)."""
+    return Workload(SMALL_SCALE)

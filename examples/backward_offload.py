@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Further graph offloading: putting part of the *backward* graph on NVM.
+
+The paper's §VI-E only *estimates* how much of the backward graph could
+follow the forward graph onto NVM; this example actually runs the
+partially offloaded bottom-up (the §VIII future-work item) with both
+readings of the per-vertex DRAM budget k, and prints the Figure 14
+trade-off from live measurements: bytes moved off DRAM versus the share
+of bottom-up probes that must touch the device.
+
+Usage::
+
+    python examples/backward_offload.py [SCALE]
+"""
+
+import sys
+import tempfile
+
+from repro import NumaTopology, PCIE_FLASH, build_csr, generate_edges, EdgeList
+from repro.analysis.offload_ratio import backward_offload_sweep
+from repro.analysis.report import ascii_table
+from repro.csr import BackwardGraph, ForwardGraph
+from repro.graph500 import sample_roots
+
+
+def main() -> int:
+    scale = int(sys.argv[1]) if len(sys.argv) > 1 else 13
+    n = 1 << scale
+    edges = EdgeList(generate_edges(scale, seed=11), n)
+    graph = build_csr(edges)
+    topo = NumaTopology(4, 12)
+    forward, backward = ForwardGraph(graph, topo), BackwardGraph(graph, topo)
+    roots = sample_roots(graph.degrees(), n_roots=4, seed=11)
+
+    print(
+        f"Backward graph: {backward.nbytes / 1e6:.1f} MB in DRAM at "
+        f"SCALE {scale}; sweeping per-vertex DRAM budgets k...\n"
+    )
+    with tempfile.TemporaryDirectory(prefix="bwd-offload-") as workdir:
+        points = backward_offload_sweep(
+            forward,
+            backward,
+            PCIE_FLASH,
+            workdir,
+            roots,
+            ks=(2, 4, 8, 16, 32, 64),
+            alpha=n / 128,
+            beta=n / 128,
+        )
+
+    for strategy, title in (
+        ("prefix", "Keep the first k edges of every vertex in DRAM "
+                   "(paper's access series: 38.2% -> 0.7%)"),
+        ("degree-threshold", "Offload whole vertices of degree <= k "
+                             "(paper's size series: 2.6% -> 15.1%)"),
+    ):
+        rows = [
+            [p.k, f"{p.dram_reduction:.1%}", f"{p.nvm_access_ratio:.1%}"]
+            for p in points
+            if p.strategy == strategy
+        ]
+        print(
+            ascii_table(
+                ["k", "DRAM bytes saved", "bottom-up probes on NVM"],
+                rows,
+                title=title,
+            )
+        )
+        print()
+    print(
+        "Reading the trade-off: a small k frees little DRAM but sends a "
+        "large share of probes to the device; by k=32 the early-\n"
+        "terminating scan almost never leaves DRAM — the paper's "
+        "conclusion that infrequently accessed backward-graph data can\n"
+        "be offloaded safely."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

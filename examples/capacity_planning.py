@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Capacity planning: what DRAM does a graph of a given SCALE need?
+
+Reproduces the paper's capacity argument (Figures 3–4, Table II) as a
+planning tool: for each SCALE, the exact NETAL-layout sizes, the minimum
+DRAM for a DRAM-only run, and the minimum DRAM once the edge list and
+forward graph are offloaded to NVM — including the SCALE at which a
+128 GB machine stops working without offloading, and a demonstration that
+the planner *refuses* infeasible placements instead of thrashing.
+
+Usage::
+
+    python examples/capacity_planning.py
+"""
+
+import sys
+
+from repro import CapacityError, DRAM_ONLY, ScenarioConfig, ScenarioKind
+from repro.analysis.report import ascii_table
+from repro.core.offload import OffloadPlanner, StructureSizes
+from repro.perfmodel import GraphSizeModel
+from repro.util.units import GIB, format_bytes
+
+
+def sizes_at(model: GraphSizeModel, scale: int) -> StructureSizes:
+    b = model.breakdown(scale)
+    return StructureSizes(
+        edge_list=b.edge_list,
+        forward=b.forward,
+        backward=b.backward,
+        status=b.status,
+    )
+
+
+def main() -> int:
+    model = GraphSizeModel()
+    dram_only = OffloadPlanner(DRAM_ONLY)
+    semi = OffloadPlanner(
+        ScenarioConfig(
+            "planning", ScenarioKind.SEMI_EXTERNAL,
+            device=__import__("repro").PCIE_FLASH,
+        )
+    )
+
+    rows = []
+    for scale in range(24, 33):
+        s = sizes_at(model, scale)
+        rows.append(
+            [
+                scale,
+                format_bytes(s.working_set),
+                format_bytes(dram_only.min_dram_bytes(s)),
+                format_bytes(semi.min_dram_bytes(s)),
+                f"{1 - semi.min_dram_bytes(s) / dram_only.min_dram_bytes(s):.0%}",
+            ]
+        )
+    print(
+        ascii_table(
+            ["SCALE", "working set", "DRAM-only needs", "semi-external needs",
+             "DRAM saved"],
+            rows,
+            title="DRAM requirements by SCALE (NETAL layout, edge factor 16)",
+        )
+    )
+
+    # The paper's machine: where does 128 GB stop sufficing?
+    print("\nOn the paper's 128 GB machine (Table I):")
+    for scale in (26, 27, 28, 29):
+        s = sizes_at(model, scale)
+        fits_dram = dram_only.min_dram_bytes(s) <= 128 * GIB
+        fits_semi = semi.min_dram_bytes(s) <= 128 * GIB
+        print(
+            f"  SCALE {scale}: DRAM-only "
+            f"{'OK' if fits_dram else 'DOES NOT FIT'}, "
+            f"semi-external {'OK' if fits_semi else 'DOES NOT FIT'}"
+        )
+
+    # The planner proves infeasibility instead of letting a run thrash.
+    print("\nPlanner verdict for SCALE 29 with a 128 GB DRAM-only budget:")
+    tight = ScenarioConfig(
+        "128GB DRAM-only", ScenarioKind.DRAM_ONLY,
+        dram_capacity_bytes=128 * GIB,
+    )
+    try:
+        OffloadPlanner(tight).plan(sizes_at(model, 29))
+        print("  unexpectedly feasible!?")
+    except CapacityError as exc:
+        print(f"  CapacityError: {exc}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Device study: what would this exact BFS I/O cost on other hardware?
+
+The paper closes with "performance studies on various NVM devices" as
+future work (§VIII) and §VI-D speculates that higher-IOPS devices "can
+instantly evacuate I/O requests in a I/O queue".  This example does both,
+trace-driven like the paper's own iostat methodology:
+
+1. run the semi-external BFS once on the ioDrive2 model, *recording* the
+   request trace;
+2. replay the identical trace against the whole device catalog — from a
+   spinning disk to storage-class memory — plus a libaio-style aggregated
+   submission mode, without re-running BFS.
+
+Usage::
+
+    python examples/device_study.py [SCALE]
+"""
+
+import sys
+import tempfile
+
+from repro import (
+    AlphaBetaPolicy,
+    EdgeList,
+    NumaTopology,
+    NVMStore,
+    PCIE_FLASH,
+    SemiExternalBFS,
+    build_csr,
+    generate_edges,
+)
+from repro.analysis.report import ascii_table
+from repro.csr import BackwardGraph, ForwardGraph
+from repro.perfmodel import DramCostModel
+from repro.semiext import attach_recorder
+from repro.semiext.device import DEVICE_CATALOG
+
+
+def main() -> int:
+    scale = int(sys.argv[1]) if len(sys.argv) > 1 else 13
+    n = 1 << scale
+    edges = EdgeList(generate_edges(scale, seed=99), n)
+    graph = build_csr(edges)
+    topo = NumaTopology(4, 12)
+    forward, backward = ForwardGraph(graph, topo), BackwardGraph(graph, topo)
+
+    with tempfile.TemporaryDirectory(prefix="device-study-") as workdir:
+        # Step 1 — one recorded run on the paper's PCIe flash.
+        store = NVMStore(
+            f"{workdir}/record", PCIE_FLASH, concurrency=topo.n_cores
+        )
+        trace = attach_recorder(store)
+        engine = SemiExternalBFS.offload(
+            forward, backward,
+            AlphaBetaPolicy(alpha=30.0 * n / (1 << 15),
+                            beta=30.0 * n / (1 << 15)),
+            store,
+            cost_model=DramCostModel(),
+        )
+        result = engine.run(int(graph.degrees().argmax()))
+        from repro.util.units import format_bytes
+
+        print(
+            f"Recorded one BFS at SCALE {scale}: {trace.n_batches} request "
+            f"batches, {format_bytes(trace.total_bytes)} requested, "
+            f"{result.n_levels} levels\n"
+        )
+
+        # Step 2 — replay the identical access pattern everywhere.
+        rows = []
+        for device in DEVICE_CATALOG:
+            stats = trace.replay(
+                device, f"{workdir}/replay-{device.name[:8]}",
+                concurrency=topo.n_cores,
+            )
+            rows.append(
+                [
+                    device.name,
+                    f"{stats.busy_time_s * 1e3:9.2f} ms",
+                    f"{stats.avgqu_sz():5.1f}",
+                    f"{stats.reads_per_s() / 1e3:8.1f}k",
+                ]
+            )
+        async_stats = trace.replay(
+            PCIE_FLASH, f"{workdir}/replay-async", io_mode="async",
+            concurrency=topo.n_cores,
+        )
+        rows.append(
+            [
+                f"{PCIE_FLASH.name} + libaio aggregation",
+                f"{async_stats.busy_time_s * 1e3:9.2f} ms",
+                f"{async_stats.avgqu_sz():5.1f}",
+                f"{async_stats.reads_per_s() / 1e3:8.1f}k",
+            ]
+        )
+        print(
+            ascii_table(
+                ["device", "I/O service time", "avgqu-sz", "r/s"],
+                rows,
+                title="The same request trace on nine years of hardware",
+            )
+        )
+    print(
+        "\nReading: the BFS access pattern is fixed; service time spans "
+        "~four orders of magnitude across devices, and request\n"
+        "aggregation (the paper's libaio suggestion) buys another slice "
+        "on IOPS-bound hardware."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,7 @@
+"""Legacy shim: enables `pip install -e . --no-use-pep517` in offline
+environments lacking the `wheel` package. All metadata lives in
+pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,132 @@
+"""repro — Hybrid BFS with semi-external memory.
+
+A from-scratch reproduction of *"Hybrid BFS Approach Using Semi-External
+Memory"* (Iwabuchi, Sato, Mizote, Yasui, Fujisawa, Matsuoka — IPDPS
+Workshops 2014): NUMA-aware direction-optimizing BFS over Graph500
+Kronecker graphs, with the top-down forward graph offloaded to a modeled
+NVM device and read through 4 KB-chunked requests.
+
+Quick start
+-----------
+>>> from repro import run_graph500, DRAM_PCIE_FLASH
+>>> result = run_graph500(DRAM_PCIE_FLASH, scale=12, n_roots=2, seed=1)
+>>> result.output.all_valid
+True
+>>> result.median_teps > 0
+True
+
+Package map
+-----------
+=====================  ====================================================
+``repro.graph500``     Benchmark substrate: Kronecker generator, edge
+                       lists, validator, 64-root driver, official stats.
+``repro.csr``          CSR construction, NUMA-partitioned forward/backward
+                       graphs, NVM-resident CSR files.
+``repro.numa``         Simulated NUMA topology and locality accounting.
+``repro.semiext``      NVM device models, simulated clock, iostat
+                       equivalents, file-backed arrays, partial offload.
+``repro.bfs``          The hybrid BFS engines and direction policies.
+``repro.perfmodel``    Cost/size/power models (modeled TEPS, Table II,
+                       Figure 3, MTEPS/W).
+``repro.core``         Scenario presets (Table I) and the §V-A pipeline.
+``repro.analysis``     Per-figure analysis (Figures 7–14 data).
+=====================  ====================================================
+"""
+
+from repro._version import __version__
+from repro.bfs import (
+    AlphaBetaPolicy,
+    BeamerPolicy,
+    BFSResult,
+    Direction,
+    FixedPolicy,
+    HybridBFS,
+    ReferenceBFS,
+    SemiExternalBFS,
+)
+from repro.core import (
+    DRAM_ONLY,
+    DRAM_PCIE_FLASH,
+    DRAM_SSD,
+    PAPER_SCENARIOS,
+    ScenarioConfig,
+    ScenarioKind,
+    run_graph500,
+)
+from repro.csr import BackwardGraph, build_csr, CSRGraph, ForwardGraph
+from repro.errors import (
+    CapacityError,
+    ConfigurationError,
+    GraphFormatError,
+    ReproError,
+    StorageError,
+    ValidationError,
+)
+from repro.graph500 import (
+    EdgeList,
+    generate_edges,
+    Graph500Driver,
+    Graph500Stats,
+    sample_roots,
+    validate_bfs_tree,
+)
+from repro.numa import NumaTopology
+from repro.perfmodel import DramCostModel, GraphSizeModel, MachinePowerModel
+from repro.semiext import (
+    DeviceModel,
+    NVMStore,
+    PCIE_FLASH,
+    SATA_SSD,
+    SimulatedClock,
+)
+
+__all__ = [
+    "__version__",
+    # engines & policies
+    "HybridBFS",
+    "SemiExternalBFS",
+    "ReferenceBFS",
+    "AlphaBetaPolicy",
+    "BeamerPolicy",
+    "FixedPolicy",
+    "Direction",
+    "BFSResult",
+    # pipeline & scenarios
+    "run_graph500",
+    "ScenarioConfig",
+    "ScenarioKind",
+    "DRAM_ONLY",
+    "DRAM_PCIE_FLASH",
+    "DRAM_SSD",
+    "PAPER_SCENARIOS",
+    # graph500
+    "EdgeList",
+    "generate_edges",
+    "sample_roots",
+    "Graph500Driver",
+    "Graph500Stats",
+    "validate_bfs_tree",
+    # graph structures
+    "CSRGraph",
+    "build_csr",
+    "ForwardGraph",
+    "BackwardGraph",
+    "NumaTopology",
+    # semi-external memory
+    "NVMStore",
+    "DeviceModel",
+    "PCIE_FLASH",
+    "SATA_SSD",
+    "SimulatedClock",
+    # models
+    "DramCostModel",
+    "GraphSizeModel",
+    "MachinePowerModel",
+    # errors
+    "ReproError",
+    "ConfigurationError",
+    "CapacityError",
+    "ValidationError",
+    "StorageError",
+    "GraphFormatError",
+]

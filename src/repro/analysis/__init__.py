@@ -1,0 +1,53 @@
+"""Analysis routines producing each figure/table of the paper's evaluation.
+
+Each module computes the *data* behind one figure (the benchmarks print
+it; no plotting dependency):
+
+=========================  ==================================================
+Module                     Paper artifact
+=========================  ==================================================
+:mod:`~repro.analysis.sweep`          Figure 7 — α×β TEPS heatmaps
+:mod:`~repro.analysis.perfcompare`    Figures 8–9 — scenario comparison
+:mod:`~repro.analysis.traversal`      Figure 10 — traversed-edge split
+:mod:`~repro.analysis.degradation`    Figure 11 — top-down slowdown vs degree
+:mod:`~repro.analysis.iotrace`        Figures 12–13 — avgqu-sz / avgrq-sz
+:mod:`~repro.analysis.offload_ratio`  Figure 14 — backward-graph offload
+:mod:`~repro.analysis.locality`       §IV-A NUMA locality audit
+:mod:`~repro.analysis.report`         ASCII rendering helpers
+=========================  ==================================================
+"""
+
+from repro.analysis.degradation import DegradationPoint, degradation_by_degree
+from repro.analysis.graphstats import GraphShape, graph_shape
+from repro.analysis.iotrace import IoTraceSummary, summarize_iostats
+from repro.analysis.locality import LocalityAudit, audit_locality
+from repro.analysis.offload_ratio import OffloadPoint, backward_offload_sweep
+from repro.analysis.perfcompare import ScenarioSeries, compare_scenarios
+from repro.analysis.report import ascii_table, format_float
+from repro.analysis.schedule import ScheduleSummary, schedule_summary
+from repro.analysis.sweep import SweepResult, alpha_beta_sweep, scaled_alpha_grid
+from repro.analysis.traversal import TraversalSplit, traversal_split
+
+__all__ = [
+    "SweepResult",
+    "alpha_beta_sweep",
+    "scaled_alpha_grid",
+    "ScenarioSeries",
+    "compare_scenarios",
+    "TraversalSplit",
+    "traversal_split",
+    "DegradationPoint",
+    "degradation_by_degree",
+    "GraphShape",
+    "graph_shape",
+    "IoTraceSummary",
+    "summarize_iostats",
+    "LocalityAudit",
+    "audit_locality",
+    "OffloadPoint",
+    "backward_offload_sweep",
+    "ScheduleSummary",
+    "schedule_summary",
+    "ascii_table",
+    "format_float",
+]

@@ -1,0 +1,78 @@
+"""Top-down degradation ratio versus average degree (Figure 11).
+
+The paper's sharpest observation: the slowdown of an NVM-backed top-down
+level over its DRAM twin is *not* uniform — it explodes as the level's
+average degree approaches 1, because a frontier of low-degree vertices
+turns into a storm of tiny random reads whose per-request latency nothing
+amortizes (PCIe flash: 1.2×–5758×; SATA SSD: 2.8×–123482×).  The last
+top-down levels of a BFS are exactly such levels (average degree ≈ 1
+versus ~11 k for the first ones), which is why the semi-external tuning
+delays the switch back to top-down.
+
+:func:`degradation_by_degree` reproduces the figure by running the *same
+graph and root* under a DRAM-only engine and an NVM engine with identical
+switching parameters, pairing their top-down levels, and emitting
+``(average degree, time ratio)`` points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bfs.metrics import BFSResult, Direction
+from repro.errors import ConfigurationError
+
+__all__ = ["DegradationPoint", "degradation_by_degree"]
+
+
+@dataclass(frozen=True)
+class DegradationPoint:
+    """One Figure 11 point: a top-down level's degree and its slowdown."""
+
+    level: int
+    avg_degree: float
+    dram_time_s: float
+    nvm_time_s: float
+
+    @property
+    def ratio(self) -> float:
+        """NVM time over DRAM time for this level (Fig. 11's y axis)."""
+        if self.dram_time_s <= 0:
+            return float("inf")
+        return self.nvm_time_s / self.dram_time_s
+
+
+def degradation_by_degree(
+    dram_result: BFSResult, nvm_result: BFSResult
+) -> list[DegradationPoint]:
+    """Pair the top-down levels of a DRAM run and an NVM run.
+
+    Both runs must come from the same graph, root and switching
+    parameters so levels line up one-to-one; the function enforces the
+    schedules match (same direction sequence) before pairing.
+    """
+    if dram_result.root != nvm_result.root:
+        raise ConfigurationError(
+            f"runs have different roots: {dram_result.root} vs {nvm_result.root}"
+        )
+    if dram_result.direction_schedule() != nvm_result.direction_schedule():
+        raise ConfigurationError(
+            "runs took different direction schedules "
+            f"({dram_result.direction_schedule()} vs "
+            f"{nvm_result.direction_schedule()}); use identical alpha/beta"
+        )
+    points = []
+    for dram_t, nvm_t in zip(dram_result.traces, nvm_result.traces):
+        if dram_t.direction is not Direction.TOP_DOWN:
+            continue
+        if dram_t.frontier_size == 0:
+            continue
+        points.append(
+            DegradationPoint(
+                level=dram_t.level,
+                avg_degree=dram_t.avg_degree,
+                dram_time_s=dram_t.modeled_time_s,
+                nvm_time_s=nvm_t.modeled_time_s,
+            )
+        )
+    return points

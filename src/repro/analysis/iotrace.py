@@ -1,0 +1,67 @@
+"""Device I/O traces and summaries (Figures 12 and 13).
+
+The paper samples ``iostat`` during the 64-iteration benchmark and plots
+the request-queue length (``avgqu-sz``, Fig. 12: averages 36.1 PCIe flash
+/ 56.1 SATA SSD) and request size (``avgrq-sz``, Fig. 13: ≈22.6 / 22.7
+sectors).  :func:`summarize_iostats` condenses an
+:class:`~repro.semiext.iostats.IoStats` meter into the same two series
+plus their benchmark-wide averages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.semiext.iostats import IoStats
+
+__all__ = ["IoTraceSummary", "summarize_iostats"]
+
+
+@dataclass(frozen=True)
+class IoTraceSummary:
+    """Figure 12/13 data for one device.
+
+    ``times_s`` / ``queue`` / ``rq_sectors`` are the per-interval series
+    (one point per I/O batch — one batch per NVM-touching BFS level);
+    the ``avg*`` fields are the benchmark-wide averages the paper quotes.
+    """
+
+    device_name: str
+    times_s: np.ndarray
+    queue: np.ndarray
+    rq_sectors: np.ndarray
+    avgqu_sz: float
+    avgrq_sz: float
+    reads_per_s: float
+    total_requests: int
+    total_bytes: int
+
+    def format(self) -> str:
+        """Render the paper-quoted aggregates."""
+        return (
+            f"{self.device_name}: avgqu-sz={self.avgqu_sz:.1f}, "
+            f"avgrq-sz={self.avgrq_sz:.1f} sectors, "
+            f"r/s={self.reads_per_s:,.0f}, "
+            f"requests={self.total_requests:,}"
+        )
+
+
+def summarize_iostats(stats: IoStats) -> IoTraceSummary:
+    """Build the Figure 12/13 summary from a device meter."""
+    samples = [s for s in stats.samples if s.n_requests > 0]
+    times = np.array([s.t_start_s for s in samples])
+    queue = np.array([s.mean_queue for s in samples])
+    rq = np.array([s.avgrq_sectors for s in samples])
+    return IoTraceSummary(
+        device_name=stats.device_name,
+        times_s=times,
+        queue=queue,
+        rq_sectors=rq,
+        avgqu_sz=stats.avgqu_sz(),
+        avgrq_sz=stats.avgrq_sz,
+        reads_per_s=stats.reads_per_s(),
+        total_requests=stats.n_requests,
+        total_bytes=stats.total_bytes,
+    )

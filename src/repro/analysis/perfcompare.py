@@ -1,0 +1,153 @@
+"""Scenario performance comparison (Figures 8 and 9).
+
+For every (α, β) point on the x axis, runs the three Table I scenarios
+plus the paper's three baselines (top-down only, bottom-up only, Graph500
+reference) and reports median modeled TEPS — the full content of
+Figure 8 (large SCALE, forward graph exceeding DRAM) and Figure 9 (small
+SCALE, everything fitting).
+
+Also exposes :func:`build_engine`, the canonical way to instantiate the
+right engine for a scenario over prebuilt graphs (shared by the sweeps,
+benches and examples).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.bfs.hybrid import HybridBFS
+from repro.bfs.metrics import Direction
+from repro.bfs.policies import AlphaBetaPolicy, FixedPolicy
+from repro.bfs.reference import ReferenceBFS
+from repro.bfs.semi_external import SemiExternalBFS
+from repro.core.config import ScenarioConfig
+from repro.csr.graph import CSRGraph
+from repro.csr.partition import BackwardGraph, ForwardGraph
+from repro.graph500.driver import Graph500Driver
+from repro.graph500.edgelist import EdgeList
+from repro.semiext.storage import NVMStore
+
+__all__ = ["ScenarioSeries", "compare_scenarios", "build_engine"]
+
+
+def build_engine(
+    scenario: ScenarioConfig,
+    forward: ForwardGraph,
+    backward: BackwardGraph,
+    alpha: float,
+    beta: float,
+    workdir: str | Path,
+    prefix: str = "fig",
+):
+    """Instantiate the engine a scenario prescribes over prebuilt graphs.
+
+    Semi-external scenarios get a fresh :class:`NVMStore` under
+    ``workdir`` (fresh clock and iostat meters per engine) whose page
+    cache is the scenario's spare DRAM — budget minus the resident
+    backward graph and status data, the same sizing the pipeline's
+    planner derives; DRAM-only scenarios get a plain :class:`HybridBFS`.
+    """
+    policy = AlphaBetaPolicy(alpha=alpha, beta=beta)
+    if scenario.is_semi_external:
+        assert scenario.device is not None  # enforced by ScenarioConfig
+        n = forward.n_vertices
+        status_est = n * 8 + 2 * (n // 8) + 2 * n * 8
+        resident = backward.nbytes + status_est
+        spare = max(0, scenario.dram_budget(resident) - resident)
+        store = NVMStore(
+            Path(workdir) / f"{prefix}-{scenario.name}-{alpha:g}-{beta:g}",
+            scenario.device,
+            concurrency=scenario.topology.n_cores,
+            page_cache_bytes=spare,
+        )
+        return SemiExternalBFS.offload(
+            forward=forward,
+            backward=backward,
+            policy=policy,
+            store=store,
+            cost_model=scenario.cost_model,
+        )
+    return HybridBFS(
+        forward=forward,
+        backward=backward,
+        policy=policy,
+        cost_model=scenario.cost_model,
+    )
+
+
+@dataclass(frozen=True)
+class ScenarioSeries:
+    """One line of Figure 8/9: median TEPS per (α, β) x-axis point."""
+
+    name: str
+    points: tuple[tuple[float, float], ...]  # the (alpha, beta) x axis
+    teps: np.ndarray  # len(points), NaN where the series is flat
+
+    def best(self) -> tuple[float, float, float]:
+        """``(alpha, beta, teps)`` at the series maximum."""
+        i = int(np.nanargmax(self.teps))
+        a, b = self.points[i]
+        return a, b, float(self.teps[i])
+
+
+def compare_scenarios(
+    edges: EdgeList,
+    csr: CSRGraph,
+    forward: ForwardGraph,
+    backward: BackwardGraph,
+    scenarios: tuple[ScenarioConfig, ...],
+    points: tuple[tuple[float, float], ...],
+    workdir: str | Path,
+    n_roots: int = 8,
+    seed: int | None = None,
+    include_baselines: bool = True,
+) -> list[ScenarioSeries]:
+    """Produce the Figure 8/9 series set.
+
+    Parameters
+    ----------
+    points:
+        The (α, β) x-axis; pass the rescaled paper grid from
+        :func:`repro.analysis.sweep.scaled_alpha_grid` crossed with the
+        β factors.
+    include_baselines:
+        Add the three constant baselines (top-down only, bottom-up only,
+        reference), evaluated once and replicated across the x axis as in
+        the paper's figure.
+    """
+    driver = Graph500Driver(edges, n_roots=n_roots, seed=seed, validate=False)
+    series: list[ScenarioSeries] = []
+    for scenario in scenarios:
+        teps = np.empty(len(points))
+        for i, (alpha, beta) in enumerate(points):
+            engine = build_engine(
+                scenario, forward, backward, alpha, beta, workdir, prefix=f"pt{i}"
+            )
+            teps[i] = driver.run(engine).stats_modeled.median_teps
+        series.append(
+            ScenarioSeries(name=scenario.name, points=points, teps=teps)
+        )
+    if include_baselines:
+        base_cost = scenarios[0].cost_model
+        baselines = {
+            "Top-down only": HybridBFS(
+                forward, backward, FixedPolicy(Direction.TOP_DOWN), base_cost
+            ),
+            "Bottom-up only": HybridBFS(
+                forward, backward, FixedPolicy(Direction.BOTTOM_UP), base_cost
+            ),
+            "Graph500 reference": ReferenceBFS(csr, cost_model=base_cost),
+        }
+        for name, engine in baselines.items():
+            teps_val = driver.run(engine).stats_modeled.median_teps
+            series.append(
+                ScenarioSeries(
+                    name=name,
+                    points=points,
+                    teps=np.full(len(points), teps_val),
+                )
+            )
+    return series

@@ -1,0 +1,102 @@
+"""Plain-text table rendering for benchmark output.
+
+The benchmarks print the same rows/series the paper's figures plot; these
+helpers keep that output aligned and consistent without any plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["ascii_table", "format_float", "format_teps", "ascii_heatmap"]
+
+
+def format_float(x: float, sig: int = 4) -> str:
+    """Compact significant-digit float formatting ('1.234e+06' style)."""
+    if x == 0:
+        return "0"
+    if 1e-3 <= abs(x) < 1e5:
+        return f"{x:.{sig}g}"
+    return f"{x:.{max(sig - 1, 0)}e}"
+
+
+def format_teps(teps: float) -> str:
+    """Render a TEPS value with the paper's unit (GTEPS/MTEPS)."""
+    if teps >= 1e9:
+        return f"{teps / 1e9:.2f} GTEPS"
+    if teps >= 1e6:
+        return f"{teps / 1e6:.1f} MTEPS"
+    return f"{teps:.3g} TEPS"
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned text table.
+
+    >>> print(ascii_table(["a", "b"], [[1, "x"], [22, "yy"]]))
+    a  | b
+    ---+---
+    1  | x
+    22 | yy
+    """
+    cells = [[str(h) for h in headers]] + [
+        [str(c) for c in row] for row in rows
+    ]
+    if not rows:
+        return ((title + "\n") if title else "") + " | ".join(headers)
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)).rstrip())
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append(
+            " | ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip()
+        )
+    return "\n".join(lines)
+
+
+def ascii_heatmap(
+    values,
+    row_labels,
+    col_labels,
+    title: str | None = None,
+    shades: str = " .:-=+*#%@",
+) -> str:
+    """Render a 2-D value grid as a character-shade heatmap.
+
+    Values are mapped linearly onto ``shades`` (low → first character);
+    used by the CLI to render Figure 7's α×β heatmaps without a plotting
+    dependency.
+
+    >>> print(ascii_heatmap([[0.0, 1.0]], ["r"], ["a", "b"]))
+    r |   @
+      | a b
+    """
+    import numpy as np
+
+    grid = np.asarray(values, dtype=np.float64)
+    if grid.ndim != 2 or grid.shape != (len(row_labels), len(col_labels)):
+        raise ValueError(
+            f"grid shape {grid.shape} does not match labels "
+            f"({len(row_labels)} x {len(col_labels)})"
+        )
+    lo, hi = float(grid.min()), float(grid.max())
+    span = (hi - lo) or 1.0
+    idx = ((grid - lo) / span * (len(shades) - 1)).round().astype(int)
+    label_w = max((len(str(r)) for r in row_labels), default=1)
+    col_w = max((len(str(c)) for c in col_labels), default=1)
+    lines = [title] if title else []
+    for r, row in zip(row_labels, idx):
+        cells = " ".join(
+            (shades[i] * 1).rjust(col_w) for i in row
+        )
+        lines.append(f"{str(r).ljust(label_w)} | {cells}")
+    footer = " ".join(str(c).rjust(col_w) for c in col_labels)
+    lines.append(f"{' ' * label_w} | {footer}")
+    return "\n".join(lines)

@@ -1,0 +1,126 @@
+"""α × β parameter sweep (Figure 7).
+
+The paper sweeps α over 1e4…1e6 and β over {0.1, 1, 10}·α at SCALE 27 and
+plots median TEPS per scenario as a heatmap.  α and β are *divisors of the
+vertex count* (thresholds are ``n_all/α`` and ``n_all/β``), so the
+interesting region shifts with graph size: at SCALE 27 an α of 1e4 puts
+the top-down→bottom-up threshold at ~13 k frontier vertices, while at the
+reproduction's SCALE 16 the same α puts it below 7 — every level would
+qualify.  :func:`scaled_alpha_grid` maps the paper's grid onto an
+arbitrary SCALE by preserving the *threshold vertex counts* rather than
+the raw α values, so the heatmap's topology (where the plateau and the
+cliffs sit) reproduces at any size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.graph500.driver import BFSEngine, Graph500Driver
+from repro.graph500.edgelist import EdgeList
+
+__all__ = ["SweepResult", "alpha_beta_sweep", "scaled_alpha_grid"]
+
+_PAPER_N = 1 << 27
+_PAPER_ALPHAS = (1e4, 1e5, 1e6)
+"""The α grid of Figure 7, defined against the SCALE 27 vertex count."""
+
+_PAPER_BETA_FACTORS = (0.1, 1.0, 10.0)
+"""β expressed as multiples of α, as the paper sweeps it."""
+
+
+def scaled_alpha_grid(n_vertices: int) -> tuple[float, ...]:
+    """The paper's α grid translated to a graph of ``n_vertices``.
+
+    Keeps the switch *thresholds* (``n/α`` in vertices) fixed:
+    ``n/α_scaled == n_paper/α_paper`` ⇒ ``α_scaled = α_paper · n/n_paper``.
+
+    >>> scaled_alpha_grid(1 << 27) == (1e4, 1e5, 1e6)
+    True
+    """
+    if n_vertices <= 0:
+        raise ConfigurationError(f"n_vertices must be positive: {n_vertices}")
+    ratio = n_vertices / _PAPER_N
+    return tuple(a * ratio for a in _PAPER_ALPHAS)
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Median-TEPS grid over (α, β·factor) — one Figure 7 heatmap.
+
+    ``teps[i, j]`` is the median modeled TEPS at ``alphas[i]`` and
+    ``beta = beta_factors[j] * alphas[i]``.
+    """
+
+    scenario_name: str
+    alphas: tuple[float, ...]
+    beta_factors: tuple[float, ...]
+    teps: np.ndarray
+
+    def best(self) -> tuple[float, float, float]:
+        """``(alpha, beta, teps)`` of the grid maximum."""
+        i, j = np.unravel_index(int(np.argmax(self.teps)), self.teps.shape)
+        alpha = self.alphas[i]
+        return alpha, self.beta_factors[j] * alpha, float(self.teps[i, j])
+
+    def format(self) -> str:
+        """Heatmap as text (rows = α, columns = β factor)."""
+        from repro.analysis.report import ascii_table, format_teps
+
+        rows = []
+        for i, a in enumerate(self.alphas):
+            rows.append(
+                [f"alpha={a:.3g}"]
+                + [format_teps(self.teps[i, j]) for j in range(len(self.beta_factors))]
+            )
+        headers = ["", *(f"beta={f}*a" for f in self.beta_factors)]
+        return ascii_table(headers, rows, title=f"[{self.scenario_name}]")
+
+
+def alpha_beta_sweep(
+    engine_factory: Callable[[float, float], BFSEngine],
+    edges: EdgeList,
+    scenario_name: str,
+    alphas: tuple[float, ...] | None = None,
+    beta_factors: tuple[float, ...] = _PAPER_BETA_FACTORS,
+    n_roots: int = 8,
+    seed: int | None = None,
+    validate: bool = False,
+) -> SweepResult:
+    """Run the Figure 7 sweep for one scenario.
+
+    Parameters
+    ----------
+    engine_factory:
+        ``(alpha, beta) -> engine``; called once per grid point.  The
+        factory owns device/store setup so each point gets fresh iostat
+        meters.
+    edges:
+        The benchmark graph (roots are sampled from it once and shared by
+        every grid point, so points are comparable).
+    alphas:
+        α grid; defaults to the paper's grid rescaled to this graph.
+    beta_factors:
+        β as multiples of α (paper: 0.1, 1, 10).
+    n_roots:
+        Iterations per grid point (the paper uses 64; sweeps use fewer).
+    """
+    if alphas is None:
+        alphas = scaled_alpha_grid(edges.n_vertices)
+    driver = Graph500Driver(edges, n_roots=n_roots, seed=seed, validate=validate)
+    grid = np.zeros((len(alphas), len(beta_factors)), dtype=np.float64)
+    for i, alpha in enumerate(alphas):
+        for j, factor in enumerate(beta_factors):
+            engine = engine_factory(alpha, factor * alpha)
+            output = driver.run(engine)
+            grid[i, j] = output.stats_modeled.median_teps
+    return SweepResult(
+        scenario_name=scenario_name,
+        alphas=tuple(alphas),
+        beta_factors=tuple(beta_factors),
+        teps=grid,
+    )

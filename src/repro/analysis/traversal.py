@@ -1,0 +1,55 @@
+"""Traversed-edge split by direction (Figure 10).
+
+The paper explains the offloading technique's viability by showing where
+edge traffic actually goes: across the benchmark's runs, the bottom-up
+direction performs the overwhelming majority of edge scans, while the
+(NVM-bound) top-down direction is squeezed to a sliver — and the squeeze
+grows with α.  :func:`traversal_split` computes the same averages from
+engine traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bfs.metrics import BFSResult, Direction
+
+__all__ = ["TraversalSplit", "traversal_split"]
+
+
+@dataclass(frozen=True)
+class TraversalSplit:
+    """Average per-run scanned edges by direction (one Figure 10 bar group)."""
+
+    label: str
+    top_down: float
+    bottom_up: float
+
+    @property
+    def total(self) -> float:
+        """Total average scanned edges per run."""
+        return self.top_down + self.bottom_up
+
+    @property
+    def top_down_fraction(self) -> float:
+        """Share of edge traffic the NVM-resident forward graph absorbs."""
+        if self.total == 0:
+            return 0.0
+        return self.top_down / self.total
+
+
+def traversal_split(results: list[BFSResult], label: str = "") -> TraversalSplit:
+    """Average the per-direction scanned-edge counts over runs."""
+    if not results:
+        return TraversalSplit(label=label, top_down=0.0, bottom_up=0.0)
+    td = np.array(
+        [r.edges_by_direction()[Direction.TOP_DOWN] for r in results], dtype=float
+    )
+    bu = np.array(
+        [r.edges_by_direction()[Direction.BOTTOM_UP] for r in results], dtype=float
+    )
+    return TraversalSplit(
+        label=label, top_down=float(td.mean()), bottom_up=float(bu.mean())
+    )

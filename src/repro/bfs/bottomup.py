@@ -1,0 +1,175 @@
+"""Vectorized bottom-up BFS step with exact early termination (Figure 2).
+
+Every *unvisited* vertex ``w`` scans its neighbour list for a frontier
+member ``v``; at the first hit it sets ``tree(w) ← v`` and **stops
+scanning** — the early termination that makes the bottom-up direction so
+cheap on the big middle levels.
+
+Vectorization subtlety: the kernel gathers whole adjacency rows and then
+computes, per row, the index of the first frontier hit
+(:func:`~repro.util.gather.first_true_per_segment`).  DRAM bytes are thus
+over-read relative to a scalar implementation, but the *scanned-edge
+counts are exact* — they stop at the hit — and those counts are what feed
+the cost model, Figure 10's traversal split and Figure 14's offload access
+ratios.  For the partially NVM-resident backward graph the early exit is
+honoured for real: the NVM suffix of a row is only fetched when the DRAM
+prefix produced no hit (§V-C's "read vertices on DRAM, then continue to
+read vertices on NVM in a streaming fashion").
+
+Scanning happens shard-by-shard (the backward graph is row-partitioned per
+NUMA node) through the small :class:`BottomUpScanner` protocol, so the
+same step drives in-DRAM shards and the partially offloaded shards of
+:mod:`repro.semiext.cache`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+from repro.csr.graph import CSRGraph
+from repro.bfs.state import BFSState
+from repro.util.bitmap import Bitmap
+from repro.util.gather import concat_ranges, first_true_per_segment
+
+__all__ = ["ScanOutcome", "BottomUpScanner", "InMemoryScanner", "bottom_up_step"]
+
+
+@dataclass(frozen=True)
+class ScanOutcome:
+    """Result of scanning a batch of unvisited rows against the frontier.
+
+    ``parents[i]`` is the discovered parent of row ``i`` or ``-1``;
+    ``scanned_dram`` / ``scanned_nvm`` count edge probes by residence of
+    the probed adjacency entry (all-DRAM shards report ``scanned_nvm=0``).
+    """
+
+    parents: np.ndarray
+    scanned_dram: int
+    scanned_nvm: int
+
+    @property
+    def scanned(self) -> int:
+        """Total edge probes of the batch."""
+        return self.scanned_dram + self.scanned_nvm
+
+
+class BottomUpScanner(Protocol):
+    """A backward-graph shard that can scan rows against a frontier."""
+
+    def scan(self, local_rows: np.ndarray, frontier: Bitmap) -> ScanOutcome:
+        """Scan the given *local* rows; see :class:`ScanOutcome`."""
+        ...
+
+
+class InMemoryScanner:
+    """Bottom-up scanning over an in-DRAM backward shard."""
+
+    def __init__(self, shard: CSRGraph) -> None:
+        self.shard = shard
+
+    def scan(self, local_rows: np.ndarray, frontier: Bitmap) -> ScanOutcome:
+        """Scan rows against the frontier with exact early termination."""
+        starts, counts = self.shard.row_extents(local_rows)
+        neighbors = self.shard.adj[concat_ranges(starts, counts)]
+        if neighbors.size == 0:
+            return ScanOutcome(
+                parents=np.full(local_rows.size, -1, dtype=np.int64),
+                scanned_dram=0,
+                scanned_nvm=0,
+            )
+        hits = frontier.test_many(neighbors)
+        hit_at, scanned = first_true_per_segment(hits, counts)
+        parents = np.full(local_rows.size, -1, dtype=np.int64)
+        found = hit_at >= 0
+        parents[found] = neighbors[hit_at[found]]
+        return ScanOutcome(
+            parents=parents,
+            scanned_dram=int(scanned.sum()),
+            scanned_nvm=0,
+        )
+
+
+def bottom_up_step(
+    scanners: list[BottomUpScanner],
+    state: BFSState,
+    rows_per_block: int = 1 << 17,
+    executor=None,
+) -> tuple[np.ndarray, int, int]:
+    """Run one bottom-up level across all NUMA shards.
+
+    Parameters
+    ----------
+    scanners:
+        One :class:`BottomUpScanner` per NUMA node (row-partitioned).
+    state:
+        Mutable BFS state; the per-node unvisited candidate lists are
+        pruned in place and discoveries committed.
+    rows_per_block:
+        Batch size bounding peak gather memory (hubs aside, a block
+        touches ``rows_per_block × avg_degree`` adjacency entries).
+    executor:
+        Optional :class:`~repro.bfs.parallel.ShardExecutor`; each NUMA
+        node's scan runs as one task.  Scans are read-only against the
+        level-frozen state (candidate pruning touches only node-local
+        lists), and discoveries are committed serially afterwards, so
+        the parent tree is identical to a sequential run.
+
+    Returns
+    -------
+    (next_queue, edges_scanned_dram, edges_scanned_nvm):
+        Newly discovered vertices (sorted) and exact probe counts split by
+        residence of the probed data.
+    """
+    frontier = state.frontier_as_bitmap()
+    partitions = state.topology.partitions(state.n_vertices)
+
+    def scan_node(args):
+        part, scanner = args
+        cand = state.unvisited_candidates(part.node)
+        winners_parts: list[np.ndarray] = []
+        parents_parts: list[np.ndarray] = []
+        dram = 0
+        nvm = 0
+        for blk_start in range(0, cand.size, rows_per_block):
+            block = cand[blk_start : blk_start + rows_per_block]
+            outcome = scanner.scan(block - part.lo, frontier)
+            dram += outcome.scanned_dram
+            nvm += outcome.scanned_nvm
+            found = outcome.parents >= 0
+            if found.any():
+                winners_parts.append(block[found])
+                parents_parts.append(outcome.parents[found])
+        if winners_parts:
+            return (
+                np.concatenate(winners_parts),
+                np.concatenate(parents_parts),
+                dram,
+                nvm,
+            )
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, dram, nvm
+
+    tasks = list(zip(partitions, scanners))
+    if executor is not None:
+        results = executor.map(scan_node, tasks)
+    else:
+        results = [scan_node(t) for t in tasks]
+
+    next_parts: list[np.ndarray] = []
+    scanned_dram = 0
+    scanned_nvm = 0
+    for winners, parents, dram, nvm in results:
+        scanned_dram += dram
+        scanned_nvm += nvm
+        if winners.size:
+            state.discover(winners, parents)
+            next_parts.append(winners)
+    if next_parts:
+        next_queue = np.concatenate(next_parts)
+        next_queue.sort()
+    else:
+        next_queue = np.empty(0, dtype=np.int64)
+    return next_queue, scanned_dram, scanned_nvm

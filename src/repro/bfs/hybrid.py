@@ -1,0 +1,232 @@
+"""The hybrid BFS engine (paper §III–§IV).
+
+:class:`HybridBFS` runs the level loop shared by every configuration:
+
+1. ask the :class:`~repro.bfs.policies.DirectionPolicy` for the level's
+   direction (the paper's α/β rule by default);
+2. execute the vectorized top-down or bottom-up step over the
+   NUMA-partitioned forward/backward graphs;
+3. charge the DRAM cost model (and, in subclasses, collect the NVM device
+   charges the step already pushed onto the shared simulated clock);
+4. record a :class:`~repro.bfs.metrics.LevelTrace`.
+
+The engine is deterministic: given (graph, root, policy) the parent array,
+the traces and the modeled time are reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bfs.bottomup import BottomUpScanner, InMemoryScanner, bottom_up_step
+from repro.bfs.parallel import ShardExecutor
+from repro.bfs.metrics import BFSResult, Direction, LevelTrace
+from repro.bfs.policies import DirectionPolicy, PolicyInputs
+from repro.bfs.state import BFSState
+from repro.bfs.topdown import top_down_step
+from repro.csr.partition import BackwardGraph, ForwardGraph
+from repro.errors import ConfigurationError
+from repro.perfmodel.cost import DramCostModel
+from repro.semiext.clock import SimulatedClock
+from repro.util.timer import Timer
+
+__all__ = ["HybridBFS"]
+
+
+class HybridBFS:
+    """Direction-optimizing BFS with both graphs in DRAM.
+
+    This is the paper's *DRAM-only* scenario (and, with a
+    :class:`~repro.bfs.policies.FixedPolicy`, its single-direction
+    baselines).
+
+    Parameters
+    ----------
+    forward:
+        Column-partitioned forward graph (top-down direction).
+    backward:
+        Row-partitioned backward graph (bottom-up direction).
+    policy:
+        Direction policy; the paper's rule is
+        :class:`~repro.bfs.policies.AlphaBetaPolicy`.
+    cost_model:
+        DRAM cost model for modeled time; ``None`` disables the DRAM-side
+        charges (subclasses' device charges, if any, still tick the
+        shared clock).
+    clock:
+        Simulated clock to charge; created fresh per engine if omitted.
+    n_workers:
+        Fan the per-NUMA-shard scans out on a thread pool of this size
+        (results bit-identical to sequential; see
+        :mod:`repro.bfs.parallel`).  ``None`` runs sequentially.
+    """
+
+    def __init__(
+        self,
+        forward: ForwardGraph,
+        backward: BackwardGraph,
+        policy: DirectionPolicy,
+        cost_model: DramCostModel | None = None,
+        clock: SimulatedClock | None = None,
+        n_workers: int | None = None,
+    ) -> None:
+        if forward.n_vertices != backward.n_vertices:
+            raise ConfigurationError(
+                "forward/backward graphs disagree on vertex count"
+            )
+        if forward.topology != backward.topology:
+            raise ConfigurationError("forward/backward graphs disagree on topology")
+        self.forward = forward
+        self.backward = backward
+        self.topology = forward.topology
+        self.policy = policy
+        self.cost_model = cost_model
+        self.clock = clock if clock is not None else SimulatedClock()
+        self.n_vertices = forward.n_vertices
+        # Global degrees drive Beamer-style policies and the TEPS numerator.
+        self._degrees = backward.global_degrees()
+        self._total_directed = int(self._degrees.sum())
+        self._scanners = self._make_scanners()
+        self.executor = (
+            ShardExecutor(n_workers) if n_workers is not None else None
+        )
+
+    # -- extension points (overridden by the semi-external engine) -----------------
+
+    def _top_down_shards(self) -> list:
+        """Adjacency sources for the top-down step."""
+        return list(self.forward.shards)
+
+    def _make_scanners(self) -> list[BottomUpScanner]:
+        """Bottom-up scanners, one per NUMA shard."""
+        return [InMemoryScanner(s) for s in self.backward.shards]
+
+    def _think_time_s(self) -> float:
+        """Per-request CPU overlap for the NVM queueing model (unused here)."""
+        return 0.0
+
+    def _io_counters(self) -> tuple[int, int, float]:
+        """(requests, bytes, busy seconds) issued so far; none in DRAM."""
+        return 0, 0, 0.0
+
+    def _charge_level(
+        self,
+        direction: Direction,
+        scanned_dram: int,
+        scanned_nvm: int,
+        frontier_size: int,
+        next_size: int,
+    ) -> None:
+        """Charge the DRAM cost model for one level.
+
+        The base engine charges every probe; the semi-external engine
+        overrides this to charge only DRAM-resident probes, because the
+        CPU work on NVM-fetched edges already entered the device queueing
+        model as per-request think time.
+        """
+        if self.cost_model is None:
+            return
+        self.clock.advance(
+            self.cost_model.level_time_s(
+                edges_scanned=scanned_dram + scanned_nvm,
+                frontier_size=frontier_size,
+                next_size=next_size,
+            )
+        )
+
+    # -- the level loop ------------------------------------------------------------
+
+    def run(self, root: int, max_levels: int | None = None) -> BFSResult:
+        """Run one BFS from ``root`` and return its result.
+
+        ``max_levels`` is a safety valve for tests; a valid input graph
+        never needs it (the frontier empties by itself).
+        """
+        state = BFSState(self.n_vertices, self.topology, root)
+        self.policy.reset()
+        traces: list[LevelTrace] = []
+        direction = Direction.TOP_DOWN
+        prev_frontier = 0
+        visited_deg_sum = int(self._degrees[root])
+        total_wall = Timer()
+        modeled_start = self.clock.now()
+        level = 0
+        while state.frontier_size > 0:
+            if max_levels is not None and level >= max_levels:
+                break
+            frontier_size = state.frontier_size
+            frontier_edges = int(self._degrees[state.frontier_queue].sum())
+            direction = self.policy.decide(
+                PolicyInputs(
+                    level=level,
+                    current=direction,
+                    n_frontier=frontier_size,
+                    n_frontier_prev=prev_frontier,
+                    n_all=self.n_vertices,
+                    frontier_edges=frontier_edges,
+                    unvisited_edges=self._total_directed - visited_deg_sum,
+                )
+            )
+            io_req0, io_bytes0, io_busy0 = self._io_counters()
+            t_level0 = self.clock.now()
+            wall = Timer()
+            with total_wall, wall:
+                if direction is Direction.TOP_DOWN:
+                    next_queue, scanned_dram, scanned_nvm = top_down_step(
+                        self._top_down_shards(),
+                        state,
+                        self._think_time_s(),
+                        executor=self.executor,
+                    )
+                else:
+                    next_queue, scanned_dram, scanned_nvm = bottom_up_step(
+                        self._scanners, state, executor=self.executor
+                    )
+            scanned = scanned_dram + scanned_nvm
+            self._charge_level(
+                direction,
+                scanned_dram,
+                scanned_nvm,
+                frontier_size,
+                int(next_queue.size),
+            )
+            io_req1, io_bytes1, io_busy1 = self._io_counters()
+            traces.append(
+                LevelTrace(
+                    level=level,
+                    direction=direction,
+                    frontier_size=frontier_size,
+                    next_size=int(next_queue.size),
+                    edges_scanned=scanned,
+                    wall_time_s=wall.elapsed,
+                    modeled_time_s=self.clock.now() - t_level0,
+                    edges_scanned_nvm=scanned_nvm,
+                    nvm_requests=io_req1 - io_req0,
+                    nvm_bytes=io_bytes1 - io_bytes0,
+                    nvm_time_s=io_busy1 - io_busy0,
+                )
+            )
+            visited_deg_sum += int(self._degrees[next_queue].sum())
+            prev_frontier = frontier_size
+            state.promote_next(next_queue)
+            level += 1
+        traversed = int(self._degrees[state.parent >= 0].sum()) // 2
+        return BFSResult(
+            parent=state.parent,
+            root=root,
+            traces=tuple(traces),
+            traversed_edges=traversed,
+            wall_time_s=total_wall.elapsed,
+            modeled_time_s=self.clock.now() - modeled_start,
+        )
+
+    def close(self) -> None:
+        """Release the shard thread pool, if any (idempotent)."""
+        if self.executor is not None:
+            self.executor.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(n={self.n_vertices}, "
+            f"policy={self.policy!r})"
+        )

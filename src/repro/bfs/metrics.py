@@ -1,0 +1,131 @@
+"""BFS run results and per-level traces.
+
+Every engine returns a :class:`BFSResult` carrying the parent tree plus a
+:class:`LevelTrace` per level.  The traces are the raw material of the
+paper's evaluation figures: traversed-edge splits by direction (Fig. 10),
+per-level average degree and degradation ratios (Fig. 11), and the
+direction-switch schedule the α/β discussion describes (§VI-C).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Direction", "LevelTrace", "BFSResult"]
+
+
+class Direction(enum.Enum):
+    """Search direction of one BFS level."""
+
+    TOP_DOWN = "top-down"
+    BOTTOM_UP = "bottom-up"
+
+
+@dataclass(frozen=True)
+class LevelTrace:
+    """Measurements of one BFS level.
+
+    Attributes
+    ----------
+    level:
+        0-based BFS depth (level 0 expands the root).
+    direction:
+        Direction chosen by the policy for this level.
+    frontier_size:
+        Vertices in the frontier entering the level.
+    next_size:
+        Vertices discovered by the level.
+    edges_scanned:
+        Edge probes actually performed: all frontier out-edges for
+        top-down; early-termination-exact counts for bottom-up.
+    edges_scanned_nvm:
+        The subset of ``edges_scanned`` whose adjacency entry resided on
+        NVM (forward-graph reads in semi-external top-down levels;
+        backward-suffix reads under partial offloading).
+    wall_time_s:
+        Real elapsed time of the level.
+    modeled_time_s:
+        Simulated time (DRAM cost model + NVM device charges).
+    nvm_requests / nvm_bytes:
+        Device requests issued by the level (0 for in-DRAM levels).
+    nvm_time_s:
+        Portion of ``modeled_time_s`` spent in device service.
+    """
+
+    level: int
+    direction: Direction
+    frontier_size: int
+    next_size: int
+    edges_scanned: int
+    wall_time_s: float
+    modeled_time_s: float
+    edges_scanned_nvm: int = 0
+    nvm_requests: int = 0
+    nvm_bytes: int = 0
+    nvm_time_s: float = 0.0
+
+    @property
+    def avg_degree(self) -> float:
+        """Average edges scanned per frontier vertex (Fig. 11's x axis)."""
+        if self.frontier_size == 0:
+            return 0.0
+        return self.edges_scanned / self.frontier_size
+
+
+@dataclass(frozen=True)
+class BFSResult:
+    """Outcome of one BFS execution.
+
+    ``traversed_edges`` counts *undirected input-graph edges* in the
+    traversed component (the Graph500 TEPS numerator): half the sum of the
+    visited vertices' degrees in the deduplicated graph.
+    """
+
+    parent: np.ndarray
+    root: int
+    traces: tuple[LevelTrace, ...]
+    traversed_edges: int
+    wall_time_s: float
+    modeled_time_s: float
+
+    # -- aggregate views used by the analysis modules -----------------------------
+
+    @property
+    def n_levels(self) -> int:
+        """Number of BFS levels executed (including empty final probe)."""
+        return len(self.traces)
+
+    @property
+    def n_visited(self) -> int:
+        """Vertices reached (root included)."""
+        return int(np.count_nonzero(np.asarray(self.parent) >= 0))
+
+    def edges_by_direction(self) -> dict[Direction, int]:
+        """Total scanned edges per direction (Fig. 10's bars)."""
+        out = {Direction.TOP_DOWN: 0, Direction.BOTTOM_UP: 0}
+        for t in self.traces:
+            out[t.direction] += t.edges_scanned
+        return out
+
+    def levels_by_direction(self) -> dict[Direction, int]:
+        """Number of levels executed per direction."""
+        out = {Direction.TOP_DOWN: 0, Direction.BOTTOM_UP: 0}
+        for t in self.traces:
+            out[t.direction] += 1
+        return out
+
+    def teps(self, modeled: bool = False) -> float:
+        """TEPS of this run (wall-clock by default, modeled on request)."""
+        t = self.modeled_time_s if modeled else self.wall_time_s
+        if t <= 0:
+            return 0.0
+        return self.traversed_edges / t
+
+    def direction_schedule(self) -> str:
+        """Compact schedule string, e.g. ``'TTBBBTT'`` (§VI-C analysis)."""
+        return "".join(
+            "T" if t.direction is Direction.TOP_DOWN else "B" for t in self.traces
+        )

@@ -1,0 +1,173 @@
+"""Direction-switching policies for hybrid BFS.
+
+The paper's rule (§III-C) switches on *frontier vertex counts* with two
+thresholds α and β:
+
+* top-down → bottom-up at level *i* when the frontier grew
+  (``n_frontier(i-1) < n_frontier(i)``) **and** ``n_frontier(i) > n_all/α``;
+* bottom-up → top-down when the frontier shrank **and**
+  ``n_frontier(i) < n_all/β``.
+
+Large α therefore switches to bottom-up *early* (threshold ``n_all/α`` is
+tiny) and large β switches back to top-down *late* — the paper's
+semi-external tuning pushes both towards "spend as many levels as possible
+in bottom-up" because only top-down touches the NVM-resident forward graph
+(α = 1e6, β = 1·α for the PCIeFlash scenario versus α = 1e4, β = 10·α for
+DRAM-only).
+
+:class:`BeamerPolicy` implements the classic *edge-count* heuristic of
+Beamer et al. (SC'12) for comparison, and :class:`FixedPolicy` pins one
+direction (the paper's "top-down only" / "bottom-up only" baselines).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.bfs.metrics import Direction
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "PolicyInputs",
+    "DirectionPolicy",
+    "AlphaBetaPolicy",
+    "BeamerPolicy",
+    "FixedPolicy",
+]
+
+
+@dataclass(frozen=True)
+class PolicyInputs:
+    """Everything a policy may inspect when choosing the next direction.
+
+    Attributes
+    ----------
+    level:
+        Index of the level about to run (0 = root expansion).
+    current:
+        Direction used by the previous level.
+    n_frontier:
+        Frontier size entering the level, ``n_frontier(i)``.
+    n_frontier_prev:
+        Frontier size of the previous level, ``n_frontier(i-1)``.
+    n_all:
+        Total vertices in the graph.
+    frontier_edges:
+        Out-edges of the frontier (Beamer's ``m_f``; optional, 0 if the
+        engine does not track degree sums).
+    unvisited_edges:
+        Out-edges of unvisited vertices (Beamer's ``m_u``).
+    """
+
+    level: int
+    current: Direction
+    n_frontier: int
+    n_frontier_prev: int
+    n_all: int
+    frontier_edges: int = 0
+    unvisited_edges: int = 0
+
+
+class DirectionPolicy(ABC):
+    """Chooses the direction of each BFS level."""
+
+    @abstractmethod
+    def decide(self, inputs: PolicyInputs) -> Direction:
+        """Return the direction for the level described by ``inputs``."""
+
+    def reset(self) -> None:
+        """Hook for stateful policies; called once per BFS run."""
+
+
+@dataclass
+class AlphaBetaPolicy(DirectionPolicy):
+    """The paper's frontier-count rule (§III-C).
+
+    Parameters
+    ----------
+    alpha:
+        Top-down → bottom-up threshold divisor; switch when the frontier
+        grows beyond ``n_all / alpha``.  The paper sweeps 1e4 … 1e6.
+    beta:
+        Bottom-up → top-down threshold divisor; switch back when the
+        frontier shrinks below ``n_all / beta``.  The paper expresses β as
+        a multiple of α (10·α … 0.1·α).
+
+    >>> p = AlphaBetaPolicy(alpha=1e4, beta=1e5)
+    >>> p.decide(PolicyInputs(2, Direction.TOP_DOWN, 200, 50, 1 << 20))
+    <Direction.BOTTOM_UP: 'bottom-up'>
+    """
+
+    alpha: float
+    beta: float
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0 or self.beta <= 0:
+            raise ConfigurationError(
+                f"alpha/beta must be positive, got alpha={self.alpha} beta={self.beta}"
+            )
+
+    def decide(self, inputs: PolicyInputs) -> Direction:
+        """Apply the paper's two threshold rules (§III-C)."""
+        if inputs.level == 0:
+            return Direction.TOP_DOWN  # the paper always starts top-down
+        growing = inputs.n_frontier_prev < inputs.n_frontier
+        shrinking = inputs.n_frontier_prev > inputs.n_frontier
+        if (
+            inputs.current is Direction.TOP_DOWN
+            and growing
+            and inputs.n_frontier > inputs.n_all / self.alpha
+        ):
+            return Direction.BOTTOM_UP
+        if (
+            inputs.current is Direction.BOTTOM_UP
+            and shrinking
+            and inputs.n_frontier < inputs.n_all / self.beta
+        ):
+            return Direction.TOP_DOWN
+        return inputs.current
+
+
+@dataclass
+class BeamerPolicy(DirectionPolicy):
+    """Beamer et al.'s edge-count heuristic (SC'12), for the ablation bench.
+
+    Switches top-down → bottom-up when ``m_f > m_u / alpha`` and back when
+    ``n_frontier < n_all / beta``, with the published defaults α=14, β=24.
+    """
+
+    alpha: float = 14.0
+    beta: float = 24.0
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0 or self.beta <= 0:
+            raise ConfigurationError(
+                f"alpha/beta must be positive, got alpha={self.alpha} beta={self.beta}"
+            )
+
+    def decide(self, inputs: PolicyInputs) -> Direction:
+        """Apply Beamer's m_f/m_u and n_f/beta heuristics."""
+        if inputs.level == 0:
+            return Direction.TOP_DOWN
+        if inputs.current is Direction.TOP_DOWN:
+            if (
+                inputs.unvisited_edges > 0
+                and inputs.frontier_edges > inputs.unvisited_edges / self.alpha
+            ):
+                return Direction.BOTTOM_UP
+            return Direction.TOP_DOWN
+        if inputs.n_frontier < inputs.n_all / self.beta:
+            return Direction.TOP_DOWN
+        return Direction.BOTTOM_UP
+
+
+@dataclass
+class FixedPolicy(DirectionPolicy):
+    """Always run one direction (the paper's single-direction baselines)."""
+
+    direction: Direction
+
+    def decide(self, inputs: PolicyInputs) -> Direction:
+        """Ignore the inputs; always the configured direction."""
+        return self.direction

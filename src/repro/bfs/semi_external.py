@@ -1,0 +1,165 @@
+"""Hybrid BFS with the forward graph on semi-external memory (paper §V).
+
+:class:`SemiExternalBFS` is the paper's proposed configuration: the
+forward graph's index/value files live on the NVM device and every
+top-down level reads them through ≤4 KB chunked requests, while the
+backward graph and all BFS status data stay in DRAM.  Optionally the
+backward graph is *partially* offloaded too (§VI-E), via the scanners in
+:mod:`repro.semiext.cache`.
+
+Cost accounting (each scanned edge is paid exactly once):
+
+* edges whose adjacency came from DRAM — charged by the engine through
+  the DRAM cost model (:meth:`_charge_level`, DRAM-resident probes only);
+* edges fetched from the device — their CPU share enters the queueing
+  model as per-request *think time* (which is also what reproduces the
+  paper's Figure 12 queue-length contrast: the faster device drains its
+  queue between a worker's reads, ``Q = N − X·Z``), and their service
+  time is the device model's;
+* edges served by the modeled page cache — charged at DRAM cost inside
+  the storage layer (``cache_hit_time_per_byte``), which is what makes
+  the warm small-SCALE runs of Figure 9 competitive with DRAM-only.
+"""
+
+from __future__ import annotations
+
+from repro.bfs.bottomup import BottomUpScanner
+from repro.bfs.hybrid import HybridBFS
+from repro.bfs.policies import DirectionPolicy
+from repro.csr.io import ExternalCSR, offload_csr
+from repro.csr.partition import BackwardGraph, ForwardGraph
+from repro.errors import ConfigurationError
+from repro.perfmodel.cost import DramCostModel
+from repro.semiext.storage import NVMStore
+
+__all__ = ["SemiExternalBFS"]
+
+
+class SemiExternalBFS(HybridBFS):
+    """Hybrid BFS reading the forward graph from simulated NVM.
+
+    Build instances with :meth:`offload`, which writes the forward shards
+    into the store (two files per NUMA node: the paper's array/value
+    files) and wires clock, iostat and cost accounting together.
+    """
+
+    def __init__(
+        self,
+        forward: ForwardGraph,
+        backward: BackwardGraph,
+        policy: DirectionPolicy,
+        store: NVMStore,
+        external_shards: list[ExternalCSR],
+        cost_model: DramCostModel | None = None,
+        backward_scanners: list[BottomUpScanner] | None = None,
+    ) -> None:
+        if len(external_shards) != forward.topology.n_nodes:
+            raise ConfigurationError(
+                f"need one external shard per NUMA node "
+                f"({forward.topology.n_nodes}), got {len(external_shards)}"
+            )
+        self.store = store
+        self._external_shards = external_shards
+        self._backward_scanners = backward_scanners
+        # The engine and the storage layer must share one clock so DRAM and
+        # NVM charges accumulate on the same axis.
+        super().__init__(
+            forward=forward,
+            backward=backward,
+            policy=policy,
+            cost_model=cost_model,
+            clock=store.clock,
+        )
+        if cost_model is not None:
+            # Page-cache hits are DRAM reads: charge them at the cost
+            # model's per-byte probe rate inside the storage layer.
+            per_edge_s = cost_model.level_time_s(1, 0, 0)
+            store.cache_hit_time_per_byte = per_edge_s / 8.0
+
+    @classmethod
+    def offload(
+        cls,
+        forward: ForwardGraph,
+        backward: BackwardGraph,
+        policy: DirectionPolicy,
+        store: NVMStore,
+        cost_model: DramCostModel | None = None,
+        backward_scanners: list[BottomUpScanner] | None = None,
+        prefix: str = "forward",
+    ) -> "SemiExternalBFS":
+        """Offload the forward shards to ``store`` and build the engine.
+
+        This is pipeline Step 2's second half ("offload the constructed
+        forward graph to NVM"); the in-DRAM forward shards can be dropped
+        by the caller afterwards.
+        """
+        external = [
+            offload_csr(shard, store, f"{prefix}.node{k}")
+            for k, shard in enumerate(forward.shards)
+        ]
+        return cls(
+            forward=forward,
+            backward=backward,
+            policy=policy,
+            store=store,
+            external_shards=external,
+            cost_model=cost_model,
+            backward_scanners=backward_scanners,
+        )
+
+    # -- engine hooks -------------------------------------------------------------
+
+    def _top_down_shards(self) -> list:
+        return list(self._external_shards)
+
+    def _make_scanners(self) -> list[BottomUpScanner]:
+        # Called from the base constructor, before our fields exist; the
+        # optional partial-offload scanners are swapped in lazily below.
+        return super()._make_scanners()
+
+    @property
+    def scanners(self) -> list[BottomUpScanner]:
+        """Active bottom-up scanners (partial offload when configured)."""
+        if self._backward_scanners is not None:
+            return self._backward_scanners
+        return self._scanners
+
+    def run(self, root: int, max_levels: int | None = None):
+        """Run one BFS (see :meth:`HybridBFS.run`), with the configured
+        partial-offload scanners installed when present."""
+        if self._backward_scanners is not None:
+            self._scanners = self._backward_scanners
+        return super().run(root, max_levels=max_levels)
+
+    def _think_time_s(self) -> float:
+        # CPU a reader thread spends digesting one 4 KB request's edges
+        # before issuing the next read; enters the closed queueing model.
+        if self.cost_model is None:
+            return 0.0
+        edges_per_request = self.store.chunk_bytes / 8.0
+        return self.cost_model.per_request_think_time_s(edges_per_request)
+
+    def _io_counters(self) -> tuple[int, int, float]:
+        st = self.store.iostats
+        return st.n_requests, st.total_bytes, st.busy_time_s
+
+    def _charge_level(
+        self,
+        direction,
+        scanned_dram: int,
+        scanned_nvm: int,
+        frontier_size: int,
+        next_size: int,
+    ) -> None:
+        # NVM-fetched edges were already paid for (device service + think
+        # time; cache hits via cache_hit_time_per_byte): charge only the
+        # DRAM-resident probes and the queue bookkeeping.
+        if self.cost_model is None:
+            return
+        self.clock.advance(
+            self.cost_model.level_time_s(
+                edges_scanned=scanned_dram,
+                frontier_size=frontier_size,
+                next_size=next_size,
+            )
+        )

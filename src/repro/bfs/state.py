@@ -1,0 +1,138 @@
+"""BFS status data (the paper's third data structure class, §IV-A).
+
+NETAL's *BFS Status Data* comprises "queues, bitmaps for BFS status
+memories, and trees for search results".  :class:`BFSState` bundles exactly
+those: the parent tree, the visited bitmap, the frontier in both queue
+(vertex array) and bitmap representations, and the per-NUMA-node unvisited
+candidate lists the bottom-up direction prunes level by level.
+
+The double frontier representation mirrors the hybrid algorithm's needs:
+the top-down step consumes a *queue* (it iterates frontier vertices), the
+bottom-up step consumes a *bitmap* (it tests membership per scanned edge).
+Conversions happen only when the direction actually switches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.numa.topology import NumaTopology
+from repro.util.bitmap import Bitmap
+
+__all__ = ["BFSState", "UNVISITED"]
+
+UNVISITED = np.int64(-1)
+"""Parent-array marker for unreached vertices (Graph500 convention)."""
+
+
+class BFSState:
+    """Mutable per-run search state.
+
+    Parameters
+    ----------
+    n_vertices:
+        Vertex universe size.
+    topology:
+        NUMA topology; candidate lists are partitioned along its ranges.
+    root:
+        Search key; immediately marked visited with ``parent[root] = root``.
+    """
+
+    def __init__(self, n_vertices: int, topology: NumaTopology, root: int) -> None:
+        if not 0 <= root < n_vertices:
+            raise ConfigurationError(
+                f"root {root} outside [0, {n_vertices})"
+            )
+        self.n_vertices = int(n_vertices)
+        self.topology = topology
+        self.root = int(root)
+
+        self.parent = np.full(n_vertices, UNVISITED, dtype=np.int64)
+        self.visited = Bitmap(n_vertices)
+        self.frontier_queue = np.array([root], dtype=np.int64)
+        self.frontier_bitmap: Bitmap | None = None
+
+        self.parent[root] = root
+        self.visited.set(root)
+
+        # Per-node unvisited candidates, pruned as vertices are discovered.
+        # NETAL partitions "unvisited vertices to search" per NUMA node; a
+        # shrinking explicit list keeps the bottom-up scan O(remaining).
+        self._candidates: list[np.ndarray] = []
+        for part in topology.partitions(n_vertices):
+            local = np.arange(part.lo, part.hi, dtype=np.int64)
+            self._candidates.append(local[local != root])
+
+    # -- frontier management ----------------------------------------------------
+
+    @property
+    def frontier_size(self) -> int:
+        """Vertices in the current frontier."""
+        return int(self.frontier_queue.size)
+
+    def promote_next(self, next_queue: np.ndarray) -> None:
+        """Install the discovered vertex set as the next level's frontier."""
+        self.frontier_queue = np.asarray(next_queue, dtype=np.int64)
+        self.frontier_bitmap = None  # invalidated; rebuilt on demand
+
+    def frontier_as_bitmap(self) -> Bitmap:
+        """The frontier as a bitmap (built lazily, cached per level)."""
+        if self.frontier_bitmap is None:
+            self.frontier_bitmap = Bitmap.from_indices(
+                self.n_vertices, self.frontier_queue
+            )
+        return self.frontier_bitmap
+
+    # -- discovery ---------------------------------------------------------------
+
+    def discover(self, vertices: np.ndarray, parents: np.ndarray) -> None:
+        """Mark ``vertices`` visited with the given parents.
+
+        Callers guarantee ``vertices`` are currently unvisited and
+        duplicate-free (the step kernels enforce first-parent-wins before
+        calling in, the vectorized equivalent of NETAL's atomic CAS).
+        """
+        v = np.asarray(vertices, dtype=np.int64)
+        if v.size == 0:
+            return
+        self.parent[v] = parents
+        self.visited.set_many(v)
+
+    def unvisited_candidates(self, node: int) -> np.ndarray:
+        """Current unvisited vertices of one NUMA node (pruned, cached).
+
+        Pruning is incremental: each call drops the vertices discovered
+        since the last call, so a full BFS scans each vertex's candidacy
+        O(levels it remained unvisited) times — the same asymptotics as
+        NETAL's per-node candidate queues.
+        """
+        cand = self._candidates[node]
+        if cand.size:
+            still = ~self.visited.test_many(cand)
+            if not still.all():
+                cand = cand[still]
+                self._candidates[node] = cand
+        return cand
+
+    # -- accounting ----------------------------------------------------------------
+
+    @property
+    def n_visited(self) -> int:
+        """Vertices discovered so far (root included)."""
+        return self.visited.count()
+
+    def status_nbytes(self) -> int:
+        """Bytes of live status data (tree + bitmaps + queues + candidates)."""
+        total = int(self.parent.nbytes) + self.visited.nbytes()
+        total += int(self.frontier_queue.nbytes)
+        if self.frontier_bitmap is not None:
+            total += self.frontier_bitmap.nbytes()
+        total += sum(int(c.nbytes) for c in self._candidates)
+        return total
+
+    def __repr__(self) -> str:
+        return (
+            f"BFSState(n={self.n_vertices}, root={self.root}, "
+            f"visited={self.n_visited}, frontier={self.frontier_size})"
+        )

@@ -1,0 +1,347 @@
+"""Command-line interface.
+
+``repro-bfs`` (or ``python -m repro``) exposes the pipeline and the main
+analyses::
+
+    repro-bfs run --scenario pcie --scale 16 --roots 8
+    repro-bfs sweep --scale 14
+    repro-bfs sizes --scales 20 31
+    repro-bfs green --teps 4.22e9
+    repro-bfs compare --scale 14
+
+Every command prints the same rows/series the paper's corresponding table
+or figure reports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+
+from repro._version import __version__
+
+__all__ = ["main", "build_parser"]
+
+_SCENARIOS = {"dram": "DRAM_ONLY", "pcie": "DRAM_PCIE_FLASH", "ssd": "DRAM_SSD"}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests and docs)."""
+    p = argparse.ArgumentParser(
+        prog="repro-bfs",
+        description="Hybrid BFS with semi-external memory (IPDPS-W 2014 reproduction)",
+    )
+    p.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = p.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run the Graph500 pipeline for one scenario")
+    run.add_argument("--scenario", choices=sorted(_SCENARIOS), default="dram")
+    run.add_argument("--scale", type=int, default=14)
+    run.add_argument("--edge-factor", type=int, default=16)
+    run.add_argument("--roots", type=int, default=8)
+    run.add_argument("--seed", type=int, default=None)
+    run.add_argument("--no-validate", action="store_true")
+
+    sweep = sub.add_parser("sweep", help="alpha x beta sweep (Figure 7 data)")
+    sweep.add_argument("--scenario", choices=sorted(_SCENARIOS), default="dram")
+    sweep.add_argument("--scale", type=int, default=13)
+    sweep.add_argument("--roots", type=int, default=4)
+    sweep.add_argument("--seed", type=int, default=None)
+
+    sizes = sub.add_parser("sizes", help="graph size breakdown (Fig. 3 / Table II)")
+    sizes.add_argument("--scales", type=int, nargs=2, default=(20, 31),
+                       metavar=("LO", "HI"))
+
+    green = sub.add_parser("green", help="MTEPS/W of the Green Graph500 machine")
+    green.add_argument("--teps", type=float, default=4.22e9)
+
+    compare = sub.add_parser(
+        "compare", help="scenario comparison (Figure 8/9 data)"
+    )
+    compare.add_argument("--scale", type=int, default=13)
+    compare.add_argument("--roots", type=int, default=4)
+    compare.add_argument("--seed", type=int, default=None)
+
+    iostat = sub.add_parser(
+        "iostat", help="device I/O statistics during BFS (Figure 12/13 data)"
+    )
+    iostat.add_argument("--scenario", choices=("pcie", "ssd"), default="pcie")
+    iostat.add_argument("--scale", type=int, default=13)
+    iostat.add_argument("--roots", type=int, default=4)
+    iostat.add_argument("--seed", type=int, default=None)
+
+    locality = sub.add_parser(
+        "locality", help="NUMA locality audit of the partitioned layouts"
+    )
+    locality.add_argument("--scale", type=int, default=13)
+    locality.add_argument("--nodes", type=int, default=4)
+    locality.add_argument("--seed", type=int, default=None)
+
+    offload = sub.add_parser(
+        "offload", help="backward-graph offload sweep (Figure 14 data)"
+    )
+    offload.add_argument("--scale", type=int, default=12)
+    offload.add_argument("--ks", type=int, nargs="+",
+                         default=[2, 4, 8, 16, 32, 64])
+    offload.add_argument("--seed", type=int, default=None)
+
+    reproduce = sub.add_parser(
+        "reproduce",
+        help="run the full evaluation and write report.json / report.md",
+    )
+    reproduce.add_argument("--scale", type=int, default=14)
+    reproduce.add_argument("--roots", type=int, default=4)
+    reproduce.add_argument("--seed", type=int, default=20140519)
+    reproduce.add_argument("--out", type=str, default="reproduction")
+    return p
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.analysis.report import format_teps
+    from repro.core import PAPER_SCENARIOS, run_graph500
+
+    scenario = {s.name: s for s in PAPER_SCENARIOS}[
+        {"dram": "DRAM-only", "pcie": "DRAM+PCIeFlash", "ssd": "DRAM+SSD"}[
+            args.scenario
+        ]
+    ]
+    result = run_graph500(
+        scenario,
+        scale=args.scale,
+        edge_factor=args.edge_factor,
+        n_roots=args.roots,
+        seed=args.seed,
+        validate=not args.no_validate,
+    )
+    print(f"scenario:        {scenario.name}")
+    print(f"scale/ef:        {args.scale} / {args.edge_factor}")
+    print(f"valid:           {result.output.all_valid}")
+    print(f"median TEPS:     {format_teps(result.median_teps)} (modeled)")
+    print(result.output.stats_modeled.format())
+    if result.bfs_iostats is not None:
+        st = result.bfs_iostats
+        print(
+            f"nvm:             {st.n_requests} reqs, "
+            f"avgrq-sz={st.avgrq_sz:.1f} sectors, avgqu-sz={st.avgqu_sz():.1f}"
+        )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.analysis.perfcompare import build_engine
+    from repro.analysis.sweep import alpha_beta_sweep
+    from repro.core import PAPER_SCENARIOS
+    from repro.csr import BackwardGraph, ForwardGraph, build_csr
+    from repro.graph500 import EdgeList, generate_edges
+
+    scenario = {s.name: s for s in PAPER_SCENARIOS}[
+        {"dram": "DRAM-only", "pcie": "DRAM+PCIeFlash", "ssd": "DRAM+SSD"}[
+            args.scenario
+        ]
+    ]
+    n = 1 << args.scale
+    edges = EdgeList(generate_edges(args.scale, seed=args.seed), n)
+    csr = build_csr(edges)
+    fwd = ForwardGraph(csr, scenario.topology)
+    bwd = BackwardGraph(csr, scenario.topology)
+    with tempfile.TemporaryDirectory(prefix="repro-sweep-") as workdir:
+        result = alpha_beta_sweep(
+            lambda a, b: build_engine(scenario, fwd, bwd, a, b, workdir),
+            edges,
+            scenario.name,
+            n_roots=args.roots,
+            seed=args.seed,
+        )
+    print(result.format())
+    from repro.analysis.report import ascii_heatmap
+
+    print()
+    print(
+        ascii_heatmap(
+            result.teps,
+            [f"a={a:.3g}" for a in result.alphas],
+            [f"{f}*a" for f in result.beta_factors],
+            title="(TEPS intensity)",
+        )
+    )
+    a, b, t = result.best()
+    print(f"best: alpha={a:.3g} beta={b:.3g} -> {t / 1e9:.3f} GTEPS")
+    return 0
+
+
+def _cmd_sizes(args: argparse.Namespace) -> int:
+    from repro.perfmodel import GraphSizeModel
+
+    lo, hi = args.scales
+    model = GraphSizeModel()
+    for b in model.sweep(range(lo, hi + 1)):
+        print(b.format_row())
+    return 0
+
+
+def _cmd_green(args: argparse.Namespace) -> int:
+    from repro.perfmodel import MachinePowerModel
+
+    model = MachinePowerModel.green_graph500_submission()
+    print(f"machine power:   {model.total_watts:.0f} W")
+    print(f"TEPS:            {args.teps:.3g}")
+    print(f"MTEPS/W:         {model.mteps_per_watt(args.teps):.2f}")
+    print("paper (Green Graph500 Nov 2013, Big Data, rank 4): 4.35 MTEPS/W")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.analysis.perfcompare import compare_scenarios
+    from repro.analysis.report import ascii_table, format_teps
+    from repro.analysis.sweep import scaled_alpha_grid
+    from repro.core import PAPER_SCENARIOS
+    from repro.csr import BackwardGraph, ForwardGraph, build_csr
+    from repro.graph500 import EdgeList, generate_edges
+
+    n = 1 << args.scale
+    edges = EdgeList(generate_edges(args.scale, seed=args.seed), n)
+    csr = build_csr(edges)
+    topo = PAPER_SCENARIOS[0].topology
+    fwd = ForwardGraph(csr, topo)
+    bwd = BackwardGraph(csr, topo)
+    alphas = scaled_alpha_grid(n)
+    points = tuple((a, f * a) for a in alphas for f in (0.1, 1.0, 10.0))
+    with tempfile.TemporaryDirectory(prefix="repro-compare-") as workdir:
+        series = compare_scenarios(
+            edges, csr, fwd, bwd, PAPER_SCENARIOS, points, workdir,
+            n_roots=args.roots, seed=args.seed,
+        )
+    headers = ["series"] + [f"a={a:.2g},b={b:.2g}" for a, b in points]
+    rows = [
+        [s.name] + [format_teps(t) for t in s.teps]
+        for s in series
+    ]
+    print(ascii_table(headers, rows, title=f"Figure 8/9 data @ SCALE {args.scale}"))
+    return 0
+
+
+def _cmd_iostat(args: argparse.Namespace) -> int:
+    from repro.analysis.iotrace import summarize_iostats
+    from repro.bfs import AlphaBetaPolicy, SemiExternalBFS
+    from repro.csr import BackwardGraph, ForwardGraph, build_csr
+    from repro.graph500 import EdgeList, Graph500Driver, generate_edges
+    from repro.numa import NumaTopology
+    from repro.perfmodel import DramCostModel
+    from repro.semiext import NVMStore, PCIE_FLASH, SATA_SSD
+
+    n = 1 << args.scale
+    edges = EdgeList(generate_edges(args.scale, seed=args.seed), n)
+    csr = build_csr(edges)
+    topo = NumaTopology(4, 12)
+    device = PCIE_FLASH if args.scenario == "pcie" else SATA_SSD
+    with tempfile.TemporaryDirectory(prefix="repro-iostat-") as workdir:
+        store = NVMStore(workdir, device, concurrency=topo.n_cores)
+        engine = SemiExternalBFS.offload(
+            ForwardGraph(csr, topo),
+            BackwardGraph(csr, topo),
+            AlphaBetaPolicy(alpha=30.0 * n / (1 << 15) or 30.0,
+                            beta=30.0 * n / (1 << 15) or 30.0),
+            store,
+            cost_model=DramCostModel(),
+        )
+        Graph500Driver(edges, n_roots=args.roots, seed=args.seed,
+                       validate=False).run(engine)
+        summary = summarize_iostats(store.iostats)
+    print(summary.format())
+    print("paper (Fig. 12/13): avgqu-sz 36.1 PCIe / 56.1 SSD; "
+          "avgrq-sz 22.6 / 22.7 sectors")
+    return 0
+
+
+def _cmd_locality(args: argparse.Namespace) -> int:
+    from repro.analysis import audit_locality
+    from repro.csr import BackwardGraph, ForwardGraph, build_csr
+    from repro.graph500 import EdgeList, generate_edges
+    from repro.numa import NumaTopology
+
+    n = 1 << args.scale
+    edges = EdgeList(generate_edges(args.scale, seed=args.seed), n)
+    csr = build_csr(edges)
+    topo = NumaTopology(n_nodes=args.nodes)
+    audit = audit_locality(
+        csr, ForwardGraph(csr, topo), BackwardGraph(csr, topo), topo
+    )
+    print(f"edges audited:        {audit.n_edges_audited:,}")
+    print(f"NETAL layout remote:  {audit.netal_remote_fraction:.1%}")
+    print(f"naive layout remote:  {audit.naive_remote_fraction:.1%}")
+    print(f"traffic kept local:   {audit.traffic_saved:.1%}")
+    return 0
+
+
+def _cmd_offload(args: argparse.Namespace) -> int:
+    from repro.analysis import backward_offload_sweep
+    from repro.analysis.report import ascii_table
+    from repro.csr import BackwardGraph, ForwardGraph, build_csr
+    from repro.graph500 import EdgeList, generate_edges, sample_roots
+    from repro.numa import NumaTopology
+    from repro.semiext import PCIE_FLASH
+
+    n = 1 << args.scale
+    edges = EdgeList(generate_edges(args.scale, seed=args.seed), n)
+    csr = build_csr(edges)
+    topo = NumaTopology(4, 12)
+    roots = sample_roots(csr.degrees(), n_roots=3, seed=args.seed)
+    with tempfile.TemporaryDirectory(prefix="repro-offload-") as workdir:
+        points = backward_offload_sweep(
+            ForwardGraph(csr, topo),
+            BackwardGraph(csr, topo),
+            PCIE_FLASH,
+            workdir,
+            roots,
+            ks=tuple(args.ks),
+            alpha=n / 128,
+            beta=n / 128,
+        )
+    rows = [
+        [p.strategy, p.k, f"{p.dram_reduction:.1%}",
+         f"{p.nvm_access_ratio:.1%}"]
+        for p in points
+    ]
+    print(ascii_table(
+        ["strategy", "k", "DRAM reduction", "NVM access ratio"], rows,
+        title="Figure 14 sweep",
+    ))
+    return 0
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    from repro.core.experiment import EvaluationRunner
+
+    runner = EvaluationRunner(
+        scale=args.scale, seed=args.seed, n_roots=args.roots
+    )
+    try:
+        runner.run_all(progress=lambda key: print(f"running {key} ..."))
+        json_path, md_path = runner.write(args.out)
+    finally:
+        runner.close()
+    print(f"wrote {json_path}")
+    print(f"wrote {md_path}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handler = {
+        "run": _cmd_run,
+        "sweep": _cmd_sweep,
+        "sizes": _cmd_sizes,
+        "green": _cmd_green,
+        "compare": _cmd_compare,
+        "iostat": _cmd_iostat,
+        "locality": _cmd_locality,
+        "offload": _cmd_offload,
+        "reproduce": _cmd_reproduce,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""End-to-end reproduction pipeline.
+
+Ties every substrate together into the paper's four-step flow (§V-A):
+edge-list generation (offloaded to NVM), graph construction (forward graph
+offloaded, backward graph in DRAM), 64 × (BFS + validation).  Scenario
+presets mirror Table I; the offload planner proves placements against the
+DRAM/NVM budgets before any data moves.
+"""
+
+from repro.core.config import ScenarioConfig, ScenarioKind
+from repro.core.experiment import EvaluationRunner
+from repro.core.offload import OffloadPlan, OffloadPlanner
+from repro.core.pipeline import PipelineResult, run_graph500
+from repro.core.scenarios import (
+    DRAM_ONLY,
+    DRAM_PCIE_FLASH,
+    DRAM_SSD,
+    PAPER_SCENARIOS,
+)
+
+__all__ = [
+    "ScenarioConfig",
+    "EvaluationRunner",
+    "ScenarioKind",
+    "OffloadPlan",
+    "OffloadPlanner",
+    "PipelineResult",
+    "run_graph500",
+    "DRAM_ONLY",
+    "DRAM_PCIE_FLASH",
+    "DRAM_SSD",
+    "PAPER_SCENARIOS",
+]

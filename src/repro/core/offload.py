@@ -1,0 +1,146 @@
+"""Offload planning: prove a placement before moving data.
+
+The paper's placement is fixed by design (§V-A): edge list and forward
+graph on NVM, backward graph and BFS status data in DRAM.  The planner's
+job is to *verify* that this placement fits the scenario's budgets — and,
+for DRAM-only scenarios, that everything fits DRAM — returning an
+:class:`OffloadPlan` the pipeline executes, or raising
+:class:`~repro.errors.CapacityError` with the exact shortfall.
+
+The planner also answers the paper's capacity headline ("reducing DRAM
+size by half"): :meth:`OffloadPlanner.min_dram_bytes` reports the smallest
+DRAM that still runs each scenario kind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import ScenarioConfig
+from repro.errors import CapacityError
+from repro.semiext.hierarchy import MemoryHierarchy, Tier
+from repro.semiext.storage import NVMStore
+
+__all__ = ["StructureSizes", "OffloadPlan", "OffloadPlanner"]
+
+
+@dataclass(frozen=True)
+class StructureSizes:
+    """Byte counts of the four structures to place."""
+
+    edge_list: int
+    forward: int
+    backward: int
+    status: int
+
+    @property
+    def working_set(self) -> int:
+        """Forward + backward + status (what BFS touches)."""
+        return self.forward + self.backward + self.status
+
+    @property
+    def total(self) -> int:
+        """Everything including the edge list."""
+        return self.working_set + self.edge_list
+
+
+@dataclass(frozen=True)
+class OffloadPlan:
+    """A verified placement: structure name → tier."""
+
+    placements: dict[str, Tier]
+    dram_budget: int
+    dram_used: int
+    nvm_used: int
+
+    @property
+    def dram_saved_fraction(self) -> float:
+        """Share of the total footprint kept *off* DRAM."""
+        total = self.dram_used + self.nvm_used
+        if total == 0:
+            return 0.0
+        return self.nvm_used / total
+
+    def tier_of(self, structure: str) -> Tier:
+        """Placement of one structure."""
+        return self.placements[structure]
+
+
+class OffloadPlanner:
+    """Derives and verifies the placement for one scenario."""
+
+    def __init__(self, scenario: ScenarioConfig) -> None:
+        self.scenario = scenario
+
+    def placement_policy(self) -> dict[str, Tier]:
+        """The paper's static placement for this scenario kind."""
+        if self.scenario.is_semi_external:
+            return {
+                "edge_list": Tier.NVM,
+                "forward": Tier.NVM,
+                "backward": Tier.DRAM,
+                "status": Tier.DRAM,
+            }
+        return {
+            "edge_list": Tier.DRAM,
+            "forward": Tier.DRAM,
+            "backward": Tier.DRAM,
+            "status": Tier.DRAM,
+        }
+
+    def plan(
+        self, sizes: StructureSizes, store: NVMStore | None = None
+    ) -> OffloadPlan:
+        """Verify the placement against the scenario's budgets.
+
+        Raises
+        ------
+        CapacityError
+            When a structure does not fit its tier — e.g. running the
+            semi-external placement without a device, or a DRAM-only
+            scenario whose DRAM is smaller than the working set (the
+            situation that motivates the paper).
+        """
+        policy = self.placement_policy()
+        by_name = {
+            "edge_list": sizes.edge_list,
+            "forward": sizes.forward,
+            "backward": sizes.backward,
+            "status": sizes.status,
+        }
+        # Relative budgets scale against what the policy wants resident
+        # (the paper's 128 GB / 88.3 GB and 64 GB / 48.2 GB ratios); an
+        # absolute dram_capacity_bytes is taken as-is.
+        dram_demand = sum(
+            nbytes for name, nbytes in by_name.items()
+            if policy[name] is Tier.DRAM
+        )
+        budget = self.scenario.dram_budget(dram_demand)
+        hierarchy = MemoryHierarchy(dram_capacity=budget, nvm_store=store)
+        for name, tier in policy.items():
+            if tier is Tier.NVM and store is None:
+                raise CapacityError(
+                    f"scenario {self.scenario.name!r} offloads {name!r} "
+                    f"but no NVM store was provided"
+                )
+            hierarchy.reserve(name, by_name[name], tier)
+        return OffloadPlan(
+            placements=policy,
+            dram_budget=budget,
+            dram_used=hierarchy.used(Tier.DRAM),
+            nvm_used=hierarchy.used(Tier.NVM),
+        )
+
+    def min_dram_bytes(self, sizes: StructureSizes) -> int:
+        """Smallest DRAM that runs this scenario's placement."""
+        policy = self.placement_policy()
+        by_name = {
+            "edge_list": sizes.edge_list,
+            "forward": sizes.forward,
+            "backward": sizes.backward,
+            "status": sizes.status,
+        }
+        return sum(
+            nbytes for name, nbytes in by_name.items()
+            if policy[name] is Tier.DRAM
+        )

@@ -1,0 +1,31 @@
+"""CSR graph substrate (the paper's *index array* / *value array* format).
+
+NETAL holds two CSR graphs (§IV-A): the *forward graph* consumed by the
+top-down direction and the *backward graph* consumed by the bottom-up
+direction, both partitioned across NUMA nodes (§V-B2).  This package
+provides:
+
+* :class:`CSRGraph` — the plain single-address-space CSR structure;
+* :func:`build_csr` — vectorized construction from a Graph500 edge list
+  (symmetrization, self-loop removal, deduplication, sorted rows);
+* :class:`ForwardGraph` / :class:`BackwardGraph` — the NUMA-partitioned
+  pair with frontier duplication exactly as Figure 6 of the paper;
+* :class:`ExternalCSR` — a CSR whose index/value arrays live on simulated
+  NVM as the paper's *array file* and *value file* (§V-B1).
+"""
+
+from repro.csr.builder import build_csr
+from repro.csr.graph import CSRGraph
+from repro.csr.io import ExternalCSR, offload_csr
+from repro.csr.partition import BackwardGraph, ForwardGraph
+from repro.csr.streaming import build_csr_streaming
+
+__all__ = [
+    "CSRGraph",
+    "build_csr",
+    "build_csr_streaming",
+    "ForwardGraph",
+    "BackwardGraph",
+    "ExternalCSR",
+    "offload_csr",
+]

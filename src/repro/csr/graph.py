@@ -1,0 +1,134 @@
+"""Compressed Sparse Row graph structure.
+
+The format follows the paper's Figure 5: an *index* array of ``n + 1``
+offsets (one per source vertex plus a terminator) and a *value* array
+holding destination vertex IDs; row ``v`` occupies
+``value[index[v] : index[v+1]]``.  For the undirected Graph500 inputs the
+value array holds each edge twice (both directions), so
+``len(value) == 2 * m_unique`` (§V-B1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+
+__all__ = ["CSRGraph"]
+
+
+@dataclass(frozen=True)
+class CSRGraph:
+    """An immutable CSR adjacency structure.
+
+    Attributes
+    ----------
+    indptr:
+        ``int64[n_rows + 1]`` non-decreasing offsets (the *index array*).
+    adj:
+        ``int64[indptr[-1]]`` destination IDs (the *value array*), sorted
+        within each row by :func:`repro.csr.builder.build_csr`.
+    n_cols:
+        Size of the destination vertex universe (for partitioned shards
+        this can differ from ``n_rows``).
+    """
+
+    indptr: np.ndarray
+    adj: np.ndarray
+    n_cols: int
+
+    def __post_init__(self) -> None:
+        ip, ad = self.indptr, self.adj
+        if ip.ndim != 1 or ip.size < 1:
+            raise GraphFormatError(f"indptr must be 1-D non-empty, got {ip.shape}")
+        if ip.dtype != np.int64 or ad.dtype != np.int64:
+            raise GraphFormatError(
+                f"CSR arrays must be int64, got indptr={ip.dtype} adj={ad.dtype}"
+            )
+        if ip[0] != 0 or ip[-1] != ad.size:
+            raise GraphFormatError(
+                f"indptr must run from 0 to len(adj)={ad.size}, "
+                f"got [{ip[0]}, {ip[-1]}]"
+            )
+        if np.any(np.diff(ip) < 0):
+            raise GraphFormatError("indptr must be non-decreasing")
+        if self.n_cols <= 0:
+            raise GraphFormatError(f"n_cols must be positive: {self.n_cols}")
+        if ad.size and (ad.min() < 0 or int(ad.max()) >= self.n_cols):
+            raise GraphFormatError(
+                f"adjacency value outside [0, {self.n_cols}): "
+                f"min={ad.min()}, max={ad.max()}"
+            )
+
+    # -- shape -----------------------------------------------------------------
+
+    @property
+    def n_rows(self) -> int:
+        """Number of source vertices (rows)."""
+        return int(self.indptr.size - 1)
+
+    @property
+    def n_vertices(self) -> int:
+        """Alias of :attr:`n_rows` for square (unpartitioned) graphs."""
+        return self.n_rows
+
+    @property
+    def n_directed_edges(self) -> int:
+        """Entries in the value array (2× undirected edge count)."""
+        return int(self.adj.size)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of the two arrays (the quantity Figure 3 plots)."""
+        return int(self.indptr.nbytes + self.adj.nbytes)
+
+    # -- access -----------------------------------------------------------------
+
+    def degrees(self) -> np.ndarray:
+        """Out-degree per row (a view-free diff of the index array)."""
+        return np.diff(self.indptr)
+
+    def degree(self, v: int) -> int:
+        """Out-degree of one row."""
+        return int(self.indptr[v + 1] - self.indptr[v])
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Read-only view of row ``v``'s destinations."""
+        return self.adj[self.indptr[v] : self.indptr[v + 1]]
+
+    def row_extents(self, rows: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """``(starts, counts)`` of the given rows in the value array.
+
+        This is the unit the semi-external reader works in: one extent per
+        frontier vertex, later split into ≤4 KB device requests.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        starts = self.indptr[rows]
+        counts = self.indptr[rows + 1] - starts
+        return starts, counts
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Membership test via binary search (rows are sorted)."""
+        row = self.neighbors(u)
+        i = int(np.searchsorted(row, v))
+        return i < row.size and int(row[i]) == v
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CSRGraph):
+            return NotImplemented
+        return (
+            self.n_cols == other.n_cols
+            and bool(np.array_equal(self.indptr, other.indptr))
+            and bool(np.array_equal(self.adj, other.adj))
+        )
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"CSRGraph(n_rows={self.n_rows}, n_cols={self.n_cols}, "
+            f"nnz={self.n_directed_edges})"
+        )

@@ -1,0 +1,129 @@
+"""NUMA-partitioned forward and backward graphs (paper §IV-A, §V-B2, Fig. 6).
+
+Two complementary partitionings of the same undirected graph:
+
+* **ForwardGraph** (top-down): *column*-partitioned.  Each NUMA node ``k``
+  holds a CSR with **all** ``n`` source rows but only the destinations that
+  node ``k`` owns; the frontier is thus logically duplicated across nodes,
+  and node ``k``'s threads write only to node-local visited bits and tree
+  entries.  NETAL "delegates the search to other source vertices that
+  belong to the same NUMA node as the destination vertices".
+
+* **BackwardGraph** (bottom-up): *row*-partitioned.  Node ``k`` holds the
+  full adjacency of its own vertex range ``[lo, hi)``; the bottom-up scan
+  over unvisited vertices then reads only node-local rows, and candidate
+  frontier membership is tested against a shared bitmap.
+
+Both are pure reindexings: the union of the forward shards' edges equals
+the union of the backward shards' edges equals the input CSR — a property
+the test suite checks exhaustively and by hypothesis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.csr.graph import CSRGraph
+from repro.errors import GraphFormatError
+from repro.numa.topology import NumaTopology, VertexPartition
+
+__all__ = ["ForwardGraph", "BackwardGraph"]
+
+
+class ForwardGraph:
+    """Column-partitioned CSR pair list for the top-down direction.
+
+    ``shards[k]`` is a :class:`CSRGraph` with ``n`` rows whose value array
+    contains only destinations owned by NUMA node ``k``.  Rows stay sorted.
+    """
+
+    def __init__(self, csr: CSRGraph, topology: NumaTopology) -> None:
+        self.topology = topology
+        self.n_vertices = csr.n_rows
+        if csr.n_cols != csr.n_rows:
+            raise GraphFormatError("ForwardGraph requires a square CSR")
+        self.partitions: list[VertexPartition] = topology.partitions(self.n_vertices)
+        n = self.n_vertices
+        degrees = csr.degrees()
+        row_of_entry = np.repeat(np.arange(n, dtype=np.int64), degrees)
+        owners = topology.owner_of(csr.adj, n) if csr.adj.size else csr.adj
+        self.shards: list[CSRGraph] = []
+        for part in self.partitions:
+            mask = owners == part.node if csr.adj.size else np.empty(0, dtype=bool)
+            counts = np.bincount(row_of_entry[mask], minlength=n).astype(np.int64)
+            indptr = np.empty(n + 1, dtype=np.int64)
+            indptr[0] = 0
+            np.cumsum(counts, out=indptr[1:])
+            self.shards.append(
+                CSRGraph(indptr=indptr, adj=csr.adj[mask].copy(), n_cols=n)
+            )
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes across shards (the paper's *forward graph* size)."""
+        return sum(s.nbytes for s in self.shards)
+
+    @property
+    def n_directed_edges(self) -> int:
+        """Total value-array entries across shards (equals the input's)."""
+        return sum(s.n_directed_edges for s in self.shards)
+
+    def shard(self, node: int) -> CSRGraph:
+        """The CSR shard held by NUMA node ``node``."""
+        return self.shards[node]
+
+    def __repr__(self) -> str:
+        return (
+            f"ForwardGraph(n={self.n_vertices}, nodes={self.topology.n_nodes}, "
+            f"nnz={self.n_directed_edges})"
+        )
+
+
+class BackwardGraph:
+    """Row-partitioned CSR list for the bottom-up direction.
+
+    ``shards[k]`` holds the rows of node ``k``'s vertex range with *local*
+    row numbering (global vertex ``v`` is row ``v - partitions[k].lo``);
+    destination IDs remain global, since frontier membership is tested via
+    a global bitmap.
+    """
+
+    def __init__(self, csr: CSRGraph, topology: NumaTopology) -> None:
+        self.topology = topology
+        self.n_vertices = csr.n_rows
+        if csr.n_cols != csr.n_rows:
+            raise GraphFormatError("BackwardGraph requires a square CSR")
+        self.partitions: list[VertexPartition] = topology.partitions(self.n_vertices)
+        self.shards: list[CSRGraph] = []
+        for part in self.partitions:
+            lo, hi = part.lo, part.hi
+            base = csr.indptr[lo]
+            indptr = (csr.indptr[lo : hi + 1] - base).astype(np.int64)
+            adj = csr.adj[base : csr.indptr[hi]].copy()
+            self.shards.append(
+                CSRGraph(indptr=indptr, adj=adj, n_cols=self.n_vertices)
+            )
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes across shards (the paper's *backward graph* size)."""
+        return sum(s.nbytes for s in self.shards)
+
+    @property
+    def n_directed_edges(self) -> int:
+        """Total value-array entries across shards (equals the input's)."""
+        return sum(s.n_directed_edges for s in self.shards)
+
+    def shard(self, node: int) -> CSRGraph:
+        """The CSR shard held by NUMA node ``node``."""
+        return self.shards[node]
+
+    def global_degrees(self) -> np.ndarray:
+        """Degrees in global vertex order, reassembled from the shards."""
+        return np.concatenate([s.degrees() for s in self.shards])
+
+    def __repr__(self) -> str:
+        return (
+            f"BackwardGraph(n={self.n_vertices}, nodes={self.topology.n_nodes}, "
+            f"nnz={self.n_directed_edges})"
+        )

@@ -1,0 +1,55 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still being able to discriminate failure classes.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "CapacityError",
+    "ValidationError",
+    "StorageError",
+    "GraphFormatError",
+]
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid parameter or inconsistent configuration was supplied.
+
+    Raised eagerly at object-construction time (not lazily during a run) so
+    that misconfigured experiments fail before any expensive work starts.
+    """
+
+
+class CapacityError(ReproError):
+    """A memory placement does not fit the configured DRAM/NVM budget.
+
+    Raised by :class:`repro.semiext.hierarchy.MemoryHierarchy` when an
+    allocation would exceed the capacity of the tier it was pinned to, and by
+    :class:`repro.core.offload.OffloadPlanner` when no feasible placement
+    exists at all.
+    """
+
+
+class ValidationError(ReproError):
+    """A BFS result failed Graph500 validation.
+
+    Carries the human-readable reason of the *first* violated rule; the
+    validator also exposes a non-raising API returning all violations.
+    """
+
+
+class StorageError(ReproError):
+    """A semi-external storage operation failed (bad offset, closed file...)."""
+
+
+class GraphFormatError(ReproError):
+    """An edge list or CSR structure is malformed (e.g. non-monotone index)."""

@@ -1,0 +1,49 @@
+"""Graph500 benchmark substrate.
+
+Implements the four benchmark steps of the Graph500 specification the paper
+builds on (§II): Kronecker edge-list generation, graph construction (in
+:mod:`repro.csr`), BFS (in :mod:`repro.bfs`), and result validation — plus
+the 64-root driver loop and the official result statistics.
+"""
+
+from repro.graph500.driver import (
+    BenchmarkOutput,
+    BenchmarkRun,
+    Graph500Driver,
+    count_traversed_input_edges,
+)
+from repro.graph500.edgelist import EdgeList
+from repro.graph500.io import (
+    read_int64_pairs,
+    read_packed48,
+    write_int64_pairs,
+    write_packed48,
+)
+from repro.graph500.kronecker import (
+    KroneckerParams,
+    generate_edge_batches,
+    generate_edges,
+    sample_roots,
+)
+from repro.graph500.stats import Graph500Stats, teps_from_times
+from repro.graph500.validate import ValidationResult, validate_bfs_tree
+
+__all__ = [
+    "BenchmarkOutput",
+    "BenchmarkRun",
+    "Graph500Driver",
+    "count_traversed_input_edges",
+    "EdgeList",
+    "read_int64_pairs",
+    "read_packed48",
+    "write_int64_pairs",
+    "write_packed48",
+    "KroneckerParams",
+    "generate_edges",
+    "generate_edge_batches",
+    "sample_roots",
+    "Graph500Stats",
+    "teps_from_times",
+    "ValidationResult",
+    "validate_bfs_tree",
+]

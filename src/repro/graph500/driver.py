@@ -1,0 +1,151 @@
+"""The Graph500 benchmark driver loop (Steps 3–4 iterated 64 times).
+
+Runs any BFS engine (an object with ``run(root) -> BFSResult``) from the
+spec's 64 sampled search keys, validates each resulting tree against the
+input edge list, and aggregates the official statistics.  The TEPS
+numerator follows the specification: the number of *input edge tuples*
+with at least one endpoint in the traversed component (self-loops and
+duplicates count, exactly as ``validate.c`` tallies them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+from repro.bfs.metrics import BFSResult
+from repro.errors import ConfigurationError
+from repro.graph500.edgelist import EdgeList
+from repro.graph500.kronecker import sample_roots
+from repro.graph500.stats import Graph500Stats
+from repro.graph500.validate import ValidationResult, validate_bfs_tree
+
+__all__ = ["BFSEngine", "BenchmarkRun", "BenchmarkOutput", "Graph500Driver",
+           "count_traversed_input_edges"]
+
+
+class BFSEngine(Protocol):
+    """Anything the driver can benchmark."""
+
+    def run(self, root: int) -> BFSResult:
+        """Execute one BFS from ``root``."""
+        ...
+
+
+def count_traversed_input_edges(edges: EdgeList, parent: np.ndarray) -> int:
+    """Input edge tuples incident to the traversed component.
+
+    The reference validator counts an input tuple when either endpoint was
+    visited (both endpoints are visited in a valid tree unless the tuple
+    is entirely outside the component), so duplicates and self-loops
+    inflate the numerator exactly as on the official lists.
+    """
+    visited = np.asarray(parent) >= 0
+    u, v = edges.endpoints
+    return int(np.count_nonzero(visited[u] | visited[v]))
+
+
+@dataclass(frozen=True)
+class BenchmarkRun:
+    """One of the 64 iterations."""
+
+    root: int
+    result: BFSResult
+    validation: ValidationResult
+    input_edges_traversed: int
+
+    def teps(self, modeled: bool = True) -> float:
+        """Official-numerator TEPS for this run."""
+        t = self.result.modeled_time_s if modeled else self.result.wall_time_s
+        if t <= 0:
+            return 0.0
+        return self.input_edges_traversed / t
+
+
+@dataclass(frozen=True)
+class BenchmarkOutput:
+    """Everything a benchmark configuration produced."""
+
+    runs: tuple[BenchmarkRun, ...]
+    stats_modeled: Graph500Stats
+    stats_wall: Graph500Stats
+
+    @property
+    def median_teps_modeled(self) -> float:
+        """The paper's headline number for this configuration."""
+        return self.stats_modeled.median_teps
+
+    @property
+    def all_valid(self) -> bool:
+        """Did every iteration pass Step 4?"""
+        return all(r.validation.ok for r in self.runs)
+
+
+class Graph500Driver:
+    """Benchmark loop: sample roots, iterate BFS + validation, aggregate.
+
+    Parameters
+    ----------
+    edges:
+        The input edge list (kept for root sampling and validation; in the
+        offloaded pipeline this wraps the NVM-resident copy).
+    n_roots:
+        Iterations; the spec says 64 (tests use fewer).
+    seed:
+        Root-sampling seed.
+    validate:
+        Run Step 4 after every BFS (the spec does; expensive sweeps may
+        disable it after a first validated pass).
+    """
+
+    def __init__(
+        self,
+        edges: EdgeList,
+        n_roots: int = 64,
+        seed: int | None = None,
+        validate: bool = True,
+    ) -> None:
+        if n_roots < 1:
+            raise ConfigurationError(f"n_roots must be >= 1: {n_roots}")
+        self.edges = edges
+        self.n_roots = int(n_roots)
+        self.seed = seed
+        self.validate = validate
+        self.roots = sample_roots(edges.degrees(), n_roots=self.n_roots, seed=seed)
+
+    def run(self, engine: BFSEngine) -> BenchmarkOutput:
+        """Benchmark ``engine`` over the sampled roots."""
+        runs: list[BenchmarkRun] = []
+        for root in self.roots:
+            result = engine.run(int(root))
+            if self.validate:
+                validation = validate_bfs_tree(self.edges, result.parent, int(root))
+                validation.raise_if_invalid()
+            else:
+                validation = ValidationResult(ok=True)
+            runs.append(
+                BenchmarkRun(
+                    root=int(root),
+                    result=result,
+                    validation=validation,
+                    input_edges_traversed=count_traversed_input_edges(
+                        self.edges, result.parent
+                    ),
+                )
+            )
+        edges_arr = np.array([r.input_edges_traversed for r in runs], dtype=np.float64)
+        modeled = np.array([r.result.modeled_time_s for r in runs])
+        wall = np.array([r.result.wall_time_s for r in runs])
+        stats_wall = Graph500Stats.from_runs(edges_arr, wall)
+        if modeled.min() > 0:
+            stats_modeled = Graph500Stats.from_runs(edges_arr, modeled)
+        else:
+            # Engine ran without a cost model: only wall time exists.
+            stats_modeled = stats_wall
+        return BenchmarkOutput(
+            runs=tuple(runs),
+            stats_modeled=stats_modeled,
+            stats_wall=stats_wall,
+        )

@@ -1,0 +1,105 @@
+"""Edge-list file formats.
+
+Two on-disk encodings are supported:
+
+* **int64 pairs** — the Graph500 reference code's format: each edge as
+  two little-endian 8-byte integers (16 B/edge);
+* **packed 48-bit pairs** — NETAL's format, implied by the paper's sizes
+  (Figure 3's 384 GB edge list at SCALE 31 is exactly 12 B × 2³⁵ edges):
+  each endpoint packed into 6 bytes, supporting up to 2⁴⁸ vertices —
+  comfortably past SCALE 36.
+
+Both round-trip losslessly through :class:`~repro.graph500.edgelist.EdgeList`
+and can stream through an :class:`~repro.semiext.storage.NVMStore` (the
+packed file is what the pipeline's Step 1 writes at paper fidelity).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph500.edgelist import EdgeList
+
+__all__ = [
+    "PACKED_EDGE_BYTES",
+    "write_int64_pairs",
+    "read_int64_pairs",
+    "pack_edges_48",
+    "unpack_edges_48",
+    "write_packed48",
+    "read_packed48",
+]
+
+PACKED_EDGE_BYTES = 12
+"""Bytes per edge in NETAL's packed format (2 × 48-bit vertex IDs)."""
+
+_MAX_48 = (1 << 48) - 1
+
+
+def write_int64_pairs(edges: EdgeList, path: str | Path) -> int:
+    """Write the reference-code format; returns bytes written."""
+    pairs = np.ascontiguousarray(edges.endpoints.T)  # (M, 2) interleaved
+    pairs.astype("<i8").tofile(path)
+    return pairs.nbytes
+
+
+def read_int64_pairs(path: str | Path, n_vertices: int) -> EdgeList:
+    """Read the reference-code format back into an :class:`EdgeList`."""
+    flat = np.fromfile(path, dtype="<i8")
+    if flat.size % 2 != 0:
+        raise GraphFormatError(f"{path}: odd int64 count {flat.size}")
+    return EdgeList(
+        np.ascontiguousarray(flat.reshape(-1, 2).T.astype(np.int64)),
+        n_vertices,
+    )
+
+
+def pack_edges_48(edges: EdgeList) -> np.ndarray:
+    """Pack the endpoint pairs into NETAL's 12-byte records.
+
+    Layout per edge: 6 little-endian bytes of the start vertex followed
+    by 6 of the end vertex.  Vectorized: the int64 endpoints are viewed
+    as 8-byte rows and the top two (zero) bytes dropped.
+    """
+    ep = edges.endpoints
+    if ep.size and int(ep.max()) > _MAX_48:
+        raise GraphFormatError("vertex id exceeds 48 bits")
+    # (M, 2) little-endian int64 -> (M, 2, 8) bytes -> keep low 6 of each.
+    pairs = np.ascontiguousarray(ep.T.astype("<i8"))
+    as_bytes = pairs.view(np.uint8).reshape(-1, 2, 8)
+    return np.ascontiguousarray(as_bytes[:, :, :6]).reshape(-1)
+
+
+def unpack_edges_48(raw: np.ndarray, n_vertices: int) -> EdgeList:
+    """Inverse of :func:`pack_edges_48`."""
+    raw = np.asarray(raw, dtype=np.uint8)
+    if raw.size % PACKED_EDGE_BYTES != 0:
+        raise GraphFormatError(
+            f"packed edge stream of {raw.size} bytes is not a multiple "
+            f"of {PACKED_EDGE_BYTES}"
+        )
+    m = raw.size // PACKED_EDGE_BYTES
+    six = raw.reshape(m, 2, 6).astype(np.int64)
+    weights = (np.int64(1) << (8 * np.arange(6, dtype=np.int64)))
+    endpoints = (six * weights).sum(axis=2).T
+    return EdgeList(np.ascontiguousarray(endpoints), n_vertices)
+
+
+def write_packed48(edges: EdgeList, path: str | Path) -> int:
+    """Write NETAL's packed format; returns bytes written.
+
+    The byte count is exactly ``12 × M`` — the quantity
+    :class:`~repro.perfmodel.sizes.GraphSizeModel` charges for the edge
+    list (384 GB at SCALE 31).
+    """
+    packed = pack_edges_48(edges)
+    packed.tofile(path)
+    return packed.nbytes
+
+
+def read_packed48(path: str | Path, n_vertices: int) -> EdgeList:
+    """Read NETAL's packed format back into an :class:`EdgeList`."""
+    return unpack_edges_48(np.fromfile(path, dtype=np.uint8), n_vertices)

@@ -1,0 +1,194 @@
+"""Graph500-compliant Kronecker (R-MAT) edge-list generation.
+
+Implements the stochastic Kronecker generator of the Graph500 reference
+code (v2.1.4 ``octave/kronecker_generator.m``): an undirected graph with
+``N = 2**SCALE`` vertices and ``M = N * edge_factor`` edges, initiator
+matrix ``[[A, B], [C, D]] = [[0.57, 0.19], [0.19, 0.05]]``, followed by a
+random relabeling of vertices and a random shuffle of the edge order (both
+required by the spec so that locality cannot be inferred from IDs).
+
+The per-edge quadrant walk is vectorized across all edges of a batch: one
+boolean draw per (edge, bit-level) pair, so generation is ``O(SCALE)``
+NumPy passes regardless of edge count.  Batched generation
+(:func:`generate_edge_batches`) bounds peak memory and mirrors the paper's
+Step 1, which streams the edge list to NVM as it is produced (§V-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.util.rng import derive_rng
+
+__all__ = [
+    "KroneckerParams",
+    "generate_edges",
+    "generate_edge_batches",
+    "sample_roots",
+]
+
+
+@dataclass(frozen=True)
+class KroneckerParams:
+    """Kronecker generator parameters.
+
+    Defaults are the Graph500 standard initiator (A=0.57, B=0.19, C=0.19,
+    D=0.05) and edge factor 16 — the paper uses exactly these for every
+    experiment (SCALE 26/27, edge factor 16).
+    """
+
+    scale: int
+    edge_factor: int = 16
+    a: float = 0.57
+    b: float = 0.19
+    c: float = 0.19
+
+    def __post_init__(self) -> None:
+        if self.scale < 1:
+            raise ConfigurationError(f"scale must be >= 1, got {self.scale}")
+        if self.edge_factor < 1:
+            raise ConfigurationError(
+                f"edge_factor must be >= 1, got {self.edge_factor}"
+            )
+        if min(self.a, self.b, self.c) < 0 or self.a + self.b + self.c >= 1.0:
+            raise ConfigurationError(
+                f"invalid initiator: A={self.a} B={self.b} C={self.c}"
+            )
+
+    @property
+    def d(self) -> float:
+        """Fourth initiator entry (1 - A - B - C)."""
+        return 1.0 - self.a - self.b - self.c
+
+    @property
+    def n_vertices(self) -> int:
+        """N = 2**SCALE."""
+        return 1 << self.scale
+
+    @property
+    def n_edges(self) -> int:
+        """M = N * edge_factor (undirected input edges)."""
+        return self.n_vertices * self.edge_factor
+
+
+def _sample_quadrants(params: KroneckerParams, m: int, rng) -> np.ndarray:
+    """Draw ``m`` edge endpoints via the recursive quadrant walk.
+
+    Returns a ``(2, m)`` int64 array of (start, end) vertex IDs *before*
+    permutation.  Follows the reference Octave code: at each of the SCALE
+    bit levels, choose the row bit with probability ``C + D`` and, given
+    the row bit, the column bit with the conditional probability.
+    """
+    ab = params.a + params.b
+    c_norm = params.c / (1.0 - ab)
+    a_norm = params.a / ab
+    ij = np.zeros((2, m), dtype=np.int64)
+    for bit in range(params.scale):
+        ii = rng.random(m) > ab
+        jj = rng.random(m) > (c_norm * ii + a_norm * ~ii)
+        ij[0] += (np.int64(1) << bit) * ii
+        ij[1] += (np.int64(1) << bit) * jj
+    return ij
+
+
+def _permutation(params: KroneckerParams, seed) -> np.ndarray:
+    """The spec-mandated random vertex relabeling (stable per seed)."""
+    rng = derive_rng(seed, "kronecker", "vertex-permutation")
+    return rng.permutation(params.n_vertices).astype(np.int64)
+
+
+def generate_edges(
+    scale: int,
+    edge_factor: int = 16,
+    seed: int | None = None,
+    params: KroneckerParams | None = None,
+) -> np.ndarray:
+    """Generate the full edge list as a ``(2, M)`` int64 array.
+
+    Deterministic in ``seed``; the same seed yields the same graph across
+    processes and platforms.  Use :func:`generate_edge_batches` for graphs
+    that should not be materialized at once.
+
+    >>> edges = generate_edges(scale=6, edge_factor=4, seed=1)
+    >>> edges.shape
+    (2, 256)
+    """
+    p = params if params is not None else KroneckerParams(scale, edge_factor)
+    rng = derive_rng(seed, "kronecker", "quadrants")
+    ij = _sample_quadrants(p, p.n_edges, rng)
+    perm = _permutation(p, seed)
+    ij = perm[ij]
+    order = derive_rng(seed, "kronecker", "edge-shuffle").permutation(p.n_edges)
+    return np.ascontiguousarray(ij[:, order])
+
+
+def generate_edge_batches(
+    scale: int,
+    edge_factor: int = 16,
+    seed: int | None = None,
+    batch_edges: int = 1 << 22,
+    params: KroneckerParams | None = None,
+) -> Iterator[np.ndarray]:
+    """Yield the edge list in ``(2, batch_edges)`` pieces.
+
+    The stream is deterministic in ``(seed, batch_edges)`` and draws the
+    same total edge count from the same Kronecker distribution and vertex
+    permutation as :func:`generate_edges`; the concrete edge multiset
+    differs because the monolithic generator consumes its random stream
+    bit-level-major while the batched one consumes it batch-major (the
+    Graph500 spec fixes the distribution, not the stream order).  Peak
+    memory is
+    ``O(batch_edges + N)`` — the ``N`` term being the vertex permutation —
+    which is what lets Step 1 of the paper's pipeline stream an
+    edge list larger than DRAM directly onto NVM.
+    """
+    if batch_edges < 1:
+        raise ConfigurationError(f"batch_edges must be >= 1, got {batch_edges}")
+    p = params if params is not None else KroneckerParams(scale, edge_factor)
+    rng = derive_rng(seed, "kronecker", "quadrants")
+    perm = _permutation(p, seed)
+    remaining = p.n_edges
+    batch_idx = 0
+    while remaining > 0:
+        m = min(batch_edges, remaining)
+        ij = _sample_quadrants(p, m, rng)
+        ij = perm[ij]
+        order = derive_rng(seed, "kronecker", f"batch-shuffle-{batch_idx}").permutation(m)
+        yield np.ascontiguousarray(ij[:, order])
+        remaining -= m
+        batch_idx += 1
+
+
+def sample_roots(
+    degrees: np.ndarray,
+    n_roots: int = 64,
+    seed: int | None = None,
+) -> np.ndarray:
+    """Sample BFS roots per the Graph500 rules.
+
+    Roots are drawn uniformly from vertices with **at least one edge that
+    is not a self-loop** (the reference driver rejects isolated vertices
+    and resamples), without replacement when possible.
+
+    Parameters
+    ----------
+    degrees:
+        Per-vertex degree *excluding self-loops* (from the constructed
+        graph).
+    n_roots:
+        Number of search keys; the benchmark specifies 64.
+    """
+    if n_roots < 1:
+        raise ConfigurationError(f"n_roots must be >= 1, got {n_roots}")
+    candidates = np.flatnonzero(np.asarray(degrees) > 0)
+    if candidates.size == 0:
+        raise ConfigurationError("graph has no non-isolated vertices to root at")
+    rng = derive_rng(seed, "graph500", "roots")
+    replace = candidates.size < n_roots
+    return np.sort(rng.choice(candidates, size=n_roots, replace=replace)).astype(
+        np.int64
+    )

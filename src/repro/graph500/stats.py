@@ -1,0 +1,100 @@
+"""Official Graph500 result statistics.
+
+The benchmark reports, over the 64 BFS iterations, order statistics of the
+per-run TEPS values plus their *harmonic* mean and its standard error (TEPS
+is a rate, so runs are averaged harmonically — mean of times, not of
+rates).  The paper quotes the **median** TEPS (e.g. 5.12 GTEPS DRAM-only,
+4.22 GTEPS DRAM+PCIeFlash at SCALE 27); :class:`Graph500Stats` computes the
+full official tuple so any number in the evaluation can be cross-checked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["teps_from_times", "Graph500Stats"]
+
+
+def teps_from_times(n_traversed_edges: np.ndarray, times_s: np.ndarray) -> np.ndarray:
+    """Per-run TEPS: traversed input edges / elapsed seconds."""
+    edges = np.asarray(n_traversed_edges, dtype=np.float64)
+    times = np.asarray(times_s, dtype=np.float64)
+    if edges.shape != times.shape:
+        raise ConfigurationError("edge/time arrays must have matching shape")
+    if times.size and times.min() <= 0:
+        raise ConfigurationError("non-positive BFS time")
+    return edges / times
+
+
+@dataclass(frozen=True)
+class Graph500Stats:
+    """The official statistics block for one benchmark configuration."""
+
+    n_runs: int
+    min_teps: float
+    firstquartile_teps: float
+    median_teps: float
+    thirdquartile_teps: float
+    max_teps: float
+    harmonic_mean_teps: float
+    harmonic_stddev_teps: float
+    mean_time_s: float
+    median_time_s: float
+
+    @classmethod
+    def from_runs(
+        cls, n_traversed_edges: np.ndarray, times_s: np.ndarray
+    ) -> "Graph500Stats":
+        """Compute the block from per-run edge counts and times.
+
+        Quartiles use linear interpolation (the reference code's
+        ``statistics.c`` does the same).  The harmonic standard deviation
+        follows the reference: the standard error of ``1/TEPS`` mapped back
+        through the harmonic mean.
+        """
+        teps = teps_from_times(n_traversed_edges, times_s)
+        if teps.size == 0:
+            raise ConfigurationError("no runs to summarize")
+        times = np.asarray(times_s, dtype=np.float64)
+        q = np.quantile(teps, [0.0, 0.25, 0.5, 0.75, 1.0])
+        inv = 1.0 / teps
+        hmean = 1.0 / inv.mean()
+        if teps.size > 1:
+            # Reference formula: stddev of the reciprocals, scaled.
+            inv_std = inv.std(ddof=1) / np.sqrt(teps.size - 1)
+            hstd = inv_std * hmean * hmean
+        else:
+            hstd = 0.0
+        return cls(
+            n_runs=int(teps.size),
+            min_teps=float(q[0]),
+            firstquartile_teps=float(q[1]),
+            median_teps=float(q[2]),
+            thirdquartile_teps=float(q[3]),
+            max_teps=float(q[4]),
+            harmonic_mean_teps=float(hmean),
+            harmonic_stddev_teps=float(hstd),
+            mean_time_s=float(times.mean()),
+            median_time_s=float(np.median(times)),
+        )
+
+    def format(self) -> str:
+        """Render in the reference driver's output style."""
+        return "\n".join(
+            [
+                f"num_bfs_runs:            {self.n_runs}",
+                f"min_TEPS:                {self.min_teps:.6g}",
+                f"firstquartile_TEPS:      {self.firstquartile_teps:.6g}",
+                f"median_TEPS:             {self.median_teps:.6g}",
+                f"thirdquartile_TEPS:      {self.thirdquartile_teps:.6g}",
+                f"max_TEPS:                {self.max_teps:.6g}",
+                f"harmonic_mean_TEPS:      {self.harmonic_mean_teps:.6g}",
+                f"harmonic_stddev_TEPS:    {self.harmonic_stddev_teps:.6g}",
+                f"mean_time:               {self.mean_time_s:.6g}",
+                f"median_time:             {self.median_time_s:.6g}",
+            ]
+        )

@@ -1,0 +1,199 @@
+"""Graph500 BFS-tree validation (benchmark Step 4).
+
+Implements the five validation rules of the Graph500 specification, which
+the paper runs after every one of the 64 BFS iterations (§II Step 4, §V-A
+Step 4 — using the tree on DRAM and the edge list on NVM):
+
+1. the BFS tree has no cycles and every parent pointer eventually reaches
+   the root (checked by computing levels with breadth-wise propagation);
+2. each tree edge connects vertices whose BFS levels differ by exactly one;
+3. every tree edge (vertex, parent) appears in the input edge list;
+4. every input edge connects vertices whose levels differ by at most one,
+   or joins two unvisited vertices (no edge may cross from the visited
+   component to an unvisited vertex);
+5. exactly the vertices of the root's connected component are in the tree.
+
+All rules are evaluated with vectorized passes over the edge list; the
+validator never rebuilds adjacency, so it can validate against an edge list
+resident on (simulated) NVM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.graph500.edgelist import EdgeList
+
+__all__ = ["ValidationResult", "compute_levels", "validate_bfs_tree"]
+
+UNVISITED = np.int64(-1)
+"""Parent value marking a vertex not reached by the BFS."""
+
+
+@dataclass(frozen=True)
+class ValidationResult:
+    """Outcome of validating one BFS tree."""
+
+    ok: bool
+    violations: tuple[str, ...] = ()
+    levels: np.ndarray | None = field(default=None, compare=False)
+    n_tree_vertices: int = 0
+
+    def raise_if_invalid(self) -> None:
+        """Raise :class:`ValidationError` with the first violation."""
+        if not self.ok:
+            raise ValidationError(self.violations[0])
+
+
+def compute_levels(parent: np.ndarray, root: int) -> tuple[np.ndarray, str | None]:
+    """Derive BFS levels from parent pointers.
+
+    Returns ``(levels, error)`` where ``levels[v]`` is the hop count from
+    the root (``-1`` for unvisited vertices) and ``error`` is a diagnostic
+    string when the pointers contain a cycle or a dangling parent.
+
+    Levels are propagated breadth-wise: at round ``k`` every vertex whose
+    parent got level ``k-1`` receives level ``k``.  With valid input this
+    terminates in (eccentricity) rounds; a vertex never reached while
+    claiming a parent exposes a cycle.
+    """
+    n = parent.shape[0]
+    levels = np.full(n, -1, dtype=np.int64)
+    if not 0 <= root < n:
+        return levels, f"root {root} outside [0, {n})"
+    if parent[root] != root:
+        return levels, f"tree[root] must equal root, got {parent[root]}"
+    levels[root] = 0
+    visited_mask = parent != UNVISITED
+    pending = np.flatnonzero(visited_mask & (levels == -1))
+    level = 0
+    while pending.size:
+        parents_of_pending = parent[pending]
+        ready = levels[parents_of_pending] == level
+        if not ready.any():
+            return levels, (
+                f"{pending.size} vertices have parent pointers that never "
+                f"reach the root (cycle or dangling parent), e.g. vertex "
+                f"{int(pending[0])}"
+            )
+        levels[pending[ready]] = level + 1
+        pending = pending[~ready]
+        level += 1
+    return levels, None
+
+
+def validate_bfs_tree(
+    edges: EdgeList,
+    parent: np.ndarray,
+    root: int,
+    collect_all: bool = False,
+) -> ValidationResult:
+    """Validate a BFS parent array against the input edge list.
+
+    Parameters
+    ----------
+    edges:
+        The original (multigraph) edge list; self-loops and duplicates are
+        handled per the spec (ignored for connectivity rules).
+    parent:
+        ``int64[n]`` parent pointers, ``-1`` = unvisited, ``parent[root]
+        == root``.
+    root:
+        The search key of this BFS run.
+    collect_all:
+        When true, keep checking after the first violation and report all
+        of them (used by tests); the default stops at the first for speed.
+    """
+    parent = np.asarray(parent)
+    violations: list[str] = []
+    n = edges.n_vertices
+    if parent.shape != (n,):
+        return ValidationResult(
+            ok=False,
+            violations=(f"parent array shape {parent.shape} != ({n},)",),
+        )
+
+    def fail(msg: str) -> ValidationResult | None:
+        violations.append(msg)
+        if not collect_all:
+            return ValidationResult(ok=False, violations=tuple(violations))
+        return None
+
+    # Rule 1: acyclic pointers reaching the root; derive levels.
+    levels, err = compute_levels(parent, root)
+    if err is not None:
+        res = fail(f"rule1: {err}")
+        if res is not None:
+            return res
+    visited = levels >= 0
+
+    # Rule 2: tree edges span exactly one level.
+    tree_vertices = np.flatnonzero((parent != UNVISITED) & (np.arange(n) != root))
+    if tree_vertices.size:
+        dl = levels[tree_vertices] - levels[parent[tree_vertices]]
+        bad = tree_vertices[(dl != 1) & visited[tree_vertices]]
+        if bad.size:
+            res = fail(
+                f"rule2: {bad.size} tree edges do not span one level, "
+                f"e.g. vertex {int(bad[0])} (level {int(levels[bad[0]])}) with "
+                f"parent {int(parent[bad[0]])} (level {int(levels[parent[bad[0]]])})"
+            )
+            if res is not None:
+                return res
+
+    # Rule 3: every tree edge exists in the input edge list.
+    if tree_vertices.size:
+        edge_keys = edges.sorted_edge_keys  # cached across iterations
+        tv = tree_vertices
+        tp = parent[tv]
+        tlo = np.minimum(tv, tp)
+        thi = np.maximum(tv, tp)
+        tree_keys = tlo * np.int64(n) + thi
+        pos = np.searchsorted(edge_keys, tree_keys)
+        pos = np.minimum(pos, edge_keys.size - 1)
+        missing = tv[edge_keys[pos] != tree_keys]
+        if missing.size:
+            res = fail(
+                f"rule3: {missing.size} tree edges absent from the graph, "
+                f"e.g. ({int(missing[0])}, {int(parent[missing[0]])})"
+            )
+            if res is not None:
+                return res
+
+    # Rule 4: no input edge spans more than one level or leaves the
+    # visited component half-visited.
+    u, v = edges.endpoints
+    not_loop = u != v
+    uu, vv = u[not_loop], v[not_loop]
+    lu, lv = levels[uu], levels[vv]
+    both_visited = (lu >= 0) & (lv >= 0)
+    span_bad = both_visited & (np.abs(lu - lv) > 1)
+    if span_bad.any():
+        i = int(np.flatnonzero(span_bad)[0])
+        res = fail(
+            f"rule4: edge ({int(uu[i])}, {int(vv[i])}) spans levels "
+            f"{int(lu[i])} and {int(lv[i])}"
+        )
+        if res is not None:
+            return res
+    half = both_visited ^ ((lu >= 0) | (lv >= 0))
+    if half.any():
+        i = int(np.flatnonzero(half)[0])
+        res = fail(
+            f"rule5: edge ({int(uu[i])}, {int(vv[i])}) connects a visited "
+            f"vertex to an unvisited one — the tree does not span the "
+            f"root's component"
+        )
+        if res is not None:
+            return res
+
+    ok = not violations
+    return ValidationResult(
+        ok=ok,
+        violations=tuple(violations),
+        levels=levels,
+        n_tree_vertices=int(np.count_nonzero(visited)),
+    )

@@ -1,0 +1,20 @@
+"""Simulated NUMA topology and per-node memory accounting.
+
+The paper's NETAL base system partitions every graph structure across the
+NUMA nodes of a 4-socket Opteron: vertex ``v_i`` with
+``i ∈ [k·n/ℓ, (k+1)·n/ℓ)`` belongs to node ``N_k`` (§V-B2).  This package
+reproduces that partitioning in software: :class:`NumaTopology` owns the
+vertex→node map and per-node core counts, and :class:`NumaMemoryTracker`
+counts local vs. remote accesses so the locality claims of the paper are
+checkable in tests and benchmarks.
+"""
+
+from repro.numa.topology import NumaTopology, VertexPartition
+from repro.numa.memory import AccessKind, NumaMemoryTracker
+
+__all__ = [
+    "NumaTopology",
+    "VertexPartition",
+    "NumaMemoryTracker",
+    "AccessKind",
+]

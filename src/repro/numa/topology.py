@@ -1,0 +1,121 @@
+"""NUMA topology model and vertex partitioning.
+
+Reproduces NETAL's static range partitioning (paper §V-B2): with ``n``
+vertices and ``ℓ`` NUMA nodes, vertex ``v_i`` is owned by node
+``k = min(i // ceil(n/ℓ), ℓ-1)`` — contiguous equal ranges, last node
+taking the remainder.  Contiguity is essential: it lets the per-node CSR
+files store a dense local index array and lets ownership tests compile to a
+single integer divide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["NumaTopology", "VertexPartition"]
+
+
+@dataclass(frozen=True)
+class VertexPartition:
+    """The contiguous vertex range ``[lo, hi)`` owned by one NUMA node."""
+
+    node: int
+    lo: int
+    hi: int
+
+    @property
+    def size(self) -> int:
+        """Number of vertices owned."""
+        return self.hi - self.lo
+
+    def local_ids(self, global_ids: np.ndarray) -> np.ndarray:
+        """Translate global vertex IDs to node-local IDs (``id - lo``)."""
+        return np.asarray(global_ids, dtype=np.int64) - self.lo
+
+    def contains(self, global_ids: np.ndarray) -> np.ndarray:
+        """Vectorized ownership test."""
+        ids = np.asarray(global_ids, dtype=np.int64)
+        return (ids >= self.lo) & (ids < self.hi)
+
+
+class NumaTopology:
+    """A machine with ``n_nodes`` NUMA nodes and ``cores_per_node`` cores.
+
+    Parameters mirror Table I of the paper: the experimental machine is a
+    4-socket, 12-core-per-socket Opteron 6172, i.e.
+    ``NumaTopology(n_nodes=4, cores_per_node=12)``.
+
+    The topology also carries the vertex partition for a given graph size
+    via :meth:`partitions`; all per-node data structures (backward CSR
+    shards, visited bitmaps, tree shards) are sized from these ranges.
+    """
+
+    def __init__(self, n_nodes: int = 4, cores_per_node: int = 12) -> None:
+        if n_nodes <= 0:
+            raise ConfigurationError(f"n_nodes must be positive, got {n_nodes}")
+        if cores_per_node <= 0:
+            raise ConfigurationError(
+                f"cores_per_node must be positive, got {cores_per_node}"
+            )
+        self.n_nodes = int(n_nodes)
+        self.cores_per_node = int(cores_per_node)
+
+    @property
+    def n_cores(self) -> int:
+        """Total hardware threads available for BFS workers."""
+        return self.n_nodes * self.cores_per_node
+
+    # -- vertex partitioning -------------------------------------------------
+
+    def chunk_size(self, n_vertices: int) -> int:
+        """Vertices per node (ceil division; last node may own fewer)."""
+        if n_vertices <= 0:
+            raise ConfigurationError(f"n_vertices must be positive, got {n_vertices}")
+        return -(-n_vertices // self.n_nodes)
+
+    def partitions(self, n_vertices: int) -> list[VertexPartition]:
+        """The per-node contiguous vertex ranges covering ``[0, n_vertices)``.
+
+        >>> NumaTopology(n_nodes=4).partitions(10)[-1]
+        VertexPartition(node=3, lo=9, hi=10)
+        """
+        step = self.chunk_size(n_vertices)
+        parts = []
+        for k in range(self.n_nodes):
+            lo = min(k * step, n_vertices)
+            hi = min((k + 1) * step, n_vertices)
+            parts.append(VertexPartition(node=k, lo=lo, hi=hi))
+        return parts
+
+    def owner_of(self, vertex_ids: np.ndarray, n_vertices: int) -> np.ndarray:
+        """Vectorized vertex→node map.
+
+        >>> NumaTopology(n_nodes=2).owner_of(np.array([0, 5, 9]), 10)
+        array([0, 1, 1])
+        """
+        ids = np.asarray(vertex_ids, dtype=np.int64)
+        if ids.size and (ids.min() < 0 or int(ids.max()) >= n_vertices):
+            raise ConfigurationError("vertex id out of range for owner_of")
+        step = self.chunk_size(n_vertices)
+        return np.minimum(ids // step, self.n_nodes - 1)
+
+    def __repr__(self) -> str:
+        return (
+            f"NumaTopology(n_nodes={self.n_nodes}, "
+            f"cores_per_node={self.cores_per_node})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, NumaTopology):
+            return NotImplemented
+        return (
+            self.n_nodes == other.n_nodes
+            and self.cores_per_node == other.cores_per_node
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.n_nodes, self.cores_per_node))

@@ -1,0 +1,33 @@
+"""Analytic performance, capacity and energy models.
+
+Three models turn the reproduction's *measured structure* (edge scans, I/O
+request streams, data-structure sizes) into the paper's *reported units*
+(GTEPS, GB, MTEPS/W):
+
+* :mod:`~repro.perfmodel.cost` — per-level simulated time from DRAM access
+  counts plus the NVM device charges, yielding modeled TEPS;
+* :mod:`~repro.perfmodel.sizes` — the exact data-structure size model that
+  reproduces Table II and Figure 3 (it recovers the paper's 40.1 / 33.1 /
+  15.1 GB at SCALE 27 and the 1.5 TB total at SCALE 31);
+* :mod:`~repro.perfmodel.power` — nameplate power of the Table I machines
+  for the Green Graph500 MTEPS/W figure.
+"""
+
+from repro.perfmodel.cost import DramCostModel
+from repro.perfmodel.power import MachinePowerModel
+from repro.perfmodel.projection import (
+    ScaleProjection,
+    project_run,
+    projected_degradation,
+)
+from repro.perfmodel.sizes import GraphSizeModel, SizeBreakdown
+
+__all__ = [
+    "DramCostModel",
+    "MachinePowerModel",
+    "ScaleProjection",
+    "project_run",
+    "projected_degradation",
+    "GraphSizeModel",
+    "SizeBreakdown",
+]

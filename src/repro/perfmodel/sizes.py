@@ -1,0 +1,186 @@
+"""Analytic data-structure size model (Table II, Figure 3).
+
+Reverse-engineering the paper's published sizes pins down NETAL's exact
+on-machine layout.  With ``n = 2**SCALE`` vertices, ``M = 16·n`` generated
+edges, ``ℓ = 4`` NUMA nodes and **no deduplication** (the value arrays
+keep all ``2M`` directed entries):
+
+====================  =========================  ==========================
+Structure             Bytes                      Check against the paper
+====================  =========================  ==========================
+Edge list             ``12·M`` (48-bit packed    SCALE 31: 2³⁵·12 = 384 GB ✓
+                      vertex pair)
+Forward graph         ``8·2M + 16·n·ℓ``          SCALE 27: 32+8 = 40 GB
+                      (value 8 B; index 16 B     (paper: 40.1) ✓ ·
+                      per vertex **per node**)   SCALE 31: 512+128 = 640 GB ✓
+Backward graph        ``8·2M + 8·n``             SCALE 27: 32+1 = 33 GB
+                      (index not duplicated)     (paper: 33.1) ✓ ·
+                                                 SCALE 31: 512+16 = 528 GB ✓
+BFS status data       ``a·n + b`` with           SCALE 27: 15.1 GB ✓ ·
+                      ``a = 68.8 B``,            SCALE 26: 10.8 GB ✓
+                      ``b = 6.5 GiB``            (two-point calibration)
+====================  =========================  ==========================
+
+The status-data affine fit is the only calibrated component: its slope
+covers the tree, queues, candidate lists and bitmaps (~69 B/vertex) and
+its intercept the per-thread preallocated buffers of a 48-thread run.
+
+The model also measures *this reproduction's* actual structures
+(:meth:`GraphSizeModel.measured`) so benches can report paper-layout and
+repro-layout sizes side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.util.units import GIB, format_bytes
+
+__all__ = ["SizeBreakdown", "GraphSizeModel"]
+
+
+@dataclass(frozen=True)
+class SizeBreakdown:
+    """Per-structure byte counts for one SCALE (one bar of Figure 3)."""
+
+    scale: int
+    edge_list: int
+    forward: int
+    backward: int
+    status: int
+
+    @property
+    def graph_total(self) -> int:
+        """Edge list + forward + backward (Figure 3's stacked bar)."""
+        return self.edge_list + self.forward + self.backward
+
+    @property
+    def working_set(self) -> int:
+        """Forward + backward + status (Table II's total, 88.3 GB @ 27)."""
+        return self.forward + self.backward + self.status
+
+    def format_row(self) -> str:
+        """One table row in the paper's unit (binary GB)."""
+        return (
+            f"SCALE {self.scale:>2}: edge_list={format_bytes(self.edge_list):>9} "
+            f"forward={format_bytes(self.forward):>9} "
+            f"backward={format_bytes(self.backward):>9} "
+            f"status={format_bytes(self.status):>9} "
+            f"working_set={format_bytes(self.working_set):>9}"
+        )
+
+
+@dataclass(frozen=True)
+class GraphSizeModel:
+    """NETAL's layout constants (defaults = the paper's machine).
+
+    Parameters
+    ----------
+    edge_factor:
+        Graph500 edge factor (paper: 16).
+    n_numa_nodes:
+        ℓ; the forward index array is duplicated per node.
+    edge_tuple_bytes:
+        Bytes per edge-list tuple (NETAL packs two 48-bit IDs → 12).
+    value_bytes:
+        Bytes per CSR value entry.
+    forward_index_bytes:
+        Bytes per vertex per node in the forward index (16: offset+length).
+    backward_index_bytes:
+        Bytes per vertex in the backward index.
+    status_bytes_per_vertex / status_fixed_bytes:
+        Affine BFS-status fit calibrated on Table II + the SCALE 26 run.
+    """
+
+    edge_factor: int = 16
+    n_numa_nodes: int = 4
+    edge_tuple_bytes: int = 12
+    value_bytes: int = 8
+    forward_index_bytes: int = 16
+    backward_index_bytes: int = 8
+    status_bytes_per_vertex: float = 68.8
+    status_fixed_bytes: int = int(6.5 * GIB)
+
+    def __post_init__(self) -> None:
+        if self.edge_factor < 1 or self.n_numa_nodes < 1:
+            raise ConfigurationError("edge_factor and n_numa_nodes must be >= 1")
+
+    # -- components -----------------------------------------------------------------
+
+    def n_vertices(self, scale: int) -> int:
+        """N = 2**SCALE."""
+        if scale < 1:
+            raise ConfigurationError(f"scale must be >= 1, got {scale}")
+        return 1 << scale
+
+    def n_edges(self, scale: int) -> int:
+        """M = N · edge_factor (input tuples)."""
+        return self.n_vertices(scale) * self.edge_factor
+
+    def edge_list_bytes(self, scale: int) -> int:
+        """Tuple-format edge list on NVM."""
+        return self.edge_tuple_bytes * self.n_edges(scale)
+
+    def forward_bytes(self, scale: int) -> int:
+        """Forward CSR: 2M values + per-node duplicated index."""
+        return (
+            self.value_bytes * 2 * self.n_edges(scale)
+            + self.forward_index_bytes * self.n_vertices(scale) * self.n_numa_nodes
+        )
+
+    def backward_bytes(self, scale: int) -> int:
+        """Backward CSR: 2M values + single index."""
+        return (
+            self.value_bytes * 2 * self.n_edges(scale)
+            + self.backward_index_bytes * self.n_vertices(scale)
+        )
+
+    def status_bytes(self, scale: int) -> int:
+        """BFS status data (tree, queues, bitmaps, thread buffers)."""
+        return int(
+            self.status_bytes_per_vertex * self.n_vertices(scale)
+            + self.status_fixed_bytes
+        )
+
+    def breakdown(self, scale: int) -> SizeBreakdown:
+        """All components for one SCALE (one Figure 3 bar / Table II)."""
+        return SizeBreakdown(
+            scale=scale,
+            edge_list=self.edge_list_bytes(scale),
+            forward=self.forward_bytes(scale),
+            backward=self.backward_bytes(scale),
+            status=self.status_bytes(scale),
+        )
+
+    def sweep(self, scales: range) -> list[SizeBreakdown]:
+        """Figure 3's x-axis sweep."""
+        return [self.breakdown(s) for s in scales]
+
+    def min_dram_only_bytes(self, scale: int) -> int:
+        """DRAM needed to run without any offloading (all structures)."""
+        b = self.breakdown(scale)
+        return b.working_set
+
+    def min_semi_external_bytes(self, scale: int) -> int:
+        """DRAM needed with the paper's offloading (forward graph on NVM)."""
+        b = self.breakdown(scale)
+        return b.backward + b.status
+
+    # -- measuring this reproduction's actual objects ---------------------------------
+
+    @staticmethod
+    def measured(forward, backward, state) -> SizeBreakdown:
+        """Byte counts of live repro objects (int64 layout, not NETAL's).
+
+        Parameters are a :class:`~repro.csr.partition.ForwardGraph`, a
+        :class:`~repro.csr.partition.BackwardGraph` and a
+        :class:`~repro.bfs.state.BFSState`.
+        """
+        return SizeBreakdown(
+            scale=int(forward.n_vertices).bit_length() - 1,
+            edge_list=0,
+            forward=forward.nbytes,
+            backward=backward.nbytes,
+            status=state.status_nbytes(),
+        )

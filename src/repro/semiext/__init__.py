@@ -1,0 +1,50 @@
+"""Semi-external memory substrate: NVM device models, file-backed arrays,
+simulated time, and iostat-equivalent accounting.
+
+The paper runs on real 2013 NVM hardware (FusionIO ioDrive2 PCIe flash and
+an Intel 320 SATA SSD).  This package substitutes that hardware with:
+
+* **real file-backed data layout** — CSR index/value arrays genuinely live
+  in files and are read through ≤4 KB chunked requests, so request counts
+  and sizes (``avgrq-sz``) are measured, not modeled;
+* **a calibrated device model** — per-request service times and queueing
+  derived from the devices' published latency / bandwidth / IOPS, driving a
+  :class:`SimulatedClock` that yields the *modeled* TEPS numbers;
+* **iostat-equivalent statistics** — ``avgqu-sz`` / ``avgrq-sz`` / ``r/s``
+  tracked per device, reproducing the paper's Figures 12–13 methodology.
+
+See DESIGN.md §2 for the substitution rationale.
+"""
+
+from repro.semiext.clock import SimulatedClock
+from repro.semiext.device import (
+    DRAM_CHANNEL,
+    PCIE_FLASH,
+    SATA_SSD,
+    BatchResult,
+    DeviceModel,
+)
+from repro.semiext.hierarchy import MemoryHierarchy, Placement, Tier
+from repro.semiext.iostats import IoStats, IoSample
+from repro.semiext.storage import DeferredCharge, ExternalArray, NVMStore
+from repro.semiext.trace import RequestTrace, TraceRecord, attach_recorder
+
+__all__ = [
+    "SimulatedClock",
+    "DeviceModel",
+    "BatchResult",
+    "PCIE_FLASH",
+    "SATA_SSD",
+    "DRAM_CHANNEL",
+    "IoStats",
+    "IoSample",
+    "ExternalArray",
+    "NVMStore",
+    "DeferredCharge",
+    "RequestTrace",
+    "TraceRecord",
+    "attach_recorder",
+    "MemoryHierarchy",
+    "Placement",
+    "Tier",
+]

@@ -1,0 +1,48 @@
+"""Simulated time.
+
+All modeled costs (DRAM traversal work, NVM request service) advance one
+:class:`SimulatedClock`.  The BFS engines are written against the tiny
+``now()``/``advance()`` interface so the same engine code produces
+wall-clock TEPS (with a no-op clock) or modeled TEPS (with this one).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+__all__ = ["SimulatedClock"]
+
+
+class SimulatedClock:
+    """A monotonically advancing virtual clock (seconds, float64).
+
+    >>> c = SimulatedClock()
+    >>> c.advance(1.5); c.advance(0.25)
+    >>> c.now()
+    1.75
+    """
+
+    __slots__ = ("_t",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ConfigurationError(f"clock cannot start negative: {start}")
+        self._t = float(start)
+
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._t
+
+    def advance(self, seconds: float) -> float:
+        """Advance by ``seconds`` (must be ≥ 0); returns the new time."""
+        if seconds < 0:
+            raise ConfigurationError(f"cannot advance clock by {seconds} s")
+        self._t += float(seconds)
+        return self._t
+
+    def reset(self) -> None:
+        """Return to t = 0."""
+        self._t = 0.0
+
+    def __repr__(self) -> str:
+        return f"SimulatedClock(t={self._t:.6f}s)"

@@ -1,0 +1,246 @@
+"""Storage device performance models.
+
+Each :class:`DeviceModel` captures the three first-order parameters of a
+block device — per-request latency, streaming bandwidth, and sustainable
+IOPS — plus an internal parallelism (``channels``: how many requests the
+device services concurrently; NCQ depth for SATA, channel count for PCIe
+flash).
+
+Batch service model
+-------------------
+BFS issues requests from ``concurrency`` synchronous workers (the paper:
+48 OS threads, each reading its dequeued vertices' CSR rows with
+``read(2)``).  That is a *closed* queueing system: each worker has at most
+one outstanding request and spends ``think_time`` of CPU work between
+requests.  :meth:`DeviceModel.submit` solves the batch with asymptotic
+bounds of closed-network analysis (balanced-job bound):
+
+* per-request service time ``S = latency + size / bandwidth``
+* device saturation throughput ``X_dev = min(channels / S, max_iops)``
+* offered throughput ``X_off = N / (S + Z)`` for ``N`` workers, think ``Z``
+* achieved ``X = min(X_off, X_dev)``; batch elapsed ``= n_requests / X``
+* mean device queue by Little's law: ``Q = X · R`` with response
+  ``R = N/X − Z`` when saturated, else ``Q = X · S``.
+
+This reproduces the qualitative iostat behaviour the paper reports
+(Figures 12–13): queue lengths near the worker count when the device is the
+bottleneck, and the slower device (SATA SSD) showing the longer queue.
+
+Presets
+-------
+``PCIE_FLASH`` is calibrated to the FusionIO ioDrive2 (Table I), ``SATA_SSD``
+to the Intel SSD 320 600 GB, ``DRAM_CHANNEL`` to a DDR3-1333 channel (used
+only when a test wants to drive the same code path against "memory speed").
+Numbers come from the 2012/2013 datasheets; see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "DeviceModel",
+    "BatchResult",
+    "PCIE_FLASH",
+    "SATA_SSD",
+    "DRAM_CHANNEL",
+    "SATA_HDD",
+    "NVME_FLASH",
+    "OPTANE_SSD",
+    "DEVICE_CATALOG",
+]
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Outcome of servicing one request batch.
+
+    Attributes
+    ----------
+    elapsed_s:
+        Modeled wall time to drain the batch.
+    mean_queue:
+        Time-averaged number of in-flight + queued requests (iostat
+        ``avgqu-sz`` contribution of this batch).
+    throughput_iops:
+        Achieved request rate.
+    """
+
+    elapsed_s: float
+    mean_queue: float
+    throughput_iops: float
+
+
+@dataclass(frozen=True)
+class DeviceModel:
+    """A block device with latency/bandwidth/IOPS limits.
+
+    Parameters
+    ----------
+    name:
+        Human-readable device name (appears in iostat reports).
+    read_latency_s:
+        Per-request access latency in seconds (media + controller).
+    read_bandwidth_bps:
+        Peak streaming read bandwidth in bytes/second.
+    max_read_iops:
+        Sustainable 4 KB random-read IOPS.
+    channels:
+        Internal service parallelism (requests in flight inside the device).
+    """
+
+    name: str
+    read_latency_s: float
+    read_bandwidth_bps: float
+    max_read_iops: float
+    channels: int = 32
+
+    def __post_init__(self) -> None:
+        if self.read_latency_s < 0:
+            raise ConfigurationError(f"negative latency: {self.read_latency_s}")
+        if self.read_bandwidth_bps <= 0:
+            raise ConfigurationError(f"bandwidth must be positive: {self.read_bandwidth_bps}")
+        if self.max_read_iops <= 0:
+            raise ConfigurationError(f"IOPS must be positive: {self.max_read_iops}")
+        if self.channels <= 0:
+            raise ConfigurationError(f"channels must be positive: {self.channels}")
+
+    # -- service model -------------------------------------------------------
+
+    def service_time_s(self, request_bytes: float) -> float:
+        """Mean service time of one request of ``request_bytes``."""
+        if request_bytes < 0:
+            raise ConfigurationError(f"negative request size: {request_bytes}")
+        return self.read_latency_s + request_bytes / self.read_bandwidth_bps
+
+    def saturation_iops(self, request_bytes: float) -> float:
+        """Peak request rate for this request size (channel- or IOPS-capped)."""
+        s = self.service_time_s(request_bytes)
+        if s <= 0.0:
+            return self.max_read_iops
+        return min(self.channels / s, self.max_read_iops,
+                   self.read_bandwidth_bps / max(request_bytes, 1.0))
+
+    def submit(
+        self,
+        n_requests: int,
+        total_bytes: int,
+        concurrency: int,
+        think_time_s: float = 0.0,
+    ) -> BatchResult:
+        """Service a batch of requests from a closed set of workers.
+
+        Parameters
+        ----------
+        n_requests:
+            Number of read requests in the batch.
+        total_bytes:
+            Total payload (mean request size = ``total_bytes/n_requests``).
+        concurrency:
+            Number of synchronous workers issuing the requests.
+        think_time_s:
+            Per-request CPU time each worker spends between requests.
+
+        Returns
+        -------
+        BatchResult
+            Elapsed time, time-averaged queue length, achieved IOPS.
+        """
+        if n_requests < 0 or total_bytes < 0:
+            raise ConfigurationError("negative batch")
+        if concurrency <= 0:
+            raise ConfigurationError(f"concurrency must be positive: {concurrency}")
+        if think_time_s < 0:
+            raise ConfigurationError(f"negative think time: {think_time_s}")
+        if n_requests == 0:
+            return BatchResult(elapsed_s=0.0, mean_queue=0.0, throughput_iops=0.0)
+
+        mean_size = total_bytes / n_requests
+        s = self.service_time_s(mean_size)
+        x_dev = self.saturation_iops(mean_size)
+        n = float(concurrency)
+        x_off = n / (s + think_time_s) if (s + think_time_s) > 0 else x_dev
+        x = min(x_off, x_dev)
+        if x <= 0.0:
+            raise ConfigurationError("degenerate throughput")
+        elapsed = n_requests / x
+        if x < x_off:  # device-bound: workers pile up at the device
+            response = n / x - think_time_s
+            queue = x * response
+        else:  # CPU-bound: requests barely queue
+            queue = x * s
+        return BatchResult(elapsed_s=elapsed, mean_queue=queue, throughput_iops=x)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}: {self.read_latency_s * 1e6:.0f} us, "
+            f"{self.read_bandwidth_bps / 1e6:.0f} MB/s, "
+            f"{self.max_read_iops / 1e3:.0f} kIOPS x{self.channels}"
+        )
+
+
+# -- presets (2013-era datasheet values; see EXPERIMENTS.md for sources) ------
+
+PCIE_FLASH = DeviceModel(
+    name="FusionIO ioDrive2 320GB",
+    read_latency_s=68e-6,
+    read_bandwidth_bps=1.4e9,
+    max_read_iops=135_000.0,
+    channels=32,
+)
+"""PCI Express attached flash of the paper's DRAM+PCIeFlash scenario."""
+
+SATA_SSD = DeviceModel(
+    name="Intel SSD 320 600GB",
+    read_latency_s=75e-6,
+    read_bandwidth_bps=270e6,
+    max_read_iops=39_500.0,
+    channels=10,
+)
+"""SATA SSD of the paper's DRAM+SSD scenario (NCQ-limited parallelism)."""
+
+DRAM_CHANNEL = DeviceModel(
+    name="DDR3-1333 channel",
+    read_latency_s=80e-9,
+    read_bandwidth_bps=10.6e9,
+    max_read_iops=1e9,
+    channels=4,
+)
+"""A DRAM channel expressed in the same vocabulary (tests/ablations only)."""
+
+# -- extended catalog for the paper's "performance studies on various NVM
+#    devices" future-work item (§VIII); see bench_ablation_devices -----------
+
+SATA_HDD = DeviceModel(
+    name="7.2k SATA HDD",
+    read_latency_s=8e-3,
+    read_bandwidth_bps=150e6,
+    max_read_iops=150.0,
+    channels=1,
+)
+"""A spinning disk: the seek-bound floor semi-external BFS must avoid."""
+
+NVME_FLASH = DeviceModel(
+    name="NVMe flash (datacenter, late-2010s)",
+    read_latency_s=80e-6,
+    read_bandwidth_bps=3.2e9,
+    max_read_iops=600_000.0,
+    channels=64,
+)
+"""A post-paper NVMe drive: ~4.4x the ioDrive2's IOPS."""
+
+OPTANE_SSD = DeviceModel(
+    name="Optane SSD (3D XPoint)",
+    read_latency_s=10e-6,
+    read_bandwidth_bps=2.4e9,
+    max_read_iops=550_000.0,
+    channels=16,
+)
+"""Low-latency storage-class memory: the limit the paper extrapolates
+towards ("devices that achieve higher IOPS ... can instantly evacuate
+I/O requests in a I/O queue", §VI-D)."""
+
+DEVICE_CATALOG = (SATA_HDD, SATA_SSD, PCIE_FLASH, OPTANE_SSD, NVME_FLASH)
+"""Device family ordered by sustained random-read IOPS (ablation sweep)."""

@@ -1,0 +1,176 @@
+"""Two-tier memory hierarchy with capacity enforcement.
+
+The paper's scenarios (Table I) differ only in where data may live: 128 GB
+of DRAM (DRAM-only) versus 64 GB of DRAM plus a 320/600 GB NVM device.
+:class:`MemoryHierarchy` tracks named allocations against both budgets and
+is the mechanism by which the :class:`repro.core.offload.OffloadPlanner`
+*proves* that a placement fits — e.g. that at SCALE 27 the backward graph +
+BFS status data (48.2 GB) fit in 64 GB while the forward graph (40.1 GB)
+must go to NVM.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.semiext.storage import ExternalArray, NVMStore
+
+__all__ = ["Tier", "Placement", "MemoryHierarchy"]
+
+
+class Tier(enum.Enum):
+    """Memory tier an allocation lives in."""
+
+    DRAM = "dram"
+    NVM = "nvm"
+
+
+@dataclass(frozen=True)
+class Placement:
+    """One named allocation: where it lives and how big it is."""
+
+    name: str
+    tier: Tier
+    nbytes: int
+
+
+class MemoryHierarchy:
+    """DRAM + optional NVM with per-tier capacity accounting.
+
+    Parameters
+    ----------
+    dram_capacity:
+        DRAM budget in bytes.
+    nvm_store:
+        Backing store for NVM placements; ``None`` models a DRAM-only
+        machine (any NVM placement then raises :class:`CapacityError`).
+    nvm_capacity:
+        NVM budget in bytes (defaults to unlimited when a store is given).
+    """
+
+    def __init__(
+        self,
+        dram_capacity: int,
+        nvm_store: NVMStore | None = None,
+        nvm_capacity: int | None = None,
+    ) -> None:
+        if dram_capacity <= 0:
+            raise ConfigurationError(
+                f"dram_capacity must be positive: {dram_capacity}"
+            )
+        if nvm_capacity is not None and nvm_capacity < 0:
+            raise ConfigurationError(f"negative nvm_capacity: {nvm_capacity}")
+        self.dram_capacity = int(dram_capacity)
+        self.nvm_store = nvm_store
+        self.nvm_capacity = (
+            int(nvm_capacity)
+            if nvm_capacity is not None
+            else (None if nvm_store is None else None)
+        )
+        self._placements: dict[str, Placement] = {}
+
+    # -- accounting --------------------------------------------------------------
+
+    def used(self, tier: Tier) -> int:
+        """Bytes currently allocated in ``tier``."""
+        return sum(p.nbytes for p in self._placements.values() if p.tier is tier)
+
+    def remaining(self, tier: Tier) -> int | None:
+        """Free bytes in ``tier`` (``None`` = unbounded NVM)."""
+        if tier is Tier.DRAM:
+            return self.dram_capacity - self.used(Tier.DRAM)
+        if self.nvm_capacity is None:
+            return None
+        return self.nvm_capacity - self.used(Tier.NVM)
+
+    def fits(self, nbytes: int, tier: Tier) -> bool:
+        """Would an ``nbytes`` allocation fit in ``tier`` right now?"""
+        if tier is Tier.NVM and self.nvm_store is None:
+            return False
+        rem = self.remaining(tier)
+        return rem is None or nbytes <= rem
+
+    def reserve(self, name: str, nbytes: int, tier: Tier) -> Placement:
+        """Reserve capacity without materializing data (planner dry runs)."""
+        if nbytes < 0:
+            raise ConfigurationError(f"negative allocation: {nbytes}")
+        if name in self._placements:
+            raise CapacityError(f"allocation {name!r} already exists")
+        if not self.fits(nbytes, tier):
+            raise CapacityError(
+                f"{name!r} ({nbytes} B) does not fit in {tier.value}: "
+                f"remaining={self.remaining(tier)}"
+                + (" (no NVM device)" if tier is Tier.NVM and self.nvm_store is None else "")
+            )
+        placement = Placement(name=name, tier=tier, nbytes=nbytes)
+        self._placements[name] = placement
+        return placement
+
+    def release(self, name: str) -> None:
+        """Free a reservation (and drop its NVM file if materialized there)."""
+        placement = self._placements.pop(name, None)
+        if placement is None:
+            raise CapacityError(f"no allocation named {name!r}")
+        if (
+            placement.tier is Tier.NVM
+            and self.nvm_store is not None
+            and name in self.nvm_store
+        ):
+            self.nvm_store.drop_array(name)
+
+    # -- placement of real arrays --------------------------------------------------
+
+    def place_array(
+        self, name: str, array: np.ndarray, tier: Tier
+    ) -> np.ndarray | ExternalArray:
+        """Materialize ``array`` in ``tier``; returns the resident handle.
+
+        DRAM placements return the array itself (contiguous); NVM placements
+        write it through the store and return an :class:`ExternalArray`.
+        """
+        arr = np.ascontiguousarray(array)
+        self.reserve(name, arr.nbytes, tier)
+        if tier is Tier.DRAM:
+            return arr
+        assert self.nvm_store is not None  # guaranteed by reserve()
+        return self.nvm_store.put_array(name, arr)
+
+    def placements(self) -> list[Placement]:
+        """All current placements, insertion-ordered."""
+        return list(self._placements.values())
+
+    def describe(self) -> str:
+        """Multi-line capacity report (used by the CLI and examples)."""
+        from repro.util.units import format_bytes
+
+        lines = [
+            f"DRAM: {format_bytes(self.used(Tier.DRAM))} / "
+            f"{format_bytes(self.dram_capacity)}"
+        ]
+        if self.nvm_store is not None:
+            cap = (
+                format_bytes(self.nvm_capacity)
+                if self.nvm_capacity is not None
+                else "unbounded"
+            )
+            lines.append(
+                f"NVM ({self.nvm_store.device.name}): "
+                f"{format_bytes(self.used(Tier.NVM))} / {cap}"
+            )
+        else:
+            lines.append("NVM: none")
+        for p in self._placements.values():
+            from repro.util.units import format_bytes as fb
+
+            lines.append(f"  {p.name:<24} {p.tier.value:<5} {fb(p.nbytes)}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"MemoryHierarchy(dram={self.used(Tier.DRAM)}/{self.dram_capacity}, "
+            f"nvm={self.used(Tier.NVM)}, placements={len(self._placements)})"
+        )

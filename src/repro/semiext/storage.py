@@ -1,0 +1,503 @@
+"""File-backed arrays read through a modeled NVM device.
+
+This is the reproduction's "semi-external memory": a :class:`NVMStore`
+owns a directory of binary array files (the paper's *array file* and
+*value file*, §V-B1) plus one :class:`~repro.semiext.device.DeviceModel`,
+one :class:`~repro.semiext.clock.SimulatedClock` and one
+:class:`~repro.semiext.iostats.IoStats`.
+
+Every read of an :class:`ExternalArray` does two things:
+
+1. **really reads the bytes** through a read-only ``numpy.memmap`` (so the
+   data path, alignment and request boundaries are genuine), and
+2. **charges the device model** with the exact request stream a 4 KB-chunked
+   ``read(2)`` loop would issue (paper §V-C), advancing the simulated clock
+   and feeding the iostat accounting.
+
+The BFS engines therefore need no special cases: an in-DRAM ``ndarray`` and
+an ``ExternalArray`` expose the same gather operations, differing only in
+what they cost.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ConfigurationError, StorageError
+from repro.semiext.clock import SimulatedClock
+from repro.semiext.device import BatchResult, DeviceModel
+from repro.semiext.iostats import IoStats
+from repro.util.chunking import (
+    DEFAULT_CHUNK_BYTES,
+    DEFAULT_MAX_MERGED_BYTES,
+    merge_extents,
+    plan_chunks,
+)
+from repro.util.gather import concat_ranges
+
+__all__ = ["NVMStore", "ExternalArray", "DeferredCharge"]
+
+
+class NVMStore:
+    """A directory of array files behind one simulated NVM device.
+
+    Parameters
+    ----------
+    root:
+        Directory for the backing files (created if missing).
+    device:
+        Performance model charged for every read.
+    clock:
+        Simulated clock advanced by every read (shared with the BFS cost
+        model so device time and CPU time add up on one axis).
+    concurrency:
+        Number of synchronous reader threads assumed by the queueing model
+        (the paper: 48).
+    chunk_bytes:
+        Maximum ``read(2)`` size (the paper: 4 KB); also the page size of
+        the modeled page cache.
+    max_request_bytes:
+        Largest post-merge device request the modeled block layer emits
+        (``iostat`` sees these, not the 4 KB syscalls).
+    page_cache_bytes:
+        Capacity of the modeled OS page cache (0 = none).  The cache
+        fills once and never evicts — adequate for BFS, whose NVM reads
+        have little short-term reuse — and is what reproduces the paper's
+        Figure 9: when the spare DRAM exceeds the forward graph (their
+        SCALE 26 on the 64 GB machines), repeat reads become cache hits
+        and DRAM+PCIeFlash performs like DRAM-only.
+    io_mode:
+        ``"sync"`` (default) models the paper's implementation: one
+        outstanding ``read(2)`` per worker thread, throughput capped by
+        the closed system.  ``"async"`` models the §VI-D suggestion of
+        aggregating small I/O with ``libaio``: the level's whole request
+        batch is submitted at device queue depth, CPU think time overlaps
+        I/O, and throughput reaches the device's saturation rate.
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        device: DeviceModel,
+        clock: SimulatedClock | None = None,
+        concurrency: int = 48,
+        chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+        max_request_bytes: int = DEFAULT_MAX_MERGED_BYTES,
+        page_cache_bytes: int = 0,
+        io_mode: str = "sync",
+    ) -> None:
+        if io_mode not in ("sync", "async"):
+            raise ConfigurationError(
+                f"io_mode must be 'sync' or 'async', got {io_mode!r}"
+            )
+        if concurrency <= 0:
+            raise ConfigurationError(f"concurrency must be positive: {concurrency}")
+        if chunk_bytes <= 0:
+            raise ConfigurationError(f"chunk_bytes must be positive: {chunk_bytes}")
+        if max_request_bytes < chunk_bytes:
+            raise ConfigurationError(
+                f"max_request_bytes ({max_request_bytes}) must be >= "
+                f"chunk_bytes ({chunk_bytes})"
+            )
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.device = device
+        self.clock = clock if clock is not None else SimulatedClock()
+        self.iostats = IoStats(device_name=device.name)
+        if page_cache_bytes < 0:
+            raise ConfigurationError(
+                f"page_cache_bytes must be >= 0: {page_cache_bytes}"
+            )
+        self.concurrency = int(concurrency)
+        self.chunk_bytes = int(chunk_bytes)
+        self.max_request_bytes = int(max_request_bytes)
+        self.page_cache_bytes = int(page_cache_bytes)
+        self.io_mode = io_mode
+        self.n_syscalls = 0
+        self.cache_hit_bytes = 0
+        self.cache_miss_bytes = 0
+        self.cache_hit_time_per_byte = 0.0
+        """Seconds charged per page-cache-hit byte (DRAM read cost).
+
+        Zero by default; the semi-external engine sets it from its DRAM
+        cost model so cached reads cost memory speed, not nothing.
+        """
+        self._resident: dict[str, np.ndarray] = {}  # file_key -> page bools
+        self._resident_bytes = 0
+        self._arrays: dict[str, "ExternalArray"] = {}
+        # Charging mutates the clock, the iostat meters and the page
+        # cache; a lock keeps concurrent shard workers (see
+        # repro.bfs.parallel) from corrupting them.
+        self._charge_lock = threading.Lock()
+
+    def put_array(self, name: str, array: np.ndarray) -> "ExternalArray":
+        """Offload ``array`` to the store; returns its external handle.
+
+        The write itself is not charged to the device model: the paper
+        measures BFS-phase I/O only (graph construction I/O is excluded
+        from the TEPS timing by the Graph500 rules).
+        """
+        if "/" in name or name.startswith("."):
+            raise StorageError(f"invalid array name: {name!r}")
+        if name in self._arrays:
+            raise StorageError(f"array {name!r} already exists in store")
+        arr = np.ascontiguousarray(array)
+        path = self.root / f"{name}.bin"
+        arr.tofile(path)
+        ext = ExternalArray(self, name, path, arr.dtype, arr.shape)
+        self._arrays[name] = ext
+        return ext
+
+    def get_array(self, name: str) -> "ExternalArray":
+        """Look up a previously offloaded array."""
+        try:
+            return self._arrays[name]
+        except KeyError:
+            raise StorageError(f"no array named {name!r} in store") from None
+
+    def drop_array(self, name: str) -> None:
+        """Remove an array and delete its backing file."""
+        ext = self.get_array(name)
+        ext.close()
+        ext.path.unlink(missing_ok=True)
+        del self._arrays[name]
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes currently resident on the device."""
+        return sum(a.nbytes for a in self._arrays.values())
+
+    def charge(
+        self,
+        offsets: np.ndarray,
+        lengths: np.ndarray,
+        think_time_s: float = 0.0,
+        file_key: str = "",
+    ) -> float:
+        """Charge the device for reading the given byte extents.
+
+        Three layers, as on a real kernel: the extents are split into
+        ≤``chunk_bytes`` ``read(2)`` calls (counted in :attr:`n_syscalls`),
+        widened to pages and deduplicated within the batch, filtered
+        against the persistent page cache (``page_cache_bytes``), and the
+        remaining misses merged into device requests of
+        ≤``max_request_bytes`` (what iostat sees).  The merged stream is
+        serviced through the device model, advancing the clock and
+        recording iostat data.  Returns the modeled elapsed seconds.
+
+        Thread-safe: concurrent shard workers serialize on an internal
+        lock (order-dependent float accumulation aside, totals are
+        independent of the interleaving).
+        """
+        with self._charge_lock:
+            return self._charge_locked(offsets, lengths, think_time_s, file_key)
+
+    def _charge_locked(
+        self,
+        offsets: np.ndarray,
+        lengths: np.ndarray,
+        think_time_s: float,
+        file_key: str,
+    ) -> float:
+        syscalls = plan_chunks(offsets, lengths, self.chunk_bytes)
+        self.n_syscalls += syscalls.n_requests
+        plan = merge_extents(
+            offsets,
+            lengths,
+            page_bytes=self.chunk_bytes,
+            max_request_bytes=self.max_request_bytes,
+        )
+        if plan.n_requests == 0:
+            return 0.0
+        if self.page_cache_bytes > 0:
+            # Useful-byte density of this batch's pages: hits are charged
+            # for the adjacency actually consumed, not the page padding.
+            requested = int(np.asarray(lengths, dtype=np.int64).sum())
+            density = min(1.0, requested / plan.total_bytes)
+            plan = self._filter_cached(plan, file_key, density)
+            if plan.n_requests == 0:
+                return 0.0
+        if self.io_mode == "async":
+            # libaio-style aggregation (§VI-D): many small reads are
+            # coalesced into scatter-gather submissions of
+            # ``max_request_bytes``, queued at device depth with CPU
+            # overlapped — turning the IOPS-bound small-request stream
+            # into a bandwidth-bound large-request one.
+            agg = self.max_request_bytes
+            n_sub = max(1, -(-plan.total_bytes // agg))
+            x = self.device.saturation_iops(plan.total_bytes / n_sub)
+            result = BatchResult(
+                elapsed_s=n_sub / x,
+                mean_queue=float(self.device.channels),
+                throughput_iops=x,
+            )
+        else:
+            result = self.device.submit(
+                n_requests=plan.n_requests,
+                total_bytes=plan.total_bytes,
+                concurrency=self.concurrency,
+                think_time_s=think_time_s,
+            )
+        t0 = self.clock.now()
+        self.clock.advance(result.elapsed_s)
+        self.iostats.record_batch(
+            t_start_s=t0,
+            duration_s=result.elapsed_s,
+            request_sizes=plan.sizes,
+            mean_queue=result.mean_queue,
+        )
+        return result.elapsed_s
+
+    def _filter_cached(self, plan, file_key: str, density: float = 1.0):
+        """Split the page-aligned request stream against the page cache.
+
+        Pages already resident cost DRAM time for their useful bytes
+        (``density`` × page, at ``cache_hit_time_per_byte``); missing
+        pages are charged to the device and — while capacity remains —
+        inserted (fill-once, no eviction).
+        """
+        pb = self.chunk_bytes
+        page_starts = (plan.offsets // pb).astype(np.int64)
+        page_counts = (plan.sizes // pb).astype(np.int64)
+        pages = concat_ranges(page_starts, page_counts)
+        max_page = int(pages.max()) + 1
+        resident = self._resident.get(file_key)
+        if resident is None or resident.size < max_page:
+            grown = np.zeros(max_page, dtype=bool)
+            if resident is not None:
+                grown[: resident.size] = resident
+            self._resident[file_key] = resident = grown
+        hit = resident[pages]
+        n_hit_bytes = int(hit.sum()) * pb
+        self.cache_hit_bytes += n_hit_bytes
+        if n_hit_bytes and self.cache_hit_time_per_byte > 0.0:
+            # Cached pages are read from DRAM: charge memory-speed time
+            # for the useful fraction of the hit pages.
+            self.clock.advance(
+                n_hit_bytes * density * self.cache_hit_time_per_byte
+            )
+        misses = pages[~hit]
+        self.cache_miss_bytes += int(misses.size) * pb
+        if misses.size:
+            # Admit misses while capacity remains (fill-once policy).
+            room = (self.page_cache_bytes - self._resident_bytes) // pb
+            if room > 0:
+                admit = misses[: int(room)]
+                resident[admit] = True
+                self._resident_bytes += int(admit.size) * pb
+        if misses.size == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return type(plan)(empty, empty.copy())
+        # Re-merge contiguous miss pages into device requests.
+        return merge_extents(
+            misses * pb,
+            np.full(misses.size, pb, dtype=np.int64),
+            page_bytes=pb,
+            max_request_bytes=self.max_request_bytes,
+        )
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        """Byte-weighted page-cache hit ratio since construction."""
+        total = self.cache_hit_bytes + self.cache_miss_bytes
+        if total == 0:
+            return 0.0
+        return self.cache_hit_bytes / total
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._arrays
+
+    def __repr__(self) -> str:
+        return (
+            f"NVMStore(root={str(self.root)!r}, device={self.device.name!r}, "
+            f"arrays={len(self._arrays)}, nbytes={self.nbytes})"
+        )
+
+
+@dataclass(frozen=True)
+class DeferredCharge:
+    """A read's device charge, detached from its data transfer.
+
+    Parallel shard workers read through the memmap concurrently (safe)
+    but must not meter the device concurrently if deterministic clock
+    totals are wanted; the deferred form lets the engine *apply* all
+    charges serially in shard order during its commit phase.
+    """
+
+    array: "ExternalArray"
+    offsets: np.ndarray
+    lengths: np.ndarray
+
+    def apply(self, think_time_s: float = 0.0) -> float:
+        """Meter the device now; returns modeled elapsed seconds."""
+        return self.array.store.charge(
+            self.offsets,
+            self.lengths,
+            think_time_s,
+            file_key=self.array.name,
+        )
+
+
+class ExternalArray:
+    """A 1-D (or flattenable) array resident on simulated NVM.
+
+    Reads go through a read-only memmap; every read API charges the owning
+    store's device model.  Handles are created by
+    :meth:`NVMStore.put_array`, never directly.
+    """
+
+    def __init__(
+        self,
+        store: NVMStore,
+        name: str,
+        path: Path,
+        dtype: np.dtype,
+        shape: tuple[int, ...],
+    ) -> None:
+        if len(shape) != 1:
+            raise StorageError(
+                f"ExternalArray supports 1-D arrays, got shape {shape}"
+            )
+        self.store = store
+        self.name = name
+        self.path = path
+        self.dtype = np.dtype(dtype)
+        self.shape = shape
+        # mmap cannot map an empty file; an empty array needs no backing view.
+        self._mm: np.ndarray | None
+        if shape[0] == 0:
+            self._mm = np.empty(0, dtype=self.dtype)
+        else:
+            self._mm = np.memmap(path, dtype=self.dtype, mode="r", shape=shape)
+
+    # -- metadata --------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of elements."""
+        return int(self.shape[0])
+
+    @property
+    def itemsize(self) -> int:
+        """Bytes per element."""
+        return self.dtype.itemsize
+
+    @property
+    def nbytes(self) -> int:
+        """Total backing-file size in bytes."""
+        return self.size * self.itemsize
+
+    def _memmap(self) -> np.ndarray:
+        if self._mm is None:
+            raise StorageError(f"array {self.name!r} is closed")
+        return self._mm
+
+    # -- charged reads ----------------------------------------------------------
+
+    def read_rows(
+        self,
+        starts: np.ndarray,
+        counts: np.ndarray,
+        think_time_s: float = 0.0,
+    ) -> np.ndarray:
+        """Gather ``counts[i]`` elements from ``starts[i]`` for each row.
+
+        This is the *value file* access of the top-down step: one extent per
+        frontier vertex, chunked to ≤4 KB requests.  Returns the
+        concatenation of all rows (a real in-memory ``ndarray``).
+        """
+        values, charge = self.read_rows_deferred(starts, counts)
+        charge.apply(think_time_s)
+        return values
+
+    def read_rows_deferred(
+        self, starts: np.ndarray, counts: np.ndarray
+    ) -> tuple[np.ndarray, DeferredCharge]:
+        """Like :meth:`read_rows`, but the device charge is returned
+        instead of applied (see :class:`DeferredCharge`)."""
+        starts = np.asarray(starts, dtype=np.int64)
+        counts = np.asarray(counts, dtype=np.int64)
+        mm = self._memmap()
+        if starts.size and (
+            starts.min() < 0 or int((starts + counts).max()) > self.size
+        ):
+            raise StorageError(f"row extent outside array {self.name!r}")
+        gather = concat_ranges(starts, counts)
+        values = np.asarray(mm[gather])
+        charge = DeferredCharge(
+            array=self,
+            offsets=starts * self.itemsize,
+            lengths=counts * self.itemsize,
+        )
+        return values, charge
+
+    def read_elements(
+        self, indices: np.ndarray, width: int = 1, think_time_s: float = 0.0
+    ) -> np.ndarray:
+        """Read ``width`` consecutive elements at each index.
+
+        This is the *array (index) file* access of the top-down step: for
+        every frontier vertex the reader fetches ``indptr[v]`` and
+        ``indptr[v+1]`` — i.e. ``width=2`` at offset ``v``.  Returns an
+        ``(n, width)`` array.
+        """
+        values, charge = self.read_elements_deferred(indices, width)
+        charge.apply(think_time_s)
+        return values
+
+    def read_elements_deferred(
+        self, indices: np.ndarray, width: int = 1
+    ) -> tuple[np.ndarray, DeferredCharge]:
+        """Like :meth:`read_elements`, but with a deferred charge."""
+        idx = np.asarray(indices, dtype=np.int64)
+        if width <= 0:
+            raise StorageError(f"width must be positive: {width}")
+        mm = self._memmap()
+        if idx.size and (idx.min() < 0 or int(idx.max()) + width > self.size):
+            raise StorageError(f"element read outside array {self.name!r}")
+        charge = DeferredCharge(
+            array=self,
+            offsets=idx * self.itemsize,
+            lengths=np.full(idx.shape, width * self.itemsize, dtype=np.int64),
+        )
+        if idx.size == 0:
+            return np.empty((0, width), dtype=self.dtype), charge
+        gather = idx[:, None] + np.arange(width, dtype=np.int64)[None, :]
+        values = np.asarray(mm[gather.ravel()]).reshape(-1, width)
+        return values, charge
+
+    def read_slice(self, lo: int, hi: int, think_time_s: float = 0.0) -> np.ndarray:
+        """Sequential read of ``[lo, hi)`` charged as one streamed extent."""
+        if not 0 <= lo <= hi <= self.size:
+            raise StorageError(
+                f"slice [{lo}, {hi}) outside array {self.name!r} of size {self.size}"
+            )
+        mm = self._memmap()
+        self.store.charge(
+            np.array([lo * self.itemsize], dtype=np.int64),
+            np.array([(hi - lo) * self.itemsize], dtype=np.int64),
+            think_time_s,
+            file_key=self.name,
+        )
+        return np.asarray(mm[lo:hi])
+
+    def to_ndarray(self) -> np.ndarray:
+        """Uncharged full copy (for validation paths and tests only)."""
+        return np.asarray(self._memmap()).copy()
+
+    def close(self) -> None:
+        """Release the memmap (idempotent)."""
+        self._mm = None
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:
+        return (
+            f"ExternalArray({self.name!r}, {self.dtype}, n={self.size}, "
+            f"device={self.store.device.name!r})"
+        )

@@ -1,0 +1,180 @@
+"""Request-trace recording and cross-device replay.
+
+The paper's device analysis (§VI-D) is trace-driven: capture the I/O
+stream once, then reason about how different hardware would serve it
+("this situation may be relaxed by using devices that achieve higher
+IOPS").  :class:`RequestTrace` makes that workflow first-class:
+
+* **record** — attach :func:`attach_recorder` to an
+  :class:`~repro.semiext.storage.NVMStore` and every charged batch is
+  appended (virtual time, per-extent offsets/lengths, file key);
+* **persist** — traces round-trip through ``.npz`` files, so a SCALE-17
+  capture can be analyzed without regenerating the graph;
+* **replay** — :meth:`RequestTrace.replay` pushes the recorded extent
+  stream through *any* device model and store configuration, answering
+  "what would this exact BFS access pattern cost on an Optane drive /
+  with a 64 KB chunk size / without the page cache?" without re-running
+  BFS.
+
+Replay preserves batch boundaries (one batch per recorded charge), so
+queueing behaviour is reproduced faithfully, not just byte totals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ConfigurationError, StorageError
+from repro.semiext.device import DeviceModel
+from repro.semiext.iostats import IoStats
+from repro.semiext.storage import NVMStore
+from repro.util.chunking import DEFAULT_CHUNK_BYTES, DEFAULT_MAX_MERGED_BYTES
+
+__all__ = ["TraceRecord", "RequestTrace", "attach_recorder"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One charged batch: the extents a single gather requested."""
+
+    t_virtual_s: float
+    file_key: str
+    offsets: np.ndarray
+    lengths: np.ndarray
+
+    @property
+    def total_bytes(self) -> int:
+        """Requested payload of this batch."""
+        return int(self.lengths.sum()) if self.lengths.size else 0
+
+
+class RequestTrace:
+    """An ordered capture of a store's charged batches."""
+
+    def __init__(self) -> None:
+        self.records: list[TraceRecord] = []
+
+    # -- capture ------------------------------------------------------------------
+
+    def append(
+        self,
+        t_virtual_s: float,
+        file_key: str,
+        offsets: np.ndarray,
+        lengths: np.ndarray,
+    ) -> None:
+        """Record one batch (copies the extent arrays)."""
+        self.records.append(
+            TraceRecord(
+                t_virtual_s=float(t_virtual_s),
+                file_key=str(file_key),
+                offsets=np.asarray(offsets, dtype=np.int64).copy(),
+                lengths=np.asarray(lengths, dtype=np.int64).copy(),
+            )
+        )
+
+    @property
+    def n_batches(self) -> int:
+        """Number of recorded batches."""
+        return len(self.records)
+
+    @property
+    def total_bytes(self) -> int:
+        """Total requested payload across the trace."""
+        return sum(r.total_bytes for r in self.records)
+
+    # -- persistence -----------------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Write the trace to an ``.npz`` file."""
+        if not self.records:
+            raise StorageError("refusing to save an empty trace")
+        arrays: dict[str, np.ndarray] = {
+            "t": np.array([r.t_virtual_s for r in self.records]),
+            "keys": np.array([r.file_key for r in self.records]),
+            "sizes": np.array(
+                [r.offsets.size for r in self.records], dtype=np.int64
+            ),
+            "offsets": np.concatenate([r.offsets for r in self.records]),
+            "lengths": np.concatenate([r.lengths for r in self.records]),
+        }
+        np.savez_compressed(path, **arrays)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "RequestTrace":
+        """Read a trace written by :meth:`save`."""
+        data = np.load(path, allow_pickle=False)
+        trace = cls()
+        pos = 0
+        for t, key, size in zip(data["t"], data["keys"], data["sizes"]):
+            size = int(size)
+            trace.append(
+                float(t),
+                str(key),
+                data["offsets"][pos : pos + size],
+                data["lengths"][pos : pos + size],
+            )
+            pos += size
+        return trace
+
+    # -- replay ------------------------------------------------------------------------
+
+    def replay(
+        self,
+        device: DeviceModel,
+        workdir: str | Path,
+        concurrency: int = 48,
+        chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+        max_request_bytes: int = DEFAULT_MAX_MERGED_BYTES,
+        page_cache_bytes: int = 0,
+        io_mode: str = "sync",
+    ) -> IoStats:
+        """Push the captured extent stream through another configuration.
+
+        Returns the replay's :class:`~repro.semiext.iostats.IoStats`
+        (time axis = the replay store's fresh simulated clock).  The
+        backing files are not needed: replay charges the device model
+        only, which is all the statistics depend on.
+        """
+        if not self.records:
+            raise ConfigurationError("cannot replay an empty trace")
+        store = NVMStore(
+            Path(workdir),
+            device,
+            concurrency=concurrency,
+            chunk_bytes=chunk_bytes,
+            max_request_bytes=max_request_bytes,
+            page_cache_bytes=page_cache_bytes,
+            io_mode=io_mode,
+        )
+        for record in self.records:
+            store.charge(
+                record.offsets, record.lengths, file_key=record.file_key
+            )
+        return store.iostats
+
+    def __repr__(self) -> str:
+        return (
+            f"RequestTrace(batches={self.n_batches}, "
+            f"bytes={self.total_bytes})"
+        )
+
+
+def attach_recorder(store: NVMStore) -> RequestTrace:
+    """Start recording every charge on ``store``; returns the live trace.
+
+    Implemented by wrapping the store's ``charge`` method; recording adds
+    no modeled time and does not perturb the statistics.
+    """
+    trace = RequestTrace()
+    original = store.charge
+
+    def recording_charge(offsets, lengths, think_time_s=0.0, file_key=""):
+        trace.append(store.clock.now(), file_key, offsets, lengths)
+        return original(offsets, lengths, think_time_s, file_key=file_key)
+
+    store.charge = recording_charge  # type: ignore[method-assign]
+    return trace

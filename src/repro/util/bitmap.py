@@ -1,0 +1,238 @@
+"""Word-packed bitmaps used for BFS visited/frontier membership.
+
+NETAL (the C implementation the paper builds on) keeps per-NUMA-node bitmaps
+for "visited" and "frontier" membership; the bottom-up step tests frontier
+membership once per scanned edge, so the test path must be branch-free and
+vectorized.  :class:`Bitmap` packs bits into ``uint64`` words and exposes
+batched operations that accept whole index arrays.
+
+Bit order
+---------
+Bit ``i`` lives in word ``i >> 6`` at position ``i & 63`` (LSB-first), the
+same convention as the Graph500 reference code.  ``to_indices`` relies on
+``numpy.unpackbits`` over a little-endian byte view, which recovers exactly
+this order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Bitmap"]
+
+_WORD_BITS = 64
+_WORD_SHIFT = 6
+_WORD_MASK = 63
+
+
+class Bitmap:
+    """A fixed-size bitmap over ``[0, size)`` packed into ``uint64`` words.
+
+    Parameters
+    ----------
+    size:
+        Number of addressable bits.  Must be positive.
+    words:
+        Optional pre-existing word buffer to wrap (shared, not copied).
+        Mainly used by :meth:`copy` and the NUMA-partitioned views.
+
+    Examples
+    --------
+    >>> bm = Bitmap(100)
+    >>> bm.set_many(np.array([3, 64, 99]))
+    >>> bool(bm.test(64))
+    True
+    >>> bm.count()
+    3
+    >>> list(bm.to_indices())
+    [3, 64, 99]
+    """
+
+    __slots__ = ("size", "words")
+
+    def __init__(self, size: int, words: np.ndarray | None = None) -> None:
+        if size <= 0:
+            raise ConfigurationError(f"bitmap size must be positive, got {size}")
+        self.size = int(size)
+        n_words = (self.size + _WORD_BITS - 1) >> _WORD_SHIFT
+        if words is None:
+            self.words = np.zeros(n_words, dtype=np.uint64)
+        else:
+            if words.dtype != np.uint64 or words.shape != (n_words,):
+                raise ConfigurationError(
+                    f"word buffer must be uint64[{n_words}], got "
+                    f"{words.dtype}[{words.shape}]"
+                )
+            self.words = words
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_indices(cls, size: int, indices: np.ndarray) -> "Bitmap":
+        """Build a bitmap of ``size`` bits with ``indices`` set."""
+        bm = cls(size)
+        bm.set_many(indices)
+        return bm
+
+    def copy(self) -> "Bitmap":
+        """Deep copy (word buffer duplicated)."""
+        return Bitmap(self.size, self.words.copy())
+
+    # -- scalar operations -------------------------------------------------
+
+    def set(self, i: int) -> None:
+        """Set bit ``i``."""
+        self._check_scalar(i)
+        self.words[i >> _WORD_SHIFT] |= np.uint64(1) << np.uint64(i & _WORD_MASK)
+
+    def clear_bit(self, i: int) -> None:
+        """Clear bit ``i``."""
+        self._check_scalar(i)
+        self.words[i >> _WORD_SHIFT] &= ~(np.uint64(1) << np.uint64(i & _WORD_MASK))
+
+    def test(self, i: int) -> bool:
+        """Return whether bit ``i`` is set."""
+        self._check_scalar(i)
+        word = self.words[i >> _WORD_SHIFT]
+        return bool((word >> np.uint64(i & _WORD_MASK)) & np.uint64(1))
+
+    def _check_scalar(self, i: int) -> None:
+        if not 0 <= i < self.size:
+            raise IndexError(f"bit index {i} out of range [0, {self.size})")
+
+    # -- vectorized operations ---------------------------------------------
+
+    def set_many(self, indices: np.ndarray) -> None:
+        """Set all bits in ``indices`` (duplicates allowed).
+
+        Equivalent to a loop of atomic ``fetch_or`` in the C implementation;
+        here ``np.bitwise_or.at`` provides the unbuffered read-modify-write.
+        """
+        idx = self._check_vector(indices)
+        if idx.size == 0:
+            return
+        np.bitwise_or.at(
+            self.words,
+            idx >> _WORD_SHIFT,
+            np.uint64(1) << (idx & np.uint64(_WORD_MASK)).astype(np.uint64),
+        )
+
+    def clear_many(self, indices: np.ndarray) -> None:
+        """Clear all bits in ``indices`` (duplicates allowed)."""
+        idx = self._check_vector(indices)
+        if idx.size == 0:
+            return
+        np.bitwise_and.at(
+            self.words,
+            idx >> _WORD_SHIFT,
+            ~(np.uint64(1) << (idx & np.uint64(_WORD_MASK)).astype(np.uint64)),
+        )
+
+    def test_many(self, indices: np.ndarray) -> np.ndarray:
+        """Return a boolean array: membership of each index.
+
+        This is the bottom-up hot path ("is neighbor ``v`` in the frontier?")
+        and is fully vectorized: two gathers, a shift and a mask.
+        """
+        idx = self._check_vector(indices)
+        words = self.words[idx >> _WORD_SHIFT]
+        return ((words >> (idx & np.uint64(_WORD_MASK))) & np.uint64(1)).astype(bool)
+
+    def _check_vector(self, indices: np.ndarray) -> np.ndarray:
+        idx = np.asarray(indices)
+        if idx.size == 0:
+            return idx.astype(np.uint64)
+        if idx.min() < 0 or int(idx.max()) >= self.size:
+            raise IndexError(
+                f"bit indices outside [0, {self.size}): "
+                f"min={idx.min()}, max={idx.max()}"
+            )
+        return idx.astype(np.uint64)
+
+    # -- whole-bitmap operations --------------------------------------------
+
+    def clear(self) -> None:
+        """Clear every bit (in place)."""
+        self.words[:] = 0
+
+    def fill(self) -> None:
+        """Set every bit in ``[0, size)``; tail bits of the last word stay 0."""
+        self.words[:] = np.uint64(0xFFFFFFFFFFFFFFFF)
+        self._mask_tail()
+
+    def _mask_tail(self) -> None:
+        tail = self.size & _WORD_MASK
+        if tail:
+            self.words[-1] &= (np.uint64(1) << np.uint64(tail)) - np.uint64(1)
+
+    def count(self) -> int:
+        """Population count over the whole bitmap."""
+        return int(np.sum(np.bitwise_count(self.words), dtype=np.int64))
+
+    def to_indices(self) -> np.ndarray:
+        """Return the sorted array of set bit positions (``int64``)."""
+        if self.size == 0:
+            return np.empty(0, dtype=np.int64)
+        as_bytes = self.words.view(np.uint8)
+        bits = np.unpackbits(as_bytes, bitorder="little")
+        return np.flatnonzero(bits[: self.size]).astype(np.int64)
+
+    def to_bool_array(self) -> np.ndarray:
+        """Return the dense ``bool[size]`` expansion of the bitmap."""
+        as_bytes = self.words.view(np.uint8)
+        bits = np.unpackbits(as_bytes, bitorder="little")
+        return bits[: self.size].astype(bool)
+
+    # -- algebra -------------------------------------------------------------
+
+    def union_inplace(self, other: "Bitmap") -> "Bitmap":
+        """``self |= other`` (sizes must match). Returns ``self``."""
+        self._check_compat(other)
+        np.bitwise_or(self.words, other.words, out=self.words)
+        return self
+
+    def intersect_inplace(self, other: "Bitmap") -> "Bitmap":
+        """``self &= other`` (sizes must match). Returns ``self``."""
+        self._check_compat(other)
+        np.bitwise_and(self.words, other.words, out=self.words)
+        return self
+
+    def difference_inplace(self, other: "Bitmap") -> "Bitmap":
+        """``self &= ~other`` (sizes must match). Returns ``self``."""
+        self._check_compat(other)
+        np.bitwise_and(self.words, np.bitwise_not(other.words), out=self.words)
+        return self
+
+    def invert_inplace(self) -> "Bitmap":
+        """Flip every bit in ``[0, size)``. Returns ``self``."""
+        np.bitwise_not(self.words, out=self.words)
+        self._mask_tail()
+        return self
+
+    def _check_compat(self, other: "Bitmap") -> None:
+        if other.size != self.size:
+            raise ConfigurationError(
+                f"bitmap size mismatch: {self.size} vs {other.size}"
+            )
+
+    # -- misc ----------------------------------------------------------------
+
+    def nbytes(self) -> int:
+        """Backing-store size in bytes (what the paper's status data counts)."""
+        return int(self.words.nbytes)
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Bitmap):
+            return NotImplemented
+        return self.size == other.size and bool(np.array_equal(self.words, other.words))
+
+    def __hash__(self) -> int:  # bitmaps are mutable; identity hash
+        return id(self)
+
+    def __repr__(self) -> str:
+        return f"Bitmap(size={self.size}, count={self.count()})"

@@ -1,0 +1,57 @@
+"""Deterministic random-number streams.
+
+Every stochastic component of the reproduction (Kronecker sampling, vertex
+permutation, root selection) draws from a named child of one master
+:class:`numpy.random.SeedSequence`, so a single integer seed reproduces an
+entire experiment, and distinct components never share a stream even when
+executed in a different order or in parallel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.random import Generator, PCG64, SeedSequence
+
+__all__ = ["SeedSequence", "derive_rng", "spawn_streams", "DEFAULT_SEED"]
+
+DEFAULT_SEED = 20140519
+"""Default master seed (the paper's publication date, for flavour)."""
+
+
+def derive_rng(seed: int | SeedSequence | None, *path: str) -> Generator:
+    """Return a generator for the component identified by ``path``.
+
+    ``path`` components are hashed into the seed material, so
+    ``derive_rng(s, "kronecker", "level3")`` is stable across runs and
+    independent of ``derive_rng(s, "roots")``.
+
+    >>> a = derive_rng(1, "x").integers(0, 100, 4)
+    >>> b = derive_rng(1, "x").integers(0, 100, 4)
+    >>> bool((a == b).all())
+    True
+    """
+    if seed is None:
+        seed = DEFAULT_SEED
+    if isinstance(seed, SeedSequence):
+        base = seed
+    else:
+        base = SeedSequence(int(seed))
+    material = list(base.entropy if isinstance(base.entropy, (list, tuple)) else [base.entropy])
+    for component in path:
+        # Stable 64-bit hash of the component name (FNV-1a).
+        h = np.uint64(0xCBF29CE484222325)
+        for ch in component.encode():
+            h = np.uint64((int(h) ^ ch) * 0x100000001B3 % (1 << 64))
+        material.append(int(h))
+    return Generator(PCG64(SeedSequence(material)))
+
+
+def spawn_streams(seed: int | SeedSequence | None, n: int, *path: str) -> list[Generator]:
+    """Return ``n`` independent generators for parallel workers.
+
+    Used by the NUMA-partitioned kernels so each simulated node owns its own
+    stream (results then do not depend on execution interleaving).
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn {n} streams")
+    return [derive_rng(seed, *path, f"worker{i}") for i in range(n)]

@@ -1,0 +1,70 @@
+"""Wall-clock timing utilities.
+
+Two clock abstractions coexist in this library:
+
+* :class:`WallClock` — real elapsed time (``perf_counter``), used for the
+  *measured* TEPS numbers;
+* :class:`repro.semiext.clock.SimulatedClock` — modeled time, used for the
+  *modeled* TEPS numbers that include NVM device charges.
+
+Both expose ``now()`` in seconds so the BFS engines can be written against
+either.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["WallClock", "Timer"]
+
+
+class WallClock:
+    """Monotonic real-time clock (seconds as float)."""
+
+    @staticmethod
+    def now() -> float:
+        """Current monotonic time in seconds."""
+        return time.perf_counter()
+
+
+@dataclass
+class Timer:
+    """Accumulating stopwatch usable as a context manager.
+
+    >>> t = Timer()
+    >>> with t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed > 0
+    True
+
+    Re-entering accumulates, supporting per-phase totals across BFS levels.
+    """
+
+    elapsed: float = 0.0
+    _start: float | None = field(default=None, repr=False)
+
+    def start(self) -> "Timer":
+        """Start (or restart) the stopwatch."""
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        """Stop and return the total accumulated seconds."""
+        if self._start is None:
+            raise RuntimeError("Timer.stop() called while not running")
+        self.elapsed += time.perf_counter() - self._start
+        self._start = None
+        return self.elapsed
+
+    def reset(self) -> None:
+        """Zero the accumulator (stopwatch must not be running)."""
+        if self._start is not None:
+            raise RuntimeError("Timer.reset() called while running")
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "Timer":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()

@@ -1,0 +1,76 @@
+"""Byte-size formatting and parsing.
+
+The paper quotes capacities in binary units (e.g. "the forward graph at
+SCALE 27 is 40.1 GB"); these helpers render and parse such figures
+consistently (binary prefixes, 1 GB = 2**30 bytes, matching the paper's
+arithmetic: 88.3 GB total for Table II only works with binary gigabytes).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import ConfigurationError
+
+__all__ = ["KIB", "MIB", "GIB", "TIB", "format_bytes", "parse_bytes"]
+
+KIB = 1 << 10
+MIB = 1 << 20
+GIB = 1 << 30
+TIB = 1 << 40
+
+_SUFFIXES = [("TB", TIB), ("GB", GIB), ("MB", MIB), ("KB", KIB), ("B", 1)]
+
+_PARSE_RE = re.compile(
+    r"^\s*(?P<num>[0-9]*\.?[0-9]+)\s*(?P<unit>Ti?B|Gi?B|Mi?B|Ki?B|B)?\s*$",
+    re.IGNORECASE,
+)
+
+_UNIT_MAP = {
+    "b": 1,
+    "kb": KIB, "kib": KIB,
+    "mb": MIB, "mib": MIB,
+    "gb": GIB, "gib": GIB,
+    "tb": TIB, "tib": TIB,
+}
+
+
+def format_bytes(n: int | float, precision: int = 1) -> str:
+    """Render a byte count with the largest suffix that keeps it ≥ 1.
+
+    >>> format_bytes(40.1 * GIB)
+    '40.1 GB'
+    >>> format_bytes(512)
+    '512 B'
+    """
+    if n < 0:
+        raise ConfigurationError(f"negative byte count: {n}")
+    for suffix, factor in _SUFFIXES:
+        if n >= factor:
+            value = n / factor
+            if factor == 1:
+                return f"{int(n)} B"
+            return f"{value:.{precision}f} {suffix}"
+    return f"{int(n)} B"
+
+
+def parse_bytes(text: str | int | float) -> int:
+    """Parse '64 GB', '4KiB', '512'... into a byte count.
+
+    Bare numbers are bytes.  Binary prefixes throughout ('GB' == 'GiB').
+
+    >>> parse_bytes("64 GB") == 64 * GIB
+    True
+    >>> parse_bytes(4096)
+    4096
+    """
+    if isinstance(text, (int, float)):
+        if text < 0:
+            raise ConfigurationError(f"negative byte count: {text}")
+        return int(text)
+    m = _PARSE_RE.match(text)
+    if not m:
+        raise ConfigurationError(f"unparseable size: {text!r}")
+    num = float(m.group("num"))
+    unit = (m.group("unit") or "B").lower()
+    return int(num * _UNIT_MAP[unit])

@@ -1,0 +1,57 @@
+"""Shared fixtures: small Kronecker graphs, partitions, NVM stores."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.csr import BackwardGraph, ForwardGraph, build_csr
+from repro.graph500 import EdgeList, generate_edges
+from repro.numa import NumaTopology
+from repro.semiext import NVMStore, PCIE_FLASH
+
+
+SCALE = 11
+N = 1 << SCALE
+
+
+@pytest.fixture(scope="session")
+def topology() -> NumaTopology:
+    """The paper's 4x12 machine."""
+    return NumaTopology(n_nodes=4, cores_per_node=12)
+
+
+@pytest.fixture(scope="session")
+def edges() -> EdgeList:
+    """A SCALE-11 Kronecker edge list (deterministic)."""
+    return EdgeList(generate_edges(scale=SCALE, edge_factor=16, seed=42), N)
+
+
+@pytest.fixture(scope="session")
+def csr(edges):
+    """The deduplicated symmetric CSR of the session graph."""
+    return build_csr(edges)
+
+
+@pytest.fixture(scope="session")
+def forward(csr, topology):
+    """Column-partitioned forward graph."""
+    return ForwardGraph(csr, topology)
+
+
+@pytest.fixture(scope="session")
+def backward(csr, topology):
+    """Row-partitioned backward graph."""
+    return BackwardGraph(csr, topology)
+
+
+@pytest.fixture(scope="session")
+def a_root(csr) -> int:
+    """A deterministic non-isolated root."""
+    return int(np.flatnonzero(csr.degrees() > 0)[0])
+
+
+@pytest.fixture()
+def store(tmp_path) -> NVMStore:
+    """A fresh PCIe-flash store per test."""
+    return NVMStore(tmp_path / "nvm", PCIE_FLASH)

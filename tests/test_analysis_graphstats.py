@@ -1,0 +1,78 @@
+"""Tests for Kronecker shape statistics (the self-similarity argument)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import graph_shape
+from repro.csr import build_csr
+from repro.errors import GraphFormatError
+from repro.graph500 import generate_edges
+
+
+@pytest.fixture(scope="module")
+def shapes():
+    out = {}
+    for scale in (10, 12, 14):
+        g = build_csr(generate_edges(scale, seed=3), n_vertices=1 << scale)
+        out[scale] = graph_shape(g)
+    return out
+
+
+class TestGraphShape:
+    def test_heavy_tail_present(self, shapes):
+        for s in shapes.values():
+            assert s.gini_degree > 0.6  # strongly skewed
+            assert s.max_degree_ratio > 5
+            assert s.top1pct_edge_share > 0.05
+
+    def test_small_world(self, shapes):
+        for s in shapes.values():
+            assert s.effective_diameter <= 4
+            assert s.giant_component_fraction > 0.95
+
+    def test_isolated_fraction_regime(self, shapes):
+        # Kronecker graphs at ef=16 keep a modest but growing isolated
+        # share; the drift per two SCALEs is a few points, not a regime
+        # change — the core of the small-scale-validity argument.
+        vals = [s.isolated_fraction for s in shapes.values()]
+        assert all(0.05 < v < 0.5 for v in vals)
+        assert max(vals) - min(vals) < 0.2
+
+    def test_shape_metrics_drift_slowly(self, shapes):
+        ginis = [s.gini_degree for s in shapes.values()]
+        assert max(ginis) - min(ginis) < 0.2
+        d90 = {s.effective_diameter for s in shapes.values()}
+        assert len(d90) <= 2  # diameter essentially scale-invariant
+
+    def test_absolute_sizes_double(self, shapes):
+        assert shapes[12].n_vertices == 4 * shapes[10].n_vertices
+
+    def test_rectangular_rejected(self):
+        from repro.csr.graph import CSRGraph
+
+        rect = CSRGraph(
+            np.array([0, 1], dtype=np.int64),
+            np.array([3], dtype=np.int64),
+            5,
+        )
+        with pytest.raises(GraphFormatError):
+            graph_shape(rect)
+
+    def test_empty_graph(self):
+        g = build_csr(np.zeros((2, 0), dtype=np.int64), n_vertices=8)
+        s = graph_shape(g)
+        assert s.isolated_fraction == 1.0
+        assert s.giant_component_fraction == 0.0
+        assert s.effective_diameter == 0
+
+    def test_format(self, shapes):
+        text = shapes[10].format()
+        assert "gini=" in text and "d90=" in text
+
+    def test_path_graph_diameter(self):
+        # Deterministic sanity: a path has d90 near its length.
+        edges = np.stack([np.arange(9), np.arange(1, 10)]).astype(np.int64)
+        g = build_csr(edges, n_vertices=10)
+        s = graph_shape(g)
+        assert s.effective_diameter >= 4
+        assert s.gini_degree < 0.2  # near-uniform degrees

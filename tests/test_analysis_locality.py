@@ -1,0 +1,52 @@
+"""Tests for the NUMA locality audit (the paper's §IV-A claim)."""
+
+import pytest
+
+from repro.analysis import audit_locality
+from repro.csr import BackwardGraph, ForwardGraph, build_csr
+from repro.graph500 import EdgeList, generate_edges
+from repro.numa import NumaTopology
+
+
+class TestLocalityAudit:
+    def test_netal_layout_has_zero_remote(self, csr, forward, backward, topology):
+        audit = audit_locality(csr, forward, backward, topology)
+        assert audit.netal_remote_fraction == 0.0
+
+    def test_naive_layout_mostly_remote(self, csr, forward, backward, topology):
+        audit = audit_locality(csr, forward, backward, topology)
+        # A well-mixed Kronecker graph on 4 nodes: ~3/4 of destinations
+        # belong to another node.
+        assert 0.5 < audit.naive_remote_fraction < 0.95
+
+    def test_traffic_saved(self, csr, forward, backward, topology):
+        audit = audit_locality(csr, forward, backward, topology)
+        assert audit.traffic_saved == pytest.approx(
+            audit.naive_remote_fraction
+        )
+        assert audit.n_edges_audited == csr.n_directed_edges
+
+    def test_single_node_everything_local(self):
+        scale = 9
+        el = EdgeList(generate_edges(scale, seed=1), 1 << scale)
+        g = build_csr(el)
+        topo = NumaTopology(1)
+        audit = audit_locality(
+            g, ForwardGraph(g, topo), BackwardGraph(g, topo), topo
+        )
+        assert audit.netal_remote_fraction == 0.0
+        assert audit.naive_remote_fraction == 0.0
+
+    def test_remote_fraction_grows_with_nodes(self):
+        scale = 10
+        el = EdgeList(generate_edges(scale, seed=2), 1 << scale)
+        g = build_csr(el)
+        fractions = []
+        for nodes in (2, 4, 8):
+            topo = NumaTopology(nodes)
+            audit = audit_locality(
+                g, ForwardGraph(g, topo), BackwardGraph(g, topo), topo
+            )
+            assert audit.netal_remote_fraction == 0.0
+            fractions.append(audit.naive_remote_fraction)
+        assert fractions[0] < fractions[1] < fractions[2]

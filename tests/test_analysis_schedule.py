@@ -1,0 +1,57 @@
+"""Tests for the direction-schedule analysis (§VI-C)."""
+
+import pytest
+
+from repro.analysis import schedule_summary
+from repro.bfs import AlphaBetaPolicy, FixedPolicy, Direction, HybridBFS
+from repro.perfmodel.cost import DramCostModel
+
+
+class TestScheduleSummary:
+    def test_canonical_shape(self, forward, backward, a_root):
+        # alpha/beta chosen so the run has head-TD, mid-BU and tail-TD.
+        engine = HybridBFS(
+            forward, backward, AlphaBetaPolicy(30, 30), DramCostModel()
+        )
+        summary = schedule_summary(engine.run(a_root))
+        assert summary.n_td_head >= 1
+        assert summary.n_bu_mid >= 1
+        assert summary.is_canonical
+        assert (
+            summary.n_td_head + summary.n_bu_mid + summary.n_td_tail
+            == len(summary.schedule)
+        )
+
+    def test_head_degree_exceeds_tail_degree(self, forward, backward, a_root):
+        # The paper: first TD levels average ~11183 edges/vertex, last ~1.
+        engine = HybridBFS(
+            forward, backward, AlphaBetaPolicy(30, 30), DramCostModel()
+        )
+        summary = schedule_summary(engine.run(a_root))
+        if summary.n_td_tail:
+            assert summary.head_avg_degree > summary.tail_avg_degree
+
+    def test_pure_top_down(self, forward, backward, a_root):
+        engine = HybridBFS(
+            forward, backward, FixedPolicy(Direction.TOP_DOWN)
+        )
+        summary = schedule_summary(engine.run(a_root))
+        assert summary.n_bu_mid == 0
+        assert summary.n_td_tail == 0
+        assert summary.n_td_head == len(summary.schedule)
+        assert not summary.is_canonical
+
+    def test_schedule_string_matches(self, forward, backward, a_root):
+        engine = HybridBFS(forward, backward, AlphaBetaPolicy(50, 500))
+        result = engine.run(a_root)
+        summary = schedule_summary(result)
+        assert summary.schedule == result.direction_schedule()
+
+    def test_empty_tail_average_is_zero(self, forward, backward, a_root):
+        engine = HybridBFS(
+            forward, backward,
+            AlphaBetaPolicy(forward.n_vertices, forward.n_vertices),
+        )
+        summary = schedule_summary(engine.run(a_root))
+        if summary.n_td_tail == 0:
+            assert summary.tail_avg_degree == 0.0

@@ -1,0 +1,233 @@
+"""Engine-level tests: HybridBFS, SemiExternalBFS, ReferenceBFS."""
+
+import numpy as np
+import pytest
+
+from repro.bfs import (
+    AlphaBetaPolicy,
+    BeamerPolicy,
+    Direction,
+    FixedPolicy,
+    HybridBFS,
+    ReferenceBFS,
+    SemiExternalBFS,
+)
+from repro.bfs.metrics import BFSResult
+from repro.errors import ConfigurationError
+from repro.graph500.validate import validate_bfs_tree
+from repro.numa.topology import NumaTopology
+from repro.perfmodel.cost import DramCostModel
+from repro.semiext import NVMStore, PCIE_FLASH, SATA_SSD
+
+
+@pytest.fixture()
+def hybrid(forward, backward):
+    return HybridBFS(
+        forward, backward, AlphaBetaPolicy(alpha=50, beta=500),
+        cost_model=DramCostModel(),
+    )
+
+
+class TestHybrid:
+    def test_tree_validates(self, hybrid, edges, a_root):
+        res = hybrid.run(a_root)
+        assert validate_bfs_tree(edges, res.parent, a_root).ok
+
+    def test_deterministic(self, forward, backward, a_root):
+        mk = lambda: HybridBFS(
+            forward, backward, AlphaBetaPolicy(50, 500), DramCostModel()
+        )
+        r1, r2 = mk().run(a_root), mk().run(a_root)
+        assert np.array_equal(r1.parent, r2.parent)
+        assert r1.modeled_time_s == r2.modeled_time_s
+        assert r1.direction_schedule() == r2.direction_schedule()
+
+    def test_starts_top_down(self, hybrid, a_root):
+        res = hybrid.run(a_root)
+        assert res.traces[0].direction is Direction.TOP_DOWN
+
+    def test_hybrid_uses_both_directions(self, hybrid, a_root):
+        res = hybrid.run(a_root)
+        dirs = {t.direction for t in res.traces}
+        assert dirs == {Direction.TOP_DOWN, Direction.BOTTOM_UP}
+
+    def test_hybrid_scans_fewer_edges_than_top_down(
+        self, forward, backward, a_root
+    ):
+        hyb = HybridBFS(
+            forward, backward, AlphaBetaPolicy(50, 500), DramCostModel()
+        ).run(a_root)
+        td = HybridBFS(
+            forward, backward, FixedPolicy(Direction.TOP_DOWN), DramCostModel()
+        ).run(a_root)
+        total = lambda r: sum(t.edges_scanned for t in r.traces)
+        assert total(hyb) < total(td)
+
+    def test_same_reachability_any_policy(self, forward, backward, a_root):
+        policies = [
+            AlphaBetaPolicy(50, 500),
+            BeamerPolicy(),
+            FixedPolicy(Direction.TOP_DOWN),
+            FixedPolicy(Direction.BOTTOM_UP),
+        ]
+        reaches = [
+            HybridBFS(forward, backward, p).run(a_root).parent >= 0
+            for p in policies
+        ]
+        for r in reaches[1:]:
+            assert np.array_equal(reaches[0], r)
+
+    def test_traversed_edges_half_degree_sum(self, hybrid, csr, a_root):
+        res = hybrid.run(a_root)
+        visited = res.parent >= 0
+        assert res.traversed_edges == int(csr.degrees()[visited].sum()) // 2
+
+    def test_modeled_time_accumulates(self, hybrid, a_root):
+        res = hybrid.run(a_root)
+        assert res.modeled_time_s > 0
+        assert res.modeled_time_s == pytest.approx(
+            sum(t.modeled_time_s for t in res.traces)
+        )
+
+    def test_max_levels_cutoff(self, hybrid, a_root):
+        res = hybrid.run(a_root, max_levels=2)
+        assert res.n_levels == 2
+
+    def test_isolated_root(self, csr, forward, backward):
+        isolated = int(np.flatnonzero(csr.degrees() == 0)[0])
+        res = HybridBFS(forward, backward, AlphaBetaPolicy(50, 500)).run(
+            isolated
+        )
+        assert res.n_visited == 1
+        assert res.traversed_edges == 0
+
+    def test_mismatched_graphs_rejected(self, csr, forward, topology):
+        from repro.csr.builder import build_csr
+        from repro.csr.partition import BackwardGraph
+
+        other = build_csr(np.array([[0], [1]]), n_vertices=2)
+        bwd = BackwardGraph(other, topology)
+        with pytest.raises(ConfigurationError):
+            HybridBFS(forward, bwd, AlphaBetaPolicy(50, 500))
+
+    def test_without_cost_model_wall_only(self, forward, backward, a_root):
+        res = HybridBFS(forward, backward, AlphaBetaPolicy(50, 500)).run(a_root)
+        assert res.modeled_time_s == 0.0
+        assert res.wall_time_s > 0
+
+    def test_result_aggregates(self, hybrid, a_root):
+        res = hybrid.run(a_root)
+        assert isinstance(res, BFSResult)
+        by_dir = res.edges_by_direction()
+        assert sum(by_dir.values()) == sum(t.edges_scanned for t in res.traces)
+        lv = res.levels_by_direction()
+        assert sum(lv.values()) == res.n_levels
+        assert len(res.direction_schedule()) == res.n_levels
+        assert res.teps() > 0
+        assert res.teps(modeled=True) > 0
+
+
+class TestSemiExternal:
+    def test_same_tree_as_dram(self, forward, backward, edges, a_root, tmp_path):
+        dram = HybridBFS(
+            forward, backward, AlphaBetaPolicy(50, 500), DramCostModel()
+        ).run(a_root)
+        store = NVMStore(tmp_path / "nvm", PCIE_FLASH)
+        se = SemiExternalBFS.offload(
+            forward, backward, AlphaBetaPolicy(50, 500), store,
+            cost_model=DramCostModel(),
+        )
+        sres = se.run(a_root)
+        assert np.array_equal(sres.parent, dram.parent)
+        assert validate_bfs_tree(edges, sres.parent, a_root).ok
+
+    def test_nvm_slower_than_dram(self, forward, backward, a_root, tmp_path):
+        dram = HybridBFS(
+            forward, backward, AlphaBetaPolicy(50, 500), DramCostModel()
+        ).run(a_root)
+        store = NVMStore(tmp_path / "nvm", PCIE_FLASH)
+        se = SemiExternalBFS.offload(
+            forward, backward, AlphaBetaPolicy(50, 500), store,
+            cost_model=DramCostModel(),
+        ).run(a_root)
+        assert se.modeled_time_s > dram.modeled_time_s
+
+    def test_ssd_slower_than_pcie(self, forward, backward, a_root, tmp_path):
+        res = {}
+        for name, dev in (("pcie", PCIE_FLASH), ("ssd", SATA_SSD)):
+            store = NVMStore(tmp_path / name, dev)
+            res[name] = SemiExternalBFS.offload(
+                forward, backward, AlphaBetaPolicy(50, 500), store,
+                cost_model=DramCostModel(),
+            ).run(a_root)
+        assert res["ssd"].modeled_time_s > res["pcie"].modeled_time_s
+
+    def test_only_top_down_touches_nvm(self, forward, backward, a_root, tmp_path):
+        store = NVMStore(tmp_path / "nvm", PCIE_FLASH)
+        res = SemiExternalBFS.offload(
+            forward, backward, AlphaBetaPolicy(50, 500), store,
+            cost_model=DramCostModel(),
+        ).run(a_root)
+        for t in res.traces:
+            if t.direction is Direction.BOTTOM_UP:
+                assert t.nvm_requests == 0
+            else:
+                assert t.edges_scanned_nvm == t.edges_scanned
+
+    def test_iostats_populated(self, forward, backward, a_root, tmp_path):
+        store = NVMStore(tmp_path / "nvm", PCIE_FLASH)
+        engine = SemiExternalBFS.offload(
+            forward, backward, AlphaBetaPolicy(50, 500), store,
+            cost_model=DramCostModel(),
+        )
+        engine.run(a_root)
+        assert store.iostats.n_requests > 0
+        assert store.iostats.avgrq_sz >= 8.0  # at least one page per req
+
+    def test_shard_count_mismatch_rejected(
+        self, forward, backward, store, csr
+    ):
+        from repro.csr.io import offload_csr
+
+        ext = offload_csr(csr, store, "one")
+        with pytest.raises(ConfigurationError):
+            SemiExternalBFS(
+                forward, backward, AlphaBetaPolicy(50, 500), store, [ext]
+            )
+
+    def test_files_per_node(self, forward, backward, a_root, tmp_path, topology):
+        store = NVMStore(tmp_path / "nvm", PCIE_FLASH)
+        SemiExternalBFS.offload(
+            forward, backward, AlphaBetaPolicy(50, 500), store
+        )
+        # Two files (index+value) per NUMA node, as the paper notes.
+        files = list((tmp_path / "nvm").glob("*.bin"))
+        assert len(files) == 2 * topology.n_nodes
+
+
+class TestReference:
+    def test_tree_validates(self, csr, edges, a_root):
+        res = ReferenceBFS(csr, cost_model=DramCostModel()).run(a_root)
+        assert validate_bfs_tree(edges, res.parent, a_root).ok
+
+    def test_same_reachability_as_hybrid(self, csr, hybrid, a_root):
+        ref = ReferenceBFS(csr).run(a_root)
+        hyb = hybrid.run(a_root)
+        assert np.array_equal(ref.parent >= 0, hyb.parent >= 0)
+
+    def test_all_levels_top_down(self, csr, a_root):
+        res = ReferenceBFS(csr).run(a_root)
+        assert all(t.direction is Direction.TOP_DOWN for t in res.traces)
+
+    def test_slower_than_hybrid_modeled(self, csr, hybrid, a_root):
+        ref = ReferenceBFS(csr, cost_model=DramCostModel()).run(a_root)
+        hyb = hybrid.run(a_root)
+        assert ref.teps(modeled=True) < hyb.teps(modeled=True)
+
+    def test_bad_root(self, csr):
+        with pytest.raises(ConfigurationError):
+            ReferenceBFS(csr).run(-1)
+
+    def test_max_levels(self, csr, a_root):
+        res = ReferenceBFS(csr).run(a_root, max_levels=1)
+        assert res.n_levels == 1

@@ -1,0 +1,103 @@
+"""Tests for the fully-external (Pearce-style) baseline."""
+
+import numpy as np
+import pytest
+
+from repro.bfs import AlphaBetaPolicy, FullyExternalBFS, HybridBFS
+from repro.errors import ConfigurationError
+from repro.graph500.validate import validate_bfs_tree
+from repro.perfmodel.cost import DramCostModel
+from repro.semiext import NVMStore, PCIE_FLASH
+
+
+@pytest.fixture()
+def engine(csr, store):
+    return FullyExternalBFS.offload(csr, store, cost_model=DramCostModel())
+
+
+class TestFullyExternal:
+    def test_tree_validates(self, engine, edges, a_root):
+        res = engine.run(a_root)
+        assert validate_bfs_tree(edges, res.parent, a_root).ok
+
+    def test_same_tree_as_reference_reachability(
+        self, engine, forward, backward, a_root
+    ):
+        hybrid = HybridBFS(forward, backward, AlphaBetaPolicy(50, 500))
+        h = hybrid.run(a_root)
+        f = engine.run(a_root)
+        assert np.array_equal(f.parent >= 0, h.parent >= 0)
+
+    def test_every_scan_hits_nvm(self, engine, a_root):
+        res = engine.run(a_root)
+        for t in res.traces:
+            assert t.edges_scanned_nvm == t.edges_scanned
+            if t.edges_scanned:
+                assert t.nvm_requests > 0
+
+    def test_slower_than_semi_external(
+        self, csr, forward, backward, a_root, tmp_path
+    ):
+        from repro.bfs import SemiExternalBFS
+
+        store_full = NVMStore(tmp_path / "full", PCIE_FLASH)
+        full = FullyExternalBFS.offload(
+            csr, store_full, cost_model=DramCostModel()
+        ).run(a_root)
+        store_semi = NVMStore(tmp_path / "semi", PCIE_FLASH)
+        semi = SemiExternalBFS.offload(
+            forward, backward,
+            AlphaBetaPolicy(csr.n_rows, csr.n_rows), store_semi,
+            cost_model=DramCostModel(),
+        ).run(a_root)
+        assert full.modeled_time_s > semi.modeled_time_s
+
+    def test_deterministic(self, csr, tmp_path, a_root):
+        runs = []
+        for tag in ("a", "b"):
+            store = NVMStore(tmp_path / tag, PCIE_FLASH)
+            eng = FullyExternalBFS.offload(
+                csr, store, cost_model=DramCostModel()
+            )
+            runs.append(eng.run(a_root))
+        assert np.array_equal(runs[0].parent, runs[1].parent)
+        assert runs[0].modeled_time_s == runs[1].modeled_time_s
+
+    def test_bad_root(self, engine):
+        with pytest.raises(ConfigurationError):
+            engine.run(-5)
+
+    def test_max_levels(self, engine, a_root):
+        res = engine.run(a_root, max_levels=1)
+        assert res.n_levels == 1
+
+    def test_rectangular_rejected(self, forward, store):
+        from repro.csr.io import offload_csr
+
+        shard = forward.shards[0]  # square actually; make a fake rect
+        from repro.csr.graph import CSRGraph
+
+        rect = CSRGraph(
+            indptr=np.array([0, 1], dtype=np.int64),
+            adj=np.array([2], dtype=np.int64),
+            n_cols=5,
+        )
+        ext = offload_csr(rect, store, "rect")
+        with pytest.raises(ConfigurationError):
+            FullyExternalBFS(ext, store)
+
+
+class TestDeviceCatalog:
+    def test_catalog_ordering(self):
+        from repro.semiext.device import DEVICE_CATALOG
+
+        iops = [d.max_read_iops for d in DEVICE_CATALOG]
+        assert all(a <= b for a, b in zip(iops, iops[1:]))
+
+    def test_catalog_service_times(self):
+        from repro.semiext.device import DEVICE_CATALOG, SATA_HDD
+
+        # The HDD's 4 KB service time is dominated by seek latency.
+        assert SATA_HDD.service_time_s(4096) > 5e-3
+        for d in DEVICE_CATALOG:
+            assert d.service_time_s(4096) > 0

@@ -1,0 +1,103 @@
+"""Tests for thread-pool shard execution (repro.bfs.parallel)."""
+
+import numpy as np
+import pytest
+
+from repro.bfs import AlphaBetaPolicy, HybridBFS, SemiExternalBFS
+from repro.bfs.parallel import ShardExecutor
+from repro.errors import ConfigurationError
+from repro.graph500.validate import validate_bfs_tree
+from repro.perfmodel.cost import DramCostModel
+from repro.semiext import NVMStore, PCIE_FLASH
+
+
+class TestShardExecutor:
+    def test_map_preserves_order(self):
+        with ShardExecutor(4) as ex:
+            assert ex.map(lambda x: x * x, list(range(10))) == [
+                i * i for i in range(10)
+            ]
+
+    def test_single_item_runs_inline(self):
+        with ShardExecutor(2) as ex:
+            assert ex.map(lambda x: x + 1, [41]) == [42]
+
+    def test_exceptions_propagate(self):
+        def boom(x):
+            raise ValueError(f"bad {x}")
+
+        with ShardExecutor(2) as ex:
+            with pytest.raises(ValueError):
+                ex.map(boom, [1, 2, 3])
+
+    def test_closed_executor_rejected(self):
+        ex = ShardExecutor(2)
+        ex.close()
+        with pytest.raises(ConfigurationError):
+            ex.map(lambda x: x, [1, 2])
+        ex.close()  # idempotent
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ConfigurationError):
+            ShardExecutor(0)
+
+
+class TestParallelEngines:
+    def test_hybrid_parallel_identical_to_sequential(
+        self, forward, backward, edges, a_root
+    ):
+        seq = HybridBFS(
+            forward, backward, AlphaBetaPolicy(50, 500), DramCostModel()
+        ).run(a_root)
+        par_engine = HybridBFS(
+            forward, backward, AlphaBetaPolicy(50, 500), DramCostModel(),
+            n_workers=4,
+        )
+        par = par_engine.run(a_root)
+        par_engine.close()
+        assert np.array_equal(par.parent, seq.parent)
+        assert par.direction_schedule() == seq.direction_schedule()
+        assert par.modeled_time_s == pytest.approx(seq.modeled_time_s)
+        assert [t.edges_scanned for t in par.traces] == [
+            t.edges_scanned for t in seq.traces
+        ]
+
+    def test_parallel_tree_validates(self, forward, backward, edges, a_root):
+        engine = HybridBFS(
+            forward, backward, AlphaBetaPolicy(50, 500), n_workers=4
+        )
+        res = engine.run(a_root)
+        engine.close()
+        assert validate_bfs_tree(edges, res.parent, a_root).ok
+
+    def test_semi_external_parallel_identical(
+        self, forward, backward, a_root, tmp_path
+    ):
+        runs = {}
+        for tag, workers in (("seq", None), ("par", 4)):
+            store = NVMStore(tmp_path / tag, PCIE_FLASH)
+            engine = SemiExternalBFS.offload(
+                forward, backward, AlphaBetaPolicy(50, 500), store,
+                cost_model=DramCostModel(),
+            )
+            engine.executor = (
+                ShardExecutor(workers) if workers else None
+            )
+            runs[tag] = (engine.run(a_root), store)
+            engine.close()
+        seq, seq_store = runs["seq"]
+        par, par_store = runs["par"]
+        assert np.array_equal(par.parent, seq.parent)
+        # Deferred charges applied in shard order: identical meters.
+        assert par_store.iostats.n_requests == seq_store.iostats.n_requests
+        assert par_store.iostats.total_bytes == seq_store.iostats.total_bytes
+        assert par.modeled_time_s == pytest.approx(seq.modeled_time_s)
+
+    def test_repeated_runs_reuse_pool(self, forward, backward, a_root):
+        engine = HybridBFS(
+            forward, backward, AlphaBetaPolicy(50, 500), n_workers=2
+        )
+        r1 = engine.run(a_root)
+        r2 = engine.run(a_root)
+        engine.close()
+        assert np.array_equal(r1.parent, r2.parent)

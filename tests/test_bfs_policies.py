@@ -1,0 +1,109 @@
+"""Unit tests for direction policies (the paper's alpha/beta rule)."""
+
+import pytest
+
+from repro.bfs.metrics import Direction
+from repro.bfs.policies import (
+    AlphaBetaPolicy,
+    BeamerPolicy,
+    FixedPolicy,
+    PolicyInputs,
+)
+from repro.errors import ConfigurationError
+
+TD, BU = Direction.TOP_DOWN, Direction.BOTTOM_UP
+
+
+def inputs(level, current, n_frontier, prev, n_all=1 << 20, fe=0, ue=0):
+    return PolicyInputs(
+        level=level,
+        current=current,
+        n_frontier=n_frontier,
+        n_frontier_prev=prev,
+        n_all=n_all,
+        frontier_edges=fe,
+        unvisited_edges=ue,
+    )
+
+
+class TestAlphaBeta:
+    def test_level0_always_top_down(self):
+        p = AlphaBetaPolicy(alpha=1e9, beta=1e9)
+        assert p.decide(inputs(0, TD, 1, 0)) is TD
+
+    def test_switch_to_bottom_up_when_growing_past_threshold(self):
+        # n_all/alpha = 100; frontier grew 50 -> 200.
+        p = AlphaBetaPolicy(alpha=1e4, beta=1e5)
+        assert p.decide(inputs(2, TD, 200, 50, n_all=10**6)) is BU
+
+    def test_no_switch_when_growing_below_threshold(self):
+        p = AlphaBetaPolicy(alpha=1e4, beta=1e5)
+        assert p.decide(inputs(2, TD, 80, 50, n_all=10**6)) is TD
+
+    def test_no_switch_when_shrinking_even_past_threshold(self):
+        p = AlphaBetaPolicy(alpha=1e4, beta=1e5)
+        assert p.decide(inputs(2, TD, 200, 300, n_all=10**6)) is TD
+
+    def test_switch_back_when_shrinking_below_beta(self):
+        # n_all/beta = 10; frontier shrank 50 -> 5.
+        p = AlphaBetaPolicy(alpha=1e4, beta=1e5)
+        assert p.decide(inputs(5, BU, 5, 50, n_all=10**6)) is TD
+
+    def test_no_switch_back_when_growing(self):
+        p = AlphaBetaPolicy(alpha=1e4, beta=1e5)
+        assert p.decide(inputs(5, BU, 5, 2, n_all=10**6)) is BU
+
+    def test_no_switch_back_above_beta_threshold(self):
+        p = AlphaBetaPolicy(alpha=1e4, beta=1e5)
+        assert p.decide(inputs(5, BU, 50, 100, n_all=10**6)) is BU
+
+    def test_sticky_between_thresholds(self):
+        p = AlphaBetaPolicy(alpha=1e4, beta=1e5)
+        # In the hysteresis band both directions persist.
+        assert p.decide(inputs(3, TD, 50, 60, n_all=10**6)) is TD
+        assert p.decide(inputs(3, BU, 50, 40, n_all=10**6)) is BU
+
+    def test_large_alpha_switches_immediately(self):
+        # The paper's semi-external tuning: alpha=1e6 switches on any
+        # growing frontier bigger than n/1e6.
+        p = AlphaBetaPolicy(alpha=1e6, beta=1e6)
+        assert p.decide(inputs(1, TD, 2, 1, n_all=1 << 20)) is BU
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            AlphaBetaPolicy(alpha=0, beta=1)
+        with pytest.raises(ConfigurationError):
+            AlphaBetaPolicy(alpha=1, beta=-1)
+
+
+class TestBeamer:
+    def test_level0_top_down(self):
+        assert BeamerPolicy().decide(inputs(0, TD, 1, 0)) is TD
+
+    def test_switch_on_edge_ratio(self):
+        p = BeamerPolicy(alpha=14)
+        assert p.decide(inputs(2, TD, 10, 5, fe=1000, ue=10_000)) is BU
+        assert p.decide(inputs(2, TD, 10, 5, fe=100, ue=10_000)) is TD
+
+    def test_switch_back_on_frontier_count(self):
+        p = BeamerPolicy(beta=24)
+        n = 24 * 100
+        assert p.decide(inputs(5, BU, 99, 200, n_all=n)) is TD
+        assert p.decide(inputs(5, BU, 101, 200, n_all=n)) is BU
+
+    def test_zero_unvisited_edges_stays(self):
+        assert BeamerPolicy().decide(inputs(2, TD, 10, 5, fe=5, ue=0)) is TD
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            BeamerPolicy(alpha=0)
+
+
+class TestFixed:
+    def test_always_same(self):
+        p = FixedPolicy(BU)
+        assert p.decide(inputs(0, TD, 1, 0)) is BU
+        assert p.decide(inputs(9, TD, 100, 5)) is BU
+
+    def test_reset_is_noop(self):
+        FixedPolicy(TD).reset()

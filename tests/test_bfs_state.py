@@ -1,0 +1,98 @@
+"""Unit tests for BFSState (status data)."""
+
+import numpy as np
+import pytest
+
+from repro.bfs.state import UNVISITED, BFSState
+from repro.errors import ConfigurationError
+from repro.numa.topology import NumaTopology
+
+
+@pytest.fixture()
+def state(topology):
+    return BFSState(n_vertices=100, topology=topology, root=7)
+
+
+class TestInit:
+    def test_root_visited(self, state):
+        assert state.parent[7] == 7
+        assert state.visited.test(7)
+        assert state.frontier_queue.tolist() == [7]
+        assert state.n_visited == 1
+
+    def test_everything_else_unvisited(self, state):
+        assert (state.parent == UNVISITED).sum() == 99
+
+    def test_bad_root(self, topology):
+        with pytest.raises(ConfigurationError):
+            BFSState(10, topology, 10)
+        with pytest.raises(ConfigurationError):
+            BFSState(10, topology, -1)
+
+
+class TestFrontier:
+    def test_promote_next(self, state):
+        state.promote_next(np.array([1, 2, 3], dtype=np.int64))
+        assert state.frontier_size == 3
+
+    def test_bitmap_lazily_built_and_cached(self, state):
+        bm1 = state.frontier_as_bitmap()
+        assert bm1.test(7)
+        assert state.frontier_as_bitmap() is bm1
+
+    def test_bitmap_invalidated_on_promote(self, state):
+        bm1 = state.frontier_as_bitmap()
+        state.promote_next(np.array([3], dtype=np.int64))
+        bm2 = state.frontier_as_bitmap()
+        assert bm2 is not bm1
+        assert bm2.test(3) and not bm2.test(7)
+
+
+class TestDiscovery:
+    def test_discover_sets_parent_and_visited(self, state):
+        state.discover(np.array([1, 2]), np.array([7, 7]))
+        assert state.parent[1] == 7
+        assert state.visited.test(2)
+        assert state.n_visited == 3
+
+    def test_discover_empty_noop(self, state):
+        state.discover(np.array([], dtype=np.int64), np.array([], dtype=np.int64))
+        assert state.n_visited == 1
+
+
+class TestCandidates:
+    def test_root_excluded(self, state, topology):
+        all_cands = np.concatenate(
+            [state.unvisited_candidates(k) for k in range(topology.n_nodes)]
+        )
+        assert 7 not in all_cands
+        assert all_cands.size == 99
+
+    def test_pruning_after_discovery(self, state, topology):
+        state.discover(np.array([0, 1, 2]), np.array([7, 7, 7]))
+        node0 = state.unvisited_candidates(0)
+        assert not set(node0.tolist()) & {0, 1, 2}
+
+    def test_candidates_respect_partitions(self, state, topology):
+        parts = topology.partitions(100)
+        for part in parts:
+            cand = state.unvisited_candidates(part.node)
+            if cand.size:
+                assert cand.min() >= part.lo
+                assert cand.max() < part.hi
+
+    def test_pruning_is_incremental(self, state):
+        before = state.unvisited_candidates(0)
+        state.discover(before[:5], np.full(5, 7))
+        after = state.unvisited_candidates(0)
+        assert after.size == before.size - 5
+
+
+class TestAccounting:
+    def test_status_nbytes_positive(self, state):
+        assert state.status_nbytes() > 0
+
+    def test_status_nbytes_includes_bitmap(self, state):
+        base = state.status_nbytes()
+        state.frontier_as_bitmap()
+        assert state.status_nbytes() > base

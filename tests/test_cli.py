@@ -1,0 +1,100 @@
+"""CLI smoke tests (every subcommand runs and prints the expected rows)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        sub = next(
+            a for a in parser._actions
+            if a.__class__.__name__ == "_SubParsersAction"
+        )
+        assert set(sub.choices) == {
+            "run", "sweep", "sizes", "green", "compare",
+            "iostat", "locality", "offload", "reproduce",
+        }
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--version"])
+        assert "repro" in capsys.readouterr().out
+
+
+class TestCommands:
+    def test_sizes(self, capsys):
+        assert main(["sizes", "--scales", "26", "28"]) == 0
+        out = capsys.readouterr().out
+        assert "SCALE 27" in out
+        assert "forward=  40.0 GB" in out
+
+    def test_green(self, capsys):
+        assert main(["green", "--teps", "4.22e9"]) == 0
+        out = capsys.readouterr().out
+        assert "MTEPS/W" in out
+
+    def test_run_dram(self, capsys):
+        assert main([
+            "run", "--scenario", "dram", "--scale", "9",
+            "--roots", "2", "--seed", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "DRAM-only" in out
+        assert "median TEPS" in out
+        assert "valid:           True" in out
+
+    def test_run_pcie_reports_iostat(self, capsys):
+        assert main([
+            "run", "--scenario", "pcie", "--scale", "9",
+            "--roots", "2", "--seed", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "avgrq-sz" in out
+
+    def test_sweep(self, capsys):
+        assert main([
+            "sweep", "--scenario", "dram", "--scale", "9", "--roots", "1",
+            "--seed", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "best: alpha=" in out
+
+    def test_compare(self, capsys):
+        assert main([
+            "compare", "--scale", "9", "--roots", "1", "--seed", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Graph500 reference" in out
+        assert "DRAM+PCIeFlash" in out
+
+    def test_iostat(self, capsys):
+        assert main([
+            "iostat", "--scale", "9", "--roots", "2", "--seed", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "avgqu-sz" in out and "avgrq-sz" in out
+
+    def test_iostat_ssd(self, capsys):
+        assert main([
+            "iostat", "--scenario", "ssd", "--scale", "9",
+            "--roots", "1", "--seed", "3",
+        ]) == 0
+        assert "Intel SSD" in capsys.readouterr().out
+
+    def test_locality(self, capsys):
+        assert main(["locality", "--scale", "9", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "NETAL layout remote:  0.0%" in out
+
+    def test_offload(self, capsys):
+        assert main([
+            "offload", "--scale", "9", "--ks", "2", "8", "--seed", "3",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "degree-threshold" in out

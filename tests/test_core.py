@@ -1,0 +1,201 @@
+"""Unit tests for scenario config, offload planner and pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DRAM_ONLY,
+    DRAM_PCIE_FLASH,
+    DRAM_SSD,
+    PAPER_SCENARIOS,
+    ScenarioConfig,
+    ScenarioKind,
+    run_graph500,
+)
+from repro.core.offload import OffloadPlanner, StructureSizes
+from repro.errors import CapacityError, ConfigurationError
+from repro.semiext.hierarchy import Tier
+
+
+class TestScenarioConfig:
+    def test_paper_presets(self):
+        assert DRAM_ONLY.kind is ScenarioKind.DRAM_ONLY
+        assert DRAM_PCIE_FLASH.is_semi_external
+        assert DRAM_SSD.is_semi_external
+        assert len(PAPER_SCENARIOS) == 3
+
+    def test_paper_alpha_beta(self):
+        assert DRAM_ONLY.alpha == 1e4 and DRAM_ONLY.beta == 1e5
+        assert DRAM_PCIE_FLASH.alpha == 1e6 and DRAM_PCIE_FLASH.beta == 1e6
+        assert DRAM_SSD.alpha == 1e5 and DRAM_SSD.beta == 1e4
+
+    def test_semi_external_needs_device(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig("x", ScenarioKind.SEMI_EXTERNAL)
+
+    def test_dram_budget_relative(self):
+        s = ScenarioConfig("x", ScenarioKind.DRAM_ONLY, dram_headroom=1.5)
+        assert s.dram_budget(1000) == 1500
+
+    def test_dram_budget_absolute_overrides(self):
+        s = ScenarioConfig(
+            "x", ScenarioKind.DRAM_ONLY, dram_capacity_bytes=123
+        )
+        assert s.dram_budget(10**9) == 123
+
+    def test_with_switching(self):
+        s = DRAM_ONLY.with_switching(7.0, 8.0)
+        assert (s.alpha, s.beta) == (7.0, 8.0)
+        assert s.name == DRAM_ONLY.name
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            DRAM_ONLY.with_switching(0, 1)
+        with pytest.raises(ConfigurationError):
+            ScenarioConfig("x", ScenarioKind.DRAM_ONLY, dram_headroom=0)
+
+
+class TestOffloadPlanner:
+    SIZES = StructureSizes(
+        edge_list=24, forward=40, backward=33, status=15
+    )
+
+    def test_dram_only_places_everything_in_dram(self):
+        plan = OffloadPlanner(
+            ScenarioConfig("d", ScenarioKind.DRAM_ONLY, dram_headroom=2.0)
+        ).plan(self.SIZES)
+        assert all(t is Tier.DRAM for t in plan.placements.values())
+        assert plan.nvm_used == 0
+
+    def test_semi_external_offloads_forward_and_edges(self, store):
+        scenario = ScenarioConfig(
+            "s", ScenarioKind.SEMI_EXTERNAL, device=store.device,
+            dram_headroom=64.0 / 48.2,
+        )
+        plan = OffloadPlanner(scenario).plan(self.SIZES, store=store)
+        assert plan.tier_of("forward") is Tier.NVM
+        assert plan.tier_of("edge_list") is Tier.NVM
+        assert plan.tier_of("backward") is Tier.DRAM
+        assert plan.tier_of("status") is Tier.DRAM
+        assert plan.dram_used == 48
+        assert plan.nvm_used == 64
+
+    def test_semi_external_without_store_rejected(self):
+        scenario = DRAM_PCIE_FLASH
+        with pytest.raises(CapacityError):
+            OffloadPlanner(scenario).plan(self.SIZES, store=None)
+
+    def test_dram_only_too_small_rejected(self):
+        # The paper's motivation: the working set exceeds DRAM.
+        tiny = ScenarioConfig(
+            "d", ScenarioKind.DRAM_ONLY, dram_capacity_bytes=50
+        )
+        with pytest.raises(CapacityError):
+            OffloadPlanner(tiny).plan(self.SIZES)
+
+    def test_semi_external_fits_where_dram_only_does_not(self, store):
+        # 64 "GB" budget: working set 88 does not fit, backward+status 48 do.
+        dram_only = ScenarioConfig(
+            "d", ScenarioKind.DRAM_ONLY, dram_capacity_bytes=64
+        )
+        semi = ScenarioConfig(
+            "s", ScenarioKind.SEMI_EXTERNAL, device=store.device,
+            dram_capacity_bytes=64,
+        )
+        with pytest.raises(CapacityError):
+            OffloadPlanner(dram_only).plan(self.SIZES)
+        plan = OffloadPlanner(semi).plan(self.SIZES, store=store)
+        assert plan.dram_used <= 64
+
+    def test_min_dram_bytes(self, store):
+        semi = ScenarioConfig(
+            "s", ScenarioKind.SEMI_EXTERNAL, device=store.device
+        )
+        planner = OffloadPlanner(semi)
+        assert planner.min_dram_bytes(self.SIZES) == 48
+        dram = ScenarioConfig("d", ScenarioKind.DRAM_ONLY)
+        assert OffloadPlanner(dram).min_dram_bytes(self.SIZES) == 112
+
+    def test_dram_saved_fraction(self, store):
+        semi = ScenarioConfig(
+            "s", ScenarioKind.SEMI_EXTERNAL, device=store.device
+        )
+        plan = OffloadPlanner(semi).plan(self.SIZES, store=store)
+        assert plan.dram_saved_fraction == pytest.approx(64 / 112)
+
+
+class TestPipeline:
+    @pytest.mark.parametrize("scenario", PAPER_SCENARIOS, ids=lambda s: s.name)
+    def test_runs_and_validates(self, scenario, tmp_path):
+        res = run_graph500(
+            scenario, scale=10, n_roots=3, seed=11, workdir=tmp_path
+        )
+        assert res.output.all_valid
+        assert res.median_teps > 0
+        assert res.scale == 10
+
+    def test_semi_external_reports_iostats(self, tmp_path):
+        res = run_graph500(
+            DRAM_PCIE_FLASH, scale=10, n_roots=2, seed=11, workdir=tmp_path
+        )
+        assert res.bfs_iostats is not None
+        assert res.construction_bytes > 0  # edge list re-read from NVM
+
+    def test_dram_only_has_no_iostats(self):
+        res = run_graph500(DRAM_ONLY, scale=10, n_roots=2, seed=11)
+        assert res.bfs_iostats is None
+        assert res.construction_requests == 0
+
+    def test_same_trees_across_scenarios(self, tmp_path):
+        # Identical seed => identical graph and roots => identical result
+        # visits regardless of placement.
+        outs = [
+            run_graph500(s, scale=10, n_roots=2, seed=7,
+                         workdir=tmp_path / s.name)
+            for s in PAPER_SCENARIOS
+        ]
+        v0 = [r.result.n_visited for r in outs[0].output.runs]
+        for o in outs[1:]:
+            assert [r.result.n_visited for r in o.output.runs] == v0
+
+    def test_plan_matches_scenario(self, tmp_path):
+        res = run_graph500(
+            DRAM_PCIE_FLASH, scale=10, n_roots=1, seed=3, workdir=tmp_path
+        )
+        assert res.plan.tier_of("forward") is Tier.NVM
+        res2 = run_graph500(DRAM_ONLY, scale=10, n_roots=1, seed=3)
+        assert res2.plan.tier_of("forward") is Tier.DRAM
+
+    def test_validation_can_be_disabled(self):
+        res = run_graph500(
+            DRAM_ONLY, scale=9, n_roots=1, seed=3, validate=False
+        )
+        assert res.output.all_valid  # vacuously: no validation ran
+
+    def test_packed48_edge_list(self, tmp_path):
+        res = run_graph500(
+            DRAM_PCIE_FLASH, scale=10, n_roots=2, seed=5,
+            workdir=tmp_path, edge_format="packed48",
+        )
+        assert res.output.all_valid
+        # NETAL's tuple format: exactly 12 bytes per generated edge.
+        m = 16 << 10
+        assert res.plan.nvm_used >= 12 * m
+        assert res.construction_bytes >= 12 * m  # re-read during Step 2
+
+    def test_packed48_same_results_as_int64(self, tmp_path):
+        a = run_graph500(
+            DRAM_PCIE_FLASH, scale=10, n_roots=2, seed=5,
+            workdir=tmp_path / "a", edge_format="int64",
+        )
+        b = run_graph500(
+            DRAM_PCIE_FLASH, scale=10, n_roots=2, seed=5,
+            workdir=tmp_path / "b", edge_format="packed48",
+        )
+        assert [r.result.n_visited for r in a.output.runs] == [
+            r.result.n_visited for r in b.output.runs
+        ]
+
+    def test_bad_edge_format_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_graph500(DRAM_ONLY, scale=9, n_roots=1, edge_format="xml")

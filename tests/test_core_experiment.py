@@ -1,0 +1,88 @@
+"""Tests for the one-shot evaluation runner."""
+
+import json
+
+import pytest
+
+from repro.core.experiment import EvaluationRunner
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def report_and_paths(tmp_path_factory):
+    out = tmp_path_factory.mktemp("eval")
+    runner = EvaluationRunner(
+        scale=10, n_roots=2, seed=13, workdir=out / "work"
+    )
+    report = runner.run_all()
+    json_path, md_path = runner.write(out / "report")
+    return report, json_path, md_path
+
+
+class TestRunner:
+    def test_all_experiments_present(self, report_and_paths):
+        report, _, _ = report_and_paths
+        for key in (
+            "config",
+            "table2_fig3_sizes",
+            "fig7_alpha_beta",
+            "fig8_comparison",
+            "fig10_traversal_split",
+            "fig11_degradation",
+            "fig12_13_iostat",
+            "fig14_backward_offload",
+            "related_and_extras",
+        ):
+            assert key in report, key
+
+    def test_size_anchors(self, report_and_paths):
+        report, _, _ = report_and_paths
+        sizes = report["table2_fig3_sizes"]
+        assert sizes["scale27_forward_gib"] == pytest.approx(40.0, abs=0.5)
+        assert sizes["scale31_total_gib"] == pytest.approx(1552, abs=2)
+
+    def test_fig8_ordering(self, report_and_paths):
+        report, _, _ = report_and_paths
+        best = report["fig8_comparison"]["best_gteps"]
+        assert best["DRAM-only"] > best["DRAM+PCIeFlash"] > best["DRAM+SSD"]
+        assert best["Graph500 reference"] < best["DRAM-only"]
+
+    def test_locality_claim(self, report_and_paths):
+        report, _, _ = report_and_paths
+        extras = report["related_and_extras"]
+        assert extras["locality_netal_remote"] == 0.0
+        assert extras["locality_naive_remote"] > 0.5
+
+    def test_green_anchor(self, report_and_paths):
+        report, _, _ = report_and_paths
+        assert report["related_and_extras"][
+            "green_mteps_per_watt_at_4_22_gteps"
+        ] == pytest.approx(4.35, abs=0.25)
+
+    def test_json_is_loadable(self, report_and_paths):
+        _, json_path, _ = report_and_paths
+        data = json.loads(json_path.read_text())
+        assert data["config"]["scale"] == 10
+
+    def test_markdown_mentions_paper_numbers(self, report_and_paths):
+        _, _, md_path = report_and_paths
+        text = md_path.read_text()
+        assert "19.18" in text
+        assert "40.1 / 33.1 / 15.1" in text
+        assert "11182.9" in text
+
+    def test_write_without_run_triggers_run(self, tmp_path):
+        runner = EvaluationRunner(
+            scale=9, n_roots=1, seed=3, workdir=tmp_path / "w"
+        )
+        json_path, _ = runner.write(tmp_path / "out")
+        assert json_path.exists()
+
+    def test_tiny_scale_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EvaluationRunner(scale=5)
+
+    def test_close_idempotent(self, tmp_path):
+        runner = EvaluationRunner(scale=9, n_roots=1, workdir=tmp_path)
+        runner.close()
+        runner.close()

@@ -1,0 +1,148 @@
+"""Unit tests for the CSR structure and builder."""
+
+import numpy as np
+import pytest
+
+from repro.csr.builder import build_csr
+from repro.csr.graph import CSRGraph
+from repro.errors import GraphFormatError
+from repro.graph500.edgelist import EdgeList
+
+
+class TestCSRGraph:
+    def _simple(self):
+        # 0 -> {1, 2}; 1 -> {0}; 2 -> {0}
+        return CSRGraph(
+            indptr=np.array([0, 2, 3, 4], dtype=np.int64),
+            adj=np.array([1, 2, 0, 0], dtype=np.int64),
+            n_cols=3,
+        )
+
+    def test_shape(self):
+        g = self._simple()
+        assert g.n_rows == 3
+        assert g.n_directed_edges == 4
+        assert g.nbytes == 4 * 8 + 4 * 8
+
+    def test_neighbors_and_degree(self):
+        g = self._simple()
+        assert g.neighbors(0).tolist() == [1, 2]
+        assert g.degree(0) == 2
+        assert g.degrees().tolist() == [2, 1, 1]
+
+    def test_row_extents(self):
+        g = self._simple()
+        starts, counts = g.row_extents(np.array([0, 2]))
+        assert starts.tolist() == [0, 3]
+        assert counts.tolist() == [2, 1]
+
+    def test_has_edge(self):
+        g = self._simple()
+        assert g.has_edge(0, 2)
+        assert not g.has_edge(1, 2)
+
+    def test_indptr_must_start_at_zero(self):
+        with pytest.raises(GraphFormatError):
+            CSRGraph(np.array([1, 2], dtype=np.int64),
+                     np.array([0], dtype=np.int64), 2)
+
+    def test_indptr_must_be_monotone(self):
+        with pytest.raises(GraphFormatError):
+            CSRGraph(np.array([0, 2, 1], dtype=np.int64),
+                     np.array([0, 0], dtype=np.int64), 2)
+
+    def test_indptr_end_must_match_adj(self):
+        with pytest.raises(GraphFormatError):
+            CSRGraph(np.array([0, 3], dtype=np.int64),
+                     np.array([0], dtype=np.int64), 2)
+
+    def test_adj_range_checked(self):
+        with pytest.raises(GraphFormatError):
+            CSRGraph(np.array([0, 1], dtype=np.int64),
+                     np.array([5], dtype=np.int64), 2)
+
+    def test_dtype_checked(self):
+        with pytest.raises(GraphFormatError):
+            CSRGraph(np.array([0, 1], dtype=np.int32),
+                     np.array([0], dtype=np.int64), 2)
+
+    def test_equality(self):
+        assert self._simple() == self._simple()
+
+
+class TestBuildCSR:
+    def test_symmetrization(self):
+        g = build_csr(np.array([[0], [1]]), n_vertices=3)
+        assert g.neighbors(0).tolist() == [1]
+        assert g.neighbors(1).tolist() == [0]
+
+    def test_rows_sorted(self):
+        g = build_csr(np.array([[0, 0, 0], [5, 2, 9]]), n_vertices=10)
+        assert g.neighbors(0).tolist() == [2, 5, 9]
+
+    def test_self_loops_dropped(self):
+        g = build_csr(np.array([[0, 1], [0, 2]]), n_vertices=3)
+        assert g.degree(0) == 0
+        assert g.neighbors(1).tolist() == [2]
+
+    def test_self_loops_kept_on_request(self):
+        g = build_csr(
+            np.array([[0], [0]]), n_vertices=2, drop_self_loops=False
+        )
+        assert g.neighbors(0).tolist() == [0]  # deduped to one entry
+        multi = build_csr(
+            np.array([[0], [0]]), n_vertices=2, drop_self_loops=False,
+            dedup=False,
+        )
+        assert multi.neighbors(0).tolist() == [0, 0]  # both directions
+
+    def test_duplicates_removed(self):
+        g = build_csr(np.array([[0, 0, 1], [1, 1, 0]]), n_vertices=2)
+        assert g.n_directed_edges == 2
+
+    def test_duplicates_kept_on_request(self):
+        g = build_csr(
+            np.array([[0, 0], [1, 1]]), n_vertices=2, dedup=False
+        )
+        assert g.n_directed_edges == 4
+
+    def test_empty_graph(self):
+        g = build_csr(np.zeros((2, 0), dtype=np.int64), n_vertices=4)
+        assert g.n_rows == 4
+        assert g.n_directed_edges == 0
+
+    def test_from_edge_list_object(self):
+        el = EdgeList(np.array([[0, 1], [1, 2]], dtype=np.int64), 3)
+        g = build_csr(el)
+        assert g.n_rows == 3
+        assert g.has_edge(2, 1)
+
+    def test_missing_n_vertices_rejected(self):
+        with pytest.raises(GraphFormatError):
+            build_csr(np.array([[0], [1]]))
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(GraphFormatError):
+            build_csr(np.zeros((3, 3), dtype=np.int64), n_vertices=3)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(GraphFormatError):
+            build_csr(np.array([[0], [5]]), n_vertices=3)
+
+    def test_matches_scipy(self, edges, csr):
+        import scipy.sparse as sp
+
+        n = edges.n_vertices
+        u, v = edges.endpoints
+        keep = u != v
+        u, v = u[keep], v[keep]
+        m = sp.coo_matrix(
+            (np.ones(2 * u.size), (np.r_[u, v], np.r_[v, u])), shape=(n, n)
+        ).tocsr()
+        m.sum_duplicates()
+        assert np.array_equal(csr.indptr, m.indptr.astype(np.int64))
+        assert np.array_equal(csr.adj, m.indices.astype(np.int64))
+
+    def test_degree_symmetry(self, csr):
+        # In a symmetric graph, total out-degree is even.
+        assert csr.n_directed_edges % 2 == 0

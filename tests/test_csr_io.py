@@ -1,0 +1,83 @@
+"""Unit tests for NVM-resident CSR files (ExternalCSR)."""
+
+import numpy as np
+import pytest
+
+from repro.csr.builder import build_csr
+from repro.csr.io import ExternalCSR, offload_csr
+from repro.errors import StorageError
+
+
+@pytest.fixture()
+def small_csr():
+    return build_csr(
+        np.array([[0, 0, 1, 2, 3], [1, 2, 2, 3, 0]]), n_vertices=5
+    )
+
+
+class TestOffload:
+    def test_creates_two_files(self, small_csr, store):
+        offload_csr(small_csr, store, "g")
+        assert "g.index" in store
+        assert "g.value" in store
+
+    def test_round_trip(self, small_csr, store):
+        ext = offload_csr(small_csr, store, "g")
+        assert ext.to_csr_uncharged() == small_csr
+
+    def test_shape_metadata(self, small_csr, store):
+        ext = offload_csr(small_csr, store, "g")
+        assert ext.n_rows == small_csr.n_rows
+        assert ext.n_directed_edges == small_csr.n_directed_edges
+        assert ext.nbytes == small_csr.nbytes
+
+
+class TestChargedReads:
+    def test_row_extents_match(self, small_csr, store):
+        ext = offload_csr(small_csr, store, "g")
+        rows = np.array([0, 3])
+        starts, counts = ext.row_extents(rows)
+        estarts, ecounts = small_csr.row_extents(rows)
+        assert np.array_equal(starts, estarts)
+        assert np.array_equal(counts, ecounts)
+
+    def test_row_extents_charge_index_file(self, small_csr, store):
+        ext = offload_csr(small_csr, store, "g")
+        before = store.iostats.n_requests
+        ext.row_extents(np.array([0, 1, 2]))
+        assert store.iostats.n_requests > before
+
+    def test_gather_rows_values(self, small_csr, store):
+        ext = offload_csr(small_csr, store, "g")
+        rows = np.array([0, 2])
+        values, counts = ext.gather_rows(rows)
+        expected = np.concatenate(
+            [small_csr.neighbors(0), small_csr.neighbors(2)]
+        )
+        assert np.array_equal(values, expected)
+        assert counts.tolist() == [small_csr.degree(0), small_csr.degree(2)]
+
+    def test_gather_empty(self, small_csr, store):
+        ext = offload_csr(small_csr, store, "g")
+        values, counts = ext.gather_rows(np.array([], dtype=np.int64))
+        assert values.size == 0 and counts.size == 0
+
+    def test_uncharged_degrees_do_not_meter(self, small_csr, store):
+        ext = offload_csr(small_csr, store, "g")
+        before = store.iostats.n_requests
+        deg = ext.degrees_uncharged()
+        assert store.iostats.n_requests == before
+        assert np.array_equal(deg, small_csr.degrees())
+
+    def test_large_graph_round_trip(self, csr, store):
+        ext = offload_csr(csr, store, "big")
+        rows = np.arange(0, csr.n_rows, 53)
+        values, counts = ext.gather_rows(rows)
+        expected = np.concatenate([csr.neighbors(int(r)) for r in rows])
+        assert np.array_equal(values, expected)
+
+    def test_empty_index_rejected(self, store):
+        empty = store.put_array("idx", np.empty(0, dtype=np.int64))
+        val = store.put_array("val", np.empty(0, dtype=np.int64))
+        with pytest.raises(StorageError):
+            ExternalCSR(empty, val, 1)

@@ -1,0 +1,92 @@
+"""Unit tests for NUMA-partitioned forward/backward graphs."""
+
+import numpy as np
+import pytest
+
+from repro.csr.builder import build_csr
+from repro.csr.graph import CSRGraph
+from repro.csr.partition import BackwardGraph, ForwardGraph
+from repro.errors import GraphFormatError
+from repro.numa.topology import NumaTopology
+
+
+class TestForwardGraph:
+    def test_edge_conservation(self, csr, forward):
+        assert forward.n_directed_edges == csr.n_directed_edges
+
+    def test_shards_partition_by_destination(self, csr, forward, topology):
+        n = csr.n_rows
+        for part, shard in zip(forward.partitions, forward.shards):
+            if shard.adj.size:
+                owners = topology.owner_of(shard.adj, n)
+                assert (owners == part.node).all()
+
+    def test_all_rows_present_in_every_shard(self, csr, forward):
+        # Frontier duplication: every shard indexes all n source rows.
+        for shard in forward.shards:
+            assert shard.n_rows == csr.n_rows
+
+    def test_union_of_shards_restores_graph(self, csr, forward):
+        # Per row, merging the shards' (sorted) neighbor lists yields the
+        # original sorted row.
+        for v in range(0, csr.n_rows, 97):
+            merged = np.sort(
+                np.concatenate([s.neighbors(v) for s in forward.shards])
+            )
+            assert np.array_equal(merged, csr.neighbors(v))
+
+    def test_rows_remain_sorted(self, forward):
+        for shard in forward.shards:
+            for v in range(0, shard.n_rows, 131):
+                row = shard.neighbors(v)
+                assert np.all(np.diff(row) >= 0)
+
+    def test_rectangular_csr_rejected(self, topology):
+        rect = CSRGraph(
+            np.array([0, 1], dtype=np.int64), np.array([3], dtype=np.int64), 5
+        )
+        with pytest.raises(GraphFormatError):
+            ForwardGraph(rect, topology)
+
+    def test_nbytes_sums_shards(self, forward):
+        assert forward.nbytes == sum(s.nbytes for s in forward.shards)
+
+    def test_single_node_is_identity(self, csr):
+        fg = ForwardGraph(csr, NumaTopology(1))
+        assert fg.shards[0] == csr
+
+
+class TestBackwardGraph:
+    def test_edge_conservation(self, csr, backward):
+        assert backward.n_directed_edges == csr.n_directed_edges
+
+    def test_rows_partitioned_by_owner(self, csr, backward):
+        for part, shard in zip(backward.partitions, backward.shards):
+            assert shard.n_rows == part.size
+
+    def test_local_rows_match_global(self, csr, backward):
+        for part, shard in zip(backward.partitions, backward.shards):
+            for local in range(0, shard.n_rows, 101):
+                assert np.array_equal(
+                    shard.neighbors(local), csr.neighbors(part.lo + local)
+                )
+
+    def test_global_degrees(self, csr, backward):
+        assert np.array_equal(backward.global_degrees(), csr.degrees())
+
+    def test_rectangular_csr_rejected(self, topology):
+        rect = CSRGraph(
+            np.array([0, 1], dtype=np.int64), np.array([3], dtype=np.int64), 5
+        )
+        with pytest.raises(GraphFormatError):
+            BackwardGraph(rect, topology)
+
+    def test_single_node_is_identity(self, csr):
+        bg = BackwardGraph(csr, NumaTopology(1))
+        assert bg.shards[0] == csr
+
+    def test_many_nodes(self):
+        g = build_csr(np.array([[0, 1, 2], [1, 2, 3]]), n_vertices=4)
+        bg = BackwardGraph(g, NumaTopology(8))
+        assert bg.n_directed_edges == g.n_directed_edges
+        assert sum(s.n_rows for s in bg.shards) == 4

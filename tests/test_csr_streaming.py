@@ -1,0 +1,103 @@
+"""Tests for streaming (two-pass) CSR construction."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.csr.builder import build_csr
+from repro.csr.streaming import build_csr_streaming
+from repro.errors import GraphFormatError
+from repro.graph500.kronecker import generate_edge_batches, generate_edges
+
+
+def _batched(edges, size):
+    def gen():
+        for i in range(0, edges.shape[1], size):
+            yield edges[:, i : i + size]
+
+    return gen
+
+
+class TestStreamingConstruction:
+    def test_equals_monolithic(self):
+        edges = generate_edges(scale=10, seed=4)
+        mono = build_csr(edges, n_vertices=1 << 10)
+        stream = build_csr_streaming(_batched(edges, 777), 1 << 10)
+        assert stream == mono
+
+    def test_equals_monolithic_no_dedup(self):
+        edges = generate_edges(scale=9, seed=4)
+        mono = build_csr(edges, n_vertices=1 << 9, dedup=False)
+        stream = build_csr_streaming(
+            _batched(edges, 100), 1 << 9, dedup=False
+        )
+        # Same rows as multisets (order within duplicates may differ).
+        assert np.array_equal(stream.indptr, mono.indptr)
+        for v in range(0, 1 << 9, 37):
+            assert np.array_equal(
+                np.sort(stream.neighbors(v)), np.sort(mono.neighbors(v))
+            )
+
+    def test_single_batch(self):
+        edges = generate_edges(scale=8, seed=1)
+        mono = build_csr(edges, n_vertices=1 << 8)
+        stream = build_csr_streaming(_batched(edges, 10**9), 1 << 8)
+        assert stream == mono
+
+    def test_tiny_batches(self):
+        edges = generate_edges(scale=7, seed=1)
+        mono = build_csr(edges, n_vertices=1 << 7)
+        stream = build_csr_streaming(_batched(edges, 1), 1 << 7)
+        assert stream == mono
+
+    def test_from_kronecker_batches(self):
+        # Stream straight from the batched generator (the pipeline path).
+        g = build_csr_streaming(
+            lambda: generate_edge_batches(scale=9, seed=6, batch_edges=512),
+            1 << 9,
+        )
+        assert g.n_rows == 1 << 9
+        assert g.n_directed_edges > 0
+        # Symmetric and sorted.
+        for v in range(0, 1 << 9, 41):
+            row = g.neighbors(v)
+            assert np.all(np.diff(row) > 0)
+            for w in row.tolist():
+                assert g.has_edge(w, v)
+
+    def test_self_loops_kept_on_request(self):
+        edges = np.array([[0, 1], [0, 2]], dtype=np.int64)
+        g = build_csr_streaming(
+            _batched(edges, 10), 3, drop_self_loops=False
+        )
+        assert 0 in g.neighbors(0)
+
+    def test_empty_stream(self):
+        g = build_csr_streaming(lambda: iter(()), 5)
+        assert g.n_rows == 5
+        assert g.n_directed_edges == 0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(GraphFormatError):
+            build_csr_streaming(lambda: iter(()), 0)
+        bad = np.array([[0], [9]], dtype=np.int64)
+        with pytest.raises(GraphFormatError):
+            build_csr_streaming(_batched(bad, 10), 5)
+        shaped = np.zeros((3, 4), dtype=np.int64)
+        with pytest.raises(GraphFormatError):
+            build_csr_streaming(_batched(shaped.T, 10), 5)
+
+    @given(data=st.data())
+    @settings(max_examples=25, suppress_health_check=[HealthCheck.too_slow])
+    def test_property_equals_monolithic(self, data):
+        n = data.draw(st.integers(2, 40))
+        m = data.draw(st.integers(0, 120))
+        edges = data.draw(
+            arrays(np.int64, (2, m), elements=st.integers(0, n - 1))
+        )
+        size = data.draw(st.integers(1, max(m, 1)))
+        mono = build_csr(edges, n_vertices=n)
+        stream = build_csr_streaming(_batched(edges, size), n)
+        assert stream == mono

@@ -1,0 +1,122 @@
+"""Cross-cutting determinism guarantees.
+
+Reproducibility is a stated design goal (DESIGN.md §5): a single integer
+seed pins the graph, the roots and every engine's result.  These tests
+pin the guarantee at every layer.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bfs import AlphaBetaPolicy, HybridBFS, SemiExternalBFS
+from repro.core import DRAM_ONLY, DRAM_PCIE_FLASH, run_graph500
+from repro.csr import BackwardGraph, ForwardGraph, build_csr
+from repro.graph500 import EdgeList, Graph500Driver, generate_edges
+from repro.numa import NumaTopology
+from repro.perfmodel.cost import DramCostModel
+from repro.semiext import NVMStore, PCIE_FLASH
+
+
+class TestGeneratorDeterminism:
+    def test_graph_identical_across_calls(self):
+        a = generate_edges(scale=10, seed=77)
+        b = generate_edges(scale=10, seed=77)
+        assert np.array_equal(a, b)
+
+    def test_roots_identical_across_driver_instances(self, edges):
+        d1 = Graph500Driver(edges, n_roots=8, seed=5)
+        d2 = Graph500Driver(edges, n_roots=8, seed=5)
+        assert np.array_equal(d1.roots, d2.roots)
+
+    def test_different_seeds_differ(self):
+        a = generate_edges(scale=10, seed=1)
+        b = generate_edges(scale=10, seed=2)
+        assert not np.array_equal(a, b)
+
+
+class TestEngineDeterminism:
+    def test_fresh_engines_agree_bitwise(self, csr, topology, a_root):
+        results = []
+        for _ in range(2):
+            fwd = ForwardGraph(csr, topology)
+            bwd = BackwardGraph(csr, topology)
+            eng = HybridBFS(
+                fwd, bwd, AlphaBetaPolicy(50, 500), DramCostModel()
+            )
+            results.append(eng.run(a_root))
+        assert np.array_equal(results[0].parent, results[1].parent)
+        assert results[0].modeled_time_s == results[1].modeled_time_s
+        # Everything but wall-clock is bit-reproducible.
+        for a, b in zip(results[0].traces, results[1].traces):
+            assert (
+                a.direction, a.frontier_size, a.next_size,
+                a.edges_scanned, a.modeled_time_s,
+            ) == (
+                b.direction, b.frontier_size, b.next_size,
+                b.edges_scanned, b.modeled_time_s,
+            )
+
+    def test_semi_external_meters_agree(self, forward, backward, a_root, tmp_path):
+        stats = []
+        for tag in ("a", "b"):
+            store = NVMStore(tmp_path / tag, PCIE_FLASH)
+            SemiExternalBFS.offload(
+                forward, backward, AlphaBetaPolicy(30, 30), store,
+                cost_model=DramCostModel(),
+            ).run(a_root)
+            stats.append(
+                (
+                    store.iostats.n_requests,
+                    store.iostats.total_bytes,
+                    store.iostats.busy_time_s,
+                    store.iostats.avgrq_sz,
+                )
+            )
+        assert stats[0] == stats[1]
+
+    def test_run_does_not_mutate_graphs(self, csr, forward, backward, a_root):
+        adj_before = forward.shards[0].adj.copy()
+        HybridBFS(forward, backward, AlphaBetaPolicy(50, 500)).run(a_root)
+        assert np.array_equal(forward.shards[0].adj, adj_before)
+
+    def test_consecutive_runs_independent(self, forward, backward, csr):
+        # Running root A then root B must equal running root B fresh.
+        deg = csr.degrees()
+        roots = np.flatnonzero(deg > 0)[:2]
+        engine = HybridBFS(
+            forward, backward, AlphaBetaPolicy(50, 500), DramCostModel()
+        )
+        engine.run(int(roots[0]))
+        chained = engine.run(int(roots[1]))
+        fresh = HybridBFS(
+            forward, backward, AlphaBetaPolicy(50, 500), DramCostModel()
+        ).run(int(roots[1]))
+        assert np.array_equal(chained.parent, fresh.parent)
+        assert [t.edges_scanned for t in chained.traces] == [
+            t.edges_scanned for t in fresh.traces
+        ]
+
+
+class TestPipelineDeterminism:
+    def test_pipeline_median_teps_reproducible(self, tmp_path):
+        a = run_graph500(
+            DRAM_ONLY, scale=10, n_roots=3, seed=21, workdir=tmp_path / "a"
+        )
+        b = run_graph500(
+            DRAM_ONLY, scale=10, n_roots=3, seed=21, workdir=tmp_path / "b"
+        )
+        assert a.median_teps == b.median_teps
+
+    def test_semi_external_pipeline_reproducible(self, tmp_path):
+        outs = [
+            run_graph500(
+                DRAM_PCIE_FLASH, scale=10, n_roots=2, seed=21,
+                workdir=tmp_path / tag,
+            )
+            for tag in ("a", "b")
+        ]
+        assert outs[0].median_teps == outs[1].median_teps
+        assert (
+            outs[0].bfs_iostats.n_requests
+            == outs[1].bfs_iostats.n_requests
+        )

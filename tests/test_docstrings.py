@@ -1,0 +1,58 @@
+"""Quality gate: every public item in the library carries a docstring."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _iter_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield importlib.import_module(info.name)
+
+
+MODULES = list(_iter_modules())
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize(
+        "module", MODULES, ids=lambda m: m.__name__
+    )
+    def test_module_docstring(self, module):
+        assert module.__doc__, f"{module.__name__} lacks a module docstring"
+        assert len(module.__doc__.strip()) > 20
+
+    @pytest.mark.parametrize(
+        "module", MODULES, ids=lambda m: m.__name__
+    )
+    def test_public_items_documented(self, module):
+        undocumented = []
+        for name in getattr(module, "__all__", []):
+            obj = getattr(module, name)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                if not (obj.__doc__ and obj.__doc__.strip()):
+                    undocumented.append(f"{module.__name__}.{name}")
+                if inspect.isclass(obj):
+                    for meth_name, meth in vars(obj).items():
+                        if meth_name.startswith("_"):
+                            continue
+                        if isinstance(meth, property):
+                            target = meth.fget
+                        elif inspect.isfunction(meth):
+                            target = meth
+                        else:
+                            continue
+                        if not (target.__doc__ and target.__doc__.strip()):
+                            undocumented.append(
+                                f"{module.__name__}.{name}.{meth_name}"
+                            )
+        assert not undocumented, f"undocumented public items: {undocumented}"
+
+    def test_every_package_exports_all(self):
+        packages = [m for m in MODULES if hasattr(m, "__path__")]
+        for pkg in packages:
+            assert hasattr(pkg, "__all__"), f"{pkg.__name__} has no __all__"

@@ -1,0 +1,68 @@
+"""Smoke tests: every shipped example runs end to end at a tiny SCALE."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(script: str, *args: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = _run("quickstart.py", "10")
+        assert "DRAM-only" in out
+        assert "DRAM+PCIeFlash" in out
+        assert "GTEPS" in out or "MTEPS" in out
+
+    def test_social_network_analysis(self):
+        out = _run("social_network_analysis.py", "10")
+        assert "Degrees of separation" in out
+        assert "NVM during analysis" in out
+
+    def test_capacity_planning(self):
+        out = _run("capacity_planning.py")
+        assert "SCALE 28: DRAM-only DOES NOT FIT, semi-external OK" in out
+        assert "CapacityError" in out
+
+    def test_backward_offload(self):
+        out = _run("backward_offload.py", "10")
+        assert "DRAM bytes saved" in out
+        assert "degree" in out
+
+    def test_green_graph500(self):
+        out = _run("green_graph500.py", "10")
+        assert "4.35" in out
+        assert "MTEPS/W" in out
+
+    def test_device_study(self):
+        out = _run("device_study.py", "10")
+        assert "7.2k SATA HDD" in out
+        assert "libaio aggregation" in out
+
+    def test_streaming_construction(self):
+        out = _run("streaming_construction.py", "10")
+        assert "identical to the monolithic" in out
+
+    def test_all_examples_have_docstrings_and_main(self):
+        for script in EXAMPLES.glob("*.py"):
+            text = script.read_text()
+            assert text.lstrip().startswith(
+                ("#!/usr/bin/env python\n\"\"\"", '#!/usr/bin/env python\n"""')
+            ), f"{script.name} missing shebang/docstring"
+            assert 'if __name__ == "__main__":' in text, script.name
+
+    def test_at_least_three_examples(self):
+        assert len(list(EXAMPLES.glob("*.py"))) >= 3

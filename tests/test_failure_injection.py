@@ -1,0 +1,178 @@
+"""Failure-injection tests: corrupted files, truncated stores, bad trees.
+
+A semi-external system's failure modes live at the storage boundary; these
+tests verify every corruption the reproduction can encounter surfaces as a
+typed error (never silent wrong answers).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.csr import build_csr, offload_csr
+from repro.errors import GraphFormatError, StorageError, ValidationError
+from repro.graph500 import EdgeList, generate_edges, validate_bfs_tree
+from repro.graph500.validate import compute_levels
+from repro.semiext import NVMStore, PCIE_FLASH
+
+
+@pytest.fixture()
+def small_graph():
+    el = EdgeList(generate_edges(9, seed=5), 1 << 9)
+    return el, build_csr(el)
+
+
+class TestStorageFailures:
+    def test_truncated_value_file_detected(self, small_graph, store):
+        _, csr = small_graph
+        ext = offload_csr(csr, store, "g")
+        # Truncate the backing file behind the memmap's back, then force a
+        # fresh mapping: reads must fail loudly, not return garbage.
+        path = ext.value.path
+        ext.value.close()
+        with open(path, "r+b") as f:
+            f.truncate(8)
+        with pytest.raises((StorageError, ValueError)):
+            ext.value._mm = np.memmap(
+                path, dtype=ext.value.dtype, mode="r", shape=ext.value.shape
+            )
+
+    def test_read_after_drop_raises(self, store):
+        ext = store.put_array("a", np.arange(16, dtype=np.int64))
+        store.drop_array("a")
+        with pytest.raises(StorageError):
+            ext.read_slice(0, 4)
+
+    def test_out_of_bounds_reads_never_partial(self, store):
+        ext = store.put_array("a", np.arange(16, dtype=np.int64))
+        before = store.iostats.n_requests
+        with pytest.raises(StorageError):
+            ext.read_rows(np.array([10]), np.array([10]))
+        # The failed read must not have charged the device.
+        assert store.iostats.n_requests == before
+
+    def test_corrupt_index_non_monotone(self, small_graph, store):
+        _, csr = small_graph
+        bad_indptr = csr.indptr.copy()
+        bad_indptr[5], bad_indptr[6] = bad_indptr[6], bad_indptr[5] + 1
+        store.put_array("g.index", bad_indptr)
+        store.put_array("g.value", csr.adj)
+        from repro.csr.io import ExternalCSR
+
+        ext = ExternalCSR(
+            store.get_array("g.index"), store.get_array("g.value"), csr.n_cols
+        )
+        with pytest.raises(GraphFormatError):
+            ext.to_csr_uncharged()
+
+    def test_corrupt_value_out_of_range(self, small_graph, store):
+        _, csr = small_graph
+        bad_adj = csr.adj.copy()
+        bad_adj[0] = csr.n_cols + 100
+        store.put_array("g.index", csr.indptr)
+        store.put_array("g.value", bad_adj)
+        from repro.csr.io import ExternalCSR
+
+        ext = ExternalCSR(
+            store.get_array("g.index"), store.get_array("g.value"), csr.n_cols
+        )
+        with pytest.raises(GraphFormatError):
+            ext.to_csr_uncharged()
+
+
+class TestValidatorFuzzing:
+    """Targeted and randomized corruption of known-valid BFS trees."""
+
+    @pytest.fixture()
+    def valid_tree(self, small_graph):
+        from repro.bfs import AlphaBetaPolicy, HybridBFS
+        from repro.csr import BackwardGraph, ForwardGraph
+        from repro.numa import NumaTopology
+
+        el, csr = small_graph
+        topo = NumaTopology(2)
+        root = int(np.flatnonzero(csr.degrees() > 0)[0])
+        res = HybridBFS(
+            ForwardGraph(csr, topo), BackwardGraph(csr, topo),
+            AlphaBetaPolicy(10, 10),
+        ).run(root)
+        assert validate_bfs_tree(el, res.parent, root).ok
+        return el, res.parent, root
+
+    def test_unvisiting_a_reached_vertex_fails(self, valid_tree):
+        el, parent, root = valid_tree
+        bad = parent.copy()
+        victim = int(np.flatnonzero((bad >= 0) & (np.arange(bad.size) != root))[0])
+        bad[victim] = -1
+        assert not validate_bfs_tree(el, bad, root).ok
+
+    def test_fake_parent_edge_fails(self, valid_tree):
+        el, parent, root = valid_tree
+        bad = parent.copy()
+        reached = np.flatnonzero((bad >= 0) & (np.arange(bad.size) != root))
+        victim = int(reached[0])
+        # Point the victim at a vertex it shares no edge with.
+        u, v = el.endpoints
+        neighbors = set(v[u == victim].tolist()) | set(u[v == victim].tolist())
+        stranger = next(
+            x for x in range(el.n_vertices)
+            if x not in neighbors and x != victim
+        )
+        bad[victim] = stranger
+        result = validate_bfs_tree(el, bad, root, collect_all=True)
+        assert not result.ok
+
+    def test_cycle_injection_fails(self, valid_tree):
+        el, parent, root = valid_tree
+        bad = parent.copy()
+        reached = np.flatnonzero(bad >= 0)
+        a, b = int(reached[1]), int(reached[2])
+        bad[a], bad[b] = b, a
+        assert not validate_bfs_tree(el, bad, root).ok
+
+    def test_root_detached_fails(self, valid_tree):
+        el, parent, root = valid_tree
+        bad = parent.copy()
+        bad[root] = -1
+        assert not validate_bfs_tree(el, bad, root).ok
+
+    @given(data=st.data())
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_random_parent_rewrites_never_validate_silently(
+        self, valid_tree, data
+    ):
+        """Any rewrite that changes the level structure must be caught.
+
+        Rewrites that happen to produce *another valid BFS tree* (pointing
+        a vertex at a different same-level-minus-one neighbour) are
+        legitimately accepted; everything else must fail validation.
+        """
+        el, parent, root = valid_tree
+        bad = parent.copy()
+        victim = data.draw(
+            st.integers(0, el.n_vertices - 1).filter(
+                lambda x: parent[x] >= 0 and x != root
+            )
+        )
+        new_parent = data.draw(st.integers(-1, el.n_vertices - 1))
+        bad[victim] = new_parent
+        result = validate_bfs_tree(el, bad, root)
+        if result.ok:
+            # Accepted rewrites must preserve the BFS level structure.
+            levels_ok, err = compute_levels(bad, root)
+            ref_levels, _ = compute_levels(parent, root)
+            assert err is None
+            assert np.array_equal(levels_ok, ref_levels)
+
+    def test_error_carries_reason(self, valid_tree):
+        el, parent, root = valid_tree
+        bad = parent.copy()
+        bad[root] = -1
+        with pytest.raises(ValidationError) as err:
+            validate_bfs_tree(el, bad, root).raise_if_invalid()
+        assert "root" in str(err.value)

@@ -1,0 +1,107 @@
+"""Unit tests for the Graph500 benchmark driver."""
+
+import numpy as np
+import pytest
+
+from repro.bfs import AlphaBetaPolicy, HybridBFS
+from repro.errors import ConfigurationError, ValidationError
+from repro.graph500.driver import (
+    Graph500Driver,
+    count_traversed_input_edges,
+)
+from repro.graph500.edgelist import EdgeList
+
+
+@pytest.fixture()
+def engine(forward, backward):
+    return HybridBFS(forward, backward, AlphaBetaPolicy(50, 500))
+
+
+class TestCountTraversedInputEdges:
+    def test_counts_duplicates(self):
+        el = EdgeList(
+            np.array([[0, 0, 1], [1, 1, 2]], dtype=np.int64), 3
+        )
+        parent = np.array([0, 0, 1], dtype=np.int64)
+        assert count_traversed_input_edges(el, parent) == 3
+
+    def test_excludes_other_component(self):
+        el = EdgeList(
+            np.array([[0, 2], [1, 3]], dtype=np.int64), 4
+        )
+        parent = np.array([0, 0, -1, -1], dtype=np.int64)
+        assert count_traversed_input_edges(el, parent) == 1
+
+    def test_counts_self_loops_in_component(self):
+        el = EdgeList(np.array([[0, 0], [1, 0]], dtype=np.int64), 2)
+        parent = np.array([0, 0], dtype=np.int64)
+        assert count_traversed_input_edges(el, parent) == 2
+
+
+class TestDriver:
+    def test_runs_all_roots(self, edges, engine):
+        driver = Graph500Driver(edges, n_roots=5, seed=1)
+        out = driver.run(engine)
+        assert len(out.runs) == 5
+        assert out.all_valid
+
+    def test_roots_are_connected_vertices(self, edges):
+        driver = Graph500Driver(edges, n_roots=8, seed=1)
+        deg = edges.degrees()
+        assert (deg[driver.roots] > 0).all()
+
+    def test_stats_computed_both_clocks(self, edges, forward, backward):
+        from repro.perfmodel.cost import DramCostModel
+
+        engine = HybridBFS(
+            forward, backward, AlphaBetaPolicy(50, 500), DramCostModel()
+        )
+        out = Graph500Driver(edges, n_roots=4, seed=1).run(engine)
+        assert out.stats_modeled.median_teps > 0
+        assert out.stats_wall.median_teps > 0
+        assert out.median_teps_modeled == out.stats_modeled.median_teps
+
+    def test_validation_catches_bad_engine(self, edges):
+        class BrokenEngine:
+            def run(self, root):
+                from repro.bfs.metrics import BFSResult
+
+                n = edges.n_vertices
+                parent = np.full(n, -1, dtype=np.int64)
+                parent[root] = root
+                other = (root + 1) % n
+                parent[other] = root  # likely not an edge
+                return BFSResult(
+                    parent=parent, root=root, traces=(),
+                    traversed_edges=1, wall_time_s=1.0, modeled_time_s=1.0,
+                )
+
+        driver = Graph500Driver(edges, n_roots=1, seed=1)
+        with pytest.raises(ValidationError):
+            driver.run(BrokenEngine())
+
+    def test_validation_skippable(self, edges, engine):
+        driver = Graph500Driver(edges, n_roots=2, seed=1, validate=False)
+        out = driver.run(engine)
+        assert out.all_valid
+
+    def test_per_run_teps(self, edges, forward, backward):
+        from repro.perfmodel.cost import DramCostModel
+
+        engine = HybridBFS(
+            forward, backward, AlphaBetaPolicy(50, 500), DramCostModel()
+        )
+        out = Graph500Driver(edges, n_roots=2, seed=1).run(engine)
+        run = out.runs[0]
+        assert run.teps(modeled=True) == pytest.approx(
+            run.input_edges_traversed / run.result.modeled_time_s
+        )
+
+    def test_deterministic_roots(self, edges):
+        a = Graph500Driver(edges, n_roots=4, seed=9).roots
+        b = Graph500Driver(edges, n_roots=4, seed=9).roots
+        assert np.array_equal(a, b)
+
+    def test_invalid_n_roots(self, edges):
+        with pytest.raises(ConfigurationError):
+            Graph500Driver(edges, n_roots=0)

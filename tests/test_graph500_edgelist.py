@@ -1,0 +1,78 @@
+"""Unit tests for repro.graph500.edgelist."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph500.edgelist import EdgeList
+
+
+def _el(pairs, n):
+    return EdgeList(np.array(pairs, dtype=np.int64).T.reshape(2, -1), n)
+
+
+class TestConstruction:
+    def test_valid(self):
+        el = _el([(0, 1), (1, 2)], 3)
+        assert el.n_edges == 2
+        assert el.n_vertices == 3
+
+    def test_bad_shape(self):
+        with pytest.raises(GraphFormatError):
+            EdgeList(np.zeros((3, 4), dtype=np.int64), 5)
+
+    def test_bad_dtype(self):
+        with pytest.raises(GraphFormatError):
+            EdgeList(np.zeros((2, 4), dtype=np.int32), 5)
+
+    def test_endpoint_out_of_range(self):
+        with pytest.raises(GraphFormatError):
+            _el([(0, 5)], 5)
+        with pytest.raises(GraphFormatError):
+            _el([(-1, 0)], 5)
+
+    def test_zero_vertices_rejected(self):
+        with pytest.raises(GraphFormatError):
+            EdgeList(np.zeros((2, 0), dtype=np.int64), 0)
+
+
+class TestStatistics:
+    def test_degrees_exclude_self_loops(self):
+        el = _el([(0, 1), (1, 1), (1, 2)], 3)
+        assert el.degrees().tolist() == [1, 2, 1]
+
+    def test_n_self_loops(self):
+        el = _el([(0, 0), (1, 1), (0, 1)], 2)
+        assert el.n_self_loops() == 2
+
+    def test_n_unique_undirected(self):
+        el = _el([(0, 1), (1, 0), (0, 1), (1, 2), (2, 2)], 3)
+        assert el.n_unique_undirected() == 2
+
+    def test_nbytes(self):
+        el = _el([(0, 1)] * 10, 2)
+        assert el.nbytes == 2 * 10 * 8
+
+
+class TestOffload:
+    def test_round_trip(self, store):
+        el = _el([(0, 1), (1, 2), (2, 3)], 4)
+        ext = el.offload(store)
+        back = EdgeList.from_external(ext, 4, charged=False)
+        assert np.array_equal(back.endpoints, el.endpoints)
+
+    def test_charged_read_meters_device(self, store):
+        el = _el([(0, 1)] * 1000, 2)
+        ext = el.offload(store)
+        EdgeList.from_external(ext, 2, charged=True)
+        assert store.iostats.total_bytes >= el.nbytes
+
+    def test_custom_name(self, store):
+        el = _el([(0, 1)], 2)
+        el.offload(store, "my_edges")
+        assert "my_edges" in store
+
+    def test_odd_element_count_rejected(self, store):
+        store.put_array("bad", np.zeros(7, dtype=np.int64))
+        with pytest.raises(GraphFormatError):
+            EdgeList.from_external(store.get_array("bad"), 4)

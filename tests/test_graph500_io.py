@@ -1,0 +1,104 @@
+"""Tests for the edge-list file formats (int64 pairs, packed 48-bit)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphFormatError
+from repro.graph500.edgelist import EdgeList
+from repro.graph500.io import (
+    PACKED_EDGE_BYTES,
+    pack_edges_48,
+    read_int64_pairs,
+    read_packed48,
+    unpack_edges_48,
+    write_int64_pairs,
+    write_packed48,
+)
+
+
+def _el(pairs, n):
+    return EdgeList(np.array(pairs, dtype=np.int64).T.reshape(2, -1), n)
+
+
+class TestInt64Pairs:
+    def test_round_trip(self, tmp_path, edges):
+        path = tmp_path / "edges.bin"
+        nbytes = write_int64_pairs(edges, path)
+        assert nbytes == edges.n_edges * 16
+        back = read_int64_pairs(path, edges.n_vertices)
+        assert np.array_equal(back.endpoints, edges.endpoints)
+
+    def test_interleaved_layout(self, tmp_path):
+        el = _el([(1, 2), (3, 4)], 5)
+        path = tmp_path / "e.bin"
+        write_int64_pairs(el, path)
+        raw = np.fromfile(path, dtype="<i8")
+        assert raw.tolist() == [1, 2, 3, 4]
+
+    def test_odd_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.bin"
+        np.array([1, 2, 3], dtype="<i8").tofile(path)
+        with pytest.raises(GraphFormatError):
+            read_int64_pairs(path, 10)
+
+
+class TestPacked48:
+    def test_round_trip(self, tmp_path, edges):
+        path = tmp_path / "edges.p48"
+        nbytes = write_packed48(edges, path)
+        assert nbytes == edges.n_edges * PACKED_EDGE_BYTES
+        back = read_packed48(path, edges.n_vertices)
+        assert np.array_equal(back.endpoints, edges.endpoints)
+
+    def test_size_matches_paper_model(self, edges):
+        # 12 B/edge is what the size model charges (384 GB @ SCALE 31).
+        from repro.perfmodel.sizes import GraphSizeModel
+
+        packed = pack_edges_48(edges)
+        assert packed.nbytes == GraphSizeModel().edge_tuple_bytes * edges.n_edges
+
+    def test_large_ids_preserved(self):
+        big = (1 << 47) + 12345
+        el = EdgeList(
+            np.array([[big], [big - 1]], dtype=np.int64), big + 1
+        )
+        back = unpack_edges_48(pack_edges_48(el), big + 1)
+        assert back.endpoints[0, 0] == big
+        assert back.endpoints[1, 0] == big - 1
+
+    def test_overflow_rejected(self):
+        too_big = 1 << 48
+        el = EdgeList(
+            np.array([[too_big], [0]], dtype=np.int64), too_big + 1
+        )
+        with pytest.raises(GraphFormatError):
+            pack_edges_48(el)
+
+    def test_misaligned_stream_rejected(self):
+        with pytest.raises(GraphFormatError):
+            unpack_edges_48(np.zeros(13, dtype=np.uint8), 10)
+
+    def test_empty(self, tmp_path):
+        el = EdgeList(np.zeros((2, 0), dtype=np.int64), 4)
+        path = tmp_path / "empty.p48"
+        assert write_packed48(el, path) == 0
+        back = read_packed48(path, 4)
+        assert back.n_edges == 0
+
+    @given(data=st.data())
+    @settings(max_examples=30)
+    def test_pack_unpack_property(self, data):
+        m = data.draw(st.integers(0, 50))
+        n = data.draw(st.integers(1, 1 << 20))
+        ids = data.draw(
+            st.lists(
+                st.integers(0, n - 1), min_size=2 * m, max_size=2 * m
+            )
+        )
+        el = EdgeList(
+            np.array(ids, dtype=np.int64).reshape(2, m), n
+        )
+        back = unpack_edges_48(pack_edges_48(el), n)
+        assert np.array_equal(back.endpoints, el.endpoints)

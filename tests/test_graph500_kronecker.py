@@ -1,0 +1,142 @@
+"""Unit tests for repro.graph500.kronecker."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graph500.kronecker import (
+    KroneckerParams,
+    generate_edge_batches,
+    generate_edges,
+    sample_roots,
+)
+
+
+class TestParams:
+    def test_defaults_are_graph500(self):
+        p = KroneckerParams(scale=10)
+        assert (p.a, p.b, p.c) == (0.57, 0.19, 0.19)
+        assert p.d == pytest.approx(0.05)
+        assert p.edge_factor == 16
+        assert p.n_vertices == 1024
+        assert p.n_edges == 16384
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            KroneckerParams(scale=0)
+        with pytest.raises(ConfigurationError):
+            KroneckerParams(scale=5, edge_factor=0)
+        with pytest.raises(ConfigurationError):
+            KroneckerParams(scale=5, a=0.9, b=0.1, c=0.1)
+        with pytest.raises(ConfigurationError):
+            KroneckerParams(scale=5, a=-0.1)
+
+
+class TestGenerate:
+    def test_shape_and_range(self):
+        edges = generate_edges(scale=8, edge_factor=4, seed=1)
+        assert edges.shape == (2, 1024)
+        assert edges.dtype == np.int64
+        assert edges.min() >= 0
+        assert edges.max() < 256
+
+    def test_deterministic(self):
+        a = generate_edges(scale=8, seed=5)
+        b = generate_edges(scale=8, seed=5)
+        assert np.array_equal(a, b)
+
+    def test_seed_changes_output(self):
+        a = generate_edges(scale=8, seed=5)
+        b = generate_edges(scale=8, seed=6)
+        assert not np.array_equal(a, b)
+
+    def test_skew_present(self):
+        # A Kronecker graph is heavy-tailed: the max degree far exceeds
+        # the mean, and a sizable fraction of vertices is isolated.
+        edges = generate_edges(scale=12, edge_factor=16, seed=2)
+        deg = np.bincount(edges.ravel(), minlength=1 << 12)
+        assert deg.max() > 20 * deg.mean()
+        assert (deg == 0).sum() > (1 << 12) // 10
+
+    def test_batches_same_count_and_range(self):
+        full = generate_edges(scale=9, edge_factor=8, seed=3)
+        batches = list(
+            generate_edge_batches(scale=9, edge_factor=8, seed=3,
+                                  batch_edges=1000)
+        )
+        assert sum(b.shape[1] for b in batches) == full.shape[1]
+        got = np.concatenate(batches, axis=1)
+        assert got.min() >= 0 and got.max() < (1 << 9)
+
+    def test_batches_deterministic(self):
+        a = np.concatenate(
+            list(generate_edge_batches(scale=8, seed=4, batch_edges=500)),
+            axis=1,
+        )
+        b = np.concatenate(
+            list(generate_edge_batches(scale=8, seed=4, batch_edges=500)),
+            axis=1,
+        )
+        assert np.array_equal(a, b)
+
+    def test_batches_similar_degree_distribution(self):
+        # Same distribution as the monolithic generator: compare the
+        # number of isolated vertices and the max degree within 25%.
+        full = generate_edges(scale=11, seed=3)
+        batched = np.concatenate(
+            list(generate_edge_batches(scale=11, seed=3, batch_edges=4096)),
+            axis=1,
+        )
+        n = 1 << 11
+        d_full = np.bincount(full.ravel(), minlength=n)
+        d_batch = np.bincount(batched.ravel(), minlength=n)
+        assert np.isclose(
+            (d_full == 0).sum(), (d_batch == 0).sum(), rtol=0.25
+        )
+        assert np.isclose(d_full.max(), d_batch.max(), rtol=0.5)
+
+    def test_batches_respect_batch_size(self):
+        batches = list(
+            generate_edge_batches(scale=8, edge_factor=4, seed=1,
+                                  batch_edges=300)
+        )
+        assert all(b.shape[1] <= 300 for b in batches)
+
+    def test_batch_size_invalid(self):
+        with pytest.raises(ConfigurationError):
+            list(generate_edge_batches(scale=8, batch_edges=0))
+
+
+class TestSampleRoots:
+    def test_only_connected_vertices(self):
+        deg = np.array([0, 3, 0, 1, 5, 0])
+        roots = sample_roots(deg, n_roots=3, seed=1)
+        assert set(roots.tolist()) <= {1, 3, 4}
+
+    def test_count(self):
+        deg = np.ones(100)
+        assert sample_roots(deg, n_roots=64, seed=1).size == 64
+
+    def test_without_replacement_when_possible(self):
+        deg = np.ones(100)
+        roots = sample_roots(deg, n_roots=64, seed=1)
+        assert np.unique(roots).size == 64
+
+    def test_with_replacement_when_scarce(self):
+        deg = np.array([0, 1, 1])
+        roots = sample_roots(deg, n_roots=10, seed=1)
+        assert roots.size == 10
+
+    def test_deterministic(self):
+        deg = np.ones(50)
+        a = sample_roots(deg, 8, seed=3)
+        b = sample_roots(deg, 8, seed=3)
+        assert np.array_equal(a, b)
+
+    def test_all_isolated_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sample_roots(np.zeros(10), 4)
+
+    def test_invalid_count(self):
+        with pytest.raises(ConfigurationError):
+            sample_roots(np.ones(10), 0)

@@ -1,0 +1,80 @@
+"""Unit tests for the official Graph500 statistics block."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graph500.stats import Graph500Stats, teps_from_times
+
+
+class TestTepsFromTimes:
+    def test_basic(self):
+        teps = teps_from_times(np.array([100.0, 200.0]), np.array([1.0, 2.0]))
+        assert teps.tolist() == [100.0, 100.0]
+
+    def test_zero_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            teps_from_times(np.array([1.0]), np.array([0.0]))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            teps_from_times(np.array([1.0]), np.array([1.0, 2.0]))
+
+
+class TestStats:
+    def test_median_of_odd_runs(self):
+        edges = np.full(5, 100.0)
+        times = np.array([1.0, 2.0, 4.0, 5.0, 10.0])
+        s = Graph500Stats.from_runs(edges, times)
+        assert s.median_teps == pytest.approx(25.0)
+        assert s.n_runs == 5
+        assert s.min_teps == pytest.approx(10.0)
+        assert s.max_teps == pytest.approx(100.0)
+
+    def test_harmonic_mean(self):
+        edges = np.full(2, 100.0)
+        times = np.array([1.0, 3.0])  # TEPS 100 and 33.33
+        s = Graph500Stats.from_runs(edges, times)
+        # Harmonic mean of rates = total edges / total time.
+        assert s.harmonic_mean_teps == pytest.approx(200.0 / 4.0)
+
+    def test_harmonic_stddev_zero_when_constant(self):
+        edges = np.full(4, 100.0)
+        times = np.full(4, 2.0)
+        s = Graph500Stats.from_runs(edges, times)
+        assert s.harmonic_stddev_teps == pytest.approx(0.0)
+
+    def test_single_run(self):
+        s = Graph500Stats.from_runs(np.array([10.0]), np.array([1.0]))
+        assert s.median_teps == 10.0
+        assert s.harmonic_stddev_teps == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Graph500Stats.from_runs(np.array([]), np.array([]))
+
+    def test_time_stats(self):
+        s = Graph500Stats.from_runs(
+            np.full(3, 1.0), np.array([1.0, 2.0, 3.0])
+        )
+        assert s.mean_time_s == pytest.approx(2.0)
+        assert s.median_time_s == pytest.approx(2.0)
+
+    def test_format_contains_fields(self):
+        s = Graph500Stats.from_runs(np.full(3, 1.0), np.ones(3))
+        text = s.format()
+        assert "median_TEPS" in text
+        assert "harmonic_mean_TEPS" in text
+        assert "num_bfs_runs:            3" in text
+
+    def test_quartiles_ordered(self):
+        rng = np.random.default_rng(0)
+        times = rng.uniform(0.5, 2.0, 64)
+        s = Graph500Stats.from_runs(np.full(64, 1e6), times)
+        assert (
+            s.min_teps
+            <= s.firstquartile_teps
+            <= s.median_teps
+            <= s.thirdquartile_teps
+            <= s.max_teps
+        )

@@ -1,0 +1,121 @@
+"""Unit tests for the Graph500 BFS-tree validator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.graph500.edgelist import EdgeList
+from repro.graph500.validate import compute_levels, validate_bfs_tree
+
+
+def _el(pairs, n):
+    return EdgeList(np.array(pairs, dtype=np.int64).T.reshape(2, -1), n)
+
+
+# A path 0-1-2-3 plus an isolated vertex 4.
+PATH = _el([(0, 1), (1, 2), (2, 3)], 5)
+PATH_TREE = np.array([0, 0, 1, 2, -1], dtype=np.int64)
+
+
+class TestComputeLevels:
+    def test_valid_chain(self):
+        levels, err = compute_levels(PATH_TREE, 0)
+        assert err is None
+        assert levels.tolist() == [0, 1, 2, 3, -1]
+
+    def test_root_self_parent_required(self):
+        bad = PATH_TREE.copy()
+        bad[0] = 1
+        _, err = compute_levels(bad, 0)
+        assert err is not None and "root" in err
+
+    def test_root_out_of_range(self):
+        _, err = compute_levels(PATH_TREE, 9)
+        assert err is not None
+
+    def test_cycle_detected(self):
+        parent = np.array([0, 2, 1, -1], dtype=np.int64)
+        _, err = compute_levels(parent, 0)
+        assert err is not None and "cycle" in err.lower()
+
+    def test_dangling_parent_detected(self):
+        # 1's parent is 3, which is unvisited.
+        parent = np.array([0, 3, -1, -1], dtype=np.int64)
+        _, err = compute_levels(parent, 0)
+        assert err is not None
+
+
+class TestValidate:
+    def test_valid_tree_passes(self):
+        res = validate_bfs_tree(PATH, PATH_TREE, 0)
+        assert res.ok
+        assert res.n_tree_vertices == 4
+        res.raise_if_invalid()  # must not raise
+
+    def test_wrong_shape_rejected(self):
+        res = validate_bfs_tree(PATH, np.array([0, -1]), 0)
+        assert not res.ok
+
+    def test_rule2_level_skip(self):
+        # Vertex 3 claims parent 1 (levels 3 vs 1): not an edge either, but
+        # rule 2 fires first on the level gap after recomputation...
+        tree = np.array([0, 0, 1, 1, -1], dtype=np.int64)
+        # 3's parent is 1 -> levels [0,1,2,2]; (1,3) is not a graph edge.
+        res = validate_bfs_tree(PATH, tree, 0, collect_all=True)
+        assert not res.ok
+        assert any("rule3" in v for v in res.violations)
+
+    def test_rule3_fake_edge(self):
+        # Pretend 0-2 is an edge (it is not): 2's parent set to 0.
+        tree = np.array([0, 0, 0, -1, -1], dtype=np.int64)
+        res = validate_bfs_tree(PATH, tree, 0, collect_all=True)
+        assert not res.ok
+        assert any("rule3" in v for v in res.violations)
+
+    def test_rule4_unvisited_reachable_vertex(self):
+        # Stop the tree early: 3 unvisited although edge (2, 3) exists.
+        tree = np.array([0, 0, 1, -1, -1], dtype=np.int64)
+        res = validate_bfs_tree(PATH, tree, 0, collect_all=True)
+        assert not res.ok
+        assert any("rule5" in v or "rule4" in v for v in res.violations)
+
+    def test_non_tree_edge_spanning_two_levels_rejected(self):
+        # Graph: square 0-1, 0-2, 1-3, 2-3 plus chord 0-3 would make
+        # levels [0,1,1,2] invalid since 0-3 spans 2 levels.
+        square = _el([(0, 1), (0, 2), (1, 3), (2, 3), (0, 3)], 4)
+        tree = np.array([0, 0, 0, 1], dtype=np.int64)
+        res = validate_bfs_tree(square, tree, 0)
+        assert not res.ok  # with the chord, 3 must be at level 1
+
+    def test_levels_in_result(self):
+        res = validate_bfs_tree(PATH, PATH_TREE, 0)
+        assert res.levels is not None
+        assert res.levels.tolist() == [0, 1, 2, 3, -1]
+
+    def test_raise_if_invalid(self):
+        res = validate_bfs_tree(PATH, np.array([0, 0, 0, -1, -1]), 0)
+        with pytest.raises(ValidationError):
+            res.raise_if_invalid()
+
+    def test_self_loops_and_duplicates_tolerated(self):
+        noisy = _el([(0, 1), (0, 1), (1, 1), (1, 2), (2, 3)], 5)
+        res = validate_bfs_tree(noisy, PATH_TREE, 0)
+        assert res.ok
+
+    def test_isolated_vertices_ignored(self):
+        res = validate_bfs_tree(PATH, PATH_TREE, 0)
+        assert res.ok
+
+    def test_collect_all_reports_multiple(self):
+        # Break two rules at once: vertex 2's parent is 0 (fake edge) and
+        # vertex 3 left unvisited though reachable.
+        tree = np.array([0, 0, 0, -1, -1], dtype=np.int64)
+        res = validate_bfs_tree(PATH, tree, 0, collect_all=True)
+        assert len(res.violations) >= 2
+
+    def test_root_only_component(self):
+        two = _el([(0, 1)], 3)
+        tree = np.array([-1, -1, 2], dtype=np.int64)
+        res = validate_bfs_tree(two, tree, 2)
+        assert res.ok
+        assert res.n_tree_vertices == 1

@@ -1,0 +1,151 @@
+"""Cross-module integration tests: the paper's claims at test scale."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.perfcompare import build_engine
+from repro.bfs import AlphaBetaPolicy, HybridBFS, SemiExternalBFS
+from repro.core import DRAM_ONLY, DRAM_PCIE_FLASH, DRAM_SSD, run_graph500
+from repro.graph500 import Graph500Driver, validate_bfs_tree
+from repro.perfmodel.cost import DramCostModel
+from repro.semiext import NVMStore, PCIE_FLASH, SATA_SSD
+
+
+SCALE = 12
+
+
+@pytest.fixture(scope="module")
+def workload():
+    from repro.csr import BackwardGraph, ForwardGraph, build_csr
+    from repro.graph500 import EdgeList, generate_edges
+    from repro.numa import NumaTopology
+
+    n = 1 << SCALE
+    edges = EdgeList(generate_edges(SCALE, seed=99), n)
+    csr = build_csr(edges)
+    topo = NumaTopology(4, 12)
+    return edges, csr, ForwardGraph(csr, topo), BackwardGraph(csr, topo)
+
+
+class TestScenarioAgreement:
+    """All three scenarios compute identical BFS trees, at different cost."""
+
+    def test_trees_identical_across_devices(self, workload, tmp_path):
+        edges, csr, fwd, bwd = workload
+        root = int(np.flatnonzero(csr.degrees() > 0)[7])
+        policy_args = (50.0, 500.0)
+        dram = HybridBFS(
+            fwd, bwd, AlphaBetaPolicy(*policy_args), DramCostModel()
+        ).run(root)
+        parents = [dram.parent]
+        for name, dev in (("p", PCIE_FLASH), ("s", SATA_SSD)):
+            store = NVMStore(tmp_path / name, dev)
+            res = SemiExternalBFS.offload(
+                fwd, bwd, AlphaBetaPolicy(*policy_args), store,
+                cost_model=DramCostModel(),
+            ).run(root)
+            parents.append(res.parent)
+        assert np.array_equal(parents[0], parents[1])
+        assert np.array_equal(parents[0], parents[2])
+        assert validate_bfs_tree(edges, parents[0], root).ok
+
+    def test_modeled_cost_ordering(self, workload, tmp_path):
+        edges, csr, fwd, bwd = workload
+        root = int(np.flatnonzero(csr.degrees() > 0)[7])
+        times = {}
+        times["dram"] = HybridBFS(
+            fwd, bwd, AlphaBetaPolicy(50, 500), DramCostModel()
+        ).run(root).modeled_time_s
+        for name, dev in (("pcie", PCIE_FLASH), ("ssd", SATA_SSD)):
+            store = NVMStore(tmp_path / name, dev)
+            times[name] = SemiExternalBFS.offload(
+                fwd, bwd, AlphaBetaPolicy(50, 500), store,
+                cost_model=DramCostModel(),
+            ).run(root).modeled_time_s
+        assert times["dram"] < times["pcie"] < times["ssd"]
+
+
+class TestPaperHeadline:
+    """The abstract's claim shape: offloading costs a modest fraction at
+    the right alpha/beta, and the drop is larger on the slower device."""
+
+    def test_degradation_shape(self, workload, tmp_path):
+        edges, csr, fwd, bwd = workload
+        n = edges.n_vertices
+        driver = Graph500Driver(edges, n_roots=4, seed=5, validate=False)
+
+        def best_teps(scenario, points):
+            best = 0.0
+            for alpha, beta in points:
+                eng = build_engine(
+                    scenario, fwd, bwd, alpha, beta, tmp_path,
+                    prefix=f"{scenario.name}",
+                )
+                best = max(best, driver.run(eng).stats_modeled.median_teps)
+            return best
+
+        # Semi-external tuning pushes switching to "bottom-up asap".
+        points = [(float(n), float(n)), (50.0, 500.0)]
+        dram = best_teps(DRAM_ONLY, points)
+        pcie = best_teps(DRAM_PCIE_FLASH, points)
+        ssd = best_teps(DRAM_SSD, points)
+        pcie_drop = 1 - pcie / dram
+        ssd_drop = 1 - ssd / dram
+        # Paper: 19.18% and 47.1% at SCALE 27.  At this test's tiny scale
+        # the per-level I/O latency is not amortized, so only the *shape*
+        # is asserted: offloading costs something, the slower device costs
+        # more, and neither collapses to zero throughput.
+        assert 0.0 < pcie_drop < ssd_drop < 1.0
+
+    def test_pipeline_end_to_end_all_scenarios(self, tmp_path):
+        teps = {}
+        for scenario in (DRAM_ONLY, DRAM_PCIE_FLASH, DRAM_SSD):
+            res = run_graph500(
+                scenario, scale=11, n_roots=4, seed=17,
+                workdir=tmp_path / scenario.name,
+            )
+            assert res.output.all_valid
+            teps[scenario.name] = res.median_teps
+        assert teps["DRAM-only"] > 0
+
+
+class TestFigure10Shape:
+    def test_bottom_up_dominates_traffic(self, workload):
+        from repro.analysis import traversal_split
+
+        edges, csr, fwd, bwd = workload
+        n = edges.n_vertices
+        root = int(np.flatnonzero(csr.degrees() > 0)[3])
+        engine = HybridBFS(
+            fwd, bwd, AlphaBetaPolicy(float(n), float(n)), DramCostModel()
+        )
+        split = traversal_split([engine.run(root)])
+        # With semi-external tuning, the top-down share collapses — the
+        # paper's justification for offloading only the forward graph.
+        assert split.top_down_fraction < 0.1
+
+
+class TestFigure11Shape:
+    def test_degradation_explodes_at_low_degree(self, workload, tmp_path):
+        from repro.analysis import degradation_by_degree
+
+        edges, csr, fwd, bwd = workload
+        root = int(np.flatnonzero(csr.degrees() > 0)[3])
+        # alpha/beta chosen to produce early AND late top-down levels.
+        policy_args = (30.0, 30.0)
+        dram = HybridBFS(
+            fwd, bwd, AlphaBetaPolicy(*policy_args), DramCostModel()
+        ).run(root)
+        store = NVMStore(tmp_path / "nvm", SATA_SSD)
+        nvm = SemiExternalBFS.offload(
+            fwd, bwd, AlphaBetaPolicy(*policy_args), store,
+            cost_model=DramCostModel(),
+        ).run(root)
+        points = degradation_by_degree(dram, nvm)
+        assert len(points) >= 2
+        high_deg = max(points, key=lambda p: p.avg_degree)
+        low_deg = min(points, key=lambda p: p.avg_degree)
+        # Low-degree top-down levels degrade far worse than high-degree
+        # ones (the paper's 1.2x ... 123482x span).
+        assert low_deg.avg_degree < high_deg.avg_degree
+        assert low_deg.ratio > high_deg.ratio

@@ -1,0 +1,132 @@
+"""Coverage for result metrics, report helpers and error hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import ascii_table, format_float, format_teps
+from repro.bfs.metrics import BFSResult, Direction, LevelTrace
+from repro.errors import (
+    CapacityError,
+    ConfigurationError,
+    GraphFormatError,
+    ReproError,
+    StorageError,
+    ValidationError,
+)
+
+
+def _trace(level, direction, frontier, nxt, scanned, t=1e-3):
+    return LevelTrace(
+        level=level,
+        direction=direction,
+        frontier_size=frontier,
+        next_size=nxt,
+        edges_scanned=scanned,
+        wall_time_s=t,
+        modeled_time_s=t,
+    )
+
+
+@pytest.fixture()
+def result():
+    traces = (
+        _trace(0, Direction.TOP_DOWN, 1, 10, 5),
+        _trace(1, Direction.BOTTOM_UP, 10, 50, 100),
+        _trace(2, Direction.TOP_DOWN, 50, 0, 60),
+    )
+    parent = np.array([0, 0, 1, -1], dtype=np.int64)
+    return BFSResult(
+        parent=parent,
+        root=0,
+        traces=traces,
+        traversed_edges=80,
+        wall_time_s=3e-3,
+        modeled_time_s=3e-3,
+    )
+
+
+class TestLevelTrace:
+    def test_avg_degree(self):
+        t = _trace(0, Direction.TOP_DOWN, 4, 2, 20)
+        assert t.avg_degree == 5.0
+
+    def test_avg_degree_empty_frontier(self):
+        t = _trace(0, Direction.TOP_DOWN, 0, 0, 0)
+        assert t.avg_degree == 0.0
+
+    def test_immutability(self):
+        t = _trace(0, Direction.TOP_DOWN, 1, 1, 1)
+        with pytest.raises(AttributeError):
+            t.level = 5
+
+
+class TestBFSResult:
+    def test_n_levels_and_visited(self, result):
+        assert result.n_levels == 3
+        assert result.n_visited == 3
+
+    def test_edges_by_direction(self, result):
+        split = result.edges_by_direction()
+        assert split[Direction.TOP_DOWN] == 65
+        assert split[Direction.BOTTOM_UP] == 100
+
+    def test_levels_by_direction(self, result):
+        split = result.levels_by_direction()
+        assert split[Direction.TOP_DOWN] == 2
+        assert split[Direction.BOTTOM_UP] == 1
+
+    def test_schedule_string(self, result):
+        assert result.direction_schedule() == "TBT"
+
+    def test_teps(self, result):
+        assert result.teps() == pytest.approx(80 / 3e-3)
+        assert result.teps(modeled=True) == pytest.approx(80 / 3e-3)
+
+    def test_teps_zero_time(self):
+        r = BFSResult(
+            parent=np.array([0]), root=0, traces=(),
+            traversed_edges=10, wall_time_s=0.0, modeled_time_s=0.0,
+        )
+        assert r.teps() == 0.0
+
+
+class TestReportHelpers:
+    def test_format_teps_units(self):
+        assert format_teps(5.12e9) == "5.12 GTEPS"
+        assert format_teps(450e6) == "450.0 MTEPS"
+        assert format_teps(123.0) == "123 TEPS"
+
+    def test_format_float_regimes(self):
+        assert format_float(0) == "0"
+        assert format_float(0.5) == "0.5"
+        assert "e" in format_float(2e-6)
+
+    def test_ascii_table_empty_rows(self):
+        text = ascii_table(["a", "b"], [])
+        assert "a" in text
+
+    def test_ascii_table_alignment(self):
+        text = ascii_table(["col"], [["x"], ["longer"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            ConfigurationError,
+            CapacityError,
+            ValidationError,
+            StorageError,
+            GraphFormatError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")
+
+    def test_catchable_individually(self):
+        with pytest.raises(CapacityError):
+            raise CapacityError("full")

@@ -1,0 +1,114 @@
+"""Unit tests for repro.numa (topology partitioning and access tracking)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.numa import AccessKind, NumaMemoryTracker, NumaTopology
+
+
+class TestTopology:
+    def test_paper_machine(self):
+        t = NumaTopology(4, 12)
+        assert t.n_cores == 48
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            NumaTopology(0, 12)
+        with pytest.raises(ConfigurationError):
+            NumaTopology(4, 0)
+
+    def test_partitions_cover_everything(self):
+        t = NumaTopology(4)
+        parts = t.partitions(103)
+        assert parts[0].lo == 0
+        assert parts[-1].hi == 103
+        for a, b in zip(parts, parts[1:]):
+            assert a.hi == b.lo
+
+    def test_partitions_even_split(self):
+        parts = NumaTopology(4).partitions(100)
+        assert [p.size for p in parts] == [25, 25, 25, 25]
+
+    def test_partitions_remainder_on_last(self):
+        parts = NumaTopology(4).partitions(10)
+        assert [p.size for p in parts] == [3, 3, 3, 1]
+
+    def test_more_nodes_than_vertices(self):
+        parts = NumaTopology(8).partitions(3)
+        assert sum(p.size for p in parts) == 3
+        assert all(p.size >= 0 for p in parts)
+
+    def test_owner_of_matches_partitions(self):
+        t = NumaTopology(4)
+        n = 103
+        parts = t.partitions(n)
+        owners = t.owner_of(np.arange(n), n)
+        for p in parts:
+            assert (owners[p.lo : p.hi] == p.node).all()
+
+    def test_owner_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            NumaTopology(2).owner_of(np.array([10]), 10)
+
+    def test_local_ids(self):
+        p = NumaTopology(2).partitions(10)[1]
+        assert p.local_ids(np.array([5, 9])).tolist() == [0, 4]
+
+    def test_contains(self):
+        p = NumaTopology(2).partitions(10)[0]
+        assert p.contains(np.array([0, 4, 5])).tolist() == [True, True, False]
+
+    def test_chunk_size_positive_required(self):
+        with pytest.raises(ConfigurationError):
+            NumaTopology(2).chunk_size(0)
+
+    def test_equality_and_hash(self):
+        assert NumaTopology(4, 12) == NumaTopology(4, 12)
+        assert NumaTopology(4, 12) != NumaTopology(2, 12)
+        assert hash(NumaTopology(4, 12)) == hash(NumaTopology(4, 12))
+
+
+class TestMemoryTracker:
+    def test_local_vs_remote_buckets(self):
+        t = NumaMemoryTracker(NumaTopology(4))
+        t.record(0, 0, 10, 80, AccessKind.RANDOM)
+        t.record(0, 1, 5, 40, AccessKind.RANDOM)
+        assert t.local_rand.accesses == 10
+        assert t.remote_rand.accesses == 5
+        assert t.remote_fraction == pytest.approx(5 / 15)
+
+    def test_sequential_bucket(self):
+        t = NumaMemoryTracker(NumaTopology(4))
+        t.record(1, 1, 3, 300, AccessKind.SEQUENTIAL)
+        assert t.local_seq.bytes == 300
+        assert t.local_rand.accesses == 0
+
+    def test_invalid_node_rejected(self):
+        t = NumaMemoryTracker(NumaTopology(2))
+        with pytest.raises(ConfigurationError):
+            t.record(2, 0, 1, 8)
+
+    def test_record_vector_locality(self):
+        topo = NumaTopology(4)
+        t = NumaMemoryTracker(topo)
+        n = 100
+        # Node 0 owns [0, 25); everything else is remote to node 0.
+        t.record_vector(0, np.arange(50), n, bytes_per_access=8)
+        assert t.local_rand.accesses == 25
+        assert t.remote_rand.accesses == 25
+
+    def test_record_vector_empty(self):
+        t = NumaMemoryTracker(NumaTopology(2))
+        t.record_vector(0, np.array([], dtype=np.int64), 10, 8)
+        assert t.total_accesses == 0
+
+    def test_remote_fraction_empty_is_zero(self):
+        assert NumaMemoryTracker(NumaTopology(2)).remote_fraction == 0.0
+
+    def test_reset(self):
+        t = NumaMemoryTracker(NumaTopology(2))
+        t.record(0, 1, 1, 8)
+        t.reset()
+        assert t.total_accesses == 0
+        assert t.total_bytes == 0

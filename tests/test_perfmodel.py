@@ -1,0 +1,167 @@
+"""Unit tests for the cost, size and power models."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.perfmodel.cost import DramCostModel
+from repro.perfmodel.power import MachinePowerModel
+from repro.perfmodel.sizes import GraphSizeModel
+from repro.util.units import GIB
+
+
+class TestCostModel:
+    def test_level_time_scales_with_edges(self):
+        m = DramCostModel()
+        t1 = m.level_time_s(1000, 10, 10)
+        t2 = m.level_time_s(2000, 10, 10)
+        assert t2 > t1
+
+    def test_vertex_term(self):
+        m = DramCostModel()
+        assert m.level_time_s(0, 1000, 1000) > 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DramCostModel().level_time_s(-1, 0, 0)
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            DramCostModel(random_access_ns=0)
+        with pytest.raises(ConfigurationError):
+            DramCostModel(threads=0)
+        with pytest.raises(ConfigurationError):
+            DramCostModel(remote_penalty=0.5)
+        with pytest.raises(ConfigurationError):
+            DramCostModel(remote_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            DramCostModel(mlp=0)
+
+    def test_remote_fraction_raises_cost(self):
+        local = DramCostModel(remote_fraction=0.0)
+        remote = DramCostModel(remote_fraction=0.75)
+        assert remote.level_time_s(1000, 0, 0) > local.level_time_s(1000, 0, 0)
+
+    def test_reference_profile_slower(self):
+        base = DramCostModel()
+        ref = base.reference()
+        assert ref.level_time_s(10_000, 10, 10) > base.level_time_s(
+            10_000, 10, 10
+        )
+
+    def test_with_topology(self):
+        m = DramCostModel().with_topology(2, 8)
+        assert m.threads == 16
+
+    def test_think_time(self):
+        m = DramCostModel()
+        assert m.per_request_think_time_s(512) > 0
+        with pytest.raises(ConfigurationError):
+            m.per_request_think_time_s(-1)
+
+    def test_probe_throughput_order_of_magnitude(self):
+        # Calibration anchor: ~1.1 G probes/s on the paper machine.
+        m = DramCostModel()
+        assert 0.5e9 < m.probe_throughput_per_s < 2e9
+
+
+class TestSizeModel:
+    """The paper's published sizes must be recovered exactly-ish."""
+
+    @pytest.fixture()
+    def m(self):
+        return GraphSizeModel()
+
+    def test_table2_scale27(self, m):
+        b = m.breakdown(27)
+        assert b.forward / GIB == pytest.approx(40.1, abs=0.5)
+        assert b.backward / GIB == pytest.approx(33.1, abs=0.5)
+        assert b.status / GIB == pytest.approx(15.1, abs=0.2)
+        assert b.working_set / GIB == pytest.approx(88.3, abs=1.0)
+
+    def test_scale26_sizes(self, m):
+        b = m.breakdown(26)
+        assert b.forward / GIB == pytest.approx(20.0, abs=0.3)
+        assert b.backward / GIB == pytest.approx(16.5, abs=0.3)
+        assert b.status / GIB == pytest.approx(10.8, abs=0.2)
+
+    def test_fig3_scale31(self, m):
+        b = m.breakdown(31)
+        assert b.edge_list / GIB == pytest.approx(384, abs=1)
+        assert b.forward / GIB == pytest.approx(640, abs=1)
+        assert b.backward / GIB == pytest.approx(528, abs=1)
+        assert b.graph_total / GIB / 1024 == pytest.approx(1.5, abs=0.05)
+
+    def test_exponential_growth(self, m):
+        small, big = m.breakdown(20), m.breakdown(21)
+        assert big.edge_list == 2 * small.edge_list
+        assert big.forward == 2 * small.forward
+
+    def test_forward_larger_than_backward(self, m):
+        # "the forward graph exhibits slightly higher memory occupancy".
+        for scale in range(20, 32):
+            b = m.breakdown(scale)
+            assert b.forward > b.backward
+
+    def test_semi_external_dram_requirement_smaller(self, m):
+        assert m.min_semi_external_bytes(27) < m.min_dram_only_bytes(27)
+
+    def test_paper_headline_half_dram(self, m):
+        # 64 GB DRAM suffices for the offloaded working set at SCALE 27.
+        assert m.min_semi_external_bytes(27) < 64 * GIB
+        assert m.min_dram_only_bytes(27) > 64 * GIB
+
+    def test_sweep(self, m):
+        rows = m.sweep(range(20, 25))
+        assert [r.scale for r in rows] == [20, 21, 22, 23, 24]
+
+    def test_invalid(self, m):
+        with pytest.raises(ConfigurationError):
+            m.breakdown(0)
+        with pytest.raises(ConfigurationError):
+            GraphSizeModel(edge_factor=0)
+
+    def test_measured(self, forward, backward, topology, a_root):
+        from repro.bfs.state import BFSState
+
+        state = BFSState(forward.n_vertices, topology, a_root)
+        b = GraphSizeModel.measured(forward, backward, state)
+        assert b.forward == forward.nbytes
+        assert b.backward == backward.nbytes
+        assert b.status > 0
+
+    def test_format_row(self, m):
+        row = m.breakdown(27).format_row()
+        assert "SCALE 27" in row and "GB" in row
+
+
+class TestPowerModel:
+    def test_green_submission_near_paper(self):
+        m = MachinePowerModel.green_graph500_submission()
+        # Paper: 4.35 MTEPS/W at 4.22 GTEPS.
+        assert m.mteps_per_watt(4.22e9) == pytest.approx(4.35, abs=0.25)
+
+    def test_components_add_up(self):
+        m = MachinePowerModel(
+            n_sockets=2, watts_per_socket=100, dram_bytes=10 * GIB,
+            watts_per_dram_gib=1.0, nvm_watts=20, base_watts=30,
+        )
+        assert m.total_watts == pytest.approx(200 + 10 + 20 + 30)
+
+    def test_scenario_machines_ordered(self):
+        dram = MachinePowerModel.paper_dram_only()
+        pcie = MachinePowerModel.paper_pcie_flash()
+        ssd = MachinePowerModel.paper_sata_ssd()
+        # Half the DRAM plus an NVM device: the flash box may still be
+        # cheaper than 128 GB of DRAM only if the device draw is small.
+        assert ssd.total_watts < dram.total_watts
+        assert pcie.total_watts != dram.total_watts
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            MachinePowerModel(n_sockets=0)
+        with pytest.raises(ConfigurationError):
+            MachinePowerModel(nvm_watts=-1)
+        with pytest.raises(ConfigurationError):
+            MachinePowerModel(dram_bytes=0)
+        with pytest.raises(ConfigurationError):
+            MachinePowerModel().mteps_per_watt(-1)

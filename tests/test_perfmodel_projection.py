@@ -1,0 +1,107 @@
+"""Tests for the scale-projection estimator and the async I/O mode."""
+
+import numpy as np
+import pytest
+
+from repro.bfs import AlphaBetaPolicy, HybridBFS, SemiExternalBFS
+from repro.errors import ConfigurationError
+from repro.perfmodel import (
+    DramCostModel,
+    project_run,
+    projected_degradation,
+)
+from repro.semiext import NVMStore, PCIE_FLASH
+
+
+@pytest.fixture()
+def run_pair(forward, backward, a_root, tmp_path):
+    dram = HybridBFS(
+        forward, backward, AlphaBetaPolicy(30, 30), DramCostModel()
+    ).run(a_root)
+    store = NVMStore(tmp_path / "nvm", PCIE_FLASH)
+    nvm = SemiExternalBFS.offload(
+        forward, backward, AlphaBetaPolicy(30, 30), store,
+        cost_model=DramCostModel(),
+    ).run(a_root)
+    return dram, nvm
+
+
+class TestProjection:
+    def test_identity_at_same_scale(self, run_pair):
+        dram, _ = run_pair
+        p = project_run(dram, 11, 11)
+        assert p.projected_time_s == pytest.approx(dram.modeled_time_s)
+        assert p.ratio == 1.0
+
+    def test_projection_grows_with_target(self, run_pair):
+        dram, _ = run_pair
+        times = [
+            project_run(dram, 11, t).projected_time_s for t in (11, 15, 20)
+        ]
+        assert times[0] < times[1] < times[2]
+
+    def test_split_covers_total(self, run_pair):
+        dram, _ = run_pair
+        p = project_run(dram, 11, 20)
+        assert p.amortizing_time_s + p.constant_time_s == pytest.approx(
+            dram.modeled_time_s
+        )
+
+    def test_degradation_shrinks_with_scale(self, run_pair):
+        dram, nvm = run_pair
+        raw = 1 - dram.modeled_time_s / nvm.modeled_time_s
+        d15 = projected_degradation(dram, nvm, 11, 15)
+        d27 = projected_degradation(dram, nvm, 11, 27)
+        assert d27 <= d15 <= raw + 1e-9
+
+    def test_degradation_in_unit_interval(self, run_pair):
+        dram, nvm = run_pair
+        for target in (11, 14, 22, 27):
+            d = projected_degradation(dram, nvm, 11, target)
+            assert 0.0 <= d < 1.0
+
+    def test_backwards_target_rejected(self, run_pair):
+        dram, _ = run_pair
+        with pytest.raises(ConfigurationError):
+            project_run(dram, 11, 10)
+
+
+class TestAsyncIoMode:
+    def test_async_at_least_as_fast(self, forward, backward, a_root, tmp_path):
+        times = {}
+        for mode in ("sync", "async"):
+            store = NVMStore(
+                tmp_path / mode, PCIE_FLASH, io_mode=mode
+            )
+            res = SemiExternalBFS.offload(
+                forward, backward, AlphaBetaPolicy(30, 30), store,
+                cost_model=DramCostModel(),
+            ).run(a_root)
+            times[mode] = res.modeled_time_s
+        assert times["async"] <= times["sync"]
+
+    def test_async_queue_is_device_depth(self, tmp_path, forward, backward, a_root):
+        store = NVMStore(tmp_path / "a", PCIE_FLASH, io_mode="async")
+        SemiExternalBFS.offload(
+            forward, backward, AlphaBetaPolicy(30, 30), store,
+            cost_model=DramCostModel(),
+        ).run(a_root)
+        # The deep async queue shows up in the iostat samples.
+        assert store.iostats.avgqu_sz() == pytest.approx(
+            PCIE_FLASH.channels
+        )
+
+    def test_same_data_read(self, tmp_path, forward, backward, a_root):
+        results = {}
+        for mode in ("sync", "async"):
+            store = NVMStore(tmp_path / f"d-{mode}", PCIE_FLASH, io_mode=mode)
+            results[mode] = SemiExternalBFS.offload(
+                forward, backward, AlphaBetaPolicy(30, 30), store,
+            ).run(a_root)
+        assert np.array_equal(
+            results["sync"].parent, results["async"].parent
+        )
+
+    def test_invalid_mode_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            NVMStore(tmp_path, PCIE_FLASH, io_mode="turbo")

@@ -1,0 +1,310 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.bfs import AlphaBetaPolicy, FixedPolicy, HybridBFS, Direction
+from repro.bfs.policies import PolicyInputs
+from repro.csr.builder import build_csr
+from repro.csr.partition import BackwardGraph, ForwardGraph
+from repro.graph500.edgelist import EdgeList
+from repro.graph500.validate import validate_bfs_tree
+from repro.numa.topology import NumaTopology
+from repro.util.bitmap import Bitmap
+from repro.util.chunking import merge_extents, plan_chunks
+from repro.util.gather import concat_ranges, first_true_per_segment
+
+# Bounded sizes keep each example fast while covering the edge geometry.
+small_n = st.integers(min_value=1, max_value=200)
+
+
+@st.composite
+def edge_arrays(draw, max_n=64, max_m=200):
+    """A random (edges, n_vertices) pair, duplicates and loops allowed."""
+    n = draw(st.integers(min_value=2, max_value=max_n))
+    m = draw(st.integers(min_value=0, max_value=max_m))
+    flat = draw(
+        arrays(np.int64, (2, m), elements=st.integers(0, n - 1))
+    )
+    return flat, n
+
+
+class TestBitmapProperties:
+    @given(
+        n=st.integers(min_value=1, max_value=500),
+        data=st.data(),
+    )
+    @settings(max_examples=50)
+    def test_set_then_test_round_trip(self, n, data):
+        idx = data.draw(
+            st.lists(st.integers(0, n - 1), max_size=50).map(
+                lambda xs: np.array(xs, dtype=np.int64)
+            )
+        )
+        bm = Bitmap(n)
+        bm.set_many(idx)
+        expected = np.zeros(n, dtype=bool)
+        if idx.size:
+            expected[idx] = True
+        assert np.array_equal(bm.to_bool_array(), expected)
+        assert bm.count() == int(expected.sum())
+        assert np.array_equal(bm.to_indices(), np.flatnonzero(expected))
+
+    @given(n=st.integers(min_value=1, max_value=300), data=st.data())
+    @settings(max_examples=30)
+    def test_invert_is_involution(self, n, data):
+        idx = data.draw(
+            st.lists(st.integers(0, n - 1), max_size=30).map(
+                lambda xs: np.array(xs, dtype=np.int64)
+            )
+        )
+        bm = Bitmap(n)
+        bm.set_many(idx)
+        snapshot = bm.to_bool_array()
+        bm.invert_inplace()
+        bm.invert_inplace()
+        assert np.array_equal(bm.to_bool_array(), snapshot)
+
+    @given(n=st.integers(min_value=1, max_value=300), data=st.data())
+    @settings(max_examples=30)
+    def test_union_count_bounds(self, n, data):
+        xs = data.draw(st.lists(st.integers(0, n - 1), max_size=30))
+        ys = data.draw(st.lists(st.integers(0, n - 1), max_size=30))
+        a = Bitmap.from_indices(n, np.array(xs, dtype=np.int64))
+        b = Bitmap.from_indices(n, np.array(ys, dtype=np.int64))
+        ca, cb = a.count(), b.count()
+        a.union_inplace(b)
+        assert max(ca, cb) <= a.count() <= ca + cb
+
+
+class TestChunkingProperties:
+    @given(data=st.data())
+    @settings(max_examples=50)
+    def test_plan_chunks_conserves_bytes(self, data):
+        m = data.draw(st.integers(0, 30))
+        offsets = np.array(
+            data.draw(st.lists(st.integers(0, 1 << 20), min_size=m, max_size=m)),
+            dtype=np.int64,
+        )
+        lengths = np.array(
+            data.draw(st.lists(st.integers(0, 1 << 14), min_size=m, max_size=m)),
+            dtype=np.int64,
+        )
+        chunk = data.draw(st.sampled_from([512, 4096, 65536]))
+        plan = plan_chunks(offsets, lengths, chunk)
+        assert plan.total_bytes == int(lengths.sum())
+        if plan.n_requests:
+            assert plan.sizes.max() <= chunk
+            assert plan.sizes.min() > 0
+
+    @given(data=st.data())
+    @settings(max_examples=50)
+    def test_merge_extents_covers_all_pages(self, data):
+        m = data.draw(st.integers(1, 20))
+        offsets = np.array(
+            data.draw(st.lists(st.integers(0, 1 << 18), min_size=m, max_size=m)),
+            dtype=np.int64,
+        )
+        lengths = np.array(
+            data.draw(st.lists(st.integers(0, 1 << 13), min_size=m, max_size=m)),
+            dtype=np.int64,
+        )
+        page = 4096
+        plan = merge_extents(offsets, lengths, page_bytes=page)
+        # The merged requests cover exactly the union of touched pages.
+        touched = set()
+        for o, l in zip(offsets, lengths):
+            if l > 0:
+                touched.update(range(o // page, (o + l - 1) // page + 1))
+        covered = set()
+        for o, s in zip(plan.offsets, plan.sizes):
+            assert o % page == 0 and s % page == 0
+            covered.update(range(o // page, (o + s) // page))
+        assert covered == touched
+        # Requests are sorted and non-overlapping.
+        ends = plan.offsets + plan.sizes
+        assert np.all(plan.offsets[1:] >= ends[:-1])
+
+
+class TestGatherProperties:
+    @given(data=st.data())
+    @settings(max_examples=50)
+    def test_concat_ranges_matches_naive(self, data):
+        m = data.draw(st.integers(0, 20))
+        starts = np.array(
+            data.draw(st.lists(st.integers(0, 1000), min_size=m, max_size=m)),
+            dtype=np.int64,
+        )
+        counts = np.array(
+            data.draw(st.lists(st.integers(0, 10), min_size=m, max_size=m)),
+            dtype=np.int64,
+        )
+        expected = (
+            np.concatenate([np.arange(s, s + c) for s, c in zip(starts, counts)])
+            if m and counts.sum()
+            else np.empty(0, dtype=np.int64)
+        )
+        assert np.array_equal(concat_ranges(starts, counts), expected)
+
+    @given(data=st.data())
+    @settings(max_examples=50)
+    def test_first_true_invariants(self, data):
+        m = data.draw(st.integers(0, 20))
+        counts = np.array(
+            data.draw(st.lists(st.integers(0, 8), min_size=m, max_size=m)),
+            dtype=np.int64,
+        )
+        total = int(counts.sum())
+        mask = np.array(
+            data.draw(st.lists(st.booleans(), min_size=total, max_size=total)),
+            dtype=bool,
+        )
+        hit, scanned = first_true_per_segment(mask, counts)
+        assert np.all(scanned <= counts)
+        assert np.all(scanned >= 0)
+        seg_first = np.concatenate(([0], np.cumsum(counts)[:-1])) if m else np.array([])
+        for i in range(m):
+            if hit[i] >= 0:
+                assert mask[hit[i]]
+                # Nothing true before the hit inside the segment.
+                assert not mask[seg_first[i] : hit[i]].any()
+                assert scanned[i] == hit[i] - seg_first[i] + 1
+            else:
+                assert scanned[i] == counts[i]
+
+
+class TestCSRProperties:
+    @given(edge_arrays())
+    @settings(max_examples=40, suppress_health_check=[HealthCheck.too_slow])
+    def test_csr_is_symmetric_simple_graph(self, pair):
+        flat, n = pair
+        g = build_csr(flat, n_vertices=n)
+        # Symmetry: u in adj[v] <=> v in adj[u]; no loops; no duplicates.
+        for v in range(n):
+            row = g.neighbors(v)
+            assert np.all(np.diff(row) > 0)  # sorted, no duplicates
+            assert v not in row
+            for w in row.tolist():
+                assert g.has_edge(w, v)
+
+    @given(edge_arrays())
+    @settings(max_examples=30, suppress_health_check=[HealthCheck.too_slow])
+    def test_partitions_conserve_edges(self, pair):
+        flat, n = pair
+        g = build_csr(flat, n_vertices=n)
+        topo = NumaTopology(n_nodes=3)
+        fwd = ForwardGraph(g, topo)
+        bwd = BackwardGraph(g, topo)
+        assert fwd.n_directed_edges == g.n_directed_edges
+        assert bwd.n_directed_edges == g.n_directed_edges
+        assert np.array_equal(bwd.global_degrees(), g.degrees())
+
+
+class TestBFSProperties:
+    @given(edge_arrays(max_n=48, max_m=150), st.data())
+    @settings(max_examples=25, suppress_health_check=[HealthCheck.too_slow])
+    def test_bfs_tree_always_validates(self, pair, data):
+        flat, n = pair
+        el = EdgeList(flat, n)
+        g = build_csr(el)
+        deg = g.degrees()
+        nonzero = np.flatnonzero(deg > 0)
+        root = (
+            int(nonzero[data.draw(st.integers(0, nonzero.size - 1))])
+            if nonzero.size
+            else 0
+        )
+        topo = NumaTopology(2)
+        engine = HybridBFS(
+            ForwardGraph(g, topo),
+            BackwardGraph(g, topo),
+            AlphaBetaPolicy(10, 10),
+        )
+        res = engine.run(root)
+        assert validate_bfs_tree(el, res.parent, root).ok
+
+    @given(edge_arrays(max_n=40, max_m=120), st.data())
+    @settings(max_examples=20, suppress_health_check=[HealthCheck.too_slow])
+    def test_levels_match_networkx(self, pair, data):
+        import networkx as nx
+
+        flat, n = pair
+        el = EdgeList(flat, n)
+        g = build_csr(el)
+        deg = g.degrees()
+        nonzero = np.flatnonzero(deg > 0)
+        if nonzero.size == 0:
+            return
+        root = int(nonzero[data.draw(st.integers(0, nonzero.size - 1))])
+        topo = NumaTopology(2)
+        res = HybridBFS(
+            ForwardGraph(g, topo),
+            BackwardGraph(g, topo),
+            AlphaBetaPolicy(5, 5),
+        ).run(root)
+        v = validate_bfs_tree(el, res.parent, root)
+        assert v.ok
+        G = nx.Graph()
+        G.add_nodes_from(range(n))
+        G.add_edges_from(flat.T.tolist())
+        nx_levels = nx.single_source_shortest_path_length(G, root)
+        for node, d in nx_levels.items():
+            if node != root and G.degree(node) == 0:
+                continue  # only self-loops: unreachable in the simple graph
+            assert v.levels[node] == d
+
+    @given(edge_arrays(max_n=40, max_m=100), st.data())
+    @settings(max_examples=20, suppress_health_check=[HealthCheck.too_slow])
+    def test_direction_choice_never_changes_reachability(self, pair, data):
+        flat, n = pair
+        el = EdgeList(flat, n)
+        g = build_csr(el)
+        nonzero = np.flatnonzero(g.degrees() > 0)
+        if nonzero.size == 0:
+            return
+        root = int(nonzero[0])
+        topo = NumaTopology(2)
+        fwd, bwd = ForwardGraph(g, topo), BackwardGraph(g, topo)
+        results = [
+            HybridBFS(fwd, bwd, policy).run(root).parent >= 0
+            for policy in (
+                FixedPolicy(Direction.TOP_DOWN),
+                FixedPolicy(Direction.BOTTOM_UP),
+                AlphaBetaPolicy(3, 7),
+            )
+        ]
+        assert np.array_equal(results[0], results[1])
+        assert np.array_equal(results[0], results[2])
+
+
+class TestPolicyProperties:
+    @given(
+        alpha=st.floats(min_value=1.0, max_value=1e7),
+        beta=st.floats(min_value=1.0, max_value=1e7),
+        n_frontier=st.integers(0, 1 << 20),
+        prev=st.integers(0, 1 << 20),
+        level=st.integers(0, 40),
+        current=st.sampled_from([Direction.TOP_DOWN, Direction.BOTTOM_UP]),
+    )
+    @settings(max_examples=100)
+    def test_alpha_beta_total_function(
+        self, alpha, beta, n_frontier, prev, level, current
+    ):
+        p = AlphaBetaPolicy(alpha, beta)
+        out = p.decide(
+            PolicyInputs(
+                level=level,
+                current=current,
+                n_frontier=n_frontier,
+                n_frontier_prev=prev,
+                n_all=1 << 20,
+            )
+        )
+        assert out in (Direction.TOP_DOWN, Direction.BOTTOM_UP)
+        if level == 0:
+            assert out is Direction.TOP_DOWN
+        elif n_frontier == prev:
+            assert out is current  # no growth signal: sticky

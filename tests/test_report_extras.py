@@ -1,0 +1,72 @@
+"""Tests for the iostat-style interval table and the ASCII heatmap."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import ascii_heatmap
+from repro.semiext.iostats import IoStats
+
+
+class TestIostatFormat:
+    def _stats(self):
+        st = IoStats("dev0")
+        for i in range(20):
+            st.record_batch(
+                t_start_s=i * 0.01,
+                duration_s=0.005,
+                request_sizes=np.full(10, 4096),
+                mean_queue=30.0 + i,
+            )
+        return st
+
+    def test_contains_header_and_rows(self):
+        text = self._stats().format_iostat(n_intervals=5)
+        assert "Device: dev0" in text
+        assert "avgqu-sz" in text
+        # 5 interval rows + 2 header lines.
+        assert len(text.splitlines()) == 7
+
+    def test_empty_stats(self):
+        text = IoStats("x").format_iostat()
+        assert "no I/O recorded" in text
+
+    def test_queue_values_in_range(self):
+        text = self._stats().format_iostat(n_intervals=4)
+        rows = text.splitlines()[2:]
+        queues = [float(r.split()[-1]) for r in rows]
+        assert all(29 < q < 51 for q in queues)
+
+    def test_single_interval_aggregates_everything(self):
+        st = self._stats()
+        text = st.format_iostat(n_intervals=1)
+        row = text.splitlines()[-1]
+        # avgrq-sz: all requests are 4096 B = 8 sectors.
+        assert float(row.split()[-2]) == pytest.approx(8.0)
+
+
+class TestAsciiHeatmap:
+    def test_shape_checked(self):
+        with pytest.raises(ValueError):
+            ascii_heatmap([[1, 2]], ["r1", "r2"], ["c1"])
+
+    def test_extremes_use_extreme_shades(self):
+        out = ascii_heatmap(
+            [[0.0, 10.0]], ["row"], ["lo", "hi"], shades=" @"
+        )
+        body = out.splitlines()[0]
+        assert "@" in body
+
+    def test_constant_grid_does_not_crash(self):
+        out = ascii_heatmap([[5.0, 5.0]], ["r"], ["a", "b"])
+        assert "r" in out
+
+    def test_footer_carries_column_labels(self):
+        out = ascii_heatmap(
+            np.arange(6).reshape(2, 3),
+            ["x", "y"],
+            ["c1", "c2", "c3"],
+        )
+        assert out.splitlines()[-1].split("|")[1].split() == ["c1", "c2", "c3"]
+
+    def test_title(self):
+        assert ascii_heatmap([[1.0]], ["r"], ["c"], title="T").startswith("T\n")

@@ -1,0 +1,141 @@
+"""Unit tests for partial backward-graph offloading (paper §VI-E)."""
+
+import numpy as np
+import pytest
+
+from repro.bfs.bottomup import InMemoryScanner
+from repro.csr.builder import build_csr
+from repro.errors import ConfigurationError
+from repro.semiext.cache import (
+    DegreeThresholdScanner,
+    PrefixOffloadScanner,
+    split_prefix,
+)
+from repro.util.bitmap import Bitmap
+
+
+@pytest.fixture()
+def shard():
+    # Degrees: 0->3, 1->1, 2->0, 3->2 (after symmetrization of a custom set)
+    return build_csr(
+        np.array([[0, 0, 0, 3], [1, 2, 3, 2]]), n_vertices=4
+    )
+
+
+class TestSplitPrefix:
+    def test_split_preserves_order(self, shard):
+        prefix, suffix = split_prefix(shard, 1)
+        for v in range(4):
+            full = shard.neighbors(v)
+            merged = np.concatenate([prefix.neighbors(v), suffix.neighbors(v)])
+            assert np.array_equal(merged, full)
+
+    def test_prefix_capped_at_k(self, shard):
+        prefix, _ = split_prefix(shard, 2)
+        assert prefix.degrees().max() <= 2
+
+    def test_k_zero_moves_everything(self, shard):
+        prefix, suffix = split_prefix(shard, 0)
+        assert prefix.n_directed_edges == 0
+        assert suffix.n_directed_edges == shard.n_directed_edges
+
+    def test_k_huge_keeps_everything(self, shard):
+        prefix, suffix = split_prefix(shard, 10**6)
+        assert suffix.n_directed_edges == 0
+        assert prefix == shard
+
+    def test_negative_k_rejected(self, shard):
+        with pytest.raises(ConfigurationError):
+            split_prefix(shard, -1)
+
+
+class TestPrefixScanner:
+    def _frontier(self, n, members):
+        return Bitmap.from_indices(n, np.array(members))
+
+    def test_matches_in_memory_scanner(self, csr, store):
+        k = 4
+        scanner = PrefixOffloadScanner(csr, k, store, "p")
+        plain = InMemoryScanner(csr)
+        frontier = self._frontier(csr.n_rows, [0, 5, 100, 333])
+        rows = np.arange(0, csr.n_rows, 7, dtype=np.int64)
+        a = scanner.scan(rows, frontier)
+        b = plain.scan(rows, frontier)
+        assert np.array_equal(a.parents >= 0, b.parents >= 0)
+        # Early-termination totals agree (rows are scanned in the same order).
+        assert a.scanned == b.scanned
+
+    def test_nvm_untouched_when_prefix_hits(self, shard, store):
+        # Frontier contains every vertex: each scanned row hits within its
+        # first entry, so the suffix is never fetched.
+        scanner = PrefixOffloadScanner(shard, 1, store, "p")
+        frontier = self._frontier(4, [0, 1, 2, 3])
+        before = store.iostats.n_requests
+        out = scanner.scan(np.array([0, 3]), frontier)
+        assert (out.parents >= 0).all()
+        assert out.scanned_nvm == 0
+        assert store.iostats.n_requests == before
+
+    def test_suffix_consulted_when_prefix_misses(self, shard, store):
+        # Vertex 0's neighbors sorted: [1, 2, 3]; frontier = {3} only.
+        scanner = PrefixOffloadScanner(shard, 1, store, "p")
+        frontier = self._frontier(4, [3])
+        out = scanner.scan(np.array([0]), frontier)
+        assert out.parents.tolist() == [3]
+        assert out.scanned_nvm > 0
+        assert store.iostats.n_requests > 0
+
+    def test_dram_reduction_monotone_in_k(self, csr, store):
+        reductions = [
+            PrefixOffloadScanner(csr, k, store, f"p{k}").dram_reduction
+            for k in (1, 4, 16)
+        ]
+        assert reductions[0] > reductions[1] > reductions[2]
+
+    def test_byte_accounting(self, shard, store):
+        s = PrefixOffloadScanner(shard, 1, store, "p")
+        assert s.dram_nbytes + s.nvm_nbytes >= shard.nbytes  # indexes dup'd
+        assert 0.0 <= s.dram_reduction <= 1.0
+
+
+class TestDegreeThresholdScanner:
+    def test_matches_in_memory_scanner(self, csr, store):
+        scanner = DegreeThresholdScanner(csr, 8, store, "d")
+        plain = InMemoryScanner(csr)
+        frontier = Bitmap.from_indices(csr.n_rows, np.array([0, 5, 100]))
+        rows = np.arange(0, csr.n_rows, 11, dtype=np.int64)
+        a = scanner.scan(rows, frontier)
+        b = plain.scan(rows, frontier)
+        assert np.array_equal(a.parents, b.parents)
+        assert a.scanned == b.scanned
+
+    def test_low_degree_rows_on_nvm(self, shard, store):
+        scanner = DegreeThresholdScanner(shard, 1, store, "d")
+        # Vertex 1 has degree 1 -> on NVM.
+        frontier = Bitmap.from_indices(4, np.array([0]))
+        out = scanner.scan(np.array([1]), frontier)
+        assert out.parents.tolist() == [0]
+        assert out.scanned_nvm == 1
+        assert out.scanned_dram == 0
+
+    def test_high_degree_rows_in_dram(self, shard, store):
+        scanner = DegreeThresholdScanner(shard, 1, store, "d")
+        frontier = Bitmap.from_indices(4, np.array([1]))
+        out = scanner.scan(np.array([0]), frontier)  # deg 3 > 1
+        assert out.scanned_nvm == 0
+        assert out.scanned_dram > 0
+
+    def test_size_reduction_monotone_in_k(self, csr, store):
+        reductions = [
+            DegreeThresholdScanner(csr, k, store, f"d{k}").dram_reduction
+            for k in (1, 8, 64)
+        ]
+        assert reductions[0] < reductions[1] < reductions[2]
+
+    def test_negative_k_rejected(self, shard, store):
+        with pytest.raises(ConfigurationError):
+            DegreeThresholdScanner(shard, -1, store, "d")
+
+    def test_k_zero_keeps_nonisolated_in_dram(self, shard, store):
+        s = DegreeThresholdScanner(shard, 0, store, "d")
+        assert s.nvm.n_directed_edges == 0

@@ -1,0 +1,88 @@
+"""Unit tests for repro.semiext.device (device model + queueing)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.semiext.device import DRAM_CHANNEL, PCIE_FLASH, SATA_SSD, DeviceModel
+
+
+class TestDeviceModel:
+    def test_presets_sane(self):
+        assert PCIE_FLASH.read_bandwidth_bps > SATA_SSD.read_bandwidth_bps
+        assert PCIE_FLASH.max_read_iops > SATA_SSD.max_read_iops
+        assert DRAM_CHANNEL.read_latency_s < PCIE_FLASH.read_latency_s
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            DeviceModel("x", -1, 1, 1)
+        with pytest.raises(ConfigurationError):
+            DeviceModel("x", 0, 0, 1)
+        with pytest.raises(ConfigurationError):
+            DeviceModel("x", 0, 1, 0)
+        with pytest.raises(ConfigurationError):
+            DeviceModel("x", 0, 1, 1, channels=0)
+
+    def test_service_time_components(self):
+        d = DeviceModel("x", read_latency_s=1e-4, read_bandwidth_bps=1e6,
+                        max_read_iops=1e5)
+        assert d.service_time_s(0) == pytest.approx(1e-4)
+        assert d.service_time_s(1e6) == pytest.approx(1e-4 + 1.0)
+
+    def test_service_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PCIE_FLASH.service_time_s(-1)
+
+    def test_saturation_iops_caps(self):
+        # Large requests are bandwidth-bound.
+        big = PCIE_FLASH.saturation_iops(1 << 20)
+        assert big <= PCIE_FLASH.read_bandwidth_bps / (1 << 20) * 1.001
+        # Small requests are IOPS-bound.
+        small = PCIE_FLASH.saturation_iops(4096)
+        assert small <= PCIE_FLASH.max_read_iops
+
+
+class TestSubmit:
+    def test_empty_batch(self):
+        r = PCIE_FLASH.submit(0, 0, concurrency=48)
+        assert r.elapsed_s == 0.0
+        assert r.mean_queue == 0.0
+
+    def test_invalid_batch(self):
+        with pytest.raises(ConfigurationError):
+            PCIE_FLASH.submit(-1, 0, 1)
+        with pytest.raises(ConfigurationError):
+            PCIE_FLASH.submit(1, 100, 0)
+        with pytest.raises(ConfigurationError):
+            PCIE_FLASH.submit(1, 100, 1, think_time_s=-1)
+
+    def test_device_bound_queue_near_concurrency(self):
+        # Zero think time saturates the device: queue ~= worker count.
+        r = PCIE_FLASH.submit(100_000, 100_000 * 4096, concurrency=48)
+        assert r.mean_queue == pytest.approx(48, rel=0.05)
+
+    def test_cpu_bound_queue_small(self):
+        # Huge think time: the device idles and the queue stays short.
+        r = PCIE_FLASH.submit(1000, 1000 * 4096, concurrency=48,
+                              think_time_s=1.0)
+        assert r.mean_queue < 1.0
+
+    def test_elapsed_scales_with_requests(self):
+        a = PCIE_FLASH.submit(1000, 1000 * 4096, 48).elapsed_s
+        b = PCIE_FLASH.submit(2000, 2000 * 4096, 48).elapsed_s
+        assert b == pytest.approx(2 * a, rel=1e-6)
+
+    def test_ssd_slower_than_pcie(self):
+        a = PCIE_FLASH.submit(10_000, 10_000 * 4096, 48).elapsed_s
+        b = SATA_SSD.submit(10_000, 10_000 * 4096, 48).elapsed_s
+        assert b > a
+
+    def test_throughput_capped_by_iops(self):
+        r = PCIE_FLASH.submit(1_000_000, 1_000_000 * 512, concurrency=1000)
+        assert r.throughput_iops <= PCIE_FLASH.max_read_iops * 1.001
+
+    def test_think_time_lowers_throughput(self):
+        fast = PCIE_FLASH.submit(1000, 1000 * 4096, 4).throughput_iops
+        slow = PCIE_FLASH.submit(
+            1000, 1000 * 4096, 4, think_time_s=1e-3
+        ).throughput_iops
+        assert slow < fast

@@ -1,0 +1,71 @@
+"""Unit tests for the modeled OS page cache (Figure 9's mechanism)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.semiext import NVMStore, PCIE_FLASH
+
+
+@pytest.fixture()
+def cached_store(tmp_path):
+    return NVMStore(
+        tmp_path / "nvm", PCIE_FLASH, page_cache_bytes=1 << 20
+    )
+
+
+class TestPageCache:
+    def test_second_read_is_free(self, cached_store):
+        ext = cached_store.put_array("a", np.arange(10000, dtype=np.int64))
+        ext.read_slice(0, 10000)
+        t1 = cached_store.clock.now()
+        reqs1 = cached_store.iostats.n_requests
+        ext.read_slice(0, 10000)
+        assert cached_store.clock.now() == t1  # no new device time
+        assert cached_store.iostats.n_requests == reqs1
+        assert cached_store.cache_hit_bytes > 0
+
+    def test_different_files_cached_separately(self, cached_store):
+        a = cached_store.put_array("a", np.arange(1000, dtype=np.int64))
+        b = cached_store.put_array("b", np.arange(1000, dtype=np.int64))
+        a.read_slice(0, 1000)
+        reqs = cached_store.iostats.n_requests
+        b.read_slice(0, 1000)  # same offsets, different file: still a miss
+        assert cached_store.iostats.n_requests > reqs
+
+    def test_capacity_limits_admission(self, tmp_path):
+        store = NVMStore(
+            tmp_path / "nvm", PCIE_FLASH, page_cache_bytes=8192
+        )
+        ext = store.put_array("a", np.arange(100_000, dtype=np.int64))
+        ext.read_slice(0, 100_000)  # 800 KB: only 2 pages admitted
+        t1 = store.clock.now()
+        ext.read_slice(0, 100_000)
+        # The uncached tail must be re-charged.
+        assert store.clock.now() > t1
+        assert 0.0 < store.cache_hit_ratio < 0.1
+
+    def test_no_cache_by_default(self, store):
+        ext = store.put_array("a", np.arange(1000, dtype=np.int64))
+        ext.read_slice(0, 1000)
+        ext.read_slice(0, 1000)
+        assert store.cache_hit_bytes == 0
+        assert store.cache_hit_ratio == 0.0
+
+    def test_partial_overlap(self, cached_store):
+        ext = cached_store.put_array("a", np.arange(10000, dtype=np.int64))
+        ext.read_slice(0, 5000)  # pages 0..9 roughly
+        bytes1 = cached_store.iostats.total_bytes
+        ext.read_slice(2500, 7500)  # half cached, half new
+        new_bytes = cached_store.iostats.total_bytes - bytes1
+        assert 0 < new_bytes < 5000 * 8
+
+    def test_negative_capacity_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            NVMStore(tmp_path, PCIE_FLASH, page_cache_bytes=-1)
+
+    def test_hit_ratio_bounds(self, cached_store):
+        ext = cached_store.put_array("a", np.arange(1000, dtype=np.int64))
+        for _ in range(5):
+            ext.read_slice(0, 1000)
+        assert 0.5 < cached_store.cache_hit_ratio <= 1.0

@@ -1,0 +1,250 @@
+"""Unit tests for repro.semiext.storage, clock, iostats and hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CapacityError, ConfigurationError, StorageError
+from repro.semiext import (
+    MemoryHierarchy,
+    NVMStore,
+    PCIE_FLASH,
+    SATA_SSD,
+    SimulatedClock,
+    Tier,
+)
+from repro.semiext.iostats import IoStats
+
+
+class TestClock:
+    def test_advances(self):
+        c = SimulatedClock()
+        c.advance(1.5)
+        c.advance(0.25)
+        assert c.now() == pytest.approx(1.75)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimulatedClock().advance(-1)
+        with pytest.raises(ConfigurationError):
+            SimulatedClock(start=-1)
+
+    def test_reset(self):
+        c = SimulatedClock()
+        c.advance(3)
+        c.reset()
+        assert c.now() == 0.0
+
+
+class TestIoStats:
+    def test_aggregates(self):
+        st = IoStats("dev")
+        st.record_batch(0.0, 1.0, np.array([4096, 4096]), mean_queue=10.0)
+        st.record_batch(1.0, 1.0, np.array([512]), mean_queue=20.0)
+        assert st.n_requests == 3
+        assert st.total_bytes == 8704
+        assert st.avgqu_sz() == pytest.approx(15.0)
+        # sectors: 8 + 8 + 1 over 3 requests
+        assert st.avgrq_sz == pytest.approx(17 / 3)
+
+    def test_avgqu_weighted_by_duration(self):
+        st = IoStats()
+        st.record_batch(0.0, 3.0, np.array([4096]), mean_queue=10.0)
+        st.record_batch(3.0, 1.0, np.array([4096]), mean_queue=50.0)
+        assert st.avgqu_sz() == pytest.approx((30 + 50) / 4)
+
+    def test_empty_stats(self):
+        st = IoStats()
+        assert st.avgqu_sz() == 0.0
+        assert st.avgrq_sz == 0.0
+        assert st.reads_per_s() == 0.0
+        assert st.throughput_bps() == 0.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            IoStats().record_batch(0, -1.0, np.array([1]), 1.0)
+
+    def test_reset(self):
+        st = IoStats()
+        st.record_batch(0.0, 1.0, np.array([4096]), 1.0)
+        st.reset()
+        assert st.n_requests == 0
+        assert not st.samples
+
+    def test_sample_properties(self):
+        st = IoStats()
+        s = st.record_batch(0.0, 2.0, np.array([1024, 1024]), 5.0)
+        assert s.avgrq_sectors == pytest.approx(2.0)
+        assert s.reads_per_s == pytest.approx(1.0)
+
+
+class TestNVMStore:
+    def test_put_get_roundtrip(self, store):
+        arr = np.arange(100, dtype=np.int64)
+        ext = store.put_array("a", arr)
+        assert np.array_equal(ext.to_ndarray(), arr)
+        assert store.get_array("a") is ext
+        assert "a" in store
+
+    def test_duplicate_name_rejected(self, store):
+        store.put_array("a", np.zeros(4))
+        with pytest.raises(StorageError):
+            store.put_array("a", np.zeros(4))
+
+    def test_bad_name_rejected(self, store):
+        with pytest.raises(StorageError):
+            store.put_array("../evil", np.zeros(4))
+
+    def test_missing_array(self, store):
+        with pytest.raises(StorageError):
+            store.get_array("nope")
+
+    def test_drop_array(self, store):
+        ext = store.put_array("a", np.zeros(4))
+        path = ext.path
+        assert path.exists()
+        store.drop_array("a")
+        assert not path.exists()
+        assert "a" not in store
+
+    def test_nbytes(self, store):
+        store.put_array("a", np.zeros(10, dtype=np.int64))
+        assert store.nbytes == 80
+
+    def test_charge_advances_clock_and_meters(self, store):
+        store.put_array("a", np.zeros(10000, dtype=np.int64))
+        t0 = store.clock.now()
+        elapsed = store.charge(np.array([0]), np.array([8 * 10000]))
+        assert elapsed > 0
+        assert store.clock.now() == pytest.approx(t0 + elapsed)
+        assert store.iostats.n_requests > 0
+        assert store.n_syscalls >= store.iostats.n_requests  # merging shrinks
+
+    def test_charge_empty_is_free(self, store):
+        assert store.charge(np.array([]), np.array([])) == 0.0
+
+    def test_invalid_store_params(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            NVMStore(tmp_path, PCIE_FLASH, concurrency=0)
+        with pytest.raises(ConfigurationError):
+            NVMStore(tmp_path, PCIE_FLASH, chunk_bytes=0)
+        with pytest.raises(ConfigurationError):
+            NVMStore(tmp_path, PCIE_FLASH, chunk_bytes=4096,
+                     max_request_bytes=1024)
+
+
+class TestExternalArray:
+    def test_read_rows(self, store):
+        arr = np.arange(1000, dtype=np.int64)
+        ext = store.put_array("a", arr)
+        out = ext.read_rows(np.array([10, 500]), np.array([5, 3]))
+        assert out.tolist() == [10, 11, 12, 13, 14, 500, 501, 502]
+
+    def test_read_rows_charges(self, store):
+        ext = store.put_array("a", np.arange(1000, dtype=np.int64))
+        ext.read_rows(np.array([0]), np.array([100]))
+        assert store.iostats.total_bytes >= 800
+
+    def test_read_rows_out_of_bounds(self, store):
+        ext = store.put_array("a", np.arange(10, dtype=np.int64))
+        with pytest.raises(StorageError):
+            ext.read_rows(np.array([8]), np.array([5]))
+
+    def test_read_elements(self, store):
+        ext = store.put_array("a", np.arange(100, dtype=np.int64))
+        out = ext.read_elements(np.array([5, 50]), width=2)
+        assert out.tolist() == [[5, 6], [50, 51]]
+
+    def test_read_elements_bounds(self, store):
+        ext = store.put_array("a", np.arange(10, dtype=np.int64))
+        with pytest.raises(StorageError):
+            ext.read_elements(np.array([9]), width=2)
+        with pytest.raises(StorageError):
+            ext.read_elements(np.array([0]), width=0)
+
+    def test_read_slice(self, store):
+        ext = store.put_array("a", np.arange(100, dtype=np.int64))
+        assert ext.read_slice(10, 15).tolist() == [10, 11, 12, 13, 14]
+        with pytest.raises(StorageError):
+            ext.read_slice(90, 200)
+
+    def test_close_then_read_raises(self, store):
+        ext = store.put_array("a", np.arange(10, dtype=np.int64))
+        ext.close()
+        with pytest.raises(StorageError):
+            ext.read_slice(0, 1)
+        ext.close()  # idempotent
+
+    def test_2d_rejected(self, store):
+        with pytest.raises(StorageError):
+            store.put_array("a", np.zeros((2, 2)))
+
+    def test_metadata(self, store):
+        ext = store.put_array("a", np.arange(10, dtype=np.int32))
+        assert ext.size == 10
+        assert ext.itemsize == 4
+        assert ext.nbytes == 40
+        assert len(ext) == 10
+
+
+class TestHierarchy:
+    def test_dram_budget_enforced(self):
+        h = MemoryHierarchy(dram_capacity=100)
+        h.reserve("a", 60, Tier.DRAM)
+        with pytest.raises(CapacityError):
+            h.reserve("b", 50, Tier.DRAM)
+        h.reserve("b", 40, Tier.DRAM)
+        assert h.remaining(Tier.DRAM) == 0
+
+    def test_nvm_without_store_rejected(self):
+        h = MemoryHierarchy(dram_capacity=100)
+        assert not h.fits(10, Tier.NVM)
+        with pytest.raises(CapacityError):
+            h.reserve("a", 10, Tier.NVM)
+
+    def test_nvm_capacity(self, store):
+        h = MemoryHierarchy(100, nvm_store=store, nvm_capacity=50)
+        h.reserve("a", 40, Tier.NVM)
+        with pytest.raises(CapacityError):
+            h.reserve("b", 20, Tier.NVM)
+
+    def test_nvm_unbounded_by_default(self, store):
+        h = MemoryHierarchy(100, nvm_store=store)
+        assert h.remaining(Tier.NVM) is None
+        h.reserve("a", 1 << 50, Tier.NVM)
+
+    def test_duplicate_name_rejected(self):
+        h = MemoryHierarchy(100)
+        h.reserve("a", 10, Tier.DRAM)
+        with pytest.raises(CapacityError):
+            h.reserve("a", 10, Tier.DRAM)
+
+    def test_release(self):
+        h = MemoryHierarchy(100)
+        h.reserve("a", 60, Tier.DRAM)
+        h.release("a")
+        assert h.used(Tier.DRAM) == 0
+        with pytest.raises(CapacityError):
+            h.release("a")
+
+    def test_place_array_dram_returns_array(self):
+        h = MemoryHierarchy(1000)
+        arr = h.place_array("a", np.arange(10, dtype=np.int64), Tier.DRAM)
+        assert isinstance(arr, np.ndarray)
+        assert h.used(Tier.DRAM) == 80
+
+    def test_place_array_nvm_returns_external(self, store):
+        h = MemoryHierarchy(1000, nvm_store=store)
+        handle = h.place_array("a", np.arange(10, dtype=np.int64), Tier.NVM)
+        assert not isinstance(handle, np.ndarray)
+        assert np.array_equal(handle.to_ndarray(), np.arange(10))
+        h.release("a")
+        assert "a" not in store
+
+    def test_describe_mentions_placements(self, store):
+        h = MemoryHierarchy(1000, nvm_store=store)
+        h.reserve("mything", 10, Tier.DRAM)
+        assert "mything" in h.describe()
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigurationError):
+            MemoryHierarchy(0)

@@ -1,0 +1,109 @@
+"""Tests for request-trace recording and cross-device replay."""
+
+import numpy as np
+import pytest
+
+from repro.bfs import AlphaBetaPolicy, SemiExternalBFS
+from repro.errors import ConfigurationError, StorageError
+from repro.perfmodel.cost import DramCostModel
+from repro.semiext import (
+    NVMStore,
+    PCIE_FLASH,
+    SATA_SSD,
+    RequestTrace,
+    attach_recorder,
+)
+
+
+@pytest.fixture()
+def traced_run(forward, backward, a_root, tmp_path):
+    store = NVMStore(tmp_path / "rec", PCIE_FLASH)
+    trace = attach_recorder(store)
+    engine = SemiExternalBFS.offload(
+        forward, backward, AlphaBetaPolicy(30, 30), store,
+        cost_model=DramCostModel(),
+    )
+    engine.run(a_root)
+    return trace, store
+
+
+class TestRecording:
+    def test_records_every_charge(self, traced_run):
+        trace, store = traced_run
+        assert trace.n_batches > 0
+        # Requested payload >= bytes the device served (merging pads to
+        # pages but the trace captures the *requested* extents).
+        assert trace.total_bytes > 0
+
+    def test_recording_does_not_perturb(
+        self, forward, backward, a_root, tmp_path
+    ):
+        results = {}
+        for tag, record in (("plain", False), ("traced", True)):
+            store = NVMStore(tmp_path / tag, PCIE_FLASH)
+            if record:
+                attach_recorder(store)
+            res = SemiExternalBFS.offload(
+                forward, backward, AlphaBetaPolicy(30, 30), store,
+                cost_model=DramCostModel(),
+            ).run(a_root)
+            results[tag] = (res.modeled_time_s, store.iostats.n_requests)
+        assert results["plain"] == results["traced"]
+
+    def test_records_carry_file_keys(self, traced_run):
+        trace, _ = traced_run
+        keys = {r.file_key for r in trace.records}
+        assert any("index" in k for k in keys)
+        assert any("value" in k for k in keys)
+
+
+class TestPersistence:
+    def test_round_trip(self, traced_run, tmp_path):
+        trace, _ = traced_run
+        path = tmp_path / "trace.npz"
+        trace.save(path)
+        back = RequestTrace.load(path)
+        assert back.n_batches == trace.n_batches
+        assert back.total_bytes == trace.total_bytes
+        for a, b in zip(trace.records, back.records):
+            assert a.file_key == b.file_key
+            assert np.array_equal(a.offsets, b.offsets)
+            assert np.array_equal(a.lengths, b.lengths)
+
+    def test_empty_save_rejected(self, tmp_path):
+        with pytest.raises(StorageError):
+            RequestTrace().save(tmp_path / "x.npz")
+
+
+class TestReplay:
+    def test_replay_reproduces_original_stats(self, traced_run, tmp_path):
+        trace, store = traced_run
+        replay = trace.replay(PCIE_FLASH, tmp_path / "replay")
+        assert replay.n_requests == store.iostats.n_requests
+        assert replay.total_bytes == store.iostats.total_bytes
+        assert replay.avgrq_sz == pytest.approx(store.iostats.avgrq_sz)
+        assert replay.busy_time_s == pytest.approx(store.iostats.busy_time_s)
+
+    def test_replay_on_slower_device_takes_longer(self, traced_run, tmp_path):
+        trace, store = traced_run
+        slow = trace.replay(SATA_SSD, tmp_path / "slow")
+        assert slow.busy_time_s > store.iostats.busy_time_s
+        assert slow.n_requests == store.iostats.n_requests
+
+    def test_replay_with_page_cache_reads_less(self, traced_run, tmp_path):
+        trace, store = traced_run
+        cached = trace.replay(
+            PCIE_FLASH, tmp_path / "cached", page_cache_bytes=1 << 30
+        )
+        assert cached.total_bytes <= store.iostats.total_bytes
+
+    def test_replay_async_mode(self, traced_run, tmp_path):
+        trace, store = traced_run
+        async_stats = trace.replay(
+            PCIE_FLASH, tmp_path / "async", io_mode="async"
+        )
+        assert async_stats.busy_time_s <= store.iostats.busy_time_s
+
+    def test_empty_replay_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            RequestTrace().replay(PCIE_FLASH, tmp_path / "x")

@@ -1,0 +1,171 @@
+"""Unit tests for repro.util.bitmap."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.util.bitmap import Bitmap
+
+
+class TestConstruction:
+    def test_new_bitmap_is_empty(self):
+        bm = Bitmap(100)
+        assert bm.count() == 0
+        assert len(bm) == 100
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Bitmap(0)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Bitmap(-5)
+
+    def test_word_count_rounds_up(self):
+        assert Bitmap(1).words.size == 1
+        assert Bitmap(64).words.size == 1
+        assert Bitmap(65).words.size == 2
+
+    def test_from_indices(self):
+        bm = Bitmap.from_indices(10, np.array([1, 3, 7]))
+        assert bm.count() == 3
+        assert bm.test(3)
+
+    def test_bad_word_buffer_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Bitmap(100, words=np.zeros(5, dtype=np.uint64))
+
+    def test_copy_is_independent(self):
+        a = Bitmap.from_indices(64, np.array([0]))
+        b = a.copy()
+        b.set(1)
+        assert not a.test(1)
+        assert b.test(1)
+
+
+class TestScalarOps:
+    def test_set_and_test(self):
+        bm = Bitmap(128)
+        bm.set(0)
+        bm.set(63)
+        bm.set(64)
+        bm.set(127)
+        for i in (0, 63, 64, 127):
+            assert bm.test(i)
+        assert not bm.test(1)
+
+    def test_clear_bit(self):
+        bm = Bitmap.from_indices(64, np.array([5]))
+        bm.clear_bit(5)
+        assert not bm.test(5)
+
+    def test_out_of_range_raises(self):
+        bm = Bitmap(10)
+        with pytest.raises(IndexError):
+            bm.set(10)
+        with pytest.raises(IndexError):
+            bm.test(-1)
+
+
+class TestVectorOps:
+    def test_set_many_with_duplicates(self):
+        bm = Bitmap(100)
+        bm.set_many(np.array([7, 7, 7, 8]))
+        assert bm.count() == 2
+
+    def test_set_many_same_word_conflicts(self):
+        # All bits land in word 0: verifies unbuffered read-modify-write.
+        bm = Bitmap(64)
+        bm.set_many(np.arange(64))
+        assert bm.count() == 64
+
+    def test_test_many(self):
+        bm = Bitmap.from_indices(100, np.array([2, 50, 99]))
+        out = bm.test_many(np.array([2, 3, 50, 98, 99]))
+        assert out.tolist() == [True, False, True, False, True]
+
+    def test_clear_many(self):
+        bm = Bitmap.from_indices(100, np.arange(10))
+        bm.clear_many(np.array([0, 5, 9, 9]))
+        assert bm.count() == 7
+
+    def test_empty_vector_ops_are_noops(self):
+        bm = Bitmap(10)
+        bm.set_many(np.array([], dtype=np.int64))
+        bm.clear_many(np.array([], dtype=np.int64))
+        assert bm.test_many(np.array([], dtype=np.int64)).size == 0
+
+    def test_vector_out_of_range_raises(self):
+        bm = Bitmap(10)
+        with pytest.raises(IndexError):
+            bm.set_many(np.array([3, 10]))
+
+
+class TestWholeBitmap:
+    def test_fill_and_count(self):
+        bm = Bitmap(70)
+        bm.fill()
+        assert bm.count() == 70
+
+    def test_fill_masks_tail(self):
+        bm = Bitmap(65)
+        bm.fill()
+        # Only one bit may be set in the last word.
+        assert int(np.bitwise_count(bm.words[-1])) == 1
+
+    def test_clear(self):
+        bm = Bitmap.from_indices(100, np.arange(100))
+        bm.clear()
+        assert bm.count() == 0
+
+    def test_to_indices_round_trip(self):
+        idx = np.array([0, 1, 63, 64, 99], dtype=np.int64)
+        bm = Bitmap.from_indices(100, idx)
+        assert np.array_equal(bm.to_indices(), idx)
+
+    def test_to_bool_array(self):
+        bm = Bitmap.from_indices(10, np.array([0, 9]))
+        arr = bm.to_bool_array()
+        assert arr.shape == (10,)
+        assert arr[0] and arr[9] and not arr[5]
+
+
+class TestAlgebra:
+    def test_union(self):
+        a = Bitmap.from_indices(64, np.array([1, 2]))
+        b = Bitmap.from_indices(64, np.array([2, 3]))
+        a.union_inplace(b)
+        assert a.to_indices().tolist() == [1, 2, 3]
+
+    def test_intersect(self):
+        a = Bitmap.from_indices(64, np.array([1, 2]))
+        b = Bitmap.from_indices(64, np.array([2, 3]))
+        a.intersect_inplace(b)
+        assert a.to_indices().tolist() == [2]
+
+    def test_difference(self):
+        a = Bitmap.from_indices(64, np.array([1, 2]))
+        b = Bitmap.from_indices(64, np.array([2, 3]))
+        a.difference_inplace(b)
+        assert a.to_indices().tolist() == [1]
+
+    def test_invert_respects_size(self):
+        a = Bitmap.from_indices(70, np.array([0]))
+        a.invert_inplace()
+        assert a.count() == 69
+        assert not a.test(0)
+
+    def test_size_mismatch_raises(self):
+        with pytest.raises(ConfigurationError):
+            Bitmap(10).union_inplace(Bitmap(11))
+
+    def test_equality(self):
+        a = Bitmap.from_indices(64, np.array([1]))
+        b = Bitmap.from_indices(64, np.array([1]))
+        c = Bitmap.from_indices(64, np.array([2]))
+        assert a == b
+        assert a != c
+
+    def test_nbytes(self):
+        assert Bitmap(64).nbytes() == 8
+        assert Bitmap(65).nbytes() == 16

@@ -1,0 +1,150 @@
+"""Unit tests for repro.util.chunking (request splitting and merging)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.util.chunking import (
+    DEFAULT_CHUNK_BYTES,
+    SECTOR_BYTES,
+    merge_extents,
+    plan_chunks,
+    split_extent,
+)
+
+
+class TestSplitExtent:
+    def test_small_extent_one_request(self):
+        plan = split_extent(0, 100)
+        assert plan.n_requests == 1
+        assert plan.total_bytes == 100
+
+    def test_unaligned_start_splits_at_boundary(self):
+        plan = split_extent(1000, 9000, 4096)
+        assert plan.offsets.tolist() == [1000, 4096, 8192]
+        assert plan.sizes.tolist() == [3096, 4096, 1808]
+
+    def test_aligned_multiple_full_chunks(self):
+        plan = split_extent(4096, 8192, 4096)
+        assert plan.offsets.tolist() == [4096, 8192]
+        assert plan.sizes.tolist() == [4096, 4096]
+
+    def test_zero_length_no_requests(self):
+        assert split_extent(500, 0).n_requests == 0
+
+    def test_exact_chunk(self):
+        plan = split_extent(0, 4096)
+        assert plan.n_requests == 1
+        assert plan.sizes.tolist() == [4096]
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            split_extent(-1, 10)
+        with pytest.raises(ConfigurationError):
+            split_extent(0, -10)
+        with pytest.raises(ConfigurationError):
+            split_extent(0, 10, 0)
+
+    def test_sectors_round_up(self):
+        plan = split_extent(0, 100)
+        assert plan.sectors.tolist() == [1]
+        plan = split_extent(0, SECTOR_BYTES + 1)
+        assert plan.sectors.tolist() == [2]
+
+
+class TestPlanChunks:
+    def test_matches_split_extent_per_extent(self):
+        offsets = np.array([1000, 0, 8192])
+        lengths = np.array([9000, 100, 4096])
+        plan = plan_chunks(offsets, lengths)
+        expected_offs = []
+        expected_sizes = []
+        for o, l in zip(offsets, lengths):
+            p = split_extent(int(o), int(l))
+            expected_offs += p.offsets.tolist()
+            expected_sizes += p.sizes.tolist()
+        assert plan.offsets.tolist() == expected_offs
+        assert plan.sizes.tolist() == expected_sizes
+
+    def test_zero_length_extents_skipped(self):
+        plan = plan_chunks(np.array([0, 100]), np.array([0, 10]))
+        assert plan.n_requests == 1
+        assert plan.total_bytes == 10
+
+    def test_empty_batch(self):
+        plan = plan_chunks(np.array([]), np.array([]))
+        assert plan.n_requests == 0
+        assert plan.total_bytes == 0
+
+    def test_all_zero_batch(self):
+        plan = plan_chunks(np.array([5, 6]), np.array([0, 0]))
+        assert plan.n_requests == 0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            plan_chunks(np.array([1, 2]), np.array([1]))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            plan_chunks(np.array([-1]), np.array([5]))
+
+    def test_max_request_never_exceeds_chunk(self):
+        rng = np.random.default_rng(0)
+        offsets = rng.integers(0, 1 << 20, 200)
+        lengths = rng.integers(0, 1 << 14, 200)
+        plan = plan_chunks(offsets, lengths, DEFAULT_CHUNK_BYTES)
+        assert plan.sizes.max() <= DEFAULT_CHUNK_BYTES
+        assert plan.total_bytes == int(lengths.sum())
+
+    def test_request_alignment_after_first(self):
+        plan = plan_chunks(np.array([100]), np.array([10000]), 4096)
+        # Every request after the first starts on a chunk boundary.
+        assert all(o % 4096 == 0 for o in plan.offsets[1:])
+
+
+class TestMergeExtents:
+    def test_page_alignment(self):
+        plan = merge_extents(np.array([100]), np.array([50]))
+        assert plan.offsets.tolist() == [0]
+        assert plan.sizes.tolist() == [4096]
+
+    def test_adjacent_pages_merge(self):
+        plan = merge_extents(np.array([100, 5000]), np.array([50, 50]))
+        assert plan.offsets.tolist() == [0]
+        assert plan.sizes.tolist() == [8192]
+
+    def test_same_page_deduplicates(self):
+        plan = merge_extents(np.array([0, 100, 200]), np.array([10, 10, 10]))
+        assert plan.n_requests == 1
+        assert plan.total_bytes == 4096
+
+    def test_disjoint_pages_stay_separate(self):
+        plan = merge_extents(np.array([0, 100 * 4096]), np.array([10, 10]))
+        assert plan.n_requests == 2
+
+    def test_unsorted_input_handled(self):
+        plan = merge_extents(np.array([100 * 4096, 0]), np.array([10, 10]))
+        assert plan.n_requests == 2
+        assert plan.offsets.tolist() == sorted(plan.offsets.tolist())
+
+    def test_long_run_split_at_max_request(self):
+        plan = merge_extents(
+            np.array([0]), np.array([1 << 20]), max_request_bytes=128 * 1024
+        )
+        assert plan.sizes.max() <= 128 * 1024
+        assert plan.total_bytes == 1 << 20
+
+    def test_zero_length_skipped(self):
+        plan = merge_extents(np.array([0]), np.array([0]))
+        assert plan.n_requests == 0
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ConfigurationError):
+            merge_extents(np.array([0]), np.array([1]), page_bytes=0)
+        with pytest.raises(ConfigurationError):
+            merge_extents(np.array([-5]), np.array([1]))
+
+    def test_overlapping_extents_union(self):
+        plan = merge_extents(np.array([0, 2048]), np.array([4096, 8192]))
+        assert plan.total_bytes == 12288
+        assert plan.n_requests == 1

@@ -1,0 +1,125 @@
+"""Unit tests for repro.util.gather (ragged-segment primitives)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.util.gather import concat_ranges, first_true_per_segment, segment_ids
+
+
+class TestConcatRanges:
+    def test_basic(self):
+        out = concat_ranges(np.array([5, 0]), np.array([3, 2]))
+        assert out.tolist() == [5, 6, 7, 0, 1]
+
+    def test_empty_segments_skipped(self):
+        out = concat_ranges(np.array([5, 9, 0]), np.array([2, 0, 1]))
+        assert out.tolist() == [5, 6, 0]
+
+    def test_all_empty(self):
+        assert concat_ranges(np.array([1, 2]), np.array([0, 0])).size == 0
+
+    def test_no_segments(self):
+        assert concat_ranges(np.array([]), np.array([])).size == 0
+
+    def test_single_large(self):
+        out = concat_ranges(np.array([10]), np.array([5]))
+        assert out.tolist() == [10, 11, 12, 13, 14]
+
+    def test_shape_mismatch(self):
+        with pytest.raises(GraphFormatError):
+            concat_ranges(np.array([1]), np.array([1, 2]))
+
+    def test_negative_count(self):
+        with pytest.raises(GraphFormatError):
+            concat_ranges(np.array([1]), np.array([-1]))
+
+    def test_matches_naive(self):
+        rng = np.random.default_rng(1)
+        starts = rng.integers(0, 1000, 50)
+        counts = rng.integers(0, 20, 50)
+        expected = np.concatenate(
+            [np.arange(s, s + c) for s, c in zip(starts, counts)]
+            or [np.array([], dtype=np.int64)]
+        )
+        assert np.array_equal(concat_ranges(starts, counts), expected)
+
+
+class TestSegmentIds:
+    def test_basic(self):
+        assert segment_ids(np.array([2, 0, 3])).tolist() == [0, 0, 2, 2, 2]
+
+    def test_empty(self):
+        assert segment_ids(np.array([], dtype=np.int64)).size == 0
+        assert segment_ids(np.array([0, 0])).size == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(GraphFormatError):
+            segment_ids(np.array([-1]))
+
+
+class TestFirstTruePerSegment:
+    def test_basic(self):
+        mask = np.array([0, 0, 1, 0, 0, 0, 1, 1], dtype=bool)
+        hit, scanned = first_true_per_segment(mask, np.array([3, 2, 3]))
+        assert hit.tolist() == [2, -1, 6]
+        assert scanned.tolist() == [3, 2, 2]
+
+    def test_hit_at_first_position(self):
+        mask = np.array([1, 0, 0], dtype=bool)
+        hit, scanned = first_true_per_segment(mask, np.array([3]))
+        assert hit.tolist() == [0]
+        assert scanned.tolist() == [1]
+
+    def test_no_hits_scans_everything(self):
+        mask = np.zeros(5, dtype=bool)
+        hit, scanned = first_true_per_segment(mask, np.array([2, 3]))
+        assert hit.tolist() == [-1, -1]
+        assert scanned.tolist() == [2, 3]
+
+    def test_all_hits(self):
+        mask = np.ones(4, dtype=bool)
+        hit, scanned = first_true_per_segment(mask, np.array([2, 2]))
+        assert hit.tolist() == [0, 2]
+        assert scanned.tolist() == [1, 1]
+
+    def test_empty_segments(self):
+        mask = np.array([1], dtype=bool)
+        hit, scanned = first_true_per_segment(mask, np.array([0, 1, 0]))
+        assert hit.tolist() == [-1, 0, -1]
+        assert scanned.tolist() == [0, 1, 0]
+
+    def test_empty_everything(self):
+        hit, scanned = first_true_per_segment(
+            np.array([], dtype=bool), np.array([], dtype=np.int64)
+        )
+        assert hit.size == 0 and scanned.size == 0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(GraphFormatError):
+            first_true_per_segment(np.array([True]), np.array([2]))
+
+    def test_scanned_never_exceeds_count(self):
+        rng = np.random.default_rng(7)
+        counts = rng.integers(0, 10, 100)
+        mask = rng.random(int(counts.sum())) < 0.2
+        _, scanned = first_true_per_segment(mask, counts)
+        assert np.all(scanned <= counts)
+        assert np.all(scanned >= 0)
+
+    def test_matches_naive(self):
+        rng = np.random.default_rng(9)
+        counts = rng.integers(0, 8, 60)
+        mask = rng.random(int(counts.sum())) < 0.3
+        hit, scanned = first_true_per_segment(mask, counts)
+        pos = 0
+        for i, c in enumerate(counts):
+            seg = mask[pos : pos + c]
+            nz = np.flatnonzero(seg)
+            if nz.size:
+                assert hit[i] == pos + nz[0]
+                assert scanned[i] == nz[0] + 1
+            else:
+                assert hit[i] == -1
+                assert scanned[i] == c
+            pos += c

@@ -1,0 +1,109 @@
+"""Unit tests for repro.util.rng, units and timer."""
+
+import time
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.util.rng import DEFAULT_SEED, derive_rng, spawn_streams
+from repro.util.timer import Timer, WallClock
+from repro.util.units import GIB, KIB, MIB, TIB, format_bytes, parse_bytes
+
+
+class TestRng:
+    def test_deterministic_per_path(self):
+        a = derive_rng(1, "x").integers(0, 1 << 30, 8)
+        b = derive_rng(1, "x").integers(0, 1 << 30, 8)
+        assert (a == b).all()
+
+    def test_paths_independent(self):
+        a = derive_rng(1, "x").integers(0, 1 << 30, 8)
+        b = derive_rng(1, "y").integers(0, 1 << 30, 8)
+        assert not (a == b).all()
+
+    def test_seeds_independent(self):
+        a = derive_rng(1, "x").integers(0, 1 << 30, 8)
+        b = derive_rng(2, "x").integers(0, 1 << 30, 8)
+        assert not (a == b).all()
+
+    def test_none_uses_default_seed(self):
+        a = derive_rng(None, "x").integers(0, 1 << 30, 4)
+        b = derive_rng(DEFAULT_SEED, "x").integers(0, 1 << 30, 4)
+        assert (a == b).all()
+
+    def test_nested_paths(self):
+        a = derive_rng(1, "a", "b").integers(0, 1 << 30, 4)
+        b = derive_rng(1, "a", "c").integers(0, 1 << 30, 4)
+        assert not (a == b).all()
+
+    def test_spawn_streams_distinct(self):
+        streams = spawn_streams(5, 4, "workers")
+        draws = [s.integers(0, 1 << 30, 4).tolist() for s in streams]
+        assert len({tuple(d) for d in draws}) == 4
+
+    def test_spawn_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_streams(1, -1)
+
+
+class TestUnits:
+    def test_format_round_values(self):
+        assert format_bytes(40.1 * GIB) == "40.1 GB"
+        assert format_bytes(512) == "512 B"
+        assert format_bytes(1.5 * TIB) == "1.5 TB"
+        assert format_bytes(2 * MIB) == "2.0 MB"
+        assert format_bytes(0) == "0 B"
+
+    def test_format_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            format_bytes(-1)
+
+    def test_parse_suffixes(self):
+        assert parse_bytes("64 GB") == 64 * GIB
+        assert parse_bytes("4KiB") == 4 * KIB
+        assert parse_bytes("1.5tb") == int(1.5 * TIB)
+        assert parse_bytes("512") == 512
+        assert parse_bytes(4096) == 4096
+        assert parse_bytes(10.7) == 10
+
+    def test_parse_invalid(self):
+        with pytest.raises(ConfigurationError):
+            parse_bytes("lots")
+        with pytest.raises(ConfigurationError):
+            parse_bytes(-1)
+
+    def test_round_trip(self):
+        assert parse_bytes(format_bytes(64 * GIB, precision=0)) == 64 * GIB
+
+
+class TestTimer:
+    def test_accumulates(self):
+        t = Timer()
+        with t:
+            time.sleep(0.001)
+        first = t.elapsed
+        with t:
+            time.sleep(0.001)
+        assert t.elapsed > first > 0
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_reset(self):
+        t = Timer()
+        with t:
+            pass
+        t.reset()
+        assert t.elapsed == 0.0
+
+    def test_reset_while_running_raises(self):
+        t = Timer().start()
+        with pytest.raises(RuntimeError):
+            t.reset()
+        t.stop()
+
+    def test_wall_clock_monotonic(self):
+        a = WallClock.now()
+        b = WallClock.now()
+        assert b >= a
