@@ -24,6 +24,7 @@ from repro.analysis.locality import LocalityAudit, audit_locality
 from repro.analysis.offload_ratio import OffloadPoint, backward_offload_sweep
 from repro.analysis.perfcompare import ScenarioSeries, compare_scenarios
 from repro.analysis.report import ascii_table, format_float
+from repro.analysis.resilience import ResilienceSummary, summarize_resilience
 from repro.analysis.schedule import ScheduleSummary, schedule_summary
 from repro.analysis.sweep import SweepResult, alpha_beta_sweep, scaled_alpha_grid
 from repro.analysis.traversal import TraversalSplit, traversal_split
@@ -46,6 +47,8 @@ __all__ = [
     "audit_locality",
     "OffloadPoint",
     "backward_offload_sweep",
+    "ResilienceSummary",
+    "summarize_resilience",
     "ScheduleSummary",
     "schedule_summary",
     "ascii_table",

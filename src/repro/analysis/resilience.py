@@ -1,0 +1,126 @@
+"""Resilience accounting report for fault-injection runs.
+
+:class:`ResilienceSummary` condenses what the resilient read path did
+during one run — attempts, retries, backoff/GC time charged to the
+simulated clock, checksum verdicts, and the circuit breaker's state
+transitions — into the block the CLI prints after a ``--faults`` run and
+the ablation benchmark records per fault rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.semiext.faults import (
+    CircuitState,
+    DeviceHealthMonitor,
+    ResilienceStats,
+)
+
+__all__ = ["ResilienceSummary", "summarize_resilience"]
+
+
+@dataclass(frozen=True)
+class ResilienceSummary:
+    """Aggregated resilience accounting of one store/run.
+
+    Attributes mirror :class:`~repro.semiext.faults.ResilienceStats`
+    plus the circuit breaker's final state and transition history
+    (``transitions`` holds ``(simulated_time_s, state)`` pairs).
+    """
+
+    n_attempts: int = 0
+    n_retries: int = 0
+    n_transient_errors: int = 0
+    n_torn_reads: int = 0
+    n_checksum_failures: int = 0
+    n_timeouts: int = 0
+    n_gc_pauses: int = 0
+    n_hard_failures: int = 0
+    n_refused_reads: int = 0
+    backoff_time_s: float = 0.0
+    gc_pause_time_s: float = 0.0
+    degraded_levels: int = 0
+    circuit_state: CircuitState = CircuitState.CLOSED
+    transitions: tuple[tuple[float, CircuitState], ...] = field(
+        default_factory=tuple
+    )
+
+    @classmethod
+    def from_parts(
+        cls,
+        stats: ResilienceStats | None,
+        health: DeviceHealthMonitor | None,
+    ) -> "ResilienceSummary":
+        """Build from a store's stats and health monitor (either optional)."""
+        kwargs: dict = {}
+        if stats is not None:
+            kwargs.update(
+                n_attempts=stats.n_attempts,
+                n_retries=stats.n_retries,
+                n_transient_errors=stats.n_transient_errors,
+                n_torn_reads=stats.n_torn_reads,
+                n_checksum_failures=stats.n_checksum_failures,
+                n_timeouts=stats.n_timeouts,
+                n_gc_pauses=stats.n_gc_pauses,
+                n_hard_failures=stats.n_hard_failures,
+                n_refused_reads=stats.n_refused_reads,
+                backoff_time_s=stats.backoff_time_s,
+                gc_pause_time_s=stats.gc_pause_time_s,
+                degraded_levels=stats.degraded_levels,
+            )
+        if health is not None:
+            kwargs.update(
+                circuit_state=health.state,
+                transitions=tuple(health.transitions),
+            )
+        return cls(**kwargs)
+
+    @classmethod
+    def from_store(cls, store) -> "ResilienceSummary":
+        """Build from an :class:`~repro.semiext.storage.NVMStore`."""
+        return cls.from_parts(store.resilience, store.health)
+
+    @property
+    def retry_rate(self) -> float:
+        """Retries per read attempt (0 when no attempts were made)."""
+        if self.n_attempts == 0:
+            return 0.0
+        return self.n_retries / self.n_attempts
+
+    def format(self) -> str:
+        """Render the human-readable accounting block."""
+        lines = [
+            "resilience:",
+            f"  attempts:        {self.n_attempts}"
+            f" ({self.n_retries} retries, {self.retry_rate:.2%} retry rate)",
+            f"  transient errs:  {self.n_transient_errors}"
+            f" ({self.n_torn_reads} torn, {self.n_timeouts} timed out)",
+            f"  checksum fails:  {self.n_checksum_failures}",
+            f"  gc pauses:       {self.n_gc_pauses}"
+            f" ({self.gc_pause_time_s * 1e3:.2f} ms stalled)",
+            f"  backoff time:    {self.backoff_time_s * 1e3:.2f} ms",
+            f"  circuit:         {self.circuit_state.name}"
+            + (
+                f" ({self.n_hard_failures} hard failures,"
+                f" {self.n_refused_reads} refused reads)"
+                if self.n_hard_failures or self.n_refused_reads
+                else ""
+            ),
+        ]
+        if self.transitions:
+            trail = " -> ".join(
+                f"{s.name}@{t:.3f}s" for t, s in self.transitions
+            )
+            lines.append(f"  transitions:     {trail}")
+        if self.degraded_levels:
+            lines.append(
+                f"  degraded levels: {self.degraded_levels}"
+                " (bottom-up on in-DRAM backward graph)"
+            )
+        return "\n".join(lines)
+
+
+def summarize_resilience(store) -> ResilienceSummary:
+    """Convenience wrapper matching :func:`summarize_iostats`'s shape."""
+    return ResilienceSummary.from_store(store)

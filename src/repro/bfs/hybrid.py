@@ -25,7 +25,7 @@ from repro.bfs.policies import DirectionPolicy, PolicyInputs
 from repro.bfs.state import BFSState
 from repro.bfs.topdown import top_down_step
 from repro.csr.partition import BackwardGraph, ForwardGraph
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, DeviceFailedError
 from repro.perfmodel.cost import DramCostModel
 from repro.semiext.clock import SimulatedClock
 from repro.util.timer import Timer
@@ -105,6 +105,32 @@ class HybridBFS:
         """Per-request CPU overlap for the NVM queueing model (unused here)."""
         return 0.0
 
+    def _device_health(self) -> float:
+        """Health of the device behind top-down reads (1.0 = no device)."""
+        return 1.0
+
+    def _effective_direction(self, direction: Direction) -> Direction:
+        """Final say on a level's direction (degraded-mode override)."""
+        return direction
+
+    def _active_scanners(self) -> list[BottomUpScanner]:
+        """Scanners the bottom-up step should use right now."""
+        return self._scanners
+
+    def _enter_degraded(self) -> bool:
+        """React to a mid-level device failure.
+
+        Returns ``True`` when the engine can continue in degraded mode
+        (bottom-up only, in-DRAM backward graph); the base engine has no
+        device, so a device failure reaching it is a bug — re-raise.
+        """
+        return False
+
+    @property
+    def degraded_mode(self) -> bool:
+        """Whether the engine has abandoned the device for this lifetime."""
+        return False
+
     def _io_counters(self) -> tuple[int, int, float]:
         """(requests, bytes, busy seconds) issued so far; none in DRAM."""
         return 0, 0, 0.0
@@ -165,22 +191,37 @@ class HybridBFS:
                     n_all=self.n_vertices,
                     frontier_edges=frontier_edges,
                     unvisited_edges=self._total_directed - visited_deg_sum,
+                    device_health=self._device_health(),
                 )
             )
+            direction = self._effective_direction(direction)
+            was_degraded = self.degraded_mode
             io_req0, io_bytes0, io_busy0 = self._io_counters()
             t_level0 = self.clock.now()
             wall = Timer()
             with total_wall, wall:
-                if direction is Direction.TOP_DOWN:
-                    next_queue, scanned_dram, scanned_nvm = top_down_step(
-                        self._top_down_shards(),
-                        state,
-                        self._think_time_s(),
-                        executor=self.executor,
-                    )
-                else:
+                try:
+                    if direction is Direction.TOP_DOWN:
+                        next_queue, scanned_dram, scanned_nvm = top_down_step(
+                            self._top_down_shards(),
+                            state,
+                            self._think_time_s(),
+                            executor=self.executor,
+                        )
+                    else:
+                        next_queue, scanned_dram, scanned_nvm = bottom_up_step(
+                            self._active_scanners(), state, executor=self.executor
+                        )
+                except DeviceFailedError:
+                    # The device died (or its breaker opened) mid-level.
+                    # No discovery was committed before the raise, so the
+                    # level re-runs bottom-up on the in-DRAM backward
+                    # graph; the attempts already paid are on the clock.
+                    if not self._enter_degraded():
+                        raise
+                    direction = Direction.BOTTOM_UP
                     next_queue, scanned_dram, scanned_nvm = bottom_up_step(
-                        self._scanners, state, executor=self.executor
+                        self._active_scanners(), state, executor=self.executor
                     )
             scanned = scanned_dram + scanned_nvm
             self._charge_level(
@@ -204,6 +245,7 @@ class HybridBFS:
                     nvm_requests=io_req1 - io_req0,
                     nvm_bytes=io_bytes1 - io_bytes0,
                     nvm_time_s=io_busy1 - io_busy0,
+                    degraded=was_degraded or self.degraded_mode,
                 )
             )
             visited_deg_sum += int(self._degrees[next_queue].sum())

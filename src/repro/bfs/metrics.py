@@ -53,6 +53,10 @@ class LevelTrace:
         Device requests issued by the level (0 for in-DRAM levels).
     nvm_time_s:
         Portion of ``modeled_time_s`` spent in device service.
+    degraded:
+        The level ran in degraded mode: the device circuit breaker was
+        open (or opened mid-level), so the level executed bottom-up on
+        the in-DRAM backward graph regardless of what the policy chose.
     """
 
     level: int
@@ -66,6 +70,7 @@ class LevelTrace:
     nvm_requests: int = 0
     nvm_bytes: int = 0
     nvm_time_s: float = 0.0
+    degraded: bool = False
 
     @property
     def avg_degree(self) -> float:
@@ -116,6 +121,11 @@ class BFSResult:
         for t in self.traces:
             out[t.direction] += 1
         return out
+
+    @property
+    def n_degraded_levels(self) -> int:
+        """Levels forced to bottom-up by an open device circuit."""
+        return sum(1 for t in self.traces if t.degraded)
 
     def teps(self, modeled: bool = False) -> float:
         """TEPS of this run (wall-clock by default, modeled on request)."""

@@ -58,6 +58,12 @@ class PolicyInputs:
         engine does not track degree sums).
     unvisited_edges:
         Out-edges of unvisited vertices (Beamer's ``m_u``).
+    device_health:
+        Health of the NVM device backing the top-down direction, in
+        ``[0, 1]`` (see
+        :meth:`repro.semiext.faults.DeviceHealthMonitor.health_score`).
+        ``1.0`` for DRAM-only engines; ``0.0`` means the circuit breaker
+        is open and top-down reads would fail.
     """
 
     level: int
@@ -67,6 +73,7 @@ class PolicyInputs:
     n_all: int
     frontier_edges: int = 0
     unvisited_edges: int = 0
+    device_health: float = 1.0
 
 
 class DirectionPolicy(ABC):
@@ -94,6 +101,13 @@ class AlphaBetaPolicy(DirectionPolicy):
         frontier shrinks below ``n_all / beta``.  The paper expresses β as
         a multiple of α (10·α … 0.1·α).
 
+    A degraded device (``inputs.device_health < 1``) scales both divisors
+    up by ``1 / health``, pushing the schedule further toward bottom-up —
+    the same lever the paper pulls statically when it tunes α from 1e4
+    (DRAM) to 1e6 (PCIe flash): the flakier the medium behind top-down,
+    the fewer levels should touch it.  With a healthy device the rule is
+    exactly the paper's.
+
     >>> p = AlphaBetaPolicy(alpha=1e4, beta=1e5)
     >>> p.decide(PolicyInputs(2, Direction.TOP_DOWN, 200, 50, 1 << 20))
     <Direction.BOTTOM_UP: 'bottom-up'>
@@ -102,6 +116,8 @@ class AlphaBetaPolicy(DirectionPolicy):
     alpha: float
     beta: float
 
+    _MIN_HEALTH = 1e-6  # keeps the divisors finite when the circuit opens
+
     def __post_init__(self) -> None:
         if self.alpha <= 0 or self.beta <= 0:
             raise ConfigurationError(
@@ -109,21 +125,24 @@ class AlphaBetaPolicy(DirectionPolicy):
             )
 
     def decide(self, inputs: PolicyInputs) -> Direction:
-        """Apply the paper's two threshold rules (§III-C)."""
+        """Apply the paper's two threshold rules (§III-C), health-scaled."""
         if inputs.level == 0:
             return Direction.TOP_DOWN  # the paper always starts top-down
+        health = min(max(inputs.device_health, self._MIN_HEALTH), 1.0)
+        alpha = self.alpha / health
+        beta = self.beta / health
         growing = inputs.n_frontier_prev < inputs.n_frontier
         shrinking = inputs.n_frontier_prev > inputs.n_frontier
         if (
             inputs.current is Direction.TOP_DOWN
             and growing
-            and inputs.n_frontier > inputs.n_all / self.alpha
+            and inputs.n_frontier > inputs.n_all / alpha
         ):
             return Direction.BOTTOM_UP
         if (
             inputs.current is Direction.BOTTOM_UP
             and shrinking
-            and inputs.n_frontier < inputs.n_all / self.beta
+            and inputs.n_frontier < inputs.n_all / beta
         ):
             return Direction.TOP_DOWN
         return inputs.current

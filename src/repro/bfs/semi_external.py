@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from repro.bfs.bottomup import BottomUpScanner
 from repro.bfs.hybrid import HybridBFS
+from repro.bfs.metrics import Direction
 from repro.bfs.policies import DirectionPolicy
 from repro.csr.io import ExternalCSR, offload_csr
 from repro.csr.partition import BackwardGraph, ForwardGraph
@@ -61,6 +62,7 @@ class SemiExternalBFS(HybridBFS):
         self.store = store
         self._external_shards = external_shards
         self._backward_scanners = backward_scanners
+        self._degraded = False
         # The engine and the storage layer must share one clock so DRAM and
         # NVM charges accumulate on the same axis.
         super().__init__(
@@ -115,21 +117,47 @@ class SemiExternalBFS(HybridBFS):
     def _make_scanners(self) -> list[BottomUpScanner]:
         # Called from the base constructor, before our fields exist; the
         # optional partial-offload scanners are swapped in lazily below.
+        # The in-DRAM scanners built here stay around as the degraded-
+        # mode fallback even when partial offload is configured.
         return super()._make_scanners()
 
     @property
     def scanners(self) -> list[BottomUpScanner]:
         """Active bottom-up scanners (partial offload when configured)."""
+        return self._active_scanners()
+
+    # -- resilience hooks ---------------------------------------------------------
+
+    def _device_health(self) -> float:
+        return self.store.health.health_score()
+
+    @property
+    def degraded_mode(self) -> bool:
+        """Whether the engine has fallen back to bottom-up-only traversal."""
+        return self._degraded or self.store.health.circuit_open
+
+    def _effective_direction(self, direction: Direction) -> Direction:
+        if self.degraded_mode:
+            # An open circuit means every NVM read would raise; the
+            # asymmetric layout makes correctness-preserving fallback
+            # possible because the *backward* graph is in DRAM — every
+            # level (the root expansion included) runs bottom-up there.
+            self._degraded = True
+            self.store.resilience.degraded_levels += 1
+            return Direction.BOTTOM_UP
+        return direction
+
+    def _active_scanners(self) -> list[BottomUpScanner]:
+        if self.degraded_mode:
+            return self._scanners  # in-DRAM scanners, zero NVM reads
         if self._backward_scanners is not None:
             return self._backward_scanners
         return self._scanners
 
-    def run(self, root: int, max_levels: int | None = None):
-        """Run one BFS (see :meth:`HybridBFS.run`), with the configured
-        partial-offload scanners installed when present."""
-        if self._backward_scanners is not None:
-            self._scanners = self._backward_scanners
-        return super().run(root, max_levels=max_levels)
+    def _enter_degraded(self) -> bool:
+        self._degraded = True
+        self.store.resilience.degraded_levels += 1
+        return True
 
     def _think_time_s(self) -> float:
         # CPU a reader thread spends digesting one 4 KB request's edges

@@ -142,7 +142,10 @@ def top_down_step(
         scans = [scan(s) for s in shards]
 
     # Commit phase: serial, in shard order — deterministic charges and
-    # discoveries regardless of scan interleaving.
+    # discoveries regardless of scan interleaving.  All charges are
+    # applied before any discovery is installed: a charge may raise
+    # (device failure under fault injection), and an un-mutated state
+    # lets the engine re-run the level bottom-up on the DRAM graph.
     next_parts: list[np.ndarray] = []
     scanned_dram = 0
     scanned_nvm = 0
@@ -153,6 +156,7 @@ def top_down_step(
             scanned_nvm += outcome.scanned
         else:
             scanned_dram += outcome.scanned
+    for outcome in scans:
         if outcome.winners.size:
             state.discover(outcome.winners, outcome.parents)
             next_parts.append(outcome.winners)

@@ -26,6 +26,17 @@ __all__ = ["main", "build_parser"]
 _SCENARIOS = {"dram": "DRAM_ONLY", "pcie": "DRAM_PCIE_FLASH", "ssd": "DRAM_SSD"}
 
 
+def _parse_faults(spec: str):
+    """argparse type for ``--faults``: a clean usage error, not a traceback."""
+    from repro.errors import ConfigurationError
+    from repro.semiext.faults import FaultPlan
+
+    try:
+        return FaultPlan.parse(spec)
+    except ConfigurationError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for tests and docs)."""
     p = argparse.ArgumentParser(
@@ -42,6 +53,15 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--roots", type=int, default=8)
     run.add_argument("--seed", type=int, default=None)
     run.add_argument("--no-validate", action="store_true")
+    run.add_argument(
+        "--faults",
+        type=_parse_faults,
+        default=None,
+        metavar="SPEC",
+        help="fault-injection plan for the CSR device, e.g. "
+             "'error_rate=0.02,gc_rate=0.01,gc_pause_ms=5,seed=7' "
+             "(semi-external scenarios only)",
+    )
 
     sweep = sub.add_parser("sweep", help="alpha x beta sweep (Figure 7 data)")
     sweep.add_argument("--scenario", choices=sorted(_SCENARIOS), default="dram")
@@ -106,6 +126,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
             args.scenario
         ]
     ]
+    if args.faults is not None:
+        from dataclasses import replace
+
+        from repro.errors import ConfigurationError
+
+        try:
+            scenario = replace(scenario, fault_plan=args.faults)
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     result = run_graph500(
         scenario,
         scale=args.scale,
@@ -124,6 +154,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(
             f"nvm:             {st.n_requests} reqs, "
             f"avgrq-sz={st.avgrq_sz:.1f} sectors, avgqu-sz={st.avgqu_sz():.1f}"
+        )
+    if scenario.fault_plan is not None and scenario.fault_plan.active:
+        from repro.analysis.resilience import ResilienceSummary
+
+        print()
+        print(
+            ResilienceSummary.from_parts(
+                result.resilience, result.health
+            ).format()
         )
     return 0
 

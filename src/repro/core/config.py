@@ -21,6 +21,7 @@ from repro.errors import ConfigurationError
 from repro.numa.topology import NumaTopology
 from repro.perfmodel.cost import DramCostModel
 from repro.semiext.device import DeviceModel
+from repro.semiext.faults import FaultPlan, RetryPolicy
 
 __all__ = ["ScenarioKind", "ScenarioConfig"]
 
@@ -62,6 +63,15 @@ class ScenarioConfig:
     io_mode:
         Storage submission mode: ``"sync"`` (the paper's per-worker
         ``read(2)``) or ``"async"`` (§VI-D's libaio-style aggregation).
+    fault_plan:
+        Optional seeded device-fault injection plan
+        (:class:`~repro.semiext.faults.FaultPlan`); attached to the CSR
+        store so the BFS phase exercises the resilient read path.
+        Degradation runs are first-class experiments: the pipeline
+        result carries their retry/backoff/circuit accounting.
+    retry:
+        Retry/backoff/timeout policy of the resilient read path
+        (defaults apply when ``None``).
     """
 
     name: str
@@ -74,11 +84,22 @@ class ScenarioConfig:
     topology: NumaTopology = NumaTopology(n_nodes=4, cores_per_node=12)
     cost_model: DramCostModel = DramCostModel()
     io_mode: str = "sync"
+    fault_plan: FaultPlan | None = None
+    retry: RetryPolicy | None = None
 
     def __post_init__(self) -> None:
         if self.kind is ScenarioKind.SEMI_EXTERNAL and self.device is None:
             raise ConfigurationError(
                 f"scenario {self.name!r} is semi-external but has no device"
+            )
+        if (
+            self.fault_plan is not None
+            and self.fault_plan.active
+            and self.kind is not ScenarioKind.SEMI_EXTERNAL
+        ):
+            raise ConfigurationError(
+                f"scenario {self.name!r} has a fault plan but no NVM tier "
+                "to inject faults into"
             )
         if self.io_mode not in ("sync", "async"):
             raise ConfigurationError(

@@ -33,6 +33,7 @@ from repro.graph500.driver import BenchmarkOutput, Graph500Driver
 from repro.graph500.edgelist import EdgeList
 from repro.graph500.io import pack_edges_48, unpack_edges_48
 from repro.graph500.kronecker import generate_edges
+from repro.semiext.faults import DeviceHealthMonitor, ResilienceStats
 from repro.semiext.iostats import IoStats
 from repro.semiext.storage import NVMStore
 from repro.util.timer import Timer
@@ -55,6 +56,11 @@ class PipelineResult:
     construction_time_s: float = 0.0
     """Wall time of benchmark Step 2 (reported by the official driver
     as ``construction_time``, excluded from TEPS)."""
+    resilience: ResilienceStats | None = None
+    """Retry/backoff/checksum accounting of the BFS-phase store (fault
+    runs; ``None`` for DRAM-only scenarios)."""
+    health: DeviceHealthMonitor | None = None
+    """Circuit-breaker state and transition history of the CSR device."""
 
     @property
     def median_teps(self) -> float:
@@ -119,6 +125,8 @@ def run_graph500(
             scenario.device,
             concurrency=topo.n_cores,
             io_mode=scenario.io_mode,
+            fault_plan=scenario.fault_plan,
+            retry=scenario.retry,
         )
         # Per §VI-D the paper isolates the edge list and the CSR files on
         # different devices so the BFS-phase iostat is unpolluted by
@@ -198,6 +206,8 @@ def run_graph500(
         construction_requests=construction_requests,
         construction_bytes=construction_bytes,
         construction_time_s=construction.elapsed,
+        resilience=store.resilience if store is not None else None,
+        health=store.health if store is not None else None,
     )
     if tmp is not None:
         tmp.cleanup()

@@ -13,6 +13,9 @@ __all__ = [
     "CapacityError",
     "ValidationError",
     "StorageError",
+    "TransientIOError",
+    "DeviceFailedError",
+    "ChecksumError",
     "GraphFormatError",
 ]
 
@@ -49,6 +52,36 @@ class ValidationError(ReproError):
 
 class StorageError(ReproError):
     """A semi-external storage operation failed (bad offset, closed file...)."""
+
+
+class TransientIOError(StorageError):
+    """A device read failed after exhausting its retry budget.
+
+    Raised by the resilient read path of :class:`repro.semiext.storage.NVMStore`
+    when a single request keeps failing transiently (injected EIO, timeout)
+    beyond :class:`repro.semiext.faults.RetryPolicy.max_retries`.  The time
+    spent on the failed attempts and their backoff waits has already been
+    charged to the simulated clock.
+    """
+
+
+class DeviceFailedError(StorageError):
+    """The NVM device is gone (hard failure or open circuit breaker).
+
+    Unlike :class:`TransientIOError` this is not worth retrying: the
+    engines react by falling back to bottom-up-only traversal on the
+    in-DRAM backward graph (degraded mode), which completes every BFS
+    correctly with zero further NVM reads.
+    """
+
+
+class ChecksumError(StorageError):
+    """Data read from the device failed per-chunk checksum verification.
+
+    Transient mismatches (torn reads) are retried and never surface; this
+    error means the mismatch persisted across the whole retry budget —
+    i.e. the backing file itself is corrupt.
+    """
 
 
 class GraphFormatError(ReproError):

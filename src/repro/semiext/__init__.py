@@ -24,6 +24,15 @@ from repro.semiext.device import (
     BatchResult,
     DeviceModel,
 )
+from repro.semiext.faults import (
+    CircuitState,
+    DeviceHealthMonitor,
+    FaultInjector,
+    FaultOutcome,
+    FaultPlan,
+    ResilienceStats,
+    RetryPolicy,
+)
 from repro.semiext.hierarchy import MemoryHierarchy, Placement, Tier
 from repro.semiext.iostats import IoStats, IoSample
 from repro.semiext.storage import DeferredCharge, ExternalArray, NVMStore
@@ -47,4 +56,11 @@ __all__ = [
     "MemoryHierarchy",
     "Placement",
     "Tier",
+    "FaultPlan",
+    "FaultOutcome",
+    "FaultInjector",
+    "RetryPolicy",
+    "CircuitState",
+    "DeviceHealthMonitor",
+    "ResilienceStats",
 ]

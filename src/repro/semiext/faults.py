@@ -1,0 +1,446 @@
+"""Fault injection and resilience primitives for the semi-external path.
+
+The paper's design bet is that semi-external BFS can live with a slow,
+flaky medium because the schedule is biased toward the in-DRAM bottom-up
+phase.  Real flash arrays misbehave in exactly the ways that bet must
+absorb — transient ``EIO`` on a read, multi-millisecond garbage-collection
+pauses, torn/short reads, and outright device death (FlashGraph and
+Graphyti both engineer around the same pathology).  This module supplies
+the pieces the storage layer composes into a resilient read path:
+
+* :class:`FaultPlan` — a declarative, seeded description of *what* to
+  inject (rates and timings).  Deterministic: one plan + one request
+  stream always produces one fault sequence.
+* :class:`FaultInjector` — the plan's runtime: draws a
+  :class:`FaultOutcome` per read attempt from its own seeded generator.
+* :class:`RetryPolicy` — bounded retries with capped exponential backoff
+  and an optional per-request timeout; every wait is charged to the
+  simulated clock so resilience costs time on the same axis as I/O.
+* :class:`DeviceHealthMonitor` — sliding-window error tracking with a
+  circuit breaker.  Its :meth:`~DeviceHealthMonitor.health_score` feeds
+  :class:`~repro.bfs.policies.PolicyInputs` (a degraded device pushes the
+  α/β schedule further toward bottom-up); an open circuit makes
+  :class:`~repro.bfs.semi_external.SemiExternalBFS` fall back to
+  bottom-up-only traversal on the in-DRAM backward graph.
+* :class:`ResilienceStats` — the accounting the analysis report prints
+  (retries, backoff time, checksum failures, GC-pause time).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "FaultPlan",
+    "FaultOutcome",
+    "FaultInjector",
+    "RetryPolicy",
+    "CircuitState",
+    "DeviceHealthMonitor",
+    "ResilienceStats",
+]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic, seeded description of device misbehaviour.
+
+    All rates are per *read attempt* (one device batch submission).
+
+    Parameters
+    ----------
+    seed:
+        Seed of the injector's private generator; the same plan replayed
+        against the same request stream reproduces the same faults.
+    error_rate:
+        Probability an attempt fails with a transient read error (the
+        modeled ``EIO``); the attempt's device time is still charged.
+    torn_rate:
+        Probability an attempt returns short/torn data.  The resilient
+        reader detects this via per-chunk checksums and retries.
+    gc_rate:
+        Probability an attempt stalls behind a flash garbage-collection
+        pause of ``gc_pause_s`` (charged to the simulated clock and to
+        the device's busy time, like a real GC stall under ``iostat``).
+    gc_pause_s:
+        Duration of one modeled GC pause (flash-translation-layer stalls
+        are typically 1–100 ms; default 5 ms).
+    fail_at_s:
+        Simulated time at which the device fails hard; every attempt at
+        or after this instant raises
+        :class:`~repro.errors.DeviceFailedError`.  ``None`` = never.
+    """
+
+    seed: int = 0
+    error_rate: float = 0.0
+    torn_rate: float = 0.0
+    gc_rate: float = 0.0
+    gc_pause_s: float = 5e-3
+    fail_at_s: float | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("error_rate", "torn_rate", "gc_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1]: {rate}")
+        if self.error_rate + self.torn_rate > 1.0:
+            raise ConfigurationError(
+                f"error_rate + torn_rate must be <= 1: "
+                f"{self.error_rate} + {self.torn_rate}"
+            )
+        if self.gc_pause_s < 0:
+            raise ConfigurationError(f"negative gc_pause_s: {self.gc_pause_s}")
+        if self.fail_at_s is not None and self.fail_at_s < 0:
+            raise ConfigurationError(f"negative fail_at_s: {self.fail_at_s}")
+
+    @property
+    def active(self) -> bool:
+        """Whether this plan injects anything at all."""
+        return (
+            self.error_rate > 0
+            or self.torn_rate > 0
+            or self.gc_rate > 0
+            or self.fail_at_s is not None
+        )
+
+    @classmethod
+    def none(cls) -> "FaultPlan":
+        """The empty plan (nothing injected)."""
+        return cls()
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Parse a CLI fault spec into a plan.
+
+        The grammar is a comma-separated ``key=value`` list over the plan
+        fields, with ``gc_pause_ms`` accepted as a convenience::
+
+            error_rate=0.02,gc_rate=0.01,gc_pause_ms=5,seed=7
+            fail_at_s=0.25,seed=3
+            none
+
+        >>> FaultPlan.parse("error_rate=0.05,seed=9").error_rate
+        0.05
+        """
+        spec = spec.strip()
+        if spec in ("", "none"):
+            return cls.none()
+        kwargs: dict[str, float | int | None] = {}
+        for item in spec.split(","):
+            if "=" not in item:
+                raise ConfigurationError(
+                    f"fault spec item {item!r} is not key=value"
+                )
+            key, _, value = item.partition("=")
+            key = key.strip()
+            value = value.strip()
+            try:
+                if key == "seed":
+                    kwargs["seed"] = int(value)
+                elif key == "gc_pause_ms":
+                    kwargs["gc_pause_s"] = float(value) / 1e3
+                elif key in ("error_rate", "torn_rate", "gc_rate",
+                             "gc_pause_s", "fail_at_s"):
+                    kwargs[key] = float(value)
+                else:
+                    raise ConfigurationError(
+                        f"unknown fault spec key {key!r} "
+                        "(expected error_rate, torn_rate, gc_rate, "
+                        "gc_pause_s/gc_pause_ms, fail_at_s, seed)"
+                    )
+            except ValueError:
+                raise ConfigurationError(
+                    f"bad value for fault spec key {key!r}: {value!r}"
+                ) from None
+        return cls(**kwargs)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class FaultOutcome:
+    """What the injector decided for one read attempt."""
+
+    transient: bool = False
+    torn: bool = False
+    gc_pause_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """Whether the attempt succeeds (a GC pause alone still succeeds)."""
+        return not (self.transient or self.torn)
+
+
+_OK = FaultOutcome()
+
+
+class FaultInjector:
+    """Runtime of a :class:`FaultPlan`: one seeded draw per read attempt.
+
+    The injector owns a private :class:`numpy.random.Generator`, so the
+    fault sequence depends only on ``(plan.seed, attempt number)`` — never
+    on wall time or interleaving (the store serializes attempts under its
+    charge lock).
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._rng = np.random.default_rng(plan.seed)
+        self.n_draws = 0
+
+    def hard_failed(self, now_s: float) -> bool:
+        """Whether the device is hard-failed at simulated time ``now_s``."""
+        return self.plan.fail_at_s is not None and now_s >= self.plan.fail_at_s
+
+    def draw(self) -> FaultOutcome:
+        """Decide the fate of the next read attempt."""
+        plan = self.plan
+        self.n_draws += 1
+        u = float(self._rng.random())
+        transient = u < plan.error_rate
+        torn = (not transient) and u < plan.error_rate + plan.torn_rate
+        pause = 0.0
+        if plan.gc_rate > 0 and float(self._rng.random()) < plan.gc_rate:
+            pause = plan.gc_pause_s
+        if not (transient or torn or pause):
+            return _OK
+        return FaultOutcome(transient=transient, torn=torn, gc_pause_s=pause)
+
+    def __repr__(self) -> str:
+        return f"FaultInjector({self.plan!r}, draws={self.n_draws})"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with capped exponential backoff.
+
+    Parameters
+    ----------
+    max_retries:
+        Failed attempts retried before the error escalates (a request is
+        tried at most ``max_retries + 1`` times).
+    backoff_base_s:
+        Wait before the first retry.
+    backoff_multiplier:
+        Growth factor per subsequent retry.
+    backoff_max_s:
+        Cap on any single backoff wait.
+    timeout_s:
+        Per-attempt deadline on *modeled* time (service + GC stall); an
+        attempt exceeding it counts as a transient failure and is
+        retried.  ``None`` disables the deadline.
+    """
+
+    max_retries: int = 4
+    backoff_base_s: float = 100e-6
+    backoff_multiplier: float = 2.0
+    backoff_max_s: float = 50e-3
+    timeout_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigurationError(f"negative max_retries: {self.max_retries}")
+        if self.backoff_base_s < 0:
+            raise ConfigurationError(f"negative backoff: {self.backoff_base_s}")
+        if self.backoff_multiplier < 1.0:
+            raise ConfigurationError(
+                f"backoff_multiplier must be >= 1: {self.backoff_multiplier}"
+            )
+        if self.backoff_max_s < self.backoff_base_s:
+            raise ConfigurationError(
+                f"backoff_max_s ({self.backoff_max_s}) must be >= "
+                f"backoff_base_s ({self.backoff_base_s})"
+            )
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ConfigurationError(f"timeout_s must be positive: {self.timeout_s}")
+
+    def backoff_s(self, attempt: int) -> float:
+        """Backoff wait after failed attempt number ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ConfigurationError(f"attempt must be >= 1: {attempt}")
+        wait = self.backoff_base_s * self.backoff_multiplier ** (attempt - 1)
+        return min(wait, self.backoff_max_s)
+
+
+class CircuitState(enum.Enum):
+    """Health classification of one device."""
+
+    CLOSED = "closed"
+    DEGRADED = "degraded"
+    OPEN = "open"
+
+
+class DeviceHealthMonitor:
+    """Sliding-window device health tracking with a circuit breaker.
+
+    Every read attempt reports success or failure; the monitor keeps the
+    last ``window`` outcomes and classifies the device:
+
+    * ``CLOSED`` — error rate below ``degraded_error_rate``;
+    * ``DEGRADED`` — elevated error rate; :meth:`health_score` drops below
+      1.0, biasing the α/β schedule further toward bottom-up;
+    * ``OPEN`` — a hard failure was reported, or the windowed error rate
+      reached ``open_error_rate``.  Open is terminal for the run: further
+      reads are refused (:class:`~repro.errors.DeviceFailedError`) and
+      the engine completes in bottom-up-only degraded mode.
+
+    ``open_error_rate=None`` disables rate-based tripping (the breaker
+    then opens only on hard failure) — useful when transient faults must
+    be absorbed without ever abandoning the device.
+    """
+
+    def __init__(
+        self,
+        window: int = 64,
+        min_samples: int = 8,
+        degraded_error_rate: float = 0.05,
+        open_error_rate: float | None = 0.5,
+    ) -> None:
+        if window < 1:
+            raise ConfigurationError(f"window must be >= 1: {window}")
+        if min_samples < 1:
+            raise ConfigurationError(f"min_samples must be >= 1: {min_samples}")
+        if not 0.0 < degraded_error_rate <= 1.0:
+            raise ConfigurationError(
+                f"degraded_error_rate must be in (0, 1]: {degraded_error_rate}"
+            )
+        if open_error_rate is not None and not 0.0 < open_error_rate <= 1.0:
+            raise ConfigurationError(
+                f"open_error_rate must be in (0, 1] or None: {open_error_rate}"
+            )
+        self.window = int(window)
+        self.min_samples = int(min_samples)
+        self.degraded_error_rate = float(degraded_error_rate)
+        self.open_error_rate = (
+            None if open_error_rate is None else float(open_error_rate)
+        )
+        self._outcomes: deque[bool] = deque(maxlen=self.window)
+        self.state = CircuitState.CLOSED
+        self.transitions: list[tuple[float, CircuitState]] = []
+        self.n_successes = 0
+        self.n_errors = 0
+
+    # -- reporting attempts ----------------------------------------------------
+
+    def record_success(self, now_s: float) -> None:
+        """One read attempt succeeded."""
+        self.n_successes += 1
+        self._outcomes.append(True)
+        self._reclassify(now_s)
+
+    def record_error(self, now_s: float) -> None:
+        """One read attempt failed transiently."""
+        self.n_errors += 1
+        self._outcomes.append(False)
+        self._reclassify(now_s)
+
+    def record_hard_failure(self, now_s: float) -> None:
+        """The device failed hard; the circuit opens immediately."""
+        self.n_errors += 1
+        self._outcomes.append(False)
+        self._transition(CircuitState.OPEN, now_s)
+
+    # -- classification --------------------------------------------------------
+
+    @property
+    def error_rate(self) -> float:
+        """Error fraction over the sliding window."""
+        if not self._outcomes:
+            return 0.0
+        return 1.0 - sum(self._outcomes) / len(self._outcomes)
+
+    @property
+    def circuit_open(self) -> bool:
+        """Whether the breaker refuses further device reads."""
+        return self.state is CircuitState.OPEN
+
+    def health_score(self) -> float:
+        """Device health in [0, 1] for the direction policy.
+
+        1.0 = healthy, 0.0 = open circuit; in between, the complement of
+        the windowed error rate.
+        """
+        if self.circuit_open:
+            return 0.0
+        return max(0.0, 1.0 - self.error_rate)
+
+    def _reclassify(self, now_s: float) -> None:
+        if self.circuit_open:  # open is terminal
+            return
+        if len(self._outcomes) < self.min_samples:
+            return
+        rate = self.error_rate
+        if self.open_error_rate is not None and rate >= self.open_error_rate:
+            self._transition(CircuitState.OPEN, now_s)
+        elif rate >= self.degraded_error_rate:
+            self._transition(CircuitState.DEGRADED, now_s)
+        else:
+            self._transition(CircuitState.CLOSED, now_s)
+
+    def _transition(self, state: CircuitState, now_s: float) -> None:
+        if state is self.state:
+            return
+        self.state = state
+        self.transitions.append((float(now_s), state))
+
+    def reset(self) -> None:
+        """Forget all history and close the circuit."""
+        self._outcomes.clear()
+        self.state = CircuitState.CLOSED
+        self.transitions.clear()
+        self.n_successes = 0
+        self.n_errors = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"DeviceHealthMonitor(state={self.state.value}, "
+            f"error_rate={self.error_rate:.3f}, "
+            f"attempts={self.n_successes + self.n_errors})"
+        )
+
+
+@dataclass
+class ResilienceStats:
+    """Accounting of the resilient read path (one store's lifetime).
+
+    ``n_attempts`` counts every device batch submission, including the
+    ones that failed; the device is charged exactly once per attempt, so
+    ``IoStats`` request/byte totals grow with retries.  Backoff waits are
+    host-side time (simulated clock only); GC pauses are device-side
+    stalls (clock *and* iostat busy time).
+    """
+
+    n_attempts: int = 0
+    n_retries: int = 0
+    n_transient_errors: int = 0
+    n_torn_reads: int = 0
+    n_checksum_failures: int = 0
+    n_timeouts: int = 0
+    n_gc_pauses: int = 0
+    n_hard_failures: int = 0
+    n_refused_reads: int = 0
+    backoff_time_s: float = 0.0
+    gc_pause_time_s: float = 0.0
+    degraded_levels: int = 0
+
+    @property
+    def n_errors(self) -> int:
+        """Failed attempts of any transient kind."""
+        return self.n_transient_errors + self.n_torn_reads + self.n_timeouts
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        for f in self.__dataclass_fields__:
+            setattr(self, f, type(getattr(self, f))())
+
+    def __repr__(self) -> str:
+        return (
+            f"ResilienceStats(attempts={self.n_attempts}, "
+            f"retries={self.n_retries}, "
+            f"backoff={self.backoff_time_s:.6f}s, "
+            f"gc={self.gc_pause_time_s:.6f}s)"
+        )

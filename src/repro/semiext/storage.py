@@ -22,14 +22,28 @@ what they cost.
 from __future__ import annotations
 
 import threading
+import zlib
 from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
 
-from repro.errors import ConfigurationError, StorageError
+from repro.errors import (
+    ChecksumError,
+    ConfigurationError,
+    DeviceFailedError,
+    StorageError,
+    TransientIOError,
+)
 from repro.semiext.clock import SimulatedClock
 from repro.semiext.device import BatchResult, DeviceModel
+from repro.semiext.faults import (
+    FaultInjector,
+    FaultPlan,
+    DeviceHealthMonitor,
+    ResilienceStats,
+    RetryPolicy,
+)
 from repro.semiext.iostats import IoStats
 from repro.util.chunking import (
     DEFAULT_CHUNK_BYTES,
@@ -77,6 +91,20 @@ class NVMStore:
         aggregating small I/O with ``libaio``: the level's whole request
         batch is submitted at device queue depth, CPU think time overlaps
         I/O, and throughput reaches the device's saturation rate.
+    fault_plan:
+        Optional seeded :class:`~repro.semiext.faults.FaultPlan`; when it
+        injects anything, reads go through the resilient path (bounded
+        retries, checksum verification, circuit breaker).
+    retry:
+        Retry/backoff/timeout policy of the resilient path (defaults to
+        :class:`~repro.semiext.faults.RetryPolicy`'s defaults).
+    verify_checksums:
+        Verify per-chunk CRC32 checksums on every device read.  Defaults
+        to on when a fault plan is active, off otherwise (the fault-free
+        fast path is unchanged).
+    health:
+        Device health monitor / circuit breaker; a default-configured
+        :class:`~repro.semiext.faults.DeviceHealthMonitor` when omitted.
     """
 
     def __init__(
@@ -89,6 +117,10 @@ class NVMStore:
         max_request_bytes: int = DEFAULT_MAX_MERGED_BYTES,
         page_cache_bytes: int = 0,
         io_mode: str = "sync",
+        fault_plan: FaultPlan | None = None,
+        retry: RetryPolicy | None = None,
+        verify_checksums: bool | None = None,
+        health: DeviceHealthMonitor | None = None,
     ) -> None:
         if io_mode not in ("sync", "async"):
             raise ConfigurationError(
@@ -129,6 +161,21 @@ class NVMStore:
         self._resident: dict[str, np.ndarray] = {}  # file_key -> page bools
         self._resident_bytes = 0
         self._arrays: dict[str, "ExternalArray"] = {}
+        self.fault_plan = fault_plan
+        self.injector = (
+            FaultInjector(fault_plan)
+            if fault_plan is not None and fault_plan.active
+            else None
+        )
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.verify_checksums = (
+            self.injector is not None
+            if verify_checksums is None
+            else bool(verify_checksums)
+        )
+        self.health = health if health is not None else DeviceHealthMonitor()
+        self.resilience = ResilienceStats()
+        self._checksums: dict[str, np.ndarray] = {}  # file_key -> page CRC32s
         # Charging mutates the clock, the iostat meters and the page
         # cache; a lock keeps concurrent shard workers (see
         # repro.bfs.parallel) from corrupting them.
@@ -150,6 +197,10 @@ class NVMStore:
         arr.tofile(path)
         ext = ExternalArray(self, name, path, arr.dtype, arr.shape)
         self._arrays[name] = ext
+        if self.verify_checksums:
+            self._checksums[name] = _page_checksums(
+                arr.reshape(-1).view(np.uint8), self.chunk_bytes
+            )
         return ext
 
     def get_array(self, name: str) -> "ExternalArray":
@@ -165,6 +216,7 @@ class NVMStore:
         ext.close()
         ext.path.unlink(missing_ok=True)
         del self._arrays[name]
+        self._checksums.pop(name, None)
 
     @property
     def nbytes(self) -> int:
@@ -221,6 +273,11 @@ class NVMStore:
             plan = self._filter_cached(plan, file_key, density)
             if plan.n_requests == 0:
                 return 0.0
+        return self._service_resilient(plan, think_time_s, file_key)
+
+    def _service_once(self, plan, think_time_s: float) -> BatchResult:
+        """Solve one batch submission through the device model (no side
+        effects on clock or iostats)."""
         if self.io_mode == "async":
             # libaio-style aggregation (§VI-D): many small reads are
             # coalesced into scatter-gather submissions of
@@ -230,27 +287,161 @@ class NVMStore:
             agg = self.max_request_bytes
             n_sub = max(1, -(-plan.total_bytes // agg))
             x = self.device.saturation_iops(plan.total_bytes / n_sub)
-            result = BatchResult(
+            return BatchResult(
                 elapsed_s=n_sub / x,
                 mean_queue=float(self.device.channels),
                 throughput_iops=x,
             )
-        else:
-            result = self.device.submit(
-                n_requests=plan.n_requests,
-                total_bytes=plan.total_bytes,
-                concurrency=self.concurrency,
-                think_time_s=think_time_s,
-            )
-        t0 = self.clock.now()
-        self.clock.advance(result.elapsed_s)
-        self.iostats.record_batch(
-            t_start_s=t0,
-            duration_s=result.elapsed_s,
-            request_sizes=plan.sizes,
-            mean_queue=result.mean_queue,
+        return self.device.submit(
+            n_requests=plan.n_requests,
+            total_bytes=plan.total_bytes,
+            concurrency=self.concurrency,
+            think_time_s=think_time_s,
         )
-        return result.elapsed_s
+
+    def _service_resilient(self, plan, think_time_s: float, file_key: str) -> float:
+        """Service a merged request batch, absorbing injected faults.
+
+        Each *attempt* charges the device exactly once — full service
+        time plus any GC stall enters the clock and the iostat busy/
+        request accounting, because the device really did the work before
+        erroring.  Backoff waits between attempts advance the clock only
+        (the host is waiting; the device is idle).  Raises
+        :class:`~repro.errors.DeviceFailedError` when the device is hard-
+        failed or the circuit breaker is open,
+        :class:`~repro.errors.TransientIOError` /
+        :class:`~repro.errors.ChecksumError` when the retry budget is
+        exhausted.
+        """
+        injector = self.injector
+        if injector is None and not self.verify_checksums:
+            # Fault-free fast path: identical to the pre-resilience store.
+            result = self._service_once(plan, think_time_s)
+            t0 = self.clock.now()
+            self.clock.advance(result.elapsed_s)
+            self.iostats.record_batch(
+                t_start_s=t0,
+                duration_s=result.elapsed_s,
+                request_sizes=plan.sizes,
+                mean_queue=result.mean_queue,
+            )
+            return result.elapsed_s
+
+        retry = self.retry
+        res = self.resilience
+        t_begin = self.clock.now()
+        attempt = 0
+        while True:
+            now = self.clock.now()
+            if self.health.circuit_open:
+                res.n_refused_reads += 1
+                raise DeviceFailedError(
+                    f"device {self.device.name!r}: circuit breaker open "
+                    f"at t={now:.6f}s; read of {file_key!r} refused"
+                )
+            if injector is not None and injector.hard_failed(now):
+                res.n_hard_failures += 1
+                self.health.record_hard_failure(now)
+                raise DeviceFailedError(
+                    f"device {self.device.name!r} failed hard at "
+                    f"t={now:.6f}s (fail_at_s="
+                    f"{injector.plan.fail_at_s}); read of {file_key!r} lost"
+                )
+            attempt += 1
+            res.n_attempts += 1
+            outcome = injector.draw() if injector is not None else None
+            stall_s = outcome.gc_pause_s if outcome is not None else 0.0
+            if stall_s > 0.0:
+                res.n_gc_pauses += 1
+                res.gc_pause_time_s += stall_s
+            result = self._service_once(plan, think_time_s)
+            attempt_s = result.elapsed_s + stall_s
+            # The device is charged once per attempt: GC stall included
+            # in busy time, exactly as iostat would observe the stall.
+            t0 = self.clock.now()
+            self.clock.advance(attempt_s)
+            self.iostats.record_batch(
+                t_start_s=t0,
+                duration_s=attempt_s,
+                request_sizes=plan.sizes,
+                mean_queue=result.mean_queue,
+            )
+            error: str | None = None
+            if outcome is not None and outcome.transient:
+                res.n_transient_errors += 1
+                error = "transient read error"
+            elif retry.timeout_s is not None and attempt_s > retry.timeout_s:
+                res.n_timeouts += 1
+                error = (
+                    f"request timeout ({attempt_s:.6f}s > "
+                    f"{retry.timeout_s:.6f}s)"
+                )
+            elif outcome is not None and outcome.torn:
+                res.n_torn_reads += 1
+                res.n_checksum_failures += 1
+                error = "torn read (checksum mismatch)"
+            elif self.verify_checksums and not self._verify_pages(file_key, plan):
+                res.n_checksum_failures += 1
+                error = "persistent checksum mismatch"
+            if error is None:
+                self.health.record_success(self.clock.now())
+                return self.clock.now() - t_begin
+            self.health.record_error(self.clock.now())
+            if attempt > retry.max_retries:
+                message = (
+                    f"read of {file_key!r} on {self.device.name!r} failed "
+                    f"after {attempt} attempts: {error}"
+                )
+                if error == "persistent checksum mismatch":
+                    # Every attempt re-read the same bad bytes: the
+                    # backing file is corrupt, not the transfer.
+                    raise ChecksumError(message)
+                raise TransientIOError(message)
+            wait = retry.backoff_s(attempt)
+            self.clock.advance(wait)
+            res.n_retries += 1
+            res.backoff_time_s += wait
+
+    def _verify_pages(self, file_key: str, plan) -> bool:
+        """Recompute CRC32s of the pages a device batch touched.
+
+        Returns ``True`` when every touched page matches the checksum
+        recorded at :meth:`put_array` time (or when no checksums exist
+        for this key — raw ``charge`` calls and trace replays have no
+        backing data to verify).
+        """
+        sums = self._checksums.get(file_key)
+        if sums is None or sums.size == 0:
+            return True
+        array = self._arrays.get(file_key)
+        if array is None or array._mm is None or array.size == 0:
+            return True
+        data = array._memmap().reshape(-1).view(np.uint8)
+        pb = self.chunk_bytes
+        first = plan.offsets // pb
+        count = (plan.offsets + plan.sizes + pb - 1) // pb - first
+        pages = np.unique(concat_ranges(first, count))
+        pages = pages[pages < sums.size]
+        for p in pages:
+            lo = int(p) * pb
+            hi = min(lo + pb, data.size)
+            if zlib.crc32(data[lo:hi].tobytes()) != int(sums[p]):
+                return False
+        return True
+
+    def checksum_array(self, name: str) -> np.ndarray:
+        """(Re)compute and install the per-chunk checksums of an array.
+
+        Returns the CRC32 array (one ``uint32`` per ``chunk_bytes``
+        page).  Called automatically by :meth:`put_array` when
+        ``verify_checksums`` is on; call it directly to protect arrays
+        offloaded before verification was enabled.
+        """
+        ext = self.get_array(name)
+        data = ext.to_ndarray().reshape(-1).view(np.uint8)
+        sums = _page_checksums(data, self.chunk_bytes)
+        self._checksums[name] = sums
+        return sums
 
     def _filter_cached(self, plan, file_key: str, density: float = 1.0):
         """Split the page-aligned request stream against the page cache.
@@ -311,11 +502,33 @@ class NVMStore:
     def __contains__(self, name: str) -> bool:
         return name in self._arrays
 
+    def reset_faults(self) -> None:
+        """Reset injector draws, health history and resilience counters.
+
+        The fault *plan* stays attached; use this between experiment
+        repetitions that must observe the identical fault sequence.
+        """
+        if self.fault_plan is not None and self.fault_plan.active:
+            self.injector = FaultInjector(self.fault_plan)
+        self.health.reset()
+        self.resilience = ResilienceStats()
+
     def __repr__(self) -> str:
         return (
             f"NVMStore(root={str(self.root)!r}, device={self.device.name!r}, "
             f"arrays={len(self._arrays)}, nbytes={self.nbytes})"
         )
+
+
+def _page_checksums(data: np.ndarray, page_bytes: int) -> np.ndarray:
+    """CRC32 per ``page_bytes`` page of a flat ``uint8`` array."""
+    n_pages = -(-data.size // page_bytes) if data.size else 0
+    sums = np.empty(n_pages, dtype=np.uint32)
+    for p in range(n_pages):
+        lo = p * page_bytes
+        hi = min(lo + page_bytes, data.size)
+        sums[p] = zlib.crc32(data[lo:hi].tobytes())
+    return sums
 
 
 @dataclass(frozen=True)
@@ -395,6 +608,46 @@ class ExternalArray:
         if self._mm is None:
             raise StorageError(f"array {self.name!r} is closed")
         return self._mm
+
+    def reopen(self) -> None:
+        """Validate the backing file and (re)establish the memmap.
+
+        The public recovery path after anything touched the file behind
+        the mapping's back: checks the file exists and still holds
+        exactly ``nbytes`` before mapping, so truncation surfaces as a
+        typed :class:`~repro.errors.StorageError` instead of a later
+        memmap ``ValueError`` (or, worse, silent garbage).  When the
+        owning store verifies checksums, the file content is re-verified
+        against the recorded CRCs too.  Idempotent; also reopens a
+        previously :meth:`close`-d handle.
+        """
+        if self.size == 0:
+            self._mm = np.empty(0, dtype=self.dtype)
+            return
+        if not self.path.exists():
+            raise StorageError(
+                f"array {self.name!r}: backing file {self.path} is missing"
+            )
+        actual = self.path.stat().st_size
+        if actual != self.nbytes:
+            raise StorageError(
+                f"array {self.name!r}: backing file holds {actual} bytes, "
+                f"expected {self.nbytes} (truncated or overwritten)"
+            )
+        self._mm = np.memmap(
+            self.path, dtype=self.dtype, mode="r", shape=self.shape
+        )
+        recorded = self.store._checksums.get(self.name)
+        if recorded is not None:
+            fresh = _page_checksums(
+                self._mm.reshape(-1).view(np.uint8), self.store.chunk_bytes
+            )
+            if not np.array_equal(fresh, recorded):
+                bad = int(np.flatnonzero(fresh != recorded)[0])
+                raise ChecksumError(
+                    f"array {self.name!r}: page {bad} failed checksum "
+                    f"verification on reopen"
+                )
 
     # -- charged reads ----------------------------------------------------------
 

@@ -27,16 +27,29 @@ class TestStorageFailures:
     def test_truncated_value_file_detected(self, small_graph, store):
         _, csr = small_graph
         ext = offload_csr(csr, store, "g")
-        # Truncate the backing file behind the memmap's back, then force a
-        # fresh mapping: reads must fail loudly, not return garbage.
+        # Truncate the backing file behind the memmap's back, then ask for
+        # a fresh mapping: reads must fail loudly, not return garbage.
         path = ext.value.path
         ext.value.close()
         with open(path, "r+b") as f:
             f.truncate(8)
-        with pytest.raises((StorageError, ValueError)):
-            ext.value._mm = np.memmap(
-                path, dtype=ext.value.dtype, mode="r", shape=ext.value.shape
-            )
+        with pytest.raises(StorageError, match="truncated"):
+            ext.value.reopen()
+
+    def test_missing_backing_file_detected(self, store):
+        ext = store.put_array("gone", np.arange(32, dtype=np.int64))
+        path = ext.path
+        ext.close()
+        path.unlink()
+        with pytest.raises(StorageError, match="missing"):
+            ext.reopen()
+
+    def test_reopen_intact_file_roundtrips(self, store):
+        data = np.arange(64, dtype=np.int64)
+        ext = store.put_array("ok", data)
+        ext.close()
+        ext.reopen()
+        np.testing.assert_array_equal(ext.to_ndarray(), data)
 
     def test_read_after_drop_raises(self, store):
         ext = store.put_array("a", np.arange(16, dtype=np.int64))

@@ -1,0 +1,555 @@
+"""Resilient read path, fault injection, and degraded-mode tests.
+
+The invariant under test everywhere: injected faults cost *time* (clock,
+backoff, iostat busy) but never *correctness* — parent trees from faulted
+runs are bit-identical to fault-free runs, and even a dead device only
+degrades the engine to bottom-up-only traversal, never to a wrong answer.
+
+CI runs this module once per seed in ``REPRO_FAULT_SEEDS`` (default
+``7,19,101``); locally all three run in one invocation.
+"""
+
+import os
+import tempfile
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.resilience import ResilienceSummary
+from repro.bfs import AlphaBetaPolicy, HybridBFS, SemiExternalBFS
+from repro.bfs.metrics import Direction
+from repro.bfs.policies import PolicyInputs
+from repro.csr import BackwardGraph, ForwardGraph, build_csr
+from repro.errors import (
+    ChecksumError,
+    ConfigurationError,
+    DeviceFailedError,
+    TransientIOError,
+)
+from repro.graph500 import EdgeList, generate_edges, validate_bfs_tree
+from repro.numa import NumaTopology
+from repro.semiext import NVMStore, PCIE_FLASH
+from repro.semiext.faults import (
+    CircuitState,
+    DeviceHealthMonitor,
+    FaultInjector,
+    FaultPlan,
+    RetryPolicy,
+)
+
+FAULT_SEEDS = [
+    int(s)
+    for s in os.environ.get("REPRO_FAULT_SEEDS", "7,19,101").split(",")
+    if s.strip()
+]
+
+
+class _SteadyHealth(DeviceHealthMonitor):
+    """Monitor whose health score never dips below 1 (unless open).
+
+    Pins the α/β schedule to the fault-free one, isolating the
+    bit-identical-trees property from the (intentional) health-biased
+    direction switching.
+    """
+
+    def health_score(self) -> float:
+        return 0.0 if self.circuit_open else 1.0
+
+
+@pytest.fixture(scope="module")
+def graph():
+    el = EdgeList(generate_edges(8, seed=11), 1 << 8)
+    csr = build_csr(el)
+    topo = NumaTopology(2)
+    root = int(np.flatnonzero(csr.degrees() > 0)[0])
+    return el, csr, ForwardGraph(csr, topo), BackwardGraph(csr, topo), root
+
+
+def _offloaded_engine(graph, workdir, fault_plan=None, retry=None, health=None,
+                      alpha=10.0, beta=10.0):
+    _, _, fwd, bwd, _ = graph
+    store = NVMStore(
+        workdir,
+        PCIE_FLASH,
+        concurrency=8,
+        fault_plan=fault_plan,
+        retry=retry,
+        health=health,
+    )
+    engine = SemiExternalBFS.offload(
+        fwd, bwd, AlphaBetaPolicy(alpha, beta), store
+    )
+    return engine, store
+
+
+@pytest.fixture(scope="module")
+def baseline_parent(graph, tmp_path_factory):
+    """Fault-free semi-external parent tree (the property-test reference)."""
+    _, _, _, _, root = graph
+    engine, _ = _offloaded_engine(
+        graph, tmp_path_factory.mktemp("baseline")
+    )
+    return engine.run(root).parent.copy()
+
+
+class TestFaultPlan:
+    def test_parse_roundtrip(self):
+        plan = FaultPlan.parse("error_rate=0.02,gc_rate=0.01,gc_pause_ms=5,seed=7")
+        assert plan == FaultPlan(
+            seed=7, error_rate=0.02, gc_rate=0.01, gc_pause_s=5e-3
+        )
+
+    def test_parse_none_and_empty(self):
+        assert not FaultPlan.parse("none").active
+        assert not FaultPlan.parse("").active
+        assert FaultPlan.none() == FaultPlan()
+
+    def test_parse_fail_at(self):
+        plan = FaultPlan.parse("fail_at_s=0.25,seed=3")
+        assert plan.fail_at_s == 0.25
+        assert plan.active
+
+    @pytest.mark.parametrize("spec", [
+        "bogus=1", "error_rate", "error_rate=x", "error_rate=1.5",
+        "error_rate=0.7,torn_rate=0.7",
+    ])
+    def test_parse_rejects(self, spec):
+        with pytest.raises(ConfigurationError):
+            FaultPlan.parse(spec)
+
+    def test_injector_is_deterministic(self):
+        plan = FaultPlan(seed=42, error_rate=0.3, torn_rate=0.2, gc_rate=0.4)
+        a, b = FaultInjector(plan), FaultInjector(plan)
+        outcomes = [(a.draw(), b.draw()) for _ in range(200)]
+        assert all(x == y for x, y in outcomes)
+        assert any(not x.ok for x, _ in outcomes)
+        assert any(x.gc_pause_s > 0 for x, _ in outcomes)
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_and_caps(self):
+        p = RetryPolicy(backoff_base_s=1e-3, backoff_multiplier=2.0,
+                        backoff_max_s=5e-3)
+        assert p.backoff_s(1) == 1e-3
+        assert p.backoff_s(2) == 2e-3
+        assert p.backoff_s(3) == 4e-3
+        assert p.backoff_s(4) == 5e-3  # capped
+        assert p.backoff_s(10) == 5e-3
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(backoff_multiplier=0.5)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(backoff_base_s=2.0, backoff_max_s=1.0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(timeout_s=0.0)
+
+
+class TestDeviceHealthMonitor:
+    def test_degrades_then_opens_on_error_rate(self):
+        m = DeviceHealthMonitor(window=16, min_samples=4,
+                                degraded_error_rate=0.25, open_error_rate=0.75)
+        for t in range(4):
+            m.record_success(float(t))
+        assert m.state is CircuitState.CLOSED
+        m.record_error(4.0)
+        m.record_error(5.0)  # 2/6 = 0.33 >= 0.25 -> DEGRADED
+        assert m.state is CircuitState.DEGRADED
+        assert 0.0 < m.health_score() < 1.0
+        for t in range(6, 20):
+            m.record_error(float(t))
+        assert m.circuit_open
+        assert m.health_score() == 0.0
+        states = [s for _, s in m.transitions]
+        assert states == [CircuitState.DEGRADED, CircuitState.OPEN]
+
+    def test_open_is_terminal(self):
+        m = DeviceHealthMonitor()
+        m.record_hard_failure(1.0)
+        assert m.circuit_open
+        for t in range(2, 200):
+            m.record_success(float(t))
+        assert m.circuit_open  # successes never close an open circuit
+
+    def test_rate_tripping_can_be_disabled(self):
+        m = DeviceHealthMonitor(min_samples=1, open_error_rate=None)
+        for t in range(100):
+            m.record_error(float(t))
+        assert m.state is CircuitState.DEGRADED
+        assert not m.circuit_open
+
+    def test_reset(self):
+        m = DeviceHealthMonitor()
+        m.record_hard_failure(1.0)
+        m.reset()
+        assert m.state is CircuitState.CLOSED
+        assert m.transitions == []
+        assert m.error_rate == 0.0
+
+
+class TestHealthBiasedPolicy:
+    """A degraded device pushes the α/β schedule toward bottom-up."""
+
+    def test_degraded_health_switches_to_bottom_up_earlier(self):
+        p = AlphaBetaPolicy(alpha=10.0, beta=10.0)
+        inputs = dict(level=3, current=Direction.TOP_DOWN, n_frontier=60,
+                      n_frontier_prev=10, n_all=1000)
+        assert p.decide(PolicyInputs(**inputs)) is Direction.TOP_DOWN
+        assert (
+            p.decide(PolicyInputs(**inputs, device_health=0.5))
+            is Direction.BOTTOM_UP
+        )
+
+    def test_degraded_health_delays_switch_back(self):
+        p = AlphaBetaPolicy(alpha=10.0, beta=10.0)
+        inputs = dict(level=5, current=Direction.BOTTOM_UP, n_frontier=60,
+                      n_frontier_prev=200, n_all=1000)
+        assert p.decide(PolicyInputs(**inputs)) is Direction.TOP_DOWN
+        assert (
+            p.decide(PolicyInputs(**inputs, device_health=0.5))
+            is Direction.BOTTOM_UP
+        )
+
+    def test_zero_health_never_picks_top_down_after_root(self):
+        p = AlphaBetaPolicy(alpha=1e6, beta=1e6)
+        assert (
+            p.decide(PolicyInputs(2, Direction.TOP_DOWN, 2, 1, 1000,
+                                  device_health=0.0))
+            is Direction.BOTTOM_UP
+        )
+
+
+class TestRetryAccounting:
+    """The device is charged once per attempt; backoff is host-side time."""
+
+    def _store(self, tmp_path, **kwargs):
+        return NVMStore(tmp_path / "nvm", PCIE_FLASH, concurrency=8, **kwargs)
+
+    def test_exhausted_retries_charge_each_attempt(self, tmp_path):
+        retry = RetryPolicy(max_retries=2, backoff_base_s=1e-3,
+                            backoff_multiplier=2.0, backoff_max_s=4e-3)
+        store = self._store(
+            tmp_path, fault_plan=FaultPlan(seed=1, error_rate=1.0), retry=retry
+        )
+        ext = store.put_array("a", np.arange(512, dtype=np.int64))  # one page
+        with pytest.raises(TransientIOError, match="after 3 attempts"):
+            ext.read_slice(0, 512)
+        res = store.resilience
+        assert res.n_attempts == 3
+        assert res.n_retries == 2
+        assert res.n_transient_errors == 3
+        # One merged request per attempt: iostat sees all three.
+        assert store.iostats.n_requests == 3
+        assert res.backoff_time_s == pytest.approx(1e-3 + 2e-3)
+        # Elapsed simulated time = device busy (3 services) + backoffs.
+        assert store.clock.now() == pytest.approx(
+            store.iostats.busy_time_s + res.backoff_time_s
+        )
+
+    def test_transient_errors_are_absorbed_and_timed(self, tmp_path):
+        store = self._store(
+            tmp_path,
+            fault_plan=FaultPlan(seed=3, error_rate=0.4),
+            retry=RetryPolicy(max_retries=16, backoff_base_s=1e-4),
+        )
+        data = np.arange(4096, dtype=np.int64)
+        ext = store.put_array("a", data)
+        out = ext.read_slice(0, 4096)
+        np.testing.assert_array_equal(out, data)  # faults never corrupt data
+        res = store.resilience
+        assert res.n_transient_errors > 0
+        assert res.n_retries == res.n_transient_errors
+        assert res.backoff_time_s > 0.0
+        # Every attempt (including the failed ones) hit the device.
+        assert store.iostats.n_requests >= res.n_attempts
+
+    def test_gc_pause_charged_to_device_busy_time(self, tmp_path):
+        store = self._store(
+            tmp_path, fault_plan=FaultPlan(seed=5, gc_rate=1.0, gc_pause_s=2e-3)
+        )
+        ext = store.put_array("a", np.arange(512, dtype=np.int64))
+        ext.read_slice(0, 512)
+        res = store.resilience
+        assert res.n_attempts == 1  # GC pause alone is not an error
+        assert res.n_retries == 0
+        assert res.n_gc_pauses == 1
+        assert res.gc_pause_time_s == pytest.approx(2e-3)
+        # The stall shows up in iostat busy time AND the simulated clock,
+        # exactly like a real flash GC pause under iostat.
+        assert store.iostats.busy_time_s > 2e-3
+        assert store.clock.now() == pytest.approx(store.iostats.busy_time_s)
+
+    def test_timeout_counts_and_retries(self, tmp_path):
+        store = self._store(
+            tmp_path,
+            verify_checksums=True,
+            retry=RetryPolicy(max_retries=1, timeout_s=1e-12),
+        )
+        ext = store.put_array("a", np.arange(512, dtype=np.int64))
+        with pytest.raises(TransientIOError, match="timeout"):
+            ext.read_slice(0, 512)
+        assert store.resilience.n_timeouts == 2
+        assert store.iostats.n_requests == 2
+
+    def test_fault_free_plan_changes_nothing(self, tmp_path):
+        plain = self._store(tmp_path / "plain")
+        faulted = self._store(
+            tmp_path / "faulted", fault_plan=FaultPlan.none()
+        )
+        data = np.arange(2048, dtype=np.int64)
+        for s in (plain, faulted):
+            s.put_array("a", data).read_slice(0, 2048)
+        assert faulted.injector is None
+        assert plain.clock.now() == faulted.clock.now()
+        assert plain.iostats.n_requests == faulted.iostats.n_requests
+        assert faulted.resilience.n_attempts == 0
+
+    def test_reset_faults_replays_identical_sequence(self, tmp_path):
+        plan = FaultPlan(seed=9, error_rate=0.5)
+        store = self._store(
+            tmp_path, fault_plan=plan, retry=RetryPolicy(max_retries=64)
+        )
+        ext = store.put_array("a", np.arange(4096, dtype=np.int64))
+        ext.read_slice(0, 4096)
+        first = store.resilience.n_transient_errors
+        store.reset_faults()
+        assert store.resilience.n_attempts == 0
+        ext.read_slice(0, 4096)
+        assert store.resilience.n_transient_errors == first
+
+
+class TestChecksums:
+    def test_corrupt_backing_file_raises_checksum_error(self, tmp_path):
+        store = NVMStore(
+            tmp_path / "nvm", PCIE_FLASH, verify_checksums=True,
+            retry=RetryPolicy(max_retries=2, backoff_base_s=1e-6,
+                              backoff_max_s=1e-6),
+        )
+        ext = store.put_array("a", np.arange(1024, dtype=np.int64))
+        with open(ext.path, "r+b") as f:
+            f.seek(16)
+            f.write(b"\xde\xad\xbe\xef")
+        with pytest.raises(ChecksumError, match="persistent checksum"):
+            ext.read_slice(0, 1024)
+        # Corruption is re-read (and re-charged) per attempt before the
+        # error escalates: the data is bad on the medium, not in flight.
+        assert store.resilience.n_checksum_failures == 3
+
+    def test_reopen_verifies_checksums(self, tmp_path):
+        store = NVMStore(tmp_path / "nvm", PCIE_FLASH, verify_checksums=True)
+        ext = store.put_array("a", np.arange(1024, dtype=np.int64))
+        ext.close()
+        with open(ext.path, "r+b") as f:
+            f.seek(4096)
+            f.write(b"\x00" * 8 + b"\xff")
+        with pytest.raises(ChecksumError, match="page 1"):
+            ext.reopen()
+
+    def test_checksum_array_protects_late(self, tmp_path):
+        store = NVMStore(tmp_path / "nvm", PCIE_FLASH)
+        ext = store.put_array("a", np.arange(1024, dtype=np.int64))
+        assert store.checksum_array("a").size == ext.nbytes // store.chunk_bytes
+        store.verify_checksums = True
+        np.testing.assert_array_equal(
+            ext.read_slice(0, 1024), np.arange(1024, dtype=np.int64)
+        )
+
+    def test_clean_reads_pass_verification(self, tmp_path):
+        store = NVMStore(tmp_path / "nvm", PCIE_FLASH, verify_checksums=True)
+        data = np.arange(8192, dtype=np.int64)
+        ext = store.put_array("a", data)
+        np.testing.assert_array_equal(ext.read_slice(100, 5000),
+                                      data[100:5000])
+        assert store.resilience.n_checksum_failures == 0
+
+
+@pytest.mark.parametrize("fault_seed", FAULT_SEEDS)
+class TestEngineUnderFaults:
+    """Seeded fault plans against the full semi-external engine."""
+
+    def test_transient_faults_leave_tree_bit_identical(
+        self, graph, baseline_parent, tmp_path, fault_seed
+    ):
+        _, _, _, _, root = graph
+        engine, store = _offloaded_engine(
+            graph,
+            tmp_path,
+            fault_plan=FaultPlan(seed=fault_seed, error_rate=0.3,
+                                 gc_rate=0.2, gc_pause_s=1e-3),
+            retry=RetryPolicy(max_retries=32),
+            health=_SteadyHealth(open_error_rate=None),
+        )
+        result = engine.run(root)
+        np.testing.assert_array_equal(result.parent, baseline_parent)
+        assert store.resilience.n_retries > 0
+        assert store.resilience.backoff_time_s > 0.0
+        assert result.n_degraded_levels == 0
+
+    def test_hard_failure_at_t0_degrades_with_zero_nvm_reads(
+        self, graph, tmp_path, fault_seed
+    ):
+        el, _, _, _, root = graph
+        engine, store = _offloaded_engine(
+            graph, tmp_path, fault_plan=FaultPlan(seed=fault_seed, fail_at_s=0.0)
+        )
+        result = engine.run(root)
+        assert validate_bfs_tree(el, result.parent, root).ok
+        assert store.health.circuit_open
+        assert store.resilience.n_hard_failures >= 1
+        assert store.iostats.n_requests == 0  # the device never served a read
+        assert result.n_degraded_levels == result.n_levels
+        assert all(t.direction is Direction.BOTTOM_UP for t in result.traces)
+
+    def test_mid_run_failure_freezes_device_and_finishes(
+        self, graph, tmp_path, fault_seed
+    ):
+        el, _, _, _, root = graph
+        engine, store = _offloaded_engine(
+            graph, tmp_path,
+            fault_plan=FaultPlan(seed=fault_seed, fail_at_s=1e-6),
+        )
+        first = engine.run(root)
+        assert validate_bfs_tree(el, first.parent, root).ok
+        assert store.health.circuit_open
+        served = store.iostats.n_requests
+        assert served > 0  # the device worked until it died
+        assert first.n_degraded_levels > 0
+        assert [s for _, s in store.health.transitions] == [CircuitState.OPEN]
+        # Degradation is terminal: later BFS runs issue no NVM reads at all.
+        second = engine.run(root)
+        assert validate_bfs_tree(el, second.parent, root).ok
+        assert store.iostats.n_requests == served
+        assert second.n_degraded_levels == second.n_levels
+
+    def test_degraded_tree_matches_dram_bottom_up(
+        self, graph, tmp_path, fault_seed
+    ):
+        """The degraded engine is exactly bottom-up on the DRAM graph."""
+        _, csr, fwd, bwd, root = graph
+        engine, _ = _offloaded_engine(
+            graph, tmp_path, fault_plan=FaultPlan(seed=fault_seed, fail_at_s=0.0)
+        )
+        degraded = engine.run(root)
+        from repro.bfs.policies import FixedPolicy
+
+        reference = HybridBFS(
+            fwd, bwd, FixedPolicy(Direction.BOTTOM_UP)
+        ).run(root)
+        np.testing.assert_array_equal(degraded.parent, reference.parent)
+
+
+@given(
+    error_rate=st.floats(0.0, 0.3),
+    torn_rate=st.floats(0.0, 0.3),
+    gc_rate=st.floats(0.0, 0.3),
+    seed=st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=20, deadline=None)
+def test_property_any_transient_plan_is_bit_identical(
+    graph, baseline_parent, error_rate, torn_rate, gc_rate, seed
+):
+    """Any seeded transient-fault plan yields the fault-free parent tree."""
+    _, _, _, _, root = graph
+    with tempfile.TemporaryDirectory(prefix="repro-faults-") as workdir:
+        engine, store = _offloaded_engine(
+            graph,
+            workdir,
+            fault_plan=FaultPlan(seed=seed, error_rate=error_rate,
+                                 torn_rate=torn_rate, gc_rate=gc_rate,
+                                 gc_pause_s=5e-4),
+            retry=RetryPolicy(max_retries=40),
+            health=_SteadyHealth(open_error_rate=None),
+        )
+        result = engine.run(root)
+        np.testing.assert_array_equal(result.parent, baseline_parent)
+        # Every failed attempt was retried and the clock moved forward.
+        assert store.resilience.n_retries == store.resilience.n_errors
+        if store.resilience.n_retries:
+            assert store.resilience.backoff_time_s > 0.0
+
+
+@pytest.mark.parametrize("fault_seed", FAULT_SEEDS)
+class TestPipelineIntegration:
+    def test_graph500_completes_under_faults_with_accounting(
+        self, fault_seed
+    ):
+        from dataclasses import replace
+
+        from repro.core import run_graph500
+        from repro.core.scenarios import DRAM_PCIE_FLASH
+
+        scenario = replace(
+            DRAM_PCIE_FLASH,
+            fault_plan=FaultPlan(seed=fault_seed, error_rate=0.2,
+                                 gc_rate=0.2, gc_pause_s=1e-3),
+        )
+        result = run_graph500(scenario, scale=9, n_roots=4, seed=fault_seed)
+        assert result.output.all_valid
+        assert result.resilience is not None
+        assert result.resilience.n_retries > 0
+        assert result.resilience.backoff_time_s > 0.0
+        assert result.resilience.n_gc_pauses > 0
+        summary = ResilienceSummary.from_parts(result.resilience, result.health)
+        assert "retries" in summary.format()
+
+    def test_graph500_survives_hard_failure_mid_run(self, fault_seed):
+        from dataclasses import replace
+
+        from repro.core import run_graph500
+        from repro.core.scenarios import DRAM_PCIE_FLASH
+
+        scenario = replace(
+            DRAM_PCIE_FLASH,
+            fault_plan=FaultPlan(seed=fault_seed, fail_at_s=1e-6),
+        )
+        result = run_graph500(scenario, scale=9, n_roots=4, seed=fault_seed)
+        assert result.output.all_valid  # every root still got a valid tree
+        assert result.health is not None and result.health.circuit_open
+        assert result.resilience.n_hard_failures >= 1
+        assert result.resilience.degraded_levels > 0
+
+
+def test_cli_faults_flag_prints_resilience_block(capsys):
+    from repro.cli import main
+
+    code = main([
+        "run", "--scenario", "pcie", "--scale", "9", "--roots", "2",
+        "--seed", "1", "--faults",
+        f"error_rate=0.2,gc_rate=0.2,seed={FAULT_SEEDS[0]}",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "resilience:" in out
+    assert "backoff time:" in out
+
+
+def test_resilience_summary_from_store(tmp_path):
+    store = NVMStore(
+        tmp_path / "nvm", PCIE_FLASH,
+        fault_plan=FaultPlan(seed=2, error_rate=0.5),
+        retry=RetryPolicy(max_retries=64),
+    )
+    ext = store.put_array("a", np.arange(4096, dtype=np.int64))
+    ext.read_slice(0, 4096)
+    summary = ResilienceSummary.from_store(store)
+    assert summary.n_attempts == store.resilience.n_attempts
+    assert summary.retry_rate > 0
+    text = summary.format()
+    assert "attempts:" in text and "circuit:" in text
+
+
+def test_circuit_open_refuses_reads(tmp_path):
+    store = NVMStore(
+        tmp_path / "nvm", PCIE_FLASH,
+        fault_plan=FaultPlan(seed=1, error_rate=0.1),
+    )
+    ext = store.put_array("a", np.arange(512, dtype=np.int64))
+    store.health.record_hard_failure(0.0)
+    with pytest.raises(DeviceFailedError, match="circuit breaker open"):
+        ext.read_slice(0, 512)
+    assert store.resilience.n_refused_reads == 1
+    assert store.iostats.n_requests == 0
