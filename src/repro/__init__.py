@@ -30,6 +30,8 @@ Package map
                        Figure 3, MTEPS/W).
 ``repro.core``         Scenario presets (Table I) and the §V-A pipeline.
 ``repro.analysis``     Per-figure analysis (Figures 7–14 data).
+``repro.obs``          Observability: metrics registry, simulated-clock
+                       tracer, JSONL/Chrome-trace/Prometheus exporters.
 =====================  ====================================================
 """
 
@@ -71,6 +73,7 @@ from repro.graph500 import (
     validate_bfs_tree,
 )
 from repro.numa import NumaTopology
+from repro.obs import MetricsRegistry, Observability
 from repro.perfmodel import DramCostModel, GraphSizeModel, MachinePowerModel
 from repro.semiext import (
     DeviceModel,
@@ -118,6 +121,9 @@ __all__ = [
     "PCIE_FLASH",
     "SATA_SSD",
     "SimulatedClock",
+    # observability
+    "Observability",
+    "MetricsRegistry",
     # models
     "DramCostModel",
     "GraphSizeModel",

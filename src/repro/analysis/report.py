@@ -9,7 +9,13 @@ from __future__ import annotations
 
 from typing import Sequence
 
-__all__ = ["ascii_table", "format_float", "format_teps", "ascii_heatmap"]
+__all__ = [
+    "ascii_table",
+    "format_float",
+    "format_teps",
+    "ascii_heatmap",
+    "metrics_table",
+]
 
 
 def format_float(x: float, sig: int = 4) -> str:
@@ -59,6 +65,45 @@ def ascii_table(
             " | ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip()
         )
     return "\n".join(lines)
+
+
+def metrics_table(
+    registry,
+    prefix: str | None = None,
+    title: str | None = None,
+) -> str:
+    """Render a :class:`~repro.obs.MetricsRegistry` as an aligned table.
+
+    One row per series, sorted by (name, labels); histograms render as
+    their count/sum/mean summary.  ``prefix`` filters by metric-name
+    prefix (``"nvm."``, ``"bfs."``, ...), matching the families
+    documented in ``docs/observability.md``.
+
+    >>> from repro.obs import MetricsRegistry
+    >>> reg = MetricsRegistry()
+    >>> reg.counter("bfs.runs_total", engine="HybridBFS").inc(2)
+    >>> print(metrics_table(reg))
+    metric                             | kind    | value
+    -----------------------------------+---------+------
+    bfs.runs_total{engine="HybridBFS"} | counter | 2
+    """
+    from repro.obs.registry import Histogram, format_labels
+
+    rows = []
+    for metric in registry.metrics():
+        if prefix is not None and not metric.name.startswith(prefix):
+            continue
+        series = metric.name + format_labels(metric.labels)
+        if isinstance(metric, Histogram):
+            mean = metric.sum / metric.count if metric.count else 0.0
+            rendered = (
+                f"count={metric.count} sum={format_float(metric.sum)} "
+                f"mean={format_float(mean)}"
+            )
+        else:
+            rendered = format_float(metric.value)
+        rows.append([series, metric.kind, rendered])
+    return ascii_table(["metric", "kind", "value"], rows, title=title)
 
 
 def ascii_heatmap(

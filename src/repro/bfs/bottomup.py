@@ -97,6 +97,7 @@ def bottom_up_step(
     state: BFSState,
     rows_per_block: int = 1 << 17,
     executor=None,
+    obs=None,
 ) -> tuple[np.ndarray, int, int]:
     """Run one bottom-up level across all NUMA shards.
 
@@ -116,6 +117,12 @@ def bottom_up_step(
         level-frozen state (candidate pruning touches only node-local
         lists), and discoveries are committed serially afterwards, so
         the parent tree is identical to a sequential run.
+    obs:
+        Optional :class:`~repro.obs.Observability`; when enabled and the
+        step runs sequentially, each NUMA node's scan is wrapped in a
+        ``bfs.shard`` span.  Under an executor the scans interleave on
+        the shared clock, so no per-shard spans are recorded (the
+        ``bfs.level`` span still brackets the whole step).
 
     Returns
     -------
@@ -155,6 +162,17 @@ def bottom_up_step(
     tasks = list(zip(partitions, scanners))
     if executor is not None:
         results = executor.map(scan_node, tasks)
+    elif obs is not None and obs.enabled:
+        results = []
+        for task in tasks:
+            with obs.span(
+                "bfs.shard",
+                shard=int(task[0].node),
+                direction="bottom-up",
+            ) as sp:
+                result = scan_node(task)
+            sp.set(edges_dram=result[2], edges_nvm=result[3])
+            results.append(result)
     else:
         results = [scan_node(t) for t in tasks]
 

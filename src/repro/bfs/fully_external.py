@@ -29,11 +29,20 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.bfs.metrics import BFSResult, Direction, LevelTrace
+from repro.bfs.metrics import BFSResult, Direction, LevelTrace, record_run_spans
 from repro.bfs.state import UNVISITED
 from repro.csr.graph import CSRGraph
 from repro.csr.io import ExternalCSR, offload_csr
 from repro.errors import ConfigurationError
+from repro.obs.schema import (
+    M_BFS_DISCOVERED,
+    M_BFS_EDGES,
+    M_BFS_FRONTIER,
+    M_BFS_LEVEL_SECONDS,
+    M_BFS_LEVELS,
+    M_BFS_RUNS,
+    M_BFS_TRAVERSED,
+)
 from repro.perfmodel.cost import DramCostModel
 from repro.semiext.storage import NVMStore
 from repro.util.timer import Timer
@@ -49,6 +58,7 @@ class FullyExternalBFS:
         external: ExternalCSR,
         store: NVMStore,
         cost_model: DramCostModel | None = None,
+        obs=None,
     ) -> None:
         if external.n_rows != external.n_cols:
             raise ConfigurationError("FullyExternalBFS requires a square CSR")
@@ -56,6 +66,8 @@ class FullyExternalBFS:
         self.store = store
         self.cost_model = cost_model
         self.clock = store.clock
+        self.obs = obs if obs is not None else store.obs
+        self.obs.bind_clock(self.clock)
         self._degrees = external.degrees_uncharged()
 
     @classmethod
@@ -65,9 +77,10 @@ class FullyExternalBFS:
         store: NVMStore,
         cost_model: DramCostModel | None = None,
         prefix: str = "external",
+        obs=None,
     ) -> "FullyExternalBFS":
         """Write the whole CSR to the store and build the engine."""
-        return cls(offload_csr(graph, store, prefix), store, cost_model)
+        return cls(offload_csr(graph, store, prefix), store, cost_model, obs=obs)
 
     def run(self, root: int, max_levels: int | None = None) -> BFSResult:
         """Run one BFS from ``root``; every edge scan reads the device."""
@@ -87,6 +100,9 @@ class FullyExternalBFS:
         traces: list[LevelTrace] = []
         total_wall = Timer()
         modeled_start = self.clock.now()
+        obs = self.obs
+        obs.counter(M_BFS_RUNS, engine=type(self).__name__).inc()
+        level_bounds: list[tuple[float, float]] = []
         io0 = self.store.iostats
         level = 0
         while frontier.size:
@@ -118,6 +134,18 @@ class FullyExternalBFS:
                         next_size=int(next_frontier.size),
                     )
                 )
+            t1 = self.clock.now()
+            level_bounds.append((t0, t1))
+            obs.counter(M_BFS_LEVELS, direction=Direction.TOP_DOWN.value).inc()
+            obs.counter(
+                M_BFS_EDGES, direction=Direction.TOP_DOWN.value, medium="nvm"
+            ).inc(scanned)
+            obs.counter(
+                M_BFS_DISCOVERED, direction=Direction.TOP_DOWN.value
+            ).inc(int(next_frontier.size))
+            obs.histogram(M_BFS_LEVEL_SECONDS).observe(t1 - t0)
+            obs.histogram(M_BFS_FRONTIER).observe(int(frontier.size))
+            obs.track("bfs.frontier_vertices", int(frontier.size))
             traces.append(
                 LevelTrace(
                     level=level,
@@ -126,7 +154,7 @@ class FullyExternalBFS:
                     next_size=int(next_frontier.size),
                     edges_scanned=scanned,
                     wall_time_s=wall.elapsed,
-                    modeled_time_s=self.clock.now() - t0,
+                    modeled_time_s=t1 - t0,
                     edges_scanned_nvm=scanned,
                     nvm_requests=io0.n_requests - req0,
                     nvm_bytes=io0.total_bytes - bytes0,
@@ -136,6 +164,16 @@ class FullyExternalBFS:
             frontier = next_frontier
             level += 1
         traversed = int(self._degrees[parent >= 0].sum()) // 2
+        obs.counter(M_BFS_TRAVERSED).inc(traversed)
+        record_run_spans(
+            obs,
+            type(self).__name__,
+            root,
+            modeled_start,
+            self.clock.now(),
+            traces,
+            level_bounds,
+        )
         return BFSResult(
             parent=parent,
             root=root,

@@ -20,12 +20,23 @@ import numpy as np
 
 from repro.bfs.bottomup import BottomUpScanner, InMemoryScanner, bottom_up_step
 from repro.bfs.parallel import ShardExecutor
-from repro.bfs.metrics import BFSResult, Direction, LevelTrace
+from repro.bfs.metrics import BFSResult, Direction, LevelTrace, record_run_spans
 from repro.bfs.policies import DirectionPolicy, PolicyInputs
 from repro.bfs.state import BFSState
 from repro.bfs.topdown import top_down_step
 from repro.csr.partition import BackwardGraph, ForwardGraph
 from repro.errors import ConfigurationError, DeviceFailedError
+from repro.obs.schema import (
+    M_BFS_DEGRADED,
+    M_BFS_DISCOVERED,
+    M_BFS_EDGES,
+    M_BFS_FRONTIER,
+    M_BFS_LEVEL_SECONDS,
+    M_BFS_LEVELS,
+    M_BFS_RUNS,
+    M_BFS_TRAVERSED,
+)
+from repro.obs.session import NULL, Observability
 from repro.perfmodel.cost import DramCostModel
 from repro.semiext.clock import SimulatedClock
 from repro.util.timer import Timer
@@ -59,6 +70,11 @@ class HybridBFS:
         Fan the per-NUMA-shard scans out on a thread pool of this size
         (results bit-identical to sequential; see
         :mod:`repro.bfs.parallel`).  ``None`` runs sequentially.
+    obs:
+        Observability session recording the ``bfs.*`` metrics and the
+        ``bfs.run`` / ``bfs.phase`` / ``bfs.level`` spans (see
+        ``docs/observability.md``).  Defaults to the disabled
+        :data:`~repro.obs.NULL` session.
     """
 
     def __init__(
@@ -69,6 +85,7 @@ class HybridBFS:
         cost_model: DramCostModel | None = None,
         clock: SimulatedClock | None = None,
         n_workers: int | None = None,
+        obs: Observability | None = None,
     ) -> None:
         if forward.n_vertices != backward.n_vertices:
             raise ConfigurationError(
@@ -82,6 +99,8 @@ class HybridBFS:
         self.policy = policy
         self.cost_model = cost_model
         self.clock = clock if clock is not None else SimulatedClock()
+        self.obs = obs if obs is not None else NULL
+        self.obs.bind_clock(self.clock)
         self.n_vertices = forward.n_vertices
         # Global degrees drive Beamer-style policies and the TEPS numerator.
         self._degrees = backward.global_degrees()
@@ -176,6 +195,9 @@ class HybridBFS:
         visited_deg_sum = int(self._degrees[root])
         total_wall = Timer()
         modeled_start = self.clock.now()
+        obs = self.obs
+        obs.counter(M_BFS_RUNS, engine=type(self).__name__).inc()
+        level_bounds: list[tuple[float, float]] = []
         level = 0
         while state.frontier_size > 0:
             if max_levels is not None and level >= max_levels:
@@ -207,10 +229,14 @@ class HybridBFS:
                             state,
                             self._think_time_s(),
                             executor=self.executor,
+                            obs=obs,
                         )
                     else:
                         next_queue, scanned_dram, scanned_nvm = bottom_up_step(
-                            self._active_scanners(), state, executor=self.executor
+                            self._active_scanners(),
+                            state,
+                            executor=self.executor,
+                            obs=obs,
                         )
                 except DeviceFailedError:
                     # The device died (or its breaker opened) mid-level.
@@ -221,7 +247,10 @@ class HybridBFS:
                         raise
                     direction = Direction.BOTTOM_UP
                     next_queue, scanned_dram, scanned_nvm = bottom_up_step(
-                        self._active_scanners(), state, executor=self.executor
+                        self._active_scanners(),
+                        state,
+                        executor=self.executor,
+                        obs=obs,
                     )
             scanned = scanned_dram + scanned_nvm
             self._charge_level(
@@ -232,6 +261,25 @@ class HybridBFS:
                 int(next_queue.size),
             )
             io_req1, io_bytes1, io_busy1 = self._io_counters()
+            t_level1 = self.clock.now()
+            level_bounds.append((t_level0, t_level1))
+            dirname = direction.value
+            obs.counter(M_BFS_LEVELS, direction=dirname).inc()
+            obs.counter(M_BFS_EDGES, direction=dirname, medium="dram").inc(
+                scanned_dram
+            )
+            if scanned_nvm:
+                obs.counter(M_BFS_EDGES, direction=dirname, medium="nvm").inc(
+                    scanned_nvm
+                )
+            obs.counter(M_BFS_DISCOVERED, direction=dirname).inc(
+                int(next_queue.size)
+            )
+            if was_degraded or self.degraded_mode:
+                obs.counter(M_BFS_DEGRADED).inc()
+            obs.histogram(M_BFS_LEVEL_SECONDS).observe(t_level1 - t_level0)
+            obs.histogram(M_BFS_FRONTIER).observe(frontier_size)
+            obs.track("bfs.frontier_vertices", frontier_size)
             traces.append(
                 LevelTrace(
                     level=level,
@@ -253,6 +301,16 @@ class HybridBFS:
             state.promote_next(next_queue)
             level += 1
         traversed = int(self._degrees[state.parent >= 0].sum()) // 2
+        obs.counter(M_BFS_TRAVERSED).inc(traversed)
+        record_run_spans(
+            obs,
+            type(self).__name__,
+            root,
+            modeled_start,
+            self.clock.now(),
+            traces,
+            level_bounds,
+        )
         return BFSResult(
             parent=state.parent,
             root=root,

@@ -14,7 +14,18 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["Direction", "LevelTrace", "BFSResult"]
+from repro.obs.registry import MetricsRegistry
+from repro.obs.schema import (
+    M_BFS_DEGRADED,
+    M_BFS_DISCOVERED,
+    M_BFS_EDGES,
+    M_BFS_FRONTIER,
+    M_BFS_LEVEL_SECONDS,
+    M_BFS_LEVELS,
+    M_BFS_TRAVERSED,
+)
+
+__all__ = ["Direction", "LevelTrace", "BFSResult", "record_run_spans"]
 
 
 class Direction(enum.Enum):
@@ -108,24 +119,57 @@ class BFSResult:
         """Vertices reached (root included)."""
         return int(np.count_nonzero(np.asarray(self.parent) >= 0))
 
+    def metrics_registry(self) -> MetricsRegistry:
+        """This run's traces replayed into a fresh metrics registry.
+
+        The registry carries exactly the ``bfs.*`` series a live
+        :class:`~repro.obs.Observability` session would have recorded
+        for this run alone — the aggregate views below read from it, so
+        a stored :class:`BFSResult` and a live session answer the same
+        questions through the same metric names.
+        """
+        reg = MetricsRegistry()
+        for t in self.traces:
+            d = t.direction.value
+            reg.counter(M_BFS_LEVELS, direction=d).inc()
+            reg.counter(M_BFS_EDGES, direction=d, medium="dram").inc(
+                t.edges_scanned - t.edges_scanned_nvm
+            )
+            if t.edges_scanned_nvm:
+                reg.counter(M_BFS_EDGES, direction=d, medium="nvm").inc(
+                    t.edges_scanned_nvm
+                )
+            reg.counter(M_BFS_DISCOVERED, direction=d).inc(t.next_size)
+            if t.degraded:
+                reg.counter(M_BFS_DEGRADED).inc()
+            reg.histogram(M_BFS_LEVEL_SECONDS).observe(t.modeled_time_s)
+            reg.histogram(M_BFS_FRONTIER).observe(t.frontier_size)
+        reg.counter(M_BFS_TRAVERSED).inc(self.traversed_edges)
+        return reg
+
     def edges_by_direction(self) -> dict[Direction, int]:
         """Total scanned edges per direction (Fig. 10's bars)."""
-        out = {Direction.TOP_DOWN: 0, Direction.BOTTOM_UP: 0}
-        for t in self.traces:
-            out[t.direction] += t.edges_scanned
-        return out
+        reg = self.metrics_registry()
+        return {
+            d: int(
+                reg.value(M_BFS_EDGES, direction=d.value, medium="dram")
+                + reg.value(M_BFS_EDGES, direction=d.value, medium="nvm")
+            )
+            for d in Direction
+        }
 
     def levels_by_direction(self) -> dict[Direction, int]:
         """Number of levels executed per direction."""
-        out = {Direction.TOP_DOWN: 0, Direction.BOTTOM_UP: 0}
-        for t in self.traces:
-            out[t.direction] += 1
-        return out
+        reg = self.metrics_registry()
+        return {
+            d: int(reg.value(M_BFS_LEVELS, direction=d.value))
+            for d in Direction
+        }
 
     @property
     def n_degraded_levels(self) -> int:
         """Levels forced to bottom-up by an open device circuit."""
-        return sum(1 for t in self.traces if t.degraded)
+        return int(self.metrics_registry().value(M_BFS_DEGRADED))
 
     def teps(self, modeled: bool = False) -> float:
         """TEPS of this run (wall-clock by default, modeled on request)."""
@@ -139,3 +183,63 @@ class BFSResult:
         return "".join(
             "T" if t.direction is Direction.TOP_DOWN else "B" for t in self.traces
         )
+
+
+def record_run_spans(
+    obs,
+    engine: str,
+    root: int,
+    t_start: float,
+    t_end: float,
+    traces: list[LevelTrace],
+    level_bounds: list[tuple[float, float]],
+) -> None:
+    """Synthesize the ``bfs.run`` → ``bfs.phase`` → ``bfs.level`` span
+    tree of one finished run from its recorded level boundaries.
+
+    Every engine calls this after its level loop rather than opening
+    spans live, keeping the hot loop free of context-manager nesting.
+    Phases are maximal runs of same-direction levels — the paper's
+    §VI-C direction-switch schedule rendered as a span hierarchy.
+    """
+    if not obs.enabled or not traces:
+        return
+    run_span = obs.record_span(
+        "bfs.run",
+        t_start,
+        t_end,
+        engine=engine,
+        root=int(root),
+        levels=len(traces),
+    )
+    i = 0
+    while i < len(traces):
+        j = i
+        while (
+            j + 1 < len(traces)
+            and traces[j + 1].direction is traces[i].direction
+        ):
+            j += 1
+        phase = obs.record_span(
+            "bfs.phase",
+            level_bounds[i][0],
+            level_bounds[j][1],
+            parent=run_span,
+            direction=traces[i].direction.value,
+            levels=j - i + 1,
+        )
+        for k in range(i, j + 1):
+            t = traces[k]
+            obs.record_span(
+                "bfs.level",
+                level_bounds[k][0],
+                level_bounds[k][1],
+                parent=phase,
+                level=t.level,
+                direction=t.direction.value,
+                frontier=t.frontier_size,
+                discovered=t.next_size,
+                edges_scanned=t.edges_scanned,
+                degraded=t.degraded,
+            )
+        i = j + 1

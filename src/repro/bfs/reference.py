@@ -22,10 +22,20 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.bfs.metrics import BFSResult, Direction, LevelTrace
+from repro.bfs.metrics import BFSResult, Direction, LevelTrace, record_run_spans
 from repro.bfs.state import UNVISITED
 from repro.csr.graph import CSRGraph
 from repro.errors import ConfigurationError
+from repro.obs.schema import (
+    M_BFS_DISCOVERED,
+    M_BFS_EDGES,
+    M_BFS_FRONTIER,
+    M_BFS_LEVEL_SECONDS,
+    M_BFS_LEVELS,
+    M_BFS_RUNS,
+    M_BFS_TRAVERSED,
+)
+from repro.obs.session import NULL
 from repro.perfmodel.cost import DramCostModel
 from repro.semiext.clock import SimulatedClock
 from repro.util.gather import concat_ranges
@@ -42,6 +52,7 @@ class ReferenceBFS:
         graph: CSRGraph,
         cost_model: DramCostModel | None = None,
         clock: SimulatedClock | None = None,
+        obs=None,
     ) -> None:
         if graph.n_rows != graph.n_cols:
             raise ConfigurationError("ReferenceBFS requires a square CSR")
@@ -50,6 +61,8 @@ class ReferenceBFS:
             cost_model.reference() if cost_model is not None else None
         )
         self.clock = clock if clock is not None else SimulatedClock()
+        self.obs = obs if obs is not None else NULL
+        self.obs.bind_clock(self.clock)
         self._degrees = graph.degrees()
 
     def run(self, root: int, max_levels: int | None = None) -> BFSResult:
@@ -63,6 +76,9 @@ class ReferenceBFS:
         traces: list[LevelTrace] = []
         total_wall = Timer()
         modeled_start = self.clock.now()
+        obs = self.obs
+        obs.counter(M_BFS_RUNS, engine=type(self).__name__).inc()
+        level_bounds: list[tuple[float, float]] = []
         level = 0
         while frontier.size:
             if max_levels is not None and level >= max_levels:
@@ -89,6 +105,18 @@ class ReferenceBFS:
                         next_size=int(next_frontier.size),
                     )
                 )
+            t1 = self.clock.now()
+            level_bounds.append((t0, t1))
+            obs.counter(M_BFS_LEVELS, direction=Direction.TOP_DOWN.value).inc()
+            obs.counter(
+                M_BFS_EDGES, direction=Direction.TOP_DOWN.value, medium="dram"
+            ).inc(scanned)
+            obs.counter(
+                M_BFS_DISCOVERED, direction=Direction.TOP_DOWN.value
+            ).inc(int(next_frontier.size))
+            obs.histogram(M_BFS_LEVEL_SECONDS).observe(t1 - t0)
+            obs.histogram(M_BFS_FRONTIER).observe(int(frontier.size))
+            obs.track("bfs.frontier_vertices", int(frontier.size))
             traces.append(
                 LevelTrace(
                     level=level,
@@ -97,12 +125,22 @@ class ReferenceBFS:
                     next_size=int(next_frontier.size),
                     edges_scanned=scanned,
                     wall_time_s=wall.elapsed,
-                    modeled_time_s=self.clock.now() - t0,
+                    modeled_time_s=t1 - t0,
                 )
             )
             frontier = next_frontier
             level += 1
         traversed = int(self._degrees[parent >= 0].sum()) // 2
+        obs.counter(M_BFS_TRAVERSED).inc(traversed)
+        record_run_spans(
+            obs,
+            type(self).__name__,
+            root,
+            modeled_start,
+            self.clock.now(),
+            traces,
+            level_bounds,
+        )
         return BFSResult(
             parent=parent,
             root=root,

@@ -53,6 +53,7 @@ class SemiExternalBFS(HybridBFS):
         external_shards: list[ExternalCSR],
         cost_model: DramCostModel | None = None,
         backward_scanners: list[BottomUpScanner] | None = None,
+        obs=None,
     ) -> None:
         if len(external_shards) != forward.topology.n_nodes:
             raise ConfigurationError(
@@ -64,13 +65,16 @@ class SemiExternalBFS(HybridBFS):
         self._backward_scanners = backward_scanners
         self._degraded = False
         # The engine and the storage layer must share one clock so DRAM and
-        # NVM charges accumulate on the same axis.
+        # NVM charges accumulate on the same axis; likewise one
+        # observability session (the store's, unless overridden), so
+        # bfs.* and nvm.* series land in the same registry.
         super().__init__(
             forward=forward,
             backward=backward,
             policy=policy,
             cost_model=cost_model,
             clock=store.clock,
+            obs=obs if obs is not None else store.obs,
         )
         if cost_model is not None:
             # Page-cache hits are DRAM reads: charge them at the cost
@@ -88,6 +92,7 @@ class SemiExternalBFS(HybridBFS):
         cost_model: DramCostModel | None = None,
         backward_scanners: list[BottomUpScanner] | None = None,
         prefix: str = "forward",
+        obs=None,
     ) -> "SemiExternalBFS":
         """Offload the forward shards to ``store`` and build the engine.
 
@@ -107,6 +112,7 @@ class SemiExternalBFS(HybridBFS):
             external_shards=external,
             cost_model=cost_model,
             backward_scanners=backward_scanners,
+            obs=obs,
         )
 
     # -- engine hooks -------------------------------------------------------------

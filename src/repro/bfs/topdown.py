@@ -105,6 +105,7 @@ def top_down_step(
     state: BFSState,
     think_time_s: float = 0.0,
     executor: ShardExecutor | None = None,
+    obs=None,
 ) -> tuple[np.ndarray, int, int]:
     """Expand the frontier one level in the top-down direction.
 
@@ -121,6 +122,11 @@ def top_down_step(
     executor:
         Optional thread pool fanning the per-shard scans out (results are
         identical either way).
+    obs:
+        Optional :class:`~repro.obs.Observability`; when enabled, each
+        shard's serial charge-commit is wrapped in a ``bfs.shard`` span
+        (the only clock-advancing part of the step, so span durations
+        are exact on the simulated-time axis even under the executor).
 
     Returns
     -------
@@ -149,9 +155,20 @@ def top_down_step(
     next_parts: list[np.ndarray] = []
     scanned_dram = 0
     scanned_nvm = 0
-    for outcome in scans:
-        for charge in outcome.charges:
-            charge.apply(think_time_s)
+    tracing = obs is not None and obs.enabled
+    for k, outcome in enumerate(scans):
+        if tracing and outcome.charges:
+            with obs.span(
+                "bfs.shard",
+                shard=k,
+                direction="top-down",
+                edges=outcome.scanned,
+            ):
+                for charge in outcome.charges:
+                    charge.apply(think_time_s)
+        else:
+            for charge in outcome.charges:
+                charge.apply(think_time_s)
         if outcome.is_external:
             scanned_nvm += outcome.scanned
         else:

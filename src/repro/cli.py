@@ -62,6 +62,15 @@ def build_parser() -> argparse.ArgumentParser:
              "'error_rate=0.02,gc_rate=0.01,gc_pause_ms=5,seed=7' "
              "(semi-external scenarios only)",
     )
+    run.add_argument(
+        "--obs",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="capture the run's observability session and write "
+             "events.jsonl, trace.json (chrome://tracing / Perfetto) and "
+             "metrics.prom into DIR (see docs/observability.md)",
+    )
 
     sweep = sub.add_parser("sweep", help="alpha x beta sweep (Figure 7 data)")
     sweep.add_argument("--scenario", choices=sorted(_SCENARIOS), default="dram")
@@ -136,6 +145,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         except ConfigurationError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+    obs = None
+    if args.obs is not None:
+        from repro.obs import Observability
+
+        obs = Observability()
     result = run_graph500(
         scenario,
         scale=args.scale,
@@ -143,6 +157,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         n_roots=args.roots,
         seed=args.seed,
         validate=not args.no_validate,
+        obs=obs,
     )
     print(f"scenario:        {scenario.name}")
     print(f"scale/ef:        {args.scale} / {args.edge_factor}")
@@ -164,6 +179,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 result.resilience, result.health
             ).format()
         )
+    if obs is not None:
+        from repro.analysis.report import metrics_table
+
+        paths = obs.export(args.obs)
+        print()
+        print(metrics_table(obs.registry, prefix="bfs.",
+                            title="bfs.* metrics (full set in metrics.prom)"))
+        print()
+        for kind in ("jsonl", "chrome_trace", "prometheus"):
+            print(f"obs {kind}:       {paths[kind]}")
     return 0
 
 

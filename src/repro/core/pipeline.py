@@ -33,6 +33,12 @@ from repro.graph500.driver import BenchmarkOutput, Graph500Driver
 from repro.graph500.edgelist import EdgeList
 from repro.graph500.io import pack_edges_48, unpack_edges_48
 from repro.graph500.kronecker import generate_edges
+from repro.obs.schema import (
+    M_PIPE_DRAM_BUDGET,
+    M_PIPE_DRAM_USED,
+    M_PIPE_PAGE_CACHE,
+)
+from repro.obs.session import NULL, Observability
 from repro.semiext.faults import DeviceHealthMonitor, ResilienceStats
 from repro.semiext.iostats import IoStats
 from repro.semiext.storage import NVMStore
@@ -77,6 +83,7 @@ def run_graph500(
     workdir: str | Path | None = None,
     validate: bool = True,
     edge_format: str = "int64",
+    obs: Observability | None = None,
 ) -> PipelineResult:
     """Run the full benchmark pipeline for one scenario.
 
@@ -101,6 +108,14 @@ def run_graph500(
         On-NVM edge-list encoding: ``"int64"`` (16 B/edge, the reference
         code's format) or ``"packed48"`` (NETAL's 12 B/edge tuples, the
         layout the paper's Figure 3 sizes imply).
+    obs:
+        Observability session capturing the whole run (``pipeline.*``
+        spans and gauges plus everything the store, engine and driver
+        record).  Only the BFS-phase CSR store records into it — the
+        edge-list store stays unobserved, preserving the paper's §VI-D
+        device isolation in the metrics.  Export with
+        :meth:`~repro.obs.Observability.export` afterwards, or use the
+        CLI's ``--obs out/``.
     """
     if edge_format not in ("int64", "packed48"):
         raise ConfigurationError(
@@ -108,10 +123,14 @@ def run_graph500(
         )
     n = 1 << scale
     topo = scenario.topology
+    obs = obs if obs is not None else NULL
 
     # Step 1 — edge list generation.
-    endpoints = generate_edges(scale=scale, edge_factor=edge_factor, seed=seed)
-    edges = EdgeList(endpoints, n)
+    with obs.span("pipeline.generate", scale=scale, edge_factor=edge_factor):
+        endpoints = generate_edges(
+            scale=scale, edge_factor=edge_factor, seed=seed
+        )
+        edges = EdgeList(endpoints, n)
 
     store: NVMStore | None = None
     tmp: tempfile.TemporaryDirectory | None = None
@@ -127,29 +146,35 @@ def run_graph500(
             io_mode=scenario.io_mode,
             fault_plan=scenario.fault_plan,
             retry=scenario.retry,
+            obs=obs,
         )
         # Per §VI-D the paper isolates the edge list and the CSR files on
         # different devices so the BFS-phase iostat is unpolluted by
         # construction and validation traffic; a second store (same
-        # device model, own meters) reproduces that isolation.
+        # device model, own meters, no observability session — its
+        # traffic must not pollute the nvm.* series) reproduces that
+        # isolation.
         edge_store = NVMStore(
             Path(workdir) / "edges",
             scenario.device,
             concurrency=topo.n_cores,
         )
-        if edge_format == "packed48":
-            edge_ext = edge_store.put_array("edge_list", pack_edges_48(edges))
-            # Step 2 — construct by reading the edge list back from NVM.
-            raw = edge_ext.read_slice(0, edge_ext.size)
-            edges_for_build = unpack_edges_48(raw, n)
-        else:
-            edge_ext = edges.offload(edge_store, "edge_list")
-            edges_for_build = EdgeList.from_external(edge_ext, n, charged=True)
+        with obs.span("pipeline.offload_edges", edge_format=edge_format):
+            if edge_format == "packed48":
+                edge_ext = edge_store.put_array(
+                    "edge_list", pack_edges_48(edges)
+                )
+                # Step 2 — construct by reading the edge list back from NVM.
+                raw = edge_ext.read_slice(0, edge_ext.size)
+                edges_for_build = unpack_edges_48(raw, n)
+            else:
+                edge_ext = edges.offload(edge_store, "edge_list")
+                edges_for_build = EdgeList.from_external(edge_ext, n, charged=True)
     else:
         edges_for_build = edges
 
     construction = Timer()
-    with construction:
+    with construction, obs.span("pipeline.construct", n_vertices=n):
         csr = build_csr(edges_for_build)
         forward = ForwardGraph(csr, topo)
         backward = BackwardGraph(csr, topo)
@@ -165,6 +190,8 @@ def run_graph500(
         status=status_bytes,
     )
     plan = OffloadPlanner(scenario).plan(sizes, store=store)
+    obs.gauge(M_PIPE_DRAM_BUDGET).set(plan.dram_budget)
+    obs.gauge(M_PIPE_DRAM_USED).set(plan.dram_used)
 
     policy = AlphaBetaPolicy(alpha=scenario.alpha, beta=scenario.beta)
     if scenario.is_semi_external:
@@ -173,15 +200,17 @@ def run_graph500(
         # cache for the NVM files — the mechanism behind the paper's
         # Figure 9 (small graphs run at DRAM speed after warm-up).
         store.page_cache_bytes = max(0, plan.dram_budget - plan.dram_used)
+        obs.gauge(M_PIPE_PAGE_CACHE).set(store.page_cache_bytes)
         construction_requests = edge_store.iostats.n_requests
         construction_bytes = edge_store.iostats.total_bytes
-        engine: HybridBFS = SemiExternalBFS.offload(
-            forward=forward,
-            backward=backward,
-            policy=policy,
-            store=store,
-            cost_model=scenario.cost_model,
-        )
+        with obs.span("pipeline.offload_forward"):
+            engine: HybridBFS = SemiExternalBFS.offload(
+                forward=forward,
+                backward=backward,
+                policy=policy,
+                store=store,
+                cost_model=scenario.cost_model,
+            )
     else:
         construction_requests = 0
         construction_bytes = 0
@@ -190,11 +219,15 @@ def run_graph500(
             backward=backward,
             policy=policy,
             cost_model=scenario.cost_model,
+            obs=obs,
         )
 
     # Steps 3–4, iterated.
-    driver = Graph500Driver(edges, n_roots=n_roots, seed=seed, validate=validate)
-    output = driver.run(engine)
+    driver = Graph500Driver(
+        edges, n_roots=n_roots, seed=seed, validate=validate, obs=obs
+    )
+    with obs.span("pipeline.bfs", n_roots=n_roots):
+        output = driver.run(engine)
 
     result = PipelineResult(
         scenario=scenario,

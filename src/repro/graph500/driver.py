@@ -21,6 +21,12 @@ from repro.graph500.edgelist import EdgeList
 from repro.graph500.kronecker import sample_roots
 from repro.graph500.stats import Graph500Stats
 from repro.graph500.validate import ValidationResult, validate_bfs_tree
+from repro.obs.schema import (
+    M_G500_INPUT_EDGES,
+    M_G500_INVALID,
+    M_G500_ITERATIONS,
+)
+from repro.obs.session import NULL
 
 __all__ = ["BFSEngine", "BenchmarkRun", "BenchmarkOutput", "Graph500Driver",
            "count_traversed_input_edges"]
@@ -98,6 +104,10 @@ class Graph500Driver:
     validate:
         Run Step 4 after every BFS (the spec does; expensive sweeps may
         disable it after a first validated pass).
+    obs:
+        Observability session for the ``graph500.*`` counters and the
+        per-iteration ``graph500.iteration`` / ``graph500.validate``
+        spans.  Defaults to the disabled :data:`~repro.obs.NULL`.
     """
 
     def __init__(
@@ -106,6 +116,7 @@ class Graph500Driver:
         n_roots: int = 64,
         seed: int | None = None,
         validate: bool = True,
+        obs=None,
     ) -> None:
         if n_roots < 1:
             raise ConfigurationError(f"n_roots must be >= 1: {n_roots}")
@@ -113,26 +124,37 @@ class Graph500Driver:
         self.n_roots = int(n_roots)
         self.seed = seed
         self.validate = validate
+        self.obs = obs if obs is not None else NULL
         self.roots = sample_roots(edges.degrees(), n_roots=self.n_roots, seed=seed)
 
     def run(self, engine: BFSEngine) -> BenchmarkOutput:
         """Benchmark ``engine`` over the sampled roots."""
+        obs = self.obs
         runs: list[BenchmarkRun] = []
-        for root in self.roots:
-            result = engine.run(int(root))
-            if self.validate:
-                validation = validate_bfs_tree(self.edges, result.parent, int(root))
-                validation.raise_if_invalid()
-            else:
-                validation = ValidationResult(ok=True)
+        for i, root in enumerate(self.roots):
+            with obs.span("graph500.iteration", iteration=i, root=int(root)):
+                result = engine.run(int(root))
+                obs.counter(M_G500_ITERATIONS).inc()
+                if self.validate:
+                    with obs.span("graph500.validate", root=int(root)):
+                        validation = validate_bfs_tree(
+                            self.edges, result.parent, int(root)
+                        )
+                    if not validation.ok:
+                        obs.counter(M_G500_INVALID).inc()
+                    validation.raise_if_invalid()
+                else:
+                    validation = ValidationResult(ok=True)
+                traversed_input = count_traversed_input_edges(
+                    self.edges, result.parent
+                )
+                obs.counter(M_G500_INPUT_EDGES).inc(traversed_input)
             runs.append(
                 BenchmarkRun(
                     root=int(root),
                     result=result,
                     validation=validation,
-                    input_edges_traversed=count_traversed_input_edges(
-                        self.edges, result.parent
-                    ),
+                    input_edges_traversed=traversed_input,
                 )
             )
         edges_arr = np.array([r.input_edges_traversed for r in runs], dtype=np.float64)

@@ -1,0 +1,73 @@
+"""repro.obs — the unified observability layer.
+
+One zero-dependency subsystem replaces the reproduction's previously
+scattered bookkeeping (ad-hoc prints, private counters in
+``bfs/metrics.py``, one-off summaries):
+
+* :class:`~repro.obs.registry.MetricsRegistry` — labeled counters,
+  gauges and histograms; the names are catalogued in
+  :mod:`repro.obs.schema` and documented in ``docs/observability.md``;
+* :class:`~repro.obs.spans.Tracer` — spans keyed to the simulated clock
+  (BFS levels, direction phases, NVM charges, cache fills, per-NUMA-node
+  shard work);
+* exporters — JSONL event log (lossless, round-trips),
+  Chrome ``trace_event`` JSON (``chrome://tracing`` / Perfetto), and a
+  Prometheus text snapshot.
+
+Typical use::
+
+    from repro.obs import Observability
+
+    obs = Observability()
+    result = run_graph500(DRAM_PCIE_FLASH, scale=12, n_roots=4, seed=1,
+                          obs=obs)
+    obs.export("out/")          # events.jsonl, trace.json, metrics.prom
+
+or from the shell: ``python -m repro run --scale 12 --obs out/``.
+"""
+
+from repro.obs.exporters import (
+    chrome_trace_events,
+    parse_prometheus,
+    prometheus_text,
+    read_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+    write_prometheus,
+)
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricSample,
+    MetricsRegistry,
+)
+from repro.obs.schema import METRICS, SPANS, MetricSpec, metric_names, span_names
+from repro.obs.session import NULL, Observability
+from repro.obs.spans import CounterPoint, Span, TraceEvent, Tracer
+
+__all__ = [
+    "Observability",
+    "NULL",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricSample",
+    "Tracer",
+    "Span",
+    "TraceEvent",
+    "CounterPoint",
+    "MetricSpec",
+    "METRICS",
+    "SPANS",
+    "metric_names",
+    "span_names",
+    "write_jsonl",
+    "read_jsonl",
+    "write_chrome_trace",
+    "chrome_trace_events",
+    "write_prometheus",
+    "prometheus_text",
+    "parse_prometheus",
+]

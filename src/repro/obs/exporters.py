@@ -1,0 +1,343 @@
+"""Exporters: JSONL event log, Chrome ``trace_event``, Prometheus text.
+
+Three views of one observability session, each matched to a consumer:
+
+* :func:`write_jsonl` / :func:`read_jsonl` — the lossless archival
+  format.  One JSON object per line (``meta`` / ``span`` / ``event`` /
+  ``counter_point`` / ``metric``); reading a file back reconstructs the
+  registry values and the span list, so analyses can run long after the
+  process that produced them is gone.
+* :func:`write_chrome_trace` — the Chrome ``trace_event`` JSON array
+  format, loadable in ``chrome://tracing`` and https://ui.perfetto.dev.
+  Spans become complete (``"ph": "X"``) events, instant events ``"i"``,
+  counter tracks ``"C"``; timestamps are virtual microseconds.
+* :func:`write_prometheus` / :func:`parse_prometheus` — a text-format
+  snapshot of the metrics registry (``# HELP`` / ``# TYPE`` / samples),
+  the format every metrics pipeline already ingests.
+
+All outputs iterate in sorted/record order only, so same-seed runs
+produce byte-identical files.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+from repro.obs.registry import MetricsRegistry, format_labels
+from repro.obs.schema import spec_for
+from repro.obs.spans import CounterPoint, Span, TraceEvent
+
+__all__ = [
+    "write_jsonl",
+    "read_jsonl",
+    "write_chrome_trace",
+    "chrome_trace_events",
+    "write_prometheus",
+    "prometheus_text",
+    "parse_prometheus",
+]
+
+JSONL_VERSION = 1
+
+
+# -- JSONL event log ---------------------------------------------------------
+
+
+def write_jsonl(obs, path: str | Path) -> Path:
+    """Write the session as one JSON object per line; returns the path."""
+    path = Path(path)
+    lines: list[str] = [
+        json.dumps(
+            {"type": "meta", "version": JSONL_VERSION, "format": "repro.obs"},
+            sort_keys=True,
+        )
+    ]
+    for span in obs.tracer.spans:
+        lines.append(
+            json.dumps(
+                {
+                    "type": "span",
+                    "id": span.span_id,
+                    "parent": span.parent_id,
+                    "name": span.name,
+                    "t_start_s": span.t_start_s,
+                    "t_end_s": span.t_end_s,
+                    "attrs": _jsonable(span.attrs),
+                },
+                sort_keys=True,
+            )
+        )
+    for evt in obs.tracer.events:
+        lines.append(
+            json.dumps(
+                {
+                    "type": "event",
+                    "name": evt.name,
+                    "t_s": evt.t_s,
+                    "attrs": _jsonable(evt.attrs),
+                },
+                sort_keys=True,
+            )
+        )
+    for point in obs.tracer.counters:
+        lines.append(
+            json.dumps(
+                {
+                    "type": "counter_point",
+                    "name": point.name,
+                    "t_s": point.t_s,
+                    "value": point.value,
+                },
+                sort_keys=True,
+            )
+        )
+    for metric in obs.registry.metrics():
+        record: dict[str, object] = {
+            "type": "metric",
+            "kind": metric.kind,
+            "name": metric.name,
+            "labels": dict(metric.labels),
+        }
+        if metric.kind == "histogram":
+            record["buckets"] = list(metric.buckets)
+            record["bucket_counts"] = list(metric.bucket_counts)
+            record["count"] = metric.count
+            record["sum"] = metric.sum
+        else:
+            record["value"] = metric.value
+        lines.append(json.dumps(record, sort_keys=True))
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def read_jsonl(path: str | Path):
+    """Reconstruct an :class:`~repro.obs.Observability` from a JSONL log.
+
+    The returned session's registry holds the recorded final values and
+    its tracer the recorded spans/events/counter points; it is read-only
+    in spirit (nothing stops further recording, but ids may collide).
+    """
+    from repro.obs.session import Observability  # circular at import time
+
+    path = Path(path)
+    obs = Observability()
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"{path}:{lineno}: not valid JSON: {exc}"
+            ) from None
+        kind = record.get("type")
+        if kind == "meta":
+            if record.get("format") != "repro.obs":
+                raise ConfigurationError(
+                    f"{path}: not a repro.obs event log"
+                )
+        elif kind == "span":
+            obs.tracer.spans.append(
+                Span(
+                    span_id=int(record["id"]),
+                    parent_id=(
+                        int(record["parent"])
+                        if record["parent"] is not None
+                        else None
+                    ),
+                    name=record["name"],
+                    t_start_s=float(record["t_start_s"]),
+                    t_end_s=(
+                        float(record["t_end_s"])
+                        if record["t_end_s"] is not None
+                        else None
+                    ),
+                    attrs=dict(record.get("attrs", {})),
+                )
+            )
+        elif kind == "event":
+            obs.tracer.events.append(
+                TraceEvent(
+                    name=record["name"],
+                    t_s=float(record["t_s"]),
+                    attrs=dict(record.get("attrs", {})),
+                )
+            )
+        elif kind == "counter_point":
+            obs.tracer.counters.append(
+                CounterPoint(
+                    name=record["name"],
+                    t_s=float(record["t_s"]),
+                    value=float(record["value"]),
+                )
+            )
+        elif kind == "metric":
+            labels = {str(k): str(v) for k, v in record["labels"].items()}
+            if record["kind"] == "counter":
+                obs.registry.counter(record["name"], **labels).inc(
+                    float(record["value"])
+                )
+            elif record["kind"] == "gauge":
+                obs.registry.gauge(record["name"], **labels).set(
+                    float(record["value"])
+                )
+            elif record["kind"] == "histogram":
+                hist = obs.registry.histogram(
+                    record["name"],
+                    buckets=tuple(record["buckets"]),
+                    **labels,
+                )
+                hist.bucket_counts = [int(c) for c in record["bucket_counts"]]
+                hist.count = int(record["count"])
+                hist.sum = float(record["sum"])
+            else:
+                raise ConfigurationError(
+                    f"{path}:{lineno}: unknown metric kind {record['kind']!r}"
+                )
+        else:
+            raise ConfigurationError(
+                f"{path}:{lineno}: unknown record type {kind!r}"
+            )
+    return obs
+
+
+def _jsonable(attrs: dict[str, object]) -> dict[str, object]:
+    """Coerce attribute values to JSON-safe scalars."""
+    out: dict[str, object] = {}
+    for k, v in attrs.items():
+        if isinstance(v, (str, bool, int, float)) or v is None:
+            out[k] = v
+        elif hasattr(v, "item"):  # numpy scalar
+            out[k] = v.item()
+        else:
+            out[k] = str(v)
+    return out
+
+
+# -- Chrome trace_event ------------------------------------------------------
+
+
+def chrome_trace_events(obs) -> list[dict]:
+    """The session as a list of ``trace_event`` dicts (µs timestamps)."""
+    events: list[dict] = []
+    pid = 1
+    for span in obs.tracer.spans:
+        end = span.t_end_s if span.t_end_s is not None else span.t_start_s
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.category,
+                "ph": "X",
+                "ts": span.t_start_s * 1e6,
+                "dur": (end - span.t_start_s) * 1e6,
+                "pid": pid,
+                "tid": 1,
+                "args": _jsonable(span.attrs),
+            }
+        )
+    for evt in obs.tracer.events:
+        events.append(
+            {
+                "name": evt.name,
+                "cat": evt.category,
+                "ph": "i",
+                "ts": evt.t_s * 1e6,
+                "pid": pid,
+                "tid": 1,
+                "s": "t",
+                "args": _jsonable(evt.attrs),
+            }
+        )
+    for point in obs.tracer.counters:
+        events.append(
+            {
+                "name": point.name,
+                "ph": "C",
+                "ts": point.t_s * 1e6,
+                "pid": pid,
+                "args": {"value": point.value},
+            }
+        )
+    return events
+
+
+def write_chrome_trace(obs, path: str | Path) -> Path:
+    """Write the Chrome/Perfetto trace JSON; returns the path."""
+    path = Path(path)
+    payload = {
+        "traceEvents": chrome_trace_events(obs),
+        "displayTimeUnit": "ms",
+        "otherData": {"producer": "repro.obs", "clock": "simulated"},
+    }
+    path.write_text(json.dumps(payload, sort_keys=True))
+    return path
+
+
+# -- Prometheus text snapshot ------------------------------------------------
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Render the registry in the Prometheus text exposition format.
+
+    Metric names keep their dotted spelling except that Prometheus
+    requires ``[a-zA-Z_:][a-zA-Z0-9_:]*``, so dots become underscores in
+    the rendered names (the schema doc lists both spellings).
+    """
+    lines: list[str] = []
+    seen_headers: set[str] = set()
+    for sample in registry.samples():
+        base = sample.name
+        for suffix in ("_bucket", "_count", "_sum"):
+            if base.endswith(suffix):
+                base = base[: -len(suffix)]
+                break
+        if base not in seen_headers:
+            seen_headers.add(base)
+            spec = spec_for(base)
+            kind = registry.kind_of(base) or (spec.kind if spec else "untyped")
+            if spec is not None:
+                lines.append(f"# HELP {_prom_name(base)} {spec.help}")
+            lines.append(f"# TYPE {_prom_name(base)} {kind}")
+        rendered = _prom_name(sample.name) + format_labels(sample.labels)
+        lines.append(f"{rendered} {_prom_value(sample.value)}")
+    return "\n".join(lines) + "\n"
+
+
+def write_prometheus(registry: MetricsRegistry, path: str | Path) -> Path:
+    """Write the text snapshot; returns the path."""
+    path = Path(path)
+    path.write_text(prometheus_text(registry))
+    return path
+
+
+def _prom_name(name: str) -> str:
+    return name.replace(".", "_")
+
+
+def _prom_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def parse_prometheus(text: str) -> dict[str, float]:
+    """Parse a text snapshot back into ``{name{labels}: value}``.
+
+    Strict line-by-line: anything that is neither a comment nor a
+    well-formed sample raises :class:`~repro.errors.ConfigurationError`.
+    """
+    out: dict[str, float] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            key, value = line.rsplit(" ", 1)
+            out[key] = float(value)
+        except ValueError:
+            raise ConfigurationError(
+                f"prometheus text line {lineno} is malformed: {line!r}"
+            ) from None
+    return out

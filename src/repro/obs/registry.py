@@ -1,0 +1,335 @@
+"""The metrics registry: counters, gauges and histograms with labels.
+
+One :class:`MetricsRegistry` holds every numeric measurement a run
+produces.  The design follows the Prometheus data model — because that is
+the schema FlashGraph-style tuning sessions actually consume — restricted
+to what a deterministic simulation needs:
+
+* **Counter** — monotonically increasing total (``*_total`` names);
+* **Gauge** — a value that can go anywhere (queue depth, resident bytes);
+* **Histogram** — cumulative ≤-bucket counts plus count/sum, with a
+  vectorized :meth:`Histogram.observe_many` so per-request distributions
+  (thousands of observations per BFS level) stay cheap.
+
+Labels are free-form ``key=value`` string pairs; the same metric name may
+not be registered as two different kinds.  All iteration orders are
+sorted, so two same-seed runs produce byte-identical exports — the
+property the determinism tests pin.
+
+The registry is zero-dependency (NumPy aside, which the repo already
+requires everywhere) and knows nothing about BFS; the names the
+reproduction emits are catalogued in :mod:`repro.obs.schema`.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricSample",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+]
+
+# Decade buckets wide enough for bytes, sectors, vertices and seconds.
+DEFAULT_BUCKETS: tuple[float, ...] = tuple(
+    float(10.0**e) for e in range(-6, 7)
+)
+
+Labels = tuple[tuple[str, str], ...]
+
+
+def _normalize_labels(labels: dict[str, object]) -> Labels:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def format_labels(labels: Labels) -> str:
+    """Render labels in Prometheus brace syntax ('' when unlabeled)."""
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    return "{" + inner + "}"
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    kind = "counter"
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Labels) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be ≥ 0) to the total."""
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name!r} cannot decrease (inc {amount})"
+            )
+        self.value += float(amount)
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}{format_labels(self.labels)}={self.value})"
+
+
+class Gauge:
+    """A value that may move in either direction."""
+
+    kind = "gauge"
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Labels) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the current value."""
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Adjust the current value by ``amount``."""
+        self.value += float(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Adjust the current value by ``-amount``."""
+        self.value -= float(amount)
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}{format_labels(self.labels)}={self.value})"
+
+
+class Histogram:
+    """Cumulative-bucket histogram (Prometheus semantics).
+
+    ``bucket_counts[i]`` counts observations ≤ ``buckets[i]``; an implicit
+    ``+Inf`` bucket equals :attr:`count`.
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "labels", "buckets", "bucket_counts", "count", "sum")
+
+    def __init__(
+        self, name: str, labels: Labels, buckets: tuple[float, ...]
+    ) -> None:
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ConfigurationError(
+                f"histogram {name!r} needs sorted non-empty buckets"
+            )
+        self.name = name
+        self.labels = labels
+        self.buckets = tuple(float(b) for b in buckets)
+        self.bucket_counts = [0] * len(self.buckets)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+
+    def observe_many(self, values: np.ndarray) -> None:
+        """Record a batch of observations (vectorized)."""
+        arr = np.asarray(values, dtype=np.float64).reshape(-1)
+        if arr.size == 0:
+            return
+        self.count += int(arr.size)
+        self.sum += float(arr.sum())
+        # np.searchsorted with side="left" maps v -> first bucket with
+        # bound >= v; cumulative counts follow from the bincount prefix.
+        idx = np.searchsorted(np.asarray(self.buckets), arr, side="left")
+        per_bucket = np.bincount(idx, minlength=len(self.buckets) + 1)
+        below = np.cumsum(per_bucket[: len(self.buckets)])
+        for i, n in enumerate(below):
+            self.bucket_counts[i] += int(n)
+
+    def __repr__(self) -> str:
+        return (
+            f"Histogram({self.name}{format_labels(self.labels)}: "
+            f"count={self.count}, sum={self.sum:.6g})"
+        )
+
+
+Metric = Counter | Gauge | Histogram
+
+
+@dataclass(frozen=True)
+class MetricSample:
+    """One exported time-series point (histograms expand to several)."""
+
+    name: str
+    labels: Labels
+    value: float
+
+    @property
+    def key(self) -> str:
+        """Canonical ``name{labels}`` rendering."""
+        return self.name + format_labels(self.labels)
+
+
+class MetricsRegistry:
+    """All metrics of one observability session.
+
+    Metric instances are created lazily on first use and are identified
+    by ``(name, labels)``; re-requesting the same pair returns the same
+    instance.  Thread-safe: creation takes an internal lock (the storage
+    layer's charge lock already serializes the hot increments, but shard
+    workers may touch the registry concurrently).
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple[str, Labels], Metric] = {}
+        self._kinds: dict[str, str] = {}
+        self._lock = threading.Lock()
+
+    # -- metric access -----------------------------------------------------------
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        """Get or create the counter ``name`` with ``labels``."""
+        return self._get(name, "counter", labels)  # type: ignore[return-value]
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        """Get or create the gauge ``name`` with ``labels``."""
+        return self._get(name, "gauge", labels)  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+        **labels: object,
+    ) -> Histogram:
+        """Get or create the histogram ``name`` with ``labels``."""
+        return self._get(name, "histogram", labels, buckets)  # type: ignore[return-value]
+
+    def _get(
+        self,
+        name: str,
+        kind: str,
+        labels: dict[str, object],
+        buckets: tuple[float, ...] | None = None,
+    ) -> Metric:
+        key = (name, _normalize_labels(labels))
+        with self._lock:
+            existing = self._kinds.get(name)
+            if existing is not None and existing != kind:
+                raise ConfigurationError(
+                    f"metric {name!r} already registered as {existing}, "
+                    f"requested as {kind}"
+                )
+            metric = self._metrics.get(key)
+            if metric is None:
+                if kind == "counter":
+                    metric = Counter(name, key[1])
+                elif kind == "gauge":
+                    metric = Gauge(name, key[1])
+                else:
+                    assert buckets is not None
+                    metric = Histogram(name, key[1], buckets)
+                self._metrics[key] = metric
+                self._kinds[name] = kind
+            return metric
+
+    # -- read-side views ---------------------------------------------------------
+
+    def names(self) -> list[str]:
+        """Sorted distinct metric names."""
+        return sorted(self._kinds)
+
+    def kind_of(self, name: str) -> str | None:
+        """Registered kind of ``name`` (``None`` if never used)."""
+        return self._kinds.get(name)
+
+    def metrics(self) -> list[Metric]:
+        """All metric instances, sorted by (name, labels)."""
+        return [self._metrics[k] for k in sorted(self._metrics)]
+
+    def value(self, name: str, **labels: object) -> float:
+        """Current value of a counter/gauge (0.0 if never touched)."""
+        metric = self._metrics.get((name, _normalize_labels(labels)))
+        if metric is None:
+            return 0.0
+        if isinstance(metric, Histogram):
+            raise ConfigurationError(
+                f"{name!r} is a histogram; read .count/.sum on the instance"
+            )
+        return metric.value
+
+    def total(self, name: str) -> float:
+        """Sum of a counter/gauge across all label sets."""
+        return sum(
+            m.value
+            for m in self.metrics()
+            if m.name == name and not isinstance(m, Histogram)
+        )
+
+    def samples(self) -> list[MetricSample]:
+        """Flatten every metric into exportable samples (sorted).
+
+        Histograms expand Prometheus-style: ``name_bucket{le=...}`` per
+        bound (plus ``+Inf``), ``name_count`` and ``name_sum``.
+        """
+        out: list[MetricSample] = []
+        for metric in self.metrics():
+            if isinstance(metric, Histogram):
+                for bound, count in zip(metric.buckets, metric.bucket_counts):
+                    out.append(
+                        MetricSample(
+                            f"{metric.name}_bucket",
+                            metric.labels + (("le", _format_bound(bound)),),
+                            float(count),
+                        )
+                    )
+                out.append(
+                    MetricSample(
+                        f"{metric.name}_bucket",
+                        metric.labels + (("le", "+Inf"),),
+                        float(metric.count),
+                    )
+                )
+                out.append(
+                    MetricSample(
+                        f"{metric.name}_count", metric.labels, float(metric.count)
+                    )
+                )
+                out.append(
+                    MetricSample(
+                        f"{metric.name}_sum", metric.labels, float(metric.sum)
+                    )
+                )
+            else:
+                out.append(
+                    MetricSample(metric.name, metric.labels, float(metric.value))
+                )
+        return out
+
+    def as_dict(self) -> dict[str, float]:
+        """``{canonical sample key: value}`` — the determinism-test view."""
+        return {s.key: s.value for s in self.samples()}
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry({len(self._kinds)} names, "
+            f"{len(self._metrics)} series)"
+        )
+
+
+def _format_bound(bound: float) -> str:
+    """Stable rendering of a bucket bound ('0.001', '100.0', ...)."""
+    return repr(float(bound))

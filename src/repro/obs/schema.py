@@ -1,0 +1,217 @@
+"""The catalogue of every metric and span name the reproduction emits.
+
+This module is the schema the docs, the exporters and the tests all hang
+off: ``docs/observability.md`` documents exactly these names (a test
+diffs the two), the Prometheus exporter takes its ``# HELP`` strings from
+here, and the instrumented call sites import the ``M_*`` constants so a
+typo becomes an import error instead of a silently forked time series.
+
+Conventions (Prometheus-flavoured):
+
+* counters end in ``_total`` (``_seconds_total`` when they accumulate
+  virtual time);
+* gauges and histograms carry unit suffixes (``_bytes``, ``_seconds``,
+  ``_vertices``);
+* the ``device`` label identifies the device model on storage-layer
+  metrics; ``direction`` / ``medium`` split BFS edge work the way the
+  paper's Figure 10 does.
+
+Only *virtual* (simulated-clock) time enters the registry — wall-clock
+timings stay in :class:`~repro.bfs.metrics.LevelTrace` — which is what
+makes two same-seed runs emit identical metric values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MetricSpec", "METRICS", "SPANS", "metric_names", "span_names",
+           "spec_for"]
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """Declared name, kind, labels and meaning of one metric."""
+
+    name: str
+    kind: str  # "counter" | "gauge" | "histogram"
+    labels: tuple[str, ...]
+    help: str
+
+
+# -- metric name constants (import these at call sites) -----------------------
+
+M_BFS_RUNS = "bfs.runs_total"
+M_BFS_LEVELS = "bfs.levels_total"
+M_BFS_EDGES = "bfs.edges_scanned_total"
+M_BFS_DISCOVERED = "bfs.discovered_vertices_total"
+M_BFS_DEGRADED = "bfs.degraded_levels_total"
+M_BFS_TRAVERSED = "bfs.traversed_edges_total"
+M_BFS_LEVEL_SECONDS = "bfs.level_seconds"
+M_BFS_FRONTIER = "bfs.frontier_vertices"
+M_G500_ITERATIONS = "graph500.iterations_total"
+M_G500_INVALID = "graph500.validation_failures_total"
+M_G500_INPUT_EDGES = "graph500.traversed_input_edges_total"
+M_NVM_REQUESTS = "nvm.requests_total"
+M_NVM_BATCHES = "nvm.batches_total"
+M_NVM_BYTES = "nvm.read_bytes_total"
+M_NVM_SECTORS = "nvm.read_sectors_total"
+M_NVM_BUSY = "nvm.busy_seconds_total"
+M_NVM_QUEUE_SECONDS = "nvm.queue_seconds_total"
+M_NVM_SYSCALLS = "nvm.syscalls_total"
+M_NVM_QUEUE_DEPTH = "nvm.queue_depth"
+M_NVM_REQUEST_BYTES = "nvm.request_bytes"
+M_CACHE_HIT_BYTES = "cache.hit_bytes_total"
+M_CACHE_MISS_BYTES = "cache.miss_bytes_total"
+M_CACHE_RESIDENT = "cache.resident_bytes"
+M_RES_ATTEMPTS = "resilience.attempts_total"
+M_RES_RETRIES = "resilience.retries_total"
+M_RES_TRANSIENT = "resilience.transient_errors_total"
+M_RES_TORN = "resilience.torn_reads_total"
+M_RES_CHECKSUM = "resilience.checksum_failures_total"
+M_RES_TIMEOUTS = "resilience.timeouts_total"
+M_RES_GC_PAUSES = "resilience.gc_pauses_total"
+M_RES_GC_SECONDS = "resilience.gc_pause_seconds_total"
+M_RES_BACKOFF_SECONDS = "resilience.backoff_seconds_total"
+M_RES_HARD_FAILURES = "resilience.hard_failures_total"
+M_RES_REFUSED = "resilience.refused_reads_total"
+M_HEALTH_SCORE = "health.score"
+M_HEALTH_CIRCUIT = "health.circuit_open"
+M_PIPE_PAGE_CACHE = "pipeline.page_cache_bytes"
+M_PIPE_DRAM_BUDGET = "pipeline.dram_budget_bytes"
+M_PIPE_DRAM_USED = "pipeline.dram_used_bytes"
+
+
+METRICS: tuple[MetricSpec, ...] = (
+    # -- BFS engines ----------------------------------------------------------
+    MetricSpec(M_BFS_RUNS, "counter", ("engine",),
+               "BFS executions started, by engine class."),
+    MetricSpec(M_BFS_LEVELS, "counter", ("direction",),
+               "Levels executed per direction (Fig. 10's level split)."),
+    MetricSpec(M_BFS_EDGES, "counter", ("direction", "medium"),
+               "Edge probes per direction and residence of the adjacency "
+               "(medium=dram|nvm); the Fig. 10 traversed-edge split."),
+    MetricSpec(M_BFS_DISCOVERED, "counter", ("direction",),
+               "Vertices discovered per direction."),
+    MetricSpec(M_BFS_DEGRADED, "counter", (),
+               "Levels forced bottom-up by an open device circuit."),
+    MetricSpec(M_BFS_TRAVERSED, "counter", (),
+               "Undirected traversed edges across runs (TEPS numerators)."),
+    MetricSpec(M_BFS_LEVEL_SECONDS, "histogram", (),
+               "Modeled (simulated-clock) duration of each level."),
+    MetricSpec(M_BFS_FRONTIER, "histogram", (),
+               "Frontier size entering each level."),
+    # -- Graph500 driver ------------------------------------------------------
+    MetricSpec(M_G500_ITERATIONS, "counter", (),
+               "Benchmark iterations (the spec's 64 roots)."),
+    MetricSpec(M_G500_INVALID, "counter", (),
+               "Step-4 validations that failed."),
+    MetricSpec(M_G500_INPUT_EDGES, "counter", (),
+               "Official TEPS numerator: input edge tuples touching the "
+               "traversed component, summed over iterations."),
+    # -- NVM device / iostat --------------------------------------------------
+    MetricSpec(M_NVM_REQUESTS, "counter", ("device",),
+               "Merged device requests issued (what iostat r/s counts)."),
+    MetricSpec(M_NVM_BATCHES, "counter", ("device",),
+               "Charged batches (one per serviced gather attempt)."),
+    MetricSpec(M_NVM_BYTES, "counter", ("device",),
+               "Bytes read from the device."),
+    MetricSpec(M_NVM_SECTORS, "counter", ("device",),
+               "512-byte sectors read; avgrq-sz (Fig. 13) = "
+               "nvm.read_sectors_total / nvm.requests_total."),
+    MetricSpec(M_NVM_BUSY, "counter", ("device",),
+               "Modeled seconds the device spent servicing requests."),
+    MetricSpec(M_NVM_QUEUE_SECONDS, "counter", ("device",),
+               "Queue-length integral over busy time; avgqu-sz (Fig. 12) "
+               "= nvm.queue_seconds_total / nvm.busy_seconds_total."),
+    MetricSpec(M_NVM_SYSCALLS, "counter", ("device",),
+               "Chunked read(2) calls planned (<= 4 KB each, paper §V-C)."),
+    MetricSpec(M_NVM_QUEUE_DEPTH, "gauge", ("device",),
+               "Mean request-queue length of the most recent batch."),
+    MetricSpec(M_NVM_REQUEST_BYTES, "histogram", ("device",),
+               "Per-request sizes of the merged device requests."),
+    # -- page cache -----------------------------------------------------------
+    MetricSpec(M_CACHE_HIT_BYTES, "counter", ("device",),
+               "Bytes served from the modeled OS page cache."),
+    MetricSpec(M_CACHE_MISS_BYTES, "counter", ("device",),
+               "Bytes that missed the page cache and hit the device."),
+    MetricSpec(M_CACHE_RESIDENT, "gauge", ("device",),
+               "Bytes currently resident in the fill-once page cache."),
+    # -- resilient read path --------------------------------------------------
+    MetricSpec(M_RES_ATTEMPTS, "counter", ("device",),
+               "Device batch submissions, including failed attempts."),
+    MetricSpec(M_RES_RETRIES, "counter", ("device",),
+               "Attempts that were retries of a failed read."),
+    MetricSpec(M_RES_TRANSIENT, "counter", ("device",),
+               "Injected transient read errors observed."),
+    MetricSpec(M_RES_TORN, "counter", ("device",),
+               "Torn reads detected by checksum verification."),
+    MetricSpec(M_RES_CHECKSUM, "counter", ("device",),
+               "Checksum verification failures (torn + persistent)."),
+    MetricSpec(M_RES_TIMEOUTS, "counter", ("device",),
+               "Attempts exceeding the retry policy's timeout."),
+    MetricSpec(M_RES_GC_PAUSES, "counter", ("device",),
+               "Injected device GC stalls absorbed."),
+    MetricSpec(M_RES_GC_SECONDS, "counter", ("device",),
+               "Virtual seconds lost to GC stalls (device-side)."),
+    MetricSpec(M_RES_BACKOFF_SECONDS, "counter", ("device",),
+               "Virtual seconds the host waited in retry backoff."),
+    MetricSpec(M_RES_HARD_FAILURES, "counter", ("device",),
+               "Hard device failures observed."),
+    MetricSpec(M_RES_REFUSED, "counter", ("device",),
+               "Reads refused because the circuit breaker was open."),
+    MetricSpec(M_HEALTH_SCORE, "gauge", ("device",),
+               "Device health score in [0, 1] (1 = healthy)."),
+    MetricSpec(M_HEALTH_CIRCUIT, "gauge", ("device",),
+               "1 while the circuit breaker is open, else 0."),
+    # -- pipeline placement ---------------------------------------------------
+    MetricSpec(M_PIPE_PAGE_CACHE, "gauge", (),
+               "Spare DRAM granted to the page cache (Fig. 9 mechanism)."),
+    MetricSpec(M_PIPE_DRAM_BUDGET, "gauge", (),
+               "Scenario DRAM budget resolved by the offload planner."),
+    MetricSpec(M_PIPE_DRAM_USED, "gauge", (),
+               "DRAM the verified placement actually keeps resident."),
+)
+
+
+# Span and instant-event names (documented; not part of the metric diff).
+SPANS: tuple[str, ...] = (
+    "pipeline.generate",
+    "pipeline.offload_edges",
+    "pipeline.construct",
+    "pipeline.offload_forward",
+    "pipeline.bfs",
+    "graph500.iteration",
+    "graph500.validate",
+    "bfs.run",
+    "bfs.phase",
+    "bfs.level",
+    "bfs.shard",
+    "nvm.charge",
+    "nvm.backoff",
+    "cache.fill",
+)
+
+
+def metric_names() -> frozenset[str]:
+    """Every catalogued metric name."""
+    return frozenset(s.name for s in METRICS)
+
+
+def span_names() -> frozenset[str]:
+    """Every catalogued span/event name."""
+    return frozenset(SPANS)
+
+
+_BY_NAME = {s.name: s for s in METRICS}
+
+
+def spec_for(name: str) -> MetricSpec | None:
+    """Look up the spec of a metric name (histogram-suffix aware)."""
+    spec = _BY_NAME.get(name)
+    if spec is not None:
+        return spec
+    for suffix in ("_bucket", "_count", "_sum"):
+        if name.endswith(suffix):
+            return _BY_NAME.get(name[: -len(suffix)])
+    return None

@@ -1,0 +1,177 @@
+"""The observability session: one registry + one tracer + exporters.
+
+An :class:`Observability` object is what flows through the system: the
+pipeline, the storage layer, the BFS engines and the Graph500 driver all
+accept one (default ``None`` → the shared no-op :data:`NULL`) and record
+into it.  At the end of a run, :meth:`Observability.export` writes the
+three artifacts next to each other::
+
+    out/
+      events.jsonl   # lossless log (round-trips via read_jsonl)
+      trace.json     # chrome://tracing / Perfetto
+      metrics.prom   # Prometheus text snapshot
+
+Disabled sessions (:data:`NULL`, or ``Observability(enabled=False)``)
+keep every recording call a cheap no-op so instrumented hot paths need no
+conditionals.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+from repro.obs.exporters import (
+    write_chrome_trace,
+    write_jsonl,
+    write_prometheus,
+)
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.spans import Span, Tracer
+
+__all__ = ["Observability", "NULL"]
+
+
+class Observability:
+    """A live observability session (or a disabled stand-in)."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = bool(enabled)
+        self.registry = MetricsRegistry()
+        self.tracer = Tracer()
+
+    # -- clock -----------------------------------------------------------------
+
+    def bind_clock(self, clock) -> None:
+        """Attach the simulated clock spans should read (first wins)."""
+        if self.enabled:
+            self.tracer.bind_clock(clock)
+
+    # -- recording pass-throughs ----------------------------------------------
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        """Registry counter (a no-op sink when disabled)."""
+        if not self.enabled:
+            return _NULL_COUNTER
+        return self.registry.counter(name, **labels)
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        """Registry gauge (a no-op sink when disabled)."""
+        if not self.enabled:
+            return _NULL_GAUGE
+        return self.registry.gauge(name, **labels)
+
+    def histogram(self, name: str, **labels: object) -> Histogram:
+        """Registry histogram (a no-op sink when disabled)."""
+        if not self.enabled:
+            return _NULL_HISTOGRAM
+        return self.registry.histogram(name, **labels)
+
+    def span(self, name: str, **attrs: object):
+        """Context manager opening a tracer span (no-op when disabled)."""
+        if not self.enabled:
+            return nullcontext(_NULL_SPAN)
+        return self.tracer.span(name, **attrs)
+
+    def event(self, name: str, **attrs: object) -> None:
+        """Record an instant event (dropped when disabled)."""
+        if self.enabled:
+            self.tracer.event(name, **attrs)
+
+    def track(self, name: str, value: float) -> None:
+        """Record a counter-track point (dropped when disabled)."""
+        if self.enabled:
+            self.tracer.counter(name, value)
+
+    def record_span(
+        self,
+        name: str,
+        t_start_s: float,
+        t_end_s: float,
+        parent: Span | None = None,
+        **attrs: object,
+    ) -> Span | None:
+        """Append an already-timed span (for synthesized intervals,
+        e.g. the direction phases reconstructed after a BFS run)."""
+        if not self.enabled:
+            return None
+        tracer = self.tracer
+        with tracer._lock:
+            span = Span(
+                span_id=tracer._next_id,
+                parent_id=parent.span_id if parent is not None else None,
+                name=name,
+                t_start_s=float(t_start_s),
+                t_end_s=float(t_end_s),
+                attrs=dict(attrs),
+            )
+            tracer._next_id += 1
+            tracer.spans.append(span)
+        return span
+
+    # -- export ----------------------------------------------------------------
+
+    def export(self, outdir: str | Path) -> dict[str, Path]:
+        """Write all three artifacts into ``outdir``; returns their paths."""
+        if not self.enabled:
+            raise ConfigurationError(
+                "cannot export a disabled observability session"
+            )
+        outdir = Path(outdir)
+        outdir.mkdir(parents=True, exist_ok=True)
+        return {
+            "jsonl": write_jsonl(self, outdir / "events.jsonl"),
+            "chrome_trace": write_chrome_trace(self, outdir / "trace.json"),
+            "prometheus": write_prometheus(
+                self.registry, outdir / "metrics.prom"
+            ),
+        }
+
+    def __repr__(self) -> str:
+        if not self.enabled:
+            return "Observability(disabled)"
+        return (
+            f"Observability({len(self.registry)} series, "
+            f"{len(self.tracer.spans)} spans)"
+        )
+
+
+class _NullMetric:
+    """Absorbs every write; never registered anywhere."""
+
+    __slots__ = ()
+    value = 0.0
+    count = 0
+    sum = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:  # noqa: D102
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:  # noqa: D102
+        pass
+
+    def set(self, value: float) -> None:  # noqa: D102
+        pass
+
+    def observe(self, value: float) -> None:  # noqa: D102
+        pass
+
+    def observe_many(self, values) -> None:  # noqa: D102
+        pass
+
+
+class _NullSpan(Span):
+    """A span that forgets its attributes (the disabled-session yield)."""
+
+    def set(self, **attrs: object) -> "Span":  # noqa: D102
+        return self
+
+
+_NULL_COUNTER = _NullMetric()
+_NULL_GAUGE = _NullMetric()
+_NULL_HISTOGRAM = _NullMetric()
+_NULL_SPAN = _NullSpan(span_id=0, parent_id=None, name="null", t_start_s=0.0)
+
+#: The process-wide disabled session instrumented code defaults to.
+NULL = Observability(enabled=False)

@@ -1,0 +1,179 @@
+"""Span-based tracing on the simulated clock.
+
+A :class:`Span` is one named, attributed interval of *virtual* time: a
+BFS level, a direction phase, an NVM charge, a page-cache fill, one NUMA
+node's shard scan.  Spans nest — the tracer keeps a per-thread stack, so
+an ``nvm.charge`` recorded while a ``bfs.level`` span is open becomes its
+child — and carry free-form attributes set at open time or while open.
+
+Time comes from whatever object with a ``now() -> float`` method the
+tracer is bound to (normally the run's
+:class:`~repro.semiext.clock.SimulatedClock`).  Binding to the simulated
+clock is what makes traces deterministic and replayable: two same-seed
+runs emit byte-identical span streams, and the Chrome ``trace_event``
+export shows modeled time, i.e. the exact quantity the paper's TEPS are
+computed from.
+
+Besides spans the tracer records **instant events** (zero-duration marks,
+e.g. a retry backoff decision) and **counter tracks** (time-series values
+Perfetto plots as graphs, e.g. the frontier size per level).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from contextlib import contextmanager
+
+__all__ = ["Span", "TraceEvent", "CounterPoint", "Tracer"]
+
+
+@dataclass
+class Span:
+    """One closed (or still open) interval of virtual time."""
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    t_start_s: float
+    t_end_s: float | None = None
+    attrs: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration_s(self) -> float:
+        """Virtual duration (0.0 while still open)."""
+        if self.t_end_s is None:
+            return 0.0
+        return self.t_end_s - self.t_start_s
+
+    def set(self, **attrs: object) -> "Span":
+        """Attach/overwrite attributes while the span is open."""
+        self.attrs.update(attrs)
+        return self
+
+    @property
+    def category(self) -> str:
+        """Dotted-name prefix ('bfs' for 'bfs.level')."""
+        return self.name.split(".", 1)[0]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """A zero-duration instant mark."""
+
+    name: str
+    t_s: float
+    attrs: dict[str, object]
+
+    @property
+    def category(self) -> str:
+        """Dotted-name prefix."""
+        return self.name.split(".", 1)[0]
+
+
+@dataclass(frozen=True)
+class CounterPoint:
+    """One sample of a counter track (Perfetto plots these as curves)."""
+
+    name: str
+    t_s: float
+    value: float
+
+
+class Tracer:
+    """Collects spans, instant events and counter tracks.
+
+    The tracer starts unbound (time reads 0.0); the first component that
+    owns a simulated clock binds it via :meth:`bind_clock`.  Span nesting
+    uses a thread-local stack, so shard workers cannot corrupt each
+    other's parent links; recording appends under a lock.
+    """
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+        self.events: list[TraceEvent] = []
+        self.counters: list[CounterPoint] = []
+        self._clock = None
+        self._next_id = 1
+        self._lock = threading.Lock()
+        self._stack = threading.local()
+
+    # -- time ------------------------------------------------------------------
+
+    def bind_clock(self, clock) -> None:
+        """Attach a ``now() -> float`` time source (first binding wins)."""
+        if self._clock is None:
+            self._clock = clock
+
+    @property
+    def clock_bound(self) -> bool:
+        """Whether a time source has been attached."""
+        return self._clock is not None
+
+    def now(self) -> float:
+        """Current virtual time (0.0 before a clock is bound)."""
+        return self._clock.now() if self._clock is not None else 0.0
+
+    # -- recording -------------------------------------------------------------
+
+    def _parents(self) -> list[Span]:
+        stack = getattr(self._stack, "spans", None)
+        if stack is None:
+            stack = self._stack.spans = []
+        return stack
+
+    @contextmanager
+    def span(self, name: str, **attrs: object) -> Iterator[Span]:
+        """Open a span; closes (records t_end) when the block exits.
+
+        >>> tracer = Tracer()
+        >>> with tracer.span("bfs.level", level=0) as s:
+        ...     _ = s.set(direction="top-down")
+        >>> tracer.spans[0].name
+        'bfs.level'
+        """
+        stack = self._parents()
+        with self._lock:
+            span = Span(
+                span_id=self._next_id,
+                parent_id=stack[-1].span_id if stack else None,
+                name=name,
+                t_start_s=self.now(),
+                attrs=dict(attrs),
+            )
+            self._next_id += 1
+            self.spans.append(span)
+        stack.append(span)
+        try:
+            yield span
+        finally:
+            stack.pop()
+            span.t_end_s = self.now()
+
+    def event(self, name: str, **attrs: object) -> TraceEvent:
+        """Record an instant event at the current virtual time."""
+        evt = TraceEvent(name=name, t_s=self.now(), attrs=dict(attrs))
+        with self._lock:
+            self.events.append(evt)
+        return evt
+
+    def counter(self, name: str, value: float) -> None:
+        """Record one point on a counter track."""
+        with self._lock:
+            self.counters.append(
+                CounterPoint(name=name, t_s=self.now(), value=float(value))
+            )
+
+    # -- read side -------------------------------------------------------------
+
+    def find(self, name: str) -> list[Span]:
+        """All spans with the given name, in record order."""
+        return [s for s in self.spans if s.name == name]
+
+    def __repr__(self) -> str:
+        return (
+            f"Tracer(spans={len(self.spans)}, events={len(self.events)}, "
+            f"counter_points={len(self.counters)})"
+        )

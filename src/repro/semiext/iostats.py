@@ -21,6 +21,16 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.obs.schema import (
+    M_NVM_BATCHES,
+    M_NVM_BUSY,
+    M_NVM_BYTES,
+    M_NVM_QUEUE_DEPTH,
+    M_NVM_QUEUE_SECONDS,
+    M_NVM_REQUEST_BYTES,
+    M_NVM_REQUESTS,
+    M_NVM_SECTORS,
+)
 from repro.util.chunking import SECTOR_BYTES
 
 __all__ = ["IoSample", "IoStats"]
@@ -63,6 +73,11 @@ class IoStats:
 
     device_name: str = "nvm"
     samples: list[IoSample] = field(default_factory=list)
+    obs: object = field(default=None, repr=False, compare=False)
+    """Optional :class:`~repro.obs.Observability` mirror: every recorded
+    batch also increments the session's ``nvm.*`` registry metrics, so
+    the registry sees exactly what iostat sees (including trace replays
+    and retry attempts)."""
     _n_requests: int = 0
     _total_bytes: int = 0
     _total_sectors: int = 0
@@ -108,6 +123,19 @@ class IoStats:
         self._total_sectors += sectors
         self._busy_time_s += duration_s
         self._queue_integral += mean_queue * duration_s
+        obs = self.obs
+        if obs is not None and getattr(obs, "enabled", False):
+            dev = self.device_name
+            obs.counter(M_NVM_BATCHES, device=dev).inc()
+            obs.counter(M_NVM_REQUESTS, device=dev).inc(n)
+            obs.counter(M_NVM_BYTES, device=dev).inc(total)
+            obs.counter(M_NVM_SECTORS, device=dev).inc(sectors)
+            obs.counter(M_NVM_BUSY, device=dev).inc(duration_s)
+            obs.counter(M_NVM_QUEUE_SECONDS, device=dev).inc(
+                mean_queue * duration_s
+            )
+            obs.gauge(M_NVM_QUEUE_DEPTH, device=dev).set(mean_queue)
+            obs.histogram(M_NVM_REQUEST_BYTES, device=dev).observe_many(sizes)
         return sample
 
     # -- aggregates (iostat names) --------------------------------------------

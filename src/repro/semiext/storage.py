@@ -44,6 +44,26 @@ from repro.semiext.faults import (
     ResilienceStats,
     RetryPolicy,
 )
+from repro.obs.schema import (
+    M_CACHE_HIT_BYTES,
+    M_CACHE_MISS_BYTES,
+    M_CACHE_RESIDENT,
+    M_HEALTH_CIRCUIT,
+    M_HEALTH_SCORE,
+    M_NVM_SYSCALLS,
+    M_RES_ATTEMPTS,
+    M_RES_BACKOFF_SECONDS,
+    M_RES_CHECKSUM,
+    M_RES_GC_PAUSES,
+    M_RES_GC_SECONDS,
+    M_RES_HARD_FAILURES,
+    M_RES_REFUSED,
+    M_RES_RETRIES,
+    M_RES_TIMEOUTS,
+    M_RES_TORN,
+    M_RES_TRANSIENT,
+)
+from repro.obs.session import NULL, Observability
 from repro.semiext.iostats import IoStats
 from repro.util.chunking import (
     DEFAULT_CHUNK_BYTES,
@@ -105,6 +125,12 @@ class NVMStore:
     health:
         Device health monitor / circuit breaker; a default-configured
         :class:`~repro.semiext.faults.DeviceHealthMonitor` when omitted.
+    obs:
+        Observability session recording the store's activity: the
+        ``nvm.*`` / ``cache.*`` / ``res.*`` / ``health.*`` metrics and
+        the ``nvm.charge`` / ``nvm.backoff`` spans documented in
+        ``docs/observability.md``.  Defaults to the disabled
+        :data:`~repro.obs.NULL` session (zero overhead).
     """
 
     def __init__(
@@ -121,6 +147,7 @@ class NVMStore:
         retry: RetryPolicy | None = None,
         verify_checksums: bool | None = None,
         health: DeviceHealthMonitor | None = None,
+        obs: Observability | None = None,
     ) -> None:
         if io_mode not in ("sync", "async"):
             raise ConfigurationError(
@@ -139,7 +166,12 @@ class NVMStore:
         self.root.mkdir(parents=True, exist_ok=True)
         self.device = device
         self.clock = clock if clock is not None else SimulatedClock()
-        self.iostats = IoStats(device_name=device.name)
+        self.obs = obs if obs is not None else NULL
+        self.obs.bind_clock(self.clock)
+        self.iostats = IoStats(
+            device_name=device.name,
+            obs=self.obs if self.obs.enabled else None,
+        )
         if page_cache_bytes < 0:
             raise ConfigurationError(
                 f"page_cache_bytes must be >= 0: {page_cache_bytes}"
@@ -257,6 +289,10 @@ class NVMStore:
     ) -> float:
         syscalls = plan_chunks(offsets, lengths, self.chunk_bytes)
         self.n_syscalls += syscalls.n_requests
+        obs = self.obs
+        obs.counter(M_NVM_SYSCALLS, device=self.device.name).inc(
+            syscalls.n_requests
+        )
         plan = merge_extents(
             offsets,
             lengths,
@@ -273,7 +309,14 @@ class NVMStore:
             plan = self._filter_cached(plan, file_key, density)
             if plan.n_requests == 0:
                 return 0.0
-        return self._service_resilient(plan, think_time_s, file_key)
+        with obs.span(
+            "nvm.charge",
+            device=self.device.name,
+            file_key=file_key,
+            requests=plan.n_requests,
+            bytes=plan.total_bytes,
+        ):
+            return self._service_resilient(plan, think_time_s, file_key)
 
     def _service_once(self, plan, think_time_s: float) -> BatchResult:
         """Solve one batch submission through the device model (no side
@@ -329,19 +372,24 @@ class NVMStore:
 
         retry = self.retry
         res = self.resilience
+        obs = self.obs
+        dev = self.device.name
         t_begin = self.clock.now()
         attempt = 0
         while True:
             now = self.clock.now()
             if self.health.circuit_open:
                 res.n_refused_reads += 1
+                obs.counter(M_RES_REFUSED, device=dev).inc()
                 raise DeviceFailedError(
                     f"device {self.device.name!r}: circuit breaker open "
                     f"at t={now:.6f}s; read of {file_key!r} refused"
                 )
             if injector is not None and injector.hard_failed(now):
                 res.n_hard_failures += 1
+                obs.counter(M_RES_HARD_FAILURES, device=dev).inc()
                 self.health.record_hard_failure(now)
+                self._record_health(obs, dev)
                 raise DeviceFailedError(
                     f"device {self.device.name!r} failed hard at "
                     f"t={now:.6f}s (fail_at_s="
@@ -349,11 +397,14 @@ class NVMStore:
                 )
             attempt += 1
             res.n_attempts += 1
+            obs.counter(M_RES_ATTEMPTS, device=dev).inc()
             outcome = injector.draw() if injector is not None else None
             stall_s = outcome.gc_pause_s if outcome is not None else 0.0
             if stall_s > 0.0:
                 res.n_gc_pauses += 1
                 res.gc_pause_time_s += stall_s
+                obs.counter(M_RES_GC_PAUSES, device=dev).inc()
+                obs.counter(M_RES_GC_SECONDS, device=dev).inc(stall_s)
             result = self._service_once(plan, think_time_s)
             attempt_s = result.elapsed_s + stall_s
             # The device is charged once per attempt: GC stall included
@@ -369,9 +420,11 @@ class NVMStore:
             error: str | None = None
             if outcome is not None and outcome.transient:
                 res.n_transient_errors += 1
+                obs.counter(M_RES_TRANSIENT, device=dev).inc()
                 error = "transient read error"
             elif retry.timeout_s is not None and attempt_s > retry.timeout_s:
                 res.n_timeouts += 1
+                obs.counter(M_RES_TIMEOUTS, device=dev).inc()
                 error = (
                     f"request timeout ({attempt_s:.6f}s > "
                     f"{retry.timeout_s:.6f}s)"
@@ -379,14 +432,19 @@ class NVMStore:
             elif outcome is not None and outcome.torn:
                 res.n_torn_reads += 1
                 res.n_checksum_failures += 1
+                obs.counter(M_RES_TORN, device=dev).inc()
+                obs.counter(M_RES_CHECKSUM, device=dev).inc()
                 error = "torn read (checksum mismatch)"
             elif self.verify_checksums and not self._verify_pages(file_key, plan):
                 res.n_checksum_failures += 1
+                obs.counter(M_RES_CHECKSUM, device=dev).inc()
                 error = "persistent checksum mismatch"
             if error is None:
                 self.health.record_success(self.clock.now())
+                self._record_health(obs, dev)
                 return self.clock.now() - t_begin
             self.health.record_error(self.clock.now())
+            self._record_health(obs, dev)
             if attempt > retry.max_retries:
                 message = (
                     f"read of {file_key!r} on {self.device.name!r} failed "
@@ -398,9 +456,21 @@ class NVMStore:
                     raise ChecksumError(message)
                 raise TransientIOError(message)
             wait = retry.backoff_s(attempt)
-            self.clock.advance(wait)
+            with obs.span(
+                "nvm.backoff", device=dev, attempt=attempt, wait_s=wait
+            ):
+                self.clock.advance(wait)
             res.n_retries += 1
             res.backoff_time_s += wait
+            obs.counter(M_RES_RETRIES, device=dev).inc()
+            obs.counter(M_RES_BACKOFF_SECONDS, device=dev).inc(wait)
+
+    def _record_health(self, obs: Observability, dev: str) -> None:
+        """Mirror the health monitor's state into the registry gauges."""
+        obs.gauge(M_HEALTH_SCORE, device=dev).set(self.health.health_score())
+        obs.gauge(M_HEALTH_CIRCUIT, device=dev).set(
+            1.0 if self.health.circuit_open else 0.0
+        )
 
     def _verify_pages(self, file_key: str, plan) -> bool:
         """Recompute CRC32s of the pages a device batch touched.
@@ -465,6 +535,9 @@ class NVMStore:
         hit = resident[pages]
         n_hit_bytes = int(hit.sum()) * pb
         self.cache_hit_bytes += n_hit_bytes
+        obs = self.obs
+        dev = self.device.name
+        obs.counter(M_CACHE_HIT_BYTES, device=dev).inc(n_hit_bytes)
         if n_hit_bytes and self.cache_hit_time_per_byte > 0.0:
             # Cached pages are read from DRAM: charge memory-speed time
             # for the useful fraction of the hit pages.
@@ -472,7 +545,9 @@ class NVMStore:
                 n_hit_bytes * density * self.cache_hit_time_per_byte
             )
         misses = pages[~hit]
-        self.cache_miss_bytes += int(misses.size) * pb
+        n_miss_bytes = int(misses.size) * pb
+        self.cache_miss_bytes += n_miss_bytes
+        obs.counter(M_CACHE_MISS_BYTES, device=dev).inc(n_miss_bytes)
         if misses.size:
             # Admit misses while capacity remains (fill-once policy).
             room = (self.page_cache_bytes - self._resident_bytes) // pb
@@ -480,6 +555,14 @@ class NVMStore:
                 admit = misses[: int(room)]
                 resident[admit] = True
                 self._resident_bytes += int(admit.size) * pb
+                obs.event(
+                    "cache.fill",
+                    device=dev,
+                    file_key=file_key,
+                    admitted_bytes=int(admit.size) * pb,
+                    resident_bytes=self._resident_bytes,
+                )
+        obs.gauge(M_CACHE_RESIDENT, device=dev).set(self._resident_bytes)
         if misses.size == 0:
             empty = np.empty(0, dtype=np.int64)
             return type(plan)(empty, empty.copy())

@@ -57,6 +57,30 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "avgrq-sz" in out
 
+    def test_run_obs_writes_all_three_artifacts(self, capsys, tmp_path):
+        out_dir = tmp_path / "obs"
+        assert main([
+            "run", "--scenario", "pcie", "--scale", "9",
+            "--roots", "2", "--seed", "3", "--obs", str(out_dir),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "bfs.* metrics" in out
+        for name in ("events.jsonl", "trace.json", "metrics.prom"):
+            artifact = out_dir / name
+            assert artifact.exists(), name
+            assert artifact.stat().st_size > 0, name
+            assert str(artifact) in out
+
+    def test_run_obs_with_faults(self, capsys, tmp_path):
+        assert main([
+            "run", "--scenario", "pcie", "--scale", "9", "--roots", "2",
+            "--seed", "3", "--faults", "error_rate=0.05,seed=7",
+            "--obs", str(tmp_path / "obs"),
+        ]) == 0
+        prom = (tmp_path / "obs" / "metrics.prom").read_text()
+        assert "resilience_attempts_total" in prom
+        assert "health_score" in prom
+
     def test_sweep(self, capsys):
         assert main([
             "sweep", "--scenario", "dram", "--scale", "9", "--roots", "1",

@@ -1,12 +1,15 @@
-"""Smoke tests: every shipped example runs end to end at a tiny SCALE."""
+"""Smoke tests: every shipped example runs end to end at a tiny SCALE,
+and the tutorial's code blocks print the output shapes the prose claims."""
 
+import re
 import subprocess
 import sys
 from pathlib import Path
 
 import pytest
 
-EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES = ROOT / "examples"
 
 
 def _run(script: str, *args: str) -> str:
@@ -66,3 +69,53 @@ class TestExamples:
 
     def test_at_least_three_examples(self):
         assert len(list(EXAMPLES.glob("*.py"))) >= 3
+
+
+class TestTutorial:
+    """docs/tutorial.md must run AND print what its prose promises.
+
+    The blocks execute in one shared namespace (tools/check_docs.py, the
+    same harness the docs CI job uses); the assertions pin the *shape*
+    of the printed output, so silent drift between the tutorial and the
+    library fails here rather than in a reader's terminal."""
+
+    @pytest.fixture(scope="class")
+    def tutorial_output(self) -> str:
+        sys.path.insert(0, str(ROOT / "tools"))
+        try:
+            from check_docs import exec_blocks
+        finally:
+            sys.path.pop(0)
+        outputs, errors = exec_blocks(ROOT / "docs" / "tutorial.md")
+        assert not errors, "\n".join(errors)
+        return "\n".join(outputs)
+
+    def test_step1_edge_list_repr(self, tutorial_output):
+        assert "EdgeList(n_vertices=16384, n_edges=262144)" in tutorial_output
+
+    def test_step2_locality_audit(self, tutorial_output):
+        assert "netal_remote_fraction=0.0," in tutorial_output
+
+    def test_step3_schedule_and_teps(self, tutorial_output):
+        assert re.search(r"^[TB]{2,}$", tutorial_output, re.M), (
+            "no direction-schedule line (e.g. 'TBBB') printed"
+        )
+        assert re.search(r"\d+\.\d+ GTEPS \(modeled\)", tutorial_output)
+
+    def test_step4_iostat_line(self, tutorial_output):
+        assert "avgrq-sz=" in tutorial_output
+        assert "avgqu-sz=" in tutorial_output
+
+    def test_step5_official_stats_block(self, tutorial_output):
+        for field in ("num_bfs_runs:", "median_TEPS:", "harmonic_mean_TEPS:"):
+            assert field in tutorial_output, field
+
+    def test_step6_pipeline_placement(self, tutorial_output):
+        assert "'forward': <Tier.NVM" in tutorial_output
+        assert "'backward': <Tier.DRAM" in tutorial_output
+
+    def test_step7_observability(self, tutorial_output):
+        assert re.search(
+            r"graph500\.iterations_total\s+\| counter \| 4", tutorial_output
+        )
+        assert "['events.jsonl', 'metrics.prom', 'trace.json']" in tutorial_output

@@ -82,6 +82,47 @@ class TestBFSResult:
         assert result.teps() == pytest.approx(80 / 3e-3)
         assert result.teps(modeled=True) == pytest.approx(80 / 3e-3)
 
+    def test_metrics_registry_replays_traces(self, result):
+        reg = result.metrics_registry()
+        assert reg.value("bfs.levels_total", direction="top-down") == 2
+        assert reg.value("bfs.levels_total", direction="bottom-up") == 1
+        assert reg.value(
+            "bfs.edges_scanned_total", direction="top-down", medium="dram"
+        ) == 65
+        assert reg.value("bfs.traversed_edges_total") == 80
+        assert reg.histogram("bfs.frontier_vertices").count == 3
+
+    def test_metrics_registry_splits_nvm_medium(self):
+        traces = (
+            LevelTrace(
+                level=0, direction=Direction.TOP_DOWN, frontier_size=1,
+                next_size=2, edges_scanned=10, edges_scanned_nvm=4,
+                wall_time_s=1e-3, modeled_time_s=1e-3,
+            ),
+        )
+        r = BFSResult(
+            parent=np.array([0], dtype=np.int64), root=0, traces=traces,
+            traversed_edges=10, wall_time_s=1e-3, modeled_time_s=1e-3,
+        )
+        reg = r.metrics_registry()
+        assert reg.value(
+            "bfs.edges_scanned_total", direction="top-down", medium="dram"
+        ) == 6
+        assert reg.value(
+            "bfs.edges_scanned_total", direction="top-down", medium="nvm"
+        ) == 4
+
+    def test_aggregate_views_agree_with_registry(self, result):
+        # Fig. 10's bars must read identically from either interface.
+        reg = result.metrics_registry()
+        for d, total in result.edges_by_direction().items():
+            assert total == int(
+                reg.value("bfs.edges_scanned_total",
+                          direction=d.value, medium="dram")
+                + reg.value("bfs.edges_scanned_total",
+                            direction=d.value, medium="nvm")
+            )
+
     def test_teps_zero_time(self):
         r = BFSResult(
             parent=np.array([0]), root=0, traces=(),
@@ -104,6 +145,22 @@ class TestReportHelpers:
     def test_ascii_table_empty_rows(self):
         text = ascii_table(["a", "b"], [])
         assert "a" in text
+
+    def test_metrics_table_renders_and_filters(self):
+        from repro.analysis.report import metrics_table
+        from repro.obs import MetricsRegistry
+
+        reg = MetricsRegistry()
+        reg.counter("bfs.runs_total", engine="E").inc(2)
+        reg.gauge("nvm.queue_depth", device="d").set(3.5)
+        reg.histogram("bfs.level_seconds").observe(0.25)
+        text = metrics_table(reg)
+        assert 'bfs.runs_total{engine="E"}' in text
+        assert "| counter" in text and "| gauge" in text
+        assert "count=1 sum=0.25 mean=0.25" in text
+        filtered = metrics_table(reg, prefix="nvm.")
+        assert "nvm.queue_depth" in filtered
+        assert "bfs.runs_total" not in filtered
 
     def test_ascii_table_alignment(self):
         text = ascii_table(["col"], [["x"], ["longer"]])

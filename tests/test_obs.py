@@ -1,0 +1,284 @@
+"""Unit tests for repro.obs: registry, tracer, session, schema."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import (
+    METRICS,
+    MetricsRegistry,
+    NULL,
+    Observability,
+    Tracer,
+    metric_names,
+    span_names,
+)
+from repro.obs.registry import DEFAULT_BUCKETS, Histogram, format_labels
+from repro.obs.schema import (
+    M_BFS_EDGES,
+    M_BFS_LEVELS,
+    M_BFS_RUNS,
+    M_NVM_BYTES,
+    spec_for,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x.total")
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        c = MetricsRegistry().counter("x.total")
+        with pytest.raises(ConfigurationError, match="cannot decrease"):
+            c.inc(-1)
+
+    def test_same_name_and_labels_is_same_instance(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x.total", device="pcie", op="read")
+        b = reg.counter("x.total", op="read", device="pcie")  # order-free
+        assert a is b
+        a.inc(4)
+        assert reg.value("x.total", device="pcie", op="read") == 4
+
+    def test_different_labels_are_different_series(self):
+        reg = MetricsRegistry()
+        reg.counter("x.total", device="a").inc(1)
+        reg.counter("x.total", device="b").inc(2)
+        assert reg.value("x.total", device="a") == 1
+        assert reg.value("x.total", device="b") == 2
+        assert reg.total("x.total") == 3
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = MetricsRegistry().gauge("queue.depth")
+        g.set(7)
+        g.inc(3)
+        g.dec(5)
+        assert g.value == 5.0
+
+
+class TestHistogram:
+    def test_cumulative_buckets(self):
+        h = MetricsRegistry().histogram("sz", buckets=(1.0, 10.0, 100.0))
+        for v in (0.5, 5.0, 50.0, 500.0):
+            h.observe(v)
+        assert h.bucket_counts == [1, 2, 3]  # cumulative <= bound
+        assert h.count == 4
+        assert h.sum == pytest.approx(555.5)
+
+    def test_observe_many_matches_observe(self):
+        reg = MetricsRegistry()
+        a = reg.histogram("a", buckets=(1.0, 10.0, 100.0))
+        b = reg.histogram("b", buckets=(1.0, 10.0, 100.0))
+        values = [0.1, 1.0, 2.0, 10.0, 10.5, 99.0, 1e6]
+        for v in values:
+            a.observe(v)
+        b.observe_many(np.asarray(values))
+        assert a.bucket_counts == b.bucket_counts
+        assert a.count == b.count
+        assert a.sum == pytest.approx(b.sum)
+
+    def test_observe_many_empty_is_noop(self):
+        h = MetricsRegistry().histogram("sz")
+        h.observe_many(np.array([]))
+        assert h.count == 0
+
+    def test_default_buckets_cover_decades(self):
+        assert DEFAULT_BUCKETS[0] == 1e-6
+        assert DEFAULT_BUCKETS[-1] == 1e6
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ConfigurationError, match="sorted"):
+            Histogram("h", (), (2.0, 1.0))
+
+
+class TestRegistry:
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x.total")
+        with pytest.raises(ConfigurationError, match="already registered"):
+            reg.gauge("x.total")
+
+    def test_value_of_untouched_metric_is_zero(self):
+        assert MetricsRegistry().value("never.seen") == 0.0
+
+    def test_value_of_histogram_raises(self):
+        reg = MetricsRegistry()
+        reg.histogram("h").observe(1)
+        with pytest.raises(ConfigurationError, match="histogram"):
+            reg.value("h")
+
+    def test_samples_expand_histograms(self):
+        reg = MetricsRegistry()
+        reg.histogram("h", buckets=(1.0, 10.0)).observe(5.0)
+        keys = [s.key for s in reg.samples()]
+        assert 'h_bucket{le="1.0"}' in keys
+        assert 'h_bucket{le="10.0"}' in keys
+        assert 'h_bucket{le="+Inf"}' in keys
+        assert "h_count" in keys
+        assert "h_sum" in keys
+
+    def test_as_dict_is_sorted_and_complete(self):
+        reg = MetricsRegistry()
+        reg.counter("b.total").inc(2)
+        reg.counter("a.total", k="v").inc(1)
+        d = reg.as_dict()
+        assert d == {'a.total{k="v"}': 1.0, "b.total": 2.0}
+        assert list(d) == sorted(d)
+
+    def test_format_labels(self):
+        assert format_labels(()) == ""
+        assert format_labels((("a", "1"), ("b", "2"))) == '{a="1",b="2"}'
+
+
+class _FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def now(self) -> float:
+        return self.t
+
+
+class TestTracer:
+    def test_nesting_sets_parent_ids(self):
+        tracer = Tracer()
+        clock = _FakeClock()
+        tracer.bind_clock(clock)
+        with tracer.span("outer") as outer:
+            clock.t = 1.0
+            with tracer.span("inner", k=1) as inner:
+                clock.t = 2.0
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        assert inner.t_start_s == 1.0
+        assert inner.t_end_s == 2.0
+        assert outer.duration_s == 2.0
+
+    def test_first_clock_binding_wins(self):
+        tracer = Tracer()
+        first, second = _FakeClock(), _FakeClock()
+        first.t = 5.0
+        tracer.bind_clock(first)
+        tracer.bind_clock(second)
+        assert tracer.now() == 5.0
+
+    def test_unbound_clock_reads_zero(self):
+        tracer = Tracer()
+        assert not tracer.clock_bound
+        assert tracer.now() == 0.0
+
+    def test_events_and_counter_tracks(self):
+        tracer = Tracer()
+        tracer.event("cache.fill", bytes=4096)
+        tracer.counter("frontier", 17)
+        assert tracer.events[0].name == "cache.fill"
+        assert tracer.events[0].category == "cache"
+        assert tracer.counters[0].value == 17.0
+
+    def test_find_by_name(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        with tracer.span("a"):
+            pass
+        assert len(tracer.find("a")) == 2
+        assert len(tracer.find("b")) == 1
+
+
+class TestObservabilitySession:
+    def test_enabled_session_records(self):
+        obs = Observability()
+        obs.counter(M_BFS_RUNS, engine="T").inc()
+        with obs.span("bfs.level", level=0):
+            obs.event("cache.fill")
+            obs.track("frontier", 3)
+        assert obs.registry.value(M_BFS_RUNS, engine="T") == 1
+        assert len(obs.tracer.spans) == 1
+        assert len(obs.tracer.events) == 1
+        assert len(obs.tracer.counters) == 1
+
+    def test_disabled_session_is_inert(self):
+        obs = Observability(enabled=False)
+        obs.counter("x.total").inc(10)
+        obs.gauge("g").set(5)
+        obs.histogram("h").observe(1)
+        with obs.span("s") as span:
+            span.set(k=1)  # must not accumulate anywhere
+        obs.event("e")
+        obs.track("c", 1)
+        assert obs.record_span("s", 0.0, 1.0) is None
+        assert len(obs.registry) == 0
+        assert obs.tracer.spans == []
+        assert obs.tracer.events == []
+        assert obs.tracer.counters == []
+        assert span.attrs == {}
+
+    def test_null_is_shared_disabled_session(self):
+        assert NULL.enabled is False
+        NULL.counter("x.total").inc()
+        assert len(NULL.registry) == 0
+
+    def test_export_of_disabled_session_raises(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="disabled"):
+            Observability(enabled=False).export(tmp_path)
+
+    def test_record_span_synthesizes_parented_interval(self):
+        obs = Observability()
+        run = obs.record_span("bfs.run", 0.0, 2.0, engine="T")
+        level = obs.record_span("bfs.level", 0.0, 1.0, parent=run, level=0)
+        assert level.parent_id == run.span_id
+        assert run.duration_s == 2.0
+        assert obs.tracer.find("bfs.level") == [level]
+
+    def test_repr_mentions_state(self):
+        assert "disabled" in repr(NULL)
+        obs = Observability()
+        obs.counter("x.total").inc()
+        assert "1 series" in repr(obs)
+
+
+class TestSchema:
+    def test_catalogue_names_are_unique(self):
+        names = [s.name for s in METRICS]
+        assert len(names) == len(set(names))
+
+    def test_naming_conventions(self):
+        for spec in METRICS:
+            if spec.kind == "counter":
+                assert spec.name.endswith("_total"), spec.name
+            else:
+                assert not spec.name.endswith("_total"), spec.name
+
+    def test_spec_for_handles_histogram_suffixes(self):
+        assert spec_for(M_BFS_LEVELS).kind == "counter"
+        assert spec_for("bfs.level_seconds_bucket").kind == "histogram"
+        assert spec_for("bfs.level_seconds_count").kind == "histogram"
+        assert spec_for("bfs.level_seconds_sum").kind == "histogram"
+        assert spec_for("no.such_metric") is None
+
+    def test_known_families_present(self):
+        names = metric_names()
+        for family in ("bfs.", "graph500.", "nvm.", "cache.",
+                       "resilience.", "health.", "pipeline."):
+            assert any(n.startswith(family) for n in names), family
+
+    def test_span_catalogue(self):
+        spans = span_names()
+        assert "bfs.level" in spans
+        assert "nvm.charge" in spans
+        assert "graph500.iteration" in spans
+
+    def test_labels_declared_for_device_metrics(self):
+        assert spec_for(M_NVM_BYTES).labels == ("device",)
+        assert spec_for(M_BFS_EDGES).labels == ("direction", "medium")

@@ -1,0 +1,219 @@
+"""Exporter tests: JSONL round-trip, Chrome trace_event schema,
+Prometheus text format, and same-seed export determinism."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.core import DRAM_PCIE_FLASH, run_graph500
+from repro.errors import ConfigurationError
+from repro.obs import (
+    Observability,
+    chrome_trace_events,
+    parse_prometheus,
+    prometheus_text,
+    read_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.schema import M_NVM_BYTES
+from repro.semiext.faults import FaultPlan
+
+
+def _populated_session() -> Observability:
+    """A small session exercising every record type."""
+    obs = Observability()
+    obs.counter(M_NVM_BYTES, device="PCIe-flash").inc(4096)
+    obs.gauge("health.score", device="PCIe-flash").set(0.75)
+    obs.histogram("nvm.request_bytes", device="PCIe-flash").observe_many(
+        [512.0, 4096.0, 4096.0]
+    )
+    with obs.span("bfs.run", engine="T", root=3) as run:
+        with obs.span("bfs.level", level=0):
+            obs.event("cache.fill", admitted_bytes=4096)
+        run.set(levels=1)
+    obs.track("bfs.frontier_vertices", 17)
+    return obs
+
+
+class TestJsonlRoundTrip:
+    def test_registry_survives_round_trip(self, tmp_path):
+        obs = _populated_session()
+        path = write_jsonl(obs, tmp_path / "events.jsonl")
+        back = read_jsonl(path)
+        assert back.registry.as_dict() == obs.registry.as_dict()
+        assert back.registry.kind_of(M_NVM_BYTES) == "counter"
+        assert back.registry.kind_of("health.score") == "gauge"
+        assert back.registry.kind_of("nvm.request_bytes") == "histogram"
+
+    def test_spans_events_counters_survive(self, tmp_path):
+        obs = _populated_session()
+        back = read_jsonl(write_jsonl(obs, tmp_path / "e.jsonl"))
+        assert [
+            (s.span_id, s.parent_id, s.name, s.t_start_s, s.t_end_s)
+            for s in back.tracer.spans
+        ] == [
+            (s.span_id, s.parent_id, s.name, s.t_start_s, s.t_end_s)
+            for s in obs.tracer.spans
+        ]
+        assert back.tracer.spans[0].attrs == {"engine": "T", "root": 3,
+                                              "levels": 1}
+        assert [e.name for e in back.tracer.events] == ["cache.fill"]
+        assert back.tracer.counters == obs.tracer.counters
+
+    def test_first_line_is_versioned_meta(self, tmp_path):
+        path = write_jsonl(_populated_session(), tmp_path / "e.jsonl")
+        first = json.loads(path.read_text().splitlines()[0])
+        assert first["type"] == "meta"
+        assert first["format"] == "repro.obs"
+        assert first["version"] == 1
+
+    def test_invalid_json_rejected_with_line_number(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"format": "repro.obs", "type": "meta", "version": 1}\nnot json\n'
+        )
+        with pytest.raises(ConfigurationError, match="bad.jsonl:2"):
+            read_jsonl(path)
+
+    def test_foreign_file_rejected(self, tmp_path):
+        path = tmp_path / "other.jsonl"
+        path.write_text('{"type": "meta", "format": "somethingelse"}\n')
+        with pytest.raises(ConfigurationError, match="not a repro.obs"):
+            read_jsonl(path)
+
+    def test_unknown_record_type_rejected(self, tmp_path):
+        path = tmp_path / "odd.jsonl"
+        path.write_text('{"type": "mystery"}\n')
+        with pytest.raises(ConfigurationError, match="unknown record type"):
+            read_jsonl(path)
+
+
+class TestChromeTrace:
+    def test_events_follow_trace_event_schema(self):
+        events = chrome_trace_events(_populated_session())
+        phases = {e["ph"] for e in events}
+        assert phases == {"X", "i", "C"}
+        for e in events:
+            assert isinstance(e["name"], str) and e["name"]
+            assert isinstance(e["ts"], float)
+            assert isinstance(e["pid"], int)
+            if e["ph"] == "X":  # complete event
+                assert e["dur"] >= 0.0
+                assert isinstance(e["cat"], str)
+                assert isinstance(e["args"], dict)
+            elif e["ph"] == "i":  # instant
+                assert e["s"] in ("t", "p", "g")
+            elif e["ph"] == "C":  # counter track
+                assert "value" in e["args"]
+
+    def test_timestamps_are_microseconds(self):
+        obs = Observability()
+        obs.record_span("bfs.level", 0.5, 1.5)
+        (event,) = chrome_trace_events(obs)
+        assert event["ts"] == pytest.approx(0.5e6)
+        assert event["dur"] == pytest.approx(1.0e6)
+
+    def test_written_file_is_loadable_json(self, tmp_path):
+        path = write_chrome_trace(_populated_session(), tmp_path / "t.json")
+        payload = json.loads(path.read_text())
+        assert isinstance(payload["traceEvents"], list)
+        assert payload["displayTimeUnit"] == "ms"
+        assert payload["otherData"]["producer"] == "repro.obs"
+
+    def test_attrs_are_json_safe(self, tmp_path):
+        import numpy as np
+
+        obs = Observability()
+        obs.record_span("bfs.level", 0.0, 1.0, n=np.int64(7), arr=[1, 2])
+        path = write_chrome_trace(obs, tmp_path / "t.json")
+        (event,) = json.loads(path.read_text())["traceEvents"]
+        assert event["args"] == {"n": 7, "arr": "[1, 2]"}
+
+
+class TestPrometheus:
+    def test_snapshot_parses_line_by_line(self):
+        obs = _populated_session()
+        text = prometheus_text(obs.registry)
+        values = parse_prometheus(text)
+        assert values['nvm_read_bytes_total{device="PCIe-flash"}'] == 4096
+        assert values['health_score{device="PCIe-flash"}'] == 0.75
+        assert values['nvm_request_bytes_count{device="PCIe-flash"}'] == 3
+
+    def test_help_and_type_headers_for_catalogued_metrics(self):
+        text = prometheus_text(_populated_session().registry)
+        assert "# HELP nvm_read_bytes_total " in text
+        assert "# TYPE nvm_read_bytes_total counter" in text
+        assert "# TYPE health_score gauge" in text
+        assert "# TYPE nvm_request_bytes histogram" in text
+
+    def test_names_are_prometheus_legal(self):
+        import re
+
+        text = prometheus_text(_populated_session().registry)
+        for line in text.splitlines():
+            if not line or line.startswith("#"):
+                continue
+            name = line.split("{")[0].split(" ")[0]
+            assert re.fullmatch(r"[a-zA-Z_:][a-zA-Z0-9_:]*", name), name
+
+    def test_histogram_bucket_samples_are_cumulative(self):
+        text = prometheus_text(_populated_session().registry)
+        buckets = [
+            float(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith("nvm_request_bytes_bucket")
+        ]
+        assert buckets == sorted(buckets)
+        assert buckets[-1] == 3  # +Inf bucket equals count
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ConfigurationError, match="line 1"):
+            parse_prometheus("this is not a sample line at all {\n")
+
+    def test_integers_render_bare(self):
+        obs = Observability()
+        obs.counter("a.total").inc(12345)
+        assert "a_total 12345\n" in prometheus_text(obs.registry)
+
+
+class TestDeterminism:
+    """Two same-seed runs must emit identical values and identical bytes —
+    the property the simulated-clock time base buys (schema docstring)."""
+
+    @pytest.fixture(scope="class")
+    def exports(self, tmp_path_factory):
+        scenario = replace(
+            DRAM_PCIE_FLASH,
+            fault_plan=FaultPlan(seed=11, error_rate=0.05, gc_rate=0.05),
+        )
+        out = []
+        for tag in ("a", "b"):
+            obs = Observability()
+            run_graph500(
+                scenario, scale=10, n_roots=2, seed=7,
+                workdir=tmp_path_factory.mktemp(f"wd_{tag}"), obs=obs,
+            )
+            paths = obs.export(tmp_path_factory.mktemp(f"out_{tag}"))
+            out.append((obs, paths))
+        return out
+
+    def test_metric_values_identical(self, exports):
+        (obs_a, _), (obs_b, _) = exports
+        assert obs_a.registry.as_dict() == obs_b.registry.as_dict()
+
+    def test_artifacts_byte_identical(self, exports):
+        (_, paths_a), (_, paths_b) = exports
+        for kind in ("jsonl", "chrome_trace", "prometheus"):
+            assert (
+                paths_a[kind].read_bytes() == paths_b[kind].read_bytes()
+            ), kind
+
+    def test_fault_run_emits_resilience_series(self, exports):
+        (obs, _), _ = exports
+        names = set(obs.registry.names())
+        assert "resilience.attempts_total" in names
+        assert "health.score" in names

@@ -1,0 +1,177 @@
+#!/usr/bin/env python
+"""Documentation checker: dead links and broken code blocks.
+
+Two passes, both offline:
+
+1. **Links** — every markdown link in ``README.md`` and ``docs/*.md``
+   whose target is a local path must resolve relative to the file that
+   contains it; ``path#anchor`` targets must also name a heading that
+   exists in the target file (GitHub anchor rules: lowercase, spaces to
+   dashes, punctuation dropped).  ``http(s)``/``mailto`` targets are
+   syntax-checked only — CI has no network.
+2. **Code blocks** — every fenced ```` ```python ```` block in the
+   executable docs (``docs/tutorial.md``, ``docs/observability.md``) runs
+   top to bottom in one shared namespace per file, from a scratch working
+   directory, exactly like a reader pasting the tutorial into a REPL.
+   A block raising makes the build fail with the file, block number and
+   traceback.
+
+Usage::
+
+    python tools/check_docs.py            # both passes, default file sets
+    python tools/check_docs.py --links-only
+    python tools/check_docs.py --exec-only docs/tutorial.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import re
+import sys
+import tempfile
+import traceback
+from contextlib import redirect_stdout
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: Docs whose ```python blocks must execute cleanly.
+EXECUTABLE_DOCS = ("docs/tutorial.md", "docs/observability.md")
+
+_LINK = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
+_FENCE = re.compile(r"^```(\w*)\s*$")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$")
+
+
+def _anchor(heading: str) -> str:
+    """GitHub's heading → fragment rule (close enough for our docs)."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _rel(path: Path) -> Path:
+    """Repo-relative when possible (tests point at tmp files too)."""
+    try:
+        return path.relative_to(REPO)
+    except ValueError:
+        return path
+
+
+def _anchors_of(path: Path) -> set[str]:
+    return {
+        _anchor(m.group(1))
+        for line in path.read_text().splitlines()
+        if (m := _HEADING.match(line))
+    }
+
+
+def check_links(files: list[Path]) -> list[str]:
+    """Return one error string per dead link (empty = clean)."""
+    errors: list[str] = []
+    for path in files:
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            for target in _LINK.findall(line):
+                where = f"{_rel(path)}:{lineno}"
+                if target.startswith(("http://", "https://", "mailto:")):
+                    continue  # offline: syntax presence is the check
+                base, _, fragment = target.partition("#")
+                dest = (path.parent / base).resolve() if base else path
+                if not dest.exists():
+                    errors.append(f"{where}: dead link -> {target}")
+                    continue
+                if fragment and dest.suffix == ".md":
+                    if fragment not in _anchors_of(dest):
+                        errors.append(
+                            f"{where}: missing anchor #{fragment} in {base or path.name}"
+                        )
+    return errors
+
+
+def python_blocks(path: Path) -> list[tuple[int, str]]:
+    """``(first_line_number, source)`` of each ```python fence."""
+    blocks: list[tuple[int, str]] = []
+    lang, start, buf = None, 0, []
+    for lineno, line in enumerate(path.read_text().splitlines(), 1):
+        fence = _FENCE.match(line)
+        if fence and lang is None:
+            lang, start, buf = fence.group(1), lineno + 1, []
+        elif line.strip() == "```" and lang is not None:
+            if lang == "python":
+                blocks.append((start, "\n".join(buf)))
+            lang = None
+        elif lang is not None:
+            buf.append(line)
+    return blocks
+
+
+def exec_blocks(path: Path) -> tuple[list[str], list[str]]:
+    """Execute a doc's python blocks in one shared namespace.
+
+    Returns ``(outputs, errors)``: the captured stdout of each block (in
+    order) and one formatted error per block that raised.  The tests
+    reuse this to assert the tutorial's printed output *shape*, not just
+    that it runs.
+    """
+    outputs: list[str] = []
+    errors: list[str] = []
+    namespace: dict[str, object] = {"__name__": "__docs__"}
+    rel = _rel(path)
+    with tempfile.TemporaryDirectory(prefix="repro-docs-") as scratch:
+        import os
+
+        cwd = os.getcwd()
+        os.chdir(scratch)
+        try:
+            for i, (lineno, source) in enumerate(python_blocks(path), 1):
+                sink = io.StringIO()
+                try:
+                    code = compile(source, f"{rel}:block{i}", "exec")
+                    with redirect_stdout(sink):
+                        exec(code, namespace)  # noqa: S102 — the tool's purpose
+                except Exception:
+                    errors.append(
+                        f"{rel}:{lineno}: block {i} raised\n"
+                        + traceback.format_exc(limit=4)
+                    )
+                outputs.append(sink.getvalue())
+        finally:
+            os.chdir(cwd)
+    return outputs, errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="*", type=Path,
+                        help="docs to run blocks from (default: the "
+                             "executable docs)")
+    parser.add_argument("--links-only", action="store_true")
+    parser.add_argument("--exec-only", action="store_true")
+    args = parser.parse_args(argv)
+
+    errors: list[str] = []
+    if not args.exec_only:
+        link_files = [REPO / "README.md"] + sorted((REPO / "docs").glob("*.md"))
+        errors += check_links(link_files)
+        print(f"links: {len(link_files)} files checked")
+    if not args.links_only:
+        doc_files = [f.resolve() for f in args.files] or [
+            REPO / rel for rel in EXECUTABLE_DOCS
+        ]
+        for path in doc_files:
+            n = len(python_blocks(path))
+            _, block_errors = exec_blocks(path)
+            errors += block_errors
+            print(f"exec: {path.relative_to(REPO)} ({n} python blocks)")
+    for err in errors:
+        print(err, file=sys.stderr)
+    if errors:
+        print(f"FAILED: {len(errors)} problem(s)", file=sys.stderr)
+        return 1
+    print("docs OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
