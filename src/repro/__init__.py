@@ -32,6 +32,9 @@ Package map
 ``repro.analysis``     Per-figure analysis (Figures 7–14 data).
 ``repro.obs``          Observability: metrics registry, simulated-clock
                        tracer, JSONL/Chrome-trace/Prometheus exporters.
+``repro.serve``        Concurrent query serving: graph catalog, batched
+                       multi-source BFS with shared chunk fetches, result
+                       cache, deterministic workload replay.
 =====================  ====================================================
 """
 
@@ -82,6 +85,13 @@ from repro.semiext import (
     SATA_SSD,
     SimulatedClock,
 )
+from repro.serve import (
+    BatchedBFS,
+    BFSServer,
+    GraphCatalog,
+    WorkloadSpec,
+    generate_workload,
+)
 
 __all__ = [
     "__version__",
@@ -124,6 +134,12 @@ __all__ = [
     # observability
     "Observability",
     "MetricsRegistry",
+    # serving
+    "GraphCatalog",
+    "BatchedBFS",
+    "BFSServer",
+    "WorkloadSpec",
+    "generate_workload",
     # models
     "DramCostModel",
     "GraphSizeModel",

@@ -26,6 +26,7 @@ from repro.analysis.perfcompare import ScenarioSeries, compare_scenarios
 from repro.analysis.report import ascii_table, format_float
 from repro.analysis.resilience import ResilienceSummary, summarize_resilience
 from repro.analysis.schedule import ScheduleSummary, schedule_summary
+from repro.analysis.serving import ServeSummary, summarize_serve
 from repro.analysis.sweep import SweepResult, alpha_beta_sweep, scaled_alpha_grid
 from repro.analysis.traversal import TraversalSplit, traversal_split
 
@@ -51,6 +52,8 @@ __all__ = [
     "summarize_resilience",
     "ScheduleSummary",
     "schedule_summary",
+    "ServeSummary",
+    "summarize_serve",
     "ascii_table",
     "format_float",
 ]

@@ -1,0 +1,119 @@
+"""Serving-run summary: throughput, latency, cache and amortization.
+
+:class:`ServeSummary` condenses a :class:`~repro.serve.server.ServeReport`
+into the block the ``serve`` CLI subcommand prints — request accounting
+(served / rejected by reason), simulated-clock latency percentiles,
+result-cache effectiveness, per-tenant fairness, and the batching
+amortization ratio (frontier rows requested vs union rows actually
+fetched from the device), which is the §V device-traffic story measured
+online.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["ServeSummary", "summarize_serve"]
+
+
+@dataclass(frozen=True)
+class ServeSummary:
+    """Aggregated accounting of one :meth:`BFSServer.serve` run."""
+
+    n_requests: int = 0
+    n_served: int = 0
+    n_from_cache: int = 0
+    n_from_traversal: int = 0
+    n_rejected_queue_full: int = 0
+    n_rejected_degraded: int = 0
+    n_batches: int = 0
+    n_traversals: int = 0
+    cache_hit_rate: float = 0.0
+    latency_p50_s: float = 0.0
+    latency_p99_s: float = 0.0
+    latency_max_s: float = 0.0
+    rows_requested: int = 0
+    rows_fetched: int = 0
+    nvm_bytes_read: int = 0
+    duration_s: float = 0.0
+    served_by_tenant: dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def from_report(cls, report) -> "ServeSummary":
+        """Build from a :class:`~repro.serve.server.ServeReport`."""
+        lat = np.asarray(report.latencies_s(), dtype=np.float64)
+        return cls(
+            n_requests=report.n_requests,
+            n_served=report.n_served,
+            n_from_cache=sum(
+                1 for c in report.completions if c.source == "cache"
+            ),
+            n_from_traversal=sum(
+                1 for c in report.completions if c.source == "batched"
+            ),
+            n_rejected_queue_full=report.rejections.queue_full,
+            n_rejected_degraded=report.rejections.degraded,
+            n_batches=report.n_batches,
+            n_traversals=report.n_traversals,
+            cache_hit_rate=report.cache_hit_rate,
+            latency_p50_s=float(np.percentile(lat, 50)) if lat.size else 0.0,
+            latency_p99_s=float(np.percentile(lat, 99)) if lat.size else 0.0,
+            latency_max_s=float(lat.max()) if lat.size else 0.0,
+            rows_requested=report.rows_requested,
+            rows_fetched=report.rows_fetched,
+            nvm_bytes_read=report.nvm_bytes_read,
+            duration_s=report.duration_s,
+            served_by_tenant=report.served_by_tenant(),
+        )
+
+    @property
+    def amortization(self) -> float:
+        """Frontier rows requested per union row fetched (≥ 1 with sharing)."""
+        if self.rows_fetched == 0:
+            return 1.0
+        return self.rows_requested / self.rows_fetched
+
+    @property
+    def queries_per_batch(self) -> float:
+        """Mean distinct traversal queries coalesced per batch."""
+        if self.n_batches == 0:
+            return 0.0
+        return self.n_traversals / self.n_batches
+
+    def format(self) -> str:
+        """Render the human-readable serving block."""
+        lines = [
+            "serving:",
+            f"  requests:          {self.n_requests}"
+            f" over {self.duration_s:.3f} simulated s",
+            f"  served:            {self.n_served}"
+            f" ({self.n_from_cache} cache, "
+            f"{self.n_from_traversal} traversal)",
+            f"  rejected requests: "
+            f"{self.n_rejected_queue_full + self.n_rejected_degraded}"
+            f" ({self.n_rejected_queue_full} queue_full, "
+            f"{self.n_rejected_degraded} degraded)",
+            f"  cache hit rate:    {self.cache_hit_rate:.2%}",
+            f"  batches:           {self.n_batches}"
+            f" ({self.queries_per_batch:.2f} queries/batch)",
+            f"  latency:           p50 {self.latency_p50_s * 1e3:.3f} ms, "
+            f"p99 {self.latency_p99_s * 1e3:.3f} ms, "
+            f"max {self.latency_max_s * 1e3:.3f} ms",
+            f"  chunk sharing:     {self.rows_requested} rows wanted, "
+            f"{self.rows_fetched} fetched "
+            f"({self.amortization:.2f}x amortized)",
+            f"  nvm bytes read:    {self.nvm_bytes_read}",
+        ]
+        if self.served_by_tenant:
+            per_tenant = ", ".join(
+                f"{t}={n}" for t, n in sorted(self.served_by_tenant.items())
+            )
+            lines.append(f"  by tenant:         {per_tenant}")
+        return "\n".join(lines)
+
+
+def summarize_serve(report) -> ServeSummary:
+    """Convenience wrapper matching :func:`summarize_resilience`'s shape."""
+    return ServeSummary.from_report(report)

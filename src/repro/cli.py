@@ -37,6 +37,17 @@ def _parse_faults(spec: str):
         raise argparse.ArgumentTypeError(str(exc)) from None
 
 
+def _parse_workload(spec: str):
+    """argparse type for ``--workload``: a clean usage error, not a traceback."""
+    from repro.errors import ConfigurationError
+    from repro.serve.workload import WorkloadSpec
+
+    try:
+        return WorkloadSpec.parse(spec)
+    except ConfigurationError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for tests and docs)."""
     p = argparse.ArgumentParser(
@@ -114,6 +125,61 @@ def build_parser() -> argparse.ArgumentParser:
     offload.add_argument("--ks", type=int, nargs="+",
                          default=[2, 4, 8, 16, 32, 64])
     offload.add_argument("--seed", type=int, default=None)
+
+    serve = sub.add_parser(
+        "serve",
+        help="replay a query workload through the batched serving layer",
+    )
+    serve.add_argument("--scenario", choices=sorted(_SCENARIOS),
+                       default="pcie")
+    serve.add_argument("--scale", type=int, default=12)
+    serve.add_argument("--edge-factor", type=int, default=16)
+    serve.add_argument(
+        "--workload",
+        type=_parse_workload,
+        default=None,
+        metavar="SPEC",
+        help="synthetic workload spec, e.g. "
+             "'n=200,rate=1000,zipf=1.2,tenants=4,pool=64,seed=7' "
+             "(defaults: 200 requests, 1000 req/s, zipf 1.1, 4 tenants)",
+    )
+    serve.add_argument(
+        "--trace",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="replay a JSONL request trace instead of generating one",
+    )
+    serve.add_argument("--batch", type=int, default=8,
+                       help="max queries coalesced per traversal batch")
+    serve.add_argument("--queue", type=int, default=64,
+                       help="admission queue capacity (backpressure bound)")
+    serve.add_argument("--cache", type=int, default=256,
+                       help="result cache capacity (0 disables)")
+    serve.add_argument("--cache-ttl", type=float, default=None,
+                       metavar="SECONDS",
+                       help="result cache TTL in simulated seconds")
+    serve.add_argument("--alpha", type=float, default=None,
+                       help="direction threshold override "
+                            "(default: scaled to graph size)")
+    serve.add_argument("--beta", type=float, default=None,
+                       help="direction threshold override "
+                            "(default: scaled to graph size)")
+    serve.add_argument("--seed", type=int, default=None)
+    serve.add_argument(
+        "--faults",
+        type=_parse_faults,
+        default=None,
+        metavar="SPEC",
+        help="fault-injection plan for the CSR device (see 'run --faults')",
+    )
+    serve.add_argument(
+        "--obs",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="capture the serving session's observability exports into DIR",
+    )
 
     reproduce = sub.add_parser(
         "reproduce",
@@ -374,6 +440,87 @@ def _cmd_offload(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.analysis.serving import ServeSummary
+    from repro.core import PAPER_SCENARIOS
+    from repro.errors import ConfigurationError
+    from repro.serve import (
+        BFSServer,
+        GraphCatalog,
+        WorkloadSpec,
+        generate_workload,
+        load_trace,
+    )
+
+    scenario = {s.name: s for s in PAPER_SCENARIOS}[
+        {"dram": "DRAM-only", "pcie": "DRAM+PCIeFlash", "ssd": "DRAM+SSD"}[
+            args.scenario
+        ]
+    ]
+    if args.faults is not None:
+        from dataclasses import replace
+
+        scenario = replace(scenario, fault_plan=args.faults)
+    obs = None
+    if args.obs is not None:
+        from repro.obs import Observability
+
+        obs = Observability()
+    n = 1 << args.scale
+    # The Table I thresholds target SCALE 27; at CLI scales they would
+    # pin every level after the first to bottom-up, leaving no top-down
+    # traffic to batch.  Scale them down unless the user overrides.
+    alpha = args.alpha if args.alpha is not None else n / 128.0
+    beta = args.beta if args.beta is not None else n / 128.0
+    catalog = GraphCatalog(obs=obs)
+    try:
+        graph = catalog.build(
+            "default",
+            scenario,
+            scale=args.scale,
+            edge_factor=args.edge_factor,
+            seed=args.seed,
+            alpha=alpha,
+            beta=beta,
+        )
+        if args.trace is not None:
+            try:
+                requests = load_trace(args.trace)
+            except ConfigurationError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+        else:
+            spec = args.workload if args.workload is not None else WorkloadSpec()
+            requests = generate_workload(spec.with_seed(args.seed),
+                                         graph.degrees)
+        server = BFSServer(
+            catalog,
+            batch_size=args.batch,
+            queue_capacity=args.queue,
+            cache_capacity=args.cache,
+            cache_ttl_s=args.cache_ttl,
+            obs=obs,
+        )
+        report = server.serve(requests)
+    finally:
+        catalog.close()
+    print(f"scenario:        {scenario.name}")
+    print(f"scale/ef:        {args.scale} / {args.edge_factor}")
+    print(f"batch/queue:     {args.batch} / {args.queue}")
+    print(ServeSummary.from_report(report).format())
+    if obs is not None:
+        from repro.analysis.report import metrics_table
+
+        paths = obs.export(args.obs)
+        print()
+        print(metrics_table(obs.registry, prefix="serve.",
+                            title="serve.* metrics (full set in metrics.prom)"))
+        print()
+        for kind in ("jsonl", "chrome_trace", "prometheus"):
+            print(f"obs {kind}:       {paths[kind]}")
+    return 0
+
+
 def _cmd_reproduce(args: argparse.Namespace) -> int:
     from repro.core.experiment import EvaluationRunner
 
@@ -402,6 +549,7 @@ def main(argv: list[str] | None = None) -> int:
         "iostat": _cmd_iostat,
         "locality": _cmd_locality,
         "offload": _cmd_offload,
+        "serve": _cmd_serve,
         "reproduce": _cmd_reproduce,
     }[args.command]
     return handler(args)

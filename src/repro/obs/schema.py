@@ -80,6 +80,18 @@ M_HEALTH_CIRCUIT = "health.circuit_open"
 M_PIPE_PAGE_CACHE = "pipeline.page_cache_bytes"
 M_PIPE_DRAM_BUDGET = "pipeline.dram_budget_bytes"
 M_PIPE_DRAM_USED = "pipeline.dram_used_bytes"
+M_SERVE_REQUESTS = "serve.requests_total"
+M_SERVE_REJECTED = "serve.rejected_total"
+M_SERVE_SERVED = "serve.served_total"
+M_SERVE_BATCHES = "serve.batches_total"
+M_SERVE_BATCH_QUERIES = "serve.batch_queries"
+M_SERVE_LATENCY = "serve.latency_seconds"
+M_SERVE_QUEUE_DEPTH = "serve.queue_depth"
+M_SERVE_CACHE_HITS = "serve.cache_hits_total"
+M_SERVE_CACHE_MISSES = "serve.cache_misses_total"
+M_SERVE_CACHE_EVICTIONS = "serve.cache_evictions_total"
+M_SERVE_ROWS_REQUESTED = "serve.rows_requested_total"
+M_SERVE_ROWS_FETCHED = "serve.rows_fetched_total"
 
 
 METRICS: tuple[MetricSpec, ...] = (
@@ -171,6 +183,36 @@ METRICS: tuple[MetricSpec, ...] = (
                "Scenario DRAM budget resolved by the offload planner."),
     MetricSpec(M_PIPE_DRAM_USED, "gauge", (),
                "DRAM the verified placement actually keeps resident."),
+    # -- query serving --------------------------------------------------------
+    MetricSpec(M_SERVE_REQUESTS, "counter", ("tenant",),
+               "BFS query requests that arrived, by tenant."),
+    MetricSpec(M_SERVE_REJECTED, "counter", ("reason",),
+               "Requests shed (reason=queue_full|degraded)."),
+    MetricSpec(M_SERVE_SERVED, "counter", ("source",),
+               "Requests completed, by answer source "
+               "(source=cache|batched)."),
+    MetricSpec(M_SERVE_BATCHES, "counter", (),
+               "Batched multi-source traversals executed."),
+    MetricSpec(M_SERVE_BATCH_QUERIES, "histogram", (),
+               "Distinct traversal queries coalesced per batch."),
+    MetricSpec(M_SERVE_LATENCY, "histogram", (),
+               "Arrival-to-completion latency per served request "
+               "(simulated clock)."),
+    MetricSpec(M_SERVE_QUEUE_DEPTH, "gauge", (),
+               "Admission-queue depth after each batch was formed."),
+    MetricSpec(M_SERVE_CACHE_HITS, "counter", (),
+               "Result-cache lookups answered without a traversal."),
+    MetricSpec(M_SERVE_CACHE_MISSES, "counter", (),
+               "Result-cache lookups that required a traversal."),
+    MetricSpec(M_SERVE_CACHE_EVICTIONS, "counter", ("cause",),
+               "Result-cache entries dropped (cause=lru|ttl)."),
+    MetricSpec(M_SERVE_ROWS_REQUESTED, "counter", (),
+               "Forward-graph rows the batched queries asked for "
+               "(one count per query per row)."),
+    MetricSpec(M_SERVE_ROWS_FETCHED, "counter", (),
+               "Unique forward-graph rows actually fetched for those "
+               "requests; the requested/fetched ratio is the shared-chunk "
+               "amortization factor."),
 )
 
 
@@ -190,6 +232,9 @@ SPANS: tuple[str, ...] = (
     "nvm.charge",
     "nvm.backoff",
     "cache.fill",
+    "serve.batch",
+    "serve.traversal",
+    "serve.reject",
 )
 
 

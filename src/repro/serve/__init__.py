@@ -1,0 +1,54 @@
+"""Concurrent BFS query serving over the semi-external engine.
+
+The paper treats BFS as a batch job: one root, one run, one device
+budget.  This package generalizes its §V device-traffic economics to the
+*online* setting a reachability service faces — many concurrent queries
+against a few resident graphs, where the forward graph's NVM chunks are
+the shared, expensive resource.  The pieces:
+
+- :mod:`~repro.serve.catalog` — build and pin named graphs once, serve
+  them many times through shared read handles.
+- :mod:`~repro.serve.workload` — Zipf-root / Poisson-arrival synthetic
+  workloads and JSONL trace replay, fully deterministic per seed.
+- :mod:`~repro.serve.scheduler` — bounded admission with per-tenant
+  round-robin fairness and explicit backpressure rejection.
+- :mod:`~repro.serve.engine` — batched multi-source BFS that gathers the
+  **union** of top-down frontiers once per level, so a chunk wanted by B
+  queries is read and charged once instead of B times.
+- :mod:`~repro.serve.results` — LRU + TTL result cache keyed
+  ``(graph, root)``.
+- :mod:`~repro.serve.server` — the event loop tying it together on the
+  simulated clock, with fault-aware cache-only degradation.
+"""
+
+from repro.serve.catalog import GraphCatalog, GraphHandle, PinnedGraph
+from repro.serve.engine import BatchedBFS
+from repro.serve.results import CachedResult, ResultCache
+from repro.serve.scheduler import AdmissionQueue, RejectionStats
+from repro.serve.server import BFSServer, ServedRequest, ServeReport
+from repro.serve.workload import (
+    Request,
+    WorkloadSpec,
+    generate_workload,
+    load_trace,
+    save_trace,
+)
+
+__all__ = [
+    "GraphCatalog",
+    "GraphHandle",
+    "PinnedGraph",
+    "BatchedBFS",
+    "CachedResult",
+    "ResultCache",
+    "AdmissionQueue",
+    "RejectionStats",
+    "BFSServer",
+    "ServedRequest",
+    "ServeReport",
+    "Request",
+    "WorkloadSpec",
+    "generate_workload",
+    "load_trace",
+    "save_trace",
+]

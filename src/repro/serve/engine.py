@@ -1,0 +1,343 @@
+"""Batched multi-source BFS: B queries, one pass over the device.
+
+The measurable win of this engine is **device-read amplification**: B
+independent semi-external BFS runs each fetch the forward graph's 4 KB
+chunks for their own frontier, so the device serves every hot chunk up to
+B times.  Batching coalesces the queries into one traversal that, per
+level, gathers the **union** of the top-down frontiers once per NUMA
+shard — :meth:`~repro.semiext.storage.NVMStore.charge` already dedups
+pages within a batch, so a chunk shared by any number of in-flight
+queries is read (and charged to :class:`~repro.semiext.iostats.IoStats`)
+exactly once.  NVM bytes per query drop from O(B) toward O(1) as overlap
+grows — the serving-time generalization of the paper's §V device-traffic
+minimization.
+
+Correctness invariant — **batching never changes an answer**: each query
+keeps its own :class:`~repro.bfs.state.BFSState`, its own α/β policy and
+its own per-level direction decision driven only by that query's frontier
+history.  The shared fetch is an I/O optimization below the algorithm:
+per query, the engine selects its frontier's row segments out of the
+union gather in the same order the unbatched scan would have produced,
+then applies the identical first-parent-wins reduction.  The parent tree
+of every query is therefore bit-identical to an unbatched run (pinned by
+``tests/test_serve_engine.py`` and ``benchmarks/bench_serve_batching.py``).
+
+Fault behaviour mirrors :class:`~repro.bfs.semi_external.SemiExternalBFS`:
+device charges apply before any discovery commits, so a mid-level
+:class:`~repro.errors.DeviceFailedError` degrades the whole batch to
+bottom-up-only traversal on the in-DRAM backward graph, mid-flight, with
+no query losing state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bfs.bottomup import bottom_up_step
+from repro.bfs.metrics import BFSResult, Direction, LevelTrace
+from repro.bfs.policies import PolicyInputs
+from repro.bfs.state import BFSState
+from repro.bfs.topdown import gather_adjacency
+from repro.csr.io import ExternalCSR
+from repro.errors import ConfigurationError, DeviceFailedError
+from repro.obs.schema import (
+    M_BFS_DISCOVERED,
+    M_BFS_EDGES,
+    M_BFS_LEVELS,
+    M_BFS_RUNS,
+    M_BFS_TRAVERSED,
+    M_SERVE_ROWS_FETCHED,
+    M_SERVE_ROWS_REQUESTED,
+)
+from repro.obs.session import Observability
+from repro.serve.catalog import PinnedGraph
+from repro.util.gather import concat_ranges
+from repro.util.timer import Timer
+
+__all__ = ["BatchedBFS"]
+
+
+class _Query:
+    """Per-query traversal state inside one batch (private)."""
+
+    def __init__(self, graph: PinnedGraph, root: int) -> None:
+        self.root = int(root)
+        self.state = BFSState(graph.n_vertices, graph.topology, root)
+        self.policy = graph.make_policy()
+        self.policy.reset()
+        self.direction = Direction.TOP_DOWN
+        self.prev_frontier = 0
+        self.visited_deg_sum = int(graph.degrees[root])
+        self.level = 0
+        self.traces: list[LevelTrace] = []
+
+    @property
+    def active(self) -> bool:
+        return self.state.frontier_size > 0
+
+
+class BatchedBFS:
+    """Coalesced execution of up to B concurrent BFS queries.
+
+    Parameters
+    ----------
+    graph:
+        The pinned catalog graph every query in a batch runs against.
+    obs:
+        Observability session; ``serve.rows_*`` amortization counters and
+        a ``serve.traversal`` span per batch land here, alongside the
+        usual ``bfs.*`` series (labelled ``engine="BatchedBFS"``).
+    """
+
+    def __init__(self, graph: PinnedGraph, obs: Observability | None = None) -> None:
+        self.graph = graph
+        self.obs = obs if obs is not None else graph.obs
+        self.obs.bind_clock(graph.clock)
+        self._degraded = False
+        # Plain-Python mirrors of the serve.rows_* counters so callers
+        # can compute the amortization ratio without an obs registry.
+        self.rows_requested = 0
+        self.rows_fetched = 0
+
+    @property
+    def degraded_mode(self) -> bool:
+        """Whether the engine (or the device circuit) forces bottom-up."""
+        return self._degraded or self.graph.circuit_open
+
+    def run_batch(
+        self, roots: list[int], max_levels: int | None = None
+    ) -> list[BFSResult]:
+        """Traverse from every root concurrently; one result per root.
+
+        ``roots`` must be duplicate-free (the server dedups upstream —
+        duplicate queries share one traversal by construction).
+        ``max_levels`` is the tests' safety valve, as in
+        :meth:`repro.bfs.hybrid.HybridBFS.run`.
+        """
+        if len(set(int(r) for r in roots)) != len(roots):
+            raise ConfigurationError("batch roots must be unique")
+        if not roots:
+            return []
+        graph = self.graph
+        clock = graph.clock
+        obs = self.obs
+        queries = [_Query(graph, r) for r in roots]
+        for _ in queries:
+            obs.counter(M_BFS_RUNS, engine="BatchedBFS").inc()
+        wall = Timer()
+        t_batch0 = clock.now()
+        with obs.span(
+            "serve.traversal", graph=graph.name, queries=len(queries)
+        ), wall:
+            rounds = 0
+            while True:
+                active = [q for q in queries if q.active]
+                if not active:
+                    break
+                if max_levels is not None and rounds >= max_levels:
+                    break
+                self._run_round(active)
+                rounds += 1
+        t_batch1 = clock.now()
+        results = []
+        for q in queries:
+            traversed = int(
+                graph.degrees[q.state.parent >= 0].sum()
+            ) // 2
+            obs.counter(M_BFS_TRAVERSED).inc(traversed)
+            results.append(BFSResult(
+                parent=q.state.parent,
+                root=q.root,
+                traces=tuple(q.traces),
+                traversed_edges=traversed,
+                wall_time_s=wall.elapsed,
+                modeled_time_s=t_batch1 - t_batch0,
+            ))
+        return results
+
+    # -- one synchronized round (each active query advances one level) ---------
+
+    def _run_round(self, active: list[_Query]) -> None:
+        graph = self.graph
+        clock = graph.clock
+        t0 = clock.now()
+        for q in active:
+            frontier_edges = int(graph.degrees[q.state.frontier_queue].sum())
+            decided = q.policy.decide(PolicyInputs(
+                level=q.level,
+                current=q.direction,
+                n_frontier=q.state.frontier_size,
+                n_frontier_prev=q.prev_frontier,
+                n_all=graph.n_vertices,
+                frontier_edges=frontier_edges,
+                unvisited_edges=(
+                    int(graph.degrees.sum()) - q.visited_deg_sum
+                ),
+                device_health=graph.device_health(),
+            ))
+            q.direction = (
+                Direction.BOTTOM_UP if self.degraded_mode else decided
+            )
+        td = [q for q in active if q.direction is Direction.TOP_DOWN]
+        bu = [q for q in active if q.direction is Direction.BOTTOM_UP]
+        td_scans: dict[int, tuple[int, int]] = {}
+        if td:
+            try:
+                td_scans = self._top_down_shared(td)
+            except DeviceFailedError:
+                # Charges already paid are on the clock; no discovery was
+                # committed, so the whole round re-runs bottom-up —
+                # the batch-wide analogue of SemiExternalBFS degradation.
+                self._degraded = True
+                if graph.store is not None:
+                    graph.store.resilience.degraded_levels += 1
+                for q in td:
+                    q.direction = Direction.BOTTOM_UP
+                bu = bu + td
+                td = []
+        for q in bu:
+            self._bottom_up_one(q)
+        # Per-query promotion, DRAM charges and traces (shared round time).
+        obs = self.obs
+        for q in active:
+            if q.direction is Direction.TOP_DOWN:
+                next_queue, scanned_dram, scanned_nvm = self._commit_td(
+                    q, td_scans
+                )
+            else:
+                next_queue, scanned_dram, scanned_nvm = q._bu_outcome
+                del q._bu_outcome
+            frontier_size = q.state.frontier_size
+            if graph.cost_model is not None:
+                # NVM-fetched probes already entered the queueing model as
+                # think time; charge only DRAM-resident work (the same
+                # split SemiExternalBFS._charge_level makes).
+                clock.advance(graph.cost_model.level_time_s(
+                    edges_scanned=scanned_dram,
+                    frontier_size=frontier_size,
+                    next_size=int(next_queue.size),
+                ))
+            dirname = q.direction.value
+            obs.counter(M_BFS_LEVELS, direction=dirname).inc()
+            obs.counter(M_BFS_EDGES, direction=dirname, medium="dram").inc(
+                scanned_dram
+            )
+            if scanned_nvm:
+                obs.counter(M_BFS_EDGES, direction=dirname, medium="nvm").inc(
+                    scanned_nvm
+                )
+            obs.counter(M_BFS_DISCOVERED, direction=dirname).inc(
+                int(next_queue.size)
+            )
+            q.traces.append(LevelTrace(
+                level=q.level,
+                direction=q.direction,
+                frontier_size=frontier_size,
+                next_size=int(next_queue.size),
+                edges_scanned=scanned_dram + scanned_nvm,
+                wall_time_s=0.0,
+                modeled_time_s=clock.now() - t0,
+                edges_scanned_nvm=scanned_nvm,
+                degraded=self.degraded_mode,
+            ))
+            q.visited_deg_sum += int(graph.degrees[next_queue].sum())
+            q.prev_frontier = frontier_size
+            q.state.promote_next(next_queue)
+            q.level += 1
+
+    # -- shared top-down -------------------------------------------------------
+
+    def _top_down_shared(self, td: list[_Query]) -> dict:
+        """Gather the union frontier once per shard; no state mutation.
+
+        Returns per-query candidate discoveries keyed ``id(query)`` →
+        list of per-shard ``(winners, parents, scanned)``; commit happens
+        after every shard's charge has been applied (so a device failure
+        leaves all query states untouched).
+        """
+        graph = self.graph
+        obs = self.obs
+        think = graph.think_time_s()
+        frontiers = [q.state.frontier_queue for q in td]
+        if len(td) == 1:
+            union = frontiers[0]
+        else:
+            union = np.unique(np.concatenate(frontiers))
+        scans: dict[int, list] = {id(q): [] for q in td}
+        n_shards = len(graph.top_down_shards())
+        requested = sum(int(f.size) for f in frontiers) * n_shards
+        fetched = int(union.size) * n_shards
+        self.rows_requested += requested
+        self.rows_fetched += fetched
+        obs.counter(M_SERVE_ROWS_REQUESTED).inc(requested)
+        obs.counter(M_SERVE_ROWS_FETCHED).inc(fetched)
+        for shard in graph.top_down_shards():
+            if isinstance(shard, ExternalCSR):
+                neighbors, counts, charges = shard.gather_rows_deferred(union)
+                for charge in charges:
+                    charge.apply(think)  # may raise DeviceFailedError
+            else:
+                neighbors, counts = gather_adjacency(shard, union)
+            seg_starts = np.zeros(counts.size, dtype=np.int64)
+            if counts.size > 1:
+                np.cumsum(counts[:-1], out=seg_starts[1:])
+            for q in td:
+                frontier = q.state.frontier_queue
+                if len(td) == 1:
+                    mine_neighbors = neighbors
+                    mine_counts = counts
+                else:
+                    idx = np.searchsorted(union, frontier)
+                    mine_counts = counts[idx]
+                    mine_neighbors = neighbors[
+                        concat_ranges(seg_starts[idx], mine_counts)
+                    ]
+                scans[id(q)].append(self._scan_candidates(
+                    q, frontier, mine_neighbors, mine_counts
+                ))
+        return scans
+
+    @staticmethod
+    def _scan_candidates(q: _Query, frontier, neighbors, counts):
+        """The unbatched first-parent-wins reduction, per query per shard."""
+        scanned = int(counts.sum()) if counts.size else 0
+        empty = np.empty(0, dtype=np.int64)
+        if neighbors.size == 0:
+            return empty, empty, scanned
+        parents = np.repeat(frontier, counts)
+        unvisited = ~q.state.visited.test_many(neighbors)
+        if not unvisited.any():
+            return empty, empty, scanned
+        cand_w = neighbors[unvisited]
+        cand_v = parents[unvisited]
+        winners, first_idx = np.unique(cand_w, return_index=True)
+        return winners, cand_v[first_idx].copy(), scanned
+
+    def _commit_td(self, q: _Query, td_scans: dict):
+        """Install one query's per-shard discoveries (shard order)."""
+        next_parts: list[np.ndarray] = []
+        scanned_nvm = 0
+        scanned_dram = 0
+        for winners, parents, scanned in td_scans[id(q)]:
+            if self.graph.semi_external:
+                scanned_nvm += scanned
+            else:
+                scanned_dram += scanned
+            if winners.size:
+                q.state.discover(winners, parents)
+                next_parts.append(winners)
+        if next_parts:
+            next_queue = np.concatenate(next_parts)
+            next_queue.sort()
+        else:
+            next_queue = np.empty(0, dtype=np.int64)
+        return next_queue, scanned_dram, scanned_nvm
+
+    # -- per-query bottom-up ---------------------------------------------------
+
+    def _bottom_up_one(self, q: _Query) -> None:
+        """One query's bottom-up level on the in-DRAM backward graph."""
+        q._bu_outcome = bottom_up_step(self.graph.scanners, q.state)
+
+    def __repr__(self) -> str:
+        return f"BatchedBFS({self.graph.name!r})"

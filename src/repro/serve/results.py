@@ -1,0 +1,128 @@
+"""LRU + TTL result cache for served BFS queries.
+
+Zipf-skewed root popularity means a small cache of parent trees absorbs a
+large share of the query stream without touching the graph at all — the
+cheapest possible form of the paper's "touch the slow device as little as
+possible" economics, one layer above the page cache.  Entries are keyed
+``(graph, root)``; expiry runs on the **simulated clock**, so cache
+behaviour (and therefore every exported metric) is deterministic for a
+given workload.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.obs.schema import (
+    M_SERVE_CACHE_EVICTIONS,
+    M_SERVE_CACHE_HITS,
+    M_SERVE_CACHE_MISSES,
+)
+from repro.obs.session import NULL, Observability
+from repro.semiext.clock import SimulatedClock
+
+__all__ = ["CachedResult", "ResultCache"]
+
+
+@dataclass(frozen=True)
+class CachedResult:
+    """A cached query answer: the parent tree and its TEPS numerator."""
+
+    parent: np.ndarray
+    traversed_edges: int
+    stored_at_s: float
+
+
+class ResultCache:
+    """Bounded LRU cache of BFS results with optional TTL expiry.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum resident entries; the least-recently-used entry is
+        evicted on overflow.  ``0`` disables caching (every lookup
+        misses), which is how the server runs cache-less benchmarks.
+    ttl_s:
+        Entry lifetime in simulated seconds; ``None`` never expires.
+    clock:
+        The simulated clock TTL expiry reads.
+    obs:
+        Observability session for the ``serve.cache_*`` counters.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        ttl_s: float | None = None,
+        clock: SimulatedClock | None = None,
+        obs: Observability | None = None,
+    ) -> None:
+        if capacity < 0:
+            raise ConfigurationError(f"cache capacity must be >= 0: {capacity}")
+        if ttl_s is not None and ttl_s <= 0:
+            raise ConfigurationError(f"cache TTL must be positive: {ttl_s}")
+        self.capacity = int(capacity)
+        self.ttl_s = ttl_s
+        self.clock = clock if clock is not None else SimulatedClock()
+        self.obs = obs if obs is not None else NULL
+        self._entries: OrderedDict[tuple[str, int], CachedResult] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions_lru = 0
+        self.evictions_ttl = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def get(self, graph: str, root: int) -> CachedResult | None:
+        """Look up ``(graph, root)``; counts a hit or a miss either way."""
+        key = (graph, int(root))
+        entry = self._entries.get(key)
+        if entry is not None and self.ttl_s is not None:
+            if self.clock.now() - entry.stored_at_s > self.ttl_s:
+                del self._entries[key]
+                self.evictions_ttl += 1
+                self.obs.counter(M_SERVE_CACHE_EVICTIONS, cause="ttl").inc()
+                entry = None
+        if entry is None:
+            self.misses += 1
+            self.obs.counter(M_SERVE_CACHE_MISSES).inc()
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        self.obs.counter(M_SERVE_CACHE_HITS).inc()
+        return entry
+
+    def put(self, graph: str, root: int, parent: np.ndarray,
+            traversed_edges: int) -> None:
+        """Install (or refresh) the answer for ``(graph, root)``."""
+        if self.capacity == 0:
+            return
+        key = (graph, int(root))
+        if key in self._entries:
+            del self._entries[key]
+        elif len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions_lru += 1
+            self.obs.counter(M_SERVE_CACHE_EVICTIONS, cause="lru").inc()
+        self._entries[key] = CachedResult(
+            parent=np.asarray(parent),
+            traversed_edges=int(traversed_edges),
+            stored_at_s=self.clock.now(),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultCache({len(self._entries)}/{self.capacity} entries, "
+            f"hit_rate={self.hit_rate:.1%})"
+        )

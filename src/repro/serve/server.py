@@ -1,0 +1,276 @@
+"""The serving loop: admit, batch, traverse, cache, account.
+
+:class:`BFSServer` replays a timestamped request stream against a
+:class:`~repro.serve.catalog.GraphCatalog` entirely on the simulated
+clock.  Each iteration advances time to the next arrival (when idle),
+admits everything that has arrived through the bounded
+:class:`~repro.serve.scheduler.AdmissionQueue` (rejecting with
+``queue_full`` backpressure once the engine falls behind), forms a
+fair round-robin batch and answers it in three tiers:
+
+1. **Result cache** — hits complete immediately, no graph touched.
+2. **Degradation shed** — while a graph's device circuit breaker is
+   open, uncached queries against it are rejected with ``degraded``
+   instead of hammering a failing device (cache-only serving).
+3. **Batched traversal** — remaining queries are deduplicated per
+   ``(graph, root)``, grouped per graph and run through one
+   :class:`~repro.serve.engine.BatchedBFS` pass that shares forward-graph
+   chunk fetches across the whole group.
+
+Latency is measured on the simulated clock (completion minus arrival),
+so the whole serve — metrics included — is deterministic per seed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.obs.schema import (
+    M_SERVE_BATCH_QUERIES,
+    M_SERVE_BATCHES,
+    M_SERVE_LATENCY,
+    M_SERVE_QUEUE_DEPTH,
+    M_SERVE_REJECTED,
+    M_SERVE_REQUESTS,
+    M_SERVE_SERVED,
+)
+from repro.obs.session import Observability
+from repro.serve.catalog import GraphCatalog
+from repro.serve.engine import BatchedBFS
+from repro.serve.results import ResultCache
+from repro.serve.scheduler import AdmissionQueue, RejectionStats
+from repro.serve.workload import Request
+
+__all__ = ["ServedRequest", "ServeReport", "BFSServer"]
+
+
+@dataclass(frozen=True)
+class ServedRequest:
+    """One completed request: when it finished, how long it waited, how."""
+
+    request: Request
+    completed_s: float
+    latency_s: float
+    source: str  # "cache" | "batched"
+    traversed_edges: int
+
+
+@dataclass
+class ServeReport:
+    """Everything one :meth:`BFSServer.serve` run produced.
+
+    ``completions`` are in completion order; ``rejected`` pairs each shed
+    request with its reason (``queue_full`` or ``degraded``).
+    """
+
+    completions: list[ServedRequest] = field(default_factory=list)
+    rejected: list[tuple[Request, str]] = field(default_factory=list)
+    rejections: RejectionStats = field(default_factory=RejectionStats)
+    n_batches: int = 0
+    n_traversals: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    rows_requested: int = 0
+    rows_fetched: int = 0
+    nvm_bytes_read: int = 0
+    duration_s: float = 0.0
+
+    @property
+    def n_requests(self) -> int:
+        """All requests that entered the server."""
+        return len(self.completions) + len(self.rejected)
+
+    @property
+    def n_served(self) -> int:
+        """Requests answered (cache or traversal)."""
+        return len(self.completions)
+
+    @property
+    def n_rejected(self) -> int:
+        """Requests shed by backpressure or degradation."""
+        return len(self.rejected)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of served-path lookups answered from the cache."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def served_by_tenant(self) -> dict[str, int]:
+        """Completion counts per tenant (fairness accounting)."""
+        out: dict[str, int] = {}
+        for c in self.completions:
+            out[c.request.tenant] = out.get(c.request.tenant, 0) + 1
+        return out
+
+    def latencies_s(self) -> list[float]:
+        """Per-completion latency, completion order."""
+        return [c.latency_s for c in self.completions]
+
+
+class BFSServer:
+    """Deterministic BFS query server over a graph catalog.
+
+    Parameters
+    ----------
+    catalog:
+        The built graphs to serve (shares its clock and obs session).
+    batch_size:
+        Maximum queries coalesced into one scheduling batch.
+    queue_capacity:
+        Bound of the admission queue; arrivals beyond it are rejected.
+    cache_capacity / cache_ttl_s:
+        Result-cache sizing (see :class:`~repro.serve.results.ResultCache`).
+    obs:
+        Observability session; defaults to the catalog's.
+    """
+
+    def __init__(
+        self,
+        catalog: GraphCatalog,
+        batch_size: int = 8,
+        queue_capacity: int = 64,
+        cache_capacity: int = 256,
+        cache_ttl_s: float | None = None,
+        obs: Observability | None = None,
+    ) -> None:
+        self.catalog = catalog
+        self.batch_size = int(batch_size)
+        self.queue_capacity = int(queue_capacity)
+        self.obs = obs if obs is not None else catalog.obs
+        self.obs.bind_clock(catalog.clock)
+        self.cache = ResultCache(
+            capacity=cache_capacity,
+            ttl_s=cache_ttl_s,
+            clock=catalog.clock,
+            obs=self.obs,
+        )
+        self._engines: dict[str, BatchedBFS] = {}
+
+    def engine_for(self, name: str) -> BatchedBFS:
+        """The (persistent) batched engine for catalog graph ``name``."""
+        engine = self._engines.get(name)
+        if engine is None:
+            engine = BatchedBFS(self.catalog.get(name), obs=self.obs)
+            self._engines[name] = engine
+        return engine
+
+    def serve(self, requests: list[Request]) -> ServeReport:
+        """Replay ``requests`` to completion and return the full report."""
+        clock = self.catalog.clock
+        obs = self.obs
+        report = ServeReport()
+        t_serve0 = clock.now()
+        nvm0 = self._nvm_bytes()
+        pending = deque(sorted(requests, key=lambda r: r.arrival_s))
+        queue = AdmissionQueue(self.queue_capacity)
+        while pending or queue.depth:
+            now = clock.now()
+            if queue.depth == 0 and pending and pending[0].arrival_s > now:
+                clock.advance(pending[0].arrival_s - now)
+                now = clock.now()
+            while pending and pending[0].arrival_s <= now:
+                r = pending.popleft()
+                obs.counter(M_SERVE_REQUESTS, tenant=r.tenant).inc()
+                if not queue.offer(r):
+                    self._reject(report, r, "queue_full")
+            obs.gauge(M_SERVE_QUEUE_DEPTH).set(queue.depth)
+            batch = queue.next_batch(self.batch_size)
+            if batch:
+                self._serve_batch(batch, report)
+        report.duration_s = clock.now() - t_serve0
+        report.cache_hits = self.cache.hits
+        report.cache_misses = self.cache.misses
+        report.nvm_bytes_read = self._nvm_bytes() - nvm0
+        for engine in self._engines.values():
+            report.rows_requested += engine.rows_requested
+            report.rows_fetched += engine.rows_fetched
+        return report
+
+    # -- internals -------------------------------------------------------------
+
+    def _nvm_bytes(self) -> int:
+        total = 0
+        for name in self.catalog.names():
+            store = self.catalog.get(name).store
+            if store is not None:
+                total += store.iostats.total_bytes
+        return total
+
+    def _reject(self, report: ServeReport, request: Request,
+                reason: str) -> None:
+        report.rejections.record(request, reason)
+        report.rejected.append((request, reason))
+        self.obs.counter(M_SERVE_REJECTED, reason=reason).inc()
+        self.obs.event(
+            "serve.reject",
+            reason=reason,
+            tenant=request.tenant,
+            graph=request.graph,
+            root=request.root,
+        )
+
+    def _complete(self, report: ServeReport, request: Request,
+                  completed_s: float, source: str,
+                  traversed_edges: int) -> None:
+        latency = completed_s - request.arrival_s
+        report.completions.append(ServedRequest(
+            request=request,
+            completed_s=completed_s,
+            latency_s=latency,
+            source=source,
+            traversed_edges=traversed_edges,
+        ))
+        self.obs.counter(M_SERVE_SERVED, source=source).inc()
+        self.obs.histogram(M_SERVE_LATENCY).observe(latency)
+
+    def _serve_batch(self, batch: list[Request],
+                     report: ServeReport) -> None:
+        clock = self.catalog.clock
+        obs = self.obs
+        with obs.span("serve.batch", size=len(batch)):
+            t_batch = clock.now()
+            misses: list[Request] = []
+            for r in batch:
+                cached = self.cache.get(r.graph, r.root)
+                if cached is not None:
+                    self._complete(report, r, t_batch, "cache",
+                                   cached.traversed_edges)
+                else:
+                    misses.append(r)
+            # Cache-only serving while a device circuit is open: shed the
+            # misses instead of queueing against a failing device.
+            to_run: dict[str, list[Request]] = {}
+            for r in misses:
+                if self.catalog.get(r.graph).circuit_open:
+                    self._reject(report, r, "degraded")
+                else:
+                    to_run.setdefault(r.graph, []).append(r)
+            n_queries = 0
+            answered: dict[tuple[str, int], int] = {}
+            for name in sorted(to_run):
+                with self.catalog.open(name):
+                    engine = self.engine_for(name)
+                    roots = sorted({r.root for r in to_run[name]})
+                    n_queries += len(roots)
+                    for res in engine.run_batch(roots):
+                        self.cache.put(name, res.root, res.parent,
+                                       res.traversed_edges)
+                        answered[(name, res.root)] = res.traversed_edges
+            if n_queries:
+                report.n_batches += 1
+                report.n_traversals += n_queries
+                obs.counter(M_SERVE_BATCHES).inc()
+                obs.histogram(M_SERVE_BATCH_QUERIES).observe(n_queries)
+            t_done = clock.now()
+            for name in sorted(to_run):
+                for r in to_run[name]:
+                    self._complete(report, r, t_done, "batched",
+                                   answered[(name, r.root)])
+
+    def __repr__(self) -> str:
+        return (
+            f"BFSServer(batch={self.batch_size}, "
+            f"queue={self.queue_capacity}, cache={self.cache!r})"
+        )

@@ -1,0 +1,228 @@
+"""Synthetic query workloads and trace replay for the serving layer.
+
+A serving workload is a list of timestamped BFS query requests.  The
+generator models what a production reachability service sees (ROADMAP
+north star): **Zipf-distributed roots** — a few hot vertices dominate,
+exactly the skew that makes result caching and batched traversal pay —
+and **Poisson arrivals** (exponential inter-arrival gaps) on the
+simulated clock, spread across a handful of tenants.
+
+Everything is deterministic: the same :class:`WorkloadSpec` (seed
+included) always yields the same request list, and a generated workload
+round-trips through :func:`save_trace` / :func:`load_trace` so recorded
+traffic can be replayed bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.util.rng import derive_rng
+
+__all__ = [
+    "Request",
+    "WorkloadSpec",
+    "generate_workload",
+    "save_trace",
+    "load_trace",
+]
+
+
+@dataclass(frozen=True)
+class Request:
+    """One BFS query: *who* wants the reachability tree of *which* root.
+
+    Attributes
+    ----------
+    arrival_s:
+        Arrival time on the simulated clock.
+    tenant:
+        Requesting tenant (fairness/accounting unit).
+    graph:
+        Name of the catalog graph the query runs against.
+    root:
+        BFS root vertex.
+    """
+
+    arrival_s: float
+    tenant: str
+    graph: str
+    root: int
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Parameters of a synthetic workload (CLI ``--workload`` syntax).
+
+    The spec string is comma-separated ``key=value`` pairs, e.g.
+    ``'n=200,rate=1000,zipf=1.2,tenants=4,pool=64,seed=7'``:
+
+    =========  ==================================================
+    ``n``      number of requests (default 200)
+    ``rate``   mean arrival rate in requests per simulated second
+    ``zipf``   Zipf exponent of the root popularity distribution
+    ``tenants``  number of tenants issuing requests
+    ``pool``   distinct candidate roots (the hottest vertices)
+    ``seed``   workload RNG seed (defaults to the run seed)
+    =========  ==================================================
+    """
+
+    n_requests: int = 200
+    rate_rps: float = 1000.0
+    zipf_s: float = 1.1
+    n_tenants: int = 4
+    root_pool: int = 64
+    seed: int | None = None
+    graph: str = "default"
+
+    _KEYS = {
+        "n": "n_requests",
+        "rate": "rate_rps",
+        "zipf": "zipf_s",
+        "tenants": "n_tenants",
+        "pool": "root_pool",
+        "seed": "seed",
+    }
+
+    def __post_init__(self) -> None:
+        if self.n_requests <= 0:
+            raise ConfigurationError(
+                f"workload needs at least one request, got n={self.n_requests}"
+            )
+        if self.rate_rps <= 0:
+            raise ConfigurationError(
+                f"arrival rate must be positive, got rate={self.rate_rps}"
+            )
+        if self.zipf_s <= 0:
+            raise ConfigurationError(
+                f"zipf exponent must be positive, got zipf={self.zipf_s}"
+            )
+        if self.n_tenants <= 0:
+            raise ConfigurationError(
+                f"need at least one tenant, got tenants={self.n_tenants}"
+            )
+        if self.root_pool <= 0:
+            raise ConfigurationError(
+                f"root pool must be positive, got pool={self.root_pool}"
+            )
+
+    @classmethod
+    def parse(cls, spec: str) -> "WorkloadSpec":
+        """Parse a ``--workload`` spec string.
+
+        >>> WorkloadSpec.parse("n=10,zipf=1.5").n_requests
+        10
+        """
+        kwargs: dict[str, object] = {}
+        for item in spec.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            if "=" not in item:
+                raise ConfigurationError(
+                    f"workload spec item {item!r} is not key=value"
+                )
+            key, _, raw = item.partition("=")
+            key = key.strip()
+            field = cls._KEYS.get(key)
+            if field is None:
+                raise ConfigurationError(
+                    f"unknown workload key {key!r} "
+                    f"(expected one of {sorted(cls._KEYS)})"
+                )
+            try:
+                if field in ("rate_rps", "zipf_s"):
+                    kwargs[field] = float(raw)
+                else:
+                    kwargs[field] = int(raw)
+            except ValueError:
+                raise ConfigurationError(
+                    f"workload key {key!r} needs a number, got {raw!r}"
+                ) from None
+        return cls(**kwargs)
+
+    def with_seed(self, seed: int | None) -> "WorkloadSpec":
+        """This spec with ``seed`` filled in when the spec left it unset."""
+        if self.seed is not None or seed is None:
+            return self
+        return replace(self, seed=seed)
+
+
+def generate_workload(spec: WorkloadSpec, degrees: np.ndarray) -> list[Request]:
+    """Materialize the request list of ``spec`` against one graph.
+
+    ``degrees`` are the graph's vertex degrees; the candidate root pool is
+    the ``spec.root_pool`` highest-degree (hence non-isolated, hence
+    interesting) vertices, and popularity follows rank :math:`^{-s}` —
+    the classic Zipf skew of real query logs.
+    """
+    degrees = np.asarray(degrees)
+    eligible = np.flatnonzero(degrees > 0)
+    if eligible.size == 0:
+        raise ConfigurationError("graph has no non-isolated vertex to query")
+    # Highest-degree vertices first; ties broken by vertex id (stable).
+    order = np.argsort(-degrees[eligible], kind="stable")
+    pool = eligible[order][: spec.root_pool]
+    ranks = np.arange(1, pool.size + 1, dtype=np.float64)
+    weights = ranks ** -spec.zipf_s
+    weights /= weights.sum()
+
+    rng = derive_rng(spec.seed, "serve", "workload")
+    roots = rng.choice(pool, size=spec.n_requests, p=weights)
+    gaps = rng.exponential(1.0 / spec.rate_rps, size=spec.n_requests)
+    arrivals = np.cumsum(gaps)
+    tenants = rng.integers(0, spec.n_tenants, size=spec.n_requests)
+    return [
+        Request(
+            arrival_s=float(arrivals[i]),
+            tenant=f"tenant{int(tenants[i])}",
+            graph=spec.graph,
+            root=int(roots[i]),
+        )
+        for i in range(spec.n_requests)
+    ]
+
+
+def save_trace(requests: list[Request], path: str | Path) -> Path:
+    """Write a request trace as JSONL (one request per line)."""
+    path = Path(path)
+    with path.open("w") as fh:
+        for r in requests:
+            fh.write(json.dumps({
+                "arrival_s": r.arrival_s,
+                "tenant": r.tenant,
+                "graph": r.graph,
+                "root": r.root,
+            }) + "\n")
+    return path
+
+
+def load_trace(path: str | Path) -> list[Request]:
+    """Read a trace written by :func:`save_trace` (strict, line-numbered)."""
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read trace {path}: {exc}") from None
+    requests: list[Request] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            rec = json.loads(line)
+            requests.append(Request(
+                arrival_s=float(rec["arrival_s"]),
+                tenant=str(rec["tenant"]),
+                graph=str(rec["graph"]),
+                root=int(rec["root"]),
+            ))
+        except (ValueError, KeyError, TypeError) as exc:
+            raise ConfigurationError(
+                f"{path}:{lineno}: not a trace record ({exc})"
+            ) from None
+    return requests

@@ -14,7 +14,7 @@ class TestParser:
         )
         assert set(sub.choices) == {
             "run", "sweep", "sizes", "green", "compare",
-            "iostat", "locality", "offload", "reproduce",
+            "iostat", "locality", "offload", "serve", "reproduce",
         }
 
     def test_requires_subcommand(self):
@@ -25,6 +25,55 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["--version"])
         assert "repro" in capsys.readouterr().out
+
+
+class TestUsageErrors:
+    """Invalid option values exit 2 with a usage line, never a traceback."""
+
+    def _expect_usage_error(self, capsys, argv):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+        captured = capsys.readouterr()
+        assert "usage:" in captured.err
+        assert "Traceback" not in captured.err
+        assert "Traceback" not in captured.out
+        return captured.err
+
+    def test_invalid_scenario_run(self, capsys):
+        err = self._expect_usage_error(
+            capsys, ["run", "--scenario", "floppy"]
+        )
+        assert "invalid choice: 'floppy'" in err
+
+    def test_invalid_scenario_serve(self, capsys):
+        err = self._expect_usage_error(
+            capsys, ["serve", "--scenario", "tape"]
+        )
+        assert "invalid choice: 'tape'" in err
+
+    def test_invalid_workload_unknown_key(self, capsys):
+        err = self._expect_usage_error(
+            capsys, ["serve", "--workload", "bogus=1"]
+        )
+        assert "unknown workload key" in err
+
+    def test_invalid_workload_not_key_value(self, capsys):
+        err = self._expect_usage_error(
+            capsys, ["serve", "--workload", "n200"]
+        )
+        assert "not key=value" in err
+
+    def test_invalid_workload_not_a_number(self, capsys):
+        err = self._expect_usage_error(
+            capsys, ["serve", "--workload", "n=lots"]
+        )
+        assert "needs a number" in err
+
+    def test_invalid_faults_spec(self, capsys):
+        self._expect_usage_error(
+            capsys, ["run", "--faults", "error_rate=maybe"]
+        )
 
 
 class TestCommands:
@@ -122,3 +171,51 @@ class TestCommands:
         ]) == 0
         out = capsys.readouterr().out
         assert "degree-threshold" in out
+
+    def test_serve(self, capsys):
+        assert main([
+            "serve", "--scale", "9", "--seed", "3",
+            "--workload", "n=60,rate=2000,zipf=1.2,pool=16",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "rejected requests: 0 (" in out
+        assert "cache hit rate:" in out
+        assert "chunk sharing:" in out
+
+    def test_serve_obs_writes_all_three_artifacts(self, capsys, tmp_path):
+        out_dir = tmp_path / "obs"
+        assert main([
+            "serve", "--scale", "9", "--seed", "3",
+            "--workload", "n=40,pool=8", "--obs", str(out_dir),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "serve.* metrics" in out
+        for name in ("events.jsonl", "trace.json", "metrics.prom"):
+            artifact = out_dir / name
+            assert artifact.exists(), name
+            assert artifact.stat().st_size > 0, name
+
+    def test_serve_trace_replay(self, capsys, tmp_path):
+        from repro.serve import WorkloadSpec, generate_workload, save_trace
+        from repro.graph500 import EdgeList, generate_edges
+        from repro.csr import build_csr
+
+        edges = EdgeList(generate_edges(9, seed=3), 1 << 9)
+        degrees = build_csr(edges).degrees()
+        spec = WorkloadSpec(n_requests=30, root_pool=8, seed=5)
+        trace = tmp_path / "trace.jsonl"
+        save_trace(generate_workload(spec, degrees), trace)
+        assert main([
+            "serve", "--scale", "9", "--seed", "3", "--trace", str(trace),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "requests:          30" in out
+
+    def test_serve_missing_trace_exits_2(self, capsys, tmp_path):
+        assert main([
+            "serve", "--scale", "9",
+            "--trace", str(tmp_path / "nope.jsonl"),
+        ]) == 2
+        captured = capsys.readouterr()
+        assert "error: cannot read trace" in captured.err
+        assert "Traceback" not in captured.err

@@ -48,6 +48,29 @@ class TestSplitPrefix:
         with pytest.raises(ConfigurationError):
             split_prefix(shard, -1)
 
+    def test_k_exactly_max_degree_keeps_everything(self, shard):
+        # Max degree is 3 (vertex 0): the boundary where the suffix first
+        # becomes empty — k need not exceed the max, only reach it.
+        k = int(shard.degrees().max())
+        prefix, suffix = split_prefix(shard, k)
+        assert suffix.n_directed_edges == 0
+        assert prefix == shard
+
+    def test_k_one_below_max_degree_moves_only_the_tail(self, shard):
+        k = int(shard.degrees().max()) - 1
+        prefix, suffix = split_prefix(shard, k)
+        # Only vertex 0 (degree 3) has a tail, and it is exactly one edge.
+        assert suffix.n_directed_edges == 1
+        assert suffix.degrees().tolist() == [1, 0, 0, 0]
+        assert prefix.n_directed_edges == shard.n_directed_edges - 1
+
+    def test_all_isolated_shard_splits_to_two_empties(self):
+        empty = build_csr(np.empty((2, 0), dtype=np.int64), n_vertices=4)
+        prefix, suffix = split_prefix(empty, 1)
+        assert prefix.n_directed_edges == 0
+        assert suffix.n_directed_edges == 0
+        assert prefix.n_rows == suffix.n_rows == 4
+
 
 class TestPrefixScanner:
     def _frontier(self, n, members):
@@ -139,3 +162,18 @@ class TestDegreeThresholdScanner:
     def test_k_zero_keeps_nonisolated_in_dram(self, shard, store):
         s = DegreeThresholdScanner(shard, 0, store, "d")
         assert s.nvm.n_directed_edges == 0
+
+    def test_all_isolated_shard_scans_to_no_parents(self, store):
+        empty = build_csr(np.empty((2, 0), dtype=np.int64), n_vertices=6)
+        scanner = DegreeThresholdScanner(empty, 2, store, "iso")
+        frontier = Bitmap.from_indices(6, np.arange(6))
+        out = scanner.scan(np.arange(6, dtype=np.int64), frontier)
+        assert (out.parents == -1).all()
+        assert out.scanned == 0
+        assert out.scanned_nvm == 0
+
+    def test_all_isolated_shard_offloads_nothing(self, store):
+        empty = build_csr(np.empty((2, 0), dtype=np.int64), n_vertices=6)
+        scanner = DegreeThresholdScanner(empty, 2, store, "iso2")
+        assert scanner.dram.n_directed_edges == 0
+        assert scanner.nvm.n_directed_edges == 0

@@ -1,0 +1,76 @@
+"""Serving determinism: two same-seed workload replays must emit
+identical metric values and byte-identical exported artifacts (the
+property the simulated-clock time base guarantees end to end)."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core import DRAM_PCIE_FLASH
+from repro.obs import Observability
+from repro.semiext.faults import FaultPlan
+from repro.serve import BFSServer, GraphCatalog, WorkloadSpec, generate_workload
+
+
+def _serve_once(workdir, outdir, scenario):
+    obs = Observability()
+    catalog = GraphCatalog(workdir=workdir, obs=obs)
+    graph = catalog.build("g", scenario, scale=9, seed=11,
+                          alpha=4.0, beta=4.0)
+    spec = WorkloadSpec(n_requests=80, graph="g", seed=7, root_pool=12,
+                        zipf_s=1.3)
+    server = BFSServer(catalog, batch_size=8, queue_capacity=64,
+                       cache_capacity=32, cache_ttl_s=0.05, obs=obs)
+    report = server.serve(generate_workload(spec, graph.degrees))
+    paths = obs.export(outdir)
+    catalog.close()
+    return obs, paths, report
+
+
+class TestServeDeterminism:
+    @pytest.fixture(scope="class", params=["healthy", "faulty"])
+    def exports(self, request, tmp_path_factory):
+        scenario = DRAM_PCIE_FLASH
+        if request.param == "faulty":
+            scenario = replace(
+                scenario,
+                fault_plan=FaultPlan(seed=13, error_rate=0.05, gc_rate=0.02),
+            )
+        tag = request.param
+        return [
+            _serve_once(
+                tmp_path_factory.mktemp(f"wd_{tag}_{run}"),
+                tmp_path_factory.mktemp(f"out_{tag}_{run}"),
+                scenario,
+            )
+            for run in ("a", "b")
+        ]
+
+    def test_metric_values_identical(self, exports):
+        (obs_a, _, _), (obs_b, _, _) = exports
+        assert obs_a.registry.as_dict() == obs_b.registry.as_dict()
+
+    def test_artifacts_byte_identical(self, exports):
+        (_, paths_a, _), (_, paths_b, _) = exports
+        for kind in ("jsonl", "chrome_trace", "prometheus"):
+            assert (
+                paths_a[kind].read_bytes() == paths_b[kind].read_bytes()
+            ), kind
+
+    def test_reports_agree(self, exports):
+        (_, _, rep_a), (_, _, rep_b) = exports
+        assert rep_a.n_served == rep_b.n_served
+        assert rep_a.n_rejected == rep_b.n_rejected
+        assert rep_a.cache_hits == rep_b.cache_hits
+        assert rep_a.nvm_bytes_read == rep_b.nvm_bytes_read
+        assert rep_a.latencies_s() == rep_b.latencies_s()
+
+    def test_serve_series_exported(self, exports):
+        (obs, _, _), _ = exports
+        names = set(obs.registry.names())
+        assert "serve.requests_total" in names
+        assert "serve.latency_seconds" in names
+        assert "serve.cache_hits_total" in names
+        assert "serve.batches_total" in names

@@ -1,0 +1,216 @@
+"""Server and scheduler tests: fairness, backpressure, caching,
+degraded-mode shedding."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core import DRAM_ONLY, DRAM_PCIE_FLASH
+from repro.errors import ConfigurationError
+from repro.semiext.faults import FaultPlan
+from repro.serve import (
+    AdmissionQueue,
+    BFSServer,
+    GraphCatalog,
+    RejectionStats,
+    Request,
+    WorkloadSpec,
+    generate_workload,
+)
+
+ALPHA = BETA = 4.0
+
+
+def _req(arrival, tenant="t0", root=1, graph="g"):
+    return Request(arrival_s=arrival, tenant=tenant, graph=graph, root=root)
+
+
+class TestAdmissionQueue:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ConfigurationError, match="positive"):
+            AdmissionQueue(0)
+
+    def test_offer_rejects_when_full(self):
+        q = AdmissionQueue(2)
+        assert q.offer(_req(0.0, root=1))
+        assert q.offer(_req(0.0, root=2))
+        assert not q.offer(_req(0.0, root=3))
+        assert q.depth == 2
+
+    def test_batch_size_must_be_positive(self):
+        with pytest.raises(ConfigurationError, match="positive"):
+            AdmissionQueue(4).next_batch(0)
+
+    def test_round_robin_across_tenants(self):
+        q = AdmissionQueue(16)
+        for i in range(3):
+            q.offer(_req(0.0, tenant="a", root=10 + i))
+        for i in range(3):
+            q.offer(_req(0.0, tenant="b", root=20 + i))
+        batch = q.next_batch(4)
+        # One per tenant per pass: a, b, a, b — not a, a, a, b.
+        assert [r.tenant for r in batch] == ["a", "b", "a", "b"]
+        assert [r.root for r in batch] == [10, 20, 11, 21]
+
+    def test_chatty_tenant_cannot_starve_others(self):
+        q = AdmissionQueue(32)
+        for i in range(10):
+            q.offer(_req(0.0, tenant="chatty", root=i))
+        q.offer(_req(0.0, tenant="quiet", root=100))
+        batch = q.next_batch(4)
+        assert any(r.tenant == "quiet" for r in batch)
+
+    def test_rotation_point_advances_between_batches(self):
+        q = AdmissionQueue(32)
+        for i in range(4):
+            q.offer(_req(0.0, tenant="a", root=i))
+            q.offer(_req(0.0, tenant="b", root=10 + i))
+        first = q.next_batch(2)
+        second = q.next_batch(2)
+        assert first[0].tenant != second[0].tenant
+
+    def test_drains_in_fifo_order_per_tenant(self):
+        q = AdmissionQueue(8)
+        for i in range(3):
+            q.offer(_req(0.0, tenant="a", root=i))
+        assert [r.root for r in q.next_batch(8)] == [0, 1, 2]
+        assert q.depth == 0
+
+
+class TestRejectionStats:
+    def test_records_by_reason_and_tenant(self):
+        stats = RejectionStats()
+        stats.record(_req(0.0, tenant="a"), "queue_full")
+        stats.record(_req(0.0, tenant="a"), "degraded")
+        stats.record(_req(0.0, tenant="b"), "queue_full")
+        assert stats.queue_full == 2
+        assert stats.degraded == 1
+        assert stats.total == 3
+        assert stats.by_tenant == {"a": 2, "b": 1}
+
+    def test_unknown_reason_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown rejection"):
+            RejectionStats().record(_req(0.0), "cosmic_rays")
+
+
+@pytest.fixture(scope="module")
+def catalog(tmp_path_factory):
+    cat = GraphCatalog(workdir=tmp_path_factory.mktemp("serve"))
+    cat.build("g", DRAM_PCIE_FLASH, scale=9, seed=11, alpha=ALPHA, beta=BETA)
+    yield cat
+    cat.close()
+
+
+class TestBFSServer:
+    def _workload(self, catalog, n=60, **kw):
+        spec = WorkloadSpec(n_requests=n, graph="g", seed=kw.pop("seed", 7),
+                            root_pool=kw.pop("root_pool", 12), **kw)
+        return generate_workload(spec, catalog.get("g").degrees)
+
+    def test_serves_every_request(self, catalog):
+        reqs = self._workload(catalog)
+        report = BFSServer(catalog).serve(reqs)
+        assert report.n_requests == len(reqs)
+        assert report.n_rejected == 0
+        assert report.n_served == len(reqs)
+
+    def test_latencies_nonnegative_and_measured_from_arrival(self, catalog):
+        report = BFSServer(catalog).serve(self._workload(catalog))
+        for c in report.completions:
+            assert c.latency_s >= 0
+            assert c.completed_s == pytest.approx(
+                c.request.arrival_s + c.latency_s
+            )
+
+    def test_zipf_workload_hits_cache(self, catalog):
+        report = BFSServer(catalog, cache_capacity=64).serve(
+            self._workload(catalog, n=100, zipf_s=1.4)
+        )
+        assert report.cache_hit_rate > 0
+        assert any(c.source == "cache" for c in report.completions)
+        assert any(c.source == "batched" for c in report.completions)
+
+    def test_cache_disabled_means_all_traversals(self, catalog):
+        report = BFSServer(catalog, cache_capacity=0).serve(
+            self._workload(catalog, n=30)
+        )
+        assert report.cache_hits == 0
+        assert all(c.source == "batched" for c in report.completions)
+
+    def test_repeated_root_shares_answer(self, catalog):
+        reqs = [_req(0.001 * i, tenant=f"t{i % 2}", root=self._hot(catalog))
+                for i in range(6)]
+        report = BFSServer(catalog).serve(reqs)
+        assert report.n_served == 6
+        trees = {c.traversed_edges for c in report.completions}
+        assert len(trees) == 1
+
+    def _hot(self, catalog):
+        return int(np.argmax(catalog.get("g").degrees))
+
+    def test_tiny_queue_rejects_burst(self, catalog):
+        # Everything arrives at once; queue of 4 cannot hold 20.
+        roots = np.flatnonzero(catalog.get("g").degrees > 0)[:20]
+        reqs = [_req(0.0, root=int(r)) for r in roots]
+        report = BFSServer(catalog, queue_capacity=4,
+                           cache_capacity=0).serve(reqs)
+        assert report.rejections.queue_full == 16
+        assert report.n_served == 4
+        assert {reason for _, reason in report.rejected} == {"queue_full"}
+
+    def test_burst_batches_together(self, catalog):
+        roots = np.flatnonzero(catalog.get("g").degrees > 0)[:8]
+        reqs = [_req(0.0, root=int(r)) for r in roots]
+        report = BFSServer(catalog, batch_size=8,
+                           cache_capacity=0).serve(reqs)
+        assert report.n_batches == 1
+        assert report.n_traversals == 8
+
+    def test_report_tenant_accounting_matches(self, catalog):
+        report = BFSServer(catalog).serve(self._workload(catalog, n=50))
+        by_tenant = report.served_by_tenant()
+        assert sum(by_tenant.values()) == report.n_served
+
+
+class TestDegradedServing:
+    def test_open_circuit_serves_cache_only(self, tmp_path):
+        scenario = replace(DRAM_PCIE_FLASH,
+                           fault_plan=FaultPlan(seed=3, fail_at_s=0.0))
+        cat = GraphCatalog(workdir=tmp_path)
+        g = cat.build("g", scenario, scale=9, seed=11,
+                      alpha=ALPHA, beta=BETA)
+        hot = int(np.argmax(g.degrees))
+        other = int(np.flatnonzero(g.degrees > 0)[0])
+        if other == hot:
+            other = int(np.flatnonzero(g.degrees > 0)[1])
+        server = BFSServer(cat, cache_capacity=8)
+        # First query trips the hard failure (answered via degraded
+        # bottom-up traversal) and opens the circuit breaker.
+        first = server.serve([_req(0.0, root=hot)])
+        assert first.n_served == 1
+        assert g.circuit_open
+        # Now: cached root still served, uncached root shed as degraded.
+        second = server.serve([
+            _req(0.0, root=hot), _req(0.0, root=other),
+        ])
+        assert second.rejections.degraded == 1
+        assert [c.request.root for c in second.completions] == [hot]
+        assert second.completions[0].source == "cache"
+        assert {reason for _, reason in second.rejected} == {"degraded"}
+        cat.close()
+
+
+class TestDramOnlyServing:
+    def test_serves_without_a_device(self, tmp_path):
+        cat = GraphCatalog(workdir=tmp_path)
+        cat.build("g", DRAM_ONLY, scale=9, seed=11, alpha=ALPHA, beta=BETA)
+        spec = WorkloadSpec(n_requests=30, graph="g", seed=2, root_pool=8)
+        report = BFSServer(cat).serve(
+            generate_workload(spec, cat.get("g").degrees)
+        )
+        assert report.n_served == 30
+        assert report.nvm_bytes_read == 0
+        cat.close()

@@ -1,0 +1,150 @@
+"""Workload generator tests: spec parsing, determinism, Zipf skew,
+trace round-trip."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve import (
+    Request,
+    WorkloadSpec,
+    generate_workload,
+    load_trace,
+    save_trace,
+)
+
+
+@pytest.fixture(scope="module")
+def degrees():
+    rng = np.random.default_rng(5)
+    d = rng.integers(0, 40, size=512)
+    d[::7] = 0  # sprinkle isolated vertices
+    return d
+
+
+class TestSpecParsing:
+    def test_parse_full_spec(self):
+        spec = WorkloadSpec.parse(
+            "n=100,rate=500,zipf=1.5,tenants=2,pool=32,seed=9"
+        )
+        assert spec.n_requests == 100
+        assert spec.rate_rps == 500.0
+        assert spec.zipf_s == 1.5
+        assert spec.n_tenants == 2
+        assert spec.root_pool == 32
+        assert spec.seed == 9
+
+    def test_parse_partial_spec_keeps_defaults(self):
+        spec = WorkloadSpec.parse("n=10")
+        assert spec.n_requests == 10
+        assert spec.rate_rps == WorkloadSpec().rate_rps
+        assert spec.seed is None
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown workload key"):
+            WorkloadSpec.parse("bogus=1")
+
+    def test_missing_equals_rejected(self):
+        with pytest.raises(ConfigurationError, match="not key=value"):
+            WorkloadSpec.parse("n200")
+
+    def test_non_number_rejected(self):
+        with pytest.raises(ConfigurationError, match="needs a number"):
+            WorkloadSpec.parse("rate=fast")
+
+    @pytest.mark.parametrize("bad", [
+        "n=0", "rate=0", "zipf=0", "tenants=0", "pool=0", "n=-5",
+    ])
+    def test_non_positive_values_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec.parse(bad)
+
+    def test_with_seed_fills_only_unset(self):
+        assert WorkloadSpec.parse("n=5").with_seed(3).seed == 3
+        assert WorkloadSpec.parse("n=5,seed=9").with_seed(3).seed == 9
+        assert WorkloadSpec.parse("n=5").with_seed(None).seed is None
+
+
+class TestGeneration:
+    def test_same_seed_same_workload(self, degrees):
+        spec = WorkloadSpec(n_requests=80, seed=4)
+        assert generate_workload(spec, degrees) == \
+            generate_workload(spec, degrees)
+
+    def test_different_seed_different_workload(self, degrees):
+        a = generate_workload(WorkloadSpec(n_requests=80, seed=4), degrees)
+        b = generate_workload(WorkloadSpec(n_requests=80, seed=5), degrees)
+        assert a != b
+
+    def test_arrivals_are_increasing(self, degrees):
+        reqs = generate_workload(WorkloadSpec(n_requests=50, seed=1), degrees)
+        arrivals = [r.arrival_s for r in reqs]
+        assert arrivals == sorted(arrivals)
+        assert arrivals[0] > 0
+
+    def test_roots_come_from_top_degree_pool(self, degrees):
+        spec = WorkloadSpec(n_requests=200, root_pool=8, seed=2)
+        reqs = generate_workload(spec, degrees)
+        eligible = np.flatnonzero(degrees > 0)
+        order = np.argsort(-degrees[eligible], kind="stable")
+        pool = set(int(v) for v in eligible[order][:8])
+        assert set(r.root for r in reqs) <= pool
+        assert all(degrees[r.root] > 0 for r in reqs)
+
+    def test_zipf_skews_toward_hottest_root(self, degrees):
+        spec = WorkloadSpec(n_requests=400, root_pool=32, zipf_s=1.5, seed=3)
+        reqs = generate_workload(spec, degrees)
+        counts: dict[int, int] = {}
+        for r in reqs:
+            counts[r.root] = counts.get(r.root, 0) + 1
+        eligible = np.flatnonzero(degrees > 0)
+        order = np.argsort(-degrees[eligible], kind="stable")
+        hottest = int(eligible[order][0])
+        assert counts[hottest] == max(counts.values())
+        assert counts[hottest] > spec.n_requests / 10
+
+    def test_tenants_within_spec(self, degrees):
+        reqs = generate_workload(
+            WorkloadSpec(n_requests=100, n_tenants=3, seed=6), degrees
+        )
+        assert set(r.tenant for r in reqs) <= {
+            "tenant0", "tenant1", "tenant2"
+        }
+
+    def test_all_isolated_graph_rejected(self):
+        with pytest.raises(ConfigurationError, match="no non-isolated"):
+            generate_workload(WorkloadSpec(seed=1), np.zeros(16, dtype=int))
+
+
+class TestTraceRoundTrip:
+    def test_save_load_identity(self, degrees, tmp_path):
+        reqs = generate_workload(WorkloadSpec(n_requests=40, seed=8), degrees)
+        path = save_trace(reqs, tmp_path / "trace.jsonl")
+        assert load_trace(path) == reqs
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            '{"arrival_s": 0.5, "tenant": "t0", "graph": "g", "root": 3}\n'
+            "\n"
+        )
+        assert load_trace(path) == [
+            Request(arrival_s=0.5, tenant="t0", graph="g", root=3)
+        ]
+
+    def test_malformed_line_reports_line_number(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"arrival_s": 0.5, "tenant": "t0", "graph": "g", "root": 3}\n'
+            "nonsense\n"
+        )
+        with pytest.raises(ConfigurationError, match="bad.jsonl:2"):
+            load_trace(path)
+
+    def test_missing_field_reports_line_number(self, tmp_path):
+        path = tmp_path / "short.jsonl"
+        path.write_text('{"arrival_s": 0.5, "tenant": "t0"}\n')
+        with pytest.raises(ConfigurationError, match="short.jsonl:1"):
+            load_trace(path)

@@ -10,7 +10,8 @@ Two passes, both offline:
    dashes, punctuation dropped).  ``http(s)``/``mailto`` targets are
    syntax-checked only — CI has no network.
 2. **Code blocks** — every fenced ```` ```python ```` block in the
-   executable docs (``docs/tutorial.md``, ``docs/observability.md``) runs
+   executable docs (``docs/tutorial.md``, ``docs/observability.md``,
+   ``docs/serving.md``) runs
    top to bottom in one shared namespace per file, from a scratch working
    directory, exactly like a reader pasting the tutorial into a REPL.
    A block raising makes the build fail with the file, block number and
@@ -37,7 +38,11 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parent.parent
 
 #: Docs whose ```python blocks must execute cleanly.
-EXECUTABLE_DOCS = ("docs/tutorial.md", "docs/observability.md")
+EXECUTABLE_DOCS = (
+    "docs/tutorial.md",
+    "docs/observability.md",
+    "docs/serving.md",
+)
 
 _LINK = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
 _FENCE = re.compile(r"^```(\w*)\s*$")
