@@ -17,6 +17,7 @@ Module                     Paper artifact
 =========================  ==================================================
 """
 
+from repro.analysis.dashboard import render_dashboard
 from repro.analysis.degradation import DegradationPoint, degradation_by_degree
 from repro.analysis.graphstats import GraphShape, graph_shape
 from repro.analysis.iotrace import IoTraceSummary, summarize_iostats
@@ -56,4 +57,5 @@ __all__ = [
     "summarize_serve",
     "ascii_table",
     "format_float",
+    "render_dashboard",
 ]

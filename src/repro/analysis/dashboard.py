@@ -1,0 +1,75 @@
+"""One-page run dashboard: metrics + derived stats + SLO verdicts.
+
+:func:`render_dashboard` fuses the three views of a recorded session —
+the raw :class:`~repro.obs.MetricsRegistry` table, the
+:class:`~repro.obs.DerivedReport` (quantiles, span stats, anomaly
+flags) and the :class:`~repro.obs.SLOReport` (error budgets, burn
+rates) — into a single aligned text report.  It is what ``repro-bfs
+slo`` prints for an exported session and what ``repro-bfs serve
+--slo`` appends to the serve summary.
+
+Pure rendering: everything is computed by :mod:`repro.obs.derive` and
+:mod:`repro.obs.slo`; the output is deterministic for deterministic
+input (same-seed sessions render byte-identical dashboards).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import metrics_table
+
+__all__ = ["render_dashboard"]
+
+_RULE = "=" * 72
+
+
+def render_dashboard(
+    obs,
+    slo=None,
+    derived=None,
+    title: str = "run dashboard",
+    metric_prefixes: tuple[str, ...] = (),
+) -> str:
+    """Render one session as a sectioned text dashboard.
+
+    ``slo`` / ``derived`` default to evaluating the stock serve SLOs
+    and the full derived report against ``obs``; pass precomputed
+    reports to reuse them.  ``metric_prefixes`` limits the raw-metrics
+    section to the named families (default: every series).
+    """
+    from repro.obs.derive import derive
+    from repro.obs.slo import evaluate
+
+    if derived is None:
+        derived = derive(obs)
+    if slo is None:
+        slo = evaluate(obs)
+
+    n_series = len(obs.registry)
+    n_spans = len(obs.tracer.spans)
+    n_events = len(obs.tracer.events)
+    sections = [
+        _RULE,
+        title,
+        _RULE,
+        f"session: {n_series} metric series, {n_spans} spans, "
+        f"{n_events} events over {derived.duration_s:.4f} simulated s",
+        "",
+        "-- SLO verdicts " + "-" * 56,
+        slo.format(),
+        "",
+        "-- derived metrics " + "-" * 53,
+        derived.format(),
+        "",
+        "-- raw metrics " + "-" * 57,
+    ]
+    if metric_prefixes:
+        for prefix in metric_prefixes:
+            sections.append(
+                metrics_table(obs.registry, prefix=prefix,
+                              title=f"{prefix}* series")
+            )
+            sections.append("")
+        sections.pop()
+    else:
+        sections.append(metrics_table(obs.registry))
+    return "\n".join(sections)

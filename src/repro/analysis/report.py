@@ -90,7 +90,12 @@ def metrics_table(
     from repro.obs.registry import Histogram, format_labels
 
     rows = []
-    for metric in registry.metrics():
+    # Sort here rather than trusting the registry's iteration order: the
+    # key covers series of one metric whose label *keys* differ (e.g.
+    # {reason=...} next to {tenant=...}), so the rendered table is stable
+    # no matter what order the series were created or yielded in.
+    ordered = sorted(registry.metrics(), key=lambda m: (m.name, m.labels))
+    for metric in ordered:
         if prefix is not None and not metric.name.startswith(prefix):
             continue
         series = metric.name + format_labels(metric.labels)

@@ -180,6 +180,46 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="capture the serving session's observability exports into DIR",
     )
+    serve.add_argument(
+        "--slo",
+        action="store_true",
+        help="evaluate the serving SLOs (latency, availability, device "
+             "error rate) on the simulated clock and print the verdict "
+             "section with error budgets and burn rates",
+    )
+
+    slo = sub.add_parser(
+        "slo",
+        help="derived metrics + SLO verdicts for an exported obs session",
+    )
+    slo.add_argument(
+        "path",
+        help="an exported events.jsonl, or the --obs directory holding one",
+    )
+    slo.add_argument(
+        "--json",
+        action="store_true",
+        help="print the canonical JSON report (byte-identical for "
+             "same-seed runs) instead of the text dashboard",
+    )
+
+    perf = sub.add_parser(
+        "perf",
+        help="run registered benchmark scenarios; write BENCH_*.json",
+    )
+    perf.add_argument("--list", action="store_true",
+                      help="list registered scenarios and exit")
+    perf.add_argument("--scenario", action="append", default=None,
+                      metavar="NAME",
+                      help="run one scenario (repeatable; default: all)")
+    perf.add_argument("--out", type=str, default="bench-out", metavar="DIR",
+                      help="artifact output directory (default: %(default)s)")
+    perf.add_argument("--seed", type=int, default=7,
+                      help="scenario seed (default: %(default)s, the "
+                           "committed baselines' seed)")
+    perf.add_argument("--baseline", type=str, default=None, metavar="DIR",
+                      help="also gate the run against the baselines in DIR "
+                           "(exit 1 on regression)")
 
     reproduce = sub.add_parser(
         "reproduce",
@@ -462,7 +502,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
         scenario = replace(scenario, fault_plan=args.faults)
     obs = None
-    if args.obs is not None:
+    if args.obs is not None or args.slo:
         from repro.obs import Observability
 
         obs = Observability()
@@ -508,7 +548,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(f"scale/ef:        {args.scale} / {args.edge_factor}")
     print(f"batch/queue:     {args.batch} / {args.queue}")
     print(ServeSummary.from_report(report).format())
-    if obs is not None:
+    if args.slo:
+        from repro.obs import evaluate
+
+        print()
+        print(evaluate(obs).format())
+    if args.obs is not None:
         from repro.analysis.report import metrics_table
 
         paths = obs.export(args.obs)
@@ -518,6 +563,89 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print()
         for kind in ("jsonl", "chrome_trace", "prometheus"):
             print(f"obs {kind}:       {paths[kind]}")
+    return 0
+
+
+def _cmd_slo(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis.dashboard import render_dashboard
+    from repro.errors import ConfigurationError
+    from repro.obs import derive, evaluate, read_jsonl
+
+    path = Path(args.path)
+    if path.is_dir():
+        path = path / "events.jsonl"
+    try:
+        obs = read_jsonl(path)
+    except (OSError, ConfigurationError) as exc:
+        print(f"error: cannot read obs export: {exc}", file=sys.stderr)
+        return 2
+    derived = derive(obs)
+    slo = evaluate(obs)
+    if args.json:
+        import json
+
+        print(json.dumps(
+            {"slo": slo.to_dict(), "derived": derived.to_dict()},
+            sort_keys=True, indent=1,
+        ))
+    else:
+        print(render_dashboard(
+            obs, slo=slo, derived=derived,
+            title=f"run dashboard — {path}",
+        ))
+    return 0
+
+
+def _cmd_perf(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.errors import ConfigurationError
+    from repro.perf import SCENARIOS, compare, get_scenario, load
+
+    if args.list:
+        for s in SCENARIOS:
+            print(f"{s.name:24s} {s.description}  [{s.paper_ref}]")
+        return 0
+    try:
+        scenarios = (
+            [get_scenario(n) for n in args.scenario]
+            if args.scenario else list(SCENARIOS)
+        )
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    outdir = Path(args.out)
+    artifacts = []
+    for scenario in scenarios:
+        with tempfile.TemporaryDirectory(prefix="repro-perf-") as td:
+            artifact = scenario.run(args.seed, Path(td))
+        path = artifact.write(outdir)
+        artifacts.append(artifact)
+        print(f"{scenario.name}: wrote {path} "
+              f"({len(artifact.metrics)} metrics, "
+              f"{artifact.simulated_seconds:.4f} simulated s)")
+    if args.baseline is None:
+        return 0
+    failures = 0
+    for artifact in artifacts:
+        baseline_path = Path(args.baseline) / f"BENCH_{artifact.name}.json"
+        try:
+            deltas = compare(load(baseline_path), artifact)
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        for d in deltas:
+            if d.is_regression:
+                failures += 1
+                print(f"{artifact.name}.{d.name}: REGRESSION "
+                      f"{d.baseline:g} -> {d.candidate} {d.unit} "
+                      f"({d.rel_change:+.2%}, tol {d.tolerance:.0%})")
+    if failures:
+        print(f"perf gate: FAIL ({failures} regressing metric(s))")
+        return 1
+    print("perf gate: PASS")
     return 0
 
 
@@ -550,6 +678,8 @@ def main(argv: list[str] | None = None) -> int:
         "locality": _cmd_locality,
         "offload": _cmd_offload,
         "serve": _cmd_serve,
+        "slo": _cmd_slo,
+        "perf": _cmd_perf,
         "reproduce": _cmd_reproduce,
     }[args.command]
     return handler(args)

@@ -26,6 +26,7 @@ Typical use::
 or from the shell: ``python -m repro run --scale 12 --obs out/``.
 """
 
+from repro.obs.derive import DerivedReport, derive
 from repro.obs.exporters import (
     chrome_trace_events,
     parse_prometheus,
@@ -44,6 +45,13 @@ from repro.obs.registry import (
 )
 from repro.obs.schema import METRICS, SPANS, MetricSpec, metric_names, span_names
 from repro.obs.session import NULL, Observability
+from repro.obs.slo import (
+    DEFAULT_SERVE_SLOS,
+    SLOReport,
+    SLOResult,
+    SLOSpec,
+    evaluate,
+)
 from repro.obs.spans import CounterPoint, Span, TraceEvent, Tracer
 
 __all__ = [
@@ -70,4 +78,11 @@ __all__ = [
     "write_prometheus",
     "prometheus_text",
     "parse_prometheus",
+    "derive",
+    "DerivedReport",
+    "evaluate",
+    "SLOSpec",
+    "SLOResult",
+    "SLOReport",
+    "DEFAULT_SERVE_SLOS",
 ]

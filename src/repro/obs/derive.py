@@ -1,0 +1,493 @@
+"""Derived metrics: the interpretation layer over a raw session.
+
+:mod:`repro.obs` records *what happened* — counters, histograms, spans —
+but a raw registry answers no operational question by itself.  This
+module turns an exported (or live) :class:`~repro.obs.Observability`
+session into the quantities an operator actually reads:
+
+* **percentiles** — Prometheus-style quantile estimation over cumulative
+  histogram buckets (:func:`histogram_quantile`) and exact quantiles
+  over recorded span durations (:func:`exact_quantile`);
+* **windowed rates** — event/span throughput per fixed window of
+  simulated time (:func:`windowed_rate`);
+* **per-level time series** — the ``bfs.level`` span stream reshaped
+  into one :class:`LevelPoint` per level, the Fig. 11 view of a run;
+* **anomaly flags** — EWMA-residual z-scores over any numeric series
+  (:func:`flag_anomalies`); a pathologically late top-down switch or a
+  retry storm shows up as a flagged level.
+
+Everything here is a pure function of the session: no clock reads, no
+randomness, sorted iteration only — so two same-seed runs produce
+byte-identical :meth:`DerivedReport.to_json` output (pinned by
+``tests/test_obs_derive.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.obs.registry import Histogram, format_labels
+
+__all__ = [
+    "histogram_quantile",
+    "exact_quantile",
+    "ewma",
+    "flag_anomalies",
+    "windowed_rate",
+    "span_durations",
+    "QuantileRow",
+    "SpanStats",
+    "LevelPoint",
+    "RatePoint",
+    "AnomalyFlag",
+    "DerivedReport",
+    "derive",
+]
+
+#: Quantiles every summary reports, in order.
+QUANTILES: tuple[float, ...] = (0.5, 0.9, 0.99, 1.0)
+
+#: EWMA smoothing factor for the anomaly baseline.
+EWMA_ALPHA = 0.3
+
+#: |z| at or above which a point is flagged.
+Z_THRESHOLD = 3.0
+
+
+# -- primitive estimators ----------------------------------------------------
+
+
+def histogram_quantile(hist: Histogram, q: float) -> float:
+    """Estimate the ``q``-quantile of a cumulative-bucket histogram.
+
+    The Prometheus ``histogram_quantile`` rule: find the first bucket
+    whose cumulative count reaches ``q * count`` and interpolate
+    linearly inside it (the lowest bucket interpolates from 0, the
+    overflow bucket clamps to the largest finite bound).
+
+    >>> from repro.obs.registry import MetricsRegistry
+    >>> h = MetricsRegistry().histogram("x", buckets=(1.0, 2.0, 4.0))
+    >>> for v in (0.5, 1.5, 1.5, 3.0):
+    ...     h.observe(v)
+    >>> histogram_quantile(h, 0.5)
+    1.5
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ConfigurationError(f"quantile must be in [0, 1]: {q}")
+    if hist.count == 0:
+        return 0.0
+    rank = q * hist.count
+    prev_bound = 0.0
+    prev_count = 0
+    for bound, cum in zip(hist.buckets, hist.bucket_counts):
+        if cum >= rank:
+            in_bucket = cum - prev_count
+            if in_bucket == 0:
+                return bound
+            frac = (rank - prev_count) / in_bucket
+            return prev_bound + (bound - prev_bound) * frac
+        prev_bound = bound
+        prev_count = cum
+    # Overflow (+Inf) bucket: clamp to the largest finite bound.
+    return hist.buckets[-1]
+
+
+def exact_quantile(values: list[float], q: float) -> float:
+    """Exact linear-interpolation quantile of a value list.
+
+    >>> exact_quantile([4.0, 1.0, 3.0, 2.0], 0.5)
+    2.5
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ConfigurationError(f"quantile must be in [0, 1]: {q}")
+    if not values:
+        return 0.0
+    ordered = sorted(float(v) for v in values)
+    if len(ordered) == 1:
+        return ordered[0]
+    pos = q * (len(ordered) - 1)
+    lo = int(math.floor(pos))
+    hi = int(math.ceil(pos))
+    if lo == hi:
+        return ordered[lo]
+    return ordered[lo] + (ordered[hi] - ordered[lo]) * (pos - lo)
+
+
+def ewma(values: list[float], alpha: float = EWMA_ALPHA) -> list[float]:
+    """Exponentially weighted moving average (first value seeds it).
+
+    >>> ewma([1.0, 1.0, 5.0], alpha=0.5)
+    [1.0, 1.0, 3.0]
+    """
+    if not 0.0 < alpha <= 1.0:
+        raise ConfigurationError(f"alpha must be in (0, 1]: {alpha}")
+    out: list[float] = []
+    level = None
+    for v in values:
+        v = float(v)
+        level = v if level is None else alpha * v + (1 - alpha) * level
+        out.append(level)
+    return out
+
+
+@dataclass(frozen=True)
+class AnomalyFlag:
+    """One flagged point of a numeric series."""
+
+    series: str
+    index: int
+    value: float
+    baseline: float
+    zscore: float
+
+    def to_dict(self) -> dict:
+        """JSON-safe rendering."""
+        return {
+            "series": self.series,
+            "index": self.index,
+            "value": self.value,
+            "baseline": self.baseline,
+            "zscore": round(self.zscore, 6),
+        }
+
+
+def flag_anomalies(
+    series: str,
+    values: list[float],
+    alpha: float = EWMA_ALPHA,
+    z_threshold: float = Z_THRESHOLD,
+    min_points: int = 4,
+) -> list[AnomalyFlag]:
+    """Flag points whose EWMA residual exceeds ``z_threshold`` sigmas.
+
+    The baseline at index ``i`` is the EWMA of ``values[:i]`` (the point
+    under test never smooths itself in), and sigma is the standard
+    deviation of all residuals-from-baseline — robust enough for the
+    short series a BFS run produces, with no tunable history window.
+    Series shorter than ``min_points`` never flag (nothing to learn a
+    baseline from).
+    """
+    if len(values) < min_points:
+        return []
+    vals = [float(v) for v in values]
+    smoothed = ewma(vals, alpha=alpha)
+    baselines = [vals[0]] + smoothed[:-1]
+    residuals = [v - b for v, b in zip(vals, baselines)]
+    mean_r = sum(residuals) / len(residuals)
+    var = sum((r - mean_r) ** 2 for r in residuals) / len(residuals)
+    sigma = math.sqrt(var)
+    if sigma == 0.0:
+        return []
+    flags: list[AnomalyFlag] = []
+    for i, (v, b, r) in enumerate(zip(vals, baselines, residuals)):
+        z = (r - mean_r) / sigma
+        if abs(z) >= z_threshold:
+            flags.append(AnomalyFlag(series, i, v, b, z))
+    return flags
+
+
+@dataclass(frozen=True)
+class RatePoint:
+    """Event throughput in one window of simulated time."""
+
+    t_start_s: float
+    t_end_s: float
+    count: int
+    rate_per_s: float
+
+    def to_dict(self) -> dict:
+        """JSON-safe rendering."""
+        return {
+            "t_start_s": self.t_start_s,
+            "t_end_s": self.t_end_s,
+            "count": self.count,
+            "rate_per_s": self.rate_per_s,
+        }
+
+
+def windowed_rate(
+    timestamps: list[float], window_s: float, t_end_s: float | None = None
+) -> list[RatePoint]:
+    """Bucket timestamps into fixed windows starting at t = 0.
+
+    The final window is truncated at ``t_end_s`` (default: the last
+    timestamp), so its rate still divides by the time actually covered.
+    """
+    if window_s <= 0:
+        raise ConfigurationError(f"window must be positive: {window_s}")
+    if not timestamps:
+        return []
+    ts = sorted(float(t) for t in timestamps)
+    end = float(t_end_s) if t_end_s is not None else ts[-1]
+    end = max(end, ts[-1])
+    n_windows = max(1, int(math.ceil(end / window_s)) if end > 0 else 1)
+    counts = [0] * n_windows
+    for t in ts:
+        idx = min(int(t // window_s), n_windows - 1)
+        counts[idx] += 1
+    points: list[RatePoint] = []
+    for i, count in enumerate(counts):
+        lo = i * window_s
+        hi = min((i + 1) * window_s, end)
+        width = hi - lo
+        rate = count / width if width > 0 else 0.0
+        points.append(RatePoint(lo, hi, count, rate))
+    return points
+
+
+def span_durations(obs, name: str) -> list[float]:
+    """Durations of every *closed* span with ``name``, record order."""
+    return [
+        s.t_end_s - s.t_start_s
+        for s in obs.tracer.spans
+        if s.name == name and s.t_end_s is not None
+    ]
+
+
+# -- structured report -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class QuantileRow:
+    """Quantile summary of one histogram series."""
+
+    series: str
+    count: int
+    sum: float
+    quantiles: tuple[tuple[float, float], ...]  # (q, estimate)
+
+    def to_dict(self) -> dict:
+        """JSON-safe rendering."""
+        return {
+            "series": self.series,
+            "count": self.count,
+            "sum": self.sum,
+            "quantiles": {f"p{q * 100:g}": v for q, v in self.quantiles},
+        }
+
+
+@dataclass(frozen=True)
+class SpanStats:
+    """Exact duration statistics of one span name."""
+
+    name: str
+    count: int
+    total_s: float
+    quantiles: tuple[tuple[float, float], ...]
+
+    def to_dict(self) -> dict:
+        """JSON-safe rendering."""
+        return {
+            "name": self.name,
+            "count": self.count,
+            "total_s": self.total_s,
+            "quantiles": {f"p{q * 100:g}": v for q, v in self.quantiles},
+        }
+
+
+@dataclass(frozen=True)
+class LevelPoint:
+    """One BFS level as recorded by its ``bfs.level`` span."""
+
+    ordinal: int  # position in the recorded level stream (across runs)
+    level: int
+    direction: str
+    duration_s: float
+    frontier: int
+    discovered: int
+    edges_scanned: int
+    degraded: bool
+
+    def to_dict(self) -> dict:
+        """JSON-safe rendering."""
+        return {
+            "ordinal": self.ordinal,
+            "level": self.level,
+            "direction": self.direction,
+            "duration_s": self.duration_s,
+            "frontier": self.frontier,
+            "discovered": self.discovered,
+            "edges_scanned": self.edges_scanned,
+            "degraded": self.degraded,
+        }
+
+
+@dataclass(frozen=True)
+class DerivedReport:
+    """Everything :func:`derive` computes from one session."""
+
+    duration_s: float
+    histogram_quantiles: tuple[QuantileRow, ...]
+    span_stats: tuple[SpanStats, ...]
+    level_series: tuple[LevelPoint, ...]
+    rates: tuple[tuple[str, tuple[RatePoint, ...]], ...]
+    anomalies: tuple[AnomalyFlag, ...]
+
+    def to_dict(self) -> dict:
+        """Deterministic nested-dict rendering (sorted, JSON-safe)."""
+        return {
+            "duration_s": self.duration_s,
+            "histogram_quantiles": [
+                r.to_dict() for r in self.histogram_quantiles
+            ],
+            "span_stats": [s.to_dict() for s in self.span_stats],
+            "level_series": [p.to_dict() for p in self.level_series],
+            "rates": {
+                name: [p.to_dict() for p in points]
+                for name, points in self.rates
+            },
+            "anomalies": [a.to_dict() for a in self.anomalies],
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON — byte-identical for same-seed sessions."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=1)
+
+    def format(self) -> str:
+        """Aligned text tables (the ``slo`` CLI's derived section)."""
+        from repro.analysis.report import ascii_table, format_float
+
+        blocks: list[str] = []
+        q_headers = [f"p{q * 100:g}" for q in QUANTILES]
+        if self.histogram_quantiles:
+            rows = [
+                [r.series, r.count]
+                + [format_float(v) for _, v in r.quantiles]
+                for r in self.histogram_quantiles
+            ]
+            blocks.append(ascii_table(
+                ["histogram", "count"] + q_headers, rows,
+                title="histogram quantiles (interpolated)",
+            ))
+        if self.span_stats:
+            rows = [
+                [s.name, s.count, format_float(s.total_s)]
+                + [format_float(v) for _, v in s.quantiles]
+                for s in self.span_stats
+            ]
+            blocks.append(ascii_table(
+                ["span", "count", "total s"] + q_headers, rows,
+                title="span durations (exact, simulated seconds)",
+            ))
+        if self.anomalies:
+            rows = [
+                [a.series, a.index, format_float(a.value),
+                 format_float(a.baseline), f"{a.zscore:+.2f}"]
+                for a in self.anomalies
+            ]
+            blocks.append(ascii_table(
+                ["series", "index", "value", "ewma baseline", "z"], rows,
+                title="anomaly flags (|z| >= "
+                      f"{Z_THRESHOLD:g} vs EWMA baseline)",
+            ))
+        else:
+            blocks.append("anomaly flags: none")
+        return "\n\n".join(blocks)
+
+
+def _level_series(obs) -> tuple[LevelPoint, ...]:
+    points = []
+    ordinal = 0
+    for span in obs.tracer.spans:
+        if span.name != "bfs.level" or span.t_end_s is None:
+            continue
+        a = span.attrs
+        points.append(LevelPoint(
+            ordinal=ordinal,
+            level=int(a.get("level", 0)),
+            direction=str(a.get("direction", "")),
+            duration_s=span.t_end_s - span.t_start_s,
+            frontier=int(a.get("frontier", 0)),
+            discovered=int(a.get("discovered", 0)),
+            edges_scanned=int(a.get("edges_scanned", 0)),
+            degraded=bool(a.get("degraded", False)),
+        ))
+        ordinal += 1
+    return tuple(points)
+
+
+def derive(
+    obs,
+    rate_window_s: float | None = None,
+    quantiles: tuple[float, ...] = QUANTILES,
+) -> DerivedReport:
+    """Compute the full derived-metrics report of one session.
+
+    ``rate_window_s`` sizes the throughput windows (default: a tenth of
+    the session duration, so every run gets a ten-point rate series).
+    """
+    spans = obs.tracer.spans
+    events = obs.tracer.events
+    t_end = 0.0
+    for s in spans:
+        t_end = max(t_end, s.t_end_s if s.t_end_s is not None else s.t_start_s)
+    for e in events:
+        t_end = max(t_end, e.t_s)
+
+    hist_rows = []
+    for metric in obs.registry.metrics():
+        if isinstance(metric, Histogram):
+            hist_rows.append(QuantileRow(
+                series=metric.name + format_labels(metric.labels),
+                count=metric.count,
+                sum=metric.sum,
+                quantiles=tuple(
+                    (q, histogram_quantile(metric, q)) for q in quantiles
+                ),
+            ))
+
+    stats = []
+    for name in sorted({s.name for s in spans}):
+        durations = span_durations(obs, name)
+        if not durations:
+            continue
+        stats.append(SpanStats(
+            name=name,
+            count=len(durations),
+            total_s=sum(durations),
+            quantiles=tuple(
+                (q, exact_quantile(durations, q)) for q in quantiles
+            ),
+        ))
+
+    levels = _level_series(obs)
+
+    window = rate_window_s
+    if window is None:
+        window = t_end / 10.0 if t_end > 0 else 1.0
+    rate_streams: list[tuple[str, tuple[RatePoint, ...]]] = []
+    event_names = sorted({e.name for e in events})
+    for name in event_names:
+        ts = [e.t_s for e in events if e.name == name]
+        rate_streams.append(
+            (name, tuple(windowed_rate(ts, window, t_end_s=t_end)))
+        )
+    for name in ("nvm.charge", "serve.batch"):
+        ts = [s.t_start_s for s in spans if s.name == name]
+        if ts:
+            rate_streams.append(
+                (name, tuple(windowed_rate(ts, window, t_end_s=t_end)))
+            )
+    rate_streams.sort(key=lambda kv: kv[0])
+
+    anomalies: list[AnomalyFlag] = []
+    anomalies += flag_anomalies(
+        "bfs.level.duration_s", [p.duration_s for p in levels]
+    )
+    anomalies += flag_anomalies(
+        "bfs.level.edges_scanned", [float(p.edges_scanned) for p in levels]
+    )
+    backoffs = span_durations(obs, "nvm.backoff")
+    anomalies += flag_anomalies("nvm.backoff.duration_s", backoffs)
+
+    return DerivedReport(
+        duration_s=t_end,
+        histogram_quantiles=tuple(hist_rows),
+        span_stats=tuple(stats),
+        level_series=levels,
+        rates=tuple(rate_streams),
+        anomalies=tuple(anomalies),
+    )

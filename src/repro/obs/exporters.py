@@ -220,11 +220,52 @@ def _jsonable(attrs: dict[str, object]) -> dict[str, object]:
 
 
 def chrome_trace_events(obs) -> list[dict]:
-    """The session as a list of ``trace_event`` dicts (µs timestamps)."""
+    """The session as a list of ``trace_event`` dicts (µs timestamps).
+
+    Leads with ``"ph": "M"`` metadata events naming the process and its
+    tracks, so Perfetto shows "engine" and "NUMA shard k" lanes instead
+    of bare tids: every span runs on tid 1 except ``bfs.shard`` spans,
+    which land on tid ``2 + shard``.
+    """
     events: list[dict] = []
     pid = 1
+    shard_tids: dict[int, int] = {}
+    for span in obs.tracer.spans:
+        if span.name == "bfs.shard" and "shard" in span.attrs:
+            k = int(span.attrs["shard"])
+            shard_tids.setdefault(k, 2 + k)
+    events.append(
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "args": {"name": "repro hybrid BFS (simulated clock)"},
+        }
+    )
+    events.append(
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 1,
+            "args": {"name": "engine"},
+        }
+    )
+    for k in sorted(shard_tids):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": shard_tids[k],
+                "args": {"name": f"NUMA shard {k}"},
+            }
+        )
     for span in obs.tracer.spans:
         end = span.t_end_s if span.t_end_s is not None else span.t_start_s
+        tid = 1
+        if span.name == "bfs.shard" and "shard" in span.attrs:
+            tid = shard_tids[int(span.attrs["shard"])]
         events.append(
             {
                 "name": span.name,
@@ -233,7 +274,7 @@ def chrome_trace_events(obs) -> list[dict]:
                 "ts": span.t_start_s * 1e6,
                 "dur": (end - span.t_start_s) * 1e6,
                 "pid": pid,
-                "tid": 1,
+                "tid": tid,
                 "args": _jsonable(span.attrs),
             }
         )
@@ -300,7 +341,7 @@ def prometheus_text(registry: MetricsRegistry) -> str:
             if spec is not None:
                 lines.append(f"# HELP {_prom_name(base)} {spec.help}")
             lines.append(f"# TYPE {_prom_name(base)} {kind}")
-        rendered = _prom_name(sample.name) + format_labels(sample.labels)
+        rendered = _prom_name(sample.name) + _prom_labels(sample.labels)
         lines.append(f"{rendered} {_prom_value(sample.value)}")
     return "\n".join(lines) + "\n"
 
@@ -322,11 +363,73 @@ def _prom_value(value: float) -> str:
     return repr(value)
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the text exposition format: backslash,
+    double-quote and newline (in that order, so ``\\`` stays unambiguous)."""
+    return (
+        value.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _prom_labels(labels) -> str:
+    """Prometheus brace rendering with escaped values ('' when unlabeled)."""
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{k}="{_escape_label_value(v)}"' for k, v in labels
+    )
+    return "{" + inner + "}"
+
+
+def _parse_label_pairs(body: str) -> list[tuple[str, str]]:
+    """Tokenize a label-block body (``k="v",...``), unescaping values.
+
+    Raises ``ValueError`` on any malformation; the caller wraps it with
+    line context.
+    """
+    pairs: list[tuple[str, str]] = []
+    unescape = {"\\": "\\", '"': '"', "n": "\n"}
+    i, n = 0, len(body)
+    while i < n:
+        j = body.index("=", i)
+        key = body[i:j]
+        if not key or j + 1 >= n or body[j + 1] != '"':
+            raise ValueError(f"bad label pair at offset {i}")
+        i = j + 2
+        buf: list[str] = []
+        while True:
+            if i >= n:
+                raise ValueError("unterminated label value")
+            c = body[i]
+            if c == "\\":
+                if i + 1 >= n or body[i + 1] not in unescape:
+                    raise ValueError(f"bad escape at offset {i}")
+                buf.append(unescape[body[i + 1]])
+                i += 2
+            elif c == '"':
+                i += 1
+                break
+            else:
+                buf.append(c)
+                i += 1
+        pairs.append((key, "".join(buf)))
+        if i < n:
+            if body[i] != ",":
+                raise ValueError(f"expected ',' at offset {i}")
+            i += 1
+    return pairs
+
+
 def parse_prometheus(text: str) -> dict[str, float]:
     """Parse a text snapshot back into ``{name{labels}: value}``.
 
-    Strict line-by-line: anything that is neither a comment nor a
-    well-formed sample raises :class:`~repro.errors.ConfigurationError`.
+    Keys use the registry's *canonical* (unescaped) label rendering, so
+    a snapshot round-trips: values containing backslashes, quotes or
+    newlines come back exactly as recorded.  Strict line-by-line:
+    anything that is neither a comment nor a well-formed sample raises
+    :class:`~repro.errors.ConfigurationError`.
     """
     out: dict[str, float] = {}
     for lineno, line in enumerate(text.splitlines(), start=1):
@@ -335,7 +438,14 @@ def parse_prometheus(text: str) -> dict[str, float]:
             continue
         try:
             key, value = line.rsplit(" ", 1)
-            out[key] = float(value)
+            parsed = float(value)
+            if "{" in key:
+                name, rest = key.split("{", 1)
+                if not rest.endswith("}"):
+                    raise ValueError("unterminated label block")
+                pairs = _parse_label_pairs(rest[:-1])
+                key = name + format_labels(tuple(pairs))
+            out[key] = parsed
         except ValueError:
             raise ConfigurationError(
                 f"prometheus text line {lineno} is malformed: {line!r}"

@@ -235,6 +235,7 @@ SPANS: tuple[str, ...] = (
     "serve.batch",
     "serve.traversal",
     "serve.reject",
+    "serve.complete",
 )
 
 

@@ -1,0 +1,340 @@
+"""Declarative SLOs over a session: budgets, burn rates, verdicts.
+
+An :class:`SLOSpec` names a service-level objective over one of three
+SLI sources the session already records:
+
+* ``latency`` — the timestamped ``serve.complete`` event stream; a
+  request is *good* when its ``latency_s`` is at or under the spec's
+  ``threshold_s``;
+* ``availability`` — ``serve.complete`` (good) vs ``serve.reject``
+  (bad) events;
+* ``error_rate`` — the resilient-read fault counters
+  (``resilience.transient_errors_total`` over
+  ``resilience.attempts_total``, summed across devices).  Counters
+  carry no timestamps, so this SLI has one whole-run window: every
+  burn-rate column repeats the run-level value.
+
+:func:`evaluate` turns specs + session into an :class:`SLOReport` with
+classic error-budget accounting (budget = ``(1 - target) × total``
+events) and multi-window burn rates à la the SRE workbook: each window
+is a trailing fraction of the run, the burn rate is the bad fraction
+inside it divided by the allowed bad fraction, and an alert fires only
+when *both* the shortest (fast signal) and longest (sustained signal)
+windows burn at or above ``burn_alert``.
+
+Every timestamp involved is simulated-clock time, so two same-seed runs
+produce byte-identical :meth:`SLOReport.to_json` output (pinned by
+``tests/test_obs_slo.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.obs.schema import M_RES_ATTEMPTS, M_RES_TRANSIENT
+
+__all__ = [
+    "SLOSpec",
+    "WindowBurn",
+    "SLOResult",
+    "SLOReport",
+    "DEFAULT_SERVE_SLOS",
+    "evaluate",
+]
+
+#: SLI kinds :func:`evaluate` knows how to extract.
+KINDS = ("latency", "availability", "error_rate")
+
+#: Default trailing windows, as fractions of the run duration.
+DEFAULT_WINDOWS = (0.05, 0.25, 1.0)
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """One declarative objective over a recorded session.
+
+    ``target`` is the required good fraction (0.95 → 95 % of events
+    good); ``threshold_s`` is the latency cut-off (``latency`` kind
+    only); ``windows`` are trailing burn-rate windows as fractions of
+    the run duration; ``burn_alert`` is the burn-rate level at which
+    the fast+slow window pair pages.
+    """
+
+    name: str
+    description: str
+    kind: str
+    target: float
+    threshold_s: float | None = None
+    windows: tuple[float, ...] = DEFAULT_WINDOWS
+    burn_alert: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ConfigurationError(
+                f"unknown SLO kind {self.kind!r}; expected one of {KINDS}"
+            )
+        if not 0.0 < self.target < 1.0:
+            raise ConfigurationError(
+                f"SLO target must be in (0, 1): {self.target}"
+            )
+        if self.kind == "latency" and self.threshold_s is None:
+            raise ConfigurationError(
+                f"latency SLO {self.name!r} needs threshold_s"
+            )
+        if not self.windows or any(
+            not 0.0 < w <= 1.0 for w in self.windows
+        ):
+            raise ConfigurationError(
+                f"windows must be fractions in (0, 1]: {self.windows}"
+            )
+
+
+@dataclass(frozen=True)
+class WindowBurn:
+    """Burn rate over one trailing window of the run."""
+
+    window_s: float
+    total: int
+    bad: int
+    burn_rate: float
+
+    def to_dict(self) -> dict:
+        """JSON-safe rendering."""
+        return {
+            "window_s": self.window_s,
+            "total": self.total,
+            "bad": self.bad,
+            "burn_rate": round(self.burn_rate, 9),
+        }
+
+
+@dataclass(frozen=True)
+class SLOResult:
+    """Verdict of one spec: SLI, budget accounting, burn rates."""
+
+    spec: SLOSpec
+    total: int
+    good: int
+    bad: int
+    sli: float
+    met: bool
+    budget_allowed: float  # events the target permits to be bad
+    budget_consumed: float  # fraction of that budget spent (may be > 1)
+    burns: tuple[WindowBurn, ...]
+    alert: bool
+
+    def to_dict(self) -> dict:
+        """JSON-safe rendering."""
+        return {
+            "name": self.spec.name,
+            "description": self.spec.description,
+            "kind": self.spec.kind,
+            "target": self.spec.target,
+            "threshold_s": self.spec.threshold_s,
+            "total": self.total,
+            "good": self.good,
+            "bad": self.bad,
+            "sli": round(self.sli, 9),
+            "met": self.met,
+            "budget_allowed": round(self.budget_allowed, 9),
+            "budget_consumed": round(self.budget_consumed, 9),
+            "burn_alert": self.spec.burn_alert,
+            "burns": [b.to_dict() for b in self.burns],
+            "alert": self.alert,
+        }
+
+
+@dataclass(frozen=True)
+class SLOReport:
+    """All verdicts of one evaluation pass."""
+
+    duration_s: float
+    results: tuple[SLOResult, ...] = field(default_factory=tuple)
+
+    @property
+    def all_met(self) -> bool:
+        """True when every objective held."""
+        return all(r.met for r in self.results)
+
+    @property
+    def alerting(self) -> tuple[str, ...]:
+        """Names of objectives whose burn-rate alert fired."""
+        return tuple(r.spec.name for r in self.results if r.alert)
+
+    def to_dict(self) -> dict:
+        """Deterministic nested-dict rendering."""
+        return {
+            "duration_s": self.duration_s,
+            "all_met": self.all_met,
+            "alerting": list(self.alerting),
+            "slos": [r.to_dict() for r in self.results],
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON — byte-identical for same-seed sessions."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=1)
+
+    def format(self) -> str:
+        """The SLO verdict table ``repro-bfs serve --slo`` prints."""
+        from repro.analysis.report import ascii_table
+
+        if not self.results:
+            return "SLO verdicts: no objectives evaluated"
+        windows = self.results[0].spec.windows
+        headers = (
+            ["slo", "kind", "sli", "target", "met", "budget used"]
+            + [f"burn {w * 100:g}%w" for w in windows]
+            + ["alert"]
+        )
+        rows = []
+        for r in self.results:
+            rows.append(
+                [
+                    r.spec.name,
+                    r.spec.kind,
+                    f"{r.sli:.4f}",
+                    f"{r.spec.target:.4f}",
+                    "yes" if r.met else "NO",
+                    f"{r.budget_consumed * 100:.1f}%",
+                ]
+                + [f"{b.burn_rate:.2f}x" for b in r.burns]
+                + ["FIRING" if r.alert else "-"]
+            )
+        verdict = "all objectives met" if self.all_met else (
+            "OBJECTIVES VIOLATED: "
+            + ", ".join(r.spec.name for r in self.results if not r.met)
+        )
+        table = ascii_table(
+            headers, rows,
+            title=f"SLO verdicts (simulated run of {self.duration_s:.3f} s)",
+        )
+        return f"{table}\n{verdict}"
+
+
+#: The serving tier's stock objectives (thresholds in simulated time).
+DEFAULT_SERVE_SLOS: tuple[SLOSpec, ...] = (
+    SLOSpec(
+        name="serve-latency",
+        description="95% of served requests complete within 50 ms "
+                    "(simulated arrival-to-completion).",
+        kind="latency",
+        target=0.95,
+        threshold_s=0.050,
+    ),
+    SLOSpec(
+        name="serve-availability",
+        description="99% of requests are answered rather than shed "
+                    "(queue_full or degraded).",
+        kind="availability",
+        target=0.99,
+    ),
+    SLOSpec(
+        name="device-error-rate",
+        description="99% of device read attempts succeed without an "
+                    "injected transient error.",
+        kind="error_rate",
+        target=0.99,
+    ),
+)
+
+
+def _counter_sum(obs, name: str) -> float:
+    total = 0.0
+    for metric in obs.registry.metrics():
+        if metric.name == name:
+            total += metric.value
+    return total
+
+
+def _samples_for(obs, spec: SLOSpec) -> list[tuple[float, bool]]:
+    """Timestamped (t_s, good) samples of one spec's SLI."""
+    samples: list[tuple[float, bool]] = []
+    if spec.kind == "latency":
+        for e in obs.tracer.events:
+            if e.name == "serve.complete":
+                lat = float(e.attrs.get("latency_s", 0.0))
+                samples.append((e.t_s, lat <= spec.threshold_s))
+    elif spec.kind == "availability":
+        for e in obs.tracer.events:
+            if e.name == "serve.complete":
+                samples.append((e.t_s, True))
+            elif e.name == "serve.reject":
+                samples.append((e.t_s, False))
+    samples.sort(key=lambda s: s[0])
+    return samples
+
+
+def _evaluate_one(obs, spec: SLOSpec, duration_s: float) -> SLOResult:
+    if spec.kind == "error_rate":
+        attempts = int(_counter_sum(obs, M_RES_ATTEMPTS))
+        errors = int(_counter_sum(obs, M_RES_TRANSIENT))
+        total, bad = attempts, min(errors, attempts)
+        window_counts = [(total, bad)] * len(spec.windows)
+    else:
+        samples = _samples_for(obs, spec)
+        total = len(samples)
+        bad = sum(1 for _, good in samples if not good)
+        window_counts = []
+        for frac in spec.windows:
+            w_start = duration_s - frac * duration_s
+            in_w = [(t, g) for t, g in samples if t >= w_start]
+            window_counts.append(
+                (len(in_w), sum(1 for _, g in in_w if not g))
+            )
+    good = total - bad
+    sli = good / total if total else 1.0
+    allowed_frac = 1.0 - spec.target
+    budget_allowed = allowed_frac * total
+    budget_consumed = bad / budget_allowed if budget_allowed > 0 else 0.0
+    burns = []
+    for frac, (w_total, w_bad) in zip(spec.windows, window_counts):
+        bad_frac = w_bad / w_total if w_total else 0.0
+        burns.append(WindowBurn(
+            window_s=frac * duration_s,
+            total=w_total,
+            bad=w_bad,
+            burn_rate=bad_frac / allowed_frac,
+        ))
+    # Multi-window alert: the shortest window says "burning now", the
+    # longest says "and it is sustained" — both must exceed the line.
+    alert = (
+        burns[0].burn_rate >= spec.burn_alert
+        and burns[-1].burn_rate >= spec.burn_alert
+    )
+    return SLOResult(
+        spec=spec,
+        total=total,
+        good=good,
+        bad=bad,
+        sli=sli,
+        met=sli >= spec.target,
+        budget_allowed=budget_allowed,
+        budget_consumed=budget_consumed,
+        burns=tuple(burns),
+        alert=alert,
+    )
+
+
+def evaluate(
+    obs,
+    specs: tuple[SLOSpec, ...] = DEFAULT_SERVE_SLOS,
+    duration_s: float | None = None,
+) -> SLOReport:
+    """Evaluate every spec against one session.
+
+    ``duration_s`` anchors the trailing windows (default: the latest
+    simulated timestamp any span or event recorded).
+    """
+    if duration_s is None:
+        duration_s = 0.0
+        for s in obs.tracer.spans:
+            t = s.t_end_s if s.t_end_s is not None else s.t_start_s
+            duration_s = max(duration_s, t)
+        for e in obs.tracer.events:
+            duration_s = max(duration_s, e.t_s)
+    results = tuple(
+        _evaluate_one(obs, spec, duration_s) for spec in specs
+    )
+    return SLOReport(duration_s=duration_s, results=results)

@@ -1,0 +1,39 @@
+"""repro.perf — named benchmark scenarios and their BENCH_*.json record.
+
+The performance-trajectory layer: :mod:`repro.perf.scenarios` registers
+seeded, headless benchmark scenarios; :mod:`repro.perf.artifact` defines
+the schema-versioned ``BENCH_<name>.json`` they emit and the
+tolerance-aware diff a perf gate needs.  ``tools/bench_runner.py`` and
+``tools/perf_gate.py`` are the command-line front ends; the committed
+baselines live in ``benchmarks/baselines/``.
+"""
+
+from repro.perf.artifact import (
+    SCHEMA_VERSION,
+    BenchArtifact,
+    BenchMetric,
+    MetricDelta,
+    artifact_path,
+    compare,
+    load,
+)
+from repro.perf.scenarios import (
+    SCENARIOS,
+    BenchScenario,
+    get_scenario,
+    scenario_names,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "BenchArtifact",
+    "BenchMetric",
+    "MetricDelta",
+    "artifact_path",
+    "compare",
+    "load",
+    "SCENARIOS",
+    "BenchScenario",
+    "get_scenario",
+    "scenario_names",
+]

@@ -1,0 +1,206 @@
+"""The registry of named, seeded benchmark scenarios.
+
+Each :class:`BenchScenario` wraps one of the repo's benchmark shapes
+(``benchmarks/bench_*.py``) into a headless callable: fixed problem
+size, seeded inputs, simulated clock only — so a scenario run is a pure
+function of its seed and its :class:`~repro.perf.artifact.BenchArtifact`
+is byte-reproducible.  ``tools/bench_runner.py`` executes these and
+``tools/perf_gate.py`` diffs the artifacts against the committed
+baselines in ``benchmarks/baselines/``.
+
+The two stock scenarios cover the paper's two performance claims:
+
+* :func:`run_degradation` — the Fig. 8/11 claim (semi-external TEPS
+  degradation on PCIe flash vs SSD relative to DRAM-only);
+* :func:`run_serve_batching` — the serving-tier restatement of §V
+  device-traffic minimization (bytes/query amortization from batched
+  union-frontier fetches).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from repro.core import (
+    DRAM_ONLY,
+    DRAM_PCIE_FLASH,
+    DRAM_SSD,
+    run_graph500,
+)
+from repro.errors import ConfigurationError
+from repro.perf.artifact import BenchArtifact, BenchMetric
+from repro.serve import BatchedBFS, GraphCatalog
+
+__all__ = ["BenchScenario", "SCENARIOS", "get_scenario", "scenario_names"]
+
+
+@dataclass(frozen=True)
+class BenchScenario:
+    """One registered benchmark: a seeded artifact factory."""
+
+    name: str
+    description: str
+    paper_ref: str
+    runner: Callable[[int, Path], BenchArtifact]
+
+    def run(self, seed: int, workdir: str | Path) -> BenchArtifact:
+        """Execute headlessly; ``workdir`` holds the NVM backing files."""
+        return self.runner(seed, Path(workdir))
+
+
+def run_degradation(seed: int, workdir: Path) -> BenchArtifact:
+    """Modeled TEPS for DRAM / PCIe-flash / SSD and their degradation.
+
+    A small-scale analogue of the paper's Fig. 8/11 measurement: the
+    same Kronecker graph and roots through all three scenarios, TEPS on
+    the simulated clock, degradation as the percentage lost vs
+    DRAM-only (paper, SCALE 27: PCIe −19.18 %, SSD −47.1 %).
+    """
+    scale, n_roots = 11, 4
+    teps: dict[str, float] = {}
+    sim_s = 0.0
+    for key, scenario in (
+        ("dram", DRAM_ONLY),
+        ("pcie", DRAM_PCIE_FLASH),
+        ("ssd", DRAM_SSD),
+    ):
+        result = run_graph500(
+            scenario, scale=scale, n_roots=n_roots, seed=seed,
+            validate=False, workdir=workdir / key,
+        )
+        teps[key] = result.median_teps
+        stats = result.output.stats_modeled
+        sim_s += stats.mean_time_s * stats.n_runs
+    degradation = {
+        key: 100.0 * (1.0 - teps[key] / teps["dram"])
+        for key in ("pcie", "ssd")
+    }
+    metrics = {
+        "teps_dram": BenchMetric(teps["dram"], "TEPS", True),
+        "teps_pcie": BenchMetric(teps["pcie"], "TEPS", True),
+        "teps_ssd": BenchMetric(teps["ssd"], "TEPS", True),
+        "degradation_pcie_pct": BenchMetric(
+            degradation["pcie"], "%", False, tolerance=0.10
+        ),
+        "degradation_ssd_pct": BenchMetric(
+            degradation["ssd"], "%", False, tolerance=0.10
+        ),
+    }
+    return BenchArtifact(
+        name="fig11_degradation",
+        description="Semi-external TEPS degradation vs DRAM-only "
+                    "(PCIe flash and SATA SSD), modeled clock.",
+        seed=seed,
+        params={"scale": scale, "n_roots": n_roots, "edge_factor": 16},
+        simulated_seconds=sim_s,
+        metrics=metrics,
+    )
+
+
+def run_serve_batching(seed: int, workdir: Path) -> BenchArtifact:
+    """Bytes/query amortization of batched serving (batch 1 vs 8).
+
+    The bench_serve_batching shape at a CI-friendly scale: 8 queries on
+    the PCIe-flash scenario with result and page caches disabled, so
+    the only sharing left is the union-frontier chunk fetch.
+    """
+    scale, n_queries = 10, 8
+    n = 1 << scale
+    alpha = beta = n / 128.0  # keep several levels top-down at this scale
+
+    def run_at(batch_size: int) -> dict:
+        catalog = GraphCatalog(workdir=workdir / f"b{batch_size}")
+        graph = catalog.build(
+            "g", DRAM_PCIE_FLASH, scale=scale, seed=seed,
+            alpha=alpha, beta=beta, page_cache_bytes=0,
+        )
+        roots = [
+            int(r) for r in np.flatnonzero(graph.degrees > 0)[:n_queries]
+        ]
+        engine = BatchedBFS(graph)
+        traversed = 0
+        t0 = graph.clock.now()
+        for i in range(0, len(roots), batch_size):
+            for res in engine.run_batch(roots[i:i + batch_size]):
+                traversed += res.traversed_edges
+        modeled_s = graph.clock.now() - t0
+        nvm_bytes = graph.store.iostats.total_bytes
+        sharing = (
+            engine.rows_requested / engine.rows_fetched
+            if engine.rows_fetched else 1.0
+        )
+        catalog.close()
+        return {
+            "bytes_per_query": nvm_bytes / n_queries,
+            "teps": traversed / modeled_s if modeled_s else 0.0,
+            "sharing": sharing,
+            "modeled_s": modeled_s,
+        }
+
+    solo = run_at(1)
+    batched = run_at(8)
+    metrics = {
+        "bytes_per_query_unbatched": BenchMetric(
+            solo["bytes_per_query"], "B", False
+        ),
+        "bytes_per_query_batch8": BenchMetric(
+            batched["bytes_per_query"], "B", False
+        ),
+        "amortization_x": BenchMetric(
+            solo["bytes_per_query"] / batched["bytes_per_query"]
+            if batched["bytes_per_query"] else 1.0,
+            "x", True,
+        ),
+        "row_sharing_x": BenchMetric(batched["sharing"], "x", True),
+        "teps_batch8": BenchMetric(batched["teps"], "TEPS", True),
+    }
+    return BenchArtifact(
+        name="serve_batching",
+        description="NVM bytes/query amortization from batched "
+                    "union-frontier fetches (batch 1 vs 8).",
+        seed=seed,
+        params={
+            "scale": scale, "n_queries": n_queries,
+            "alpha": alpha, "beta": beta,
+        },
+        simulated_seconds=solo["modeled_s"] + batched["modeled_s"],
+        metrics=metrics,
+    )
+
+
+SCENARIOS: tuple[BenchScenario, ...] = (
+    BenchScenario(
+        name="fig11_degradation",
+        description="TEPS degradation: DRAM vs PCIe flash vs SSD.",
+        paper_ref="PAPER.md §V, Fig. 8/11",
+        runner=run_degradation,
+    ),
+    BenchScenario(
+        name="serve_batching",
+        description="Serving bytes/query amortization, batch 1 vs 8.",
+        paper_ref="PAPER.md §V (device-traffic minimization)",
+        runner=run_serve_batching,
+    ),
+)
+
+_BY_NAME = {s.name: s for s in SCENARIOS}
+
+
+def scenario_names() -> tuple[str, ...]:
+    """Registered scenario names, registry order."""
+    return tuple(s.name for s in SCENARIOS)
+
+
+def get_scenario(name: str) -> BenchScenario:
+    """Look up one scenario (ConfigurationError on unknown names)."""
+    scenario = _BY_NAME.get(name)
+    if scenario is None:
+        raise ConfigurationError(
+            f"unknown benchmark scenario {name!r}; "
+            f"have {sorted(_BY_NAME)}"
+        )
+    return scenario

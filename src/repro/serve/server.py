@@ -224,6 +224,12 @@ class BFSServer:
         ))
         self.obs.counter(M_SERVE_SERVED, source=source).inc()
         self.obs.histogram(M_SERVE_LATENCY).observe(latency)
+        self.obs.event(
+            "serve.complete",
+            latency_s=latency,
+            source=source,
+            tenant=request.tenant,
+        )
 
     def _serve_batch(self, batch: list[Request],
                      report: ServeReport) -> None:

@@ -15,6 +15,7 @@ class TestParser:
         assert set(sub.choices) == {
             "run", "sweep", "sizes", "green", "compare",
             "iostat", "locality", "offload", "serve", "reproduce",
+            "slo", "perf",
         }
 
     def test_requires_subcommand(self):
@@ -210,6 +211,72 @@ class TestCommands:
         ]) == 0
         out = capsys.readouterr().out
         assert "requests:          30" in out
+
+    def test_serve_slo_prints_verdict_section(self, capsys):
+        assert main([
+            "serve", "--scale", "9", "--seed", "3",
+            "--workload", "n=60,rate=2000,pool=16", "--slo",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "SLO verdicts (simulated run of" in out
+        assert "serve-latency" in out
+        assert "serve-availability" in out
+        assert "budget used" in out
+        assert "burn 5%w" in out
+
+    def test_slo_renders_dashboard_from_export(self, capsys, tmp_path):
+        out_dir = tmp_path / "obs"
+        assert main([
+            "serve", "--scale", "9", "--seed", "3",
+            "--workload", "n=40,pool=8", "--obs", str(out_dir),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["slo", str(out_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "run dashboard" in out
+        assert "SLO verdicts" in out
+        assert "-- derived metrics" in out
+        assert "-- raw metrics" in out
+
+    def test_slo_json_output(self, capsys, tmp_path):
+        import json
+
+        out_dir = tmp_path / "obs"
+        assert main([
+            "run", "--scenario", "pcie", "--scale", "9", "--roots", "1",
+            "--seed", "3", "--obs", str(out_dir),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["slo", str(out_dir), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"slo", "derived"}
+        assert payload["derived"]["level_series"]
+
+    def test_slo_missing_export_exits_2(self, capsys, tmp_path):
+        assert main(["slo", str(tmp_path / "nope")]) == 2
+        captured = capsys.readouterr()
+        assert "error: cannot read obs export" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_perf_list(self, capsys):
+        assert main(["perf", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig11_degradation" in out
+        assert "serve_batching" in out
+
+    def test_perf_runs_scenario_and_gates(self, capsys, tmp_path):
+        assert main([
+            "perf", "--scenario", "serve_batching",
+            "--out", str(tmp_path / "bench"),
+            "--baseline", "benchmarks/baselines",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert (tmp_path / "bench" / "BENCH_serve_batching.json").exists()
+        assert "perf gate: PASS" in out
+
+    def test_perf_unknown_scenario_exits_2(self, capsys):
+        assert main(["perf", "--scenario", "warp_drive"]) == 2
+        assert "error:" in capsys.readouterr().err
 
     def test_serve_missing_trace_exits_2(self, capsys, tmp_path):
         assert main([

@@ -162,6 +162,34 @@ class TestReportHelpers:
         assert "nvm.queue_depth" in filtered
         assert "bfs.runs_total" not in filtered
 
+    def test_metrics_table_sorts_series_with_differing_label_keys(self):
+        # Series of one metric whose label *keys* differ (e.g. a reason-
+        # tagged count next to a tenant-tagged one) must render in one
+        # stable order no matter the registration order.
+        from repro.analysis.report import metrics_table
+        from repro.obs import MetricsRegistry
+
+        rows = [
+            ("reason", "queue_full"),
+            ("tenant", "a"),
+            ("device", "flash"),
+            ("tenant", "b"),
+        ]
+        texts = []
+        for order in (rows, list(reversed(rows))):
+            reg = MetricsRegistry()
+            for key, value in order:
+                reg.counter("serve.rejected_total", **{key: value}).inc()
+            texts.append(metrics_table(reg))
+        assert texts[0] == texts[1]
+        lines = [
+            ln for ln in texts[0].splitlines()
+            if "serve.rejected_total" in ln
+        ]
+        assert [ln.split("|")[1].strip() for ln in lines] == sorted(
+            ln.split("|")[1].strip() for ln in lines
+        )
+
     def test_ascii_table_alignment(self):
         text = ascii_table(["col"], [["x"], ["longer"]])
         lines = text.splitlines()

@@ -1,0 +1,200 @@
+"""Derived-metrics engine tests: estimators, report assembly, and
+same-seed byte-identical output (mirrors test_obs_exporters.py)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import DerivedReport, Observability, derive
+from repro.obs.derive import (
+    QUANTILES,
+    ewma,
+    exact_quantile,
+    flag_anomalies,
+    histogram_quantile,
+    span_durations,
+    windowed_rate,
+)
+from repro.obs.registry import MetricsRegistry
+
+
+def _hist(values, buckets=(1.0, 2.0, 4.0, 8.0)):
+    h = MetricsRegistry().histogram("x", buckets=buckets)
+    h.observe_many([float(v) for v in values])
+    return h
+
+
+class TestHistogramQuantile:
+    def test_interpolates_within_bucket(self):
+        # 4 samples, p50 rank = 2: second sample sits in (1, 2].
+        assert histogram_quantile(_hist([0.5, 1.5, 1.5, 3.0]), 0.5) == 1.5
+
+    def test_p0_and_p100_bound_the_range(self):
+        h = _hist([0.5, 3.0])
+        assert histogram_quantile(h, 0.0) == 0.0
+        assert histogram_quantile(h, 1.0) == 4.0
+
+    def test_overflow_clamps_to_largest_finite_bound(self):
+        assert histogram_quantile(_hist([100.0]), 0.99) == 8.0
+
+    def test_empty_histogram_returns_zero(self):
+        assert histogram_quantile(_hist([]), 0.9) == 0.0
+
+    def test_out_of_range_quantile_rejected(self):
+        with pytest.raises(ConfigurationError):
+            histogram_quantile(_hist([1.0]), 1.5)
+
+    def test_estimate_stays_inside_containing_bucket(self):
+        # All mass in (1, 2]: every estimate interpolates inside it.
+        h = _hist([2.0, 2.0, 2.0, 2.0])
+        for q in QUANTILES:
+            assert 1.0 < histogram_quantile(h, q) <= 2.0
+        assert histogram_quantile(h, 1.0) == pytest.approx(2.0)
+
+
+class TestExactQuantile:
+    def test_median_interpolates(self):
+        assert exact_quantile([4.0, 1.0, 3.0, 2.0], 0.5) == 2.5
+
+    def test_extremes(self):
+        vals = [5.0, 1.0, 9.0]
+        assert exact_quantile(vals, 0.0) == 1.0
+        assert exact_quantile(vals, 1.0) == 9.0
+
+    def test_single_value_and_empty(self):
+        assert exact_quantile([7.0], 0.9) == 7.0
+        assert exact_quantile([], 0.9) == 0.0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            exact_quantile([1.0], -0.1)
+
+
+class TestEwmaAndAnomalies:
+    def test_ewma_seeds_with_first_value(self):
+        assert ewma([1.0, 1.0, 5.0], alpha=0.5) == [1.0, 1.0, 3.0]
+
+    def test_bad_alpha_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ewma([1.0], alpha=0.0)
+
+    def test_flat_series_never_flags(self):
+        assert flag_anomalies("s", [3.0] * 10) == []
+
+    def test_short_series_never_flags(self):
+        assert flag_anomalies("s", [1.0, 100.0]) == []
+
+    SPIKY = [1.0, 1.1, 0.9, 1.0, 1.05, 0.95, 1.0, 1.02] * 2 + [
+        50.0, 1.0, 1.0, 0.98,
+    ]
+
+    def test_spike_is_flagged(self):
+        flags = flag_anomalies("lvl", self.SPIKY)
+        spike_index = self.SPIKY.index(50.0)
+        assert spike_index in [f.index for f in flags]
+        (flag,) = [f for f in flags if f.index == spike_index]
+        assert flag.series == "lvl"
+        assert flag.value == 50.0
+        assert flag.zscore >= 3.0
+
+    def test_zscore_rounded_in_dict(self):
+        d = flag_anomalies("lvl", self.SPIKY)[0].to_dict()
+        assert d["zscore"] == round(d["zscore"], 6)
+
+
+class TestWindowedRate:
+    def test_buckets_and_rates(self):
+        points = windowed_rate([0.1, 0.2, 1.5], 1.0, t_end_s=2.0)
+        assert [(p.t_start_s, p.t_end_s, p.count) for p in points] == [
+            (0.0, 1.0, 2),
+            (1.0, 2.0, 1),
+        ]
+        assert points[0].rate_per_s == pytest.approx(2.0)
+
+    def test_final_window_truncated(self):
+        (only,) = windowed_rate([0.1], 1.0, t_end_s=0.5)
+        assert only.t_end_s == 0.5
+        assert only.rate_per_s == pytest.approx(2.0)
+
+    def test_empty_and_bad_window(self):
+        assert windowed_rate([], 1.0) == []
+        with pytest.raises(ConfigurationError):
+            windowed_rate([1.0], 0.0)
+
+
+def _session() -> Observability:
+    from repro.semiext.clock import SimulatedClock
+
+    obs = Observability()
+    clock = SimulatedClock()
+    obs.bind_clock(clock)
+    obs.histogram("nvm.request_bytes", device="flash").observe_many(
+        [512.0, 4096.0, 4096.0]
+    )
+    bounds = [(0.0, 1.0), (1.0, 1.5), (1.5, 4.0)]
+    for level, (t0, t1) in enumerate(bounds):
+        obs.record_span(
+            "bfs.level", t0, t1, level=level,
+            direction="top-down" if level != 1 else "bottom-up",
+            frontier=10 * (level + 1), discovered=5, edges_scanned=100,
+            degraded=False,
+        )
+    obs.record_span("nvm.charge", 0.2, 0.4, device="flash")
+    for t in (0.5, 1.2, 3.1):
+        clock.advance(t - clock.now())
+        obs.event("cache.fill", admitted_bytes=64)
+    return obs
+
+
+class TestDerive:
+    def test_report_sections_populated(self):
+        report = derive(_session())
+        assert isinstance(report, DerivedReport)
+        assert report.duration_s == 4.0
+        assert [r.series for r in report.histogram_quantiles] == [
+            'nvm.request_bytes{device="flash"}'
+        ]
+        assert {s.name for s in report.span_stats} == {
+            "bfs.level", "nvm.charge"
+        }
+        assert [p.level for p in report.level_series] == [0, 1, 2]
+        assert [p.duration_s for p in report.level_series] == [1.0, 0.5, 2.5]
+        assert dict(report.rates).keys() == {"cache.fill", "nvm.charge"}
+
+    def test_level_points_carry_span_attrs(self):
+        p = derive(_session()).level_series[1]
+        assert p.direction == "bottom-up"
+        assert p.frontier == 20
+        assert p.ordinal == 1
+
+    def test_span_durations_skip_open_spans(self):
+        from repro.obs.spans import Span
+
+        obs = _session()
+        obs.tracer.spans.append(
+            Span(span_id=999, parent_id=None, name="bfs.level",
+                 t_start_s=5.0)  # left open
+        )
+        assert len(span_durations(obs, "bfs.level")) == 3
+
+    def test_default_rate_window_is_tenth_of_run(self):
+        report = derive(_session())
+        points = dict(report.rates)["cache.fill"]
+        assert points[0].t_end_s == pytest.approx(0.4)
+
+    def test_to_json_deterministic_for_same_input(self):
+        assert derive(_session()).to_json() == derive(_session()).to_json()
+
+    def test_format_renders_tables(self):
+        text = derive(_session()).format()
+        assert "histogram quantiles" in text
+        assert "span durations" in text
+        assert "anomaly flags: none" in text
+
+    def test_empty_session(self):
+        report = derive(Observability())
+        assert report.duration_s == 0.0
+        assert report.histogram_quantiles == ()
+        assert report.level_series == ()
+        assert "anomaly flags: none" in report.format()

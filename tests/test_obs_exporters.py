@@ -96,11 +96,12 @@ class TestChromeTrace:
     def test_events_follow_trace_event_schema(self):
         events = chrome_trace_events(_populated_session())
         phases = {e["ph"] for e in events}
-        assert phases == {"X", "i", "C"}
+        assert phases == {"M", "X", "i", "C"}
         for e in events:
             assert isinstance(e["name"], str) and e["name"]
-            assert isinstance(e["ts"], float)
             assert isinstance(e["pid"], int)
+            if e["ph"] != "M":
+                assert isinstance(e["ts"], float)
             if e["ph"] == "X":  # complete event
                 assert e["dur"] >= 0.0
                 assert isinstance(e["cat"], str)
@@ -109,11 +110,36 @@ class TestChromeTrace:
                 assert e["s"] in ("t", "p", "g")
             elif e["ph"] == "C":  # counter track
                 assert "value" in e["args"]
+            elif e["ph"] == "M":  # metadata
+                assert e["name"] in ("process_name", "thread_name")
+                assert e["args"]["name"]
+
+    def test_metadata_names_engine_and_shard_tracks(self):
+        obs = Observability()
+        with obs.span("bfs.shard", shard=3, direction="top-down"):
+            pass
+        with obs.span("bfs.level", level=0):
+            pass
+        events = chrome_trace_events(obs)
+        meta = [e for e in events if e["ph"] == "M"]
+        assert {e["name"] for e in meta} == {"process_name", "thread_name"}
+        thread_names = {
+            e["tid"]: e["args"]["name"]
+            for e in meta if e["name"] == "thread_name"
+        }
+        assert thread_names[1] == "engine"
+        assert thread_names[5] == "NUMA shard 3"
+        # The shard span runs on its named track; everything else on tid 1.
+        by_name = {e["name"]: e for e in events if e["ph"] == "X"}
+        assert by_name["bfs.shard"]["tid"] == 5
+        assert by_name["bfs.level"]["tid"] == 1
 
     def test_timestamps_are_microseconds(self):
         obs = Observability()
         obs.record_span("bfs.level", 0.5, 1.5)
-        (event,) = chrome_trace_events(obs)
+        (event,) = [
+            e for e in chrome_trace_events(obs) if e["ph"] != "M"
+        ]
         assert event["ts"] == pytest.approx(0.5e6)
         assert event["dur"] == pytest.approx(1.0e6)
 
@@ -130,7 +156,10 @@ class TestChromeTrace:
         obs = Observability()
         obs.record_span("bfs.level", 0.0, 1.0, n=np.int64(7), arr=[1, 2])
         path = write_chrome_trace(obs, tmp_path / "t.json")
-        (event,) = json.loads(path.read_text())["traceEvents"]
+        (event,) = [
+            e for e in json.loads(path.read_text())["traceEvents"]
+            if e["ph"] != "M"
+        ]
         assert event["args"] == {"n": 7, "arr": "[1, 2]"}
 
 
@@ -178,6 +207,40 @@ class TestPrometheus:
         obs = Observability()
         obs.counter("a.total").inc(12345)
         assert "a_total 12345\n" in prometheus_text(obs.registry)
+
+    def test_hostile_label_values_escape_and_round_trip(self):
+        from repro.obs.registry import format_labels
+
+        hostile = {
+            "backslash": "C:\\temp\\dev",
+            "quote": 'say "hi"',
+            "newline": "line one\nline two",
+            "combo": 'a\\"b\nc\\',
+        }
+        obs = Observability()
+        for key, value in hostile.items():
+            obs.counter("nvm.read_bytes_total", device=value).inc(7)
+        text = prometheus_text(obs.registry)
+        # One line per sample: escaped newlines never split a sample.
+        samples = [
+            ln for ln in text.splitlines() if not ln.startswith("#")
+        ]
+        assert len(samples) == len(hostile)
+        for line in samples:
+            assert line.endswith(" 7")
+        # Spec escapes present in the rendered text.
+        assert '\\"' in text and "\\n" in text and "\\\\" in text
+        # The strict parser recovers the exact original values.
+        values = parse_prometheus(text)
+        for value in hostile.values():
+            key = "nvm_read_bytes_total" + format_labels(
+                (("device", value),)
+            )
+            assert values[key] == 7, key
+
+    def test_unterminated_label_value_rejected(self):
+        with pytest.raises(ConfigurationError, match="malformed"):
+            parse_prometheus('a_total{device="oops 1\n')
 
 
 class TestDeterminism:

@@ -1,0 +1,136 @@
+"""Span-tree integrity under the thread-pool path (repro.bfs.parallel).
+
+The ``bfs.run`` → ``bfs.phase`` → ``bfs.level`` tree is synthesized
+after the level loop from recorded boundaries, and ``bfs.shard`` /
+``nvm.charge`` spans are recorded live during the serial charge-commit
+— so the exported trace must be well-formed and byte-for-byte
+deterministic no matter how the worker threads interleave the scans.
+"""
+
+import pytest
+
+from repro.bfs import AlphaBetaPolicy, HybridBFS, SemiExternalBFS
+from repro.bfs.parallel import ShardExecutor
+from repro.obs import Observability
+from repro.perfmodel.cost import DramCostModel
+from repro.semiext import NVMStore, PCIE_FLASH
+
+WORKERS = 4
+
+
+def _span_key(span):
+    return (
+        span.span_id,
+        span.parent_id,
+        span.name,
+        span.t_start_s,
+        span.t_end_s,
+        tuple(sorted(span.attrs.items())),
+    )
+
+
+def _run_hybrid(forward, backward, a_root):
+    obs = Observability()
+    engine = HybridBFS(
+        forward, backward, AlphaBetaPolicy(50, 500), DramCostModel(),
+        n_workers=WORKERS, obs=obs,
+    )
+    engine.run(a_root)
+    engine.close()
+    return obs
+
+
+def _run_semi_external(forward, backward, a_root, workdir):
+    obs = Observability()
+    store = NVMStore(workdir, PCIE_FLASH, obs=obs)
+    engine = SemiExternalBFS.offload(
+        forward, backward, AlphaBetaPolicy(50, 500), store,
+        cost_model=DramCostModel(),
+    )
+    engine.executor = ShardExecutor(WORKERS)
+    engine.run(a_root)
+    engine.close()
+    return obs
+
+
+class TestParallelSpanTree:
+    @pytest.fixture(scope="class")
+    def hybrid_obs(self, forward, backward, a_root):
+        return _run_hybrid(forward, backward, a_root)
+
+    @pytest.fixture(scope="class")
+    def semiext_obs(self, forward, backward, a_root, tmp_path_factory):
+        return _run_semi_external(
+            forward, backward, a_root, tmp_path_factory.mktemp("semiext")
+        )
+
+    def test_run_phase_level_tree_well_formed(self, hybrid_obs):
+        spans = hybrid_obs.tracer.spans
+        by_id = {s.span_id: s for s in spans}
+        names = [s.name for s in spans]
+        assert names.count("bfs.run") == 1
+        assert "bfs.phase" in names and "bfs.level" in names
+        for span in spans:
+            assert span.t_end_s is not None and span.t_end_s >= span.t_start_s
+            if span.name == "bfs.run":
+                assert span.parent_id is None
+            elif span.name == "bfs.phase":
+                assert by_id[span.parent_id].name == "bfs.run"
+            elif span.name == "bfs.level":
+                assert by_id[span.parent_id].name == "bfs.phase"
+
+    def test_children_lie_within_parent_interval(self, hybrid_obs):
+        spans = hybrid_obs.tracer.spans
+        by_id = {s.span_id: s for s in spans}
+        for span in spans:
+            if span.parent_id is None:
+                continue
+            parent = by_id[span.parent_id]
+            assert span.t_start_s >= parent.t_start_s
+            assert span.t_end_s <= parent.t_end_s
+
+    def test_levels_cover_run_contiguously(self, hybrid_obs):
+        levels = sorted(
+            (s for s in hybrid_obs.tracer.spans if s.name == "bfs.level"),
+            key=lambda s: s.attrs["level"],
+        )
+        assert [s.attrs["level"] for s in levels] == list(range(len(levels)))
+        for prev, cur in zip(levels, levels[1:]):
+            assert cur.t_start_s == pytest.approx(prev.t_end_s)
+
+    def test_hybrid_tree_deterministic_across_pool_runs(
+        self, forward, backward, a_root, hybrid_obs
+    ):
+        again = _run_hybrid(forward, backward, a_root)
+        assert [_span_key(s) for s in again.tracer.spans] == [
+            _span_key(s) for s in hybrid_obs.tracer.spans
+        ]
+
+    def test_shard_spans_recorded_under_executor(self, semiext_obs):
+        shards = [
+            s for s in semiext_obs.tracer.spans if s.name == "bfs.shard"
+        ]
+        assert shards, "external top-down commit should record shard spans"
+        for span in shards:
+            assert span.attrs["direction"] == "top-down"
+            assert isinstance(span.attrs["shard"], int)
+            assert span.attrs["edges"] >= 0
+            assert span.t_end_s >= span.t_start_s
+
+    def test_charges_nest_inside_shard_spans(self, semiext_obs):
+        by_id = {s.span_id: s for s in semiext_obs.tracer.spans}
+        charges = [
+            s for s in semiext_obs.tracer.spans if s.name == "nvm.charge"
+        ]
+        assert charges, "offloaded forward scans should charge the device"
+        for span in charges:
+            assert span.parent_id is not None
+            assert by_id[span.parent_id].name == "bfs.shard"
+
+    def test_semiext_tree_deterministic_across_pool_runs(
+        self, forward, backward, a_root, semiext_obs, tmp_path
+    ):
+        again = _run_semi_external(forward, backward, a_root, tmp_path)
+        assert [_span_key(s) for s in again.tracer.spans] == [
+            _span_key(s) for s in semiext_obs.tracer.spans
+        ]

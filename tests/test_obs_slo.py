@@ -1,0 +1,206 @@
+"""SLO engine tests: spec validation, budget/burn accounting against
+synthetic event streams, and same-seed byte-identical reports from a
+real serve run (extends test_obs_exporters.py's determinism pattern)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DRAM_PCIE_FLASH
+from repro.errors import ConfigurationError
+from repro.obs import (
+    DEFAULT_SERVE_SLOS,
+    Observability,
+    SLOReport,
+    SLOSpec,
+    derive,
+    evaluate,
+)
+from repro.obs.spans import TraceEvent
+
+
+def _event(obs, name, t_s, **attrs):
+    obs.tracer.events.append(TraceEvent(name=name, t_s=t_s, attrs=attrs))
+
+
+def _latency_session(latencies, duration_s=10.0):
+    """One serve.complete per latency, evenly spaced over the run."""
+    obs = Observability()
+    step = duration_s / len(latencies)
+    for i, lat in enumerate(latencies):
+        _event(obs, "serve.complete", (i + 1) * step, latency_s=lat)
+    return obs
+
+
+LAT_SPEC = SLOSpec(
+    name="lat", description="", kind="latency", target=0.9,
+    threshold_s=0.05,
+)
+
+
+class TestSLOSpecValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="kind"):
+            SLOSpec(name="x", description="", kind="vibes", target=0.9)
+
+    def test_target_must_be_fraction(self):
+        for target in (0.0, 1.0, 1.5):
+            with pytest.raises(ConfigurationError, match="target"):
+                SLOSpec(name="x", description="", kind="availability",
+                        target=target)
+
+    def test_latency_requires_threshold(self):
+        with pytest.raises(ConfigurationError, match="threshold_s"):
+            SLOSpec(name="x", description="", kind="latency", target=0.9)
+
+    def test_windows_must_be_fractions(self):
+        with pytest.raises(ConfigurationError, match="windows"):
+            SLOSpec(name="x", description="", kind="availability",
+                    target=0.9, windows=(0.5, 2.0))
+
+
+class TestEvaluate:
+    def test_latency_sli_counts_threshold_breaches(self):
+        obs = _latency_session([0.01] * 8 + [0.20] * 2)
+        (r,) = evaluate(obs, specs=(LAT_SPEC,)).results
+        assert (r.total, r.good, r.bad) == (10, 8, 2)
+        assert r.sli == pytest.approx(0.8)
+        assert not r.met
+        # Budget: 10% of 10 events = 1 bad allowed; 2 spent = 200%.
+        assert r.budget_allowed == pytest.approx(1.0)
+        assert r.budget_consumed == pytest.approx(2.0)
+
+    def test_availability_counts_rejects_as_bad(self):
+        obs = Observability()
+        for t in (1.0, 2.0, 3.0):
+            _event(obs, "serve.complete", t, latency_s=0.01)
+        _event(obs, "serve.reject", 4.0, reason="queue_full")
+        spec = SLOSpec(name="avail", description="",
+                       kind="availability", target=0.5)
+        (r,) = evaluate(obs, specs=(spec,)).results
+        assert (r.total, r.bad) == (4, 1)
+        assert r.met
+
+    def test_error_rate_reads_resilience_counters(self):
+        obs = Observability()
+        obs.counter("resilience.attempts_total", device="a").inc(90)
+        obs.counter("resilience.attempts_total", device="b").inc(10)
+        obs.counter("resilience.transient_errors_total", device="a").inc(5)
+        spec = SLOSpec(name="err", description="",
+                       kind="error_rate", target=0.9)
+        (r,) = evaluate(obs, specs=(spec,), duration_s=1.0).results
+        assert (r.total, r.bad) == (100, 5)
+        assert r.sli == pytest.approx(0.95)
+        assert r.met
+        # Counters carry no timestamps: one whole-run value per window.
+        assert len({b.burn_rate for b in r.burns}) == 1
+
+    def test_empty_session_meets_everything(self):
+        report = evaluate(Observability())
+        assert report.all_met
+        assert report.alerting == ()
+        for r in report.results:
+            assert r.total == 0
+            assert r.sli == 1.0
+
+    def test_burst_at_end_fires_multiwindow_alert(self):
+        # 90 fast then 10 slow: the trailing 5% window is pure failure
+        # and the whole-run window burns 10%/10% = 1x... so use a
+        # tighter target making the sustained window burn too.
+        obs = _latency_session([0.01] * 80 + [0.20] * 20)
+        spec = SLOSpec(name="lat", description="", kind="latency",
+                       target=0.95, threshold_s=0.05, burn_alert=2.0)
+        (r,) = evaluate(obs, specs=(spec,)).results
+        # Whole run: 20% bad / 5% allowed = 4x; trailing 5% window
+        # (pure failures): 1.0 / 0.05 = 20x — both over the line.
+        assert r.burns[-1].burn_rate == pytest.approx(4.0)
+        assert r.burns[0].burn_rate == pytest.approx(20.0)
+        assert r.alert
+
+    def test_spread_failures_do_not_alert_fast_window(self):
+        # Same 4x long-window burn, but the failures are old news — the
+        # trailing fast window is clean, so the page is suppressed.
+        obs = _latency_session([0.20] * 20 + [0.01] * 80)
+        spec = SLOSpec(name="lat", description="", kind="latency",
+                       target=0.95, threshold_s=0.05, burn_alert=2.0)
+        (r,) = evaluate(obs, specs=(spec,)).results
+        assert r.burns[-1].burn_rate == pytest.approx(4.0)
+        assert r.burns[0].burn_rate == pytest.approx(0.0)
+        assert not r.alert
+
+    def test_default_specs_cover_three_kinds(self):
+        assert {s.kind for s in DEFAULT_SERVE_SLOS} == {
+            "latency", "availability", "error_rate"
+        }
+        report = evaluate(_latency_session([0.01] * 5))
+        assert isinstance(report, SLOReport)
+        assert len(report.results) == len(DEFAULT_SERVE_SLOS)
+
+
+class TestReportRendering:
+    def test_format_lists_violations(self):
+        obs = _latency_session([0.20] * 10)
+        text = evaluate(obs, specs=(LAT_SPEC,)).format()
+        assert "SLO verdicts" in text
+        assert "OBJECTIVES VIOLATED: lat" in text
+        assert "NO" in text
+
+    def test_format_all_met(self):
+        text = evaluate(_latency_session([0.01] * 10),
+                        specs=(LAT_SPEC,)).format()
+        assert "all objectives met" in text
+
+    def test_empty_report_renders(self):
+        assert "no objectives" in SLOReport(duration_s=0.0).format()
+
+    def test_to_json_round_trips(self):
+        import json
+
+        obs = _latency_session([0.01] * 8 + [0.20] * 2)
+        payload = json.loads(evaluate(obs, specs=(LAT_SPEC,)).to_json())
+        assert payload["all_met"] is False
+        assert payload["slos"][0]["name"] == "lat"
+        assert len(payload["slos"][0]["burns"]) == 3
+
+
+class TestDeterminism:
+    """Two same-seed serve runs must produce byte-identical SLO and
+    derived-metrics reports — the simulated-clock property, extended
+    from test_obs_exporters.py to the interpretation layer."""
+
+    @pytest.fixture(scope="class")
+    def reports(self, tmp_path_factory):
+        from repro.serve import BFSServer, GraphCatalog, WorkloadSpec
+        from repro.serve import generate_workload
+
+        out = []
+        for tag in ("a", "b"):
+            obs = Observability()
+            catalog = GraphCatalog(
+                workdir=tmp_path_factory.mktemp(f"wd_{tag}"), obs=obs
+            )
+            catalog.build("default", DRAM_PCIE_FLASH, scale=9, seed=11,
+                          alpha=4.0, beta=4.0)
+            spec = WorkloadSpec(n_requests=60, rate_rps=2000.0,
+                                root_pool=12, seed=7)
+            reqs = generate_workload(
+                spec, catalog.get("default").degrees
+            )
+            BFSServer(catalog).serve(reqs)
+            out.append((evaluate(obs), derive(obs)))
+            catalog.close()
+        return out
+
+    def test_slo_reports_byte_identical(self, reports):
+        (slo_a, _), (slo_b, _) = reports
+        assert slo_a.to_json().encode() == slo_b.to_json().encode()
+
+    def test_derived_reports_byte_identical(self, reports):
+        (_, der_a), (_, der_b) = reports
+        assert der_a.to_json().encode() == der_b.to_json().encode()
+
+    def test_serve_run_produced_latency_samples(self, reports):
+        (slo, _), _ = reports
+        by_name = {r.spec.name: r for r in slo.results}
+        assert by_name["serve-latency"].total > 0
+        assert slo.duration_s > 0.0

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Headless benchmark runner: execute scenarios, write BENCH_*.json.
+
+Runs named scenarios from :mod:`repro.perf.scenarios` with a fixed seed
+and writes one schema-versioned ``BENCH_<name>.json`` artifact each.
+Everything is measured on the simulated clock, so a same-seed re-run
+writes byte-identical artifacts — the property ``tools/perf_gate.py``
+relies on to tell regressions from noise.
+
+Usage::
+
+    python tools/bench_runner.py --list
+    python tools/bench_runner.py --all --out bench-out
+    python tools/bench_runner.py --scenario serve_batching --out bench-out
+    python tools/bench_runner.py --all --out benchmarks/baselines  # refresh
+
+The default seed (7) matches the committed baselines in
+``benchmarks/baselines/``; change both together.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+try:
+    import repro  # noqa: F401
+except ImportError:
+    sys.path.insert(0, str(REPO / "src"))
+
+from repro.errors import ConfigurationError  # noqa: E402
+from repro.perf import SCENARIOS, get_scenario  # noqa: E402
+
+DEFAULT_SEED = 7
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The runner's command line."""
+    parser = argparse.ArgumentParser(
+        prog="bench_runner",
+        description="Run registered benchmark scenarios headlessly and "
+                    "write BENCH_<name>.json artifacts.",
+    )
+    pick = parser.add_mutually_exclusive_group(required=True)
+    pick.add_argument("--list", action="store_true",
+                      help="list registered scenarios and exit")
+    pick.add_argument("--all", action="store_true",
+                      help="run every registered scenario")
+    pick.add_argument("--scenario", action="append", default=None,
+                      metavar="NAME",
+                      help="run one scenario (repeatable)")
+    parser.add_argument("--out", default="bench-out", metavar="DIR",
+                        help="directory for the artifacts "
+                             "(default: %(default)s)")
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED,
+                        help="scenario seed (default: %(default)s, the "
+                             "committed baselines' seed)")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.list:
+        for s in SCENARIOS:
+            print(f"{s.name:24s} {s.description}  [{s.paper_ref}]")
+        return 0
+    try:
+        scenarios = (
+            list(SCENARIOS) if args.all
+            else [get_scenario(n) for n in args.scenario]
+        )
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    outdir = Path(args.out)
+    for scenario in scenarios:
+        with tempfile.TemporaryDirectory(prefix="repro-bench-") as td:
+            artifact = scenario.run(args.seed, Path(td))
+        path = artifact.write(outdir)
+        print(f"{scenario.name}: wrote {path} "
+              f"({len(artifact.metrics)} metrics, "
+              f"{artifact.simulated_seconds:.4f} simulated s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

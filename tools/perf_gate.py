@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Perf gate: diff BENCH_*.json artifacts against committed baselines.
+
+For every baseline artifact, loads the candidate of the same name from
+the run directory and compares metric by metric with the *baseline's*
+declared noise tolerances (a candidate cannot loosen its own gate).
+A metric worse than tolerance in its bad direction — lower TEPS, more
+bytes per query, higher degradation — or missing from the candidate
+fails the gate; the process exits non-zero so CI blocks the merge.
+
+Usage::
+
+    python tools/bench_runner.py --all --out bench-out
+    python tools/perf_gate.py --baseline benchmarks/baselines \\
+                              --candidate bench-out
+
+Exit codes: 0 all gates pass, 1 regression (or missing artifact),
+2 usage/IO error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+try:
+    import repro  # noqa: F401
+except ImportError:
+    sys.path.insert(0, str(REPO / "src"))
+
+from repro.errors import ConfigurationError  # noqa: E402
+from repro.perf import compare, load  # noqa: E402
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The gate's command line."""
+    parser = argparse.ArgumentParser(
+        prog="perf_gate",
+        description="Fail when a benchmark run regresses beyond the "
+                    "baseline's per-metric noise tolerances.",
+    )
+    parser.add_argument("--baseline", default="benchmarks/baselines",
+                        metavar="DIR",
+                        help="committed baseline artifacts "
+                             "(default: %(default)s)")
+    parser.add_argument("--candidate", required=True, metavar="DIR",
+                        help="artifacts of the run under test")
+    return parser
+
+
+def _gate_one(baseline_path: Path, candidate_dir: Path) -> int:
+    """Gate one scenario; returns the number of failing metrics."""
+    baseline = load(baseline_path)
+    candidate_path = candidate_dir / baseline_path.name
+    if not candidate_path.exists():
+        print(f"{baseline.name}: FAIL — candidate artifact "
+              f"{candidate_path} missing")
+        return 1
+    deltas = compare(baseline, load(candidate_path))
+    failures = 0
+    print(f"{baseline.name}:")
+    for d in deltas:
+        direction = "higher" if d.higher_is_better else "lower"
+        if d.status == "missing":
+            line = (f"  {d.name:28s} MISSING from candidate "
+                    f"(baseline {d.baseline:g} {d.unit})")
+        else:
+            line = (f"  {d.name:28s} {d.baseline:>14g} -> "
+                    f"{d.candidate:>14g} {d.unit:4s} "
+                    f"{d.rel_change:+8.2%} "
+                    f"(tol {d.tolerance:.0%}, {direction} is better): "
+                    f"{d.status.upper()}")
+        print(line)
+        if d.is_regression:
+            failures += 1
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    baseline_dir = Path(args.baseline)
+    candidate_dir = Path(args.candidate)
+    baselines = sorted(baseline_dir.glob("BENCH_*.json"))
+    if not baselines:
+        print(f"error: no BENCH_*.json baselines in {baseline_dir}",
+              file=sys.stderr)
+        return 2
+    total_failures = 0
+    try:
+        for path in baselines:
+            total_failures += _gate_one(path, candidate_dir)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if total_failures:
+        print(f"\nperf gate: FAIL ({total_failures} regressing "
+              f"metric(s) across {len(baselines)} scenario(s))")
+        return 1
+    print(f"\nperf gate: PASS ({len(baselines)} scenario(s) within "
+          f"tolerance)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
