@@ -221,6 +221,50 @@ def build_parser() -> argparse.ArgumentParser:
                       help="also gate the run against the baselines in DIR "
                            "(exit 1 on regression)")
 
+    conformance = sub.add_parser(
+        "conformance",
+        help="cross-engine differential + metamorphic conformance harness",
+    )
+    conformance.add_argument(
+        "--seeds", type=int, nargs="+", default=[7, 19, 101],
+        metavar="SEED",
+        help="harness seeds; each seed drives its own trial stream "
+             "(default: %(default)s)",
+    )
+    conformance.add_argument(
+        "--trials", type=int, default=3,
+        help="randomized (graph, scenario, root) triples per seed "
+             "(default: %(default)s)",
+    )
+    conformance.add_argument(
+        "--scale", type=int, default=8,
+        help="largest graph scale drawn (n <= 2^SCALE; "
+             "default: %(default)s)",
+    )
+    conformance.add_argument(
+        "--engines", type=str, nargs="+", default=None, metavar="NAME",
+        help="engines to check (default: every registered engine)",
+    )
+    conformance.add_argument(
+        "--out", type=str, default="conformance", metavar="DIR",
+        help="directory for repro_*.json artifacts on failure "
+             "(default: %(default)s)",
+    )
+    conformance.add_argument(
+        "--quick", action="store_true",
+        help="CI preset: 2 trials per seed, scale capped at 6",
+    )
+    conformance.add_argument(
+        "--replay", type=str, default=None, metavar="FILE",
+        help="re-execute one repro_*.json artifact instead of running "
+             "the harness (exit 1 when the failure reproduces)",
+    )
+    conformance.add_argument(
+        "--obs", type=str, default=None, metavar="DIR",
+        help="export the harness's observability session "
+             "(conformance.* metrics and spans) into DIR",
+    )
+
     reproduce = sub.add_parser(
         "reproduce",
         help="run the full evaluation and write report.json / report.md",
@@ -649,6 +693,64 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_conformance(args: argparse.Namespace) -> int:
+    from repro.conformance import ConformanceConfig, ReproArtifact, run_conformance
+    from repro.errors import ConfigurationError
+    from repro.obs.session import NULL
+
+    obs = None
+    if args.obs is not None:
+        from repro.obs import Observability
+
+        obs = Observability()
+
+    if args.replay is not None:
+        try:
+            artifact = ReproArtifact.load(args.replay)
+        except (OSError, ValueError, ConfigurationError) as exc:
+            print(f"error: cannot load artifact: {exc}", file=sys.stderr)
+            return 2
+        print(f"replaying {args.replay}: engine={artifact.engine} "
+              f"check={artifact.check} seed={artifact.seed} "
+              f"n={artifact.n_vertices} m={len(artifact.edges_u)}")
+        if obs is not None:
+            span = obs.span("conformance.replay", engine=artifact.engine,
+                            check=artifact.check)
+        else:
+            from contextlib import nullcontext
+
+            span = nullcontext()
+        try:
+            with span:
+                outcome = artifact.replay()
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(outcome)
+        if obs is not None:
+            obs.export(args.obs)
+        return 1 if outcome.reproduced else 0
+
+    trials = 2 if args.quick else args.trials
+    max_scale = min(args.scale, 6) if args.quick else args.scale
+    try:
+        config = ConformanceConfig(
+            seeds=tuple(args.seeds),
+            trials=trials,
+            max_scale=max_scale,
+            engines=tuple(args.engines) if args.engines else (),
+            artifact_dir=args.out,
+        )
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = run_conformance(config, obs=obs if obs is not None else NULL)
+    print(report.render())
+    if obs is not None:
+        obs.export(args.obs)
+    return 0 if report.ok else 1
+
+
 def _cmd_reproduce(args: argparse.Namespace) -> int:
     from repro.core.experiment import EvaluationRunner
 
@@ -680,6 +782,7 @@ def main(argv: list[str] | None = None) -> int:
         "serve": _cmd_serve,
         "slo": _cmd_slo,
         "perf": _cmd_perf,
+        "conformance": _cmd_conformance,
         "reproduce": _cmd_reproduce,
     }[args.command]
     return handler(args)

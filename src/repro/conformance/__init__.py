@@ -1,0 +1,79 @@
+"""Cross-engine conformance: differential + metamorphic correctness gate.
+
+The paper's §IV validity argument — every engine and every schedule must
+produce equivalent BFS answers — as an executable subsystem:
+
+* :mod:`.registry` — every BFS engine behind one runner signature;
+* :mod:`.oracles` — validity / distance / admissibility vs the reference;
+* :mod:`.relations` — permutation, duplicate, schedule and fault
+  invariances;
+* :mod:`.shrinker` — delta-debugging failures to minimal counterexamples;
+* :mod:`.artifact` — canonical, replayable JSON repro files;
+* :mod:`.harness` — the randomized driver behind
+  ``repro-bfs conformance``.
+"""
+
+from repro.conformance.artifact import SCHEMA, ReplayResult, ReproArtifact
+from repro.conformance.harness import (
+    ConformanceConfig,
+    ConformanceFailure,
+    ConformanceReport,
+    run_conformance,
+)
+from repro.conformance.oracles import (
+    DIFFERENTIAL_CHECKS,
+    check_admissibility,
+    check_distance,
+    check_validity,
+    differential_failures,
+)
+from repro.conformance.registry import (
+    DEVICES,
+    EngineSpec,
+    GraphCase,
+    TrialSetup,
+    engine_names,
+    get_engine,
+    register_engine,
+    run_engine,
+    unregister_engine,
+)
+from repro.conformance.relations import (
+    RELATIONS,
+    MetamorphicRelation,
+    get_relation,
+    relation_names,
+    relations_for,
+)
+from repro.conformance.shrinker import ShrinkOutcome, shrink_case
+
+__all__ = [
+    "SCHEMA",
+    "ReplayResult",
+    "ReproArtifact",
+    "ConformanceConfig",
+    "ConformanceFailure",
+    "ConformanceReport",
+    "run_conformance",
+    "DIFFERENTIAL_CHECKS",
+    "check_admissibility",
+    "check_distance",
+    "check_validity",
+    "differential_failures",
+    "DEVICES",
+    "EngineSpec",
+    "GraphCase",
+    "TrialSetup",
+    "engine_names",
+    "get_engine",
+    "register_engine",
+    "run_engine",
+    "unregister_engine",
+    "RELATIONS",
+    "MetamorphicRelation",
+    "get_relation",
+    "relation_names",
+    "relations_for",
+    "ShrinkOutcome",
+    "shrink_case",
+]

@@ -1,0 +1,254 @@
+"""Replayable repro artifacts for conformance failures.
+
+A failure that cannot be re-run is a flake report, not a bug report.
+Every failure the harness keeps is serialized as one canonical JSON file
+(``conformance/repro_*.json``) holding the *shrunk* graph, the root, the
+drawn scenario, the seed of the check and what was observed — everything
+``repro-bfs conformance --replay`` needs to re-execute the exact check
+deterministically, with no reference back to the harness run that found
+it.
+
+Canonical means byte-stable: keys sorted, fixed indentation, a single
+trailing newline, native Python scalars only.  ``load(path).to_json()``
+reproduces the file byte for byte, which the tests pin — artifacts are
+long-lived evidence and must diff cleanly in review.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+from dataclasses import dataclass, replace
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.graph500.edgelist import EdgeList
+
+from repro.conformance.oracles import differential_failures
+from repro.conformance.registry import (
+    EngineSpec,
+    GraphCase,
+    Runner,
+    TrialSetup,
+    get_engine,
+    run_engine,
+)
+from repro.conformance.relations import get_relation
+
+__all__ = ["SCHEMA", "ReplayResult", "ReproArtifact"]
+
+#: Artifact schema tag; bump on incompatible layout changes.
+SCHEMA = "repro.conformance/1"
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """What re-executing an artifact's check observed."""
+
+    reproduced: bool
+    message: str | None = None
+
+    def __str__(self) -> str:
+        if self.reproduced:
+            return f"REPRODUCED: {self.message}"
+        return "NOT REPRODUCED: the check passes on this input now"
+
+
+@dataclass(frozen=True)
+class ReproArtifact:
+    """One shrunk, replayable conformance counterexample.
+
+    ``check`` is ``"differential:<oracle>"`` or
+    ``"metamorphic:<relation>"``; ``seed`` pins every random draw the
+    check makes on replay.  ``original`` records the pre-shrink trial
+    size so the report can say how much the shrinker earned.
+    """
+
+    engine: str
+    check: str
+    message: str
+    seed: int
+    root: int
+    n_vertices: int
+    edges_u: tuple[int, ...]
+    edges_v: tuple[int, ...]
+    setup: dict
+    shrink_steps: int
+    shrink_evals: int
+    original: dict
+    schema: str = SCHEMA
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def from_case(
+        cls,
+        engine: str,
+        check: str,
+        message: str,
+        seed: int,
+        edges: EdgeList,
+        root: int,
+        setup: TrialSetup,
+        shrink_steps: int = 0,
+        shrink_evals: int = 0,
+        original: dict | None = None,
+    ) -> "ReproArtifact":
+        """Build an artifact from live harness state (numpy in, JSON out)."""
+        u, v = edges.endpoints
+        return cls(
+            engine=engine,
+            check=check,
+            message=str(message),
+            seed=int(seed),
+            root=int(root),
+            n_vertices=int(edges.n_vertices),
+            edges_u=tuple(int(x) for x in u),
+            edges_v=tuple(int(x) for x in v),
+            setup=setup.describe(),
+            shrink_steps=int(shrink_steps),
+            shrink_evals=int(shrink_evals),
+            original=dict(original or {}),
+        )
+
+    # -- (de)serialization -----------------------------------------------------
+
+    def to_json(self) -> str:
+        """Canonical byte-stable JSON (sorted keys, newline-terminated)."""
+        payload = {
+            "schema": self.schema,
+            "engine": self.engine,
+            "check": self.check,
+            "message": self.message,
+            "seed": self.seed,
+            "root": self.root,
+            "n_vertices": self.n_vertices,
+            "edges_u": list(self.edges_u),
+            "edges_v": list(self.edges_v),
+            "setup": self.setup,
+            "shrink_steps": self.shrink_steps,
+            "shrink_evals": self.shrink_evals,
+            "original": self.original,
+        }
+        return json.dumps(payload, sort_keys=True, indent=1) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "ReproArtifact":
+        """Parse an artifact, rejecting unknown schemas early."""
+        data = json.loads(text)
+        schema = data.get("schema")
+        if schema != SCHEMA:
+            raise ConfigurationError(
+                f"unsupported repro artifact schema {schema!r} "
+                f"(expected {SCHEMA!r})"
+            )
+        return cls(
+            engine=data["engine"],
+            check=data["check"],
+            message=data["message"],
+            seed=int(data["seed"]),
+            root=int(data["root"]),
+            n_vertices=int(data["n_vertices"]),
+            edges_u=tuple(int(x) for x in data["edges_u"]),
+            edges_v=tuple(int(x) for x in data["edges_v"]),
+            setup=data["setup"],
+            shrink_steps=int(data["shrink_steps"]),
+            shrink_evals=int(data["shrink_evals"]),
+            original=data["original"],
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ReproArtifact":
+        """Read an artifact file written by :meth:`write`."""
+        return cls.from_json(Path(path).read_text())
+
+    def filename(self) -> str:
+        """Deterministic artifact name: engine, check, seed, root."""
+        slug = self.check.replace(":", "-")
+        return f"repro_{self.engine}_{slug}_s{self.seed}_r{self.root}.json"
+
+    def write(self, outdir: str | Path) -> Path:
+        """Write the canonical JSON under ``outdir``; returns the path."""
+        outdir = Path(outdir)
+        outdir.mkdir(parents=True, exist_ok=True)
+        path = outdir / self.filename()
+        path.write_text(self.to_json())
+        return path
+
+    # -- replay ----------------------------------------------------------------
+
+    def edge_list(self) -> EdgeList:
+        """The shrunk graph as a live :class:`EdgeList`."""
+        endpoints = np.stack([
+            np.asarray(self.edges_u, dtype=np.int64),
+            np.asarray(self.edges_v, dtype=np.int64),
+        ]).reshape(2, -1)
+        return EdgeList(endpoints, self.n_vertices)
+
+    def trial_setup(self) -> TrialSetup:
+        """The recorded scenario as a live :class:`TrialSetup`."""
+        return TrialSetup.from_description(self.setup)
+
+    def _engine_spec(self, runner: Runner | None) -> EngineSpec:
+        if runner is None:
+            return get_engine(self.engine)
+        try:
+            return replace(get_engine(self.engine), run=runner)
+        except ConfigurationError:
+            # The failing engine was a test fixture never registered in
+            # this process; replay it through the supplied runner.
+            return EngineSpec(self.engine, runner,
+                              external=True, schedule_sensitive=True,
+                              description="replay override")
+
+    def replay(self, runner: Runner | None = None,
+               workdir: str | Path | None = None) -> ReplayResult:
+        """Re-execute the recorded check on the recorded input.
+
+        ``runner`` substitutes the engine implementation (used when the
+        artifact came from an unregistered broken-engine fixture);
+        ``workdir`` hosts any NVM store files, defaulting to a scratch
+        directory.
+        """
+        if workdir is not None:
+            return self._replay_in(runner, Path(workdir))
+        with tempfile.TemporaryDirectory(prefix="repro-conf-") as scratch:
+            return self._replay_in(runner, Path(scratch))
+
+    def _replay_in(self, runner: Runner | None, workdir: Path) -> ReplayResult:
+        kind, _, name = self.check.partition(":")
+        if kind not in ("differential", "metamorphic") or not name:
+            raise ConfigurationError(
+                f"malformed check {self.check!r} "
+                "(expected 'differential:<oracle>' or "
+                "'metamorphic:<relation>')"
+            )
+        spec = self._engine_spec(runner)
+        case = GraphCase(self.edge_list())
+        setup = self.trial_setup()
+        if kind == "metamorphic":
+            relation = get_relation(name)
+            try:
+                message = relation.check(spec, case, setup, self.root,
+                                         self.seed, workdir)
+            except Exception as exc:  # a crash still reproduces the bug
+                message = f"{type(exc).__name__}: {exc}"
+            return ReplayResult(message is not None, message)
+        # differential: run the engine against a fresh reference oracle.
+        try:
+            result = spec.run(case, setup, self.root, workdir)
+        except Exception as exc:
+            if name == "crash":
+                return ReplayResult(True, f"{type(exc).__name__}: {exc}")
+            return ReplayResult(True, f"engine raised instead of "
+                                      f"answering: {type(exc).__name__}: {exc}")
+        if name == "crash":
+            return ReplayResult(False, None)
+        ref = run_engine("reference", case, setup, self.root, workdir)
+        failures = dict(differential_failures(case.edges, ref.parent,
+                                              result, self.root))
+        if name in failures:
+            return ReplayResult(True, failures[name])
+        return ReplayResult(False, None)

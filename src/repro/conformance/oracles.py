@@ -1,0 +1,121 @@
+"""Differential oracles: what every engine's answer is checked against.
+
+Three checks per engine run, in increasing strictness:
+
+``validity``
+    The parent array is a legal BFS tree of the input graph — the five
+    Graph500 rules via :func:`repro.graph500.validate.validate_bfs_tree`.
+``distance``
+    The per-vertex hop counts derived from the tree equal the reference
+    engine's (BFS trees are not unique, distances are).
+``admissibility``
+    Every chosen parent is *admissible*: a genuine graph neighbour that
+    sits exactly one reference level above the child.  This catches an
+    engine that fabricates a parent from the right level without an edge
+    — a bug ``distance`` alone cannot see.
+
+All three are pure functions of ``(edges, reference parent, candidate
+result, root)`` so the shrinker and ``--replay`` can re-evaluate them on
+mutated graphs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bfs.metrics import BFSResult
+from repro.graph500.edgelist import EdgeList
+from repro.graph500.validate import compute_levels, validate_bfs_tree
+
+__all__ = [
+    "DIFFERENTIAL_CHECKS",
+    "check_validity",
+    "check_distance",
+    "check_admissibility",
+    "differential_failures",
+]
+
+#: Check names in evaluation order (also the ``check`` metric label set).
+DIFFERENTIAL_CHECKS = ("validity", "distance", "admissibility")
+
+
+def check_validity(edges: EdgeList, result: BFSResult,
+                   root: int) -> str | None:
+    """Graph500 rules 1–5; returns the first violation, if any."""
+    verdict = validate_bfs_tree(edges, result.parent, root)
+    if verdict.ok:
+        return None
+    return verdict.violations[0]
+
+
+def check_distance(edges: EdgeList, ref_parent: np.ndarray,
+                   result: BFSResult, root: int) -> str | None:
+    """Hop counts must equal the reference oracle's, vertex for vertex."""
+    ref_levels, ref_err = compute_levels(np.asarray(ref_parent), root)
+    if ref_err is not None:  # the oracle itself is broken — report loudly
+        return f"reference tree invalid: {ref_err}"
+    levels, err = compute_levels(np.asarray(result.parent), root)
+    if err is not None:
+        return f"candidate tree has no well-defined levels: {err}"
+    if np.array_equal(levels, ref_levels):
+        return None
+    v = int(np.flatnonzero(levels != ref_levels)[0])
+    return (
+        f"distance mismatch at vertex {v}: engine says "
+        f"{int(levels[v])}, reference says {int(ref_levels[v])}"
+    )
+
+
+def check_admissibility(edges: EdgeList, ref_parent: np.ndarray,
+                        result: BFSResult, root: int) -> str | None:
+    """Every parent must be a real neighbour one reference level up."""
+    ref_levels, ref_err = compute_levels(np.asarray(ref_parent), root)
+    if ref_err is not None:
+        return f"reference tree invalid: {ref_err}"
+    parent = np.asarray(result.parent)
+    n = edges.n_vertices
+    children = np.flatnonzero((parent != -1) & (np.arange(n) != root))
+    if not children.size:
+        return None
+    parents = parent[children]
+    out_of_range = (parents < 0) | (parents >= n)
+    if out_of_range.any():
+        v = int(children[np.flatnonzero(out_of_range)[0]])
+        return f"vertex {v} has parent {int(parent[v])} outside [0, {n})"
+    # (child, parent) must be an edge of the deduplicated graph ...
+    keys = edges.sorted_edge_keys
+    pair = (np.minimum(children, parents) * np.int64(n)
+            + np.maximum(children, parents))
+    if keys.size:
+        pos = np.minimum(np.searchsorted(keys, pair), keys.size - 1)
+        is_edge = keys[pos] == pair
+    else:
+        is_edge = np.zeros(children.size, dtype=bool)
+    # ... and the parent must sit exactly one reference level above.
+    level_ok = ref_levels[parents] == ref_levels[children] - 1
+    bad = ~(is_edge & level_ok)
+    if not bad.any():
+        return None
+    v = int(children[np.flatnonzero(bad)[0]])
+    p = int(parent[v])
+    why = "not a graph edge" if not bool(is_edge[np.flatnonzero(bad)[0]]) \
+        else (f"parent at reference level {int(ref_levels[p])}, "
+              f"child at {int(ref_levels[v])}")
+    return f"inadmissible parent {p} for vertex {v}: {why}"
+
+
+def differential_failures(edges: EdgeList, ref_parent: np.ndarray,
+                          result: BFSResult,
+                          root: int) -> list[tuple[str, str]]:
+    """All failing differential checks as ``(check, message)`` pairs."""
+    failures: list[tuple[str, str]] = []
+    msg = check_validity(edges, result, root)
+    if msg is not None:
+        failures.append(("validity", msg))
+    msg = check_distance(edges, ref_parent, result, root)
+    if msg is not None:
+        failures.append(("distance", msg))
+    msg = check_admissibility(edges, ref_parent, result, root)
+    if msg is not None:
+        failures.append(("admissibility", msg))
+    return failures

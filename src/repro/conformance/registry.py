@@ -1,0 +1,379 @@
+"""The engine registry the conformance harness differentials over.
+
+Every BFS implementation in the tree — the reference oracle, the fixed
+single-direction baselines, the DRAM hybrid, its sharded-parallel twin,
+the two NVM-offloaded variants and the serving layer's batched engine —
+registers here under one uniform runner signature::
+
+    run(case: GraphCase, setup: TrialSetup, root: int, workdir: Path)
+        -> BFSResult
+
+Each call builds a **fresh** engine (and, for external engines, a fresh
+:class:`~repro.semiext.storage.NVMStore` with its own simulated clock and
+health monitor), so two runs with the same inputs are bit-identical — the
+property the differential harness, the shrinker and ``--replay`` all
+stand on.
+
+The registry is open: tests register deliberately-broken engines to
+exercise the shrinker, and future engines join the conformance gate by
+registering a spec rather than by editing the harness.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from repro.bfs.fully_external import FullyExternalBFS
+from repro.bfs.hybrid import HybridBFS
+from repro.bfs.metrics import BFSResult, Direction
+from repro.bfs.policies import AlphaBetaPolicy, FixedPolicy
+from repro.bfs.reference import ReferenceBFS
+from repro.bfs.semi_external import SemiExternalBFS
+from repro.core.config import ScenarioConfig, ScenarioKind
+from repro.csr import BackwardGraph, ForwardGraph, build_csr
+from repro.csr.graph import CSRGraph
+from repro.csr.io import offload_csr
+from repro.errors import ConfigurationError
+from repro.graph500.edgelist import EdgeList
+from repro.numa.topology import NumaTopology
+from repro.obs.session import NULL
+from repro.semiext.device import PCIE_FLASH, SATA_SSD, DeviceModel
+from repro.semiext.faults import FaultPlan
+from repro.semiext.storage import NVMStore
+from repro.serve.catalog import PinnedGraph
+from repro.serve.engine import BatchedBFS
+
+__all__ = [
+    "DEVICES",
+    "TrialSetup",
+    "GraphCase",
+    "EngineSpec",
+    "register_engine",
+    "unregister_engine",
+    "get_engine",
+    "engine_names",
+    "run_engine",
+]
+
+#: Short device keys a :class:`TrialSetup` (and a JSON artifact) may name.
+DEVICES: dict[str, DeviceModel] = {"pcie": PCIE_FLASH, "ssd": SATA_SSD}
+
+
+@dataclass(frozen=True)
+class TrialSetup:
+    """One drawn scenario: device, α/β schedule and optional fault plan.
+
+    DRAM-only engines ignore the device and fault plan — which is the
+    point: every engine must return the same tree regardless of how much
+    of this setup applies to it.
+    """
+
+    device: str = "pcie"
+    alpha: float = 16.0
+    beta: float = 64.0
+    fault: FaultPlan | None = None
+
+    def __post_init__(self) -> None:
+        if self.device not in DEVICES:
+            raise ConfigurationError(
+                f"unknown device {self.device!r} (have {sorted(DEVICES)})"
+            )
+
+    @property
+    def device_model(self) -> DeviceModel:
+        """The device model behind the short key."""
+        return DEVICES[self.device]
+
+    def describe(self) -> dict:
+        """JSON-safe summary (round-trips through repro artifacts)."""
+        fault = None
+        if self.fault is not None:
+            fault = {
+                "seed": int(self.fault.seed),
+                "error_rate": float(self.fault.error_rate),
+                "torn_rate": float(self.fault.torn_rate),
+                "gc_rate": float(self.fault.gc_rate),
+                "gc_pause_s": float(self.fault.gc_pause_s),
+                "fail_at_s": (None if self.fault.fail_at_s is None
+                              else float(self.fault.fail_at_s)),
+            }
+        return {
+            "device": self.device,
+            "alpha": float(self.alpha),
+            "beta": float(self.beta),
+            "fault": fault,
+        }
+
+    @classmethod
+    def from_description(cls, desc: dict) -> "TrialSetup":
+        """Inverse of :meth:`describe`."""
+        fault = None
+        if desc.get("fault") is not None:
+            fault = FaultPlan(**desc["fault"])
+        return cls(device=desc["device"], alpha=desc["alpha"],
+                   beta=desc["beta"], fault=fault)
+
+
+class GraphCase:
+    """One concrete graph a trial runs every engine on.
+
+    Wraps the raw :class:`EdgeList` and lazily derives the CSR and the
+    NUMA-partitioned forward/backward pair, so cheap relations (that only
+    permute the edge list) never pay construction for graphs they reject.
+    """
+
+    def __init__(self, edges: EdgeList,
+                 topology: NumaTopology | None = None) -> None:
+        self.edges = edges
+        self.topology = topology or NumaTopology(n_nodes=2, cores_per_node=2)
+        self._csr: CSRGraph | None = None
+        self._forward: ForwardGraph | None = None
+        self._backward: BackwardGraph | None = None
+
+    @property
+    def n_vertices(self) -> int:
+        """Vertex count of the underlying edge list."""
+        return self.edges.n_vertices
+
+    @property
+    def csr(self) -> CSRGraph:
+        """The deduplicated CSR, built on first access."""
+        if self._csr is None:
+            self._csr = build_csr(self.edges)
+        return self._csr
+
+    @property
+    def forward(self) -> ForwardGraph:
+        """The NUMA-partitioned forward graph, built on first access."""
+        if self._forward is None:
+            self._forward = ForwardGraph(self.csr, self.topology)
+        return self._forward
+
+    @property
+    def backward(self) -> BackwardGraph:
+        """The NUMA-partitioned backward graph, built on first access."""
+        if self._backward is None:
+            self._backward = BackwardGraph(self.csr, self.topology)
+        return self._backward
+
+    def permuted(self, perm: np.ndarray) -> "GraphCase":
+        """The same graph with vertex ids relabeled by ``perm``."""
+        u, v = self.edges.endpoints
+        endpoints = np.stack([perm[u], perm[v]]).astype(np.int64)
+        return GraphCase(EdgeList(endpoints, self.n_vertices), self.topology)
+
+    def with_extra_edges(self, extra_u: np.ndarray,
+                         extra_v: np.ndarray) -> "GraphCase":
+        """The same graph with duplicate/self-loop edges appended."""
+        u, v = self.edges.endpoints
+        endpoints = np.stack([
+            np.concatenate([u, np.asarray(extra_u, dtype=np.int64)]),
+            np.concatenate([v, np.asarray(extra_v, dtype=np.int64)]),
+        ])
+        return GraphCase(EdgeList(endpoints, self.n_vertices), self.topology)
+
+    def __repr__(self) -> str:
+        return (f"GraphCase(n={self.n_vertices}, "
+                f"m={self.edges.endpoints.shape[1]})")
+
+
+Runner = Callable[["GraphCase", TrialSetup, int, Path], BFSResult]
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """One registered engine.
+
+    Attributes
+    ----------
+    external:
+        Reads adjacency through an :class:`NVMStore`, so fault plans
+        apply and the fault-vs-clean relation is meaningful.
+    schedule_sensitive:
+        Consumes the α/β thresholds, so the schedule-invariance relation
+        is meaningful.
+    """
+
+    name: str
+    run: Runner = field(compare=False)
+    external: bool = False
+    schedule_sensitive: bool = False
+    description: str = ""
+
+
+_REGISTRY: dict[str, EngineSpec] = {}
+
+
+def register_engine(spec: EngineSpec, replace: bool = False) -> EngineSpec:
+    """Add an engine to the conformance registry.
+
+    Tests use ``replace=True`` to shadow a real engine with a broken one;
+    accidental double registration stays an error.
+    """
+    if spec.name in _REGISTRY and not replace:
+        raise ConfigurationError(
+            f"engine {spec.name!r} already registered"
+        )
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def unregister_engine(name: str) -> None:
+    """Remove an engine (broken-engine fixtures clean up after themselves)."""
+    _REGISTRY.pop(name, None)
+
+
+def get_engine(name: str) -> EngineSpec:
+    """Look up a registered engine."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"no conformance engine named {name!r} "
+            f"(have {engine_names()})"
+        ) from None
+
+
+def engine_names() -> tuple[str, ...]:
+    """Registered engine names, registration order (reference first)."""
+    return tuple(_REGISTRY)
+
+
+def run_engine(name: str, case: GraphCase, setup: TrialSetup, root: int,
+               workdir: str | Path) -> BFSResult:
+    """Run one registered engine once (fresh engine and store)."""
+    return get_engine(name).run(case, setup, int(root), Path(workdir))
+
+
+# -- store / engine builders ---------------------------------------------------
+
+
+def _fresh_store(case: GraphCase, setup: TrialSetup,
+                 workdir: Path) -> NVMStore:
+    """A fresh store (own clock, health, fault stream) under ``workdir``."""
+    path = Path(tempfile.mkdtemp(prefix="engine-", dir=workdir))
+    return NVMStore(
+        path,
+        setup.device_model,
+        concurrency=case.topology.n_cores,
+        fault_plan=setup.fault,
+    )
+
+
+def _run_reference(case: GraphCase, setup: TrialSetup, root: int,
+                   workdir: Path) -> BFSResult:
+    return ReferenceBFS(case.csr).run(root)
+
+
+def _run_topdown(case: GraphCase, setup: TrialSetup, root: int,
+                 workdir: Path) -> BFSResult:
+    engine = HybridBFS(case.forward, case.backward,
+                       FixedPolicy(Direction.TOP_DOWN))
+    return engine.run(root)
+
+
+def _run_bottomup(case: GraphCase, setup: TrialSetup, root: int,
+                  workdir: Path) -> BFSResult:
+    engine = HybridBFS(case.forward, case.backward,
+                       FixedPolicy(Direction.BOTTOM_UP))
+    return engine.run(root)
+
+
+def _run_hybrid(case: GraphCase, setup: TrialSetup, root: int,
+                workdir: Path) -> BFSResult:
+    engine = HybridBFS(case.forward, case.backward,
+                       AlphaBetaPolicy(alpha=setup.alpha, beta=setup.beta))
+    return engine.run(root)
+
+
+def _run_parallel(case: GraphCase, setup: TrialSetup, root: int,
+                  workdir: Path) -> BFSResult:
+    engine = HybridBFS(case.forward, case.backward,
+                       AlphaBetaPolicy(alpha=setup.alpha, beta=setup.beta),
+                       n_workers=case.topology.n_nodes)
+    try:
+        return engine.run(root)
+    finally:
+        engine.close()
+
+
+def _run_semi_external(case: GraphCase, setup: TrialSetup, root: int,
+                       workdir: Path) -> BFSResult:
+    engine = SemiExternalBFS.offload(
+        forward=case.forward,
+        backward=case.backward,
+        policy=AlphaBetaPolicy(alpha=setup.alpha, beta=setup.beta),
+        store=_fresh_store(case, setup, workdir),
+    )
+    return engine.run(root)
+
+
+def _run_fully_external(case: GraphCase, setup: TrialSetup, root: int,
+                        workdir: Path) -> BFSResult:
+    engine = FullyExternalBFS.offload(
+        case.csr, _fresh_store(case, setup, workdir)
+    )
+    return engine.run(root)
+
+
+def _run_batched(case: GraphCase, setup: TrialSetup, root: int,
+                 workdir: Path) -> BFSResult:
+    # The serving engine normally gets its graph from GraphCatalog, which
+    # only builds Kronecker graphs — conformance (and shrunk repros) need
+    # arbitrary edge lists, so pin the case's graph by hand.
+    scenario = ScenarioConfig(
+        name=f"conformance-{setup.device}",
+        kind=ScenarioKind.SEMI_EXTERNAL,
+        device=setup.device_model,
+        alpha=setup.alpha,
+        beta=setup.beta,
+        topology=case.topology,
+        fault_plan=setup.fault,
+    )
+    store = _fresh_store(case, setup, workdir)
+    external = [
+        offload_csr(shard, store, f"forward.node{k}")
+        for k, shard in enumerate(case.forward.shards)
+    ]
+    graph = PinnedGraph(
+        name="conformance",
+        scenario=scenario,
+        scale=0,
+        edges=case.edges,
+        forward=case.forward,
+        backward=case.backward,
+        store=store,
+        external_shards=external,
+        alpha=setup.alpha,
+        beta=setup.beta,
+        obs=NULL,
+    )
+    return BatchedBFS(graph).run_batch([int(root)])[0]
+
+
+for _spec in (
+    EngineSpec("reference", _run_reference,
+               description="plain top-down oracle over the unpartitioned CSR"),
+    EngineSpec("topdown", _run_topdown,
+               description="hybrid engine pinned top-down"),
+    EngineSpec("bottomup", _run_bottomup,
+               description="hybrid engine pinned bottom-up"),
+    EngineSpec("hybrid", _run_hybrid, schedule_sensitive=True,
+               description="direction-optimizing DRAM engine (§III-C)"),
+    EngineSpec("parallel", _run_parallel, schedule_sensitive=True,
+               description="hybrid engine with per-node worker threads"),
+    EngineSpec("semi_external", _run_semi_external, external=True,
+               schedule_sensitive=True,
+               description="forward graph offloaded to NVM (§V-A)"),
+    EngineSpec("fully_external", _run_fully_external, external=True,
+               description="whole CSR on NVM, top-down only"),
+    EngineSpec("batched", _run_batched, external=True,
+               schedule_sensitive=True,
+               description="serving layer's multi-source batched engine"),
+):
+    register_engine(_spec)

@@ -1,0 +1,231 @@
+"""Metamorphic relations: transformations that must not change the answer.
+
+Where the differential oracles need a second implementation to disagree
+with, a metamorphic relation only needs the engine itself: transform the
+*input* in a way whose effect on the *output* is known exactly, run the
+engine twice, and compare.
+
+Four relations, from the paper's §IV validity argument:
+
+``permutation``
+    BFS is label-blind: relabeling vertices by a permutation π maps the
+    level array by π (``levels'[π(v)] == levels[v]``).
+``duplicates``
+    CSR construction deduplicates edges and drops self-loops, so
+    appending duplicate edges and self-loops must leave the parent array
+    bit-identical.
+``schedule``
+    α/β only move the top-down/bottom-up switch points; any schedule
+    yields the same level array (trees may differ — bottom-up picks
+    different parents).
+``faults``
+    A recoverable fault plan exercises retries, backoff and GC stalls on
+    the NVM path, but the resilient reads deliver the same bytes: the
+    parent array must match a clean run exactly — only iostats and the
+    clock may differ.
+
+Each relation is a pure function of ``(engine spec, case, setup, root,
+seed)``; the seed pins every random draw so a failing relation replays
+bit-for-bit from its repro artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.graph500.validate import compute_levels
+from repro.semiext.faults import FaultPlan
+
+from repro.conformance.registry import EngineSpec, GraphCase, TrialSetup
+
+__all__ = [
+    "MetamorphicRelation",
+    "RELATIONS",
+    "get_relation",
+    "relation_names",
+    "relations_for",
+]
+
+Checker = Callable[
+    [EngineSpec, GraphCase, TrialSetup, int, int, Path], "str | None"
+]
+
+
+def _applies_to_all(spec: EngineSpec) -> bool:
+    """Default applicability: the relation holds for every engine."""
+    return True
+
+
+@dataclass(frozen=True)
+class MetamorphicRelation:
+    """One named relation plus the engines it applies to."""
+
+    name: str
+    check: Checker = field(compare=False)
+    applies: Callable[[EngineSpec], bool] = field(
+        compare=False, default=_applies_to_all
+    )
+    description: str = ""
+
+
+def _levels_or_error(parent: np.ndarray, root: int,
+                     what: str) -> tuple[np.ndarray | None, str | None]:
+    levels, err = compute_levels(np.asarray(parent), root)
+    if err is not None:
+        return None, f"{what} run produced an invalid tree: {err}"
+    return levels, None
+
+
+def _check_permutation(spec: EngineSpec, case: GraphCase, setup: TrialSetup,
+                       root: int, seed: int, workdir: Path) -> str | None:
+    """Relabel vertices; levels must relabel with them."""
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(case.n_vertices).astype(np.int64)
+    base = spec.run(case, setup, root, workdir)
+    permuted = spec.run(case.permuted(perm), setup, int(perm[root]), workdir)
+    lv_base, err = _levels_or_error(base.parent, root, "base")
+    if err is not None:
+        return err
+    lv_perm, err = _levels_or_error(permuted.parent, int(perm[root]),
+                                    "permuted")
+    if err is not None:
+        return err
+    if np.array_equal(lv_perm[perm], lv_base):
+        return None
+    v = int(np.flatnonzero(lv_perm[perm] != lv_base)[0])
+    return (
+        f"permutation broke level invariance at vertex {v} "
+        f"(-> {int(perm[v])}): base level {int(lv_base[v])}, "
+        f"permuted level {int(lv_perm[perm[v]])}"
+    )
+
+
+def _check_duplicates(spec: EngineSpec, case: GraphCase, setup: TrialSetup,
+                      root: int, seed: int, workdir: Path) -> str | None:
+    """Append duplicate edges and self-loops; parents must not move."""
+    rng = np.random.default_rng(seed)
+    u, v = case.edges.endpoints
+    m = u.shape[0]
+    if m:
+        picks = rng.integers(0, m, size=min(m, 8))
+        extra_u, extra_v = u[picks], v[picks]
+    else:
+        extra_u = extra_v = np.empty(0, dtype=np.int64)
+    loops = rng.integers(0, case.n_vertices, size=4)
+    augmented = case.with_extra_edges(
+        np.concatenate([extra_u, loops]),
+        np.concatenate([extra_v, loops]),
+    )
+    base = spec.run(case, setup, root, workdir)
+    noisy = spec.run(augmented, setup, root, workdir)
+    if np.array_equal(base.parent, noisy.parent):
+        return None
+    diff = int(np.flatnonzero(base.parent != noisy.parent)[0])
+    return (
+        f"duplicate edges / self-loops changed the tree at vertex {diff}: "
+        f"parent {int(base.parent[diff])} -> {int(noisy.parent[diff])}"
+    )
+
+
+def _check_schedule(spec: EngineSpec, case: GraphCase, setup: TrialSetup,
+                    root: int, seed: int, workdir: Path) -> str | None:
+    """Two different α/β schedules must agree on every hop count."""
+    rng = np.random.default_rng(seed)
+    alt = replace(
+        setup,
+        alpha=float(rng.choice([1.0, 4.0, 64.0, 1e4])),
+        beta=float(rng.choice([2.0, 16.0, 256.0, 1e5])),
+    )
+    base = spec.run(case, setup, root, workdir)
+    other = spec.run(case, alt, root, workdir)
+    lv_base, err = _levels_or_error(base.parent, root, "base-schedule")
+    if err is not None:
+        return err
+    lv_other, err = _levels_or_error(other.parent, root, "alt-schedule")
+    if err is not None:
+        return err
+    if np.array_equal(lv_base, lv_other):
+        return None
+    v = int(np.flatnonzero(lv_base != lv_other)[0])
+    return (
+        f"schedule (α={setup.alpha:g}, β={setup.beta:g}) vs "
+        f"(α={alt.alpha:g}, β={alt.beta:g}) disagree at vertex {v}: "
+        f"levels {int(lv_base[v])} vs {int(lv_other[v])}"
+    )
+
+
+def _check_faults(spec: EngineSpec, case: GraphCase, setup: TrialSetup,
+                  root: int, seed: int, workdir: Path) -> str | None:
+    """A recoverable fault plan must not change a single parent pointer."""
+    rng = np.random.default_rng(seed)
+    plan = FaultPlan(
+        seed=int(rng.integers(1 << 31)),
+        error_rate=0.04,
+        torn_rate=0.02,
+        gc_rate=0.03,
+    )
+    clean = spec.run(case, replace(setup, fault=None), root, workdir)
+    faulty = spec.run(case, replace(setup, fault=plan), root, workdir)
+    if np.array_equal(clean.parent, faulty.parent):
+        return None
+    v = int(np.flatnonzero(clean.parent != faulty.parent)[0])
+    return (
+        f"fault plan (seed {plan.seed}) changed the tree at vertex {v}: "
+        f"parent {int(clean.parent[v])} -> {int(faulty.parent[v])}"
+    )
+
+
+RELATIONS: dict[str, MetamorphicRelation] = {
+    rel.name: rel
+    for rel in (
+        MetamorphicRelation(
+            "permutation", _check_permutation,
+            description="vertex relabeling permutes the level array",
+        ),
+        MetamorphicRelation(
+            "duplicates", _check_duplicates,
+            description="duplicate edges and self-loops are no-ops",
+        ),
+        MetamorphicRelation(
+            "schedule", _check_schedule,
+            applies=lambda spec: spec.schedule_sensitive,
+            description="every α/β schedule yields the same levels",
+        ),
+        MetamorphicRelation(
+            "faults", _check_faults,
+            applies=lambda spec: spec.external,
+            description="recoverable device faults leave answers intact",
+        ),
+    )
+}
+
+
+def relation_names() -> tuple[str, ...]:
+    """All relation names, declaration order."""
+    return tuple(RELATIONS)
+
+
+def get_relation(name: str) -> MetamorphicRelation:
+    """Look up a relation by name."""
+    try:
+        return RELATIONS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"no metamorphic relation named {name!r} "
+            f"(have {relation_names()})"
+        ) from None
+
+
+def relations_for(spec: EngineSpec,
+                  names: tuple[str, ...] | None = None
+                  ) -> tuple[MetamorphicRelation, ...]:
+    """The relations applicable to one engine (optionally filtered)."""
+    selected = relation_names() if not names else names
+    return tuple(
+        get_relation(n) for n in selected if get_relation(n).applies(spec)
+    )

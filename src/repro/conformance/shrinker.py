@@ -1,0 +1,114 @@
+"""Counterexample shrinking: from a failing graph to a minimal one.
+
+When a conformance check fails on a randomized graph the raw trial is a
+terrible bug report — hundreds of edges, most irrelevant.  The shrinker
+applies greedy delta debugging (Zeller & Hildebrandt's ddmin, restricted
+to the "remove a chunk" move) over the edge columns, then compacts away
+vertices no surviving edge touches:
+
+1. try deleting contiguous edge windows, halving the window size each
+   time the pass stops making progress, re-running the failing predicate
+   after every candidate deletion and keeping any deletion that still
+   fails;
+2. renumber the vertices that remain (plus the root) densely, again
+   keeping the compaction only if the failure survives relabeling.
+
+The predicate is arbitrary — the harness passes "this differential check
+still fails" or "this metamorphic relation still fails" — and the whole
+procedure is deterministic, so the minimal counterexample lands in the
+repro artifact exactly as ``--replay`` will regenerate it.
+
+Every predicate call is counted and capped (``max_evals``): shrinking a
+pathological case degrades to "fewer edges than we started with", never
+to an unbounded loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.graph500.edgelist import EdgeList
+
+__all__ = ["ShrinkOutcome", "shrink_case"]
+
+FailingPredicate = Callable[[EdgeList, int], bool]
+
+
+@dataclass(frozen=True)
+class ShrinkOutcome:
+    """The minimal failing input the shrinker converged on.
+
+    ``evals`` counts predicate executions (the cost), ``steps`` counts
+    accepted reductions (the progress); ``steps == 0`` means the
+    original input was already minimal under the shrinker's moves.
+    """
+
+    edges: EdgeList
+    root: int
+    evals: int
+    steps: int
+
+    @property
+    def n_edges(self) -> int:
+        """Edge count of the shrunk graph."""
+        return self.edges.endpoints.shape[1]
+
+
+def shrink_case(edges: EdgeList, root: int, failing: FailingPredicate,
+                max_evals: int = 400) -> ShrinkOutcome:
+    """Greedily minimize ``(edges, root)`` while ``failing`` holds.
+
+    Raises :class:`ConfigurationError` when the input does not fail to
+    begin with — a shrinker fed a passing case is always a harness bug.
+    """
+    if max_evals < 1:
+        raise ConfigurationError(f"max_evals must be >= 1: {max_evals}")
+    evals = 1
+    if not failing(edges, root):
+        raise ConfigurationError(
+            "shrink_case called with an input that does not fail"
+        )
+    steps = 0
+    n = edges.n_vertices
+    endpoints = edges.endpoints.copy()
+
+    # Pass 1: ddmin over edge columns.
+    chunk = max(endpoints.shape[1] // 2, 1)
+    while chunk >= 1 and evals < max_evals:
+        i = 0
+        progressed = False
+        while i < endpoints.shape[1] and evals < max_evals:
+            candidate = np.delete(endpoints, np.s_[i:i + chunk], axis=1)
+            evals += 1
+            if failing(EdgeList(candidate, n), root):
+                endpoints = candidate
+                steps += 1
+                progressed = True
+                # the window now holds fresh edges; retry the same offset
+            else:
+                i += chunk
+        if chunk == 1 and not progressed:
+            break
+        if not progressed:
+            chunk //= 2
+
+    # Pass 2: drop vertices nothing references (keeps the root).
+    result_edges = EdgeList(endpoints, n)
+    if evals < max_evals:
+        used = np.union1d(np.unique(endpoints),
+                          np.asarray([root], dtype=np.int64))
+        if used.size < n:
+            remap = np.searchsorted(used, endpoints)
+            candidate = EdgeList(remap.astype(np.int64), int(used.size))
+            new_root = int(np.searchsorted(used, root))
+            evals += 1
+            if failing(candidate, new_root):
+                result_edges, root = candidate, new_root
+                steps += 1
+
+    return ShrinkOutcome(edges=result_edges, root=int(root),
+                         evals=evals, steps=steps)

@@ -66,6 +66,13 @@ def compute_levels(parent: np.ndarray, root: int) -> tuple[np.ndarray, str | Non
         return levels, f"root {root} outside [0, {n})"
     if parent[root] != root:
         return levels, f"tree[root] must equal root, got {parent[root]}"
+    out_of_range = (parent != UNVISITED) & ((parent < 0) | (parent >= n))
+    if out_of_range.any():
+        v = int(np.flatnonzero(out_of_range)[0])
+        return levels, (
+            f"{int(np.count_nonzero(out_of_range))} parent pointers outside "
+            f"[0, {n}), e.g. parent[{v}] = {int(parent[v])}"
+        )
     levels[root] = 0
     visited_mask = parent != UNVISITED
     pending = np.flatnonzero(visited_mask & (levels == -1))
@@ -130,8 +137,11 @@ def validate_bfs_tree(
             return res
     visited = levels >= 0
 
-    # Rule 2: tree edges span exactly one level.
-    tree_vertices = np.flatnonzero((parent != UNVISITED) & (np.arange(n) != root))
+    # Rule 2: tree edges span exactly one level.  Out-of-range parent
+    # pointers were already reported by rule 1; excluding them here keeps
+    # the collect_all path free of wild indexing.
+    in_range = (parent != UNVISITED) & (parent >= 0) & (parent < n)
+    tree_vertices = np.flatnonzero(in_range & (np.arange(n) != root))
     if tree_vertices.size:
         dl = levels[tree_vertices] - levels[parent[tree_vertices]]
         bad = tree_vertices[(dl != 1) & visited[tree_vertices]]
@@ -152,9 +162,12 @@ def validate_bfs_tree(
         tlo = np.minimum(tv, tp)
         thi = np.maximum(tv, tp)
         tree_keys = tlo * np.int64(n) + thi
-        pos = np.searchsorted(edge_keys, tree_keys)
-        pos = np.minimum(pos, edge_keys.size - 1)
-        missing = tv[edge_keys[pos] != tree_keys]
+        if edge_keys.size:
+            pos = np.searchsorted(edge_keys, tree_keys)
+            pos = np.minimum(pos, edge_keys.size - 1)
+            missing = tv[edge_keys[pos] != tree_keys]
+        else:  # self-loop-only or edgeless graph: every tree edge is bogus
+            missing = tv
         if missing.size:
             res = fail(
                 f"rule3: {missing.size} tree edges absent from the graph, "

@@ -92,6 +92,11 @@ M_SERVE_CACHE_MISSES = "serve.cache_misses_total"
 M_SERVE_CACHE_EVICTIONS = "serve.cache_evictions_total"
 M_SERVE_ROWS_REQUESTED = "serve.rows_requested_total"
 M_SERVE_ROWS_FETCHED = "serve.rows_fetched_total"
+M_CONF_TRIALS = "conformance.trials_total"
+M_CONF_CHECKS = "conformance.checks_total"
+M_CONF_FAILURES = "conformance.failures_total"
+M_CONF_SHRINK_EVALS = "conformance.shrink_evals_total"
+M_CONF_ARTIFACTS = "conformance.artifacts_total"
 
 
 METRICS: tuple[MetricSpec, ...] = (
@@ -213,6 +218,20 @@ METRICS: tuple[MetricSpec, ...] = (
                "Unique forward-graph rows actually fetched for those "
                "requests; the requested/fetched ratio is the shared-chunk "
                "amortization factor."),
+    # -- conformance harness --------------------------------------------------
+    MetricSpec(M_CONF_TRIALS, "counter", (),
+               "Randomized (graph, scenario, root) triples executed."),
+    MetricSpec(M_CONF_CHECKS, "counter", ("engine", "check"),
+               "Differential and metamorphic checks evaluated, by engine "
+               "and check name."),
+    MetricSpec(M_CONF_FAILURES, "counter", ("engine", "check"),
+               "Checks that found a disagreement (each one yields a "
+               "shrunk repro artifact)."),
+    MetricSpec(M_CONF_SHRINK_EVALS, "counter", (),
+               "Failing-predicate executions spent shrinking "
+               "counterexamples."),
+    MetricSpec(M_CONF_ARTIFACTS, "counter", ("engine",),
+               "Replayable repro artifacts written to disk."),
 )
 
 
@@ -236,6 +255,9 @@ SPANS: tuple[str, ...] = (
     "serve.traversal",
     "serve.reject",
     "serve.complete",
+    "conformance.trial",
+    "conformance.shrink",
+    "conformance.replay",
 )
 
 

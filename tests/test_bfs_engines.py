@@ -8,13 +8,16 @@ from repro.bfs import (
     BeamerPolicy,
     Direction,
     FixedPolicy,
+    FullyExternalBFS,
     HybridBFS,
     ReferenceBFS,
     SemiExternalBFS,
 )
 from repro.bfs.metrics import BFSResult
+from repro.csr import build_csr
 from repro.errors import ConfigurationError
-from repro.graph500.validate import validate_bfs_tree
+from repro.graph500.edgelist import EdgeList
+from repro.graph500.validate import compute_levels, validate_bfs_tree
 from repro.numa.topology import NumaTopology
 from repro.perfmodel.cost import DramCostModel
 from repro.semiext import NVMStore, PCIE_FLASH, SATA_SSD
@@ -231,3 +234,47 @@ class TestReference:
     def test_max_levels(self, csr, a_root):
         res = ReferenceBFS(csr).run(a_root, max_levels=1)
         assert res.n_levels == 1
+
+
+class TestFullyExternalVsReference:
+    """The NVM-resident baseline must match the reference even on
+    disconnected graphs whose roots sit in tiny (or empty) components —
+    shapes the Kronecker fixtures never produce on purpose."""
+
+    # Two components (a path 0-1-2 and a triangle 4-5-6), vertex 3
+    # isolated, vertex 7 isolated with only a self-loop.
+    EDGES = EdgeList(
+        np.array(
+            [[0, 1, 4, 5, 6, 7],
+             [1, 2, 5, 6, 4, 7]],
+            dtype=np.int64,
+        ),
+        8,
+    )
+
+    def _run_both(self, root, tmp_path):
+        csr = build_csr(self.EDGES)
+        store = NVMStore(tmp_path / "nvm", PCIE_FLASH)
+        ext = FullyExternalBFS.offload(csr, store).run(root)
+        ref = ReferenceBFS(csr).run(root)
+        return ext, ref
+
+    @pytest.mark.parametrize("root", [0, 2, 4])
+    def test_component_roots_match_reference(self, root, tmp_path):
+        ext, ref = self._run_both(root, tmp_path)
+        ext_levels, err = compute_levels(ext.parent, root)
+        assert err is None
+        ref_levels, _ = compute_levels(ref.parent, root)
+        assert np.array_equal(ext_levels, ref_levels)
+        assert validate_bfs_tree(self.EDGES, ext.parent, root).ok
+
+    @pytest.mark.parametrize("root", [3, 7])
+    def test_isolated_roots_match_reference(self, root, tmp_path):
+        # Vertex 3 has no edges at all; vertex 7 only a self-loop (which
+        # CSR construction drops).  Both searches must visit exactly the
+        # root and still validate.
+        ext, ref = self._run_both(root, tmp_path)
+        assert np.array_equal(ext.parent, ref.parent)
+        assert int(np.count_nonzero(ext.parent != -1)) == 1
+        assert ext.parent[root] == root
+        assert validate_bfs_tree(self.EDGES, ext.parent, root).ok

@@ -1,0 +1,209 @@
+"""Shrinker convergence and repro-artifact round-trip guarantees."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.conformance import (
+    GraphCase,
+    ReproArtifact,
+    ShrinkOutcome,
+    TrialSetup,
+    run_engine,
+    shrink_case,
+)
+from repro.errors import ConfigurationError
+from repro.graph500.edgelist import EdgeList
+from repro.graph500.kronecker import generate_edges
+
+
+def _random_graph(seed, scale=6, edge_factor=6):
+    endpoints = generate_edges(scale, edge_factor=edge_factor, seed=seed)
+    return EdgeList(endpoints, 1 << scale)
+
+
+def _touches(edges, u, v):
+    """Does the edge list still contain the undirected edge (u, v)?"""
+    a, b = edges.endpoints
+    return bool(np.any(((a == u) & (b == v)) | ((a == v) & (b == u))))
+
+
+class TestShrinker:
+    def test_rejects_passing_input(self):
+        edges = _random_graph(1)
+        with pytest.raises(ConfigurationError):
+            shrink_case(edges, 0, lambda e, r: False)
+
+    def test_rejects_bad_eval_budget(self):
+        edges = _random_graph(1)
+        with pytest.raises(ConfigurationError):
+            shrink_case(edges, 0, lambda e, r: True, max_evals=0)
+
+    def test_converges_on_planted_edge(self):
+        # The "bug" fires whenever edge (3, 5) is present: the minimal
+        # counterexample is that single edge plus the root, and ddmin
+        # must strip the other ~380 columns to find it.
+        edges = _random_graph(7)
+        planted = edges.endpoints.copy()
+        planted = np.concatenate(
+            [planted, np.array([[3], [5]], dtype=np.int64)], axis=1
+        )
+        edges = EdgeList(planted, edges.n_vertices)
+        assert _touches(edges, 3, 5)
+
+        outcome = shrink_case(edges, 3, lambda e, r: _touches(e, 3, 5))
+        assert isinstance(outcome, ShrinkOutcome)
+        assert outcome.n_edges == 1
+        assert _touches(outcome.edges, *outcome.edges.endpoints[:, 0])
+        assert outcome.steps > 0
+        assert outcome.evals > outcome.steps
+
+    def test_vertex_compaction_renumbers_densely(self):
+        # Only vertices {3, 5} (plus root 3) matter out of 64: after
+        # compaction ids must be dense and n_vertices minimal.
+        edges = _random_graph(7)
+        planted = np.concatenate(
+            [edges.endpoints, np.array([[3], [5]], dtype=np.int64)], axis=1
+        )
+        edges = EdgeList(planted, edges.n_vertices)
+
+        def failing(e, r):  # invariant under relabeling: some edge + root
+            return e.endpoints.shape[1] >= 1
+
+        outcome = shrink_case(edges, 3, failing)
+        assert outcome.n_edges == 1
+        used = np.union1d(np.unique(outcome.edges.endpoints),
+                          [outcome.root])
+        assert outcome.edges.n_vertices == used.size
+        assert used[0] == 0 and used[-1] == used.size - 1
+
+    def test_eval_budget_respected(self):
+        edges = _random_graph(11)
+        calls = []
+
+        def failing(e, r):
+            calls.append(e.endpoints.shape[1])
+            return True
+
+        outcome = shrink_case(edges, 0, failing, max_evals=25)
+        assert outcome.evals <= 25
+        assert len(calls) <= 25
+        # degraded, not useless: strictly fewer edges than we started with
+        assert outcome.n_edges < edges.endpoints.shape[1]
+
+    def test_deterministic(self):
+        edges = _random_graph(13)
+        failing = lambda e, r: _touches(e, 1, 2) or e.endpoints.shape[1] > 40
+        a = shrink_case(edges, 0, failing)
+        b = shrink_case(edges, 0, failing)
+        assert np.array_equal(a.edges.endpoints, b.edges.endpoints)
+        assert (a.root, a.evals, a.steps) == (b.root, b.evals, b.steps)
+
+
+class TestArtifactRoundTrip:
+    def _artifact(self):
+        return ReproArtifact.from_case(
+            engine="hybrid",
+            check="differential:validity",
+            message="rule1: not all vertices reachable",
+            seed=424242,
+            edges=EdgeList(np.array([[0, 1], [1, 2]], dtype=np.int64), 3),
+            root=0,
+            setup=TrialSetup(device="ssd", alpha=2.0, beta=4.0),
+            shrink_steps=5,
+            shrink_evals=17,
+            original={"n_vertices": 64, "n_edges": 300, "root": 12},
+        )
+
+    def test_json_round_trips_byte_identically(self, tmp_path):
+        artifact = self._artifact()
+        path = artifact.write(tmp_path)
+        assert path.name == "repro_hybrid_differential-validity_s424242_r0.json"
+        assert ReproArtifact.load(path) == artifact
+        assert ReproArtifact.load(path).to_json() == path.read_text()
+        # writing twice is idempotent at the byte level
+        before = path.read_bytes()
+        artifact.write(tmp_path)
+        assert path.read_bytes() == before
+
+    def test_wrong_schema_rejected(self):
+        text = self._artifact().to_json().replace(
+            "repro.conformance/1", "repro.conformance/99"
+        )
+        with pytest.raises(ConfigurationError):
+            ReproArtifact.from_json(text)
+
+    def test_edge_list_and_setup_reconstruct(self):
+        artifact = self._artifact()
+        edges = artifact.edge_list()
+        assert edges.n_vertices == 3
+        assert np.array_equal(
+            edges.endpoints, np.array([[0, 1], [1, 2]], dtype=np.int64)
+        )
+        assert artifact.trial_setup() == TrialSetup(
+            device="ssd", alpha=2.0, beta=4.0
+        )
+
+    def test_malformed_check_rejected_on_replay(self):
+        from dataclasses import replace
+
+        broken = replace(self._artifact(), check="nonsense")
+        with pytest.raises(ConfigurationError):
+            broken.replay()
+
+    def test_passing_artifact_does_not_reproduce(self):
+        # The recorded check passes on this graph (hybrid is correct), so
+        # replay must come back NOT REPRODUCED rather than inventing one.
+        outcome = self._artifact().replay()
+        assert not outcome.reproduced
+        assert "NOT REPRODUCED" in str(outcome)
+
+    def test_unregistered_engine_replays_via_runner(self, tmp_path):
+        # Artifacts from broken-engine fixtures outlive the process that
+        # registered them; --replay in a fresh process supplies a runner.
+        from dataclasses import replace as dc_replace
+
+        artifact = dc_replace(self._artifact(), engine="long-gone")
+
+        def runner(case, setup, root, workdir):
+            result = run_engine("hybrid", case, setup, root, workdir)
+            result.parent[2] = -1  # drop the tail vertex: rule1 violation
+            return result
+
+        outcome = artifact.replay(runner=runner, workdir=tmp_path)
+        assert outcome.reproduced
+        assert "REPRODUCED" in str(outcome)
+
+
+class TestShrinkEndToEnd:
+    def test_planted_divergence_shrinks_to_core(self, tmp_path):
+        """A monkeypatched engine that loses one specific vertex shrinks
+        to a graph still containing that vertex, and the shrunk case
+        still fails the same differential check."""
+        edges = _random_graph(17, scale=6, edge_factor=5)
+        case = GraphCase(edges)
+        setup = TrialSetup()
+        root = int(np.argmax(case.csr.degrees()))  # root in the big component
+        visited = np.flatnonzero(
+            run_engine("reference", case, setup, root, tmp_path).parent != -1
+        )
+        victim = int(visited[visited != root][-1])
+
+        def failing(e, r):
+            sub = GraphCase(e)
+            result = run_engine("hybrid", sub, setup, r, tmp_path)
+            if victim >= e.n_vertices or result.parent[victim] == -1:
+                return False  # victim gone or unreachable: bug can't fire
+            result.parent[victim] = -1
+            ref = run_engine("reference", sub, setup, r, tmp_path)
+            from repro.conformance import differential_failures
+
+            return any(
+                c == "distance"
+                for c, _ in differential_failures(e, ref.parent, result, r)
+            )
+
+        outcome = shrink_case(edges, root, failing, max_evals=300)
+        assert outcome.n_edges < edges.endpoints.shape[1] // 4
+        assert failing(outcome.edges, outcome.root)

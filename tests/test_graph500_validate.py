@@ -44,6 +44,19 @@ class TestComputeLevels:
         _, err = compute_levels(parent, 0)
         assert err is not None
 
+    def test_parent_beyond_n_diagnosed_not_crash(self):
+        # A buggy engine may emit a parent id past the vertex range;
+        # the validator must report it instead of raising IndexError.
+        parent = np.array([0, 7, -1], dtype=np.int64)
+        _, err = compute_levels(parent, 0)
+        assert err is not None and "outside" in err
+
+    def test_negative_non_sentinel_parent_diagnosed(self):
+        # -3 is not the UNVISITED sentinel and must not wrap around.
+        parent = np.array([0, -3, -1], dtype=np.int64)
+        _, err = compute_levels(parent, 0)
+        assert err is not None and "-3" in err
+
 
 class TestValidate:
     def test_valid_tree_passes(self):
@@ -112,6 +125,21 @@ class TestValidate:
         tree = np.array([0, 0, 0, -1, -1], dtype=np.int64)
         res = validate_bfs_tree(PATH, tree, 0, collect_all=True)
         assert len(res.violations) >= 2
+
+    def test_out_of_range_parent_collect_all_does_not_crash(self):
+        res = validate_bfs_tree(PATH, np.array([0, 9, -1, -1, -1]), 0,
+                                collect_all=True)
+        assert not res.ok
+        assert any("rule1" in v for v in res.violations)
+
+    def test_self_loop_only_graph_with_claimed_tree_edge(self):
+        # The deduplicated edge-key set is empty; a tree that still claims
+        # an edge must fail rule 3, not crash on the empty key array.
+        loops = _el([(0, 0), (1, 1)], 3)
+        res = validate_bfs_tree(loops, np.array([0, 0, -1]), 0,
+                                collect_all=True)
+        assert not res.ok
+        assert any("rule3" in v for v in res.violations)
 
     def test_root_only_component(self):
         two = _el([(0, 1)], 3)

@@ -1,0 +1,111 @@
+"""Property-based metamorphic relations over random small graphs.
+
+Extends the pattern of ``test_properties_semiext.py`` to the conformance
+layer: hypothesis draws arbitrary (multi)graphs — duplicates, self-loops
+and isolated vertices included — and the permutation and duplicate-edge
+relations from :mod:`repro.conformance.relations` must hold for both the
+DRAM hybrid engine and the NVM-offloaded semi-external engine.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.conformance import GraphCase, TrialSetup, get_relation, run_engine
+from repro.graph500.edgelist import EdgeList
+
+ENGINES = ("hybrid", "semi_external")
+
+
+@st.composite
+def graph_cases(draw, max_vertices=24, max_edges=48):
+    """An arbitrary small multigraph plus a root drawn from its vertices."""
+    n = draw(st.integers(2, max_vertices))
+    m = draw(st.integers(1, max_edges))
+    u = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    v = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    endpoints = np.stack([u, v]).astype(np.int64)
+    root = draw(st.integers(0, n - 1))
+    return GraphCase(EdgeList(endpoints, n)), root
+
+
+RELATION_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+class TestPermutationRelation:
+    """Relabeling vertices by π must permute the level array by π."""
+
+    @given(drawn=graph_cases(), seed=st.integers(0, 2**31 - 1))
+    @RELATION_SETTINGS
+    def test_hybrid(self, tmp_path, drawn, seed):
+        from repro.conformance import get_engine
+
+        case, root = drawn
+        relation = get_relation("permutation")
+        assert relation.check(
+            get_engine("hybrid"), case, TrialSetup(), root, seed, tmp_path,
+        ) is None
+
+    @given(drawn=graph_cases(max_vertices=16, max_edges=32),
+           seed=st.integers(0, 2**31 - 1))
+    @RELATION_SETTINGS
+    def test_semi_external(self, tmp_path, drawn, seed):
+        from repro.conformance import get_engine
+
+        case, root = drawn
+        relation = get_relation("permutation")
+        assert relation.check(
+            get_engine("semi_external"), case, TrialSetup(), root, seed,
+            tmp_path,
+        ) is None
+
+
+class TestDuplicatesRelation:
+    """Appending duplicate edges / self-loops must not move one parent."""
+
+    @given(drawn=graph_cases(), seed=st.integers(0, 2**31 - 1))
+    @RELATION_SETTINGS
+    def test_hybrid(self, tmp_path, drawn, seed):
+        from repro.conformance import get_engine
+
+        case, root = drawn
+        relation = get_relation("duplicates")
+        assert relation.check(
+            get_engine("hybrid"), case, TrialSetup(), root, seed, tmp_path,
+        ) is None
+
+    @given(drawn=graph_cases(max_vertices=16, max_edges=32),
+           seed=st.integers(0, 2**31 - 1))
+    @RELATION_SETTINGS
+    def test_semi_external(self, tmp_path, drawn, seed):
+        from repro.conformance import get_engine
+
+        case, root = drawn
+        relation = get_relation("duplicates")
+        assert relation.check(
+            get_engine("semi_external"), case, TrialSetup(), root, seed,
+            tmp_path,
+        ) is None
+
+
+class TestDifferentialAgreement:
+    """Both engines must match the reference oracle on every draw —
+    the property form of the harness's differential sweep."""
+
+    @given(drawn=graph_cases(), seed=st.integers(0, 2**31 - 1))
+    @RELATION_SETTINGS
+    def test_levels_match_reference(self, tmp_path, drawn, seed):
+        from repro.conformance import differential_failures
+
+        case, root = drawn
+        setup = TrialSetup()
+        ref = run_engine("reference", case, setup, root, tmp_path)
+        for name in ENGINES:
+            result = run_engine(name, case, setup, root, tmp_path)
+            assert differential_failures(
+                case.edges, ref.parent, result, root
+            ) == [], name

@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Conformance gate: the CI entry point for the cross-engine harness.
+
+Runs the differential + metamorphic conformance harness
+(:mod:`repro.conformance`) over the given seeds, prints the report, and
+writes a machine-readable ``conformance_report.json`` next to any
+``repro_*.json`` counterexample artifacts — so a red CI run uploads
+everything needed to replay the failure locally::
+
+    repro-bfs conformance --replay conformance/repro_<...>.json
+
+Usage::
+
+    python tools/conformance_gate.py                     # full defaults
+    python tools/conformance_gate.py --quick --seeds 7   # one cheap seed
+    python tools/conformance_gate.py --scale 10 --out conformance
+
+Exit codes: 0 all engines conform, 1 at least one failure (artifacts
+written), 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+try:
+    import repro  # noqa: F401
+except ImportError:
+    sys.path.insert(0, str(REPO / "src"))
+
+from repro.conformance import ConformanceConfig, run_conformance  # noqa: E402
+from repro.errors import ConfigurationError  # noqa: E402
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The gate's command line."""
+    parser = argparse.ArgumentParser(
+        prog="conformance_gate",
+        description="run the cross-engine conformance harness for CI",
+    )
+    parser.add_argument("--seeds", type=int, nargs="+", default=[7, 19, 101],
+                        metavar="SEED")
+    parser.add_argument("--trials", type=int, default=3,
+                        help="trials per seed (default: %(default)s)")
+    parser.add_argument("--scale", type=int, default=8,
+                        help="largest graph scale drawn "
+                             "(default: %(default)s)")
+    parser.add_argument("--quick", action="store_true",
+                        help="2 trials per seed, scale capped at 6")
+    parser.add_argument("--out", type=str, default="conformance",
+                        metavar="DIR",
+                        help="artifact directory (default: %(default)s)")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the gate; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        config = ConformanceConfig(
+            seeds=tuple(args.seeds),
+            trials=2 if args.quick else args.trials,
+            max_scale=min(args.scale, 6) if args.quick else args.scale,
+            artifact_dir=args.out,
+        )
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = run_conformance(config)
+    print(report.render())
+    outdir = Path(args.out)
+    outdir.mkdir(parents=True, exist_ok=True)
+    summary = {
+        "engines": list(report.engines),
+        "seeds": list(report.seeds),
+        "trials": report.trials,
+        "checks": report.checks,
+        "ok": report.ok,
+        "failures": [
+            {
+                "seed": f.seed,
+                "trial": f.trial,
+                "engine": f.engine,
+                "check": f.check,
+                "message": f.message,
+                "artifact": f.artifact,
+            }
+            for f in report.failures
+        ],
+    }
+    (outdir / "conformance_report.json").write_text(
+        json.dumps(summary, sort_keys=True, indent=1) + "\n"
+    )
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
