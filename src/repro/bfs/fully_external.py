@@ -27,6 +27,8 @@ hybrid schedule leaves on the device.
 
 from __future__ import annotations
 
+from types import SimpleNamespace
+
 import numpy as np
 
 from repro.bfs.metrics import BFSResult, Direction, LevelTrace, record_run_spans
@@ -82,11 +84,61 @@ class FullyExternalBFS:
         """Write the whole CSR to the store and build the engine."""
         return cls(offload_csr(graph, store, prefix), store, cost_model, obs=obs)
 
-    def run(self, root: int, max_levels: int | None = None) -> BFSResult:
-        """Run one BFS from ``root``; every edge scan reads the device."""
+    def run(
+        self,
+        root: int,
+        max_levels: int | None = None,
+        checkpointer=None,
+    ) -> BFSResult:
+        """Run one BFS from ``root``; every edge scan reads the device.
+
+        ``checkpointer`` follows the same level-boundary hook contract as
+        :meth:`repro.bfs.hybrid.HybridBFS.run`.
+        """
         n = self.external.n_rows
         if not 0 <= root < n:
             raise ConfigurationError(f"root {root} outside [0, {n})")
+        parent = np.full(n, UNVISITED, dtype=np.int64)
+        parent[root] = root
+        frontier = np.array([root], dtype=np.int64)
+        return self._traverse(
+            parent, frontier, root,
+            level=0, max_levels=max_levels, checkpointer=checkpointer,
+        )
+
+    def resume(
+        self,
+        parent: np.ndarray,
+        frontier_queue: np.ndarray,
+        *,
+        root: int,
+        level: int,
+        max_levels: int | None = None,
+        checkpointer=None,
+    ) -> BFSResult:
+        """Re-enter the top-down loop from restored (parent, frontier).
+
+        The loop carries nothing else, so the continued traversal is
+        bit-identical to one that never stopped; traces and times cover
+        the resumed portion only.
+        """
+        return self._traverse(
+            np.asarray(parent, dtype=np.int64).copy(),
+            np.asarray(frontier_queue, dtype=np.int64),
+            root,
+            level=level, max_levels=max_levels, checkpointer=checkpointer,
+        )
+
+    def _traverse(
+        self,
+        parent: np.ndarray,
+        frontier: np.ndarray,
+        root: int,
+        *,
+        level: int,
+        max_levels: int | None,
+        checkpointer,
+    ) -> BFSResult:
         think = (
             self.cost_model.per_request_think_time_s(
                 self.store.chunk_bytes / 8.0
@@ -94,9 +146,6 @@ class FullyExternalBFS:
             if self.cost_model is not None
             else 0.0
         )
-        parent = np.full(n, UNVISITED, dtype=np.int64)
-        parent[root] = root
-        frontier = np.array([root], dtype=np.int64)
         traces: list[LevelTrace] = []
         total_wall = Timer()
         modeled_start = self.clock.now()
@@ -104,7 +153,6 @@ class FullyExternalBFS:
         obs.counter(M_BFS_RUNS, engine=type(self).__name__).inc()
         level_bounds: list[tuple[float, float]] = []
         io0 = self.store.iostats
-        level = 0
         while frontier.size:
             if max_levels is not None and level >= max_levels:
                 break
@@ -161,8 +209,22 @@ class FullyExternalBFS:
                     nvm_time_s=io0.busy_time_s - busy0,
                 )
             )
+            prev_size = int(frontier.size)
             frontier = next_frontier
             level += 1
+            if checkpointer is not None:
+                checkpointer(
+                    SimpleNamespace(
+                        root=root,
+                        parent=parent,
+                        frontier_queue=frontier,
+                        frontier_size=int(frontier.size),
+                    ),
+                    level,
+                    Direction.TOP_DOWN,
+                    prev_size,
+                    0,
+                )
         traversed = int(self._degrees[parent >= 0].sum()) // 2
         obs.counter(M_BFS_TRAVERSED).inc(traversed)
         record_run_spans(

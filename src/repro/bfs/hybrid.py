@@ -181,24 +181,84 @@ class HybridBFS:
 
     # -- the level loop ------------------------------------------------------------
 
-    def run(self, root: int, max_levels: int | None = None) -> BFSResult:
+    def run(
+        self,
+        root: int,
+        max_levels: int | None = None,
+        checkpointer=None,
+    ) -> BFSResult:
         """Run one BFS from ``root`` and return its result.
 
         ``max_levels`` is a safety valve for tests; a valid input graph
-        never needs it (the frontier empties by itself).
+        never needs it (the frontier empties by itself).  ``checkpointer``
+        is an optional callable invoked at every level boundary with
+        ``(state, level, direction, prev_frontier, visited_deg_sum)`` —
+        the recovery layer's hook for persisting an epoch (and for seeded
+        crash injection, which raises
+        :class:`~repro.errors.ProcessCrashError` through this loop).
         """
         state = BFSState(self.n_vertices, self.topology, root)
         self.policy.reset()
+        return self._traverse(
+            state,
+            level=0,
+            direction=Direction.TOP_DOWN,
+            prev_frontier=0,
+            visited_deg_sum=int(self._degrees[root]),
+            max_levels=max_levels,
+            checkpointer=checkpointer,
+        )
+
+    def resume(
+        self,
+        state: BFSState,
+        *,
+        level: int,
+        direction: Direction,
+        prev_frontier: int,
+        visited_deg_sum: int,
+        max_levels: int | None = None,
+        checkpointer=None,
+    ) -> BFSResult:
+        """Re-enter the level loop from restored mid-run state.
+
+        The cursor arguments are exactly the loop-carried values a
+        checkpoint records (see :mod:`repro.recovery`).  The direction
+        policy is stateless between levels, so restoring these plus the
+        :class:`~repro.bfs.state.BFSState` makes the continued traversal
+        bit-identical to one that never stopped.  The returned result's
+        traces and times cover the resumed portion only; the parent array
+        is the full tree.
+        """
+        self.policy.reset()
+        return self._traverse(
+            state,
+            level=level,
+            direction=direction,
+            prev_frontier=prev_frontier,
+            visited_deg_sum=visited_deg_sum,
+            max_levels=max_levels,
+            checkpointer=checkpointer,
+        )
+
+    def _traverse(
+        self,
+        state: BFSState,
+        *,
+        level: int,
+        direction: Direction,
+        prev_frontier: int,
+        visited_deg_sum: int,
+        max_levels: int | None,
+        checkpointer,
+    ) -> BFSResult:
+        root = state.root
         traces: list[LevelTrace] = []
-        direction = Direction.TOP_DOWN
-        prev_frontier = 0
-        visited_deg_sum = int(self._degrees[root])
         total_wall = Timer()
         modeled_start = self.clock.now()
         obs = self.obs
         obs.counter(M_BFS_RUNS, engine=type(self).__name__).inc()
         level_bounds: list[tuple[float, float]] = []
-        level = 0
         while state.frontier_size > 0:
             if max_levels is not None and level >= max_levels:
                 break
@@ -300,6 +360,10 @@ class HybridBFS:
             prev_frontier = frontier_size
             state.promote_next(next_queue)
             level += 1
+            if checkpointer is not None:
+                checkpointer(
+                    state, level, direction, prev_frontier, visited_deg_sum
+                )
         traversed = int(self._degrees[state.parent >= 0].sum()) // 2
         obs.counter(M_BFS_TRAVERSED).inc(traversed)
         record_run_spans(

@@ -64,6 +64,38 @@ class BFSState:
             local = np.arange(part.lo, part.hi, dtype=np.int64)
             self._candidates.append(local[local != root])
 
+    @classmethod
+    def restore(
+        cls,
+        n_vertices: int,
+        topology: NumaTopology,
+        root: int,
+        parent: np.ndarray,
+        frontier_queue: np.ndarray,
+    ) -> "BFSState":
+        """Rebuild mid-run state from a checkpoint's (parent, frontier).
+
+        The visited bitmap is derived (``parent >= 0`` ≡ visited — every
+        engine sets both together), and the per-node candidate lists are
+        rebuilt as the ascending unvisited vertices of each partition.
+        That matches what a live run's lazily-pruned lists would scan:
+        pruning only ever removes visited vertices and never reorders, so
+        a traversal continued from restored state is bit-identical to one
+        that never stopped.
+        """
+        state = cls(n_vertices, topology, root)
+        state.parent = np.asarray(parent, dtype=np.int64).copy()
+        state.visited = Bitmap.from_indices(
+            n_vertices, np.flatnonzero(state.parent >= 0)
+        )
+        state.frontier_queue = np.asarray(frontier_queue, dtype=np.int64)
+        state.frontier_bitmap = None
+        state._candidates = []
+        for part in topology.partitions(n_vertices):
+            local = np.arange(part.lo, part.hi, dtype=np.int64)
+            state._candidates.append(local[state.parent[local] < 0])
+        return state
+
     # -- frontier management ----------------------------------------------------
 
     @property

@@ -37,6 +37,41 @@ def _parse_faults(spec: str):
         raise argparse.ArgumentTypeError(str(exc)) from None
 
 
+def _parse_crash(spec: str):
+    """argparse type for ``--crash``: ``level=2[,at_s=0.5][,torn=1][,seed=7]``.
+
+    Returns a :class:`~repro.semiext.faults.FaultPlan` carrying only the
+    crash fields; :func:`_cmd_run` merges it into the scenario's plan.
+    """
+    from repro.errors import ConfigurationError
+    from repro.semiext.faults import FaultPlan
+
+    aliases = {"level": "crash_at_level", "at_s": "crash_at_s",
+               "torn": "crash_torn", "seed": "seed"}
+    parts = []
+    for item in spec.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        key, sep, value = item.partition("=")
+        key = key.strip()
+        if not sep or key not in aliases:
+            raise argparse.ArgumentTypeError(
+                f"crash spec item {item!r} is not one of "
+                f"{sorted(aliases)}=value"
+            )
+        parts.append(f"{aliases[key]}={value.strip()}")
+    try:
+        plan = FaultPlan.parse(",".join(parts))
+    except ConfigurationError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+    if not plan.crashes:
+        raise argparse.ArgumentTypeError(
+            "crash spec needs level=N or at_s=T"
+        )
+    return plan
+
+
 def _parse_workload(spec: str):
     """argparse type for ``--workload``: a clean usage error, not a traceback."""
     from repro.errors import ConfigurationError
@@ -81,6 +116,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="capture the run's observability session and write "
              "events.jsonl, trace.json (chrome://tracing / Perfetto) and "
              "metrics.prom into DIR (see docs/observability.md)",
+    )
+    run.add_argument(
+        "--crash",
+        type=_parse_crash,
+        default=None,
+        metavar="SPEC",
+        help="inject a seeded process crash and demonstrate checkpoint "
+             "recovery, e.g. 'level=2,torn=1,seed=5' or 'at_s=0.001' "
+             "(semi-external scenarios only; see docs/recovery.md)",
+    )
+    run.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="checkpoint the traversal every N levels (0 = off); with "
+             "--crash, the run resumes from the newest valid checkpoint "
+             "and verifies the recovered tree is bit-identical",
     )
 
     sweep = sub.add_parser("sweep", help="alpha x beta sweep (Figure 7 data)")
@@ -295,6 +348,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         except ConfigurationError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+    if args.crash is not None or args.checkpoint_every:
+        return _cmd_run_recovery(scenario, args)
     obs = None
     if args.obs is not None:
         from repro.obs import Observability
@@ -340,6 +395,134 @@ def _cmd_run(args: argparse.Namespace) -> int:
         for kind in ("jsonl", "chrome_trace", "prometheus"):
             print(f"obs {kind}:       {paths[kind]}")
     return 0
+
+
+def _cmd_run_recovery(scenario, args: argparse.Namespace) -> int:
+    """The ``--crash`` / ``--checkpoint-every`` demo: crash, resume, verify.
+
+    Runs one checkpointed semi-external traversal under the scenario's
+    fault plan (plus the ``--crash`` injection), resumes after the crash
+    and verifies the recovered tree is bit-identical to an uninterrupted
+    run and passes Graph500 validation.  Exit status 0 only when both
+    hold.
+    """
+    from dataclasses import replace
+    from pathlib import Path
+
+    import numpy as np
+
+    from repro.bfs.policies import AlphaBetaPolicy
+    from repro.bfs.semi_external import SemiExternalBFS
+    from repro.core.config import ScenarioKind
+    from repro.csr import BackwardGraph, ForwardGraph, build_csr
+    from repro.errors import ProcessCrashError
+    from repro.graph500 import EdgeList, generate_edges
+    from repro.graph500.validate import validate_bfs_tree
+    from repro.recovery import RecoverableBFS, load_run
+    from repro.semiext.storage import NVMStore
+
+    if scenario.kind is not ScenarioKind.SEMI_EXTERNAL:
+        print(
+            "error: crash recovery needs a semi-external scenario "
+            "(use --scenario pcie or --scenario ssd)",
+            file=sys.stderr,
+        )
+        return 2
+    plan = scenario.fault_plan
+    if args.crash is not None:
+        crash = args.crash
+        if plan is None:
+            plan = crash
+        else:
+            plan = replace(
+                plan,
+                crash_at_s=crash.crash_at_s,
+                crash_at_level=crash.crash_at_level,
+                crash_torn=crash.crash_torn,
+            )
+    every = args.checkpoint_every if args.checkpoint_every > 0 else 2
+    obs = None
+    if args.obs is not None:
+        from repro.obs import Observability
+
+        obs = Observability()
+
+    n = 1 << args.scale
+    edges = EdgeList(
+        generate_edges(args.scale, edge_factor=args.edge_factor,
+                       seed=args.seed),
+        n,
+    )
+    csr = build_csr(edges)
+    forward = ForwardGraph(csr, scenario.topology)
+    backward = BackwardGraph(csr, scenario.topology)
+    root = int(np.flatnonzero(csr.degrees() > 0)[0])
+
+    def build_engine(workdir: Path, subdir: str, fault_plan):
+        # Only the crashed run is instrumented: the clean run exists to
+        # diff against, and giving both stores one session would
+        # interleave two unrelated simulated clocks in the trace.
+        store = NVMStore(
+            workdir / subdir,
+            scenario.device,
+            concurrency=scenario.topology.n_cores,
+            fault_plan=fault_plan,
+            obs=obs if subdir == "crashed" else None,
+        )
+        return SemiExternalBFS.offload(
+            forward=forward,
+            backward=backward,
+            policy=AlphaBetaPolicy(alpha=scenario.alpha, beta=scenario.beta),
+            store=store,
+        )
+
+    with tempfile.TemporaryDirectory(prefix="repro-recovery-") as tmp:
+        workdir = Path(tmp)
+        clean = build_engine(workdir, "clean", None).run(root)
+        rec = RecoverableBFS(
+            build_engine(workdir, "crashed", plan), checkpoint_every=every
+        )
+        print(f"scenario:         {scenario.name}")
+        print(f"scale/ef:         {args.scale} / {args.edge_factor}")
+        print(f"root:             {root}")
+        print(f"checkpoint every: {every} levels")
+        crash_exc = None
+        try:
+            result = rec.run(root)
+        except ProcessCrashError as exc:
+            crash_exc = exc
+            restored = load_run(rec.manager.dir)
+            print(
+                f"crashed:          after level {exc.level} "
+                f"at t={exc.crashed_at_s:.6f}s"
+            )
+            if restored.epoch >= 0:
+                print(
+                    f"restore:          epoch {restored.epoch} "
+                    f"({restored.n_epochs_seen} seen, "
+                    f"{restored.n_torn} torn)"
+                )
+            else:
+                print("restore:          no valid epoch; restarting")
+            result = rec.resume()
+        if crash_exc is None:
+            print("crashed:          no (crash point never reached)")
+        print(
+            f"checkpoints:      {rec.manager.n_checkpoints} epochs, "
+            f"{rec.manager.bytes_written} bytes"
+        )
+        identical = result.parent.tobytes() == clean.parent.tobytes()
+        validation = validate_bfs_tree(edges, result.parent, root)
+        print(f"byte-identical:   {identical}")
+        print(f"valid:            {validation.ok}")
+        if not validation.ok:
+            for v in validation.violations:
+                print(f"  violation: {v}")
+        if obs is not None:
+            paths = obs.export(args.obs)
+            for kind in ("jsonl", "chrome_trace", "prometheus"):
+                print(f"obs {kind}:       {paths[kind]}")
+        return 0 if identical and validation.ok else 1
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:

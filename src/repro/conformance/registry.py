@@ -38,10 +38,16 @@ from repro.core.config import ScenarioConfig, ScenarioKind
 from repro.csr import BackwardGraph, ForwardGraph, build_csr
 from repro.csr.graph import CSRGraph
 from repro.csr.io import offload_csr
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ProcessCrashError
 from repro.graph500.edgelist import EdgeList
 from repro.numa.topology import NumaTopology
 from repro.obs.session import NULL
+from repro.recovery import (
+    CheckpointManager,
+    QuerySnapshot,
+    RecoverableBFS,
+    load_run,
+)
 from repro.semiext.device import PCIE_FLASH, SATA_SSD, DeviceModel
 from repro.semiext.faults import FaultPlan
 from repro.semiext.storage import NVMStore
@@ -101,6 +107,11 @@ class TrialSetup:
                 "gc_pause_s": float(self.fault.gc_pause_s),
                 "fail_at_s": (None if self.fault.fail_at_s is None
                               else float(self.fault.fail_at_s)),
+                "crash_at_s": (None if self.fault.crash_at_s is None
+                               else float(self.fault.crash_at_s)),
+                "crash_at_level": (None if self.fault.crash_at_level is None
+                                   else int(self.fault.crash_at_level)),
+                "crash_torn": bool(self.fault.crash_torn),
             }
         return {
             "device": self.device,
@@ -197,6 +208,11 @@ class EngineSpec:
     schedule_sensitive:
         Consumes the α/β thresholds, so the schedule-invariance relation
         is meaningful.
+    recoverable:
+        Same signature as ``run``, but executes under the crash-recovery
+        subsystem: the setup's fault plan may inject a process crash,
+        and the runner checkpoints, resumes and returns the completed
+        tree.  ``None`` means the crash-resume relation does not apply.
     """
 
     name: str
@@ -204,6 +220,7 @@ class EngineSpec:
     external: bool = False
     schedule_sensitive: bool = False
     description: str = ""
+    recoverable: Runner | None = field(compare=False, default=None)
 
 
 _REGISTRY: dict[str, EngineSpec] = {}
@@ -321,8 +338,8 @@ def _run_fully_external(case: GraphCase, setup: TrialSetup, root: int,
     return engine.run(root)
 
 
-def _run_batched(case: GraphCase, setup: TrialSetup, root: int,
-                 workdir: Path) -> BFSResult:
+def _pinned_graph(case: GraphCase, setup: TrialSetup,
+                  workdir: Path) -> PinnedGraph:
     # The serving engine normally gets its graph from GraphCatalog, which
     # only builds Kronecker graphs — conformance (and shrunk repros) need
     # arbitrary edge lists, so pin the case's graph by hand.
@@ -340,7 +357,7 @@ def _run_batched(case: GraphCase, setup: TrialSetup, root: int,
         offload_csr(shard, store, f"forward.node{k}")
         for k, shard in enumerate(case.forward.shards)
     ]
-    graph = PinnedGraph(
+    return PinnedGraph(
         name="conformance",
         scenario=scenario,
         scale=0,
@@ -353,7 +370,72 @@ def _run_batched(case: GraphCase, setup: TrialSetup, root: int,
         beta=setup.beta,
         obs=NULL,
     )
+
+
+def _run_batched(case: GraphCase, setup: TrialSetup, root: int,
+                 workdir: Path) -> BFSResult:
+    graph = _pinned_graph(case, setup, workdir)
     return BatchedBFS(graph).run_batch([int(root)])[0]
+
+
+# -- crash-recovery runners (the crash_resume relation's subjects) -------------
+
+
+def _recoverable_semi_external(case: GraphCase, setup: TrialSetup, root: int,
+                               workdir: Path) -> BFSResult:
+    engine = SemiExternalBFS.offload(
+        forward=case.forward,
+        backward=case.backward,
+        policy=AlphaBetaPolicy(alpha=setup.alpha, beta=setup.beta),
+        store=_fresh_store(case, setup, workdir),
+    )
+    return RecoverableBFS(engine, checkpoint_every=1).run_with_recovery(root)
+
+
+def _recoverable_fully_external(case: GraphCase, setup: TrialSetup, root: int,
+                                workdir: Path) -> BFSResult:
+    engine = FullyExternalBFS.offload(
+        case.csr, _fresh_store(case, setup, workdir)
+    )
+    return RecoverableBFS(engine, checkpoint_every=1).run_with_recovery(root)
+
+
+def _recoverable_batched(case: GraphCase, setup: TrialSetup, root: int,
+                         workdir: Path) -> BFSResult:
+    """Batched engine under checkpoint + crash + resume (serve-tier path)."""
+    graph = _pinned_graph(case, setup, workdir)
+    store = graph.store
+    mgr = CheckpointManager(store, run_id="conformance", every=1, obs=NULL)
+
+    def hook(queries, rounds: int) -> None:
+        if any(q.active for q in queries):
+            mgr.save([QuerySnapshot(
+                key="conformance",
+                root=q.root,
+                level=q.level,
+                direction=q.direction.value,
+                prev_frontier=q.prev_frontier,
+                visited_deg_sum=q.visited_deg_sum,
+                parent=q.state.parent,
+                frontier_queue=q.state.frontier_queue,
+            ) for q in queries])
+        injector = store.injector
+        if injector is not None and injector.crash_due(
+            store.clock.now(), rounds - 1
+        ):
+            if injector.plan.crash_torn:
+                mgr.corrupt_last()
+            raise ProcessCrashError("injected batch crash", level=rounds - 1)
+
+    try:
+        return BatchedBFS(graph).run_batch([int(root)], checkpointer=hook)[0]
+    except ProcessCrashError:
+        restored = load_run(mgr.dir)
+        engine = BatchedBFS(graph)  # watchdog-style fresh engine
+        if restored.epoch < 0:
+            return engine.run_batch([int(root)])[0]
+        mgr.adopt(restored)
+        return engine.resume_batch(restored.queries, checkpointer=hook)[0]
 
 
 for _spec in (
@@ -369,11 +451,14 @@ for _spec in (
                description="hybrid engine with per-node worker threads"),
     EngineSpec("semi_external", _run_semi_external, external=True,
                schedule_sensitive=True,
-               description="forward graph offloaded to NVM (§V-A)"),
+               description="forward graph offloaded to NVM (§V-A)",
+               recoverable=_recoverable_semi_external),
     EngineSpec("fully_external", _run_fully_external, external=True,
-               description="whole CSR on NVM, top-down only"),
+               description="whole CSR on NVM, top-down only",
+               recoverable=_recoverable_fully_external),
     EngineSpec("batched", _run_batched, external=True,
                schedule_sensitive=True,
-               description="serving layer's multi-source batched engine"),
+               description="serving layer's multi-source batched engine",
+               recoverable=_recoverable_batched),
 ):
     register_engine(_spec)

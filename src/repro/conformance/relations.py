@@ -5,7 +5,8 @@ with, a metamorphic relation only needs the engine itself: transform the
 *input* in a way whose effect on the *output* is known exactly, run the
 engine twice, and compare.
 
-Four relations, from the paper's §IV validity argument:
+Five relations, from the paper's §IV validity argument plus the
+durability story:
 
 ``permutation``
     BFS is label-blind: relabeling vertices by a permutation π maps the
@@ -23,6 +24,12 @@ Four relations, from the paper's §IV validity argument:
     the NVM path, but the resilient reads deliver the same bytes: the
     parent array must match a clean run exactly — only iostats and the
     clock may differ.
+``crash_resume``
+    A seeded process crash at a mid-traversal level boundary, followed
+    by a resume from the newest valid checkpoint (possibly torn, forcing
+    the CRC fallback), must produce a parent array **bit-identical** to
+    an uninterrupted run — the engines are deterministic and a
+    checkpoint carries exactly their loop state.
 
 Each relation is a pure function of ``(engine spec, case, setup, root,
 seed)``; the seed pins every random draw so a failing relation replays
@@ -180,6 +187,31 @@ def _check_faults(spec: EngineSpec, case: GraphCase, setup: TrialSetup,
     )
 
 
+def _check_crash_resume(spec: EngineSpec, case: GraphCase, setup: TrialSetup,
+                        root: int, seed: int, workdir: Path) -> str | None:
+    """Crash + checkpoint-resume must reproduce the uninterrupted tree."""
+    rng = np.random.default_rng(seed)
+    crash_level = int(rng.integers(1, 4))
+    torn = bool(rng.integers(0, 2))
+    plan = FaultPlan(
+        seed=int(rng.integers(1 << 31)),
+        crash_at_level=crash_level,
+        crash_torn=torn,
+    )
+    clean = spec.run(case, replace(setup, fault=None), root, workdir)
+    recovered = spec.recoverable(
+        case, replace(setup, fault=plan), root, workdir
+    )
+    if np.array_equal(clean.parent, recovered.parent):
+        return None
+    v = int(np.flatnonzero(clean.parent != recovered.parent)[0])
+    return (
+        f"crash at level {crash_level} (torn={torn}) + resume changed the "
+        f"tree at vertex {v}: parent {int(clean.parent[v])} -> "
+        f"{int(recovered.parent[v])}"
+    )
+
+
 RELATIONS: dict[str, MetamorphicRelation] = {
     rel.name: rel
     for rel in (
@@ -200,6 +232,12 @@ RELATIONS: dict[str, MetamorphicRelation] = {
             "faults", _check_faults,
             applies=lambda spec: spec.external,
             description="recoverable device faults leave answers intact",
+        ),
+        MetamorphicRelation(
+            "crash_resume", _check_crash_resume,
+            applies=lambda spec: spec.recoverable is not None,
+            description="crash + checkpoint resume is bit-identical to "
+                        "an uninterrupted run",
         ),
     )
 }

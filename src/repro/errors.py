@@ -16,7 +16,9 @@ __all__ = [
     "TransientIOError",
     "DeviceFailedError",
     "ChecksumError",
+    "TruncatedFileError",
     "GraphFormatError",
+    "ProcessCrashError",
 ]
 
 
@@ -84,5 +86,33 @@ class ChecksumError(StorageError):
     """
 
 
+class TruncatedFileError(StorageError):
+    """A backing file shrank (or vanished) between runs.
+
+    Raised by :meth:`repro.semiext.storage.ExternalArray.reopen` when the
+    on-disk file no longer holds the array it was created with — the
+    durable anchor of a semi-external run is gone, so resuming against it
+    would read garbage.  Carries the path and the expected/actual sizes
+    in its message.
+    """
+
+
 class GraphFormatError(ReproError):
     """An edge list or CSR structure is malformed (e.g. non-monotone index)."""
+
+
+class ProcessCrashError(ReproError):
+    """The simulated process died mid-run (seeded crash injection).
+
+    Deliberately *not* a :class:`StorageError`: the engines' degraded-mode
+    handling absorbs device failures, but a process crash must propagate
+    all the way out of the engine so the recovery layer (or the serve
+    tier's watchdog) can restart from the last checkpoint.  Carries the
+    simulated time and BFS level at which the crash fired.
+    """
+
+    def __init__(self, message: str, *, crashed_at_s: float = 0.0,
+                 level: int | None = None) -> None:
+        super().__init__(message)
+        self.crashed_at_s = float(crashed_at_s)
+        self.level = level

@@ -92,6 +92,15 @@ M_SERVE_CACHE_MISSES = "serve.cache_misses_total"
 M_SERVE_CACHE_EVICTIONS = "serve.cache_evictions_total"
 M_SERVE_ROWS_REQUESTED = "serve.rows_requested_total"
 M_SERVE_ROWS_FETCHED = "serve.rows_fetched_total"
+M_REC_CHECKPOINTS = "recovery.checkpoints_total"
+M_REC_CHECKPOINT_BYTES = "recovery.checkpoint_bytes_total"
+M_REC_CHECKPOINT_SECONDS = "recovery.checkpoint_seconds_total"
+M_REC_RESTORES = "recovery.restores_total"
+M_REC_TORN_EPOCHS = "recovery.torn_epochs_total"
+M_REC_CRASHES = "recovery.crashes_total"
+M_REC_REQUEUES = "recovery.requeued_queries_total"
+M_REC_RETRIES = "recovery.retries_total"
+M_REC_WATCHDOG = "recovery.watchdog_restarts_total"
 M_CONF_TRIALS = "conformance.trials_total"
 M_CONF_CHECKS = "conformance.checks_total"
 M_CONF_FAILURES = "conformance.failures_total"
@@ -192,7 +201,7 @@ METRICS: tuple[MetricSpec, ...] = (
     MetricSpec(M_SERVE_REQUESTS, "counter", ("tenant",),
                "BFS query requests that arrived, by tenant."),
     MetricSpec(M_SERVE_REJECTED, "counter", ("reason",),
-               "Requests shed (reason=queue_full|degraded)."),
+               "Requests shed (reason=queue_full|degraded|deadline)."),
     MetricSpec(M_SERVE_SERVED, "counter", ("source",),
                "Requests completed, by answer source "
                "(source=cache|batched)."),
@@ -210,7 +219,7 @@ METRICS: tuple[MetricSpec, ...] = (
     MetricSpec(M_SERVE_CACHE_MISSES, "counter", (),
                "Result-cache lookups that required a traversal."),
     MetricSpec(M_SERVE_CACHE_EVICTIONS, "counter", ("cause",),
-               "Result-cache entries dropped (cause=lru|ttl)."),
+               "Result-cache entries dropped (cause=lru|ttl|stale)."),
     MetricSpec(M_SERVE_ROWS_REQUESTED, "counter", (),
                "Forward-graph rows the batched queries asked for "
                "(one count per query per row)."),
@@ -218,6 +227,30 @@ METRICS: tuple[MetricSpec, ...] = (
                "Unique forward-graph rows actually fetched for those "
                "requests; the requested/fetched ratio is the shared-chunk "
                "amortization factor."),
+    # -- crash recovery -------------------------------------------------------
+    MetricSpec(M_REC_CHECKPOINTS, "counter", (),
+               "Checkpoint epochs persisted to the NVM store."),
+    MetricSpec(M_REC_CHECKPOINT_BYTES, "counter", (),
+               "Bytes written into checkpoint epochs (the write-"
+               "amplification numerator; traversal bytes are the "
+               "denominator)."),
+    MetricSpec(M_REC_CHECKPOINT_SECONDS, "counter", (),
+               "Virtual seconds charged for checkpoint writes."),
+    MetricSpec(M_REC_RESTORES, "counter", (),
+               "Traversals resumed from a checkpoint."),
+    MetricSpec(M_REC_TORN_EPOCHS, "counter", (),
+               "Epochs rejected at restore time by CRC framing "
+               "(recovery fell back to the previous epoch)."),
+    MetricSpec(M_REC_CRASHES, "counter", (),
+               "Injected process crashes raised through an engine."),
+    MetricSpec(M_REC_REQUEUES, "counter", (),
+               "In-flight serve queries requeued after a crash."),
+    MetricSpec(M_REC_RETRIES, "counter", (),
+               "Serve-tier retry attempts (each preceded by an "
+               "exponential-backoff wait with seeded jitter)."),
+    MetricSpec(M_REC_WATCHDOG, "counter", (),
+               "Watchdog restarts of the batch engine from its last "
+               "checkpoint."),
     # -- conformance harness --------------------------------------------------
     MetricSpec(M_CONF_TRIALS, "counter", (),
                "Randomized (graph, scenario, root) triples executed."),
@@ -255,6 +288,11 @@ SPANS: tuple[str, ...] = (
     "serve.traversal",
     "serve.reject",
     "serve.complete",
+    "serve.retry",
+    "recovery.checkpoint",
+    "recovery.restore",
+    "recovery.crash",
+    "recovery.requeue",
     "conformance.trial",
     "conformance.shrink",
     "conformance.replay",

@@ -14,7 +14,10 @@ The two stock scenarios cover the paper's two performance claims:
   degradation on PCIe flash vs SSD relative to DRAM-only);
 * :func:`run_serve_batching` — the serving-tier restatement of §V
   device-traffic minimization (bytes/query amortization from batched
-  union-frontier fetches).
+  union-frontier fetches);
+* :func:`run_checkpoint_overhead` — the durability tax: checkpoint
+  write amplification and modeled-time overhead of the crash-recovery
+  subsystem at its default cadence (pinned ≤ 5 % of traversal bytes).
 """
 
 from __future__ import annotations
@@ -172,6 +175,96 @@ def run_serve_batching(seed: int, workdir: Path) -> BenchArtifact:
     )
 
 
+def run_checkpoint_overhead(seed: int, workdir: Path) -> BenchArtifact:
+    """The durability tax of level-boundary checkpointing.
+
+    One semi-external traversal on the PCIe-flash scenario, clean vs
+    wrapped in :class:`~repro.recovery.RecoverableBFS` at the default
+    cadence (every 2 levels, no crash).  The schedule is pinned
+    top-down so *every* level's edge scan reads the device — the
+    configuration where durability writes compete directly with
+    traversal reads (the hybrid schedule's NVM traffic is a sliver by
+    design, which would make any percentage meaningless).  Write
+    amplification is the checkpoint bytes written as a percentage of
+    the traversal's NVM bytes read — the delta-chain format keeps it
+    small (pinned ≤ 5 % by the committed baseline and
+    ``tests/test_recovery.py``); time overhead is the modeled-clock
+    cost of charging those writes.
+    """
+    from repro.bfs.metrics import Direction
+    from repro.bfs.policies import FixedPolicy
+    from repro.bfs.semi_external import SemiExternalBFS
+    from repro.csr import BackwardGraph, ForwardGraph, build_csr
+    from repro.graph500 import EdgeList, generate_edges
+    from repro.recovery import RecoverableBFS
+    from repro.semiext.storage import NVMStore
+
+    scale = 11
+    scenario = DRAM_PCIE_FLASH
+    n = 1 << scale
+    edges = EdgeList(generate_edges(scale, seed=seed), n)
+    csr = build_csr(edges)
+    forward = ForwardGraph(csr, scenario.topology)
+    backward = BackwardGraph(csr, scenario.topology)
+    root = int(np.flatnonzero(csr.degrees() > 0)[0])
+
+    def build(subdir: str) -> SemiExternalBFS:
+        store = NVMStore(
+            workdir / subdir,
+            scenario.device,
+            concurrency=scenario.topology.n_cores,
+        )
+        return SemiExternalBFS.offload(
+            forward=forward,
+            backward=backward,
+            policy=FixedPolicy(Direction.TOP_DOWN),
+            store=store,
+        )
+
+    clean_engine = build("clean")
+    t0 = clean_engine.store.clock.now()
+    clean_engine.run(root)
+    clean_s = clean_engine.store.clock.now() - t0
+
+    ckpt_engine = build("ckpt")
+    rec = RecoverableBFS(ckpt_engine, checkpoint_every=2)
+    t0 = ckpt_engine.store.clock.now()
+    rec.run(root)
+    ckpt_s = ckpt_engine.store.clock.now() - t0
+
+    # charge_write never touches the read-side iostats, so total_bytes
+    # is exactly the traversal's NVM read traffic.
+    traversal_bytes = ckpt_engine.store.iostats.total_bytes
+    ckpt_bytes = rec.manager.bytes_written
+    amp_pct = 100.0 * ckpt_bytes / traversal_bytes if traversal_bytes else 0.0
+    time_pct = 100.0 * (ckpt_s - clean_s) / clean_s if clean_s else 0.0
+    metrics = {
+        "traversal_nvm_bytes": BenchMetric(
+            float(traversal_bytes), "B", False
+        ),
+        "checkpoint_bytes": BenchMetric(float(ckpt_bytes), "B", False),
+        "write_amplification_pct": BenchMetric(
+            amp_pct, "%", False, tolerance=0.10
+        ),
+        "time_overhead_pct": BenchMetric(
+            time_pct, "%", False, tolerance=0.25
+        ),
+        "n_epochs": BenchMetric(float(rec.manager.n_checkpoints), "", False),
+    }
+    return BenchArtifact(
+        name="checkpoint_overhead",
+        description="Checkpoint write amplification and modeled-time "
+                    "overhead at the default cadence (every 2 levels).",
+        seed=seed,
+        params={
+            "scale": scale, "edge_factor": 16, "checkpoint_every": 2,
+            "schedule": "top_down",
+        },
+        simulated_seconds=clean_s + ckpt_s,
+        metrics=metrics,
+    )
+
+
 SCENARIOS: tuple[BenchScenario, ...] = (
     BenchScenario(
         name="fig11_degradation",
@@ -184,6 +277,13 @@ SCENARIOS: tuple[BenchScenario, ...] = (
         description="Serving bytes/query amortization, batch 1 vs 8.",
         paper_ref="PAPER.md §V (device-traffic minimization)",
         runner=run_serve_batching,
+    ),
+    BenchScenario(
+        name="checkpoint_overhead",
+        description="Crash-recovery checkpoint write amplification "
+                    "and time overhead.",
+        paper_ref="PAPER.md §V (semi-external durability)",
+        runner=run_checkpoint_overhead,
     ),
 )
 

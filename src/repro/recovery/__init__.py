@@ -1,0 +1,23 @@
+"""Crash recovery: checkpointed traversals, crash injection, resume.
+
+See ``docs/recovery.md`` for the checkpoint format, the crash-injection
+knobs and a resume walkthrough.
+"""
+
+from repro.recovery.checkpoint import (
+    CheckpointManager,
+    QuerySnapshot,
+    RestoredQuery,
+    RestoredRun,
+    load_run,
+)
+from repro.recovery.resume import RecoverableBFS
+
+__all__ = [
+    "CheckpointManager",
+    "QuerySnapshot",
+    "RestoredQuery",
+    "RestoredRun",
+    "load_run",
+    "RecoverableBFS",
+]

@@ -75,6 +75,22 @@ class FaultPlan:
         Simulated time at which the device fails hard; every attempt at
         or after this instant raises
         :class:`~repro.errors.DeviceFailedError`.  ``None`` = never.
+    crash_at_s:
+        Simulated time at which the *process* dies.  Checked at level
+        boundaries by the checkpointing engines; the first boundary at or
+        after this instant raises
+        :class:`~repro.errors.ProcessCrashError` through the engine.
+        One-shot: the injector disarms after firing, modeling a process
+        restart that does not immediately re-crash.  ``None`` = never.
+    crash_at_level:
+        BFS level boundary at which the process dies (the crash fires
+        after level ``crash_at_level`` completes and its checkpoint is
+        written).  One-shot like ``crash_at_s``.  ``None`` = never.
+    crash_torn:
+        When the crash fires, the checkpoint epoch written at that
+        boundary is torn (its CRC frame is corrupted on disk), so
+        recovery must detect the bad epoch and fall back to the previous
+        one.
     """
 
     seed: int = 0
@@ -83,6 +99,9 @@ class FaultPlan:
     gc_rate: float = 0.0
     gc_pause_s: float = 5e-3
     fail_at_s: float | None = None
+    crash_at_s: float | None = None
+    crash_at_level: int | None = None
+    crash_torn: bool = False
 
     def __post_init__(self) -> None:
         for name in ("error_rate", "torn_rate", "gc_rate"):
@@ -98,6 +117,21 @@ class FaultPlan:
             raise ConfigurationError(f"negative gc_pause_s: {self.gc_pause_s}")
         if self.fail_at_s is not None and self.fail_at_s < 0:
             raise ConfigurationError(f"negative fail_at_s: {self.fail_at_s}")
+        if self.crash_at_s is not None and self.crash_at_s < 0:
+            raise ConfigurationError(f"negative crash_at_s: {self.crash_at_s}")
+        if self.crash_at_level is not None and self.crash_at_level < 0:
+            raise ConfigurationError(
+                f"negative crash_at_level: {self.crash_at_level}"
+            )
+        if self.crash_torn and not self.crashes:
+            raise ConfigurationError(
+                "crash_torn requires crash_at_s or crash_at_level"
+            )
+
+    @property
+    def crashes(self) -> bool:
+        """Whether this plan schedules a process crash."""
+        return self.crash_at_s is not None or self.crash_at_level is not None
 
     @property
     def active(self) -> bool:
@@ -107,6 +141,7 @@ class FaultPlan:
             or self.torn_rate > 0
             or self.gc_rate > 0
             or self.fail_at_s is not None
+            or self.crashes
         )
 
     @classmethod
@@ -123,6 +158,7 @@ class FaultPlan:
 
             error_rate=0.02,gc_rate=0.01,gc_pause_ms=5,seed=7
             fail_at_s=0.25,seed=3
+            crash_at_level=3,crash_torn=1,seed=11
             none
 
         >>> FaultPlan.parse("error_rate=0.05,seed=9").error_rate
@@ -131,7 +167,7 @@ class FaultPlan:
         spec = spec.strip()
         if spec in ("", "none"):
             return cls.none()
-        kwargs: dict[str, float | int | None] = {}
+        kwargs: dict[str, float | int | bool | None] = {}
         for item in spec.split(","):
             if "=" not in item:
                 raise ConfigurationError(
@@ -141,18 +177,23 @@ class FaultPlan:
             key = key.strip()
             value = value.strip()
             try:
-                if key == "seed":
-                    kwargs["seed"] = int(value)
+                if key in ("seed", "crash_at_level"):
+                    kwargs[key] = int(value)
                 elif key == "gc_pause_ms":
                     kwargs["gc_pause_s"] = float(value) / 1e3
+                elif key == "crash_torn":
+                    if value.lower() not in ("0", "1", "true", "false"):
+                        raise ValueError(value)
+                    kwargs["crash_torn"] = value.lower() in ("1", "true")
                 elif key in ("error_rate", "torn_rate", "gc_rate",
-                             "gc_pause_s", "fail_at_s"):
+                             "gc_pause_s", "fail_at_s", "crash_at_s"):
                     kwargs[key] = float(value)
                 else:
                     raise ConfigurationError(
                         f"unknown fault spec key {key!r} "
                         "(expected error_rate, torn_rate, gc_rate, "
-                        "gc_pause_s/gc_pause_ms, fail_at_s, seed)"
+                        "gc_pause_s/gc_pause_ms, fail_at_s, crash_at_s, "
+                        "crash_at_level, crash_torn, seed)"
                     )
             except ValueError:
                 raise ConfigurationError(
@@ -191,10 +232,38 @@ class FaultInjector:
         self.plan = plan
         self._rng = np.random.default_rng(plan.seed)
         self.n_draws = 0
+        self._crash_armed = plan.crashes
 
     def hard_failed(self, now_s: float) -> bool:
         """Whether the device is hard-failed at simulated time ``now_s``."""
         return self.plan.fail_at_s is not None and now_s >= self.plan.fail_at_s
+
+    @property
+    def crash_armed(self) -> bool:
+        """Whether the plan's process crash has not fired yet."""
+        return self._crash_armed
+
+    def crash_due(self, now_s: float, level: int | None = None) -> bool:
+        """One-shot process-crash check at a level boundary.
+
+        Returns ``True`` (and disarms — a restarted process does not
+        immediately re-crash) when the plan's crash trigger is reached:
+        the simulated clock is at or past ``crash_at_s``, or the engine
+        just completed level ``crash_at_level``.
+        """
+        if not self._crash_armed:
+            return False
+        plan = self.plan
+        due = (
+            plan.crash_at_s is not None and now_s >= plan.crash_at_s
+        ) or (
+            plan.crash_at_level is not None
+            and level is not None
+            and level >= plan.crash_at_level
+        )
+        if due:
+            self._crash_armed = False
+        return due
 
     def draw(self) -> FaultOutcome:
         """Decide the fate of the next read attempt."""

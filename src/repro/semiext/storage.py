@@ -34,6 +34,7 @@ from repro.errors import (
     DeviceFailedError,
     StorageError,
     TransientIOError,
+    TruncatedFileError,
 )
 from repro.semiext.clock import SimulatedClock
 from repro.semiext.device import BatchResult, DeviceModel
@@ -317,6 +318,33 @@ class NVMStore:
             bytes=plan.total_bytes,
         ):
             return self._service_resilient(plan, think_time_s, file_key)
+
+    def charge_write(self, nbytes: int, file_key: str = "") -> float:
+        """Charge the device for a sequential write of ``nbytes``.
+
+        Checkpoint persistence is BFS-phase I/O — unlike graph
+        construction (:meth:`put_array`, uncharged by the Graph500
+        rules), it must cost simulated time on the same axis as the
+        traversal's reads.  The device model only parameterizes reads, so
+        a write is modeled as the same sequential stream: one request
+        per ``max_request_bytes`` window, each paying the device latency,
+        plus the transfer at the device's bandwidth.  The clock advances;
+        the read-side iostat meters are untouched (``iostat`` splits
+        read/write columns, and the paper's figures read the read side).
+        Returns the modeled elapsed seconds.
+        """
+        if nbytes < 0:
+            raise StorageError(f"negative write size: {nbytes}")
+        if nbytes == 0:
+            return 0.0
+        n_requests = -(-int(nbytes) // self.max_request_bytes)
+        elapsed = (
+            n_requests * self.device.read_latency_s
+            + int(nbytes) / self.device.read_bandwidth_bps
+        )
+        with self._charge_lock:
+            self.clock.advance(elapsed)
+        return elapsed
 
     def _service_once(self, plan, think_time_s: float) -> BatchResult:
         """Solve one batch submission through the device model (no side
@@ -698,28 +726,38 @@ class ExternalArray:
         The public recovery path after anything touched the file behind
         the mapping's back: checks the file exists and still holds
         exactly ``nbytes`` before mapping, so truncation surfaces as a
-        typed :class:`~repro.errors.StorageError` instead of a later
-        memmap ``ValueError`` (or, worse, silent garbage).  When the
-        owning store verifies checksums, the file content is re-verified
-        against the recorded CRCs too.  Idempotent; also reopens a
-        previously :meth:`close`-d handle.
+        typed :class:`~repro.errors.TruncatedFileError` instead of a
+        later memmap ``ValueError`` (or, worse, silent garbage).  When
+        the owning store verifies checksums, the file content is
+        re-verified against the recorded CRCs too.  Idempotent; also
+        reopens a previously :meth:`close`-d handle.
         """
         if self.size == 0:
             self._mm = np.empty(0, dtype=self.dtype)
             return
         if not self.path.exists():
-            raise StorageError(
+            raise TruncatedFileError(
                 f"array {self.name!r}: backing file {self.path} is missing"
             )
         actual = self.path.stat().st_size
         if actual != self.nbytes:
-            raise StorageError(
-                f"array {self.name!r}: backing file holds {actual} bytes, "
-                f"expected {self.nbytes} (truncated or overwritten)"
+            raise TruncatedFileError(
+                f"array {self.name!r}: backing file {self.path} holds "
+                f"{actual} bytes, expected {self.nbytes} "
+                f"(truncated or overwritten)"
             )
-        self._mm = np.memmap(
-            self.path, dtype=self.dtype, mode="r", shape=self.shape
-        )
+        try:
+            self._mm = np.memmap(
+                self.path, dtype=self.dtype, mode="r", shape=self.shape
+            )
+        except (OSError, ValueError) as exc:
+            # The stat raced a concurrent truncation, or the mapping
+            # itself failed — still a storage-layer problem, never a
+            # bare OSError for callers to guess at.
+            raise TruncatedFileError(
+                f"array {self.name!r}: backing file {self.path} could "
+                f"not be mapped ({exc})"
+            ) from exc
         recorded = self.store._checksums.get(self.name)
         if recorded is not None:
             fresh = _page_checksums(

@@ -71,6 +71,33 @@ class _Query:
         self.level = 0
         self.traces: list[LevelTrace] = []
 
+    @classmethod
+    def restore(cls, graph: PinnedGraph, snap) -> "_Query":
+        """Rebuild mid-traversal state from a restored checkpoint query.
+
+        ``snap`` is a :class:`~repro.recovery.checkpoint.RestoredQuery`
+        (duck-typed to avoid the import).  The α/β policy is stateless
+        between levels, so a fresh, reset policy plus the restored cursor
+        fields replays the remaining levels bit-identically.
+        """
+        q = cls.__new__(cls)
+        q.root = int(snap.root)
+        q.state = BFSState.restore(
+            graph.n_vertices,
+            graph.topology,
+            snap.root,
+            snap.parent,
+            snap.frontier_queue,
+        )
+        q.policy = graph.make_policy()
+        q.policy.reset()
+        q.direction = Direction(snap.direction)
+        q.prev_frontier = int(snap.prev_frontier)
+        q.visited_deg_sum = int(snap.visited_deg_sum)
+        q.level = int(snap.level)
+        q.traces = []
+        return q
+
     @property
     def active(self) -> bool:
         return self.state.frontier_size > 0
@@ -105,7 +132,10 @@ class BatchedBFS:
         return self._degraded or self.graph.circuit_open
 
     def run_batch(
-        self, roots: list[int], max_levels: int | None = None
+        self,
+        roots: list[int],
+        max_levels: int | None = None,
+        checkpointer=None,
     ) -> list[BFSResult]:
         """Traverse from every root concurrently; one result per root.
 
@@ -113,23 +143,59 @@ class BatchedBFS:
         duplicate queries share one traversal by construction).
         ``max_levels`` is the tests' safety valve, as in
         :meth:`repro.bfs.hybrid.HybridBFS.run`.
+
+        ``checkpointer`` is the batch analogue of the single-engine
+        level-boundary hook: called as ``checkpointer(queries, rounds)``
+        after every completed round with *all* per-query states (each
+        exposing ``root``/``level``/``direction``/``prev_frontier``/
+        ``visited_deg_sum``/``state``), so the serve tier can persist an
+        epoch and inject crashes.
         """
         if len(set(int(r) for r in roots)) != len(roots):
             raise ConfigurationError("batch roots must be unique")
         if not roots:
             return []
+        queries = [_Query(self.graph, r) for r in roots]
+        for _ in queries:
+            self.obs.counter(M_BFS_RUNS, engine="BatchedBFS").inc()
+        return self._execute(queries, 0, max_levels, checkpointer)
+
+    def resume_batch(
+        self,
+        restored: list,
+        max_levels: int | None = None,
+        checkpointer=None,
+    ) -> list[BFSResult]:
+        """Re-enter a batch from restored checkpoint queries.
+
+        ``restored`` holds
+        :class:`~repro.recovery.checkpoint.RestoredQuery` snapshots (one
+        per query, already-finished ones included — their empty frontier
+        just yields the recorded tree).  The continued traversal is
+        bit-identical to one that never crashed; traces cover the
+        resumed rounds only, and ``bfs.runs_total`` is not re-counted.
+        """
+        if not restored:
+            return []
+        queries = [_Query.restore(self.graph, snap) for snap in restored]
+        rounds = max(q.level for q in queries)
+        return self._execute(queries, rounds, max_levels, checkpointer)
+
+    def _execute(
+        self,
+        queries: list[_Query],
+        rounds: int,
+        max_levels: int | None,
+        checkpointer,
+    ) -> list[BFSResult]:
         graph = self.graph
         clock = graph.clock
         obs = self.obs
-        queries = [_Query(graph, r) for r in roots]
-        for _ in queries:
-            obs.counter(M_BFS_RUNS, engine="BatchedBFS").inc()
         wall = Timer()
         t_batch0 = clock.now()
         with obs.span(
             "serve.traversal", graph=graph.name, queries=len(queries)
         ), wall:
-            rounds = 0
             while True:
                 active = [q for q in queries if q.active]
                 if not active:
@@ -138,6 +204,8 @@ class BatchedBFS:
                     break
                 self._run_round(active)
                 rounds += 1
+                if checkpointer is not None:
+                    checkpointer(queries, rounds)
         t_batch1 = clock.now()
         results = []
         for q in queries:

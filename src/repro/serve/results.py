@@ -74,6 +74,7 @@ class ResultCache:
         self.misses = 0
         self.evictions_lru = 0
         self.evictions_ttl = 0
+        self.evictions_stale = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -120,6 +121,26 @@ class ResultCache:
             traversed_edges=int(traversed_edges),
             stored_at_s=self.clock.now(),
         )
+
+    def invalidate_stale(self, graph: str, as_of_s: float) -> int:
+        """Drop ``graph`` entries stored *after* simulated time ``as_of_s``.
+
+        The stale-read guard of crash recovery: when a graph resumes
+        from a checkpoint taken at ``as_of_s``, any answer cached after
+        that point was produced by work the rollback logically discarded
+        and must not be served again.  Entries at or before the
+        checkpoint are consistent and stay.  Returns the number dropped;
+        each counts as a ``cause="stale"`` eviction.
+        """
+        stale = [
+            key for key, entry in self._entries.items()
+            if key[0] == graph and entry.stored_at_s > as_of_s
+        ]
+        for key in stale:
+            del self._entries[key]
+            self.evictions_stale += 1
+            self.obs.counter(M_SERVE_CACHE_EVICTIONS, cause="stale").inc()
+        return len(stale)
 
     def __repr__(self) -> str:
         return (

@@ -24,16 +24,21 @@ __all__ = ["RejectionStats", "AdmissionQueue"]
 
 @dataclass
 class RejectionStats:
-    """Backpressure accounting: what was shed, and why."""
+    """Backpressure accounting: what was shed, and why.
+
+    ``deadline`` counts requests aborted because their per-request
+    latency budget expired before (or while) they could be answered.
+    """
 
     queue_full: int = 0
     degraded: int = 0
+    deadline: int = 0
     by_tenant: dict[str, int] = field(default_factory=dict)
 
     @property
     def total(self) -> int:
         """All rejected requests."""
-        return self.queue_full + self.degraded
+        return self.queue_full + self.degraded + self.deadline
 
     def record(self, request: Request, reason: str) -> None:
         """Count one rejection under ``reason``."""
@@ -41,6 +46,8 @@ class RejectionStats:
             self.queue_full += 1
         elif reason == "degraded":
             self.degraded += 1
+        elif reason == "deadline":
+            self.deadline += 1
         else:
             raise ConfigurationError(f"unknown rejection reason {reason!r}")
         self.by_tenant[request.tenant] = (
@@ -82,6 +89,27 @@ class AdmissionQueue:
         self._tenants.setdefault(request.tenant, deque()).append(request)
         self._depth += 1
         return True
+
+    def requeue(self, requests: list[Request]) -> None:
+        """Put crashed-batch requests back at the *head* of their queues.
+
+        ``requests`` must be in their original admission order.  Each
+        tenant's slice is pushed back onto the front of that tenant's
+        FIFO, so a recovered request keeps its place ahead of everything
+        admitted after it, and the tenant keeps its round-robin position
+        (tenants are never removed from the rotation, only drained).
+        Capacity is deliberately bypassed: these requests were already
+        admitted once, and crash recovery must not shed admitted work —
+        at-most-once completion is enforced downstream by the server.
+        """
+        by_tenant: dict[str, list[Request]] = {}
+        for r in requests:
+            by_tenant.setdefault(r.tenant, []).append(r)
+        for tenant, rs in by_tenant.items():
+            q = self._tenants.setdefault(tenant, deque())
+            for r in reversed(rs):
+                q.appendleft(r)
+            self._depth += len(rs)
 
     def next_batch(self, batch_size: int) -> list[Request]:
         """Dequeue up to ``batch_size`` requests, round-robin per tenant.

@@ -19,6 +19,27 @@ fair round-robin batch and answers it in three tiers:
 
 Latency is measured on the simulated clock (completion minus arrival),
 so the whole serve — metrics included — is deterministic per seed.
+
+**Crash recovery** (``checkpoint_every > 0``): each batched traversal
+checkpoints its per-query state every N rounds through a
+:class:`~repro.recovery.checkpoint.CheckpointManager`, and the store's
+fault plan may inject a seeded
+:class:`~repro.errors.ProcessCrashError` at a round boundary.  On a
+crash the server's watchdog discards the dead engine, backs off
+exponentially (deterministic seeded jitter), reloads the newest valid
+checkpoint (torn epochs fall back by CRC), invalidates cache entries
+newer than the checkpoint, and **requeues** the in-flight requests at
+the head of the admission queue — the next batch resumes the traversal
+from the checkpoint instead of restarting it.  A completed-request
+guard makes completion at-most-once: ``serve.complete`` never fires
+twice for one request, even across requeues.  The serve loop drains
+gracefully — it returns only once every admitted request has been
+completed or explicitly rejected, crashes included.
+
+Per-request **deadlines** (:attr:`~repro.serve.workload.Request.deadline_s`)
+are enforced at batch formation and again at completion: a request whose
+latency budget has expired is aborted with a ``deadline`` rejection
+through ``serve.reject`` instead of completing late.
 """
 
 from __future__ import annotations
@@ -26,7 +47,14 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 
+from repro.errors import ProcessCrashError
 from repro.obs.schema import (
+    M_REC_CRASHES,
+    M_REC_REQUEUES,
+    M_REC_RESTORES,
+    M_REC_RETRIES,
+    M_REC_TORN_EPOCHS,
+    M_REC_WATCHDOG,
     M_SERVE_BATCH_QUERIES,
     M_SERVE_BATCHES,
     M_SERVE_LATENCY,
@@ -36,11 +64,18 @@ from repro.obs.schema import (
     M_SERVE_SERVED,
 )
 from repro.obs.session import Observability
+from repro.recovery.checkpoint import (
+    CheckpointManager,
+    QuerySnapshot,
+    RestoredRun,
+    load_run,
+)
 from repro.serve.catalog import GraphCatalog
 from repro.serve.engine import BatchedBFS
 from repro.serve.results import ResultCache
 from repro.serve.scheduler import AdmissionQueue, RejectionStats
 from repro.serve.workload import Request
+from repro.util.rng import derive_rng
 
 __all__ = ["ServedRequest", "ServeReport", "BFSServer"]
 
@@ -61,7 +96,10 @@ class ServeReport:
     """Everything one :meth:`BFSServer.serve` run produced.
 
     ``completions`` are in completion order; ``rejected`` pairs each shed
-    request with its reason (``queue_full`` or ``degraded``).
+    request with its reason (``queue_full``, ``degraded`` or
+    ``deadline``).  The ``n_crashes``/``n_requeued``/``n_retries``/
+    ``n_watchdog_restarts``/``stale_invalidated`` counters mirror the
+    ``recovery.*`` metric series for callers without an obs registry.
     """
 
     completions: list[ServedRequest] = field(default_factory=list)
@@ -75,6 +113,11 @@ class ServeReport:
     rows_fetched: int = 0
     nvm_bytes_read: int = 0
     duration_s: float = 0.0
+    n_crashes: int = 0
+    n_requeued: int = 0
+    n_retries: int = 0
+    n_watchdog_restarts: int = 0
+    stale_invalidated: int = 0
 
     @property
     def n_requests(self) -> int:
@@ -122,6 +165,21 @@ class BFSServer:
         Bound of the admission queue; arrivals beyond it are rejected.
     cache_capacity / cache_ttl_s:
         Result-cache sizing (see :class:`~repro.serve.results.ResultCache`).
+    checkpoint_every:
+        Traversal checkpoint cadence in batch rounds; ``0`` (the
+        default) disables checkpointing *and* crash handling entirely —
+        the server then behaves exactly as before this subsystem
+        existed.
+    max_retries:
+        Crash-recovery retry budget per graph; one more crash re-raises
+        the :class:`~repro.errors.ProcessCrashError`.
+    backoff_base_s / backoff_factor:
+        Exponential backoff between a crash and its retry: attempt *k*
+        waits ``base * factor**(k-1)`` seconds, scaled by a
+        deterministic seeded jitter in ``[0.5, 1.5)``.
+    retry_seed:
+        Seed of the jitter RNG (recovery timing is reproducible per
+        seed, like everything else here).
     obs:
         Observability session; defaults to the catalog's.
     """
@@ -134,6 +192,11 @@ class BFSServer:
         cache_capacity: int = 256,
         cache_ttl_s: float | None = None,
         obs: Observability | None = None,
+        checkpoint_every: int = 0,
+        max_retries: int = 3,
+        backoff_base_s: float = 1e-4,
+        backoff_factor: float = 2.0,
+        retry_seed: int = 0,
     ) -> None:
         self.catalog = catalog
         self.batch_size = int(batch_size)
@@ -147,6 +210,16 @@ class BFSServer:
             obs=self.obs,
         )
         self._engines: dict[str, BatchedBFS] = {}
+        self.checkpoint_every = int(checkpoint_every)
+        self.max_retries = int(max_retries)
+        self.backoff_base_s = float(backoff_base_s)
+        self.backoff_factor = float(backoff_factor)
+        self._retry_rng = derive_rng(retry_seed, "serve", "retry")
+        self._managers: dict[str, CheckpointManager] = {}
+        self._resume: dict[str, RestoredRun] = {}
+        self._crash_attempts: dict[str, int] = {}
+        self._done_ids: set[int] = set()
+        self._batch_seq = 0
 
     def engine_for(self, name: str) -> BatchedBFS:
         """The (persistent) batched engine for catalog graph ``name``."""
@@ -157,7 +230,13 @@ class BFSServer:
         return engine
 
     def serve(self, requests: list[Request]) -> ServeReport:
-        """Replay ``requests`` to completion and return the full report."""
+        """Replay ``requests`` to completion and return the full report.
+
+        The loop drains gracefully: it returns only once every admitted
+        request has completed or been explicitly rejected — requests
+        requeued by crash recovery are picked up again on a later
+        iteration, never dropped.
+        """
         clock = self.catalog.clock
         obs = self.obs
         report = ServeReport()
@@ -178,7 +257,9 @@ class BFSServer:
             obs.gauge(M_SERVE_QUEUE_DEPTH).set(queue.depth)
             batch = queue.next_batch(self.batch_size)
             if batch:
-                self._serve_batch(batch, report)
+                batch = self._enforce_deadlines(batch, report)
+            if batch:
+                self._serve_batch(batch, report, queue)
         report.duration_s = clock.now() - t_serve0
         report.cache_hits = self.cache.hits
         report.cache_misses = self.cache.misses
@@ -211,9 +292,27 @@ class BFSServer:
             root=request.root,
         )
 
+    def _enforce_deadlines(self, batch: list[Request],
+                           report: ServeReport) -> list[Request]:
+        """Abort batch members whose latency budget already expired."""
+        now = self.catalog.clock.now()
+        kept: list[Request] = []
+        for r in batch:
+            if r.deadline_s is not None and now > r.arrival_s + r.deadline_s:
+                self._reject(report, r, "deadline")
+            else:
+                kept.append(r)
+        return kept
+
     def _complete(self, report: ServeReport, request: Request,
                   completed_s: float, source: str,
                   traversed_edges: int) -> None:
+        # At-most-once: a request requeued by crash recovery may cross
+        # paths with an already-recorded answer; never double-fire
+        # serve.complete for the same request object.
+        if id(request) in self._done_ids:
+            return
+        self._done_ids.add(id(request))
         latency = completed_s - request.arrival_s
         report.completions.append(ServedRequest(
             request=request,
@@ -232,7 +331,8 @@ class BFSServer:
         )
 
     def _serve_batch(self, batch: list[Request],
-                     report: ServeReport) -> None:
+                     report: ServeReport,
+                     queue: AdmissionQueue) -> None:
         clock = self.catalog.clock
         obs = self.obs
         with obs.span("serve.batch", size=len(batch)):
@@ -255,15 +355,16 @@ class BFSServer:
                     to_run.setdefault(r.graph, []).append(r)
             n_queries = 0
             answered: dict[tuple[str, int], int] = {}
+            crashed: set[str] = set()
             for name in sorted(to_run):
                 with self.catalog.open(name):
-                    engine = self.engine_for(name)
-                    roots = sorted({r.root for r in to_run[name]})
-                    n_queries += len(roots)
-                    for res in engine.run_batch(roots):
-                        self.cache.put(name, res.root, res.parent,
-                                       res.traversed_edges)
-                        answered[(name, res.root)] = res.traversed_edges
+                    try:
+                        n_queries += self._answer_graph(
+                            name, to_run[name], answered
+                        )
+                    except ProcessCrashError:
+                        crashed.add(name)
+                        self._recover(name, to_run[name], queue, report)
             if n_queries:
                 report.n_batches += 1
                 report.n_traversals += n_queries
@@ -271,9 +372,159 @@ class BFSServer:
                 obs.histogram(M_SERVE_BATCH_QUERIES).observe(n_queries)
             t_done = clock.now()
             for name in sorted(to_run):
+                if name in crashed:
+                    continue  # requeued; a later batch answers them
                 for r in to_run[name]:
-                    self._complete(report, r, t_done, "batched",
-                                   answered[(name, r.root)])
+                    if (r.deadline_s is not None
+                            and t_done > r.arrival_s + r.deadline_s):
+                        # Timeout abort: the traversal ran (and its
+                        # result is cached), but the answer is late.
+                        self._reject(report, r, "deadline")
+                    else:
+                        self._complete(report, r, t_done, "batched",
+                                       answered[(name, r.root)])
+
+    def _answer_graph(self, name: str, reqs: list[Request],
+                      answered: dict[tuple[str, int], int]) -> int:
+        """Traverse one graph's misses, resuming a crashed batch if any.
+
+        Returns the number of traversals run.  Raises
+        :class:`~repro.errors.ProcessCrashError` when the store's fault
+        plan injects a crash mid-batch.
+        """
+        roots = sorted({r.root for r in reqs})
+        rootset = set(roots)
+        engine = self.engine_for(name)
+        results = []
+        remaining = roots
+        restored = self._resume.pop(name, None)
+        if restored is not None:
+            # Watchdog path: re-enter the checkpointed traversal on the
+            # (fresh) engine instead of restarting from the roots.
+            hook = self._checkpoint_hook(name, self._managers[name])
+            resumable = [q for q in restored.queries if q.root in rootset]
+            if resumable:
+                results.extend(
+                    engine.resume_batch(resumable, checkpointer=hook)
+                )
+            remaining = sorted(rootset - {q.root for q in resumable})
+        if remaining:
+            hook = None
+            if self.checkpoint_every > 0:
+                mgr = self._fresh_manager(name)
+                if mgr is not None:
+                    hook = self._checkpoint_hook(name, mgr)
+            results.extend(engine.run_batch(remaining, checkpointer=hook))
+        for res in results:
+            self.cache.put(name, res.root, res.parent, res.traversed_edges)
+            answered[(name, res.root)] = res.traversed_edges
+        self._crash_attempts.pop(name, None)
+        return len(results)
+
+    # -- crash recovery --------------------------------------------------------
+
+    def _fresh_manager(self, name: str) -> CheckpointManager | None:
+        """A new checkpoint chain for one batch over graph ``name``."""
+        store = self.catalog.get(name).store
+        if store is None:
+            return None
+        self._batch_seq += 1
+        mgr = CheckpointManager(
+            store,
+            run_id=f"serve-{name}-b{self._batch_seq}",
+            every=self.checkpoint_every,
+            obs=self.obs,
+        )
+        self._managers[name] = mgr
+        return mgr
+
+    def _checkpoint_hook(self, name: str, mgr: CheckpointManager):
+        """The per-round hook: persist an epoch, then maybe crash."""
+        store = self.catalog.get(name).store
+        clock = self.catalog.clock
+        obs = self.obs
+
+        def hook(queries, rounds: int) -> None:
+            if rounds % mgr.every == 0 and any(q.active for q in queries):
+                mgr.save([QuerySnapshot(
+                    key=name,
+                    root=q.root,
+                    level=q.level,
+                    direction=q.direction.value,
+                    prev_frontier=q.prev_frontier,
+                    visited_deg_sum=q.visited_deg_sum,
+                    parent=q.state.parent,
+                    frontier_queue=q.state.frontier_queue,
+                ) for q in queries])
+            injector = store.injector if store is not None else None
+            now = clock.now()
+            if injector is not None and injector.crash_due(now, rounds - 1):
+                if injector.plan.crash_torn:
+                    mgr.corrupt_last()
+                obs.counter(M_REC_CRASHES).inc()
+                obs.event(
+                    "recovery.crash", graph=name, round=rounds - 1, t=now
+                )
+                raise ProcessCrashError(
+                    f"injected crash in batch over {name!r} after round "
+                    f"{rounds - 1} at t={now:.6f}s",
+                    crashed_at_s=now,
+                    level=rounds - 1,
+                )
+
+        return hook
+
+    def _recover(self, name: str, reqs: list[Request],
+                 queue: AdmissionQueue, report: ServeReport) -> None:
+        """Watchdog: restart the engine, reload the checkpoint, requeue.
+
+        The in-flight requests go back to the *head* of the admission
+        queue (original order and fairness position preserved); the next
+        batch that picks them up resumes from the restored checkpoint —
+        or, when no epoch survived (crash before the first checkpoint,
+        or a torn-only chain), simply reruns from the roots, which the
+        deterministic engines make bit-identical anyway.
+        """
+        report.n_crashes += 1
+        attempts = self._crash_attempts.get(name, 0) + 1
+        self._crash_attempts[name] = attempts
+        if attempts > self.max_retries:
+            raise ProcessCrashError(
+                f"graph {name!r} crashed {attempts} times; "
+                f"retry budget ({self.max_retries}) exhausted"
+            )
+        obs = self.obs
+        clock = self.catalog.clock
+        # Watchdog restart: the next engine_for() builds a clean engine.
+        self._engines.pop(name, None)
+        obs.counter(M_REC_WATCHDOG).inc()
+        report.n_watchdog_restarts += 1
+        # Exponential backoff with deterministic seeded jitter.
+        delay = self.backoff_base_s * self.backoff_factor ** (attempts - 1)
+        delay *= 0.5 + float(self._retry_rng.random())
+        with obs.span("serve.retry", graph=name, attempt=attempts,
+                      delay_s=delay):
+            clock.advance(delay)
+            obs.counter(M_REC_RETRIES).inc()
+            report.n_retries += 1
+        mgr = self._managers.get(name)
+        if mgr is not None:
+            restored = load_run(mgr.dir)
+            obs.counter(M_REC_RESTORES).inc()
+            if restored.n_torn:
+                obs.counter(M_REC_TORN_EPOCHS).inc(restored.n_torn)
+            if restored.epoch >= 0:
+                mgr.adopt(restored)
+                self._resume[name] = restored
+                # Stale-read guard: answers cached after the checkpoint
+                # reflect work the rollback discarded.
+                report.stale_invalidated += self.cache.invalidate_stale(
+                    name, restored.clock_s
+                )
+        queue.requeue(reqs)
+        obs.counter(M_REC_REQUEUES).inc(len(reqs))
+        report.n_requeued += len(reqs)
+        obs.event("recovery.requeue", graph=name, n=len(reqs))
 
     def __repr__(self) -> str:
         return (

@@ -47,12 +47,18 @@ class Request:
         Name of the catalog graph the query runs against.
     root:
         BFS root vertex.
+    deadline_s:
+        Per-request latency budget in simulated seconds, relative to
+        ``arrival_s``; a request not answered by
+        ``arrival_s + deadline_s`` is aborted with a ``deadline``
+        rejection.  ``None`` (the default) never expires.
     """
 
     arrival_s: float
     tenant: str
     graph: str
     root: int
+    deadline_s: float | None = None
 
 
 @dataclass(frozen=True)
@@ -69,6 +75,8 @@ class WorkloadSpec:
     ``tenants``  number of tenants issuing requests
     ``pool``   distinct candidate roots (the hottest vertices)
     ``seed``   workload RNG seed (defaults to the run seed)
+    ``deadline``  per-request latency budget in simulated seconds
+                  (default: no deadline)
     =========  ==================================================
     """
 
@@ -79,6 +87,7 @@ class WorkloadSpec:
     root_pool: int = 64
     seed: int | None = None
     graph: str = "default"
+    deadline_s: float | None = None
 
     _KEYS = {
         "n": "n_requests",
@@ -87,6 +96,7 @@ class WorkloadSpec:
         "tenants": "n_tenants",
         "pool": "root_pool",
         "seed": "seed",
+        "deadline": "deadline_s",
     }
 
     def __post_init__(self) -> None:
@@ -109,6 +119,10 @@ class WorkloadSpec:
         if self.root_pool <= 0:
             raise ConfigurationError(
                 f"root pool must be positive, got pool={self.root_pool}"
+            )
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ConfigurationError(
+                f"deadline must be positive, got deadline={self.deadline_s}"
             )
 
     @classmethod
@@ -136,7 +150,7 @@ class WorkloadSpec:
                     f"(expected one of {sorted(cls._KEYS)})"
                 )
             try:
-                if field in ("rate_rps", "zipf_s"):
+                if field in ("rate_rps", "zipf_s", "deadline_s"):
                     kwargs[field] = float(raw)
                 else:
                     kwargs[field] = int(raw)
@@ -183,6 +197,7 @@ def generate_workload(spec: WorkloadSpec, degrees: np.ndarray) -> list[Request]:
             tenant=f"tenant{int(tenants[i])}",
             graph=spec.graph,
             root=int(roots[i]),
+            deadline_s=spec.deadline_s,
         )
         for i in range(spec.n_requests)
     ]
@@ -193,12 +208,15 @@ def save_trace(requests: list[Request], path: str | Path) -> Path:
     path = Path(path)
     with path.open("w") as fh:
         for r in requests:
-            fh.write(json.dumps({
+            rec = {
                 "arrival_s": r.arrival_s,
                 "tenant": r.tenant,
                 "graph": r.graph,
                 "root": r.root,
-            }) + "\n")
+            }
+            if r.deadline_s is not None:
+                rec["deadline_s"] = r.deadline_s
+            fh.write(json.dumps(rec) + "\n")
     return path
 
 
@@ -215,11 +233,13 @@ def load_trace(path: str | Path) -> list[Request]:
             continue
         try:
             rec = json.loads(line)
+            deadline = rec.get("deadline_s")
             requests.append(Request(
                 arrival_s=float(rec["arrival_s"]),
                 tenant=str(rec["tenant"]),
                 graph=str(rec["graph"]),
                 root=int(rec["root"]),
+                deadline_s=float(deadline) if deadline is not None else None,
             ))
         except (ValueError, KeyError, TypeError) as exc:
             raise ConfigurationError(

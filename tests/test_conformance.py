@@ -112,6 +112,14 @@ class TestRegistry:
         assert {r.name for r in relations_for(get_engine("semi_external"))} \
             == set(relation_names())
 
+    def test_crash_fields_survive_describe_round_trip(self):
+        from repro.semiext.faults import FaultPlan
+
+        setup = TrialSetup(fault=FaultPlan(
+            seed=5, crash_at_level=2, crash_torn=True,
+        ))
+        assert TrialSetup.from_description(setup.describe()) == setup
+
 
 class TestOracles:
     def test_correct_tree_passes_all(self, path_case, tmp_path):
@@ -146,6 +154,35 @@ class TestOracles:
         assert "outside" in check_admissibility(
             path_case.edges, ref.parent, wrong, 0
         )
+
+
+class TestCrashResumeRelation:
+    """The durability relation holds for every recoverable engine."""
+
+    RECOVERABLE = ("semi_external", "fully_external", "batched")
+
+    def test_only_external_engines_are_recoverable(self):
+        for name in engine_names():
+            spec = get_engine(name)
+            assert (spec.recoverable is not None) == (
+                name in self.RECOVERABLE
+            ), name
+
+    @pytest.mark.parametrize("engine", RECOVERABLE)
+    @pytest.mark.parametrize("seed", [7, 19, 101])
+    def test_crash_resume_bit_identical(self, engine, seed, tmp_path):
+        from repro.conformance.relations import get_relation
+        from repro.graph500 import generate_edges
+
+        endpoints = generate_edges(scale=7, edge_factor=8, seed=3)
+        case = GraphCase(EdgeList(endpoints, 1 << 7))
+        spec = get_engine(engine)
+        relation = get_relation("crash_resume")
+        assert relation.applies(spec)
+        failure = relation.check(
+            spec, case, TrialSetup(), 1, seed, tmp_path
+        )
+        assert failure is None, failure
 
 
 class TestHarness:

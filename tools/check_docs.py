@@ -11,7 +11,8 @@ Two passes, both offline:
    syntax-checked only — CI has no network.
 2. **Code blocks** — every fenced ```` ```python ```` block in the
    executable docs (``docs/tutorial.md``, ``docs/observability.md``,
-   ``docs/serving.md``, ``docs/slo.md``, ``docs/conformance.md``) runs
+   ``docs/serving.md``, ``docs/slo.md``, ``docs/conformance.md``,
+   ``docs/recovery.md``) runs
    top to bottom in one shared namespace per file, from a scratch working
    directory, exactly like a reader pasting the tutorial into a REPL.
    A block raising makes the build fail with the file, block number and
@@ -44,6 +45,7 @@ EXECUTABLE_DOCS = (
     "docs/serving.md",
     "docs/slo.md",
     "docs/conformance.md",
+    "docs/recovery.md",
 )
 
 _LINK = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
