@@ -1,23 +1,37 @@
-"""Figure 14 — access ratio to the backward graph on NVM versus the
-per-vertex DRAM edge budget k (paper §VI-E).
+"""Figure 14 — the backward-graph offload trade-off, *measured* (§VI-E).
 
-The paper's two number series correspond to two readings of "limit the
-number of edges for a vertex to store on DRAM" (see DESIGN.md):
+The paper only estimates this figure from access traces.  Here the tiered
+backward store (:class:`repro.semiext.tiered.TieredBackwardStore`) actually
+runs it: the first k edges of every vertex live in a DRAM-resident
+truncated CSR, each row's tail lives on the modeled device, and the
+bottom-up scan falls through DRAM→NVM per vertex with every tail fetch
+charged to the simulated clock.  The bench sweeps k with the schedule
+pinned bottom-up and asserts the frontier's shape:
 
-* access series (prefix reading): 38.2 % of probes on NVM at k=2,
-  falling to 0.7 % at k=32 — reproduced by the *prefix* strategy, whose
-  NVM share must fall monotonically in k;
+* DRAM-resident bytes strictly grow with k (strictly *fall* as k shrinks);
+* per-vertex fallthrough reads strictly fall as k grows;
+* modeled TEPS at the largest k beats the smallest k (the memory-vs-TEPS
+  trade the paper's Fig. 14 gestures at).
+
+The paper's two (mutually inconsistent) number series come from two
+readings of the budget (see DESIGN.md); the *degree-threshold* reading is
+still reported through :func:`repro.analysis.backward_offload_sweep`, and
+its size series keeps its monotonicity assertions:
+
+* access series (prefix reading): 38.2 % of probes on NVM at k=2 falling
+  to 0.7 % at k=32 — here measured off the tiered store's probe counters;
 * size series (degree-threshold reading): DRAM shrinks 2.6 % at k=2 and
-  15.1 % at k=32 — reproduced by the *degree-threshold* strategy, whose
-  DRAM savings grow monotonically in k.
+  15.1 % at k=32.
 
-Unlike the paper (an estimate from access traces), this bench actually
-runs the partially offloaded bottom-up, with early termination crossing
-the DRAM/NVM boundary.
+The same measured curve, frozen at seed 7 and SCALE 10, is committed as
+``benchmarks/baselines/BENCH_backward_offload.json`` and enforced by the
+CI perf gate.
 """
 
-from repro.analysis.offload_ratio import backward_offload_sweep
-from repro.analysis.report import ascii_table
+from repro.analysis.offload_ratio import backward_offload_sweep, tiered_offload_sweep
+from repro.analysis.report import ascii_table, format_teps
+from repro.bfs.metrics import Direction
+from repro.bfs.policies import FixedPolicy
 from repro.graph500 import sample_roots
 from repro.semiext import PCIE_FLASH
 
@@ -33,54 +47,75 @@ def test_fig14_backward_offload(benchmark, figure_report, workload, tmp_path):
     alpha = workload.n / 128  # mostly bottom-up, as the offload targets
 
     def sweep():
-        return backward_offload_sweep(
+        measured = tiered_offload_sweep(
             workload.forward,
             workload.backward,
             PCIE_FLASH,
-            tmp_path,
+            tmp_path / "tiered",
+            roots,
+            ks=KS,
+            # Pinned bottom-up: every level scans through the tier, so
+            # the fallthrough curve is the store's, not the schedule's.
+            policy=FixedPolicy(Direction.BOTTOM_UP),
+        )
+        estimate = backward_offload_sweep(
+            workload.forward,
+            workload.backward,
+            PCIE_FLASH,
+            tmp_path / "estimate",
             roots,
             ks=KS,
             alpha=alpha,
             beta=alpha,
+            strategies=("degree-threshold",),
         )
+        return measured, estimate
 
-    points = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    measured, estimate = benchmark.pedantic(sweep, rounds=1, iterations=1)
 
     rows = [
         [
-            p.strategy,
             p.k,
+            p.dram_bytes,
             f"{p.dram_reduction:.1%}",
-            f"{p.nvm_access_ratio:.1%}",
+            p.fallthrough_rows,
+            f"{p.fallthrough_rate:.1%}",
+            format_teps(p.teps),
         ]
-        for p in points
+        for p in measured
     ]
     figure_report.add(
-        f"Figure 14: backward-graph offload @ SCALE {workload.scale} "
-        "(paper: k=2 -> 38.2% accesses / 2.6% size; "
-        "k=32 -> 0.7% accesses / 15.1% size)",
+        f"Figure 14 (measured): tiered backward store @ SCALE "
+        f"{workload.scale} (paper estimate: k=2 -> 38.2% accesses; "
+        "k=32 -> 0.7%)",
         ascii_table(
-            ["strategy", "k", "DRAM reduction", "NVM access ratio"], rows
+            ["k", "DRAM bytes", "saved", "fallthroughs", "rate",
+             "modeled TEPS"],
+            rows,
         ),
     )
-    benchmark.extra_info["points"] = [
-        (p.strategy, p.k, p.dram_reduction, p.nvm_access_ratio)
-        for p in points
+    benchmark.extra_info["measured"] = [
+        (p.k, p.dram_bytes, p.fallthrough_rows, p.teps) for p in measured
     ]
 
-    prefix = sorted(
-        (p for p in points if p.strategy == "prefix"), key=lambda p: p.k
-    )
-    thresh = sorted(
-        (p for p in points if p.strategy == "degree-threshold"),
-        key=lambda p: p.k,
-    )
-    # Access series: NVM share collapses as k grows (38.2% -> 0.7%).
-    access = [p.nvm_access_ratio for p in prefix]
+    # Memory axis: DRAM bytes strictly fall as k shrinks.
+    dram = [p.dram_bytes for p in measured]
+    assert all(a < b for a, b in zip(dram, dram[1:]))
+    # Device axis: fallthrough reads strictly grow as k shrinks.
+    falls = [p.fallthrough_rows for p in measured]
+    assert all(a > b for a, b in zip(falls, falls[1:]))
+    # Access series, now measured: the share of scanned rows that had to
+    # touch the NVM tail collapses in k (paper's prefix reading: 38.2 %
+    # of probes at k=2 -> 0.7 % at k=32).
+    access = [p.fallthrough_rate for p in measured]
+    assert all(a >= b for a, b in zip(access, access[1:]))
     assert access[0] > access[-1]
     assert access[-1] < 0.05
-    assert all(a >= b - 1e-9 for a, b in zip(access, access[1:]))
-    # Size series: DRAM savings grow with k (2.6% -> 15.1%).
+    # TEPS axis: buying DRAM back buys time back.
+    assert measured[-1].teps > measured[0].teps
+
+    # Size series (degree-threshold reading): DRAM savings grow with k.
+    thresh = sorted(estimate, key=lambda p: p.k)
     saving = [p.dram_reduction for p in thresh]
     assert saving[0] < saving[-1]
     assert all(a <= b + 1e-9 for a, b in zip(saving, saving[1:]))

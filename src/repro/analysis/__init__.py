@@ -12,6 +12,8 @@ Module                     Paper artifact
 :mod:`~repro.analysis.degradation`    Figure 11 — top-down slowdown vs degree
 :mod:`~repro.analysis.iotrace`        Figures 12–13 — avgqu-sz / avgrq-sz
 :mod:`~repro.analysis.offload_ratio`  Figure 14 — backward-graph offload
+                                      (measured tiered frontier + the
+                                      paper's two readings)
 :mod:`~repro.analysis.locality`       §IV-A NUMA locality audit
 :mod:`~repro.analysis.report`         ASCII rendering helpers
 =========================  ==================================================
@@ -22,7 +24,12 @@ from repro.analysis.degradation import DegradationPoint, degradation_by_degree
 from repro.analysis.graphstats import GraphShape, graph_shape
 from repro.analysis.iotrace import IoTraceSummary, summarize_iostats
 from repro.analysis.locality import LocalityAudit, audit_locality
-from repro.analysis.offload_ratio import OffloadPoint, backward_offload_sweep
+from repro.analysis.offload_ratio import (
+    OffloadPoint,
+    TieredPoint,
+    backward_offload_sweep,
+    tiered_offload_sweep,
+)
 from repro.analysis.perfcompare import ScenarioSeries, compare_scenarios
 from repro.analysis.report import ascii_table, format_float
 from repro.analysis.resilience import ResilienceSummary, summarize_resilience
@@ -48,7 +55,9 @@ __all__ = [
     "LocalityAudit",
     "audit_locality",
     "OffloadPoint",
+    "TieredPoint",
     "backward_offload_sweep",
+    "tiered_offload_sweep",
     "ResilienceSummary",
     "summarize_resilience",
     "ScheduleSummary",

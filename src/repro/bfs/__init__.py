@@ -24,6 +24,7 @@ from repro.bfs.policies import (
     BeamerPolicy,
     DirectionPolicy,
     FixedPolicy,
+    TieredKPolicy,
 )
 from repro.bfs.reference import ReferenceBFS
 from repro.bfs.semi_external import SemiExternalBFS
@@ -42,4 +43,5 @@ __all__ = [
     "AlphaBetaPolicy",
     "BeamerPolicy",
     "FixedPolicy",
+    "TieredKPolicy",
 ]

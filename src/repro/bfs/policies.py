@@ -34,6 +34,7 @@ __all__ = [
     "AlphaBetaPolicy",
     "BeamerPolicy",
     "FixedPolicy",
+    "TieredKPolicy",
 ]
 
 
@@ -190,3 +191,116 @@ class FixedPolicy(DirectionPolicy):
     def decide(self, inputs: PolicyInputs) -> Direction:
         """Ignore the inputs; always the configured direction."""
         return self.direction
+
+
+@dataclass(frozen=True)
+class TieredKPolicy:
+    """Pick the per-vertex DRAM budget k of the tiered backward store.
+
+    Not a :class:`DirectionPolicy` — it decides a *placement*, once per
+    scenario, before the traversal starts: which k of
+    :class:`~repro.semiext.tiered.TieredBackwardStore` to build.  The
+    decision rests on two proofs:
+
+    * **capacity** — the k-truncated CSR must actually fit: the candidate
+      is admitted through a :class:`~repro.semiext.hierarchy.MemoryHierarchy`
+      placement (:meth:`MemoryHierarchy.fits` for a dry run,
+      :meth:`~TieredKPolicy.prove` to reserve it), using the exact byte
+      formula of :func:`~repro.semiext.tiered.truncated_nbytes`;
+    * **health** — every row of degree > k *can* fall through to the
+      device, so the share of such rows is capped at
+      ``max_fallthrough_share × device_health``.  A degraded device
+      shrinks the cap and pushes k up (more DRAM, fewer device reads) —
+      the placement-side analogue of :class:`AlphaBetaPolicy`'s
+      health-scaled divisors.
+
+    Among admissible candidates the *smallest* k wins: tiering exists to
+    shed DRAM, so save as much as the health cap allows.
+
+    >>> import numpy as np
+    >>> from repro.semiext.hierarchy import MemoryHierarchy
+    >>> deg = np.array([1, 2, 4, 64])
+    >>> TieredKPolicy().pick([deg], MemoryHierarchy(10**6))
+    2
+    """
+
+    candidates: tuple[int, ...] = (2, 4, 8, 16, 32, 64)
+    max_fallthrough_share: float = 0.5
+
+    _MIN_HEALTH = 1e-6  # an open circuit must not divide the cap to zero
+
+    def __post_init__(self) -> None:
+        if not self.candidates:
+            raise ConfigurationError("TieredKPolicy needs >= 1 candidate k")
+        if any(k < 0 for k in self.candidates):
+            raise ConfigurationError(
+                f"candidate ks must be non-negative: {self.candidates}"
+            )
+        if list(self.candidates) != sorted(set(self.candidates)):
+            raise ConfigurationError(
+                f"candidate ks must be strictly ascending: {self.candidates}"
+            )
+        if not 0.0 < self.max_fallthrough_share <= 1.0:
+            raise ConfigurationError(
+                f"max_fallthrough_share must be in (0, 1]: "
+                f"{self.max_fallthrough_share}"
+            )
+
+    def pick(
+        self,
+        shard_degrees,
+        hierarchy,
+        device_health: float = 1.0,
+    ) -> int | None:
+        """Smallest admissible k, or ``None`` when no candidate qualifies.
+
+        ``shard_degrees`` is one int64 degree array per backward shard
+        (``[shard.degrees() for shard in backward.shards]``); the byte
+        check accounts each shard's row-pointer array separately, exactly
+        as :class:`~repro.semiext.tiered.TieredBackwardStore` will build
+        them.  Non-mutating: the hierarchy is only queried via ``fits``.
+        """
+        from repro.semiext.hierarchy import Tier
+        from repro.semiext.tiered import truncated_nbytes
+
+        import numpy as np
+
+        degs = [np.asarray(d, dtype=np.int64) for d in shard_degrees]
+        n_rows = sum(int(d.size) for d in degs)
+        if n_rows == 0:
+            return None
+        health = min(max(device_health, self._MIN_HEALTH), 1.0)
+        cap = self.max_fallthrough_share * health
+        for k in self.candidates:
+            exposed = sum(int((d > k).sum()) for d in degs)
+            if exposed / n_rows > cap:
+                continue
+            nbytes = sum(truncated_nbytes(d, k) for d in degs)
+            if hierarchy.fits(nbytes, Tier.DRAM):
+                return int(k)
+        return None
+
+    def prove(
+        self,
+        shard_degrees,
+        hierarchy,
+        device_health: float = 1.0,
+        name: str = "backward.tiered",
+    ):
+        """Like :meth:`pick`, but reserve the winning placement.
+
+        Returns ``(k, placement)`` with the truncated CSR's bytes reserved
+        in DRAM under ``name`` — the placement proof the offload planner
+        keeps on its books — or ``None`` when no candidate qualifies.
+        """
+        from repro.semiext.hierarchy import Tier
+        from repro.semiext.tiered import truncated_nbytes
+
+        import numpy as np
+
+        k = self.pick(shard_degrees, hierarchy, device_health)
+        if k is None:
+            return None
+        degs = [np.asarray(d, dtype=np.int64) for d in shard_degrees]
+        nbytes = sum(truncated_nbytes(d, k) for d in degs)
+        return k, hierarchy.reserve(name, nbytes, Tier.DRAM)

@@ -26,6 +26,21 @@ __all__ = ["main", "build_parser"]
 _SCENARIOS = {"dram": "DRAM_ONLY", "pcie": "DRAM_PCIE_FLASH", "ssd": "DRAM_SSD"}
 
 
+def _parse_offload_k(spec: str):
+    """argparse type for ``--offload-k``: an int >= 0 or ``auto``."""
+    if spec == "auto":
+        return "auto"
+    try:
+        k = int(spec)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer >= 0 or 'auto', got {spec!r}"
+        ) from None
+    if k < 0:
+        raise argparse.ArgumentTypeError(f"K must be >= 0, got {k}")
+    return k
+
+
 def _parse_faults(spec: str):
     """argparse type for ``--faults``: a clean usage error, not a traceback."""
     from repro.errors import ConfigurationError
@@ -109,6 +124,17 @@ def build_parser() -> argparse.ArgumentParser:
              "(semi-external scenarios only)",
     )
     run.add_argument(
+        "--offload-k",
+        type=_parse_offload_k,
+        default=None,
+        metavar="K",
+        help="tier the backward graph (§VI-E): keep only the first K "
+             "edges per vertex in DRAM, serve each row's tail from the "
+             "device; 'auto' lets the health-aware policy pick K from a "
+             "placement proof (semi-external scenarios only; see "
+             "docs/offload.md)",
+    )
+    run.add_argument(
         "--obs",
         type=str,
         default=None,
@@ -172,7 +198,9 @@ def build_parser() -> argparse.ArgumentParser:
     locality.add_argument("--seed", type=int, default=None)
 
     offload = sub.add_parser(
-        "offload", help="backward-graph offload sweep (Figure 14 data)"
+        "offload",
+        help="measured backward-graph offload frontier "
+             "(tiered store k-sweep; Figure 14 data)",
     )
     offload.add_argument("--scale", type=int, default=12)
     offload.add_argument("--ks", type=int, nargs="+",
@@ -348,6 +376,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
         except ConfigurationError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+    if args.offload_k is not None:
+        from dataclasses import replace
+
+        from repro.errors import ConfigurationError
+
+        try:
+            scenario = replace(scenario, offload_k=args.offload_k)
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     if args.crash is not None or args.checkpoint_every:
         return _cmd_run_recovery(scenario, args)
     obs = None
@@ -374,6 +412,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(
             f"nvm:             {st.n_requests} reqs, "
             f"avgrq-sz={st.avgrq_sz:.1f} sectors, avgqu-sz={st.avgqu_sz():.1f}"
+        )
+    if result.backward_store is not None:
+        from repro.util.units import format_bytes
+
+        tiered = result.backward_store
+        rate = (
+            tiered.fallthrough_rows / tiered.rows_scanned
+            if tiered.rows_scanned
+            else 0.0
+        )
+        print(
+            f"offload:         k={result.offload_k} "
+            f"(backward: {format_bytes(tiered.dram_nbytes)} DRAM + "
+            f"{format_bytes(tiered.nvm_nbytes)} NVM tails, "
+            f"{tiered.fallthrough_rows} fallthroughs / "
+            f"{tiered.rows_scanned} rows = {rate:.1%})"
         )
     if scenario.fault_plan is not None and scenario.fault_plan.active:
         from repro.analysis.resilience import ResilienceSummary
@@ -672,29 +726,57 @@ def _cmd_locality(args: argparse.Namespace) -> int:
 
 
 def _cmd_offload(args: argparse.Namespace) -> int:
-    from repro.analysis import backward_offload_sweep
-    from repro.analysis.report import ascii_table
+    from pathlib import Path
+
+    from repro.analysis import backward_offload_sweep, tiered_offload_sweep
+    from repro.analysis.report import ascii_table, format_teps
     from repro.csr import BackwardGraph, ForwardGraph, build_csr
     from repro.graph500 import EdgeList, generate_edges, sample_roots
     from repro.numa import NumaTopology
     from repro.semiext import PCIE_FLASH
+    from repro.util.units import format_bytes
 
     n = 1 << args.scale
     edges = EdgeList(generate_edges(args.scale, seed=args.seed), n)
     csr = build_csr(edges)
     topo = NumaTopology(4, 12)
+    forward = ForwardGraph(csr, topo)
+    backward = BackwardGraph(csr, topo)
     roots = sample_roots(csr.degrees(), n_roots=3, seed=args.seed)
     with tempfile.TemporaryDirectory(prefix="repro-offload-") as workdir:
-        points = backward_offload_sweep(
-            ForwardGraph(csr, topo),
-            BackwardGraph(csr, topo),
+        measured = tiered_offload_sweep(
+            forward,
+            backward,
             PCIE_FLASH,
-            workdir,
+            Path(workdir) / "tiered",
             roots,
             ks=tuple(args.ks),
             alpha=n / 128,
             beta=n / 128,
         )
+        points = backward_offload_sweep(
+            forward,
+            backward,
+            PCIE_FLASH,
+            Path(workdir) / "estimate",
+            roots,
+            ks=tuple(args.ks),
+            alpha=n / 128,
+            beta=n / 128,
+        )
+    rows = [
+        [p.k, format_bytes(p.dram_bytes), f"{p.dram_reduction:.1%}",
+         p.fallthrough_rows, f"{p.fallthrough_rate:.1%}",
+         format_teps(p.teps)]
+        for p in measured
+    ]
+    print(ascii_table(
+        ["k", "DRAM resident", "saved", "fallthroughs", "rate",
+         "modeled TEPS"],
+        rows,
+        title="Measured memory-vs-TEPS frontier (TieredBackwardStore)",
+    ))
+    print()
     rows = [
         [p.strategy, p.k, f"{p.dram_reduction:.1%}",
          f"{p.nvm_access_ratio:.1%}"]
@@ -702,7 +784,7 @@ def _cmd_offload(args: argparse.Namespace) -> int:
     ]
     print(ascii_table(
         ["strategy", "k", "DRAM reduction", "NVM access ratio"], rows,
-        title="Figure 14 sweep",
+        title="Figure 14's two readings of k (repro.semiext.cache)",
     ))
     return 0
 

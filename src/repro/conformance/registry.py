@@ -330,6 +330,22 @@ def _run_semi_external(case: GraphCase, setup: TrialSetup, root: int,
     return engine.run(root)
 
 
+def _run_tiered(case: GraphCase, setup: TrialSetup, root: int,
+                workdir: Path) -> BFSResult:
+    # k pinned low so random graphs actually exercise the NVM tail path
+    # (k >= max degree would leave the tails empty); tree equality vs
+    # semi_external at *every* k is separately pinned by the hypothesis
+    # property in tests/test_offload_store.py.
+    engine = SemiExternalBFS.offload(
+        forward=case.forward,
+        backward=case.backward,
+        policy=AlphaBetaPolicy(alpha=setup.alpha, beta=setup.beta),
+        store=_fresh_store(case, setup, workdir),
+        offload_k=2,
+    )
+    return engine.run(root)
+
+
 def _run_fully_external(case: GraphCase, setup: TrialSetup, root: int,
                         workdir: Path) -> BFSResult:
     engine = FullyExternalBFS.offload(
@@ -453,6 +469,10 @@ for _spec in (
                schedule_sensitive=True,
                description="forward graph offloaded to NVM (§V-A)",
                recoverable=_recoverable_semi_external),
+    EngineSpec("tiered", _run_tiered, external=True,
+               schedule_sensitive=True,
+               description="semi-external with the backward graph tiered "
+                           "at k=2 edges/vertex in DRAM (§VI-E)"),
     EngineSpec("fully_external", _run_fully_external, external=True,
                description="whole CSR on NVM, top-down only",
                recoverable=_recoverable_fully_external),

@@ -72,6 +72,15 @@ class ScenarioConfig:
     retry:
         Retry/backoff/timeout policy of the resilient read path
         (defaults apply when ``None``).
+    offload_k:
+        §VI-E backward-graph tiering: keep only the first ``offload_k``
+        adjacency entries per vertex in DRAM and serve each row's tail
+        from the device (:class:`~repro.semiext.tiered.TieredBackwardStore`).
+        ``None`` keeps the whole backward graph resident (the paper's
+        default placement); ``"auto"`` lets
+        :class:`~repro.bfs.policies.TieredKPolicy` pick k from a
+        :class:`~repro.semiext.hierarchy.MemoryHierarchy` placement proof
+        and the device's health.  Semi-external scenarios only.
     """
 
     name: str
@@ -86,6 +95,7 @@ class ScenarioConfig:
     io_mode: str = "sync"
     fault_plan: FaultPlan | None = None
     retry: RetryPolicy | None = None
+    offload_k: int | str | None = None
 
     def __post_init__(self) -> None:
         if self.kind is ScenarioKind.SEMI_EXTERNAL and self.device is None:
@@ -113,6 +123,23 @@ class ScenarioConfig:
             )
         if self.dram_capacity_bytes is not None and self.dram_capacity_bytes <= 0:
             raise ConfigurationError("dram_capacity_bytes must be positive")
+        if self.offload_k is not None:
+            if self.kind is not ScenarioKind.SEMI_EXTERNAL:
+                raise ConfigurationError(
+                    f"scenario {self.name!r} sets offload_k but has no NVM "
+                    "tier to offload the backward tails to"
+                )
+            if isinstance(self.offload_k, str):
+                if self.offload_k != "auto":
+                    raise ConfigurationError(
+                        f"offload_k must be an int >= 0, 'auto' or None, "
+                        f"got {self.offload_k!r}"
+                    )
+            elif not isinstance(self.offload_k, int) or self.offload_k < 0:
+                raise ConfigurationError(
+                    f"offload_k must be an int >= 0, 'auto' or None, "
+                    f"got {self.offload_k!r}"
+                )
 
     def dram_budget(self, working_set_bytes: int) -> int:
         """Resolve the DRAM budget for a measured working set."""

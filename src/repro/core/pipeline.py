@@ -18,11 +18,11 @@ matching the paper's isolation of CSR and edge-list devices (§VI-D).
 from __future__ import annotations
 
 import tempfile
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 
 from repro.bfs.hybrid import HybridBFS
-from repro.bfs.policies import AlphaBetaPolicy
+from repro.bfs.policies import AlphaBetaPolicy, TieredKPolicy
 from repro.bfs.semi_external import SemiExternalBFS
 from repro.core.config import ScenarioConfig
 from repro.core.offload import OffloadPlan, OffloadPlanner, StructureSizes
@@ -40,8 +40,10 @@ from repro.obs.schema import (
 )
 from repro.obs.session import NULL, Observability
 from repro.semiext.faults import DeviceHealthMonitor, ResilienceStats
+from repro.semiext.hierarchy import MemoryHierarchy, Tier
 from repro.semiext.iostats import IoStats
 from repro.semiext.storage import NVMStore
+from repro.semiext.tiered import TieredBackwardStore
 from repro.util.timer import Timer
 
 __all__ = ["PipelineResult", "run_graph500"]
@@ -67,6 +69,12 @@ class PipelineResult:
     runs; ``None`` for DRAM-only scenarios)."""
     health: DeviceHealthMonitor | None = None
     """Circuit-breaker state and transition history of the CSR device."""
+    offload_k: int | None = None
+    """Resolved §VI-E backward-tiering budget (``None`` = untiered; an
+    ``offload_k="auto"`` scenario records the k the policy picked)."""
+    backward_store: TieredBackwardStore | None = None
+    """The tiered backward store when ``offload_k`` was set — its
+    fallthrough counters describe the whole BFS phase."""
 
     @property
     def median_teps(self) -> float:
@@ -183,13 +191,44 @@ def run_graph500(
     # Status size: tree + visited/frontier bitmaps + queues, measured from
     # a representative state (allocated per run; sized per vertex).
     status_bytes = n * 8 + 2 * (n // 8) + 2 * n * 8
+
+    # §VI-E backward tiering: resolve the per-row DRAM budget k before
+    # planning, because tiering shrinks the backward graph's resident
+    # bytes (only the truncated prefixes count against DRAM; the tails
+    # live with the forward graph on the device).
+    tiered: TieredBackwardStore | None = None
+    plan_scenario = scenario
+    if scenario.offload_k is not None and scenario.is_semi_external:
+        assert store is not None
+        shard_degrees = [shard.degrees() for shard in backward.shards]
+        # The DRAM budget an *untiered* run of this scenario would get;
+        # tiering then frees space inside it (→ page cache) rather than
+        # shrinking the budget along with the resident set.
+        full_budget = scenario.dram_budget(backward.nbytes + status_bytes)
+        plan_scenario = (
+            scenario
+            if scenario.dram_capacity_bytes is not None
+            else replace(scenario, dram_capacity_bytes=full_budget)
+        )
+        if scenario.offload_k == "auto":
+            proof = MemoryHierarchy(dram_capacity=full_budget, nvm_store=store)
+            proof.reserve("status", status_bytes, Tier.DRAM)
+            k = TieredKPolicy().pick(
+                shard_degrees, proof, store.health.health_score()
+            )
+        else:
+            k = int(scenario.offload_k)
+        if k is not None:
+            with obs.span("pipeline.offload_backward", k=k):
+                tiered = TieredBackwardStore.build(backward, k, store, obs=obs)
+
     sizes = StructureSizes(
         edge_list=edge_ext.nbytes if scenario.is_semi_external else edges.nbytes,
         forward=forward.nbytes,
-        backward=backward.nbytes,
+        backward=tiered.dram_nbytes if tiered is not None else backward.nbytes,
         status=status_bytes,
     )
-    plan = OffloadPlanner(scenario).plan(sizes, store=store)
+    plan = OffloadPlanner(plan_scenario).plan(sizes, store=store)
     obs.gauge(M_PIPE_DRAM_BUDGET).set(plan.dram_budget)
     obs.gauge(M_PIPE_DRAM_USED).set(plan.dram_used)
 
@@ -210,6 +249,7 @@ def run_graph500(
                 policy=policy,
                 store=store,
                 cost_model=scenario.cost_model,
+                backward_scanners=tiered.scanners if tiered is not None else None,
             )
     else:
         construction_requests = 0
@@ -241,6 +281,8 @@ def run_graph500(
         construction_time_s=construction.elapsed,
         resilience=store.resilience if store is not None else None,
         health=store.health if store is not None else None,
+        offload_k=tiered.k if tiered is not None else None,
+        backward_store=tiered,
     )
     if tmp is not None:
         tmp.cleanup()

@@ -80,6 +80,11 @@ M_HEALTH_CIRCUIT = "health.circuit_open"
 M_PIPE_PAGE_CACHE = "pipeline.page_cache_bytes"
 M_PIPE_DRAM_BUDGET = "pipeline.dram_budget_bytes"
 M_PIPE_DRAM_USED = "pipeline.dram_used_bytes"
+M_OFFLOAD_DRAM_BYTES = "offload.dram_resident_bytes"
+M_OFFLOAD_NVM_BYTES = "offload.nvm_tail_bytes"
+M_OFFLOAD_ROWS = "offload.rows_scanned_total"
+M_OFFLOAD_FALLTHROUGH = "offload.fallthrough_rows_total"
+M_OFFLOAD_EDGES = "offload.scanned_edges_total"
 M_SERVE_REQUESTS = "serve.requests_total"
 M_SERVE_REJECTED = "serve.rejected_total"
 M_SERVE_SERVED = "serve.served_total"
@@ -197,6 +202,23 @@ METRICS: tuple[MetricSpec, ...] = (
                "Scenario DRAM budget resolved by the offload planner."),
     MetricSpec(M_PIPE_DRAM_USED, "gauge", (),
                "DRAM the verified placement actually keeps resident."),
+    # -- tiered backward-graph offload ---------------------------------------
+    MetricSpec(M_OFFLOAD_DRAM_BYTES, "gauge", (),
+               "Bytes of the tiered backward store resident in DRAM "
+               "(the k-truncated CSR prefixes)."),
+    MetricSpec(M_OFFLOAD_NVM_BYTES, "gauge", (),
+               "Bytes of the tiered backward store's per-row tails "
+               "offloaded to NVM."),
+    MetricSpec(M_OFFLOAD_ROWS, "counter", (),
+               "Unvisited rows scanned through the tiered store "
+               "(the fallthrough-rate denominator)."),
+    MetricSpec(M_OFFLOAD_FALLTHROUGH, "counter", (),
+               "Rows whose DRAM prefix held no frontier parent and "
+               "whose scan fell through to the NVM tail."),
+    MetricSpec(M_OFFLOAD_EDGES, "counter", ("tier",),
+               "Edge probes through the tiered store by residence of "
+               "the probed entry (tier=dram|nvm); the measured Fig. 14 "
+               "access split."),
     # -- query serving --------------------------------------------------------
     MetricSpec(M_SERVE_REQUESTS, "counter", ("tenant",),
                "BFS query requests that arrived, by tenant."),
@@ -274,7 +296,10 @@ SPANS: tuple[str, ...] = (
     "pipeline.offload_edges",
     "pipeline.construct",
     "pipeline.offload_forward",
+    "pipeline.offload_backward",
     "pipeline.bfs",
+    "offload.split",
+    "offload.fallthrough",
     "graph500.iteration",
     "graph500.validate",
     "bfs.run",

@@ -17,7 +17,10 @@ The two stock scenarios cover the paper's two performance claims:
   union-frontier fetches);
 * :func:`run_checkpoint_overhead` — the durability tax: checkpoint
   write amplification and modeled-time overhead of the crash-recovery
-  subsystem at its default cadence (pinned ≤ 5 % of traversal bytes).
+  subsystem at its default cadence (pinned ≤ 5 % of traversal bytes);
+* :func:`run_backward_offload` — the §VI-E memory-vs-TEPS frontier of
+  the tiered backward store, measured (DRAM bytes strictly shrink and
+  fallthrough reads strictly grow as k shrinks).
 """
 
 from __future__ import annotations
@@ -265,6 +268,74 @@ def run_checkpoint_overhead(seed: int, workdir: Path) -> BenchArtifact:
     )
 
 
+def run_backward_offload(seed: int, workdir: Path) -> BenchArtifact:
+    """The measured §VI-E frontier: DRAM bytes vs TEPS across k.
+
+    The tiered backward store at k = 2 / 8 / 32 on the PCIe-flash
+    scenario, schedule pinned bottom-up so *every* level scans through
+    the tier (the hybrid schedule's bottom-up share varies with k and
+    would blur the curve).  Per k the artifact records the DRAM-resident
+    bytes, the per-vertex fallthrough reads actually issued and the
+    modeled TEPS — and the runner asserts the frontier's shape before
+    the gate even sees it: as k shrinks, DRAM bytes must strictly fall
+    and fallthrough reads strictly rise.
+    """
+    from repro.analysis.offload_ratio import tiered_offload_sweep
+    from repro.bfs.metrics import Direction
+    from repro.bfs.policies import FixedPolicy
+    from repro.csr import BackwardGraph, ForwardGraph, build_csr
+    from repro.graph500 import EdgeList, generate_edges, sample_roots
+
+    scale, n_roots = 10, 3
+    ks = (2, 8, 32)
+    scenario = DRAM_PCIE_FLASH
+    n = 1 << scale
+    edges = EdgeList(generate_edges(scale, seed=seed), n)
+    csr = build_csr(edges)
+    points = tiered_offload_sweep(
+        ForwardGraph(csr, scenario.topology),
+        BackwardGraph(csr, scenario.topology),
+        scenario.device,
+        workdir,
+        sample_roots(csr.degrees(), n_roots=n_roots, seed=seed),
+        ks=ks,
+        policy=FixedPolicy(Direction.BOTTOM_UP),
+    )
+    for small, big in zip(points, points[1:]):
+        if not small.dram_bytes < big.dram_bytes:
+            raise AssertionError(
+                f"DRAM bytes not strictly increasing in k: "
+                f"k={small.k}:{small.dram_bytes} vs k={big.k}:{big.dram_bytes}"
+            )
+        if not small.fallthrough_rows > big.fallthrough_rows:
+            raise AssertionError(
+                f"fallthrough reads not strictly decreasing in k: "
+                f"k={small.k}:{small.fallthrough_rows} vs "
+                f"k={big.k}:{big.fallthrough_rows}"
+            )
+    metrics: dict[str, BenchMetric] = {}
+    for p in points:
+        metrics[f"dram_bytes_k{p.k}"] = BenchMetric(
+            float(p.dram_bytes), "B", False
+        )
+        metrics[f"fallthrough_reads_k{p.k}"] = BenchMetric(
+            float(p.fallthrough_rows), "reads", False
+        )
+        metrics[f"teps_k{p.k}"] = BenchMetric(p.teps, "TEPS", True)
+    return BenchArtifact(
+        name="backward_offload",
+        description="Measured memory-vs-TEPS frontier of the tiered "
+                    "backward store (k edges per vertex in DRAM).",
+        seed=seed,
+        params={
+            "scale": scale, "n_roots": n_roots, "edge_factor": 16,
+            "ks": list(ks), "schedule": "bottom_up",
+        },
+        simulated_seconds=sum(p.modeled_time_s for p in points),
+        metrics=metrics,
+    )
+
+
 SCENARIOS: tuple[BenchScenario, ...] = (
     BenchScenario(
         name="fig11_degradation",
@@ -284,6 +355,13 @@ SCENARIOS: tuple[BenchScenario, ...] = (
                     "and time overhead.",
         paper_ref="PAPER.md §V (semi-external durability)",
         runner=run_checkpoint_overhead,
+    ),
+    BenchScenario(
+        name="backward_offload",
+        description="Measured memory-vs-TEPS frontier of the tiered "
+                    "backward store.",
+        paper_ref="PAPER.md §VI-E, Fig. 14",
+        runner=run_backward_offload,
     ),
 )
 

@@ -36,6 +36,7 @@ from repro.semiext.faults import (
 from repro.semiext.hierarchy import MemoryHierarchy, Placement, Tier
 from repro.semiext.iostats import IoStats, IoSample
 from repro.semiext.storage import DeferredCharge, ExternalArray, NVMStore
+from repro.semiext.tiered import TieredBackwardStore, TieredScanner, truncated_nbytes
 from repro.semiext.trace import RequestTrace, TraceRecord, attach_recorder
 
 __all__ = [
@@ -56,6 +57,9 @@ __all__ = [
     "MemoryHierarchy",
     "Placement",
     "Tier",
+    "TieredBackwardStore",
+    "TieredScanner",
+    "truncated_nbytes",
     "FaultPlan",
     "FaultOutcome",
     "FaultInjector",

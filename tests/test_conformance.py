@@ -32,7 +32,7 @@ from repro.graph500.edgelist import EdgeList
 from repro.obs import Observability
 
 ALL_ENGINES = {"reference", "topdown", "bottomup", "hybrid", "parallel",
-               "semi_external", "fully_external", "batched"}
+               "semi_external", "tiered", "fully_external", "batched"}
 
 
 def _case(pairs, n):

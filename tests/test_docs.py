@@ -18,7 +18,9 @@ try:
     from check_docs import (
         EXECUTABLE_DOCS,
         _anchor,
+        check_cli_flags,
         check_links,
+        check_orphan_docs,
         exec_blocks,
         python_blocks,
     )
@@ -31,6 +33,16 @@ class TestRepoDocs:
         files = [ROOT / "README.md"] + sorted((ROOT / "docs").glob("*.md"))
         assert len(files) >= 5
         errors = check_links(files)
+        assert not errors, "\n".join(errors)
+
+    def test_no_orphan_docs(self):
+        docs = sorted((ROOT / "docs").glob("*.md"))
+        errors = check_orphan_docs(ROOT / "README.md", docs)
+        assert not errors, "\n".join(errors)
+
+    def test_no_stale_cli_flags(self):
+        files = [ROOT / "README.md"] + sorted((ROOT / "docs").glob("*.md"))
+        errors = check_cli_flags(files)
         assert not errors, "\n".join(errors)
 
     def test_observability_doc_blocks_execute(self):
@@ -97,6 +109,55 @@ class TestCheckerUnits:
         assert len(errors) == 1
         assert "block 1" in errors[0]
         assert "boom" in errors[0]
+
+    def test_orphan_doc_detected(self, tmp_path):
+        readme = tmp_path / "README.md"
+        docs = tmp_path / "docs"
+        docs.mkdir()
+        (docs / "linked.md").write_text("# L\n")
+        (docs / "orphan.md").write_text("# O\n")
+        readme.write_text("[l](docs/linked.md)\n")
+        errors = check_orphan_docs(readme, sorted(docs.glob("*.md")))
+        assert len(errors) == 1
+        assert "orphan.md" in errors[0]
+        assert "linked.md" not in errors[0]
+
+    def test_orphan_check_follows_anchored_links(self, tmp_path):
+        readme = tmp_path / "README.md"
+        docs = tmp_path / "docs"
+        docs.mkdir()
+        (docs / "a.md").write_text("# A\n## Sec\n")
+        readme.write_text("[a](docs/a.md#sec)\n")
+        assert check_orphan_docs(readme, sorted(docs.glob("*.md"))) == []
+
+    def test_stale_cli_flag_detected(self, tmp_path):
+        doc = tmp_path / "d.md"
+        doc.write_text(
+            "```bash\nrepro-bfs run --scale 12 --no-such-flag\n```\n"
+        )
+        errors = check_cli_flags([doc])
+        assert len(errors) == 1
+        assert "--no-such-flag" in errors[0]
+        assert "--scale" not in errors[0]
+
+    def test_cli_flag_check_spans_continuation_lines(self, tmp_path):
+        doc = tmp_path / "d.md"
+        doc.write_text(
+            "```bash\nrepro-bfs run --scale 12 \\\n"
+            "              --bogus-continued auto\n```\n"
+        )
+        errors = check_cli_flags([doc])
+        assert len(errors) == 1
+        assert "--bogus-continued" in errors[0]
+
+    def test_cli_flag_check_ignores_prose_and_other_tools(self, tmp_path):
+        doc = tmp_path / "d.md"
+        doc.write_text(
+            "prose about repro-bfs run --not-in-a-fence\n"
+            "```bash\nothertool --whatever\n```\n"
+            "```bash\nrepro-bfs run --offload-k auto\n```\n"
+        )
+        assert check_cli_flags([doc]) == []
 
 
 class TestToolCli:

@@ -119,3 +119,25 @@ class TestTutorial:
             r"graph500\.iterations_total\s+\| counter \| 4", tutorial_output
         )
         assert "['events.jsonl', 'metrics.prom', 'trace.json']" in tutorial_output
+
+    def test_step8_offload_sweep_lines(self, tutorial_output):
+        ks = re.findall(
+            r"^k=\s*(\d+): (\d+) B in DRAM, (\d+) fallthroughs$",
+            tutorial_output, re.M,
+        )
+        assert [k for k, _, _ in ks] == ["2", "64"], ks
+        (_, dram_lo, falls_lo), (_, dram_hi, falls_hi) = ks
+        assert int(dram_lo) < int(dram_hi), "DRAM bytes must grow with k"
+        assert int(falls_lo) >= int(falls_hi), "fallthroughs must not grow with k"
+
+    def test_step8_offload_metrics_table(self, tutorial_output):
+        assert re.search(
+            r"offload\.fallthrough_rows_total\s+\| counter", tutorial_output
+        )
+        assert re.search(
+            r"offload\.dram_resident_bytes\s+\| gauge", tutorial_output
+        )
+        assert re.search(
+            r'offload\.scanned_edges_total\{tier="dram"\}\s+\| counter',
+            tutorial_output,
+        )

@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Documentation checker: dead links and broken code blocks.
+"""Documentation checker: dead links, orphan docs, stale flags, code blocks.
 
 Two passes, both offline:
 
@@ -8,11 +8,16 @@ Two passes, both offline:
    contains it; ``path#anchor`` targets must also name a heading that
    exists in the target file (GitHub anchor rules: lowercase, spaces to
    dashes, punctuation dropped).  ``http(s)``/``mailto`` targets are
-   syntax-checked only — CI has no network.
+   syntax-checked only — CI has no network.  The same pass fails on
+   **orphan docs** (a ``docs/*.md`` that no README link reaches — it
+   would be invisible to a reader starting at the front door) and on
+   **stale CLI flags**: every ``--flag`` on a ``repro-bfs`` line inside
+   a fenced block must exist on the real argparse parser, so docs cannot
+   drift ahead of (or behind) the CLI.
 2. **Code blocks** — every fenced ```` ```python ```` block in the
    executable docs (``docs/tutorial.md``, ``docs/observability.md``,
    ``docs/serving.md``, ``docs/slo.md``, ``docs/conformance.md``,
-   ``docs/recovery.md``) runs
+   ``docs/recovery.md``, ``docs/offload.md``) runs
    top to bottom in one shared namespace per file, from a scratch working
    directory, exactly like a reader pasting the tutorial into a REPL.
    A block raising makes the build fail with the file, block number and
@@ -46,6 +51,7 @@ EXECUTABLE_DOCS = (
     "docs/slo.md",
     "docs/conformance.md",
     "docs/recovery.md",
+    "docs/offload.md",
 )
 
 _LINK = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
@@ -95,6 +101,76 @@ def check_links(files: list[Path]) -> list[str]:
                         errors.append(
                             f"{where}: missing anchor #{fragment} in {base or path.name}"
                         )
+    return errors
+
+
+def check_orphan_docs(readme: Path, docs: list[Path]) -> list[str]:
+    """Every doc under ``docs/`` must be a link target in the README.
+
+    A page nobody links to from the front door is a page nobody finds;
+    new docs must register themselves in the README docs table.
+    """
+    linked: set[Path] = set()
+    for target in _LINK.findall(readme.read_text()):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        base = target.partition("#")[0]
+        if base:
+            dest = (readme.parent / base).resolve()
+            if dest.exists():
+                linked.add(dest)
+    return [
+        f"{_rel(doc)}: orphan doc — not linked from {_rel(readme)}"
+        for doc in docs
+        if doc.resolve() not in linked
+    ]
+
+
+def _cli_flags() -> set[str]:
+    """All option strings the real ``repro-bfs`` parser accepts."""
+    from repro.cli import build_parser
+
+    flags: set[str] = set()
+
+    def walk(parser: argparse.ArgumentParser) -> None:
+        for action in parser._actions:
+            flags.update(action.option_strings)
+            if isinstance(action, argparse._SubParsersAction):
+                for sub in action.choices.values():
+                    walk(sub)
+
+    walk(build_parser())
+    return flags
+
+
+_FLAG = re.compile(r"(?<![\w-])(--[a-z][\w-]*)")
+
+
+def check_cli_flags(files: list[Path]) -> list[str]:
+    """Flag every ``--option`` in a fenced ``repro-bfs`` line that the
+    real parser does not accept (stale or misspelled docs)."""
+    known = _cli_flags()
+    errors: list[str] = []
+    for path in files:
+        in_fence = False
+        continued = False
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            if line.strip().startswith("```"):
+                in_fence = not in_fence
+                continued = False
+                continue
+            if not in_fence:
+                continue
+            is_cli = "repro-bfs" in line or continued
+            continued = is_cli and line.rstrip().endswith("\\")
+            if not is_cli:
+                continue
+            for flag in _FLAG.findall(line):
+                if flag not in known:
+                    errors.append(
+                        f"{_rel(path)}:{lineno}: unknown repro-bfs flag "
+                        f"{flag} (stale docs or typo)"
+                    )
     return errors
 
 
@@ -161,8 +237,12 @@ def main(argv: list[str] | None = None) -> int:
 
     errors: list[str] = []
     if not args.exec_only:
-        link_files = [REPO / "README.md"] + sorted((REPO / "docs").glob("*.md"))
+        readme = REPO / "README.md"
+        docs = sorted((REPO / "docs").glob("*.md"))
+        link_files = [readme] + docs
         errors += check_links(link_files)
+        errors += check_orphan_docs(readme, docs)
+        errors += check_cli_flags(link_files)
         print(f"links: {len(link_files)} files checked")
     if not args.links_only:
         doc_files = [f.resolve() for f in args.files] or [
