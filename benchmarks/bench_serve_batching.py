@@ -19,12 +19,14 @@ import numpy as np
 from repro.analysis.report import ascii_table, format_teps
 from repro.core import DRAM_PCIE_FLASH
 from repro.graph500 import validate_bfs_tree
+from repro.obs import Observability
 from repro.serve import BatchedBFS, GraphCatalog
 
 from conftest import BENCH_SEED, SMALL_SCALE
 
 BATCH_SIZES = (1, 2, 4, 8)
 N_QUERIES = 8
+WORKER_COUNTS = (1, 2, 4)
 
 
 def test_serve_batching_amortization(benchmark, figure_report, tmp_path):
@@ -113,3 +115,82 @@ def test_serve_batching_amortization(benchmark, figure_report, tmp_path):
         assert validate_bfs_tree(
             reference["edges"], root, reference["trees"][root]
         )
+
+
+def test_partitioned_serving_per_worker_count(benchmark, figure_report,
+                                              tmp_path):
+    """Same 8 queries through a partitioned catalog deployment at worker
+    counts 1, 2 and 4 — device bytes per query, modeled p99 query
+    latency, and byte-identical trees at every count."""
+    n = 1 << SMALL_SCALE
+    alpha = beta = n / 128.0
+
+    def run_one(n_workers):
+        from repro.dist.serve import DistributedEngine
+
+        obs = Observability()
+        catalog = GraphCatalog(workdir=tmp_path / f"w{n_workers}", obs=obs)
+        graph = catalog.build_partitioned(
+            "g", DRAM_PCIE_FLASH, scale=SMALL_SCALE, seed=BENCH_SEED,
+            n_partitions=n_workers, alpha=alpha, beta=beta,
+        )
+        roots = [
+            int(r) for r in np.flatnonzero(graph.degrees > 0)[:N_QUERIES]
+        ]
+        engine = DistributedEngine(graph, obs=obs)
+        trees = {}
+        for res in engine.run_batch(roots):
+            trees[res.root] = res.parent
+        latencies = np.array([
+            e.attrs["latency_s"]
+            for e in obs.tracer.events if e.name == "dist.query"
+        ])
+        nvm_bytes = graph.worker_nvm_bytes()
+        catalog.close()
+        return {
+            "roots": roots,
+            "trees": trees,
+            "bytes_per_query": nvm_bytes / N_QUERIES,
+            "p99_s": float(np.percentile(latencies, 99)),
+            "mean_s": float(latencies.mean()),
+        }
+
+    def run_all():
+        return {w: run_one(w) for w in WORKER_COUNTS}
+
+    out = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = [
+        [
+            w,
+            f"{out[w]['bytes_per_query']:,.0f}",
+            f"{out[w]['mean_s'] * 1e3:.3f}",
+            f"{out[w]['p99_s'] * 1e3:.3f}",
+        ]
+        for w in WORKER_COUNTS
+    ]
+    figure_report.add(
+        "Partitioned serving: bytes/query and p99 latency vs worker count",
+        ascii_table(
+            ["workers", "nvm bytes/query", "mean query ms", "p99 query ms"],
+            rows,
+        ),
+    )
+    benchmark.extra_info["p99_s_by_workers"] = {
+        str(w): out[w]["p99_s"] for w in WORKER_COUNTS
+    }
+
+    # Partitioning is invisible to correctness: every worker count
+    # reproduces the single-worker trees byte for byte.
+    reference = out[WORKER_COUNTS[0]]
+    for w in WORKER_COUNTS[1:]:
+        assert out[w]["roots"] == reference["roots"]
+        for root in reference["roots"]:
+            assert (
+                out[w]["trees"][root].tobytes()
+                == reference["trees"][root].tobytes()
+            ), (w, root)
+
+    # Spreading one traversal over more workers cuts its p99: each level
+    # costs the max worker step, and partitions shrink with the fleet.
+    assert out[4]["p99_s"] < out[1]["p99_s"]

@@ -87,6 +87,19 @@ def _parse_crash(spec: str):
     return plan
 
 
+def _parse_partitions(spec: str):
+    """argparse type for ``--partitions``: an int >= 1."""
+    try:
+        n = int(spec)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer >= 1, got {spec!r}"
+        ) from None
+    if n < 1:
+        raise argparse.ArgumentTypeError(f"partitions must be >= 1, got {n}")
+    return n
+
+
 def _parse_workload(spec: str):
     """argparse type for ``--workload``: a clean usage error, not a traceback."""
     from repro.errors import ConfigurationError
@@ -160,6 +173,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="checkpoint the traversal every N levels (0 = off); with "
              "--crash, the run resumes from the newest valid checkpoint "
              "and verifies the recovered tree is bit-identical",
+    )
+    run.add_argument(
+        "--partitions",
+        type=_parse_partitions,
+        default=1,
+        metavar="N",
+        help="run the traversal 1D vertex-partitioned across N "
+             "coordinator-driven workers and verify the tree "
+             "byte-identical to the single-process engine "
+             "(semi-external scenarios only; see docs/partitioning.md)",
     )
 
     sweep = sub.add_parser("sweep", help="alpha x beta sweep (Figure 7 data)")
@@ -267,6 +290,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="evaluate the serving SLOs (latency, availability, device "
              "error rate) on the simulated clock and print the verdict "
              "section with error budgets and burn rates",
+    )
+    serve.add_argument(
+        "--partitions",
+        type=_parse_partitions,
+        default=1,
+        metavar="N",
+        help="register the graph as a partitioned deployment across N "
+             "coordinator-driven workers and route queries through the "
+             "coordinator (semi-external scenarios only; see "
+             "docs/partitioning.md)",
     )
 
     slo = sub.add_parser(
@@ -386,6 +419,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         except ConfigurationError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+    if args.partitions > 1:
+        return _cmd_run_partitioned(scenario, args)
     if args.crash is not None or args.checkpoint_every:
         return _cmd_run_recovery(scenario, args)
     obs = None
@@ -449,6 +484,104 @@ def _cmd_run(args: argparse.Namespace) -> int:
         for kind in ("jsonl", "chrome_trace", "prometheus"):
             print(f"obs {kind}:       {paths[kind]}")
     return 0
+
+
+def _cmd_run_partitioned(scenario, args: argparse.Namespace) -> int:
+    """The ``--partitions N`` demo: distributed traversal, verified.
+
+    Runs every sampled root through a coordinator over N partition
+    workers (each with its own NVM store) and through the single-process
+    semi-external engine, and verifies the trees byte-identical — the
+    determinism contract docs/partitioning.md walks through.
+    """
+    from pathlib import Path
+
+    import numpy as np
+
+    from repro.analysis.report import format_teps
+    from repro.bfs.policies import AlphaBetaPolicy
+    from repro.bfs.semi_external import SemiExternalBFS
+    from repro.csr import BackwardGraph, ForwardGraph, build_csr
+    from repro.dist import ContiguousPartitioner, DistributedBFS
+    from repro.graph500 import EdgeList, generate_edges, sample_roots
+    from repro.semiext.storage import NVMStore
+    from repro.util.units import format_bytes
+
+    if scenario.device is None:
+        print(
+            "error: --partitions needs a semi-external scenario "
+            "(pcie or ssd)",
+            file=sys.stderr,
+        )
+        return 2
+    n = 1 << args.scale
+    edges = EdgeList(
+        generate_edges(args.scale, args.edge_factor, seed=args.seed), n
+    )
+    csr = build_csr(edges)
+    roots = sample_roots(csr.degrees(), n_roots=args.roots, seed=args.seed)
+
+    def policy() -> AlphaBetaPolicy:
+        return AlphaBetaPolicy(alpha=scenario.alpha, beta=scenario.beta)
+
+    identical = True
+    teps: list[float] = []
+    with tempfile.TemporaryDirectory(prefix="repro-dist-") as td:
+        workdir = Path(td)
+        engine = DistributedBFS.build(
+            csr,
+            ContiguousPartitioner(args.partitions),
+            policy(),
+            workdir / "dist",
+            scenario.device,
+            cost_model=scenario.cost_model,
+            fault_plans=scenario.fault_plan,
+            concurrency=scenario.topology.n_cores,
+        )
+        oracle = SemiExternalBFS.offload(
+            forward=ForwardGraph(csr, scenario.topology),
+            backward=BackwardGraph(csr, scenario.topology),
+            policy=policy(),
+            store=NVMStore(
+                workdir / "oracle",
+                scenario.device,
+                concurrency=scenario.topology.n_cores,
+            ),
+            cost_model=scenario.cost_model,
+        )
+        try:
+            for root in roots:
+                result = engine.run(int(root))
+                if result.modeled_time_s > 0:
+                    teps.append(
+                        result.traversed_edges / result.modeled_time_s
+                    )
+                if not np.array_equal(
+                    result.parent, oracle.run(int(root)).parent
+                ):
+                    identical = False
+            per_worker = engine.nvm_bytes_per_worker()
+            restarts = engine.restarts
+            degraded = engine.degraded_mode
+        finally:
+            engine.close()
+    print(f"scenario:        {scenario.name}")
+    print(f"scale/ef:        {args.scale} / {args.edge_factor}")
+    print(f"partitions:      {args.partitions}")
+    print(f"roots:           {len(roots)}")
+    print(f"trees identical: {identical} (vs single-process semi-external)")
+    if teps:
+        print(
+            f"median TEPS:     {format_teps(float(np.median(teps)))} "
+            f"(modeled)"
+        )
+    print(
+        "nvm per worker:  "
+        + ", ".join(format_bytes(b) for b in per_worker)
+    )
+    if restarts or degraded:
+        print(f"restarts:        {restarts} (degraded={degraded})")
+    return 0 if identical else 1
 
 
 def _cmd_run_recovery(scenario, args: argparse.Namespace) -> int:
@@ -823,15 +956,31 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     beta = args.beta if args.beta is not None else n / 128.0
     catalog = GraphCatalog(obs=obs)
     try:
-        graph = catalog.build(
-            "default",
-            scenario,
-            scale=args.scale,
-            edge_factor=args.edge_factor,
-            seed=args.seed,
-            alpha=alpha,
-            beta=beta,
-        )
+        if args.partitions > 1:
+            try:
+                graph = catalog.build_partitioned(
+                    "default",
+                    scenario,
+                    scale=args.scale,
+                    n_partitions=args.partitions,
+                    edge_factor=args.edge_factor,
+                    seed=args.seed,
+                    alpha=alpha,
+                    beta=beta,
+                )
+            except ConfigurationError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+        else:
+            graph = catalog.build(
+                "default",
+                scenario,
+                scale=args.scale,
+                edge_factor=args.edge_factor,
+                seed=args.seed,
+                alpha=alpha,
+                beta=beta,
+            )
         if args.trace is not None:
             try:
                 requests = load_trace(args.trace)
@@ -856,6 +1005,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(f"scenario:        {scenario.name}")
     print(f"scale/ef:        {args.scale} / {args.edge_factor}")
     print(f"batch/queue:     {args.batch} / {args.queue}")
+    if args.partitions > 1:
+        print(f"partitions:      {args.partitions}")
     print(ServeSummary.from_report(report).format())
     if args.slo:
         from repro.obs import evaluate

@@ -394,6 +394,30 @@ def _run_batched(case: GraphCase, setup: TrialSetup, root: int,
     return BatchedBFS(graph).run_batch([int(root)])[0]
 
 
+def _run_partitioned(case: GraphCase, setup: TrialSetup, root: int,
+                     workdir: Path) -> BFSResult:
+    # Three partitions so the conformance graphs (often tiny, sometimes
+    # shrunk to a handful of vertices) exercise uneven and empty
+    # partitions; byte-identity across partition *counts* is separately
+    # pinned by tests/test_dist_bfs.py.
+    from repro.dist import ContiguousPartitioner, DistributedBFS
+
+    path = Path(tempfile.mkdtemp(prefix="engine-", dir=workdir))
+    engine = DistributedBFS.build(
+        case.csr,
+        ContiguousPartitioner(3),
+        AlphaBetaPolicy(alpha=setup.alpha, beta=setup.beta),
+        path,
+        setup.device_model,
+        fault_plans=setup.fault,
+        concurrency=case.topology.n_cores,
+    )
+    try:
+        return engine.run(int(root))
+    finally:
+        engine.close()
+
+
 # -- crash-recovery runners (the crash_resume relation's subjects) -------------
 
 
@@ -480,5 +504,9 @@ for _spec in (
                schedule_sensitive=True,
                description="serving layer's multi-source batched engine",
                recoverable=_recoverable_batched),
+    EngineSpec("partitioned", _run_partitioned, external=True,
+               schedule_sensitive=True,
+               description="1D vertex-partitioned coordinator/worker "
+                           "engine over three partitions"),
 ):
     register_engine(_spec)

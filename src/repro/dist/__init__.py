@@ -1,0 +1,47 @@
+"""Distributed BFS tier: 1D vertex partitions, lockstep workers.
+
+The :mod:`repro.dist` subsystem generalizes the NUMA shard layer into a
+:class:`~repro.dist.partition.Partitioner` abstraction and runs one BFS
+across multiple workers — each owning a partition's forward/backward
+stores on its own NVM handle — under a lockstep coordinator
+(:class:`~repro.dist.coordinator.DistributedBFS`).  See
+``docs/partitioning.md``.
+"""
+
+from repro.dist.coordinator import (
+    DistributedBFS,
+    csr_from_backward,
+    register_dist_schema,
+)
+from repro.dist.partition import (
+    ContiguousPartitioner,
+    DegreeBalancedPartitioner,
+    Partitioner,
+    column_shards,
+    row_shards,
+)
+from repro.dist.process import (
+    LocalWorkerHandle,
+    ProcessWorkerHandle,
+    WorkerConfig,
+)
+from repro.dist.shm import SharedCSR, ShmCSRHandle
+from repro.dist.worker import PartitionWorker, WorkerScan
+
+__all__ = [
+    "DistributedBFS",
+    "register_dist_schema",
+    "csr_from_backward",
+    "Partitioner",
+    "ContiguousPartitioner",
+    "DegreeBalancedPartitioner",
+    "column_shards",
+    "row_shards",
+    "PartitionWorker",
+    "WorkerScan",
+    "LocalWorkerHandle",
+    "ProcessWorkerHandle",
+    "WorkerConfig",
+    "SharedCSR",
+    "ShmCSRHandle",
+]

@@ -1,0 +1,237 @@
+"""1D vertex partitioners: the NUMA shard layer, generalized.
+
+The paper's NETAL base system statically assigns vertex ``v_i`` with
+``i ∈ [k·n/ℓ, (k+1)·n/ℓ)`` to NUMA node ``N_k`` (§V-B2);
+:class:`~repro.numa.topology.NumaTopology` hard-codes that ceil-division
+split.  The distributed tier needs the same *shape* — contiguous vertex
+ranges, a vectorized owner map — decoupled from the machine: a
+:class:`Partitioner` answers ``partitions(n)`` and ``owner_of(ids, n)``
+for any worker count, and two strategies are provided:
+
+* :class:`ContiguousPartitioner` — the paper's ceil-division ranges,
+  bit-compatible with ``NumaTopology.partitions`` at equal counts;
+* :class:`DegreeBalancedPartitioner` — boundaries placed on the
+  cumulative (degree + 1) curve so each worker owns roughly equal
+  *work* (edges to scan) instead of equal vertex counts — the standard
+  1D load-balancing refinement in the Buluç/Beamer distributed-BFS
+  taxonomy.
+
+Partition boundaries never change BFS answers (pinned by
+``tests/test_dist_bfs.py`` and the ``partitioned`` conformance engine):
+top-down first-parent-wins resolves per destination vertex inside its
+single owning partition, and bottom-up resolves per source row, whole
+rows never straddling a boundary.
+
+:func:`column_shards` / :func:`row_shards` build the per-partition CSR
+pair — the forward graph split by *destination* owner (each worker scans
+any frontier against only its own columns) and the backward graph split
+by *source* row (each worker scans only its own unvisited rows) — the
+same construction as :class:`~repro.csr.partition.ForwardGraph` /
+:class:`~repro.csr.partition.BackwardGraph` over arbitrary boundaries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.csr.graph import CSRGraph
+from repro.errors import ConfigurationError
+from repro.numa.topology import VertexPartition
+
+__all__ = [
+    "Partitioner",
+    "ContiguousPartitioner",
+    "DegreeBalancedPartitioner",
+    "column_shards",
+    "row_shards",
+]
+
+
+class Partitioner:
+    """Base of the 1D vertex partition strategies.
+
+    A partitioner is duck-compatible with the slice of
+    :class:`~repro.numa.topology.NumaTopology` the BFS state machinery
+    uses (``partitions(n)`` yielding contiguous, covering
+    :class:`~repro.numa.topology.VertexPartition` ranges), so it can
+    stand in as the ``topology`` of a coordinator-side
+    :class:`~repro.bfs.state.BFSState`.
+    """
+
+    def __init__(self, n_parts: int) -> None:
+        if n_parts <= 0:
+            raise ConfigurationError(
+                f"partition count must be positive, got {n_parts}"
+            )
+        self.n_parts = int(n_parts)
+
+    def partitions(self, n_vertices: int) -> list[VertexPartition]:
+        """Contiguous, covering vertex ranges, one per worker."""
+        raise NotImplementedError
+
+    def owner_of(self, vertex_ids: np.ndarray, n_vertices: int) -> np.ndarray:
+        """Owning partition index of each vertex id (vectorized)."""
+        raise NotImplementedError
+
+    def _bounds(self, n_vertices: int) -> np.ndarray:
+        """``int64[n_parts + 1]`` non-decreasing range boundaries."""
+        raise NotImplementedError
+
+    def _check_range(self, vertex_ids: np.ndarray, n_vertices: int) -> None:
+        if vertex_ids.size and (
+            int(vertex_ids.min()) < 0 or int(vertex_ids.max()) >= n_vertices
+        ):
+            raise ConfigurationError(
+                f"vertex id outside [0, {n_vertices}): "
+                f"min={vertex_ids.min()}, max={vertex_ids.max()}"
+            )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(n_parts={self.n_parts})"
+
+
+class ContiguousPartitioner(Partitioner):
+    """Equal-width contiguous ranges — the paper's §V-B2 split.
+
+    Produces exactly the ranges of
+    ``NumaTopology(n_nodes=n_parts).partitions(n)``: a ceil-division
+    step, trailing partitions possibly empty when ``n_parts > n``.
+    """
+
+    def partitions(self, n_vertices: int) -> list[VertexPartition]:
+        """Equal-width ceil-division ranges over ``[0, n_vertices)``."""
+        if n_vertices <= 0:
+            raise ConfigurationError(
+                f"n_vertices must be positive, got {n_vertices}"
+            )
+        step = -(-n_vertices // self.n_parts)
+        out = []
+        for k in range(self.n_parts):
+            lo = min(k * step, n_vertices)
+            hi = min((k + 1) * step, n_vertices)
+            out.append(VertexPartition(node=k, lo=lo, hi=hi))
+        return out
+
+    def owner_of(self, vertex_ids: np.ndarray, n_vertices: int) -> np.ndarray:
+        """Owning partition of each id under the ceil-division split."""
+        self._check_range(vertex_ids, n_vertices)
+        step = -(-n_vertices // self.n_parts)
+        return np.minimum(vertex_ids // step, self.n_parts - 1)
+
+    def _bounds(self, n_vertices: int) -> np.ndarray:
+        parts = self.partitions(n_vertices)
+        return np.array([parts[0].lo] + [p.hi for p in parts], dtype=np.int64)
+
+
+class DegreeBalancedPartitioner(Partitioner):
+    """Boundaries on the cumulative degree curve: equal *edge* work.
+
+    Parameters
+    ----------
+    n_parts:
+        Worker count.
+    degrees:
+        ``int64[n]`` per-vertex degrees of the graph being partitioned
+        (each vertex is weighted ``degree + 1`` so zero-degree runs
+        still spread across workers).
+    """
+
+    def __init__(self, n_parts: int, degrees: np.ndarray) -> None:
+        super().__init__(n_parts)
+        degrees = np.asarray(degrees, dtype=np.int64)
+        if degrees.ndim != 1 or degrees.size == 0:
+            raise ConfigurationError(
+                f"degrees must be a non-empty 1-D array, got {degrees.shape}"
+            )
+        if degrees.size and int(degrees.min()) < 0:
+            raise ConfigurationError("degrees must be non-negative")
+        self.n_vertices = int(degrees.size)
+        cumulative = np.cumsum(degrees + 1)
+        total = int(cumulative[-1])
+        bounds = np.zeros(self.n_parts + 1, dtype=np.int64)
+        for k in range(1, self.n_parts):
+            target = total * k / self.n_parts
+            b = int(np.searchsorted(cumulative, target, side="left"))
+            bounds[k] = max(b, int(bounds[k - 1]))
+        bounds[self.n_parts] = self.n_vertices
+        self.bounds = bounds
+
+    def partitions(self, n_vertices: int) -> list[VertexPartition]:
+        """The precomputed degree-balanced ranges (possibly empty)."""
+        self._check_n(n_vertices)
+        return [
+            VertexPartition(
+                node=k, lo=int(self.bounds[k]), hi=int(self.bounds[k + 1])
+            )
+            for k in range(self.n_parts)
+        ]
+
+    def owner_of(self, vertex_ids: np.ndarray, n_vertices: int) -> np.ndarray:
+        """Owning partition of each id via the precomputed boundaries."""
+        self._check_n(n_vertices)
+        self._check_range(vertex_ids, n_vertices)
+        # side="right" lands duplicated (empty-partition) boundaries on
+        # the first non-empty range, matching partitions() ownership.
+        return np.searchsorted(self.bounds, vertex_ids, side="right") - 1
+
+    def _bounds(self, n_vertices: int) -> np.ndarray:
+        self._check_n(n_vertices)
+        return self.bounds
+
+    def _check_n(self, n_vertices: int) -> None:
+        if n_vertices != self.n_vertices:
+            raise ConfigurationError(
+                f"partitioner built for {self.n_vertices} vertices, "
+                f"asked about {n_vertices}"
+            )
+
+
+def column_shards(csr: CSRGraph, partitioner: Partitioner) -> list[CSRGraph]:
+    """Split the forward graph by *destination* owner (one shard/worker).
+
+    Shard ``k`` keeps, for every source row, only the destinations owned
+    by partition ``k`` — the forward-graph layout of
+    :class:`~repro.csr.partition.ForwardGraph` over arbitrary
+    boundaries.  Every shard has all ``n`` rows.
+    """
+    if csr.n_rows != csr.n_cols:
+        raise ConfigurationError(
+            f"column sharding needs a square CSR, got "
+            f"{csr.n_rows}x{csr.n_cols}"
+        )
+    n = csr.n_rows
+    degrees = np.diff(csr.indptr)
+    row_of_entry = np.repeat(np.arange(n, dtype=np.int64), degrees)
+    owners = partitioner.owner_of(csr.adj, n)
+    shards = []
+    for part in partitioner.partitions(n):
+        mask = owners == part.node
+        counts = np.bincount(row_of_entry[mask], minlength=n)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        shards.append(
+            CSRGraph(indptr=indptr, adj=csr.adj[mask].copy(), n_cols=n)
+        )
+    return shards
+
+
+def row_shards(csr: CSRGraph, partitioner: Partitioner) -> list[CSRGraph]:
+    """Split the backward graph by *source* row (one shard/worker).
+
+    Shard ``k`` holds the full adjacency of rows ``[lo_k, hi_k)``, row
+    indices shifted to shard-local — the backward-graph layout of
+    :class:`~repro.csr.partition.BackwardGraph` over arbitrary
+    boundaries.
+    """
+    if csr.n_rows != csr.n_cols:
+        raise ConfigurationError(
+            f"row sharding needs a square CSR, got {csr.n_rows}x{csr.n_cols}"
+        )
+    n = csr.n_rows
+    shards = []
+    for part in partitioner.partitions(n):
+        base = int(csr.indptr[part.lo])
+        indptr = (csr.indptr[part.lo:part.hi + 1] - base).copy()
+        adj = csr.adj[base:int(csr.indptr[part.hi])].copy()
+        shards.append(CSRGraph(indptr=indptr, adj=adj, n_cols=n))
+    return shards

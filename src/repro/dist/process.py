@@ -1,0 +1,321 @@
+"""Worker backends: same partition, in-process or in a forked process.
+
+The coordinator drives workers through one small handle interface —
+``step`` / ``restore`` / ``health`` / ``nvm_bytes`` / ``restart`` /
+``close`` — with two implementations:
+
+* :class:`LocalWorkerHandle` wraps a
+  :class:`~repro.dist.worker.PartitionWorker` in-process (the default:
+  deterministic, debuggable, and what the serve tier and most tests
+  use);
+* :class:`ProcessWorkerHandle` runs the same worker in a forked
+  ``multiprocessing`` process that attaches the coordinator's
+  shared-memory CSR segments (:mod:`repro.dist.shm`) and answers a
+  tiny command protocol over a :class:`~multiprocessing.Pipe` — the
+  "workers map the graph without copies, ship only frontier/parent
+  messages" deployment shape.
+
+Both backends raise the *same* typed errors on the coordinator side
+(:class:`~repro.errors.ProcessCrashError`,
+:class:`~repro.errors.DeviceFailedError`), so the coordinator's crash
+and degradation handling is backend-agnostic.  ``restart()`` rebuilds a
+worker from scratch in a fresh store generation with the one-shot crash
+trigger disarmed (a restarted process does not immediately re-crash),
+after which the coordinator replays state via ``restore`` and re-steps
+the level.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing as mp
+from pathlib import Path
+
+import numpy as np
+
+from repro.dist.shm import SharedCSR, ShmCSRHandle
+from repro.dist.worker import PartitionWorker, WorkerScan
+from repro.errors import DeviceFailedError, ProcessCrashError, StorageError
+from repro.numa.topology import VertexPartition
+from repro.semiext.storage import NVMStore
+
+__all__ = ["WorkerConfig", "LocalWorkerHandle", "ProcessWorkerHandle"]
+
+
+@dataclasses.dataclass
+class WorkerConfig:
+    """Everything needed to (re)build one partition worker.
+
+    ``workdir`` gains a ``gen{n}`` suffix per store generation, so a
+    restarted worker's offloaded files never collide with the crashed
+    generation's.
+    """
+
+    worker_id: int
+    part: VertexPartition
+    n_vertices: int
+    workdir: Path
+    device: object
+    cost_model: object | None = None
+    fault_plan: object | None = None
+    concurrency: int = 48
+    page_cache_bytes: int = 0
+    retry: object | None = None
+
+    def make_store(self, generation: int) -> NVMStore:
+        """Build this worker's store for one generation (crash disarmed
+        on every generation after the first)."""
+        plan = self.fault_plan
+        if generation > 0 and plan is not None:
+            # Disarm the one-shot crash for restarted generations.
+            plan = dataclasses.replace(
+                plan, crash_at_s=None, crash_at_level=None
+            )
+        return NVMStore(
+            Path(self.workdir) / f"gen{generation}",
+            self.device,
+            concurrency=self.concurrency,
+            page_cache_bytes=self.page_cache_bytes,
+            fault_plan=plan,
+            retry=self.retry,
+        )
+
+
+class LocalWorkerHandle:
+    """In-process worker backend (the default)."""
+
+    def __init__(self, config, forward_shard, backward_shard) -> None:
+        self.config = config
+        self._forward = forward_shard
+        self._backward = backward_shard
+        self.generation = 0
+        self.worker = self._build()
+
+    def _build(self) -> PartitionWorker:
+        c = self.config
+        return PartitionWorker(
+            worker_id=c.worker_id,
+            part=c.part,
+            forward_shard=self._forward,
+            backward_shard=self._backward,
+            n_vertices=c.n_vertices,
+            store=c.make_store(self.generation),
+            cost_model=c.cost_model,
+        )
+
+    def step(self, direction, frontier, level) -> WorkerScan:
+        """Scan one level on the wrapped worker."""
+        return self.worker.step(direction, frontier, level)
+
+    def reset(self) -> None:
+        """Clear the worker's per-run search state."""
+        self.worker.reset()
+
+    def restore(self, visited_ids) -> None:
+        """Replay visited state from the coordinator's merged tree."""
+        self.worker.restore(visited_ids)
+
+    def health(self) -> tuple[float, bool]:
+        """Current ``(health_score, circuit_open)`` of the worker."""
+        return self.worker.health()
+
+    def nvm_bytes(self) -> int:
+        """Bytes this worker has read from its device so far."""
+        return self.worker.nvm_bytes()
+
+    def restart(self) -> None:
+        """Rebuild the worker in a fresh store generation."""
+        self.worker.close()
+        self.generation += 1
+        self.worker = self._build()
+
+    def close(self) -> None:
+        """Release the worker's store resources."""
+        self.worker.close()
+
+
+def _worker_main(conn, config, fwd_handle, bwd_handle, generation) -> None:
+    """Forked child: attach shared CSRs, build the worker, serve commands."""
+    fwd = SharedCSR.attach(fwd_handle)
+    bwd = SharedCSR.attach(bwd_handle)
+    try:
+        worker = PartitionWorker(
+            worker_id=config.worker_id,
+            part=config.part,
+            forward_shard=fwd.csr,
+            backward_shard=bwd.csr,
+            n_vertices=config.n_vertices,
+            store=config.make_store(generation),
+            cost_model=config.cost_model,
+        )
+        conn.send(("ready", None))
+        while True:
+            cmd, payload = conn.recv()
+            if cmd == "close":
+                worker.close()
+                conn.send(("ok", None))
+                return
+            try:
+                if cmd == "step":
+                    direction, frontier, level = payload
+                    scan = worker.step(direction, frontier, level)
+                    conn.send((
+                        "scan",
+                        (
+                            scan.winners,
+                            scan.parents,
+                            scan.scanned_dram,
+                            scan.scanned_nvm,
+                            scan.clock_delta_s,
+                            scan.health_score,
+                            scan.circuit_open,
+                        ),
+                    ))
+                elif cmd == "reset":
+                    worker.reset()
+                    conn.send(("ok", None))
+                elif cmd == "restore":
+                    worker.restore(payload)
+                    conn.send(("ok", None))
+                elif cmd == "health":
+                    conn.send(("ok", worker.health()))
+                elif cmd == "nvm_bytes":
+                    conn.send(("ok", worker.nvm_bytes()))
+                else:
+                    conn.send(("error", f"unknown command {cmd!r}"))
+            except ProcessCrashError as exc:
+                # Report, then die for real: the parent respawns us.
+                conn.send((
+                    "crash", (str(exc), exc.crashed_at_s, exc.level)
+                ))
+                return
+            except DeviceFailedError as exc:
+                conn.send(("device_failed", str(exc)))
+    except Exception as exc:  # pragma: no cover - defensive
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except (BrokenPipeError, OSError):
+            pass
+    finally:
+        fwd.close()
+        bwd.close()
+
+
+class ProcessWorkerHandle:
+    """Worker in a forked process, graph mapped from shared memory.
+
+    The parent keeps the :class:`~repro.dist.shm.SharedCSR` owners alive
+    (and their picklable handles); children only ever see handle names.
+    """
+
+    def __init__(
+        self,
+        config,
+        fwd_handle: ShmCSRHandle,
+        bwd_handle: ShmCSRHandle,
+    ) -> None:
+        self.config = config
+        self._fwd_handle = fwd_handle
+        self._bwd_handle = bwd_handle
+        self.generation = 0
+        self._ctx = mp.get_context("fork")
+        self._last_health: tuple[float, bool] = (1.0, False)
+        self._spawn()
+
+    def _spawn(self) -> None:
+        parent, child = self._ctx.Pipe()
+        self._conn = parent
+        self._proc = self._ctx.Process(
+            target=_worker_main,
+            args=(
+                child,
+                self.config,
+                self._fwd_handle,
+                self._bwd_handle,
+                self.generation,
+            ),
+            daemon=True,
+        )
+        self._proc.start()
+        child.close()
+        kind, _ = self._recv()
+        if kind != "ready":
+            raise StorageError(
+                f"worker {self.config.worker_id} failed to start"
+            )
+
+    def _recv(self):
+        try:
+            return self._conn.recv()
+        except EOFError:
+            raise StorageError(
+                f"worker {self.config.worker_id} died without replying"
+            ) from None
+
+    def _call(self, cmd, payload=None):
+        self._conn.send((cmd, payload))
+        kind, data = self._recv()
+        if kind == "crash":
+            msg, crashed_at_s, level = data
+            self._proc.join()
+            raise ProcessCrashError(
+                msg, crashed_at_s=crashed_at_s, level=level
+            )
+        if kind == "device_failed":
+            raise DeviceFailedError(data)
+        if kind == "error":
+            raise StorageError(
+                f"worker {self.config.worker_id}: {data}"
+            )
+        return data
+
+    def step(self, direction, frontier, level) -> WorkerScan:
+        """Scan one level in the child; re-raises its typed errors."""
+        data = self._call(
+            "step", (direction, np.asarray(frontier, dtype=np.int64), level)
+        )
+        scan = WorkerScan(*data)
+        self._last_health = (scan.health_score, scan.circuit_open)
+        return scan
+
+    def reset(self) -> None:
+        """Clear the child worker's per-run search state."""
+        self._call("reset")
+
+    def restore(self, visited_ids) -> None:
+        """Replay visited state into the child from the merged tree."""
+        self._call("restore", np.asarray(visited_ids, dtype=np.int64))
+
+    def health(self) -> tuple[float, bool]:
+        """Last known ``(health_score, circuit_open)`` of the child."""
+        if self._proc.is_alive():
+            self._last_health = self._call("health")
+        return self._last_health
+
+    def nvm_bytes(self) -> int:
+        """Bytes the child has read from its device (0 once dead)."""
+        if not self._proc.is_alive():
+            return 0
+        return int(self._call("nvm_bytes"))
+
+    def restart(self) -> None:
+        """Respawn the child in a fresh store generation."""
+        if self._proc.is_alive():
+            self._proc.terminate()
+        self._proc.join()
+        self._conn.close()
+        self.generation += 1
+        self._spawn()
+
+    def close(self) -> None:
+        """Shut the child down and reap it (idempotent)."""
+        if self._proc.is_alive():
+            try:
+                self._call("close")
+            except (StorageError, OSError, BrokenPipeError):
+                pass
+        self._proc.join(timeout=5)
+        if self._proc.is_alive():  # pragma: no cover - defensive
+            self._proc.terminate()
+            self._proc.join()
+        self._conn.close()

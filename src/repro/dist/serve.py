@@ -1,0 +1,246 @@
+"""Serving over a partitioned deployment: catalog entry + query engine.
+
+A :class:`PartitionedGraph` is the catalog-resident description of one
+graph deployed across partition workers — duck-compatible with
+:class:`~repro.serve.catalog.PinnedGraph` everywhere the server touches
+it (``pins``, ``circuit_open``, ``store``, ``degrees``), with
+``store=None`` so the checkpointing machinery stays naturally inert (a
+distributed traversal's durability story is worker restart, not
+engine-level epochs).
+
+:class:`DistributedEngine` is the server-side query engine: it answers
+each batched root through the lockstep coordinator, and once a graph
+turns *hot* (``replicate_after`` completed queries) it replicates the
+full graph to every worker — each replica is a single-partition
+deployment on that worker's own store — and round-robins subsequent
+queries across replicas, trading device bytes for coordination-free
+fan-out.  Both routes produce byte-identical trees (each is
+byte-identical to ``SemiExternalBFS``), so routing is invisible to
+correctness, and both are accounted through ``dist.query`` events and
+the ``dist.queries_total{route=partitioned|replica}`` counter.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.bfs.metrics import BFSResult
+from repro.bfs.policies import AlphaBetaPolicy
+from repro.csr.graph import CSRGraph
+from repro.dist.coordinator import DistributedBFS
+from repro.dist.partition import (
+    ContiguousPartitioner,
+    DegreeBalancedPartitioner,
+    Partitioner,
+)
+from repro.errors import ConfigurationError
+from repro.obs.schema import (
+    M_DIST_QUERIES,
+    M_DIST_REPLICAS,
+    M_DIST_REPLICATIONS,
+)
+from repro.obs.session import NULL, Observability
+
+__all__ = ["PartitionedGraph", "DistributedEngine", "make_partitioner"]
+
+
+def make_partitioner(
+    strategy: str, n_parts: int, degrees: np.ndarray
+) -> Partitioner:
+    """Build a partitioner by strategy name (CLI/catalog surface)."""
+    if strategy == "contiguous":
+        return ContiguousPartitioner(n_parts)
+    if strategy == "degree":
+        return DegreeBalancedPartitioner(n_parts, degrees)
+    raise ConfigurationError(
+        f"unknown partition strategy {strategy!r} "
+        f"(have 'contiguous', 'degree')"
+    )
+
+
+class PartitionedGraph:
+    """One catalog graph deployed across partition workers.
+
+    Construction happens in
+    :meth:`~repro.serve.catalog.GraphCatalog.build_partitioned`; treat
+    instances as immutable apart from the replication state.
+    """
+
+    is_partitioned = True
+
+    def __init__(
+        self,
+        name: str,
+        scenario,
+        scale: int,
+        csr: CSRGraph,
+        coordinator: DistributedBFS,
+        workdir: Path,
+        alpha: float,
+        beta: float,
+        obs: Observability,
+        replicate_after: int | None = None,
+    ) -> None:
+        self.name = name
+        self.scenario = scenario
+        self.scale = scale
+        self.csr = csr
+        self.coordinator = coordinator
+        self.workdir = Path(workdir)
+        self.alpha = alpha
+        self.beta = beta
+        self.obs = obs if obs is not None else NULL
+        self.replicate_after = replicate_after
+        self.n_vertices = csr.n_rows
+        self.degrees = csr.degrees()
+        self.clock = coordinator.clock
+        # PinnedGraph duck surface the server relies on: no single store
+        # (each worker owns one), so checkpoint managers are never built
+        # and the catalog's byte accounting asks worker_nvm_bytes().
+        self.store = None
+        self.pins = 0
+        self.queries_completed = 0
+        self.replicas: list[DistributedBFS] = []
+
+    @property
+    def n_workers(self) -> int:
+        """Number of partition workers behind this deployment."""
+        return self.coordinator.n_workers
+
+    @property
+    def circuit_open(self) -> bool:
+        """Open when *every* worker's breaker is open (any partition
+        still healthy can make progress bottom-up)."""
+        states = [h.health()[1] for h in self.coordinator.workers]
+        return bool(states) and all(states)
+
+    def device_health(self) -> float:
+        """Min health score over workers (the global PolicyInputs value)."""
+        return self.coordinator._device_health()
+
+    def make_policy(self) -> AlphaBetaPolicy:
+        """A fresh per-query direction policy with this graph's α/β."""
+        return AlphaBetaPolicy(alpha=self.alpha, beta=self.beta)
+
+    def worker_nvm_bytes(self) -> int:
+        """Device bytes read across all workers and replicas."""
+        total = self.coordinator._nvm_bytes()
+        for replica in self.replicas:
+            total += replica._nvm_bytes()
+        return total
+
+    @property
+    def hot(self) -> bool:
+        """Whether the replication threshold has been crossed."""
+        return (
+            self.replicate_after is not None
+            and self.queries_completed >= self.replicate_after
+        )
+
+    def ensure_replicated(self) -> None:
+        """Replicate the full graph to every worker (idempotent).
+
+        Each replica is a single-partition deployment on its own store
+        under ``workdir/replica{k}`` — the coordination-free fast path
+        for hot graphs.
+        """
+        if self.replicas:
+            return
+        obs = self.obs
+        with obs.span(
+            "dist.replicate", graph=self.name, workers=self.n_workers
+        ):
+            for k in range(self.n_workers):
+                self.replicas.append(
+                    DistributedBFS.build(
+                        self.csr,
+                        ContiguousPartitioner(1),
+                        self.make_policy(),
+                        self.workdir / f"replica{k}",
+                        self.scenario.device,
+                        cost_model=self.scenario.cost_model,
+                        clock=self.clock,
+                        obs=obs,
+                    )
+                )
+            obs.counter(M_DIST_REPLICATIONS).inc()
+            obs.gauge(M_DIST_REPLICAS).set(len(self.replicas))
+
+    def close(self) -> None:
+        """Stop the coordinator's workers and any replicas (idempotent)."""
+        self.coordinator.close()
+        for replica in self.replicas:
+            replica.close()
+        self.replicas = []
+
+    def __repr__(self) -> str:
+        return (
+            f"PartitionedGraph({self.name!r}, scale={self.scale}, "
+            f"workers={self.n_workers}, replicas={len(self.replicas)}, "
+            f"pins={self.pins})"
+        )
+
+
+class DistributedEngine:
+    """Batched query engine routing through a partitioned deployment.
+
+    Presents the slice of the :class:`~repro.serve.engine.BatchedBFS`
+    surface the server drives (``run_batch``, ``rows_requested`` /
+    ``rows_fetched``); queries run one at a time through the coordinator
+    (or a replica once the graph is hot) — the deployment's concurrency
+    lives *across* partitions rather than across roots.
+    """
+
+    def __init__(
+        self, graph: PartitionedGraph, obs: Observability | None = None
+    ) -> None:
+        self.graph = graph
+        self.obs = obs if obs is not None else graph.obs
+        # Row-dedup accounting is a shared-store concept; partitioned
+        # deployments report device traffic per worker instead.
+        self.rows_requested = 0
+        self.rows_fetched = 0
+        self._rr = 0
+
+    def run_batch(
+        self,
+        roots: list[int],
+        max_levels: int | None = None,
+        checkpointer=None,
+    ) -> list[BFSResult]:
+        """Answer each root; route hot graphs through worker replicas."""
+        if len(set(roots)) != len(roots):
+            raise ConfigurationError(
+                f"duplicate roots in batch: {sorted(roots)}"
+            )
+        graph = self.graph
+        obs = self.obs
+        results: list[BFSResult] = []
+        for root in roots:
+            if graph.hot:
+                graph.ensure_replicated()
+            route = "replica" if graph.replicas else "partitioned"
+            if graph.replicas:
+                engine = graph.replicas[self._rr % len(graph.replicas)]
+                worker = self._rr % len(graph.replicas)
+                self._rr += 1
+            else:
+                engine = graph.coordinator
+                worker = -1
+            t0 = graph.clock.now()
+            result = engine.run(int(root), max_levels=max_levels)
+            latency = graph.clock.now() - t0
+            obs.counter(M_DIST_QUERIES, route=route).inc()
+            obs.event(
+                "dist.query",
+                graph=graph.name,
+                root=int(root),
+                route=route,
+                worker=worker,
+                latency_s=latency,
+            )
+            graph.queries_completed += 1
+            results.append(result)
+        return results

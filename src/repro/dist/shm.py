@@ -1,0 +1,131 @@
+"""Shared-memory CSR segments: workers map the graph without copies.
+
+A :class:`SharedCSR` places one CSR's ``indptr``/``adj`` arrays into two
+POSIX shared-memory blocks (:mod:`multiprocessing.shared_memory`).  The
+coordinator :meth:`creates <SharedCSR.create>` the segments once; each
+worker process :meth:`attaches <SharedCSR.attach>` by name and gets a
+:class:`~repro.csr.graph.CSRGraph` whose arrays are zero-copy views of
+the shared buffers — the FlashGraph lesson restated for processes: ship
+frontier/parent messages, never the graph.
+
+Lifecycle: the creator ``close()``s *and* ``unlink()``s (removing the
+backing object); attachers only ``close()``.  A :class:`ShmCSRHandle` is
+the picklable description sent to workers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.csr.graph import CSRGraph
+
+__all__ = ["ShmCSRHandle", "SharedCSR"]
+
+
+@dataclass(frozen=True)
+class ShmCSRHandle:
+    """Picklable locator of one shared CSR (names + shape)."""
+
+    indptr_name: str
+    adj_name: str
+    n_rows: int
+    nnz: int
+    n_cols: int
+
+
+class SharedCSR:
+    """One CSR mapped into shared memory (creator or attacher side)."""
+
+    def __init__(
+        self,
+        indptr_shm: shared_memory.SharedMemory,
+        adj_shm: shared_memory.SharedMemory,
+        handle: ShmCSRHandle,
+        owner: bool,
+    ) -> None:
+        self._indptr_shm = indptr_shm
+        self._adj_shm = adj_shm
+        self.handle = handle
+        self._owner = owner
+        self._closed = False
+
+    @classmethod
+    def create(cls, csr: CSRGraph) -> "SharedCSR":
+        """Copy ``csr`` into fresh shared-memory segments (coordinator)."""
+        # SharedMemory refuses zero-byte segments; pad empty adjacency.
+        indptr_shm = shared_memory.SharedMemory(
+            create=True, size=max(csr.indptr.nbytes, 8)
+        )
+        adj_shm = shared_memory.SharedMemory(
+            create=True, size=max(csr.adj.nbytes, 8)
+        )
+        handle = ShmCSRHandle(
+            indptr_name=indptr_shm.name,
+            adj_name=adj_shm.name,
+            n_rows=csr.n_rows,
+            nnz=int(csr.adj.size),
+            n_cols=int(csr.n_cols),
+        )
+        shared = cls(indptr_shm, adj_shm, handle, owner=True)
+        np.copyto(shared._indptr_view(), csr.indptr)
+        np.copyto(shared._adj_view(), csr.adj)
+        return shared
+
+    @classmethod
+    def attach(cls, handle: ShmCSRHandle) -> "SharedCSR":
+        """Map an existing shared CSR by name (worker side)."""
+        indptr_shm = shared_memory.SharedMemory(name=handle.indptr_name)
+        adj_shm = shared_memory.SharedMemory(name=handle.adj_name)
+        return cls(indptr_shm, adj_shm, handle, owner=False)
+
+    def _indptr_view(self) -> np.ndarray:
+        n = self.handle.n_rows + 1
+        return np.ndarray(
+            (n,), dtype=np.int64, buffer=self._indptr_shm.buf
+        )
+
+    def _adj_view(self) -> np.ndarray:
+        return np.ndarray(
+            (self.handle.nnz,), dtype=np.int64, buffer=self._adj_shm.buf
+        )
+
+    @property
+    def csr(self) -> CSRGraph:
+        """The shared graph as zero-copy numpy views."""
+        return CSRGraph(
+            indptr=self._indptr_view(),
+            adj=self._adj_view(),
+            n_cols=self.handle.n_cols,
+        )
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held in shared memory for this CSR."""
+        return self._indptr_shm.size + self._adj_shm.size
+
+    def close(self) -> None:
+        """Detach the mapping (idempotent); creators also unlink."""
+        if self._closed:
+            return
+        self._closed = True
+        self._indptr_shm.close()
+        self._adj_shm.close()
+        if self._owner:
+            self._indptr_shm.unlink()
+            self._adj_shm.unlink()
+
+    def __enter__(self) -> "SharedCSR":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        side = "owner" if self._owner else "attached"
+        return (
+            f"SharedCSR({self.handle.n_rows}x{self.handle.n_cols}, "
+            f"nnz={self.handle.nnz}, {side})"
+        )

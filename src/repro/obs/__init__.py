@@ -50,6 +50,7 @@ from repro.obs.slo import (
     SLOReport,
     SLOResult,
     SLOSpec,
+    dist_worker_slos,
     evaluate,
 )
 from repro.obs.spans import CounterPoint, Span, TraceEvent, Tracer
@@ -85,4 +86,5 @@ __all__ = [
     "SLOResult",
     "SLOReport",
     "DEFAULT_SERVE_SLOS",
+    "dist_worker_slos",
 ]

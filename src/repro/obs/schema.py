@@ -111,6 +111,18 @@ M_CONF_CHECKS = "conformance.checks_total"
 M_CONF_FAILURES = "conformance.failures_total"
 M_CONF_SHRINK_EVALS = "conformance.shrink_evals_total"
 M_CONF_ARTIFACTS = "conformance.artifacts_total"
+M_DIST_WORKERS = "dist.workers"
+M_DIST_LEVELS = "dist.levels_total"
+M_DIST_BROADCAST = "dist.broadcast_vertices_total"
+M_DIST_MERGED = "dist.merged_vertices_total"
+M_DIST_MERGE_SECONDS = "dist.merge_seconds_total"
+M_DIST_WORKER_SECONDS = "dist.worker_seconds_total"
+M_DIST_WORKER_EDGES = "dist.worker_edges_total"
+M_DIST_IMBALANCE = "dist.level_imbalance"
+M_DIST_RESTARTS = "dist.worker_restarts_total"
+M_DIST_QUERIES = "dist.queries_total"
+M_DIST_REPLICAS = "dist.replicas"
+M_DIST_REPLICATIONS = "dist.replications_total"
 
 
 METRICS: tuple[MetricSpec, ...] = (
@@ -287,6 +299,39 @@ METRICS: tuple[MetricSpec, ...] = (
                "counterexamples."),
     MetricSpec(M_CONF_ARTIFACTS, "counter", ("engine",),
                "Replayable repro artifacts written to disk."),
+    # -- distributed traversal ------------------------------------------------
+    MetricSpec(M_DIST_WORKERS, "gauge", (),
+               "Worker partitions of the distributed deployment."),
+    MetricSpec(M_DIST_LEVELS, "counter", ("direction",),
+               "Coordinated lockstep levels executed, by direction."),
+    MetricSpec(M_DIST_BROADCAST, "counter", (),
+               "Frontier vertices broadcast to workers (frontier size "
+               "times worker count, summed over levels)."),
+    MetricSpec(M_DIST_MERGED, "counter", (),
+               "Per-partition next-frontier vertices merged by the "
+               "coordinator (first-parent-wins deltas installed)."),
+    MetricSpec(M_DIST_MERGE_SECONDS, "counter", (),
+               "Simulated seconds the coordinator spent merging frontiers "
+               "and parent deltas."),
+    MetricSpec(M_DIST_WORKER_SECONDS, "counter", ("worker",),
+               "Per-worker simulated busy seconds, summed over levels "
+               "(the coordinator clock advances by the per-level max)."),
+    MetricSpec(M_DIST_WORKER_EDGES, "counter", ("worker", "medium"),
+               "Edge probes per worker, split by adjacency medium "
+               "(medium=dram|nvm)."),
+    MetricSpec(M_DIST_IMBALANCE, "histogram", (),
+               "Per-level load imbalance: max over workers divided by "
+               "mean worker seconds (1.0 = perfectly balanced)."),
+    MetricSpec(M_DIST_RESTARTS, "counter", ("worker",),
+               "Worker restarts after an injected process crash "
+               "(the level re-runs on the rebuilt worker)."),
+    MetricSpec(M_DIST_QUERIES, "counter", ("route",),
+               "Queries answered by the deployment "
+               "(route=partitioned|replica)."),
+    MetricSpec(M_DIST_REPLICAS, "gauge", (),
+               "Workers holding a full replica of a hot graph."),
+    MetricSpec(M_DIST_REPLICATIONS, "counter", (),
+               "Hot-graph replication passes executed."),
 )
 
 
@@ -321,6 +366,13 @@ SPANS: tuple[str, ...] = (
     "conformance.trial",
     "conformance.shrink",
     "conformance.replay",
+    "dist.run",
+    "dist.level",
+    "dist.worker",
+    "dist.merge",
+    "dist.restart",
+    "dist.query",
+    "dist.replicate",
 )
 
 

@@ -41,6 +41,7 @@ __all__ = [
     "SLOResult",
     "SLOReport",
     "DEFAULT_SERVE_SLOS",
+    "dist_worker_slos",
     "evaluate",
 ]
 
@@ -60,6 +61,13 @@ class SLOSpec:
     only); ``windows`` are trailing burn-rate windows as fractions of
     the run duration; ``burn_alert`` is the burn-rate level at which
     the fast+slow window pair pages.
+
+    ``event``/``reject_event`` name the SLI's event streams (the serve
+    tier's ``serve.complete``/``serve.reject`` by default; the
+    distributed tier points them at ``dist.query``), and ``where``
+    filters events by attribute equality — ``(("worker", "2"),)``
+    scopes an objective to one partition worker.  Attribute values are
+    compared as strings.
     """
 
     name: str
@@ -69,6 +77,9 @@ class SLOSpec:
     threshold_s: float | None = None
     windows: tuple[float, ...] = DEFAULT_WINDOWS
     burn_alert: float = 2.0
+    event: str = "serve.complete"
+    reject_event: str = "serve.reject"
+    where: tuple[tuple[str, str], ...] = ()
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
@@ -133,6 +144,8 @@ class SLOResult:
             "kind": self.spec.kind,
             "target": self.spec.target,
             "threshold_s": self.spec.threshold_s,
+            "event": self.spec.event,
+            "where": [list(pair) for pair in self.spec.where],
             "total": self.total,
             "good": self.good,
             "bad": self.bad,
@@ -240,6 +253,51 @@ DEFAULT_SERVE_SLOS: tuple[SLOSpec, ...] = (
 )
 
 
+def dist_worker_slos(
+    n_workers: int,
+    threshold_s: float = 0.050,
+    target: float = 0.95,
+) -> tuple[SLOSpec, ...]:
+    """Latency objectives for a partitioned deployment's query stream.
+
+    Returns one overall objective over every ``dist.query`` event plus
+    one per-worker objective scoped with ``where=(("worker", k),)`` —
+    replica-routed queries carry their worker id, coordinator-routed
+    queries carry ``worker=-1`` and so count only toward the overall
+    objective.
+    """
+    if n_workers < 1:
+        raise ConfigurationError(
+            f"n_workers must be >= 1, got {n_workers}"
+        )
+    specs = [
+        SLOSpec(
+            name="dist-query-latency",
+            description=f"{target * 100:g}% of partitioned queries "
+                        f"complete within {threshold_s * 1000:g} ms.",
+            kind="latency",
+            target=target,
+            threshold_s=threshold_s,
+            event="dist.query",
+        )
+    ]
+    for k in range(n_workers):
+        specs.append(
+            SLOSpec(
+                name=f"dist-worker{k}-latency",
+                description=f"{target * 100:g}% of replica queries "
+                            f"served by worker {k} complete within "
+                            f"{threshold_s * 1000:g} ms.",
+                kind="latency",
+                target=target,
+                threshold_s=threshold_s,
+                event="dist.query",
+                where=(("worker", str(k)),),
+            )
+        )
+    return tuple(specs)
+
+
 def _counter_sum(obs, name: str) -> float:
     total = 0.0
     for metric in obs.registry.metrics():
@@ -248,19 +306,27 @@ def _counter_sum(obs, name: str) -> float:
     return total
 
 
+def _where_matches(event, where: tuple[tuple[str, str], ...]) -> bool:
+    return all(
+        str(event.attrs.get(key)) == value for key, value in where
+    )
+
+
 def _samples_for(obs, spec: SLOSpec) -> list[tuple[float, bool]]:
     """Timestamped (t_s, good) samples of one spec's SLI."""
     samples: list[tuple[float, bool]] = []
     if spec.kind == "latency":
         for e in obs.tracer.events:
-            if e.name == "serve.complete":
+            if e.name == spec.event and _where_matches(e, spec.where):
                 lat = float(e.attrs.get("latency_s", 0.0))
                 samples.append((e.t_s, lat <= spec.threshold_s))
     elif spec.kind == "availability":
         for e in obs.tracer.events:
-            if e.name == "serve.complete":
+            if not _where_matches(e, spec.where):
+                continue
+            if e.name == spec.event:
                 samples.append((e.t_s, True))
-            elif e.name == "serve.reject":
+            elif e.name == spec.reject_event:
                 samples.append((e.t_s, False))
     samples.sort(key=lambda s: s[0])
     return samples

@@ -20,7 +20,10 @@ The two stock scenarios cover the paper's two performance claims:
   subsystem at its default cadence (pinned ≤ 5 % of traversal bytes);
 * :func:`run_backward_offload` — the §VI-E memory-vs-TEPS frontier of
   the tiered backward store, measured (DRAM bytes strictly shrink and
-  fallthrough reads strictly grow as k shrinks).
+  fallthrough reads strictly grow as k shrinks);
+* :func:`run_dist_scaling` — the beyond-paper partitioned traversal's
+  scaling curve (1/2/4 workers), with byte-identity to the
+  single-process engine asserted in-runner.
 """
 
 from __future__ import annotations
@@ -336,6 +339,116 @@ def run_backward_offload(seed: int, workdir: Path) -> BenchArtifact:
     )
 
 
+def run_dist_scaling(seed: int, workdir: Path) -> BenchArtifact:
+    """Partitioned-traversal scaling curve at 1 / 2 / 4 workers.
+
+    The same Kronecker graph through :class:`~repro.dist.DistributedBFS`
+    (local backend, PCIe-flash stores) at each partition count, with a
+    single-process :class:`~repro.bfs.semi_external.SemiExternalBFS`
+    traversal as the oracle — the runner asserts every partitioned tree
+    byte-identical to it before any metric is recorded, so a
+    determinism regression fails the bench outright rather than
+    drifting a number.  Per partition count the artifact records
+    modeled TEPS and speedup vs one partition (level time is the max
+    over workers plus merge cost, so speedup reflects the real
+    coordination overhead); at four workers it also records the mean
+    per-level imbalance (slowest worker over mean worker time).
+    """
+    from repro.bfs.policies import AlphaBetaPolicy
+    from repro.bfs.semi_external import SemiExternalBFS
+    from repro.csr import BackwardGraph, ForwardGraph, build_csr
+    from repro.dist import ContiguousPartitioner, DistributedBFS
+    from repro.graph500 import EdgeList, generate_edges
+    from repro.semiext.storage import NVMStore
+
+    scale = 10
+    partition_counts = (1, 2, 4)
+    scenario = DRAM_PCIE_FLASH
+    n = 1 << scale
+    edges = EdgeList(generate_edges(scale, seed=seed), n)
+    csr = build_csr(edges)
+    root = int(np.flatnonzero(csr.degrees() > 0)[0])
+
+    def policy() -> AlphaBetaPolicy:
+        return AlphaBetaPolicy(alpha=scenario.alpha, beta=scenario.beta)
+
+    oracle_engine = SemiExternalBFS.offload(
+        forward=ForwardGraph(csr, scenario.topology),
+        backward=BackwardGraph(csr, scenario.topology),
+        policy=policy(),
+        store=NVMStore(
+            workdir / "oracle",
+            scenario.device,
+            concurrency=scenario.topology.n_cores,
+        ),
+        cost_model=scenario.cost_model,
+    )
+    oracle = oracle_engine.run(root)
+
+    modeled: dict[int, float] = {}
+    imbalance = 0.0
+    sim_s = 0.0
+    for n_parts in partition_counts:
+        engine = DistributedBFS.build(
+            csr,
+            ContiguousPartitioner(n_parts),
+            policy(),
+            workdir / f"p{n_parts}",
+            scenario.device,
+            cost_model=scenario.cost_model,
+            concurrency=scenario.topology.n_cores,
+        )
+        try:
+            t0 = engine.clock.now()
+            result = engine.run(root)
+            modeled[n_parts] = engine.clock.now() - t0
+            if not np.array_equal(result.parent, oracle.parent):
+                raise AssertionError(
+                    f"partitioned tree at {n_parts} partitions diverges "
+                    f"from SemiExternalBFS (seed {seed})"
+                )
+            if n_parts == max(partition_counts):
+                ratios = [
+                    t.worker_max_s / t.worker_mean_s
+                    for t in engine.level_imbalance
+                    if t.worker_mean_s > 0.0
+                ]
+                imbalance = float(np.mean(ratios)) if ratios else 1.0
+        finally:
+            engine.close()
+        sim_s += modeled[n_parts]
+
+    traversed = float(oracle.traversed_edges)
+    metrics: dict[str, BenchMetric] = {}
+    for n_parts in partition_counts:
+        t = modeled[n_parts]
+        metrics[f"teps_p{n_parts}"] = BenchMetric(
+            traversed / t if t else 0.0, "TEPS", True
+        )
+    for n_parts in partition_counts[1:]:
+        metrics[f"speedup_p{n_parts}"] = BenchMetric(
+            modeled[1] / modeled[n_parts] if modeled[n_parts] else 0.0,
+            "x", True,
+        )
+    metrics["imbalance_p4"] = BenchMetric(
+        imbalance, "x", False, tolerance=0.10
+    )
+    return BenchArtifact(
+        name="dist_scaling",
+        description="Partitioned-BFS scaling curve (1/2/4 workers) with "
+                    "byte-identity to the single-process engine asserted "
+                    "in-runner.",
+        seed=seed,
+        params={
+            "scale": scale, "edge_factor": 16,
+            "partitions": list(partition_counts),
+            "alpha": scenario.alpha, "beta": scenario.beta,
+        },
+        simulated_seconds=sim_s,
+        metrics=metrics,
+    )
+
+
 SCENARIOS: tuple[BenchScenario, ...] = (
     BenchScenario(
         name="fig11_degradation",
@@ -362,6 +475,13 @@ SCENARIOS: tuple[BenchScenario, ...] = (
                     "backward store.",
         paper_ref="PAPER.md §VI-E, Fig. 14",
         runner=run_backward_offload,
+    ),
+    BenchScenario(
+        name="dist_scaling",
+        description="Partitioned-BFS scaling at 1/2/4 workers, trees "
+                    "byte-identical to the single-process engine.",
+        paper_ref="PAPER.md §VII (beyond-paper distributed extension)",
+        runner=run_dist_scaling,
     ),
 )
 

@@ -251,6 +251,83 @@ class GraphCatalog:
         self._graphs[name] = graph
         return graph
 
+    def build_partitioned(
+        self,
+        name: str,
+        scenario: ScenarioConfig,
+        scale: int,
+        n_partitions: int,
+        edge_factor: int = 16,
+        seed: int | None = None,
+        alpha: float | None = None,
+        beta: float | None = None,
+        strategy: str = "contiguous",
+        backend: str = "local",
+        replicate_after: int | None = None,
+        page_cache_bytes: int = 0,
+        fault_plans=None,
+    ) -> "PartitionedGraph":
+        """Build and register a partitioned deployment under ``name``.
+
+        The graph is sharded across ``n_partitions`` workers, each with
+        its own NVM store under this catalog's workdir; queries route
+        through the lockstep coordinator (see :mod:`repro.dist`), and
+        ``replicate_after`` completed queries mark the graph hot and
+        replicate it to every worker.  Requires a semi-external scenario
+        — a partitioned deployment is precisely a fleet of per-partition
+        NVM stores.
+        """
+        from repro.dist import DistributedBFS
+        from repro.dist.serve import PartitionedGraph, make_partitioner
+
+        if name in self._graphs:
+            raise ConfigurationError(
+                f"graph {name!r} already built; catalog graphs build once"
+            )
+        if scenario.kind is not ScenarioKind.SEMI_EXTERNAL:
+            raise ConfigurationError(
+                f"partitioned deployments need a semi-external scenario, "
+                f"got {scenario.name!r} ({scenario.kind.name})"
+            )
+        n = 1 << scale
+        edges = EdgeList(generate_edges(scale, edge_factor=edge_factor,
+                                        seed=seed), n)
+        csr = build_csr(edges)
+        use_alpha = scenario.alpha if alpha is None else alpha
+        use_beta = scenario.beta if beta is None else beta
+        partitioner = make_partitioner(strategy, n_partitions, csr.degrees())
+        workdir = self.workdir / name
+        coordinator = DistributedBFS.build(
+            csr,
+            partitioner,
+            AlphaBetaPolicy(alpha=use_alpha, beta=use_beta),
+            workdir,
+            scenario.device,
+            cost_model=scenario.cost_model,
+            clock=self.clock,
+            obs=self.obs,
+            fault_plans=(fault_plans if fault_plans is not None
+                         else scenario.fault_plan),
+            backend=backend,
+            concurrency=scenario.topology.n_cores,
+            page_cache_bytes=page_cache_bytes,
+            retry=scenario.retry,
+        )
+        graph = PartitionedGraph(
+            name=name,
+            scenario=scenario,
+            scale=scale,
+            csr=csr,
+            coordinator=coordinator,
+            workdir=workdir,
+            alpha=use_alpha,
+            beta=use_beta,
+            obs=self.obs,
+            replicate_after=replicate_after,
+        )
+        self._graphs[name] = graph
+        return graph
+
     def get(self, name: str) -> PinnedGraph:
         """Look up a built graph."""
         try:
@@ -275,7 +352,11 @@ class GraphCatalog:
         del self._graphs[name]
 
     def close(self) -> None:
-        """Drop the temporary workdir, if the catalog owns one."""
+        """Stop partitioned deployments and drop an owned workdir."""
+        for graph in self._graphs.values():
+            closer = getattr(graph, "close", None)
+            if closer is not None:
+                closer()
         if self._tmpdir is not None:
             self._tmpdir.cleanup()
             self._tmpdir = None

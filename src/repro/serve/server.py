@@ -222,10 +222,22 @@ class BFSServer:
         self._batch_seq = 0
 
     def engine_for(self, name: str) -> BatchedBFS:
-        """The (persistent) batched engine for catalog graph ``name``."""
+        """The (persistent) query engine for catalog graph ``name``.
+
+        Partitioned deployments (``repro.dist``) get a
+        :class:`~repro.dist.serve.DistributedEngine` routing through
+        their coordinator; everything else gets the shared-store
+        :class:`~repro.serve.engine.BatchedBFS`.
+        """
         engine = self._engines.get(name)
         if engine is None:
-            engine = BatchedBFS(self.catalog.get(name), obs=self.obs)
+            graph = self.catalog.get(name)
+            if getattr(graph, "is_partitioned", False):
+                from repro.dist.serve import DistributedEngine
+
+                engine = DistributedEngine(graph, obs=self.obs)
+            else:
+                engine = BatchedBFS(graph, obs=self.obs)
             self._engines[name] = engine
         return engine
 
@@ -274,9 +286,13 @@ class BFSServer:
     def _nvm_bytes(self) -> int:
         total = 0
         for name in self.catalog.names():
-            store = self.catalog.get(name).store
-            if store is not None:
-                total += store.iostats.total_bytes
+            graph = self.catalog.get(name)
+            if graph.store is not None:
+                total += graph.store.iostats.total_bytes
+            else:
+                worker_bytes = getattr(graph, "worker_nvm_bytes", None)
+                if worker_bytes is not None:
+                    total += worker_bytes()
         return total
 
     def _reject(self, report: ServeReport, request: Request,

@@ -59,6 +59,22 @@ class TestUsageErrors:
         )
         assert "unknown workload key" in err
 
+    @pytest.mark.parametrize("command", ["run", "serve"])
+    @pytest.mark.parametrize("value", ["0", "-2", "x"])
+    def test_invalid_partitions(self, capsys, command, value):
+        err = self._expect_usage_error(
+            capsys, [command, "--partitions", value]
+        )
+        assert "--partitions" in err
+
+    def test_partitions_need_semi_external_scenario(self, capsys):
+        assert main(
+            ["run", "--scenario", "dram", "--partitions", "2"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "semi-external" in err
+        assert "Traceback" not in err
+
     def test_invalid_workload_not_key_value(self, capsys):
         err = self._expect_usage_error(
             capsys, ["serve", "--workload", "n200"]

@@ -32,7 +32,8 @@ from repro.graph500.edgelist import EdgeList
 from repro.obs import Observability
 
 ALL_ENGINES = {"reference", "topdown", "bottomup", "hybrid", "parallel",
-               "semi_external", "tiered", "fully_external", "batched"}
+               "semi_external", "tiered", "fully_external", "batched",
+               "partitioned"}
 
 
 def _case(pairs, n):

@@ -1,0 +1,178 @@
+"""Unit tests for repro.dist.partition (partitioners and CSR sharding)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.csr import build_csr
+from repro.csr.graph import CSRGraph
+from repro.dist import (
+    ContiguousPartitioner,
+    DegreeBalancedPartitioner,
+    column_shards,
+    row_shards,
+)
+from repro.errors import ConfigurationError
+from repro.graph500 import EdgeList, generate_edges
+from repro.numa import NumaTopology
+
+
+def _small_csr(scale=7, seed=5):
+    n = 1 << scale
+    return build_csr(EdgeList(generate_edges(scale, seed=seed), n))
+
+
+class TestContiguousPartitioner:
+    def test_rejects_nonpositive_count(self):
+        for bad in (0, -1):
+            with pytest.raises(ConfigurationError):
+                ContiguousPartitioner(bad)
+
+    @pytest.mark.parametrize("n_parts", [1, 2, 4, 7])
+    def test_matches_numa_topology_ranges(self, n_parts):
+        # The generalization contract: bit-compatible with the NUMA
+        # shard layer's ceil-division split at every count.
+        parts = ContiguousPartitioner(n_parts).partitions(103)
+        numa = NumaTopology(n_parts).partitions(103)
+        assert [(p.lo, p.hi) for p in parts] == [(p.lo, p.hi) for p in numa]
+
+    def test_partitions_cover_and_abut(self):
+        parts = ContiguousPartitioner(4).partitions(103)
+        assert parts[0].lo == 0
+        assert parts[-1].hi == 103
+        for a, b in zip(parts, parts[1:]):
+            assert a.hi == b.lo
+
+    def test_trailing_partitions_empty_when_overpartitioned(self):
+        parts = ContiguousPartitioner(8).partitions(3)
+        assert sum(p.size for p in parts) == 3
+        assert [p.size for p in parts[3:]] == [0] * 5
+
+    def test_owner_of_matches_partitions(self):
+        p = ContiguousPartitioner(4)
+        n = 103
+        owners = p.owner_of(np.arange(n), n)
+        for part in p.partitions(n):
+            assert (owners[part.lo:part.hi] == part.node).all()
+
+    def test_owner_of_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            ContiguousPartitioner(2).owner_of(np.array([10]), 10)
+        with pytest.raises(ConfigurationError):
+            ContiguousPartitioner(2).owner_of(np.array([-1]), 10)
+
+    def test_rejects_nonpositive_vertex_count(self):
+        with pytest.raises(ConfigurationError):
+            ContiguousPartitioner(2).partitions(0)
+
+
+class TestDegreeBalancedPartitioner:
+    def test_partitions_cover_and_abut(self):
+        csr = _small_csr()
+        parts = DegreeBalancedPartitioner(4, csr.degrees()).partitions(
+            csr.n_rows
+        )
+        assert parts[0].lo == 0
+        assert parts[-1].hi == csr.n_rows
+        for a, b in zip(parts, parts[1:]):
+            assert a.hi == b.lo
+
+    def test_owner_of_matches_partitions(self):
+        csr = _small_csr()
+        p = DegreeBalancedPartitioner(4, csr.degrees())
+        n = csr.n_rows
+        owners = p.owner_of(np.arange(n), n)
+        for part in p.partitions(n):
+            assert (owners[part.lo:part.hi] == part.node).all()
+
+    def test_balances_edges_better_than_contiguous(self):
+        # Kronecker degrees are skewed toward low vertex ids; boundaries
+        # on the cumulative degree curve must spread edge work tighter
+        # than equal-width vertex ranges do.
+        csr = _small_csr(scale=9)
+        degrees = csr.degrees()
+
+        def edge_spread(partitioner):
+            loads = [
+                int(degrees[p.lo:p.hi].sum())
+                for p in partitioner.partitions(csr.n_rows)
+            ]
+            return max(loads) - min(loads)
+
+        balanced = edge_spread(DegreeBalancedPartitioner(4, degrees))
+        contiguous = edge_spread(ContiguousPartitioner(4))
+        assert balanced < contiguous
+
+    def test_rejects_bad_degrees(self):
+        with pytest.raises(ConfigurationError):
+            DegreeBalancedPartitioner(2, np.empty(0, dtype=np.int64))
+        with pytest.raises(ConfigurationError):
+            DegreeBalancedPartitioner(2, np.array([[1, 2]]))
+        with pytest.raises(ConfigurationError):
+            DegreeBalancedPartitioner(2, np.array([1, -1]))
+
+    def test_rejects_mismatched_vertex_count(self):
+        p = DegreeBalancedPartitioner(2, np.ones(10, dtype=np.int64))
+        with pytest.raises(ConfigurationError):
+            p.partitions(11)
+        with pytest.raises(ConfigurationError):
+            p.owner_of(np.array([0]), 11)
+
+    def test_overpartitioned_boundaries_stay_valid(self):
+        # More partitions than vertices: duplicated boundaries make some
+        # ranges empty, and owner_of must agree with partitions().
+        p = DegreeBalancedPartitioner(8, np.ones(3, dtype=np.int64))
+        parts = p.partitions(3)
+        assert sum(part.size for part in parts) == 3
+        owners = p.owner_of(np.arange(3), 3)
+        for part in parts:
+            assert (owners[part.lo:part.hi] == part.node).all()
+
+
+class TestShards:
+    def test_column_shards_keep_all_rows_and_own_destinations(self):
+        csr = _small_csr()
+        p = ContiguousPartitioner(4)
+        shards = column_shards(csr, p)
+        assert len(shards) == 4
+        for part, shard in zip(p.partitions(csr.n_rows), shards):
+            assert shard.n_rows == csr.n_rows
+            if shard.adj.size:
+                assert int(shard.adj.min()) >= part.lo
+                assert int(shard.adj.max()) < part.hi
+
+    def test_column_shards_union_reproduces_adjacency(self):
+        csr = _small_csr()
+        shards = column_shards(csr, ContiguousPartitioner(3))
+        for row in range(csr.n_rows):
+            merged = np.concatenate([
+                s.adj[s.indptr[row]:s.indptr[row + 1]] for s in shards
+            ])
+            original = csr.adj[csr.indptr[row]:csr.indptr[row + 1]]
+            assert sorted(merged.tolist()) == sorted(original.tolist())
+
+    def test_row_shards_concatenate_back_to_csr(self):
+        csr = _small_csr()
+        shards = row_shards(csr, ContiguousPartitioner(3))
+        adj = np.concatenate([s.adj for s in shards])
+        degrees = np.concatenate([np.diff(s.indptr) for s in shards])
+        assert np.array_equal(adj, csr.adj)
+        assert np.array_equal(degrees, csr.degrees())
+
+    def test_row_shards_sizes_match_partitions(self):
+        csr = _small_csr()
+        p = DegreeBalancedPartitioner(4, csr.degrees())
+        for part, shard in zip(p.partitions(csr.n_rows), row_shards(csr, p)):
+            assert shard.n_rows == part.size
+
+    def test_sharding_requires_square_csr(self):
+        rect = CSRGraph(
+            indptr=np.array([0, 1], dtype=np.int64),
+            adj=np.array([3], dtype=np.int64),
+            n_cols=5,
+        )
+        with pytest.raises(ConfigurationError):
+            column_shards(rect, ContiguousPartitioner(2))
+        with pytest.raises(ConfigurationError):
+            row_shards(rect, ContiguousPartitioner(2))

@@ -1,0 +1,134 @@
+"""Process-backend tests: shared-memory CSR round-trips, forked workers
+matching the in-process backend byte for byte, crash respawn."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bfs import AlphaBetaPolicy
+from repro.csr import build_csr
+from repro.csr.graph import CSRGraph
+from repro.dist import ContiguousPartitioner, DistributedBFS, SharedCSR
+from repro.graph500 import EdgeList, generate_edges
+from repro.semiext import PCIE_FLASH
+from repro.semiext.faults import FaultPlan
+
+SCALE = 7
+
+
+def _graph(seed=5):
+    n = 1 << SCALE
+    csr = build_csr(EdgeList(generate_edges(SCALE, seed=seed), n))
+    return csr, int(np.flatnonzero(csr.degrees() > 0)[0])
+
+
+def _policy():
+    return AlphaBetaPolicy(alpha=50, beta=500)
+
+
+class TestSharedCSR:
+    def test_round_trip(self):
+        csr, _ = _graph()
+        shared = SharedCSR.create(csr)
+        attached = SharedCSR.attach(shared.handle)
+        try:
+            view = attached.csr
+            assert np.array_equal(view.indptr, csr.indptr)
+            assert np.array_equal(view.adj, csr.adj)
+            assert view.n_cols == csr.n_cols
+            assert shared.nbytes >= csr.indptr.nbytes + csr.adj.nbytes
+        finally:
+            attached.close()
+            shared.close()
+
+    def test_attached_view_is_zero_copy(self):
+        csr, _ = _graph()
+        shared = SharedCSR.create(csr)
+        attached = SharedCSR.attach(shared.handle)
+        try:
+            # A write on the owner side is visible through the attached
+            # mapping — both sides alias the same segment.
+            shared._adj_view()[0] = 99
+            assert int(attached.csr.adj[0]) == 99
+        finally:
+            attached.close()
+            shared.close()
+
+    def test_empty_adjacency_padded(self):
+        empty = CSRGraph(
+            indptr=np.zeros(4, dtype=np.int64),
+            adj=np.empty(0, dtype=np.int64),
+            n_cols=3,
+        )
+        shared = SharedCSR.create(empty)
+        try:
+            assert shared.csr.adj.size == 0
+            assert shared.csr.n_rows == 3
+        finally:
+            shared.close()
+
+    def test_close_idempotent_and_unlinks(self):
+        csr, _ = _graph()
+        shared = SharedCSR.create(csr)
+        handle = shared.handle
+        shared.close()
+        shared.close()
+        with pytest.raises(FileNotFoundError):
+            SharedCSR.attach(handle)
+
+
+class TestProcessBackend:
+    def test_forked_workers_match_local_backend(self, tmp_path):
+        csr, root = _graph()
+        local = DistributedBFS.build(
+            csr, ContiguousPartitioner(2), _policy(),
+            tmp_path / "local", PCIE_FLASH,
+        )
+        expected = local.run(root)
+        local.close()
+
+        engine = DistributedBFS.build(
+            csr, ContiguousPartitioner(2), _policy(),
+            tmp_path / "proc", PCIE_FLASH, backend="process",
+        )
+        try:
+            result = engine.run(root)
+            assert result.parent.tobytes() == expected.parent.tobytes()
+            # Device accounting crosses the pipe too.
+            assert engine._nvm_bytes() > 0
+            assert all(b >= 0 for b in engine.nvm_bytes_per_worker())
+        finally:
+            engine.close()
+
+    def test_crashed_process_respawns_and_finishes(self, tmp_path):
+        csr, root = _graph()
+        clean = DistributedBFS.build(
+            csr, ContiguousPartitioner(2), _policy(),
+            tmp_path / "clean", PCIE_FLASH,
+        )
+        expected = clean.run(root)
+        clean.close()
+
+        plans = [FaultPlan(seed=7, crash_at_level=1), None]
+        engine = DistributedBFS.build(
+            csr, ContiguousPartitioner(2), _policy(),
+            tmp_path / "crashy", PCIE_FLASH,
+            backend="process", fault_plans=plans,
+        )
+        try:
+            result = engine.run(root)
+            assert engine.restarts == 1
+            assert engine.workers[0].generation == 1
+            assert np.array_equal(result.parent, expected.parent)
+        finally:
+            engine.close()
+
+    def test_close_idempotent(self, tmp_path):
+        csr, _ = _graph()
+        engine = DistributedBFS.build(
+            csr, ContiguousPartitioner(2), _policy(),
+            tmp_path / "close", PCIE_FLASH, backend="process",
+        )
+        engine.close()
+        engine.close()

@@ -1,0 +1,153 @@
+"""Serve-tier tests for partitioned deployments: catalog registration,
+query routing, hot-graph replication, and the per-worker SLO family."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import DRAM_ONLY, DRAM_PCIE_FLASH
+from repro.dist.serve import DistributedEngine, make_partitioner
+from repro.errors import ConfigurationError
+from repro.obs import Observability, dist_worker_slos, evaluate
+from repro.serve import GraphCatalog
+
+SCALE = 7
+ALPHA = BETA = 50.0
+
+
+def _partitioned(tmp_path, obs=None, **kwargs):
+    catalog = GraphCatalog(workdir=tmp_path / "cat", obs=obs)
+    graph = catalog.build_partitioned(
+        "g", DRAM_PCIE_FLASH, scale=SCALE, n_partitions=3, seed=7,
+        alpha=ALPHA, beta=BETA, **kwargs,
+    )
+    return catalog, graph
+
+
+def _roots(graph, n):
+    return [int(r) for r in np.flatnonzero(graph.degrees > 0)[:n]]
+
+
+class TestBuildPartitioned:
+    def test_requires_semi_external_scenario(self, tmp_path):
+        catalog = GraphCatalog(workdir=tmp_path / "cat")
+        with pytest.raises(ConfigurationError):
+            catalog.build_partitioned(
+                "g", DRAM_ONLY, scale=SCALE, n_partitions=2
+            )
+
+    def test_duplicate_name_rejected(self, tmp_path):
+        catalog, _ = _partitioned(tmp_path)
+        with pytest.raises(ConfigurationError):
+            catalog.build_partitioned(
+                "g", DRAM_PCIE_FLASH, scale=SCALE, n_partitions=2
+            )
+        catalog.close()
+
+    def test_graph_surface(self, tmp_path):
+        catalog, graph = _partitioned(tmp_path)
+        assert graph.is_partitioned
+        assert graph.n_workers == 3
+        assert graph.store is None
+        assert not graph.circuit_open
+        assert graph.device_health() == 1.0
+        catalog.close()
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_partitioner("zigzag", 2, np.ones(8, dtype=np.int64))
+
+
+class TestDistributedEngine:
+    def test_duplicate_roots_rejected(self, tmp_path):
+        catalog, graph = _partitioned(tmp_path)
+        root = _roots(graph, 1)[0]
+        with pytest.raises(ConfigurationError):
+            DistributedEngine(graph).run_batch([root, root])
+        catalog.close()
+
+    def test_coordinator_route_until_hot(self, tmp_path):
+        obs = Observability()
+        catalog, graph = _partitioned(tmp_path, obs=obs, replicate_after=4)
+        engine = DistributedEngine(graph, obs=obs)
+        roots = _roots(graph, 6)
+
+        cold = engine.run_batch(roots[:4])
+        assert graph.replicas == []
+        events = [e for e in obs.tracer.events if e.name == "dist.query"]
+        assert [e.attrs["route"] for e in events] == ["partitioned"] * 4
+        # Coordinator-routed queries carry no worker id, so only the
+        # overall SLO counts them, never a per-worker objective.
+        assert all(e.attrs["worker"] == -1 for e in events)
+
+        hot = engine.run_batch(roots[4:])
+        assert len(graph.replicas) == graph.n_workers
+        events = [e for e in obs.tracer.events if e.name == "dist.query"]
+        assert [e.attrs["route"] for e in events[4:]] == ["replica"] * 2
+        assert all(e.attrs["worker"] >= 0 for e in events[4:])
+
+        # Routing is invisible to correctness: a replica answers with
+        # the same tree the coordinator produced for that root.
+        replay = engine.run_batch(roots[:2])
+        for before, after in zip(cold[:2], replay):
+            assert np.array_equal(before.parent, after.parent)
+        assert all(r.parent[r.root] == r.root for r in hot)
+        catalog.close()
+
+    def test_no_replication_without_threshold(self, tmp_path):
+        catalog, graph = _partitioned(tmp_path)
+        engine = DistributedEngine(graph)
+        engine.run_batch(_roots(graph, 3))
+        assert not graph.hot
+        assert graph.replicas == []
+        catalog.close()
+
+    def test_worker_nvm_bytes_accumulates(self, tmp_path):
+        catalog, graph = _partitioned(tmp_path)
+        before = graph.worker_nvm_bytes()
+        DistributedEngine(graph).run_batch(_roots(graph, 2))
+        assert graph.worker_nvm_bytes() > before
+        catalog.close()
+
+
+class TestDistWorkerSLOs:
+    def test_rejects_nonpositive_worker_count(self):
+        with pytest.raises(ConfigurationError):
+            dist_worker_slos(0)
+
+    def test_spec_family_shape(self):
+        specs = dist_worker_slos(3)
+        assert [s.name for s in specs] == [
+            "dist-query-latency",
+            "dist-worker0-latency",
+            "dist-worker1-latency",
+            "dist-worker2-latency",
+        ]
+        assert all(s.event == "dist.query" for s in specs)
+        assert specs[0].where == ()
+        assert specs[1].where == (("worker", "0"),)
+
+    def test_per_worker_specs_count_only_their_events(self, tmp_path):
+        obs = Observability()
+        catalog, graph = _partitioned(tmp_path, obs=obs, replicate_after=2)
+        engine = DistributedEngine(graph, obs=obs)
+        engine.run_batch(_roots(graph, 6))
+        report = evaluate(obs, specs=dist_worker_slos(graph.n_workers))
+        by_name = {r.spec.name: r for r in report.results}
+        assert by_name["dist-query-latency"].total == 6
+        per_worker = sum(
+            by_name[f"dist-worker{k}-latency"].total
+            for k in range(graph.n_workers)
+        )
+        # 2 cold queries route through the coordinator (worker -1);
+        # the 4 hot ones land on exactly one worker replica each.
+        assert per_worker == 4
+        catalog.close()
+
+    def test_results_carry_event_and_where(self):
+        spec = dist_worker_slos(1)[1]
+        obs = Observability()
+        payload = evaluate(obs, specs=(spec,)).results[0].to_dict()
+        assert payload["event"] == "dist.query"
+        assert payload["where"] == [["worker", "0"]]

@@ -39,6 +39,23 @@ class TestTopology:
         assert sum(p.size for p in parts) == 3
         assert all(p.size >= 0 for p in parts)
 
+    def test_single_node_owns_everything(self):
+        t = NumaTopology(1)
+        parts = t.partitions(10)
+        assert len(parts) == 1
+        assert (parts[0].lo, parts[0].hi) == (0, 10)
+        assert (t.owner_of(np.arange(10), 10) == 0).all()
+
+    def test_owner_of_with_empty_trailing_partitions(self):
+        # More nodes than vertices: trailing partitions are empty, and
+        # every vertex must map to the node whose range contains it.
+        t = NumaTopology(8)
+        parts = t.partitions(3)
+        owners = t.owner_of(np.arange(3), 3)
+        for p in parts:
+            assert (owners[p.lo:p.hi] == p.node).all()
+        assert int(owners.max()) < 8
+
     def test_owner_of_matches_partitions(self):
         t = NumaTopology(4)
         n = 103

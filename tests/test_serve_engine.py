@@ -89,6 +89,24 @@ class TestBatchedEqualsUnbatched:
         assert BatchedBFS(g).run_batch([]) == []
         cat.close()
 
+    @pytest.mark.parametrize("scenario", [DRAM_PCIE_FLASH, DRAM_ONLY],
+                             ids=["pcie", "dram"])
+    def test_empty_partition_frontiers_in_union_gather(self, tmp_path,
+                                                       scenario):
+        # A scale-1 graph under the paper's 4-node topology leaves two
+        # NUMA shards empty, and at every level the union frontier has
+        # no out-edges at all in most shards — the union gather must
+        # return nothing for those shards without perturbing the answer.
+        cat, g = _catalog(tmp_path, scenario, scale=1, seed=3)
+        parts = g.scenario.topology.partitions(g.n_vertices)
+        assert any(p.size == 0 for p in parts)
+        roots = _roots(g, n=2)
+        assert roots, "scale-1 Kronecker graph lost its only edge"
+        results = BatchedBFS(g).run_batch(roots)
+        for res, root in zip(results, roots):
+            assert validate_bfs_tree(g.edges, root, res.parent)
+        cat.close()
+
 
 class TestSharedFetches:
     def test_union_fetch_is_smaller_than_sum_of_frontiers(self, tmp_path):

@@ -52,6 +52,7 @@ EXECUTABLE_DOCS = (
     "docs/conformance.md",
     "docs/recovery.md",
     "docs/offload.md",
+    "docs/partitioning.md",
 )
 
 _LINK = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")

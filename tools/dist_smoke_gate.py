@@ -1,0 +1,165 @@
+#!/usr/bin/env python
+"""Dist-smoke gate: the CI entry point for the partitioned-BFS promise.
+
+Per seed: run a 4-partition traversal through the coordinator with
+forked worker processes attached to shared-memory CSR segments (the
+``process`` backend — the deployment shape, not the in-process test
+double), run the same traversal through the single-process
+:class:`~repro.bfs.semi_external.SemiExternalBFS`, and require that the
+partitioned tree
+
+1. passes the Graph500 validator (``repro.graph500.validate_bfs_tree``),
+2. byte-equals the single-process run's parent array.
+
+On failure both parent arrays plus a JSON summary are written to
+``--out`` so CI can upload them and the run can be replayed locally with
+the printed parameters.
+
+Usage::
+
+    python tools/dist_smoke_gate.py --seed 7
+    python tools/dist_smoke_gate.py --seed 19 --scale 9 --out dist-artifacts
+
+Exit codes: 0 partitioned tree valid and byte-identical, 1 mismatch or
+validation failure (artifacts written), 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+REPO = Path(__file__).resolve().parent.parent
+try:
+    import repro  # noqa: F401
+except ImportError:
+    sys.path.insert(0, str(REPO / "src"))
+
+from repro.bfs import AlphaBetaPolicy, SemiExternalBFS  # noqa: E402
+from repro.csr import BackwardGraph, ForwardGraph, build_csr  # noqa: E402
+from repro.dist import ContiguousPartitioner, DistributedBFS  # noqa: E402
+from repro.graph500 import EdgeList, generate_edges, validate_bfs_tree  # noqa: E402
+from repro.numa import NumaTopology  # noqa: E402
+from repro.semiext import NVMStore, PCIE_FLASH  # noqa: E402
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The gate's command line."""
+    parser = argparse.ArgumentParser(
+        prog="dist_smoke_gate",
+        description="partitioned vs single-process BFS diff for CI",
+    )
+    parser.add_argument("--seed", type=int, default=7,
+                        help="seed for the graph and the root draw "
+                             "(default: %(default)s)")
+    parser.add_argument("--scale", type=int, default=10,
+                        help="graph scale, N = 2^scale "
+                             "(default: %(default)s)")
+    parser.add_argument("--edge-factor", type=int, default=16)
+    parser.add_argument("--partitions", type=int, default=4,
+                        help="worker count for the partitioned run "
+                             "(default: %(default)s)")
+    parser.add_argument("--roots", type=int, default=2,
+                        help="number of roots to traverse and diff "
+                             "(default: %(default)s)")
+    parser.add_argument("--out", type=str, default="dist-artifacts",
+                        metavar="DIR",
+                        help="artifact directory written on failure "
+                             "(default: %(default)s)")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the gate; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.partitions < 1 or args.roots < 1:
+        print("error: --partitions and --roots must be >= 1",
+              file=sys.stderr)
+        return 2
+
+    rng = np.random.default_rng(args.seed)
+    edges = EdgeList(
+        generate_edges(args.scale, edge_factor=args.edge_factor,
+                       seed=args.seed),
+        1 << args.scale,
+    )
+    csr = build_csr(edges)
+    topology = NumaTopology(n_nodes=4, cores_per_node=12)
+    reachable = np.flatnonzero(csr.degrees() > 0)
+    roots = [int(r) for r in rng.choice(reachable, size=args.roots,
+                                        replace=False)]
+    print(f"seed {args.seed}: scale {args.scale}, "
+          f"{args.partitions} partitions (process backend), roots {roots}")
+
+    failures = []
+    with tempfile.TemporaryDirectory(prefix="dist-gate-") as scratch:
+        scratch_dir = Path(scratch)
+        dist = DistributedBFS.build(
+            csr,
+            ContiguousPartitioner(args.partitions),
+            AlphaBetaPolicy(alpha=50, beta=500),
+            scratch_dir / "dist",
+            PCIE_FLASH,
+            backend="process",
+            concurrency=topology.n_cores,
+        )
+        single = SemiExternalBFS.offload(
+            forward=ForwardGraph(csr, topology),
+            backward=BackwardGraph(csr, topology),
+            policy=AlphaBetaPolicy(alpha=50, beta=500),
+            store=NVMStore(scratch_dir / "single", PCIE_FLASH,
+                           concurrency=topology.n_cores),
+        )
+        try:
+            for root in roots:
+                part = dist.run(root)
+                ref = single.run(root)
+                validation = validate_bfs_tree(edges, part.parent, root)
+                identical = part.parent.tobytes() == ref.parent.tobytes()
+                print(f"root {root}: graph500 "
+                      f"{'PASS' if validation.ok else 'FAIL'}, "
+                      f"byte-identical {identical}")
+                if not (validation.ok and identical):
+                    failures.append(
+                        (root, validation, part.parent, ref.parent)
+                    )
+        finally:
+            dist.close()
+
+    if not failures:
+        print("dist smoke gate OK")
+        return 0
+
+    outdir = Path(args.out)
+    outdir.mkdir(parents=True, exist_ok=True)
+    for root, validation, part_parent, ref_parent in failures:
+        tag = f"seed{args.seed}_root{root}"
+        np.save(outdir / f"partitioned_parent_{tag}.npy", part_parent)
+        np.save(outdir / f"single_parent_{tag}.npy", ref_parent)
+        summary = {
+            "seed": args.seed,
+            "scale": args.scale,
+            "edge_factor": args.edge_factor,
+            "partitions": args.partitions,
+            "root": root,
+            "validation_ok": validation.ok,
+            "violations": list(validation.violations),
+            "byte_identical": bool(
+                part_parent.tobytes() == ref_parent.tobytes()
+            ),
+            "n_mismatched": int((part_parent != ref_parent).sum()),
+        }
+        (outdir / f"dist_summary_{tag}.json").write_text(
+            json.dumps(summary, sort_keys=True, indent=1) + "\n"
+        )
+    print(f"FAILED: artifacts written to {outdir}/", file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
