@@ -184,6 +184,15 @@ def build_parser() -> argparse.ArgumentParser:
              "byte-identical to the single-process engine "
              "(semi-external scenarios only; see docs/partitioning.md)",
     )
+    run.add_argument(
+        "--backend",
+        choices=("local", "process"),
+        default="local",
+        help="worker backend with --partitions: in-process workers "
+             "(default) or forked processes over shared-memory CSR "
+             "segments; with --obs, both ship worker-side spans back "
+             "to the coordinator's trace",
+    )
 
     sweep = sub.add_parser("sweep", help="alpha x beta sweep (Figure 7 data)")
     sweep.add_argument("--scenario", choices=sorted(_SCENARIOS), default="dram")
@@ -300,6 +309,27 @@ def build_parser() -> argparse.ArgumentParser:
              "coordinator-driven workers and route queries through the "
              "coordinator (semi-external scenarios only; see "
              "docs/partitioning.md)",
+    )
+
+    profile = sub.add_parser(
+        "profile",
+        help="time-attribution profile of an exported obs session "
+             "(self-time table + collapsed stacks)",
+    )
+    profile.add_argument(
+        "--obs",
+        required=True,
+        metavar="DIR",
+        help="an --obs export directory (or an events.jsonl path) to "
+             "profile",
+    )
+    profile.add_argument(
+        "--collapsed",
+        type=str,
+        default=None,
+        metavar="FILE",
+        help="also write collapsed stacks (flamegraph.pl / speedscope "
+             "input) to FILE",
     )
 
     slo = sub.add_parser(
@@ -524,6 +554,11 @@ def _cmd_run_partitioned(scenario, args: argparse.Namespace) -> int:
     def policy() -> AlphaBetaPolicy:
         return AlphaBetaPolicy(alpha=scenario.alpha, beta=scenario.beta)
 
+    obs = None
+    if args.obs is not None:
+        from repro.obs import Observability
+
+        obs = Observability()
     identical = True
     teps: list[float] = []
     with tempfile.TemporaryDirectory(prefix="repro-dist-") as td:
@@ -537,6 +572,8 @@ def _cmd_run_partitioned(scenario, args: argparse.Namespace) -> int:
             cost_model=scenario.cost_model,
             fault_plans=scenario.fault_plan,
             concurrency=scenario.topology.n_cores,
+            backend=args.backend,
+            obs=obs,
         )
         oracle = SemiExternalBFS.offload(
             forward=ForwardGraph(csr, scenario.topology),
@@ -581,6 +618,28 @@ def _cmd_run_partitioned(scenario, args: argparse.Namespace) -> int:
     )
     if restarts or degraded:
         print(f"restarts:        {restarts} (degraded={degraded})")
+    if obs is not None:
+        from repro.obs.profile import track_of
+
+        paths = obs.export(args.obs)
+        per_track: dict[str, int] = {}
+        for span in obs.tracer.spans:
+            track = track_of(span)
+            per_track[track] = per_track.get(track, 0) + 1
+        print()
+        print(
+            "trace spans:     "
+            + ", ".join(
+                f"{track}={count}"
+                for track, count in sorted(per_track.items())
+            )
+        )
+        for kind in ("jsonl", "chrome_trace", "prometheus"):
+            print(f"obs {kind}:       {paths[kind]}")
+        print(
+            "profile with:    repro-bfs profile --obs "
+            f"{args.obs}"
+        )
     return 0 if identical else 1
 
 
@@ -1026,6 +1085,51 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis.report import ascii_table
+    from repro.errors import ConfigurationError
+    from repro.obs import read_jsonl, self_time_table, write_collapsed
+
+    path = Path(args.obs)
+    if path.is_dir():
+        path = path / "events.jsonl"
+    try:
+        obs = read_jsonl(path)
+    except (OSError, ConfigurationError) as exc:
+        print(f"error: cannot read obs export: {exc}", file=sys.stderr)
+        return 2
+    rows = self_time_table(obs)
+    if not rows:
+        print(f"no spans in {path}")
+        return 0
+    print(ascii_table(
+        ["track", "span", "count", "total s", "self s", "bytes"],
+        [
+            [r.track, r.name, r.count, f"{r.total_s:.6f}",
+             f"{r.self_s:.6f}", r.bytes]
+            for r in rows
+        ],
+        title=f"self-time attribution — {path} (simulated clock)",
+    ))
+    by_track: dict[str, float] = {}
+    for r in rows:
+        by_track[r.track] = by_track.get(r.track, 0.0) + r.self_s
+    print()
+    print(
+        "lane totals:     "
+        + ", ".join(
+            f"{track}={total:.6f}s"
+            for track, total in sorted(by_track.items())
+        )
+    )
+    if args.collapsed is not None:
+        out = write_collapsed(obs, args.collapsed)
+        print(f"collapsed:       {out} (flamegraph.pl / speedscope)")
+    return 0
+
+
 def _cmd_slo(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -1196,6 +1300,7 @@ def main(argv: list[str] | None = None) -> int:
         "locality": _cmd_locality,
         "offload": _cmd_offload,
         "serve": _cmd_serve,
+        "profile": _cmd_profile,
         "slo": _cmd_slo,
         "perf": _cmd_perf,
         "conformance": _cmd_conformance,

@@ -67,6 +67,7 @@ from repro.obs.schema import (
     M_DIST_WORKERS,
 )
 from repro.obs.session import NULL, Observability
+from repro.obs.spans import TraceContext
 from repro.perfmodel.cost import DramCostModel
 from repro.semiext.clock import SimulatedClock
 from repro.util.timer import Timer
@@ -227,6 +228,7 @@ class DistributedBFS:
         workdir = Path(workdir)
         workers: list = []
         shared: list[SharedCSR] = []
+        collect_obs = bool(obs is not None and obs.enabled)
         for k, part in enumerate(parts):
             config = WorkerConfig(
                 worker_id=k,
@@ -239,6 +241,7 @@ class DistributedBFS:
                 concurrency=concurrency,
                 page_cache_bytes=page_cache_bytes,
                 retry=retry,
+                collect_obs=collect_obs,
             )
             if backend == "process":
                 shared_fwd = SharedCSR.create(fwd[k])
@@ -285,10 +288,28 @@ class DistributedBFS:
         self.obs.counter(M_DIST_RESTARTS, worker=str(k)).inc()
         self.obs.event("dist.restart", worker=k, level=level)
 
+    def _absorb_worker(self, k: int) -> None:
+        """Merge worker ``k``'s drained recordings into the session,
+        labeled with its *current* generation (call before a restart so
+        a dead generation's spans land under the dead generation)."""
+        if not self.obs.enabled:
+            return
+        handle = self.workers[k]
+        self.obs.absorb(
+            handle.drain_obs(), worker=k, generation=handle.generation
+        )
+
     def _step_all(
         self, dirname: str, frontier: np.ndarray, level: int, state: BFSState
     ) -> list:
         """One lockstep level: every worker steps, crashed workers restart.
+
+        Opens the level's ``dist.step`` span and ships its id to every
+        worker as the :class:`~repro.obs.spans.TraceContext` — worker
+        spans come back linked to it by flow events.  Each worker's
+        recordings are absorbed as soon as its reply (success *or*
+        crash) lands, so a dead generation's spans are retained and the
+        restarted generation is labeled separately.
 
         Raises :class:`~repro.errors.DeviceFailedError` through to the
         level loop (which re-runs the level bottom-up); absorbs
@@ -297,16 +318,39 @@ class DistributedBFS:
         unaffected, which is the graceful single-worker degradation the
         serve tier's watchdog relies on.
         """
+        obs = self.obs
         scans = []
-        for k, handle in enumerate(self.workers):
-            for attempt in range(_MAX_RESTARTS_PER_LEVEL + 1):
-                try:
-                    scans.append(handle.step(dirname, frontier, level))
-                    break
-                except ProcessCrashError:
-                    if attempt >= _MAX_RESTARTS_PER_LEVEL:
-                        raise
-                    self._restart_worker(k, state, level)
+        with obs.span(
+            "dist.step",
+            level=level,
+            direction=dirname,
+            frontier=int(frontier.size),
+            workers=len(self.workers),
+        ) as step_span:
+            ctx = None
+            if obs.enabled:
+                active = obs.tracer.active_context
+                trace_id = (
+                    active.trace_id
+                    if active is not None
+                    else obs.new_trace_id()
+                )
+                ctx = TraceContext(
+                    trace_id=trace_id, parent_span_id=step_span.span_id
+                )
+            for k, handle in enumerate(self.workers):
+                for attempt in range(_MAX_RESTARTS_PER_LEVEL + 1):
+                    try:
+                        scans.append(
+                            handle.step(dirname, frontier, level, ctx=ctx)
+                        )
+                        self._absorb_worker(k)
+                        break
+                    except ProcessCrashError:
+                        self._absorb_worker(k)
+                        if attempt >= _MAX_RESTARTS_PER_LEVEL:
+                            raise
+                        self._restart_worker(k, state, level)
         return scans
 
     # -- the level loop ------------------------------------------------------------
@@ -337,7 +381,13 @@ class DistributedBFS:
         prev_frontier = 0
         visited_deg_sum = int(self._degrees[root])
         nvm_bytes_prev = self._nvm_bytes()
-        with obs.span(
+        # Each run traces under one id: reuse an already-active context
+        # (the serve tier's per-query trace) or mint a fresh run-scoped
+        # one, so every span — coordinator and worker side — carries it.
+        run_ctx = None
+        if obs.enabled and obs.tracer.active_context is None:
+            run_ctx = TraceContext(trace_id=obs.new_trace_id())
+        with obs.activate(run_ctx), obs.span(
             "dist.run", root=root, workers=len(self.workers)
         ):
             while state.frontier_size > 0:
@@ -483,9 +533,14 @@ class DistributedBFS:
         return [h.nvm_bytes() for h in self.workers]
 
     def close(self) -> None:
-        """Stop workers and release shared segments (idempotent)."""
-        for handle in self.workers:
+        """Stop workers and release shared segments (idempotent).
+
+        Teardown is the final drain point: whatever a worker recorded
+        since its last step reply (e.g. restore spans) is absorbed here.
+        """
+        for k, handle in enumerate(self.workers):
             handle.close()
+            self._absorb_worker(k)
         for seg in self._shared:
             seg.close()
         self._shared = []

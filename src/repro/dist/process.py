@@ -37,6 +37,7 @@ from repro.dist.shm import SharedCSR, ShmCSRHandle
 from repro.dist.worker import PartitionWorker, WorkerScan
 from repro.errors import DeviceFailedError, ProcessCrashError, StorageError
 from repro.numa.topology import VertexPartition
+from repro.obs.session import NULL, Observability
 from repro.semiext.storage import NVMStore
 
 __all__ = ["WorkerConfig", "LocalWorkerHandle", "ProcessWorkerHandle"]
@@ -61,8 +62,9 @@ class WorkerConfig:
     concurrency: int = 48
     page_cache_bytes: int = 0
     retry: object | None = None
+    collect_obs: bool = False
 
-    def make_store(self, generation: int) -> NVMStore:
+    def make_store(self, generation: int, obs=None) -> NVMStore:
         """Build this worker's store for one generation (crash disarmed
         on every generation after the first)."""
         plan = self.fault_plan
@@ -78,7 +80,13 @@ class WorkerConfig:
             page_cache_bytes=self.page_cache_bytes,
             fault_plan=plan,
             retry=self.retry,
+            obs=obs,
         )
+
+    def make_obs(self) -> Observability:
+        """One worker-private obs session per generation (disabled
+        unless the coordinator opted into collection)."""
+        return Observability() if self.collect_obs else NULL
 
 
 class LocalWorkerHandle:
@@ -93,19 +101,21 @@ class LocalWorkerHandle:
 
     def _build(self) -> PartitionWorker:
         c = self.config
+        self.obs = c.make_obs()
         return PartitionWorker(
             worker_id=c.worker_id,
             part=c.part,
             forward_shard=self._forward,
             backward_shard=self._backward,
             n_vertices=c.n_vertices,
-            store=c.make_store(self.generation),
+            store=c.make_store(self.generation, obs=self.obs),
             cost_model=c.cost_model,
+            obs=self.obs,
         )
 
-    def step(self, direction, frontier, level) -> WorkerScan:
+    def step(self, direction, frontier, level, ctx=None) -> WorkerScan:
         """Scan one level on the wrapped worker."""
-        return self.worker.step(direction, frontier, level)
+        return self.worker.step(direction, frontier, level, ctx=ctx)
 
     def reset(self) -> None:
         """Clear the worker's per-run search state."""
@@ -124,10 +134,16 @@ class LocalWorkerHandle:
         return self.worker.nvm_bytes()
 
     def restart(self) -> None:
-        """Rebuild the worker in a fresh store generation."""
+        """Rebuild the worker in a fresh store generation (with a fresh
+        obs session — span ids and metric baselines restart at zero,
+        exactly like a respawned process)."""
         self.worker.close()
         self.generation += 1
         self.worker = self._build()
+
+    def drain_obs(self) -> dict | None:
+        """Take the worker's recordings since the previous drain."""
+        return self.obs.drain()
 
     def close(self) -> None:
         """Release the worker's store resources."""
@@ -139,36 +155,41 @@ def _worker_main(conn, config, fwd_handle, bwd_handle, generation) -> None:
     fwd = SharedCSR.attach(fwd_handle)
     bwd = SharedCSR.attach(bwd_handle)
     try:
+        obs = config.make_obs()
         worker = PartitionWorker(
             worker_id=config.worker_id,
             part=config.part,
             forward_shard=fwd.csr,
             backward_shard=bwd.csr,
             n_vertices=config.n_vertices,
-            store=config.make_store(generation),
+            store=config.make_store(generation, obs=obs),
             cost_model=config.cost_model,
+            obs=obs,
         )
         conn.send(("ready", None))
         while True:
             cmd, payload = conn.recv()
             if cmd == "close":
                 worker.close()
-                conn.send(("ok", None))
+                conn.send(("ok", obs.drain()))
                 return
             try:
                 if cmd == "step":
-                    direction, frontier, level = payload
-                    scan = worker.step(direction, frontier, level)
+                    direction, frontier, level, ctx = payload
+                    scan = worker.step(direction, frontier, level, ctx=ctx)
                     conn.send((
                         "scan",
                         (
-                            scan.winners,
-                            scan.parents,
-                            scan.scanned_dram,
-                            scan.scanned_nvm,
-                            scan.clock_delta_s,
-                            scan.health_score,
-                            scan.circuit_open,
+                            (
+                                scan.winners,
+                                scan.parents,
+                                scan.scanned_dram,
+                                scan.scanned_nvm,
+                                scan.clock_delta_s,
+                                scan.health_score,
+                                scan.circuit_open,
+                            ),
+                            obs.drain(),
                         ),
                     ))
                 elif cmd == "reset":
@@ -184,9 +205,11 @@ def _worker_main(conn, config, fwd_handle, bwd_handle, generation) -> None:
                 else:
                     conn.send(("error", f"unknown command {cmd!r}"))
             except ProcessCrashError as exc:
-                # Report, then die for real: the parent respawns us.
+                # Report (shipping the dead generation's spans), then
+                # die for real: the parent respawns us.
                 conn.send((
-                    "crash", (str(exc), exc.crashed_at_s, exc.level)
+                    "crash",
+                    (str(exc), exc.crashed_at_s, exc.level, obs.drain()),
                 ))
                 return
             except DeviceFailedError as exc:
@@ -220,6 +243,7 @@ class ProcessWorkerHandle:
         self.generation = 0
         self._ctx = mp.get_context("fork")
         self._last_health: tuple[float, bool] = (1.0, False)
+        self._pending_obs: dict | None = None
         self._spawn()
 
     def _spawn(self) -> None:
@@ -256,7 +280,8 @@ class ProcessWorkerHandle:
         self._conn.send((cmd, payload))
         kind, data = self._recv()
         if kind == "crash":
-            msg, crashed_at_s, level = data
+            msg, crashed_at_s, level, obs_payload = data
+            self._stash_obs(obs_payload)
             self._proc.join()
             raise ProcessCrashError(
                 msg, crashed_at_s=crashed_at_s, level=level
@@ -269,11 +294,20 @@ class ProcessWorkerHandle:
             )
         return data
 
-    def step(self, direction, frontier, level) -> WorkerScan:
+    def _stash_obs(self, payload: dict | None) -> None:
+        """Cache an obs payload shipped with a reply until the
+        coordinator drains it (payloads never overlap: every reply that
+        carries one is immediately followed by a drain)."""
+        if payload is not None:
+            self._pending_obs = payload
+
+    def step(self, direction, frontier, level, ctx=None) -> WorkerScan:
         """Scan one level in the child; re-raises its typed errors."""
-        data = self._call(
-            "step", (direction, np.asarray(frontier, dtype=np.int64), level)
+        data, obs_payload = self._call(
+            "step",
+            (direction, np.asarray(frontier, dtype=np.int64), level, ctx),
         )
+        self._stash_obs(obs_payload)
         scan = WorkerScan(*data)
         self._last_health = (scan.health_score, scan.circuit_open)
         return scan
@@ -307,11 +341,17 @@ class ProcessWorkerHandle:
         self.generation += 1
         self._spawn()
 
+    def drain_obs(self) -> dict | None:
+        """Hand over the obs payload cached from the latest reply."""
+        payload = self._pending_obs
+        self._pending_obs = None
+        return payload
+
     def close(self) -> None:
         """Shut the child down and reap it (idempotent)."""
         if self._proc.is_alive():
             try:
-                self._call("close")
+                self._stash_obs(self._call("close"))
             except (StorageError, OSError, BrokenPipeError):
                 pass
         self._proc.join(timeout=5)

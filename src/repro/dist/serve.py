@@ -42,6 +42,7 @@ from repro.obs.schema import (
     M_DIST_REPLICATIONS,
 )
 from repro.obs.session import NULL, Observability
+from repro.obs.spans import TraceContext
 
 __all__ = ["PartitionedGraph", "DistributedEngine", "make_partitioner"]
 
@@ -209,8 +210,15 @@ class DistributedEngine:
         roots: list[int],
         max_levels: int | None = None,
         checkpointer=None,
+        trace_ids: dict[int, str] | None = None,
     ) -> list[BFSResult]:
-        """Answer each root; route hot graphs through worker replicas."""
+        """Answer each root; route hot graphs through worker replicas.
+
+        ``trace_ids`` maps roots to their admission-assigned trace ids;
+        each query's whole traversal (``dist.run`` down to worker-side
+        scans) runs under that trace, and the ``dist.query`` event
+        carries it so per-request latency joins the span tree.
+        """
         if len(set(roots)) != len(roots):
             raise ConfigurationError(
                 f"duplicate roots in batch: {sorted(roots)}"
@@ -229,18 +237,27 @@ class DistributedEngine:
             else:
                 engine = graph.coordinator
                 worker = -1
+            trace_id = (trace_ids or {}).get(int(root))
+            ctx = (
+                TraceContext(trace_id=trace_id)
+                if trace_id is not None
+                else None
+            )
             t0 = graph.clock.now()
-            result = engine.run(int(root), max_levels=max_levels)
+            with obs.activate(ctx):
+                result = engine.run(int(root), max_levels=max_levels)
             latency = graph.clock.now() - t0
             obs.counter(M_DIST_QUERIES, route=route).inc()
-            obs.event(
-                "dist.query",
+            attrs = dict(
                 graph=graph.name,
                 root=int(root),
                 route=route,
                 worker=worker,
                 latency_s=latency,
             )
+            if trace_id is not None:
+                attrs["trace_id"] = trace_id
+            obs.event("dist.query", **attrs)
             graph.queries_completed += 1
             results.append(result)
         return results

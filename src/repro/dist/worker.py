@@ -36,6 +36,8 @@ from repro.csr.graph import CSRGraph
 from repro.csr.io import ExternalCSR, offload_csr
 from repro.errors import ConfigurationError, ProcessCrashError
 from repro.numa.topology import VertexPartition
+from repro.obs.session import NULL, Observability
+from repro.obs.spans import TraceContext
 from repro.perfmodel.cost import DramCostModel
 from repro.semiext.storage import NVMStore
 from repro.util.bitmap import Bitmap
@@ -98,6 +100,14 @@ class PartitionWorker:
     cost_model:
         DRAM cost model; ``None`` disables DRAM-side charges (device
         charges still tick the worker clock).
+    obs:
+        This worker's *private* observability session, bound to the
+        worker's clock (pass the same session into the store so its
+        ``nvm.charge`` spans nest under the scan spans).  Recordings are
+        shipped to the coordinator via
+        :meth:`~repro.obs.session.Observability.drain` and merged with
+        :meth:`~repro.obs.session.Observability.absorb`; defaults to
+        the disabled :data:`~repro.obs.NULL` session.
     """
 
     def __init__(
@@ -109,6 +119,7 @@ class PartitionWorker:
         n_vertices: int,
         store: NVMStore,
         cost_model: DramCostModel | None = None,
+        obs: Observability | None = None,
     ) -> None:
         if part.hi - part.lo != backward_shard.n_rows:
             raise ConfigurationError(
@@ -125,6 +136,8 @@ class PartitionWorker:
         self.n_vertices = int(n_vertices)
         self.store = store
         self.cost_model = cost_model
+        self.obs = obs if obs is not None else NULL
+        self.obs.bind_clock(store.clock)
         self.external: ExternalCSR = offload_csr(
             forward_shard, store, f"forward.part{worker_id}"
         )
@@ -144,13 +157,18 @@ class PartitionWorker:
         the same bitmap and candidate list a continuously-live worker
         holds.
         """
-        if frontier.size:
-            self.visited.set_many(frontier)
-        cand = self._candidates
-        if cand.size:
-            still = ~self.visited.test_many(cand)
-            if not still.all():
-                self._candidates = cand[still]
+        with self.obs.span(
+            "dist.worker_apply",
+            worker=self.worker_id,
+            frontier=int(frontier.size),
+        ):
+            if frontier.size:
+                self.visited.set_many(frontier)
+            cand = self._candidates
+            if cand.size:
+                still = ~self.visited.test_many(cand)
+                if not still.all():
+                    self._candidates = cand[still]
 
     def reset(self) -> None:
         """Clear per-run state (visited bitmap, candidate list).
@@ -170,16 +188,30 @@ class PartitionWorker:
         coordinator's merged parent array — everything discovered up to
         and including the frontier about to be (re)stepped.
         """
-        self.visited = Bitmap.from_indices(self.n_vertices, visited_ids)
-        local = np.arange(self.part.lo, self.part.hi, dtype=np.int64)
-        self._candidates = local[~self.visited.test_many(local)]
+        with self.obs.span(
+            "dist.worker_restore",
+            worker=self.worker_id,
+            visited=int(np.asarray(visited_ids).size),
+        ):
+            self.visited = Bitmap.from_indices(self.n_vertices, visited_ids)
+            local = np.arange(self.part.lo, self.part.hi, dtype=np.int64)
+            self._candidates = local[~self.visited.test_many(local)]
 
     # -- level step ---------------------------------------------------------------
 
     def step(
-        self, direction: str, frontier: np.ndarray, level: int
+        self,
+        direction: str,
+        frontier: np.ndarray,
+        level: int,
+        ctx: TraceContext | None = None,
     ) -> WorkerScan:
         """Scan one level and return partition-local discoveries.
+
+        ``ctx`` is the coordinator's propagated trace context: while the
+        step runs, every span this worker records carries its trace id,
+        and the top-level ``dist.worker`` span carries a ``flow_parent``
+        link back to the coordinator's ``dist.step`` span.
 
         Raises :class:`~repro.errors.ProcessCrashError` when this
         worker's fault plan schedules a crash at this level boundary, and
@@ -188,40 +220,70 @@ class PartitionWorker:
         level bottom-up).
         """
         frontier = np.asarray(frontier, dtype=np.int64)
-        self.apply_frontier(frontier)
-        injector = self.store.injector
-        now = self.store.clock.now()
-        if injector is not None and injector.crash_due(now, level):
-            raise ProcessCrashError(
-                f"injected crash of worker {self.worker_id} at level "
-                f"{level}, t={now:.6f}s",
-                crashed_at_s=now,
-                level=level,
-            )
-        t0 = self.store.clock.now()
-        if direction == TOP_DOWN:
-            winners, parents, dram, nvm, next_size = self._top_down(frontier)
-        elif direction == BOTTOM_UP:
-            winners, parents, dram, nvm, next_size = self._bottom_up(frontier)
-        else:
-            raise ConfigurationError(f"unknown direction {direction!r}")
-        if self.cost_model is not None:
-            self.store.clock.advance(
-                self.cost_model.level_time_s(
-                    edges_scanned=dram,
-                    frontier_size=int(frontier.size),
-                    next_size=next_size,
+        # Nothing before the scan advances the worker clock, so the
+        # dist.worker span's virtual duration equals clock_delta_s — the
+        # profile's per-worker self-time sums therefore reconcile with
+        # dist.worker_seconds_total exactly.
+        with self.obs.activate(ctx):
+            with self.obs.span(
+                "dist.worker",
+                worker=self.worker_id,
+                level=int(level),
+                direction=direction,
+            ) as worker_span:
+                self.apply_frontier(frontier)
+                injector = self.store.injector
+                now = self.store.clock.now()
+                if injector is not None and injector.crash_due(now, level):
+                    worker_span.set(crashed=True)
+                    raise ProcessCrashError(
+                        f"injected crash of worker {self.worker_id} at level "
+                        f"{level}, t={now:.6f}s",
+                        crashed_at_s=now,
+                        level=level,
+                    )
+                t0 = self.store.clock.now()
+                with self.obs.span(
+                    "dist.worker_scan",
+                    worker=self.worker_id,
+                    level=int(level),
+                    direction=direction,
+                    frontier=int(frontier.size),
+                ) as scan_span:
+                    if direction == TOP_DOWN:
+                        winners, parents, dram, nvm, next_size = (
+                            self._top_down(frontier)
+                        )
+                    elif direction == BOTTOM_UP:
+                        winners, parents, dram, nvm, next_size = (
+                            self._bottom_up(frontier)
+                        )
+                    else:
+                        raise ConfigurationError(
+                            f"unknown direction {direction!r}"
+                        )
+                    if self.cost_model is not None:
+                        self.store.clock.advance(
+                            self.cost_model.level_time_s(
+                                edges_scanned=dram,
+                                frontier_size=int(frontier.size),
+                                next_size=next_size,
+                            )
+                        )
+                    scan_span.set(
+                        scanned_dram=int(dram),
+                        scanned_nvm=int(nvm),
+                        winners=int(winners.size),
+                    )
+                return WorkerScan(
+                    winners=winners,
+                    parents=parents,
+                    scanned_dram=dram,
+                    scanned_nvm=nvm,
+                    clock_delta_s=self.store.clock.now() - t0,
+                    health_score=self.store.health.health_score(),
+                    circuit_open=self.store.health.circuit_open,
                 )
-            )
-        return WorkerScan(
-            winners=winners,
-            parents=parents,
-            scanned_dram=dram,
-            scanned_nvm=nvm,
-            clock_delta_s=self.store.clock.now() - t0,
-            health_score=self.store.health.health_score(),
-            circuit_open=self.store.health.circuit_open,
-        )
 
     def _think_time_s(self) -> float:
         if self.cost_model is None:

@@ -43,7 +43,20 @@ from repro.obs.registry import (
     MetricSample,
     MetricsRegistry,
 )
-from repro.obs.schema import METRICS, SPANS, MetricSpec, metric_names, span_names
+from repro.obs.profile import (
+    SelfTimeRow,
+    collapsed_stacks,
+    self_time_table,
+    write_collapsed,
+)
+from repro.obs.schema import (
+    METRICS,
+    SPANS,
+    MetricSpec,
+    lint_session,
+    metric_names,
+    span_names,
+)
 from repro.obs.session import NULL, Observability
 from repro.obs.slo import (
     DEFAULT_SERVE_SLOS,
@@ -53,7 +66,7 @@ from repro.obs.slo import (
     dist_worker_slos,
     evaluate,
 )
-from repro.obs.spans import CounterPoint, Span, TraceEvent, Tracer
+from repro.obs.spans import CounterPoint, Span, TraceContext, TraceEvent, Tracer
 
 __all__ = [
     "Observability",
@@ -66,12 +79,18 @@ __all__ = [
     "Tracer",
     "Span",
     "TraceEvent",
+    "TraceContext",
     "CounterPoint",
     "MetricSpec",
     "METRICS",
     "SPANS",
     "metric_names",
     "span_names",
+    "lint_session",
+    "collapsed_stacks",
+    "self_time_table",
+    "write_collapsed",
+    "SelfTimeRow",
     "write_jsonl",
     "read_jsonl",
     "write_chrome_trace",

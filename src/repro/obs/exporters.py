@@ -30,6 +30,7 @@ from repro.obs.schema import spec_for
 from repro.obs.spans import CounterPoint, Span, TraceEvent
 
 __all__ = [
+    "metric_record",
     "write_jsonl",
     "read_jsonl",
     "write_chrome_trace",
@@ -40,6 +41,34 @@ __all__ = [
 ]
 
 JSONL_VERSION = 1
+
+
+def metric_record(metric) -> dict:
+    """One metric as its canonical JSONL record dict.
+
+    Shared by :func:`write_jsonl` and the cross-process drain payloads
+    (:meth:`~repro.obs.session.Observability.drain`), so both sides of
+    the worker Pipe speak the exact same shape.
+    """
+    record: dict[str, object] = {
+        "type": "metric",
+        "kind": metric.kind,
+        "name": metric.name,
+        "labels": dict(metric.labels),
+    }
+    if metric.kind == "histogram":
+        record["buckets"] = list(metric.buckets)
+        record["bucket_counts"] = list(metric.bucket_counts)
+        record["count"] = metric.count
+        record["sum"] = metric.sum
+        if metric.exemplars:
+            record["exemplars"] = sorted(
+                [le, trace_id, value]
+                for le, (trace_id, value) in metric.exemplars.items()
+            )
+    else:
+        record["value"] = metric.value
+    return record
 
 
 # -- JSONL event log ---------------------------------------------------------
@@ -94,20 +123,7 @@ def write_jsonl(obs, path: str | Path) -> Path:
             )
         )
     for metric in obs.registry.metrics():
-        record: dict[str, object] = {
-            "type": "metric",
-            "kind": metric.kind,
-            "name": metric.name,
-            "labels": dict(metric.labels),
-        }
-        if metric.kind == "histogram":
-            record["buckets"] = list(metric.buckets)
-            record["bucket_counts"] = list(metric.bucket_counts)
-            record["count"] = metric.count
-            record["sum"] = metric.sum
-        else:
-            record["value"] = metric.value
-        lines.append(json.dumps(record, sort_keys=True))
+        lines.append(json.dumps(metric_record(metric), sort_keys=True))
     path.write_text("\n".join(lines) + "\n")
     return path
 
@@ -192,6 +208,8 @@ def read_jsonl(path: str | Path):
                 hist.bucket_counts = [int(c) for c in record["bucket_counts"]]
                 hist.count = int(record["count"])
                 hist.sum = float(record["sum"])
+                for le, trace_id, value in record.get("exemplars", []):
+                    hist.exemplars[str(le)] = (str(trace_id), float(value))
             else:
                 raise ConfigurationError(
                     f"{path}:{lineno}: unknown metric kind {record['kind']!r}"
@@ -219,26 +237,58 @@ def _jsonable(attrs: dict[str, object]) -> dict[str, object]:
 # -- Chrome trace_event ------------------------------------------------------
 
 
+#: Synthetic coordinator pid.  Exported pids are *deterministic* track
+#: ids (1 = coordinator/engine, ``2 + worker`` = partition workers), not
+#: OS pids — OS pids differ run to run and would break the byte-identical
+#: same-seed export guarantee.  The real OS pid of a live worker is a
+#: runtime property of its process handle, never part of the trace bytes.
+COORDINATOR_PID = 1
+
+
+def _track_pid(attrs: dict) -> int:
+    """Synthetic pid of a span/event: worker track or coordinator."""
+    track = attrs.get("track")
+    if isinstance(track, str) and track.startswith("worker"):
+        try:
+            return 2 + int(track[len("worker"):])
+        except ValueError:
+            return COORDINATOR_PID
+    return COORDINATOR_PID
+
+
 def chrome_trace_events(obs) -> list[dict]:
     """The session as a list of ``trace_event`` dicts (µs timestamps).
 
-    Leads with ``"ph": "M"`` metadata events naming the process and its
-    tracks, so Perfetto shows "engine" and "NUMA shard k" lanes instead
-    of bare tids: every span runs on tid 1 except ``bfs.shard`` spans,
-    which land on tid ``2 + shard``.
+    Leads with ``"ph": "M"`` metadata events naming each process and its
+    tracks.  Spans absorbed from partition workers (carrying a
+    ``track="worker{k}"`` attribute) render as their own Perfetto
+    process lane ``pid = 2 + k``; everything else stays on the
+    coordinator process (pid 1), where ``bfs.shard`` spans land on tid
+    ``2 + shard``.  Spans with a ``flow_parent`` attribute additionally
+    emit a flow-event pair (``"ph": "s"`` → ``"ph": "f"``) drawing the
+    arrow from the originating span (e.g. ``dist.step``) into the remote
+    child — the cross-process link the ISSUE's Perfetto walkthrough
+    follows.
     """
     events: list[dict] = []
-    pid = 1
     shard_tids: dict[int, int] = {}
+    worker_pids: dict[int, int] = {}
     for span in obs.tracer.spans:
         if span.name == "bfs.shard" and "shard" in span.attrs:
             k = int(span.attrs["shard"])
             shard_tids.setdefault(k, 2 + k)
+        pid = _track_pid(span.attrs)
+        if pid != COORDINATOR_PID:
+            worker_pids.setdefault(pid - 2, pid)
+    for evt in obs.tracer.events:
+        pid = _track_pid(evt.attrs)
+        if pid != COORDINATOR_PID:
+            worker_pids.setdefault(pid - 2, pid)
     events.append(
         {
             "name": "process_name",
             "ph": "M",
-            "pid": pid,
+            "pid": COORDINATOR_PID,
             "args": {"name": "repro hybrid BFS (simulated clock)"},
         }
     )
@@ -246,7 +296,7 @@ def chrome_trace_events(obs) -> list[dict]:
         {
             "name": "thread_name",
             "ph": "M",
-            "pid": pid,
+            "pid": COORDINATOR_PID,
             "tid": 1,
             "args": {"name": "engine"},
         }
@@ -256,16 +306,45 @@ def chrome_trace_events(obs) -> list[dict]:
             {
                 "name": "thread_name",
                 "ph": "M",
-                "pid": pid,
+                "pid": COORDINATOR_PID,
                 "tid": shard_tids[k],
                 "args": {"name": f"NUMA shard {k}"},
             }
         )
+    for k in sorted(worker_pids):
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": worker_pids[k],
+                "args": {"name": f"partition worker {k}"},
+            }
+        )
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": worker_pids[k],
+                "tid": 1,
+                "args": {"name": f"worker {k}"},
+            }
+        )
+    placement: dict[int, tuple[int, int]] = {}
+    by_id: dict[int, object] = {}
+    for span in obs.tracer.spans:
+        pid = _track_pid(span.attrs)
+        tid = 1
+        if (
+            pid == COORDINATOR_PID
+            and span.name == "bfs.shard"
+            and "shard" in span.attrs
+        ):
+            tid = shard_tids[int(span.attrs["shard"])]
+        placement[span.span_id] = (pid, tid)
+        by_id[span.span_id] = span
     for span in obs.tracer.spans:
         end = span.t_end_s if span.t_end_s is not None else span.t_start_s
-        tid = 1
-        if span.name == "bfs.shard" and "shard" in span.attrs:
-            tid = shard_tids[int(span.attrs["shard"])]
+        pid, tid = placement[span.span_id]
         events.append(
             {
                 "name": span.name,
@@ -278,6 +357,33 @@ def chrome_trace_events(obs) -> list[dict]:
                 "args": _jsonable(span.attrs),
             }
         )
+        flow_parent = span.attrs.get("flow_parent")
+        if isinstance(flow_parent, int) and flow_parent in placement:
+            src_pid, src_tid = placement[flow_parent]
+            src_span = by_id[flow_parent]
+            events.append(
+                {
+                    "name": "dist.flow",
+                    "cat": "flow",
+                    "ph": "s",
+                    "id": span.span_id,
+                    "ts": src_span.t_start_s * 1e6,
+                    "pid": src_pid,
+                    "tid": src_tid,
+                }
+            )
+            events.append(
+                {
+                    "name": "dist.flow",
+                    "cat": "flow",
+                    "ph": "f",
+                    "bp": "e",
+                    "id": span.span_id,
+                    "ts": span.t_start_s * 1e6,
+                    "pid": pid,
+                    "tid": tid,
+                }
+            )
     for evt in obs.tracer.events:
         events.append(
             {
@@ -285,7 +391,7 @@ def chrome_trace_events(obs) -> list[dict]:
                 "cat": evt.category,
                 "ph": "i",
                 "ts": evt.t_s * 1e6,
-                "pid": pid,
+                "pid": _track_pid(evt.attrs),
                 "tid": 1,
                 "s": "t",
                 "args": _jsonable(evt.attrs),
@@ -297,7 +403,7 @@ def chrome_trace_events(obs) -> list[dict]:
                 "name": point.name,
                 "ph": "C",
                 "ts": point.t_s * 1e6,
-                "pid": pid,
+                "pid": COORDINATOR_PID,
                 "args": {"value": point.value},
             }
         )

@@ -1,0 +1,161 @@
+"""Time-attribution profiling over a session's span tree.
+
+Folds any :class:`~repro.obs.session.Observability` session — live, or
+reconstructed from ``events.jsonl`` via
+:func:`~repro.obs.exporters.read_jsonl` — into the two classic profiler
+views:
+
+* **collapsed stacks** (:func:`collapsed_stacks` /
+  :func:`write_collapsed`): ``track;span;span;leaf <self-µs>`` lines in
+  the format ``flamegraph.pl`` and speedscope ingest directly, so a
+  simulated-clock BFS run renders as an ordinary flame graph;
+* a **self-time attribution table** (:func:`self_time_table`): per
+  ``(track, span name)`` totals of count, inclusive seconds, *self*
+  seconds (inclusive minus children) and attributed bytes (summed from
+  span ``bytes`` attrs, e.g. ``nvm.charge``).
+
+Tracks partition the tree by execution lane: spans absorbed from
+partition workers carry ``track="worker{k}"`` (set by
+:meth:`~repro.obs.session.Observability.absorb`) and profile as their
+own lane, everything else lands on the coordinator lane.  Because
+self-time telescopes, a lane's total self-time equals the summed
+duration of its *root* spans — which for a worker lane is exactly the
+per-worker busy time the coordinator accounts in
+``dist.worker_seconds_total{worker=k}``.  All virtual time: seconds on
+the simulated clock, microseconds (rounded) in the collapsed output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.obs.spans import Span
+
+__all__ = [
+    "SelfTimeRow",
+    "collapsed_stacks",
+    "self_time_table",
+    "write_collapsed",
+    "track_of",
+]
+
+COORDINATOR_TRACK = "coordinator"
+
+
+def track_of(span: Span) -> str:
+    """The execution lane a span profiles under."""
+    track = span.attrs.get("track")
+    if isinstance(track, str) and track:
+        return track
+    return COORDINATOR_TRACK
+
+
+@dataclass(frozen=True)
+class SelfTimeRow:
+    """Aggregated attribution for one (track, span name) pair."""
+
+    track: str
+    name: str
+    count: int
+    total_s: float
+    self_s: float
+    bytes: int
+
+
+def _self_times(spans: list[Span]) -> dict[int, float]:
+    """Self time (inclusive minus direct children) per span id.
+
+    Open spans contribute their recorded extent (0.0 when never
+    closed); negative self-time is clamped to 0 — it can only arise
+    from clock reconciliation artifacts, never from nesting.
+    """
+    child_sum: dict[int, float] = {}
+    for span in spans:
+        if span.parent_id is not None:
+            child_sum[span.parent_id] = (
+                child_sum.get(span.parent_id, 0.0) + span.duration_s
+            )
+    return {
+        s.span_id: max(0.0, s.duration_s - child_sum.get(s.span_id, 0.0))
+        for s in spans
+    }
+
+
+def _stack_names(spans: list[Span]) -> dict[int, tuple[str, ...]]:
+    """Root-to-leaf name paths per span id (record order is creation
+    order, so parents always resolve before their children)."""
+    paths: dict[int, tuple[str, ...]] = {}
+    for span in spans:
+        # A missing parent (e.g. never recorded) makes the span a root
+        # of its own stack.
+        parent = (
+            paths.get(span.parent_id)
+            if span.parent_id is not None
+            else None
+        )
+        paths[span.span_id] = (
+            parent + (span.name,) if parent else (span.name,)
+        )
+    return paths
+
+
+def collapsed_stacks(obs) -> dict[str, int]:
+    """Fold the span tree into ``stack -> self-µs`` (flamegraph input).
+
+    Stack frames are ``track;name;name;...``; values are integer
+    microseconds of virtual self-time (rounded), aggregated over every
+    occurrence of the same stack.
+    """
+    spans = list(obs.tracer.spans)
+    self_s = _self_times(spans)
+    paths = _stack_names(spans)
+    folded: dict[str, int] = {}
+    for span in spans:
+        stack = ";".join((track_of(span),) + paths[span.span_id])
+        folded[stack] = folded.get(stack, 0) + round(
+            self_s[span.span_id] * 1e6
+        )
+    return folded
+
+
+def write_collapsed(obs, path: str | Path) -> Path:
+    """Write collapsed stacks (``stack value`` per line, sorted)."""
+    path = Path(path)
+    folded = collapsed_stacks(obs)
+    lines = [f"{stack} {value}" for stack, value in sorted(folded.items())]
+    path.write_text("\n".join(lines) + ("\n" if lines else ""))
+    return path
+
+
+def self_time_table(obs) -> list[SelfTimeRow]:
+    """Aggregate attribution rows per (track, span name).
+
+    Sorted by descending self-time, then track, then name — the first
+    row answers "where does the simulated time actually go".
+    """
+    spans = list(obs.tracer.spans)
+    self_s = _self_times(spans)
+    agg: dict[tuple[str, str], list] = {}
+    for span in spans:
+        key = (track_of(span), span.name)
+        row = agg.setdefault(key, [0, 0.0, 0.0, 0])
+        row[0] += 1
+        row[1] += span.duration_s
+        row[2] += self_s[span.span_id]
+        nbytes = span.attrs.get("bytes")
+        if isinstance(nbytes, (int, float)) and not isinstance(nbytes, bool):
+            row[3] += int(nbytes)
+    rows = [
+        SelfTimeRow(
+            track=track,
+            name=name,
+            count=row[0],
+            total_s=row[1],
+            self_s=row[2],
+            bytes=row[3],
+        )
+        for (track, name), row in agg.items()
+    ]
+    rows.sort(key=lambda r: (-r.self_s, r.track, r.name))
+    return rows

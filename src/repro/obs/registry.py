@@ -117,7 +117,15 @@ class Histogram:
     """
 
     kind = "histogram"
-    __slots__ = ("name", "labels", "buckets", "bucket_counts", "count", "sum")
+    __slots__ = (
+        "name",
+        "labels",
+        "buckets",
+        "bucket_counts",
+        "count",
+        "sum",
+        "exemplars",
+    )
 
     def __init__(
         self, name: str, labels: Labels, buckets: tuple[float, ...]
@@ -132,15 +140,32 @@ class Histogram:
         self.bucket_counts = [0] * len(self.buckets)
         self.count = 0
         self.sum = 0.0
+        # OpenMetrics-style exemplars: bucket le-string -> last
+        # (trace_id, value) observed in that bucket.  A bad quantile's
+        # bucket therefore links straight to a trace to open.
+        self.exemplars: dict[str, tuple[str, float]] = {}
 
-    def observe(self, value: float) -> None:
-        """Record one observation."""
+    def observe(self, value: float, exemplar: str | None = None) -> None:
+        """Record one observation; optionally tag its bucket with a
+        trace-id exemplar."""
         value = float(value)
         self.count += 1
         self.sum += value
         for i, bound in enumerate(self.buckets):
             if value <= bound:
                 self.bucket_counts[i] += 1
+        if exemplar is not None:
+            self.exemplars[self._exemplar_le(value)] = (
+                str(exemplar),
+                value,
+            )
+
+    def _exemplar_le(self, value: float) -> str:
+        """The le-string of the tightest bucket containing ``value``."""
+        for bound in self.buckets:
+            if value <= bound:
+                return _format_bound(bound)
+        return "+Inf"
 
     def observe_many(self, values: np.ndarray) -> None:
         """Record a batch of observations (vectorized)."""

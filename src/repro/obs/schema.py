@@ -26,7 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 __all__ = ["MetricSpec", "METRICS", "SPANS", "metric_names", "span_names",
-           "spec_for"]
+           "spec_for", "lint_session"]
 
 
 @dataclass(frozen=True)
@@ -368,11 +368,16 @@ SPANS: tuple[str, ...] = (
     "conformance.replay",
     "dist.run",
     "dist.level",
+    "dist.step",
     "dist.worker",
+    "dist.worker_scan",
+    "dist.worker_apply",
+    "dist.worker_restore",
     "dist.merge",
     "dist.restart",
     "dist.query",
     "dist.replicate",
+    "serve.admit",
 )
 
 
@@ -398,3 +403,51 @@ def spec_for(name: str) -> MetricSpec | None:
         if name.endswith(suffix):
             return _BY_NAME.get(name[: -len(suffix)])
     return None
+
+
+def lint_session(obs) -> list[str]:
+    """Check every name a live session recorded against this catalogue.
+
+    Returns a sorted list of violation strings (empty = clean):
+
+    * metrics registered under an uncatalogued name, or under a kind
+      that contradicts the catalogued one;
+    * span names absent from :data:`SPANS`;
+    * instant-event names absent from :data:`SPANS`;
+    * counter-track point names that are neither catalogued metrics nor
+      catalogued span names.
+
+    The schema-lint satellite runs this over a full run+serve+dist
+    session and fails CI on any output, so a typo'd name at a new call
+    site can never silently fork a time series.
+    """
+    problems: set[str] = set()
+    known_metrics = metric_names()
+    known_spans = span_names()
+    registry = obs.registry
+    for name in registry.names():
+        spec = _BY_NAME.get(name)
+        if spec is None:
+            problems.add(f"metric {name!r} is not catalogued in obs.schema")
+        elif registry.kind_of(name) != spec.kind:
+            problems.add(
+                f"metric {name!r} recorded as {registry.kind_of(name)}, "
+                f"catalogued as {spec.kind}"
+            )
+    for span in obs.tracer.spans:
+        if span.name not in known_spans:
+            problems.add(
+                f"span {span.name!r} is not catalogued in obs.schema"
+            )
+    for evt in obs.tracer.events:
+        if evt.name not in known_spans:
+            problems.add(
+                f"event {evt.name!r} is not catalogued in obs.schema"
+            )
+    for point in obs.tracer.counters:
+        if point.name not in known_metrics and point.name not in known_spans:
+            problems.add(
+                f"counter track {point.name!r} is not catalogued in "
+                f"obs.schema"
+            )
+    return sorted(problems)

@@ -23,14 +23,33 @@ from pathlib import Path
 
 from repro.errors import ConfigurationError
 from repro.obs.exporters import (
+    metric_record,
     write_chrome_trace,
     write_jsonl,
     write_prometheus,
 )
 from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
-from repro.obs.spans import Span, Tracer
+from repro.obs.spans import CounterPoint, Span, TraceContext, TraceEvent, Tracer
 
 __all__ = ["Observability", "NULL"]
+
+
+class _RemoteTrack:
+    """Merge state for one (worker, generation) stream of drain payloads.
+
+    Keeps the remote→local span-id map (parents drained in an earlier
+    payload still resolve) and the last-seen metric snapshot (absorbing
+    a *cumulative* worker registry applies only the delta, so repeated
+    drains never double-count).  A restarted worker gets a fresh
+    instance — its new registry restarts from zero, and its spans must
+    not collide with the dead generation's ids.
+    """
+
+    __slots__ = ("id_map", "metric_last")
+
+    def __init__(self) -> None:
+        self.id_map: dict[int, int] = {}
+        self.metric_last: dict[tuple, object] = {}
 
 
 class Observability:
@@ -40,6 +59,8 @@ class Observability:
         self.enabled = bool(enabled)
         self.registry = MetricsRegistry()
         self.tracer = Tracer()
+        self._trace_seq = 0
+        self._remote: dict[tuple[int, int], _RemoteTrack] = {}
 
     # -- clock -----------------------------------------------------------------
 
@@ -110,6 +131,178 @@ class Observability:
             tracer.spans.append(span)
         return span
 
+    # -- trace context ----------------------------------------------------------
+
+    def new_trace_id(self) -> str:
+        """Mint the next deterministic trace id (``t000001``, ...).
+
+        Ids are a session-local sequence, not random: same-seed runs must
+        export byte-identical traces, so anything that lands in exported
+        bytes has to be reproducible.  Disabled sessions always return
+        the zero id (nothing referencing it is ever recorded).
+        """
+        if not self.enabled:
+            return "t000000"
+        self._trace_seq += 1
+        return f"t{self._trace_seq:06d}"
+
+    def activate(self, ctx: TraceContext | None):
+        """Context manager making ``ctx`` the active trace context.
+
+        While active, spans opened on this thread carry ``trace_id``
+        (and parent-less spans carry ``flow_parent``) — see
+        :meth:`~repro.obs.spans.Tracer.activate`.  No-op when disabled.
+        """
+        if not self.enabled:
+            return nullcontext()
+        return self.tracer.activate(ctx)
+
+    def trace(self, trace_id: str, parent_span_id: int | None = None):
+        """Shorthand: activate a fresh :class:`TraceContext`."""
+        return self.activate(
+            TraceContext(trace_id=trace_id, parent_span_id=parent_span_id)
+        )
+
+    # -- cross-process collection ----------------------------------------------
+
+    def drain(self) -> dict | None:
+        """Take this session's recordings as one picklable payload.
+
+        The worker side of trace collection: spans, instant events and
+        counter points recorded since the previous drain are *moved* into
+        the payload (incremental), while the metrics registry ships as a
+        full cumulative snapshot — the coordinator applies deltas on
+        absorb.  Returns ``None`` when disabled (ships as a no-op over
+        the Pipe).
+        """
+        if not self.enabled:
+            return None
+        tracer = self.tracer
+        with tracer._lock:
+            spans = [
+                (
+                    s.span_id,
+                    s.parent_id,
+                    s.name,
+                    s.t_start_s,
+                    s.t_end_s,
+                    dict(s.attrs),
+                )
+                for s in tracer.spans
+            ]
+            events = [(e.name, e.t_s, dict(e.attrs)) for e in tracer.events]
+            points = [(p.name, p.t_s, p.value) for p in tracer.counters]
+            tracer.spans = []
+            tracer.events = []
+            tracer.counters = []
+        metrics = [metric_record(m) for m in self.registry.metrics()]
+        return {
+            "spans": spans,
+            "events": events,
+            "points": points,
+            "metrics": metrics,
+        }
+
+    def absorb(
+        self, payload: dict | None, worker: int, generation: int = 0
+    ) -> None:
+        """Merge one worker drain payload into this session.
+
+        Spans are re-numbered into this tracer's id space (parent links
+        preserved across successive drains of the same generation;
+        ``flow_parent`` attrs are *not* remapped — they already name
+        spans of this tracer).  Spans and events gain ``worker`` /
+        ``generation`` / ``track`` attributes, which is what routes them
+        onto per-worker Perfetto process lanes.  Metrics merge by delta:
+        counters and histograms accumulate losslessly across drains and
+        generations under an added ``worker`` label; gauges overwrite.
+        """
+        if not self.enabled or payload is None:
+            return
+        track = self._remote.setdefault(
+            (int(worker), int(generation)), _RemoteTrack()
+        )
+        worker_attrs = {
+            "worker": int(worker),
+            "generation": int(generation),
+            "track": f"worker{int(worker)}",
+        }
+        tracer = self.tracer
+        with tracer._lock:
+            for sid, pid, name, t0, t1, attrs in payload["spans"]:
+                new_id = tracer._next_id
+                tracer._next_id += 1
+                track.id_map[sid] = new_id
+                merged = dict(attrs)
+                merged.update(worker_attrs)
+                tracer.spans.append(
+                    Span(
+                        span_id=new_id,
+                        parent_id=(
+                            track.id_map.get(pid) if pid is not None else None
+                        ),
+                        name=name,
+                        t_start_s=t0,
+                        t_end_s=t1,
+                        attrs=merged,
+                    )
+                )
+            for name, t_s, attrs in payload["events"]:
+                merged = dict(attrs)
+                merged.update(worker_attrs)
+                tracer.events.append(
+                    TraceEvent(name=name, t_s=t_s, attrs=merged)
+                )
+            for name, t_s, value in payload["points"]:
+                tracer.counters.append(
+                    CounterPoint(name=name, t_s=t_s, value=value)
+                )
+        for record in payload["metrics"]:
+            self._absorb_metric(record, track, worker)
+
+    def _absorb_metric(
+        self, record: dict, track: _RemoteTrack, worker: int
+    ) -> None:
+        labels = {str(k): str(v) for k, v in record["labels"].items()}
+        labels.setdefault("worker", str(int(worker)))
+        key = (record["name"], tuple(sorted(labels.items())))
+        kind = record["kind"]
+        if kind == "counter":
+            value = float(record["value"])
+            last = float(track.metric_last.get(key, 0.0))
+            if value > last:
+                self.registry.counter(record["name"], **labels).inc(
+                    value - last
+                )
+            track.metric_last[key] = value
+        elif kind == "gauge":
+            self.registry.gauge(record["name"], **labels).set(
+                float(record["value"])
+            )
+        elif kind == "histogram":
+            hist = self.registry.histogram(
+                record["name"], buckets=tuple(record["buckets"]), **labels
+            )
+            last = track.metric_last.get(
+                key, ([0] * len(record["bucket_counts"]), 0, 0.0)
+            )
+            last_buckets, last_count, last_sum = last
+            for i, c in enumerate(record["bucket_counts"]):
+                hist.bucket_counts[i] += int(c) - int(last_buckets[i])
+            hist.count += int(record["count"]) - int(last_count)
+            hist.sum += float(record["sum"]) - float(last_sum)
+            for le, trace_id, value in record.get("exemplars", []):
+                hist.exemplars[str(le)] = (str(trace_id), float(value))
+            track.metric_last[key] = (
+                [int(c) for c in record["bucket_counts"]],
+                int(record["count"]),
+                float(record["sum"]),
+            )
+        else:  # pragma: no cover - defensive
+            raise ConfigurationError(
+                f"cannot absorb metric kind {kind!r}"
+            )
+
     # -- export ----------------------------------------------------------------
 
     def export(self, outdir: str | Path) -> dict[str, Path]:
@@ -154,7 +347,7 @@ class _NullMetric:
     def set(self, value: float) -> None:  # noqa: D102
         pass
 
-    def observe(self, value: float) -> None:  # noqa: D102
+    def observe(self, value: float, exemplar: str | None = None) -> None:  # noqa: D102
         pass
 
     def observe_many(self, values) -> None:  # noqa: D102

@@ -17,17 +17,39 @@ computed from.
 Besides spans the tracer records **instant events** (zero-duration marks,
 e.g. a retry backoff decision) and **counter tracks** (time-series values
 Perfetto plots as graphs, e.g. the frontier size per level).
+
+Traces cross process boundaries through a :class:`TraceContext` — a
+picklable (trace_id, parent span id) pair the coordinator ships with
+each Pipe command.  A tracer with an active context stamps every span it
+opens with the ``trace_id`` attribute, and stamps spans that have *no
+local parent* with ``flow_parent`` — the remote span id the Chrome
+exporter turns into a flow arrow between process tracks.
 """
 
 from __future__ import annotations
 
+import fnmatch
 import threading
 from dataclasses import dataclass, field
 from typing import Iterator
 
 from contextlib import contextmanager
 
-__all__ = ["Span", "TraceEvent", "CounterPoint", "Tracer"]
+__all__ = ["Span", "TraceEvent", "CounterPoint", "TraceContext", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Serializable trace propagation state (crosses the worker Pipe).
+
+    ``trace_id`` names the request/run the work belongs to;
+    ``parent_span_id`` is the id of the span (in the *originating*
+    tracer) that logically encloses the remote work — the link flow
+    events are drawn from.
+    """
+
+    trace_id: str
+    parent_span_id: int | None = None
 
 
 @dataclass
@@ -99,6 +121,7 @@ class Tracer:
         self._next_id = 1
         self._lock = threading.Lock()
         self._stack = threading.local()
+        self._ctx = threading.local()
 
     # -- time ------------------------------------------------------------------
 
@@ -124,6 +147,29 @@ class Tracer:
             stack = self._stack.spans = []
         return stack
 
+    # -- trace context -----------------------------------------------------------
+
+    @property
+    def active_context(self) -> TraceContext | None:
+        """The trace context currently active on this thread (or None)."""
+        return getattr(self._ctx, "current", None)
+
+    @contextmanager
+    def activate(self, ctx: TraceContext | None) -> Iterator[None]:
+        """Make ``ctx`` the active trace context for the block.
+
+        While active, every span opened on this thread gets a
+        ``trace_id`` attribute, and spans with no *local* parent get a
+        ``flow_parent`` attribute naming the remote parent span id.
+        Activating ``None`` is a no-op (callers need not branch).
+        """
+        prev = getattr(self._ctx, "current", None)
+        self._ctx.current = ctx if ctx is not None else prev
+        try:
+            yield
+        finally:
+            self._ctx.current = prev
+
     @contextmanager
     def span(self, name: str, **attrs: object) -> Iterator[Span]:
         """Open a span; closes (records t_end) when the block exits.
@@ -135,6 +181,7 @@ class Tracer:
         'bfs.level'
         """
         stack = self._parents()
+        ctx = getattr(self._ctx, "current", None)
         with self._lock:
             span = Span(
                 span_id=self._next_id,
@@ -143,6 +190,12 @@ class Tracer:
                 t_start_s=self.now(),
                 attrs=dict(attrs),
             )
+            if ctx is not None:
+                span.attrs.setdefault("trace_id", ctx.trace_id)
+                if not stack and ctx.parent_span_id is not None:
+                    span.attrs.setdefault(
+                        "flow_parent", ctx.parent_span_id
+                    )
             self._next_id += 1
             self.spans.append(span)
         stack.append(span)
@@ -171,6 +224,21 @@ class Tracer:
     def find(self, name: str) -> list[Span]:
         """All spans with the given name, in record order."""
         return [s for s in self.spans if s.name == name]
+
+    def find_prefix(self, prefix: str) -> list[Span]:
+        """All spans whose name starts with ``prefix``, in record order.
+
+        The natural way to grab a span family: ``find_prefix("dist.")``
+        returns every coordinator *and* worker span without enumerating
+        names.
+        """
+        return [s for s in self.spans if s.name.startswith(prefix)]
+
+    def find_glob(self, pattern: str) -> list[Span]:
+        """All spans whose name matches a glob (``dist.worker*``)."""
+        return [
+            s for s in self.spans if fnmatch.fnmatchcase(s.name, pattern)
+        ]
 
     def __repr__(self) -> str:
         return (

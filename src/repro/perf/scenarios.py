@@ -23,7 +23,11 @@ The two stock scenarios cover the paper's two performance claims:
   fallthrough reads strictly grow as k shrinks);
 * :func:`run_dist_scaling` — the beyond-paper partitioned traversal's
   scaling curve (1/2/4 workers), with byte-identity to the
-  single-process engine asserted in-runner.
+  single-process engine asserted in-runner;
+* :func:`run_profile_overhead` — the observability tax: modeled-time
+  overhead of worker-side span collection and shipping at 4 forked
+  partitions (pinned ≤ 5 % in-runner; by design it is exactly zero —
+  spans never advance the simulated clock).
 """
 
 from __future__ import annotations
@@ -449,6 +453,99 @@ def run_dist_scaling(seed: int, workdir: Path) -> BenchArtifact:
     )
 
 
+def run_profile_overhead(seed: int, workdir: Path) -> BenchArtifact:
+    """Simulated-time overhead of distributed trace collection.
+
+    The same Kronecker graph twice through a 4-partition deployment on
+    forked workers (PCIe-flash stores): once bare, once with a live
+    :class:`~repro.obs.Observability` session — every worker running its
+    own tracer and shipping spans/metrics back with each step reply.
+    Observability is bookkeeping, not simulated work: spans must never
+    advance the simulated clock, so the modeled time of both runs must
+    agree within 5 % (in practice exactly — the runner asserts the pin
+    before the gate sees the artifact).  The artifact also records how
+    many worker-side spans the traced run shipped, so a silently
+    dropped collection path fails the gate as a span-count regression.
+    """
+    from repro.bfs.policies import AlphaBetaPolicy
+    from repro.csr import build_csr
+    from repro.dist import ContiguousPartitioner, DistributedBFS
+    from repro.graph500 import EdgeList, generate_edges
+    from repro.obs import Observability
+    from repro.obs.profile import track_of
+
+    scale, n_partitions = 10, 4
+    scenario = DRAM_PCIE_FLASH
+    n = 1 << scale
+    edges = EdgeList(generate_edges(scale, seed=seed), n)
+    csr = build_csr(edges)
+    root = int(np.flatnonzero(csr.degrees() > 0)[0])
+
+    def run_once(subdir: str, obs: Observability | None) -> float:
+        engine = DistributedBFS.build(
+            csr,
+            ContiguousPartitioner(n_partitions),
+            AlphaBetaPolicy(alpha=scenario.alpha, beta=scenario.beta),
+            workdir / subdir,
+            scenario.device,
+            cost_model=scenario.cost_model,
+            concurrency=scenario.topology.n_cores,
+            backend="process",
+            obs=obs,
+        )
+        try:
+            t0 = engine.clock.now()
+            engine.run(root)
+            return engine.clock.now() - t0
+        finally:
+            engine.close()
+
+    plain_s = run_once("plain", None)
+    obs = Observability()
+    traced_s = run_once("traced", obs)
+    worker_spans = sum(
+        1 for s in obs.tracer.spans if track_of(s) != "coordinator"
+    )
+    worker_tracks = {
+        track_of(s) for s in obs.tracer.spans
+    } - {"coordinator"}
+    if len(worker_tracks) != n_partitions:
+        raise AssertionError(
+            f"expected worker spans from {n_partitions} partitions, "
+            f"got tracks {sorted(worker_tracks)} (seed {seed})"
+        )
+    overhead_pct = (
+        100.0 * (traced_s - plain_s) / plain_s if plain_s else 0.0
+    )
+    if overhead_pct > 5.0:
+        raise AssertionError(
+            f"trace collection added {overhead_pct:.2f} % simulated "
+            f"time at {n_partitions} partitions (pin: 5 %, seed {seed})"
+        )
+    metrics = {
+        "modeled_s_plain": BenchMetric(plain_s, "s", False),
+        "modeled_s_traced": BenchMetric(traced_s, "s", False),
+        "time_overhead_pct": BenchMetric(
+            overhead_pct, "%", False, tolerance=0.05
+        ),
+        "worker_spans": BenchMetric(float(worker_spans), "spans", True),
+    }
+    return BenchArtifact(
+        name="profile_overhead",
+        description="Simulated-time overhead of worker-side span "
+                    "collection and shipping at 4 forked partitions "
+                    "(pinned <= 5 %).",
+        seed=seed,
+        params={
+            "scale": scale, "edge_factor": 16,
+            "partitions": n_partitions, "backend": "process",
+            "alpha": scenario.alpha, "beta": scenario.beta,
+        },
+        simulated_seconds=plain_s + traced_s,
+        metrics=metrics,
+    )
+
+
 SCENARIOS: tuple[BenchScenario, ...] = (
     BenchScenario(
         name="fig11_degradation",
@@ -482,6 +579,13 @@ SCENARIOS: tuple[BenchScenario, ...] = (
                     "byte-identical to the single-process engine.",
         paper_ref="PAPER.md §VII (beyond-paper distributed extension)",
         runner=run_dist_scaling,
+    ),
+    BenchScenario(
+        name="profile_overhead",
+        description="Simulated-time overhead of distributed trace "
+                    "collection at 4 forked partitions.",
+        paper_ref="PAPER.md §VII (observability extension)",
+        runner=run_profile_overhead,
     ),
 )
 

@@ -136,6 +136,7 @@ class BatchedBFS:
         roots: list[int],
         max_levels: int | None = None,
         checkpointer=None,
+        trace_ids: dict[int, str] | None = None,
     ) -> list[BFSResult]:
         """Traverse from every root concurrently; one result per root.
 
@@ -150,6 +151,11 @@ class BatchedBFS:
         exposing ``root``/``level``/``direction``/``prev_frontier``/
         ``visited_deg_sum``/``state``), so the serve tier can persist an
         epoch and inject crashes.
+
+        ``trace_ids`` maps each root to its admission-assigned trace id;
+        the shared ``serve.traversal`` span records the whole set (one
+        traversal serves many traces — that fan-in is the batching
+        story, and the span shows exactly which requests shared it).
         """
         if len(set(int(r) for r in roots)) != len(roots):
             raise ConfigurationError("batch roots must be unique")
@@ -158,7 +164,9 @@ class BatchedBFS:
         queries = [_Query(self.graph, r) for r in roots]
         for _ in queries:
             self.obs.counter(M_BFS_RUNS, engine="BatchedBFS").inc()
-        return self._execute(queries, 0, max_levels, checkpointer)
+        return self._execute(
+            queries, 0, max_levels, checkpointer, trace_ids=trace_ids
+        )
 
     def resume_batch(
         self,
@@ -187,14 +195,25 @@ class BatchedBFS:
         rounds: int,
         max_levels: int | None,
         checkpointer,
+        trace_ids: dict[int, str] | None = None,
     ) -> list[BFSResult]:
         graph = self.graph
         clock = graph.clock
         obs = self.obs
         wall = Timer()
         t_batch0 = clock.now()
+        span_attrs: dict[str, object] = {}
+        if trace_ids:
+            joined = ",".join(
+                trace_ids[q.root] for q in queries if q.root in trace_ids
+            )
+            if joined:
+                span_attrs["trace_ids"] = joined
         with obs.span(
-            "serve.traversal", graph=graph.name, queries=len(queries)
+            "serve.traversal",
+            graph=graph.name,
+            queries=len(queries),
+            **span_attrs,
         ), wall:
             while True:
                 active = [q for q in queries if q.active]

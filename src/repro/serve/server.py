@@ -220,6 +220,10 @@ class BFSServer:
         self._crash_attempts: dict[str, int] = {}
         self._done_ids: set[int] = set()
         self._batch_seq = 0
+        # Request identity -> trace id, assigned once at admission.
+        # Crash-requeued requests keep their object identity, so one
+        # request is one trace across retries.
+        self._trace_ids: dict[int, str] = {}
 
     def engine_for(self, name: str) -> BatchedBFS:
         """The (persistent) query engine for catalog graph ``name``.
@@ -264,6 +268,15 @@ class BFSServer:
             while pending and pending[0].arrival_s <= now:
                 r = pending.popleft()
                 obs.counter(M_SERVE_REQUESTS, tenant=r.tenant).inc()
+                trace_id = obs.new_trace_id()
+                self._trace_ids[id(r)] = trace_id
+                obs.event(
+                    "serve.admit",
+                    trace_id=trace_id,
+                    tenant=r.tenant,
+                    graph=r.graph,
+                    root=r.root,
+                )
                 if not queue.offer(r):
                     self._reject(report, r, "queue_full")
             obs.gauge(M_SERVE_QUEUE_DEPTH).set(queue.depth)
@@ -295,6 +308,10 @@ class BFSServer:
                     total += worker_bytes()
         return total
 
+    def _trace_id(self, request: Request) -> str:
+        """The request's admission-assigned trace id."""
+        return self._trace_ids.get(id(request), "t000000")
+
     def _reject(self, report: ServeReport, request: Request,
                 reason: str) -> None:
         report.rejections.record(request, reason)
@@ -303,6 +320,7 @@ class BFSServer:
         self.obs.event(
             "serve.reject",
             reason=reason,
+            trace_id=self._trace_id(request),
             tenant=request.tenant,
             graph=request.graph,
             root=request.root,
@@ -337,12 +355,16 @@ class BFSServer:
             source=source,
             traversed_edges=traversed_edges,
         ))
+        trace_id = self._trace_id(request)
         self.obs.counter(M_SERVE_SERVED, source=source).inc()
-        self.obs.histogram(M_SERVE_LATENCY).observe(latency)
+        self.obs.histogram(M_SERVE_LATENCY).observe(
+            latency, exemplar=trace_id
+        )
         self.obs.event(
             "serve.complete",
             latency_s=latency,
             source=source,
+            trace_id=trace_id,
             tenant=request.tenant,
         )
 
@@ -351,7 +373,11 @@ class BFSServer:
                      queue: AdmissionQueue) -> None:
         clock = self.catalog.clock
         obs = self.obs
-        with obs.span("serve.batch", size=len(batch)):
+        with obs.span(
+            "serve.batch",
+            size=len(batch),
+            trace_ids=",".join(self._trace_id(r) for r in batch),
+        ):
             t_batch = clock.now()
             misses: list[Request] = []
             for r in batch:
@@ -411,6 +437,11 @@ class BFSServer:
         roots = sorted({r.root for r in reqs})
         rootset = set(roots)
         engine = self.engine_for(name)
+        # Duplicate roots share one traversal; the traversal runs under
+        # the first-admitted request's trace.
+        trace_ids: dict[int, str] = {}
+        for r in reqs:
+            trace_ids.setdefault(int(r.root), self._trace_id(r))
         results = []
         remaining = roots
         restored = self._resume.pop(name, None)
@@ -430,7 +461,9 @@ class BFSServer:
                 mgr = self._fresh_manager(name)
                 if mgr is not None:
                     hook = self._checkpoint_hook(name, mgr)
-            results.extend(engine.run_batch(remaining, checkpointer=hook))
+            results.extend(engine.run_batch(
+                remaining, checkpointer=hook, trace_ids=trace_ids
+            ))
         for res in results:
             self.cache.put(name, res.root, res.parent, res.traversed_edges)
             answered[(name, res.root)] = res.traversed_edges

@@ -1,0 +1,104 @@
+"""tools/bench_trend.py: trend rendering over BENCH_*.json snapshots."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.perf import BenchArtifact, BenchMetric
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "tools"))
+
+import bench_trend  # noqa: E402
+
+
+def _write(outdir: Path, teps: float, byt: float,
+           name: str = "toy") -> None:
+    BenchArtifact(
+        name=name,
+        description="synthetic",
+        seed=7,
+        params={"scale": 10},
+        simulated_seconds=1.0,
+        metrics={
+            "teps": BenchMetric(teps, "TEPS", True, tolerance=0.05),
+            "bytes": BenchMetric(byt, "B", False, tolerance=0.05),
+        },
+    ).write(outdir)
+
+
+class TestRenderTrend:
+    def test_values_and_drift(self, tmp_path):
+        _write(tmp_path / "old", teps=100.0, byt=1000.0)
+        _write(tmp_path / "new", teps=103.0, byt=990.0)
+        out = bench_trend.render_trend([
+            ("old", bench_trend._snapshot(tmp_path / "old")),
+            ("new", bench_trend._snapshot(tmp_path / "new")),
+        ])
+        assert "== toy (seed 7) ==" in out
+        assert "+3.00%" in out
+        assert "-1.00%" in out
+        assert "!" not in out
+
+    def test_regression_is_flagged(self, tmp_path):
+        _write(tmp_path / "old", teps=100.0, byt=1000.0)
+        _write(tmp_path / "new", teps=80.0, byt=1000.0)  # −20% TEPS
+        out = bench_trend.render_trend([
+            ("old", bench_trend._snapshot(tmp_path / "old")),
+            ("new", bench_trend._snapshot(tmp_path / "new")),
+        ])
+        assert "-20.00%!" in out
+
+    def test_missing_scenario_renders_dash(self, tmp_path):
+        _write(tmp_path / "old", teps=100.0, byt=1000.0)
+        (tmp_path / "new").mkdir()
+        out = bench_trend.render_trend([
+            ("old", bench_trend._snapshot(tmp_path / "old")),
+            ("new", bench_trend._snapshot(tmp_path / "new")),
+        ])
+        assert "-" in out
+
+    def test_needs_two_snapshots(self, tmp_path):
+        _write(tmp_path / "only", teps=1.0, byt=1.0)
+        with pytest.raises(ConfigurationError, match="at least two"):
+            bench_trend.render_trend([
+                ("only", bench_trend._snapshot(tmp_path / "only")),
+            ])
+
+    def test_unknown_scenario_filter_rejected(self, tmp_path):
+        _write(tmp_path / "a", teps=1.0, byt=1.0)
+        _write(tmp_path / "b", teps=1.0, byt=1.0)
+        with pytest.raises(ConfigurationError, match="not in oldest"):
+            bench_trend.render_trend(
+                [
+                    ("a", bench_trend._snapshot(tmp_path / "a")),
+                    ("b", bench_trend._snapshot(tmp_path / "b")),
+                ],
+                scenarios=["nope"],
+            )
+
+
+class TestMain:
+    def test_end_to_end_exit_codes(self, tmp_path, capsys):
+        _write(tmp_path / "old", teps=100.0, byt=1000.0)
+        _write(tmp_path / "new", teps=101.0, byt=1000.0)
+        assert bench_trend.main(
+            [str(tmp_path / "old"), str(tmp_path / "new")]
+        ) == 0
+        assert "toy" in capsys.readouterr().out
+        assert bench_trend.main(
+            [str(tmp_path / "old"), str(tmp_path / "missing")]
+        ) == 2
+
+    def test_against_committed_baselines(self, capsys):
+        """The committed baselines trend against themselves: all-zero
+        drift, every scenario present."""
+        baselines = str(ROOT / "benchmarks" / "baselines")
+        assert bench_trend.main([baselines, baselines]) == 0
+        out = capsys.readouterr().out
+        assert "profile_overhead" in out
+        assert "!" not in out

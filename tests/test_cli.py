@@ -15,7 +15,7 @@ class TestParser:
         assert set(sub.choices) == {
             "run", "sweep", "sizes", "green", "compare",
             "iostat", "locality", "offload", "serve", "reproduce",
-            "slo", "perf", "conformance",
+            "slo", "perf", "conformance", "profile",
         }
 
     def test_requires_subcommand(self):

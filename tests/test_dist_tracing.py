@@ -1,0 +1,207 @@
+"""Distributed tracing contracts: worker-side span collection on both
+backends, byte-identical same-seed exports across process boundaries,
+dead-generation span retention through crash restart, flow links in the
+Chrome export, per-query trace propagation, and the profile-vs-metrics
+reconciliation the acceptance criterion pins."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bfs import AlphaBetaPolicy
+from repro.csr import build_csr
+from repro.dist import ContiguousPartitioner, DistributedBFS
+from repro.graph500 import EdgeList, generate_edges
+from repro.obs import Observability, lint_session, self_time_table
+from repro.obs.profile import track_of
+from repro.semiext import PCIE_FLASH
+from repro.semiext.faults import FaultPlan
+
+SCALE = 8
+ALPHA = BETA = 50.0
+
+
+def _graph(seed=3):
+    n = 1 << SCALE
+    edges = EdgeList(generate_edges(SCALE, seed=seed), n)
+    csr = build_csr(edges)
+    return csr, int(np.flatnonzero(csr.degrees() > 0)[0])
+
+
+def _run(tmp_path, subdir, backend, n_parts=2, fault_plans=None,
+         export=False):
+    csr, root = _graph()
+    obs = Observability()
+    engine = DistributedBFS.build(
+        csr, ContiguousPartitioner(n_parts),
+        AlphaBetaPolicy(alpha=ALPHA, beta=BETA),
+        tmp_path / subdir, PCIE_FLASH, obs=obs, backend=backend,
+        fault_plans=fault_plans,
+    )
+    try:
+        engine.run(root)
+    finally:
+        engine.close()
+    if export:
+        paths = obs.export(tmp_path / f"{subdir}-obs")
+        return obs, {k: p.read_bytes() for k, p in paths.items()}
+    return obs, None
+
+
+class TestWorkerSpanCollection:
+    @pytest.mark.parametrize("backend", ["local", "process"])
+    def test_every_partition_ships_scan_and_charge_spans(
+        self, tmp_path, backend
+    ):
+        obs, _ = _run(tmp_path, backend, backend, n_parts=4)
+        per_track: dict[str, set] = {}
+        for span in obs.tracer.spans:
+            track = span.attrs.get("track")
+            if track:
+                per_track.setdefault(track, set()).add(span.name)
+        assert sorted(per_track) == [
+            "worker0", "worker1", "worker2", "worker3"
+        ]
+        for track, names in per_track.items():
+            assert "dist.worker_scan" in names, track
+            assert "nvm.charge" in names, track
+
+    @pytest.mark.parametrize("backend", ["local", "process"])
+    def test_session_passes_schema_lint(self, tmp_path, backend):
+        obs, _ = _run(tmp_path, backend, backend)
+        assert lint_session(obs) == []
+
+    def test_worker_spans_link_to_coordinator_steps(self, tmp_path):
+        obs, _ = _run(tmp_path, "flows", "process")
+        steps = {s.span_id for s in obs.tracer.spans
+                 if s.name == "dist.step"}
+        workers = [s for s in obs.tracer.spans if s.name == "dist.worker"]
+        assert workers
+        for span in workers:
+            assert span.attrs["flow_parent"] in steps
+
+    def test_worker_spans_carry_the_run_trace_id(self, tmp_path):
+        obs, _ = _run(tmp_path, "tid", "process")
+        run_span, = obs.tracer.find("dist.run")
+        trace_id = run_span.attrs["trace_id"]
+        for span in obs.tracer.spans:
+            if span.attrs.get("track"):
+                assert span.attrs["trace_id"] == trace_id
+
+    def test_local_and_process_backends_export_identically(self, tmp_path):
+        _, local = _run(tmp_path, "loc", "local", export=True)
+        _, proc = _run(tmp_path, "proc", "process", export=True)
+        assert local.keys() == proc.keys()
+        for kind in local:
+            assert local[kind] == proc[kind], kind
+
+
+class TestCrossProcessDeterminism:
+    @pytest.mark.parametrize("n_parts", [1, 2, 4])
+    def test_same_seed_exports_byte_identical(self, tmp_path, n_parts):
+        _, a = _run(tmp_path, f"a{n_parts}", "process", n_parts=n_parts,
+                    export=True)
+        _, b = _run(tmp_path, f"b{n_parts}", "process", n_parts=n_parts,
+                    export=True)
+        for kind in a:
+            assert a[kind] == b[kind], (kind, n_parts)
+
+    @pytest.mark.parametrize("backend", ["local", "process"])
+    def test_crash_restart_exports_deterministically(
+        self, tmp_path, backend
+    ):
+        plans = [None, FaultPlan(seed=7, crash_at_level=1)]
+        _, a = _run(tmp_path, f"ca-{backend}", backend,
+                    fault_plans=plans, export=True)
+        _, b = _run(tmp_path, f"cb-{backend}", backend,
+                    fault_plans=plans, export=True)
+        for kind in a:
+            assert a[kind] == b[kind], kind
+
+
+class TestCrashGenerations:
+    @pytest.mark.parametrize("backend", ["local", "process"])
+    def test_dead_generation_spans_retained(self, tmp_path, backend):
+        plans = [None, FaultPlan(seed=7, crash_at_level=1)]
+        obs, _ = _run(tmp_path, f"gen-{backend}", backend,
+                      fault_plans=plans)
+        w1 = [s for s in obs.tracer.spans
+              if s.attrs.get("track") == "worker1"]
+        generations = {s.attrs["generation"] for s in w1}
+        # The crashed generation's spans survive the restart, and the
+        # restarted worker's spans are labeled with the new generation.
+        assert generations == {0, 1}
+        crashed = [s for s in w1 if s.attrs.get("crashed")]
+        assert all(s.attrs["generation"] == 0 for s in crashed)
+        # The healthy worker never restarts.
+        w0_gens = {s.attrs["generation"] for s in obs.tracer.spans
+                   if s.attrs.get("track") == "worker0"}
+        assert w0_gens == {0}
+
+
+class TestChromeExport:
+    def test_worker_lanes_and_flow_events(self, tmp_path):
+        obs, exports = _run(tmp_path, "chrome", "process", export=True)
+        events = json.loads(exports["chrome_trace"])["traceEvents"]
+        names_by_pid: dict[int, str] = {}
+        for e in events:
+            if e.get("ph") == "M" and e.get("name") == "process_name":
+                names_by_pid[e["pid"]] = e["args"]["name"]
+        assert names_by_pid[1].startswith("repro hybrid BFS")
+        assert names_by_pid[2] == "partition worker 0"
+        assert names_by_pid[3] == "partition worker 1"
+        starts = [e for e in events if e.get("ph") == "s"]
+        finishes = [e for e in events if e.get("ph") == "f"]
+        assert len(starts) == len(finishes) > 0
+        # Flow sources sit on the coordinator lane, destinations on a
+        # worker lane, paired by id.
+        assert {e["pid"] for e in starts} == {1}
+        assert {e["pid"] for e in finishes} <= {2, 3}
+        assert sorted(e["id"] for e in starts) == sorted(
+            e["id"] for e in finishes
+        )
+
+    def test_worker_span_events_land_on_worker_pids(self, tmp_path):
+        obs, exports = _run(tmp_path, "lanes", "process", export=True)
+        events = json.loads(exports["chrome_trace"])["traceEvents"]
+        scan_pids = {
+            e["pid"] for e in events
+            if e.get("ph") == "X" and e.get("name") == "dist.worker_scan"
+        }
+        assert scan_pids == {2, 3}
+
+
+class TestProfileReconciliation:
+    def test_worker_self_time_matches_coordinator_accounting(
+        self, tmp_path
+    ):
+        """The acceptance pin: per-worker collapsed self-time must sum
+        to the coordinator's reconciled per-worker busy seconds."""
+        obs, _ = _run(tmp_path, "prof", "process", n_parts=4)
+        lane: dict[str, float] = {}
+        for row in self_time_table(obs):
+            lane[row.track] = lane.get(row.track, 0.0) + row.self_s
+        accounted: dict[str, float] = {}
+        for metric in obs.registry.metrics():
+            if metric.name == "dist.worker_seconds_total":
+                worker = dict(metric.labels)["worker"]
+                accounted[f"worker{worker}"] = metric.value
+        assert set(accounted) == {
+            f"worker{k}" for k in range(4)
+        }
+        for track, seconds in accounted.items():
+            assert lane[track] == pytest.approx(seconds, abs=1e-12), track
+
+    def test_collapsed_output_is_deterministic(self, tmp_path):
+        from repro.obs import write_collapsed
+
+        obs_a, _ = _run(tmp_path, "colla", "process")
+        obs_b, _ = _run(tmp_path, "collb", "process")
+        a = write_collapsed(obs_a, tmp_path / "a.collapsed")
+        b = write_collapsed(obs_b, tmp_path / "b.collapsed")
+        assert a.read_bytes() == b.read_bytes()
+        text = a.read_text()
+        assert "worker0;dist.worker;dist.worker_scan" in text

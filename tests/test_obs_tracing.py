@@ -1,0 +1,331 @@
+"""Tracing-layer unit tests: trace-context propagation, tracer lookup,
+histogram exemplars, the drain/absorb cross-process span protocol, the
+schema lint over real sessions, and the profiling folds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DRAM_PCIE_FLASH, run_graph500
+from repro.obs import (
+    NULL,
+    Observability,
+    Tracer,
+    collapsed_stacks,
+    lint_session,
+    read_jsonl,
+    self_time_table,
+    write_jsonl,
+)
+from repro.obs.profile import track_of
+from repro.obs.registry import MetricsRegistry
+from repro.obs.spans import TraceContext
+
+
+class TestTraceContext:
+    def test_span_under_active_context_gets_trace_id(self):
+        tracer = Tracer()
+        with tracer.activate(TraceContext(trace_id="t000007")):
+            with tracer.span("a"):
+                pass
+        assert tracer.find("a")[0].attrs["trace_id"] == "t000007"
+
+    def test_context_restored_after_activate(self):
+        tracer = Tracer()
+        assert tracer.active_context is None
+        ctx = TraceContext(trace_id="t000001")
+        with tracer.activate(ctx):
+            assert tracer.active_context is ctx
+        assert tracer.active_context is None
+
+    def test_activate_none_keeps_enclosing_context(self):
+        tracer = Tracer()
+        ctx = TraceContext(trace_id="t000002")
+        with tracer.activate(ctx):
+            with tracer.activate(None):
+                assert tracer.active_context is ctx
+
+    def test_remote_parent_lands_on_root_span_only(self):
+        # A context carrying a parent span id marks the *root* span of
+        # the local tree with flow_parent (the cross-process link);
+        # nested spans have a real local parent instead.
+        tracer = Tracer()
+        ctx = TraceContext(trace_id="t000003", parent_span_id=99)
+        with tracer.activate(ctx):
+            with tracer.span("root"):
+                with tracer.span("child"):
+                    pass
+        root = tracer.find("root")[0]
+        child = tracer.find("child")[0]
+        assert root.attrs["flow_parent"] == 99
+        assert "flow_parent" not in child.attrs
+        assert child.parent_id == root.span_id
+
+    def test_trace_ids_are_sequential_and_deterministic(self):
+        obs = Observability()
+        assert [obs.new_trace_id() for _ in range(3)] == [
+            "t000001", "t000002", "t000003"
+        ]
+
+    def test_disabled_session_mints_null_trace_id(self):
+        assert NULL.new_trace_id() == "t000000"
+        with NULL.activate(TraceContext(trace_id="t000009")):
+            pass  # nullcontext: no tracer state to corrupt
+
+
+class TestTracerLookup:
+    def _tracer(self):
+        tracer = Tracer()
+        for name in ("dist.worker", "dist.worker_scan", "dist.merge",
+                     "serve.batch"):
+            with tracer.span(name):
+                pass
+        return tracer
+
+    def test_find_is_exact(self):
+        tracer = self._tracer()
+        assert len(tracer.find("dist.worker")) == 1
+
+    def test_find_prefix(self):
+        tracer = self._tracer()
+        names = {s.name for s in tracer.find_prefix("dist.worker")}
+        assert names == {"dist.worker", "dist.worker_scan"}
+        assert tracer.find_prefix("nope") == []
+
+    def test_find_glob(self):
+        tracer = self._tracer()
+        names = {s.name for s in tracer.find_glob("dist.*")}
+        assert names == {"dist.worker", "dist.worker_scan", "dist.merge"}
+        assert {s.name for s in tracer.find_glob("*.batch")} == {
+            "serve.batch"
+        }
+
+
+class TestHistogramExemplars:
+    def test_exemplar_stored_per_bucket(self):
+        hist = MetricsRegistry().histogram("h", buckets=(1.0, 10.0))
+        hist.observe(0.5, exemplar="t000001")
+        hist.observe(5.0, exemplar="t000002")
+        hist.observe(99.0, exemplar="t000003")
+        assert hist.exemplars["1.0"] == ("t000001", 0.5)
+        assert hist.exemplars["10.0"] == ("t000002", 5.0)
+        assert hist.exemplars["+Inf"] == ("t000003", 99.0)
+
+    def test_latest_exemplar_wins_and_plain_observe_keeps_none(self):
+        hist = MetricsRegistry().histogram("h", buckets=(1.0,))
+        hist.observe(0.5)
+        assert hist.exemplars == {}
+        hist.observe(0.2, exemplar="t000001")
+        hist.observe(0.3, exemplar="t000002")
+        assert hist.exemplars["1.0"] == ("t000002", 0.3)
+
+    def test_exemplars_round_trip_through_jsonl(self, tmp_path):
+        obs = Observability()
+        obs.histogram("bfs.level_seconds").observe(0.25, exemplar="t000042")
+        path = write_jsonl(obs, tmp_path / "events.jsonl")
+        restored = read_jsonl(path)
+        for metric in restored.registry.metrics():
+            if metric.name == "bfs.level_seconds":
+                le, = [k for k, v in metric.exemplars.items()
+                       if v == ("t000042", 0.25)]
+                assert float(le) >= 0.25
+                break
+        else:
+            raise AssertionError("histogram not restored")
+
+
+class TestDrainAbsorb:
+    def test_drain_moves_spans_and_clears(self):
+        obs = Observability()
+        with obs.span("dist.worker"):
+            pass
+        payload = obs.drain()
+        assert [s[2] for s in payload["spans"]] == ["dist.worker"]
+        assert obs.tracer.spans == []
+        assert obs.drain()["spans"] == []
+
+    def test_disabled_session_drains_none(self):
+        assert NULL.drain() is None
+
+    def test_absorb_tags_and_remaps_parent_links(self):
+        worker = Observability()
+        with worker.span("dist.worker"):
+            with worker.span("nvm.charge"):
+                pass
+        coord = Observability()
+        with coord.span("dist.run"):
+            pass
+        coord.absorb(worker.drain(), worker=1)
+        by_name = {s.name: s for s in coord.tracer.spans}
+        outer, inner = by_name["dist.worker"], by_name["nvm.charge"]
+        assert outer.attrs["track"] == "worker1"
+        assert outer.attrs["worker"] == 1
+        assert outer.attrs["generation"] == 0
+        assert inner.parent_id == outer.span_id
+        # Remapped ids never collide with the coordinator's own spans.
+        ids = [s.span_id for s in coord.tracer.spans]
+        assert len(set(ids)) == len(ids)
+
+    def test_parent_links_survive_split_drains(self):
+        worker = Observability()
+        outer_cm = worker.span("dist.worker")
+        outer_cm.__enter__()
+        coord = Observability()
+        coord.absorb(worker.drain(), worker=0)  # open span ships first
+        outer_cm.__exit__(None, None, None)
+        with worker.span("dist.worker"):
+            pass
+        coord.absorb(worker.drain(), worker=0)
+        spans = [s for s in coord.tracer.spans if s.name == "dist.worker"]
+        assert len(spans) == 2
+
+    def test_counter_deltas_never_double_count(self):
+        worker = Observability()
+        worker.counter("dist.worker_edges_total", worker=0,
+                       medium="dram").inc(3)
+        coord = Observability()
+        coord.absorb(worker.drain(), worker=0)
+        worker.counter("dist.worker_edges_total", worker=0,
+                       medium="dram").inc(2)
+        # Drain ships the *cumulative* snapshot; absorb applies deltas.
+        coord.absorb(worker.drain(), worker=0)
+        assert coord.registry.total("dist.worker_edges_total") == 5
+
+    def test_absorbed_metrics_gain_worker_label(self):
+        worker = Observability()
+        worker.counter("nvm.requests_total", device="pcie",
+                       op="read").inc(4)
+        coord = Observability()
+        coord.absorb(worker.drain(), worker=2)
+        assert coord.registry.value(
+            "nvm.requests_total", device="pcie", op="read", worker=2
+        ) == 4
+
+    def test_absorb_into_disabled_session_is_noop(self):
+        worker = Observability()
+        with worker.span("dist.worker"):
+            pass
+        NULL.absorb(worker.drain(), worker=0)  # must not raise
+        coord = Observability()
+        coord.absorb(None, worker=0)  # dead worker shipped nothing
+        assert coord.tracer.spans == []
+
+
+class TestSchemaLint:
+    def test_real_run_session_is_clean(self, tmp_path):
+        obs = Observability()
+        run_graph500(DRAM_PCIE_FLASH, scale=8, n_roots=2, seed=7,
+                     validate=False, workdir=tmp_path, obs=obs)
+        assert lint_session(obs) == []
+
+    def test_real_serve_session_is_clean(self, tmp_path):
+        from repro.serve import (
+            BFSServer,
+            GraphCatalog,
+            WorkloadSpec,
+            generate_workload,
+        )
+
+        obs = Observability()
+        catalog = GraphCatalog(workdir=tmp_path, obs=obs)
+        graph = catalog.build("g", DRAM_PCIE_FLASH, scale=8, seed=11,
+                              alpha=4.0, beta=4.0)
+        spec = WorkloadSpec(n_requests=20, graph="g", seed=7, root_pool=5)
+        server = BFSServer(catalog, batch_size=4, queue_capacity=8,
+                           obs=obs)
+        server.serve(generate_workload(spec, graph.degrees))
+        catalog.close()
+        assert lint_session(obs) == []
+
+    def test_real_dist_session_is_clean(self, tmp_path):
+        import numpy as np
+
+        from repro.bfs import AlphaBetaPolicy
+        from repro.csr import build_csr
+        from repro.dist import ContiguousPartitioner, DistributedBFS
+        from repro.graph500 import EdgeList, generate_edges
+        from repro.semiext import PCIE_FLASH
+
+        n = 1 << 8
+        edges = EdgeList(generate_edges(8, seed=3), n)
+        csr = build_csr(edges)
+        root = int(np.flatnonzero(csr.degrees() > 0)[0])
+        obs = Observability()
+        engine = DistributedBFS.build(
+            csr, ContiguousPartitioner(2),
+            AlphaBetaPolicy(alpha=50.0, beta=50.0),
+            tmp_path, PCIE_FLASH, obs=obs,
+        )
+        try:
+            engine.run(root)
+        finally:
+            engine.close()
+        assert lint_session(obs) == []
+
+    def test_unregistered_names_are_reported(self):
+        obs = Observability()
+        obs.registry.counter("rogue.metric_total").inc()
+        with obs.span("rogue.span"):
+            pass
+        obs.event("rogue.event")
+        problems = "\n".join(lint_session(obs))
+        assert "rogue.metric_total" in problems
+        assert "rogue.span" in problems
+        assert "rogue.event" in problems
+
+    def test_kind_mismatch_is_reported(self):
+        obs = Observability()
+        # bfs.runs_total is registered as a counter.
+        obs.registry.gauge("bfs.runs_total").set(1)
+        assert any("bfs.runs_total" in p for p in lint_session(obs))
+
+
+class TestProfile:
+    def _session(self):
+        from repro.semiext.clock import SimulatedClock
+
+        obs = Observability()
+        clock = SimulatedClock()
+        obs.bind_clock(clock)
+        with obs.span("dist.run"):
+            with obs.span("dist.level"):
+                clock.advance(1.0)
+        with obs.span("dist.worker", track="worker0"):
+            clock.advance(0.5)
+            with obs.span("nvm.charge", track="worker0", bytes=4096):
+                clock.advance(2.0)
+        return obs
+
+    def test_track_partitioning(self):
+        obs = self._session()
+        tracks = {track_of(s) for s in obs.tracer.spans}
+        assert tracks == {"coordinator", "worker0"}
+
+    def test_self_time_telescopes_per_lane(self):
+        obs = self._session()
+        rows = self_time_table(obs)
+        lane = {}
+        for r in rows:
+            lane[r.track] = lane.get(r.track, 0.0) + r.self_s
+        # Lane self-time sums to the lane's root-span durations.
+        assert lane["coordinator"] == pytest.approx(1.0)
+        assert lane["worker0"] == pytest.approx(2.5)
+
+    def test_byte_attribution(self):
+        obs = self._session()
+        row, = [r for r in self_time_table(obs) if r.name == "nvm.charge"]
+        assert row.bytes == 4096
+        assert row.self_s == pytest.approx(2.0)
+
+    def test_collapsed_stacks_fold(self):
+        obs = self._session()
+        folded = collapsed_stacks(obs)
+        assert folded["coordinator;dist.run;dist.level"] == 1_000_000
+        assert folded["worker0;dist.worker;nvm.charge"] == 2_000_000
+        assert folded["worker0;dist.worker"] == 500_000
+
+    def test_rows_sorted_by_descending_self_time(self):
+        rows = self_time_table(self._session())
+        assert [r.self_s for r in rows] == sorted(
+            (r.self_s for r in rows), reverse=True
+        )
