@@ -26,6 +26,10 @@ class ServeSummary:
     n_served: int = 0
     n_from_cache: int = 0
     n_from_traversal: int = 0
+    n_from_repair: int = 0
+    n_mutations: int = 0
+    n_repair_fallbacks: int = 0
+    version_invalidated: int = 0
     n_rejected_queue_full: int = 0
     n_rejected_degraded: int = 0
     n_batches: int = 0
@@ -53,6 +57,12 @@ class ServeSummary:
             n_from_traversal=sum(
                 1 for c in report.completions if c.source == "batched"
             ),
+            n_from_repair=sum(
+                1 for c in report.completions if c.source == "repaired"
+            ),
+            n_mutations=report.n_mutations,
+            n_repair_fallbacks=report.n_repair_fallbacks,
+            version_invalidated=report.version_invalidated,
             n_rejected_queue_full=report.rejections.queue_full,
             n_rejected_degraded=report.rejections.degraded,
             n_batches=report.n_batches,
@@ -90,7 +100,9 @@ class ServeSummary:
             f" over {self.duration_s:.3f} simulated s",
             f"  served:            {self.n_served}"
             f" ({self.n_from_cache} cache, "
-            f"{self.n_from_traversal} traversal)",
+            f"{self.n_from_traversal} traversal"
+            + (f", {self.n_from_repair} repaired"
+               if self.n_from_repair else "") + ")",
             f"  rejected requests: "
             f"{self.n_rejected_queue_full + self.n_rejected_degraded}"
             f" ({self.n_rejected_queue_full} queue_full, "
@@ -106,6 +118,13 @@ class ServeSummary:
             f"({self.amortization:.2f}x amortized)",
             f"  nvm bytes read:    {self.nvm_bytes_read}",
         ]
+        if self.n_mutations:
+            lines.insert(3, (
+                f"  mutations:         {self.n_mutations} batches "
+                f"({self.n_from_repair} repaired, "
+                f"{self.n_repair_fallbacks} fallback, "
+                f"{self.version_invalidated} invalidated)"
+            ))
         if self.served_by_tenant:
             per_tenant = ", ".join(
                 f"{t}={n}" for t, n in sorted(self.served_by_tenant.items())

@@ -111,6 +111,36 @@ def _parse_workload(spec: str):
         raise argparse.ArgumentTypeError(str(exc)) from None
 
 
+def _parse_mutations(spec: str):
+    """argparse type for ``--mutations``: ``rate=50,ins=4,del=4``.
+
+    Returns the ``WorkloadSpec`` field overrides the flag layers on top
+    of ``--workload`` (mutations ride the same request stream).
+    """
+    keys = {"rate": "mut_rate", "ins": "mut_inserts", "del": "mut_deletes"}
+    out = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        key, eq, raw = part.partition("=")
+        field = keys.get(key.strip())
+        if not eq or field is None:
+            raise argparse.ArgumentTypeError(
+                f"unknown mutation key {key.strip()!r} "
+                f"(expected rate=, ins=, del=)"
+            )
+        try:
+            out[field] = (float(raw) if field == "mut_rate" else int(raw))
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"mutation key {key.strip()!r} needs a number, got {raw!r}"
+            ) from None
+    if "mut_rate" not in out:
+        raise argparse.ArgumentTypeError("--mutations needs rate=<batches/s>")
+    return out
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for tests and docs)."""
     p = argparse.ArgumentParser(
@@ -257,11 +287,21 @@ def build_parser() -> argparse.ArgumentParser:
              "(defaults: 200 requests, 1000 req/s, zipf 1.1, 4 tenants)",
     )
     serve.add_argument(
+        "--mutations",
+        type=_parse_mutations,
+        default=None,
+        metavar="SPEC",
+        help="mutate the graph under load, e.g. 'rate=50,ins=4,del=4' "
+             "(Poisson batches per simulated second, layered onto "
+             "--workload; queries after each batch see the new version)",
+    )
+    serve.add_argument(
         "--trace",
         type=str,
         default=None,
         metavar="FILE",
-        help="replay a JSONL request trace instead of generating one",
+        help="replay a JSONL request trace instead of generating one "
+             "(traces may carry mutation events)",
     )
     serve.add_argument("--batch", type=int, default=8,
                        help="max queries coalesced per traversal batch")
@@ -998,6 +1038,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             args.scenario
         ]
     ]
+    if args.mutations is not None and args.partitions > 1:
+        print("error: --mutations attaches to locally pinned graphs; "
+              "partitioned deployments are static (see docs/dynamic.md)",
+              file=sys.stderr)
+        return 2
+    if args.mutations is not None and args.trace is not None:
+        print("error: --mutations generates a workload; a --trace already "
+              "carries its own mutation events", file=sys.stderr)
+        return 2
     if args.faults is not None:
         from dataclasses import replace
 
@@ -1048,8 +1097,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 return 2
         else:
             spec = args.workload if args.workload is not None else WorkloadSpec()
+            if args.mutations is not None:
+                from dataclasses import replace as _replace
+
+                spec = _replace(spec, **args.mutations)
+            mut_csr = None
+            if spec.mut_rate > 0:
+                from repro.csr import build_csr
+
+                mut_csr = build_csr(graph.edges)
             requests = generate_workload(spec.with_seed(args.seed),
-                                         graph.degrees)
+                                         graph.degrees, csr=mut_csr)
         server = BFSServer(
             catalog,
             batch_size=args.batch,

@@ -213,6 +213,10 @@ class EngineSpec:
         subsystem: the setup's fault plan may inject a process crash,
         and the runner checkpoints, resumes and returns the completed
         tree.  ``None`` means the crash-resume relation does not apply.
+    dynamic:
+        Answers queries through the mutation/repair subsystem
+        (:mod:`repro.graphmut`), so the mutation metamorphic relations
+        (idempotence, batch-order commutativity) are meaningful.
     """
 
     name: str
@@ -221,6 +225,7 @@ class EngineSpec:
     schedule_sensitive: bool = False
     description: str = ""
     recoverable: Runner | None = field(compare=False, default=None)
+    dynamic: bool = False
 
 
 _REGISTRY: dict[str, EngineSpec] = {}
@@ -418,6 +423,50 @@ def _run_partitioned(case: GraphCase, setup: TrialSetup, root: int,
         engine.close()
 
 
+def _run_dynamic(case: GraphCase, setup: TrialSetup, root: int,
+                 workdir: Path) -> BFSResult:
+    """Reach the case graph by repairing a seeded predecessor's tree.
+
+    The serving layer's dynamic path, inverted for conformance: draw a
+    mutation batch that separates the case graph G from a predecessor
+    G' (the batch's inserts are edges of G, its deletes absent pairs),
+    run the reference oracle on G', overlay-apply the batch and repair
+    the old tree forward.  Differential byte-identity against every
+    other engine on G is then exactly the claim the dynamic subsystem
+    makes.  A seeded fraction of runs pins the repair threshold low to
+    exercise the fallback-to-recompute path as well.
+    """
+    from dataclasses import replace
+
+    from repro.graphmut import DeltaOverlay, draw_batch, repair_tree
+
+    csr = case.csr
+    n = csr.n_rows
+    rng = np.random.default_rng([n, int(csr.adj.size), int(root), 20140519])
+    # draw_batch mutates G forward; its inverse is the batch that led
+    # *to* G, and applying it forward (un-inverted) yields G'.
+    forward = draw_batch(csr, rng, n_inserts=int(rng.integers(0, 4)),
+                         n_deletes=int(rng.integers(0, 4)))
+    batch = forward.inverse()
+    prev = DeltaOverlay(csr)
+    prev.apply(forward)
+    prev_csr = prev.to_csr()
+    old = ReferenceBFS(prev_csr).run(root)
+    overlay = DeltaOverlay(prev_csr)
+    effective = overlay.apply(batch)
+    threshold = 1.0 if rng.random() < 0.8 else 1.0 / max(n, 1)
+    outcome = repair_tree(overlay.row, n, root, old.parent, effective,
+                          max_dirty_frac=threshold)
+    if outcome is None:  # dirty region over threshold: recompute on G
+        return ReferenceBFS(overlay.to_csr()).run(root)
+    visited = outcome.parent >= 0
+    return replace(
+        old,
+        parent=outcome.parent,
+        traversed_edges=int(csr.degrees()[visited].sum() // 2),
+    )
+
+
 # -- crash-recovery runners (the crash_resume relation's subjects) -------------
 
 
@@ -508,5 +557,8 @@ for _spec in (
                schedule_sensitive=True,
                description="1D vertex-partitioned coordinator/worker "
                            "engine over three partitions"),
+    EngineSpec("dynamic", _run_dynamic, dynamic=True,
+               description="incremental repair from a seeded predecessor "
+                           "graph (the serving layer's mutation path)"),
 ):
     register_engine(_spec)

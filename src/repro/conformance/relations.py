@@ -5,8 +5,8 @@ with, a metamorphic relation only needs the engine itself: transform the
 *input* in a way whose effect on the *output* is known exactly, run the
 engine twice, and compare.
 
-Five relations, from the paper's §IV validity argument plus the
-durability story:
+Seven relations, from the paper's §IV validity argument plus the
+durability and dynamic-graph stories:
 
 ``permutation``
     BFS is label-blind: relabeling vertices by a permutation π maps the
@@ -30,6 +30,14 @@ durability story:
     the CRC fallback), must produce a parent array **bit-identical** to
     an uninterrupted run — the engines are deterministic and a
     checkpoint carries exactly their loop state.
+``mutation_idempotence``
+    Applying a mutation batch and then its inverse — each step repaired
+    incrementally — must land back on the original tree bit-for-bit,
+    and leave the delta overlay empty.
+``mutation_commute``
+    A batch of mutations touching distinct edges commutes: split it in
+    two and repair through either application order; the final trees
+    must be bit-identical.
 
 Each relation is a pure function of ``(engine spec, case, setup, root,
 seed)``; the seed pins every random draw so a failing relation replays
@@ -212,6 +220,95 @@ def _check_crash_resume(spec: EngineSpec, case: GraphCase, setup: TrialSetup,
     )
 
 
+def _check_mutation_idempotence(spec: EngineSpec, case: GraphCase,
+                                setup: TrialSetup, root: int, seed: int,
+                                workdir: Path) -> str | None:
+    """Batch + inverse batch, repaired, must restore the original tree."""
+    from repro.graphmut import DeltaOverlay, draw_batch, repair_tree
+
+    rng = np.random.default_rng(seed)
+    csr = case.csr
+    n = case.n_vertices
+    batch = draw_batch(csr, rng, n_inserts=3, n_deletes=3)
+    base = spec.run(case, setup, root, workdir)
+    overlay = DeltaOverlay(csr)
+    eff = overlay.apply(batch)
+    fwd = repair_tree(overlay.row, n, root, base.parent, eff,
+                      max_dirty_frac=1.0)
+    if fwd is None:
+        return "forward repair fell back at threshold 1.0"
+    eff_inv = overlay.apply(batch.inverse())
+    back = repair_tree(overlay.row, n, root, fwd.parent, eff_inv,
+                       max_dirty_frac=1.0)
+    if back is None:
+        return "inverse repair fell back at threshold 1.0"
+    if not overlay.is_empty:
+        return (
+            f"batch + inverse left {overlay.n_overlay_entries} overlay "
+            f"entries instead of cancelling out"
+        )
+    if np.array_equal(back.parent, base.parent):
+        return None
+    v = int(np.flatnonzero(back.parent != base.parent)[0])
+    return (
+        f"insert-then-delete round trip moved the tree at vertex {v}: "
+        f"parent {int(base.parent[v])} -> {int(back.parent[v])} "
+        f"(batch {batch.to_dict()})"
+    )
+
+
+def _check_mutation_commute(spec: EngineSpec, case: GraphCase,
+                            setup: TrialSetup, root: int, seed: int,
+                            workdir: Path) -> str | None:
+    """Distinct-edge mutations repair to the same tree in either order."""
+    from repro.graphmut import DeltaOverlay, MutationBatch, draw_batch, \
+        repair_tree
+
+    rng = np.random.default_rng(seed)
+    csr = case.csr
+    n = case.n_vertices
+    batch = draw_batch(csr, rng, n_inserts=4, n_deletes=4)
+    muts = [("ins", e) for e in batch.inserts] + \
+           [("del", e) for e in batch.deletes]
+    if len(muts) < 2:
+        return None  # nothing to reorder on this graph
+    picks = rng.permutation(len(muts))
+    cut = len(muts) // 2
+    halves = []
+    for chunk in (picks[:cut], picks[cut:]):
+        ins = tuple(sorted(muts[i][1] for i in chunk if muts[i][0] == "ins"))
+        dels = tuple(sorted(muts[i][1] for i in chunk if muts[i][0] == "del"))
+        halves.append(MutationBatch(inserts=ins, deletes=dels))
+    base = spec.run(case, setup, root, workdir)
+
+    def repaired_through(order: list) -> "np.ndarray | str":
+        overlay = DeltaOverlay(csr)
+        parent = base.parent
+        for sub in order:
+            eff = overlay.apply(sub)
+            out = repair_tree(overlay.row, n, root, parent, eff,
+                              max_dirty_frac=1.0)
+            if out is None:
+                return "repair fell back at threshold 1.0"
+            parent = out.parent
+        return parent
+
+    forward = repaired_through([halves[0], halves[1]])
+    backward = repaired_through([halves[1], halves[0]])
+    if isinstance(forward, str):
+        return forward
+    if isinstance(backward, str):
+        return backward
+    if np.array_equal(forward, backward):
+        return None
+    v = int(np.flatnonzero(forward != backward)[0])
+    return (
+        f"mutation sub-batch order changed the tree at vertex {v}: "
+        f"parent {int(forward[v])} vs {int(backward[v])} "
+        f"(batch {batch.to_dict()})"
+    )
+
+
 RELATIONS: dict[str, MetamorphicRelation] = {
     rel.name: rel
     for rel in (
@@ -238,6 +335,18 @@ RELATIONS: dict[str, MetamorphicRelation] = {
             applies=lambda spec: spec.recoverable is not None,
             description="crash + checkpoint resume is bit-identical to "
                         "an uninterrupted run",
+        ),
+        MetamorphicRelation(
+            "mutation_idempotence", _check_mutation_idempotence,
+            applies=lambda spec: spec.dynamic,
+            description="a mutation batch followed by its inverse "
+                        "repairs back to the original tree",
+        ),
+        MetamorphicRelation(
+            "mutation_commute", _check_mutation_commute,
+            applies=lambda spec: spec.dynamic,
+            description="distinct-edge mutation sub-batches repair to "
+                        "the same tree in either order",
         ),
     )
 }

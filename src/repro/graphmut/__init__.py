@@ -1,0 +1,50 @@
+"""Dynamic graphs: versioned edge streams and incremental BFS repair.
+
+The paper's semi-external design freezes the CSR at build time; this
+package opens the workload class the ROADMAP calls out — graphs that
+change under serving load.  Three layers:
+
+* :mod:`repro.graphmut.stream` — seeded insert/delete mutation batches
+  (the dynamic analogue of the Kronecker generator: one integer seed
+  reproduces the whole edge stream).
+* :mod:`repro.graphmut.delta` — an in-DRAM delta overlay over a base
+  CSR: each applied batch is one graph *version*; reads merge the
+  NVM-resident base rows with the DRAM delta, and compaction folds the
+  overlay back into a canonical CSR.
+* :mod:`repro.graphmut.repair` — incremental BFS-tree repair after a
+  mutation batch (Meyer, *On Dynamic Breadth-First Search in
+  External-Memory*): re-expand only from endpoints whose level can
+  change, falling back to full recomputation when the dirty region
+  exceeds a threshold.  Repaired trees are **byte-identical** to a full
+  recomputation on the post-mutation graph, because every engine in this
+  tree produces the same canonical tree (each vertex's parent is its
+  minimum-id neighbour one level up — pinned by the conformance suite).
+* :mod:`repro.graphmut.versioned` — :class:`GraphMutator`, which applies
+  the above to a pinned catalog graph: version bumps, delta-aware NVM
+  shards, batched compaction charged through
+  :meth:`~repro.semiext.storage.NVMStore.charge_write`, and the serve
+  tier's repair-or-recompute decision.
+"""
+
+from repro.graphmut.delta import DeltaOverlay
+from repro.graphmut.repair import RepairOutcome, repair_tree
+from repro.graphmut.stream import (
+    MutationBatch,
+    draw_batch,
+    generate_stream,
+    merge_batches,
+    normalize_edges,
+)
+from repro.graphmut.versioned import GraphMutator
+
+__all__ = [
+    "MutationBatch",
+    "draw_batch",
+    "generate_stream",
+    "merge_batches",
+    "normalize_edges",
+    "DeltaOverlay",
+    "RepairOutcome",
+    "repair_tree",
+    "GraphMutator",
+]

@@ -1,0 +1,208 @@
+"""In-DRAM delta overlay over an NVM-resident base CSR.
+
+The paper's CSR is immutable once built (§V-B1); mutating it in place on
+NVM would cost a random-write per edge.  Instead each graph version is
+the *base* CSR plus a small DRAM overlay: per-row sets of inserted and
+deleted destinations.  Reads merge on the fly (base row from the store,
+patched with the overlay), and a batched compaction folds the overlay
+back into a fresh canonical CSR — one sequential NVM write instead of
+scattered updates.
+
+Invariants maintained by :meth:`DeltaOverlay.apply`:
+
+* inserted destinations are never present in the base row,
+* deleted destinations are always present in the base row,
+* the two sets are disjoint per row.
+
+Hence every effective row is the base row minus deletions plus
+insertions, already deduped; sorting the merge keeps rows in the CSR
+canonical form every scanner in this tree assumes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.csr.graph import CSRGraph
+from repro.errors import GraphFormatError
+from repro.graphmut.stream import MutationBatch
+
+__all__ = ["DeltaOverlay"]
+
+
+class DeltaOverlay:
+    """Mutable undirected edge delta over an immutable base :class:`CSRGraph`."""
+
+    def __init__(self, base: CSRGraph) -> None:
+        if base.n_rows != base.n_cols:
+            raise GraphFormatError(
+                f"overlay requires a square CSR, got {base.n_rows}x{base.n_cols}"
+            )
+        self.base = base
+        self._ins: dict[int, set[int]] = {}
+        self._del: dict[int, set[int]] = {}
+
+    # -- size ------------------------------------------------------------------
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the overlay holds no pending mutations at all."""
+        return not self._ins and not self._del
+
+    @property
+    def n_overlay_entries(self) -> int:
+        """Directed delta entries resident in DRAM (2 per undirected edge)."""
+        return sum(len(s) for s in self._ins.values()) + sum(
+            len(s) for s in self._del.values()
+        )
+
+    @property
+    def overlay_nbytes(self) -> int:
+        """Modeled DRAM footprint of the overlay (int64 per entry)."""
+        return 8 * self.n_overlay_entries
+
+    def dirty_rows(self) -> np.ndarray:
+        """Sorted rows whose effective adjacency differs from the base."""
+        return np.fromiter(
+            sorted(set(self._ins) | set(self._del)),
+            dtype=np.int64,
+            count=len(set(self._ins) | set(self._del)),
+        )
+
+    # -- mutation --------------------------------------------------------------
+
+    def apply(self, batch: MutationBatch) -> MutationBatch:
+        """Apply one batch; returns the *effective* sub-batch.
+
+        Idempotent semantics: inserting a present edge or deleting an
+        absent one is a no-op and is excluded from the returned batch.
+        Consumers that keep a batch history for incremental repair must
+        record the effective batch — effective batches compose by
+        cancellation (:func:`~repro.graphmut.stream.merge_batches`),
+        raw ones do not.
+        """
+        eff_del = []
+        for u, v in batch.deletes:
+            if self.has_edge(u, v):
+                eff_del.append((u, v))
+                self._delete_half(u, v)
+                self._delete_half(v, u)
+        eff_ins = []
+        for u, v in batch.inserts:
+            if not self.has_edge(u, v):
+                eff_ins.append((u, v))
+                self._insert_half(u, v)
+                self._insert_half(v, u)
+        return MutationBatch(inserts=tuple(eff_ins), deletes=tuple(eff_del))
+
+    def _insert_half(self, row: int, dest: int) -> None:
+        dels = self._del.get(row)
+        if dels and dest in dels:
+            dels.discard(dest)
+            if not dels:
+                del self._del[row]
+        else:
+            self._ins.setdefault(row, set()).add(dest)
+
+    def _delete_half(self, row: int, dest: int) -> None:
+        ins = self._ins.get(row)
+        if ins and dest in ins:
+            ins.discard(dest)
+            if not ins:
+                del self._ins[row]
+        else:
+            self._del.setdefault(row, set()).add(dest)
+
+    def clear(self) -> None:
+        """Drop the overlay (after compaction folded it into a new base)."""
+        self._ins.clear()
+        self._del.clear()
+
+    # -- reads -----------------------------------------------------------------
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Effective (post-delta) membership test."""
+        ins = self._ins.get(u)
+        if ins and v in ins:
+            return True
+        dels = self._del.get(u)
+        if dels and v in dels:
+            return False
+        return self.base.has_edge(u, v)
+
+    def row_is_dirty(self, row: int) -> bool:
+        """Whether ``row`` has pending inserts or deletes."""
+        return row in self._ins or row in self._del
+
+    def patch_row(self, row: int, base_row: np.ndarray) -> np.ndarray:
+        """Effective row given its base adjacency (sorted in, sorted out).
+
+        Split out from :meth:`row` so charged readers — which already
+        fetched the base row from the NVM store — can patch without a
+        second uncharged read.
+        """
+        dels = self._del.get(row)
+        ins = self._ins.get(row)
+        if not dels and not ins:
+            return base_row
+        eff = base_row
+        if dels:
+            drop = np.fromiter(sorted(dels), dtype=np.int64, count=len(dels))
+            eff = eff[~np.isin(eff, drop)]
+        if ins:
+            add = np.fromiter(sorted(ins), dtype=np.int64, count=len(ins))
+            eff = np.concatenate((eff, add))
+            eff.sort()
+        return eff
+
+    def row(self, row: int) -> np.ndarray:
+        """Effective sorted adjacency of one row (uncharged DRAM read)."""
+        return self.patch_row(row, self.base.neighbors(row))
+
+    def degrees(self) -> np.ndarray:
+        """Exact effective degree per row: base ± overlay counts."""
+        deg = self.base.degrees().astype(np.int64, copy=True)
+        for r, s in self._ins.items():
+            deg[r] += len(s)
+        for r, s in self._del.items():
+            deg[r] -= len(s)
+        return deg
+
+    def degree(self, row: int) -> int:
+        """Effective degree of ``row`` (base plus overlay, exact)."""
+        return int(
+            self.base.degree(row)
+            + len(self._ins.get(row, ()))
+            - len(self._del.get(row, ()))
+        )
+
+    # -- materialization -------------------------------------------------------
+
+    def to_csr(self) -> CSRGraph:
+        """Materialize the effective graph as a canonical CSR.
+
+        Clean rows are copied as whole spans of the base value array;
+        only dirty rows are re-merged, so compaction cost scales with the
+        delta, not the graph.
+        """
+        base = self.base
+        if self.is_empty:
+            return CSRGraph(
+                indptr=base.indptr.copy(), adj=base.adj.copy(), n_cols=base.n_cols
+            )
+        counts = base.degrees().astype(np.int64, copy=True)
+        parts: list[np.ndarray] = []
+        prev = 0
+        for r in self.dirty_rows().tolist():
+            start = int(base.indptr[r])
+            parts.append(base.adj[prev:start])
+            eff = self.row(r)
+            parts.append(eff)
+            counts[r] = eff.size
+            prev = int(base.indptr[r + 1])
+        parts.append(base.adj[prev:])
+        adj = np.concatenate(parts).astype(np.int64, copy=False)
+        indptr = np.empty(base.n_rows + 1, dtype=np.int64)
+        indptr[0] = 0
+        np.cumsum(counts, out=indptr[1:])
+        return CSRGraph(indptr=indptr, adj=adj, n_cols=base.n_cols)

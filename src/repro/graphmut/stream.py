@@ -1,0 +1,244 @@
+"""Seeded edge-mutation streams.
+
+A mutation stream is the dynamic analogue of the Kronecker generator: a
+single integer seed reproduces the whole sequence of insert/delete
+batches, so every mutating experiment — serve runs, conformance trials,
+perf baselines — is replayable from its seed alone.
+
+Edges are undirected and *normalized*: ``(u, v)`` with ``u < v``, no
+self-loops, no duplicates within a batch, and a batch never both inserts
+and deletes the same edge.  Application semantics are idempotent
+(insert-existing and delete-absent are no-ops), which makes batches
+composable via :func:`merge_batches`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.csr.graph import CSRGraph
+from repro.errors import GraphFormatError
+from repro.util.rng import derive_rng
+
+__all__ = [
+    "MutationBatch",
+    "normalize_edges",
+    "draw_batch",
+    "generate_stream",
+    "merge_batches",
+]
+
+
+def normalize_edges(
+    pairs: object, n_vertices: int
+) -> tuple[tuple[int, int], ...]:
+    """Canonicalize undirected edge pairs: ``u < v``, deduped, sorted.
+
+    Self-loops are dropped (BFS ignores them and :func:`build_csr` drops
+    them too); out-of-range endpoints raise.
+
+    >>> normalize_edges([(3, 1), (1, 3), (2, 2), (0, 4)], 5)
+    ((0, 4), (1, 3))
+    """
+    out: set[tuple[int, int]] = set()
+    for pair in pairs:  # type: ignore[attr-defined]
+        u, v = int(pair[0]), int(pair[1])
+        if not (0 <= u < n_vertices and 0 <= v < n_vertices):
+            raise GraphFormatError(
+                f"edge endpoint outside [0, {n_vertices}): ({u}, {v})"
+            )
+        if u == v:
+            continue
+        out.add((u, v) if u < v else (v, u))
+    return tuple(sorted(out))
+
+
+@dataclass(frozen=True)
+class MutationBatch:
+    """One atomic batch of undirected edge mutations (one graph version).
+
+    ``inserts`` and ``deletes`` are normalized pairs and disjoint: a batch
+    is a *set* of mutations applied atomically, so inserting and deleting
+    the same edge in one batch is contradictory and rejected.
+    """
+
+    inserts: tuple[tuple[int, int], ...] = ()
+    deletes: tuple[tuple[int, int], ...] = ()
+
+    def __post_init__(self) -> None:
+        overlap = set(self.inserts) & set(self.deletes)
+        if overlap:
+            raise GraphFormatError(
+                f"batch inserts and deletes overlap: {sorted(overlap)[:4]}"
+            )
+
+    @classmethod
+    def make(
+        cls, inserts: object, deletes: object, n_vertices: int
+    ) -> "MutationBatch":
+        """Build a batch from raw pairs, normalizing both sides."""
+        return cls(
+            inserts=normalize_edges(inserts, n_vertices),
+            deletes=normalize_edges(deletes, n_vertices),
+        )
+
+    @property
+    def n_mutations(self) -> int:
+        """Total edge mutations (inserts plus deletes) in the batch."""
+        return len(self.inserts) + len(self.deletes)
+
+    def inverse(self) -> "MutationBatch":
+        """The batch that undoes this one on any graph where it applied
+        cleanly (every insert was new, every delete hit an edge)."""
+        return MutationBatch(inserts=self.deletes, deletes=self.inserts)
+
+    def to_dict(self) -> dict:
+        """JSON-safe form (inverse of :meth:`from_dict`)."""
+        return {
+            "inserts": [list(e) for e in self.inserts],
+            "deletes": [list(e) for e in self.deletes],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MutationBatch":
+        """Rebuild a batch from its :meth:`to_dict` form."""
+        return cls(
+            inserts=tuple((int(u), int(v)) for u, v in data.get("inserts", ())),
+            deletes=tuple((int(u), int(v)) for u, v in data.get("deletes", ())),
+        )
+
+
+def _undirected_pairs(csr: CSRGraph) -> set[tuple[int, int]]:
+    src = np.repeat(np.arange(csr.n_rows, dtype=np.int64), csr.degrees())
+    keep = src < csr.adj
+    return set(zip(src[keep].tolist(), csr.adj[keep].tolist()))
+
+
+def draw_batch(
+    csr: CSRGraph,
+    rng: np.random.Generator,
+    n_inserts: int,
+    n_deletes: int,
+) -> MutationBatch:
+    """One effective batch against ``csr`` from a caller-owned generator.
+
+    The single-batch core of :func:`generate_stream`: deletes sampled
+    from edges present in ``csr``, inserts rejection-sampled from absent
+    pairs (bounded, so dense graphs yield a short batch rather than
+    spinning).  Conformance relations and the ``dynamic`` engine seed
+    the generator from their trial instead of the run-seed paths.
+    """
+    if n_inserts < 0 or n_deletes < 0:
+        raise GraphFormatError("batch sizes must be non-negative")
+    n = csr.n_rows
+    edges = _undirected_pairs(csr)
+    deletes: list[tuple[int, int]] = []
+    if n_deletes and edges:
+        pool = sorted(edges)
+        take = min(n_deletes, len(pool))
+        idx = rng.choice(len(pool), size=take, replace=False)
+        deletes = [pool[i] for i in sorted(idx.tolist())]
+    inserts: list[tuple[int, int]] = []
+    chosen: set[tuple[int, int]] = set()
+    attempts = 0
+    while len(inserts) < n_inserts and attempts < 32 * (n_inserts + 1):
+        attempts += 1
+        a = int(rng.integers(0, n))
+        b = int(rng.integers(0, n))
+        if a == b:
+            continue
+        e = (a, b) if a < b else (b, a)
+        if e in chosen or e in edges:
+            continue
+        chosen.add(e)
+        inserts.append(e)
+    return MutationBatch(
+        inserts=tuple(sorted(inserts)), deletes=tuple(deletes)
+    )
+
+
+def generate_stream(
+    csr: CSRGraph,
+    n_batches: int,
+    n_inserts: int,
+    n_deletes: int,
+    seed: int | None,
+    *path: str,
+) -> list[MutationBatch]:
+    """Draw a deterministic mutation stream against ``csr``.
+
+    Deletes are sampled from the edges *currently present* (the evolving
+    edge set, not just the base graph) and inserts from pairs currently
+    absent, so every mutation in the stream is effective — no silent
+    no-ops inflating the apparent delta size.
+
+    ``path`` extends the rng derivation path (default ``("graphmut",
+    "stream")``), so distinct consumers of the same seed get independent
+    streams.
+    """
+    if n_batches < 0 or n_inserts < 0 or n_deletes < 0:
+        raise GraphFormatError("stream sizes must be non-negative")
+    n = csr.n_rows
+    rng = derive_rng(seed, *(path or ("graphmut", "stream")))
+    edges = _undirected_pairs(csr)
+    batches: list[MutationBatch] = []
+    for _ in range(n_batches):
+        deletes: list[tuple[int, int]] = []
+        if n_deletes and edges:
+            pool = sorted(edges)
+            take = min(n_deletes, len(pool))
+            idx = rng.choice(len(pool), size=take, replace=False)
+            deletes = [pool[i] for i in sorted(idx.tolist())]
+        inserts: list[tuple[int, int]] = []
+        chosen: set[tuple[int, int]] = set()
+        attempts = 0
+        # Rejection-sample absent pairs; bounded so pathological dense
+        # graphs terminate with a short batch rather than spinning.
+        while len(inserts) < n_inserts and attempts < 32 * (n_inserts + 1):
+            attempts += 1
+            a = int(rng.integers(0, n))
+            b = int(rng.integers(0, n))
+            if a == b:
+                continue
+            e = (a, b) if a < b else (b, a)
+            if e in chosen or e in deletes or e in edges:
+                continue
+            chosen.add(e)
+            inserts.append(e)
+        for e in deletes:
+            edges.discard(e)
+        edges.update(inserts)
+        batches.append(
+            MutationBatch(inserts=tuple(sorted(inserts)), deletes=tuple(deletes))
+        )
+    return batches
+
+
+def merge_batches(batches: object) -> MutationBatch:
+    """Compose sequential batches into one net batch.
+
+    Idempotent application semantics make composition cancellative:
+    insert-then-delete (or delete-then-insert) of the same edge nets to
+    no mutation at all.  The result applied as one batch reaches the same
+    effective graph as the sequence applied in order.
+    """
+    net: dict[tuple[int, int], int] = {}
+    for batch in batches:  # type: ignore[attr-defined]
+        for e in batch.inserts:
+            cur = net.get(e, 0)
+            if cur == -1:
+                del net[e]
+            else:
+                net[e] = 1
+        for e in batch.deletes:
+            cur = net.get(e, 0)
+            if cur == 1:
+                del net[e]
+            else:
+                net[e] = -1
+    return MutationBatch(
+        inserts=tuple(sorted(e for e, s in net.items() if s == 1)),
+        deletes=tuple(sorted(e for e, s in net.items() if s == -1)),
+    )

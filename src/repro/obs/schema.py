@@ -123,6 +123,15 @@ M_DIST_RESTARTS = "dist.worker_restarts_total"
 M_DIST_QUERIES = "dist.queries_total"
 M_DIST_REPLICAS = "dist.replicas"
 M_DIST_REPLICATIONS = "dist.replications_total"
+M_MUT_APPLIED = "mut.applied_total"
+M_MUT_BATCHES = "mut.batches_total"
+M_MUT_VERSION = "mut.graph_version"
+M_MUT_OVERLAY_BYTES = "mut.overlay_bytes"
+M_MUT_COMPACTIONS = "mut.compactions_total"
+M_MUT_COMPACT_BYTES = "mut.compact_bytes_total"
+M_MUT_REPAIRS = "mut.repairs_total"
+M_MUT_REPAIR_ROWS = "mut.repair_rows"
+M_MUT_REPAIR_DIRTY = "mut.repair_dirty_vertices"
 
 
 METRICS: tuple[MetricSpec, ...] = (
@@ -238,7 +247,7 @@ METRICS: tuple[MetricSpec, ...] = (
                "Requests shed (reason=queue_full|degraded|deadline)."),
     MetricSpec(M_SERVE_SERVED, "counter", ("source",),
                "Requests completed, by answer source "
-               "(source=cache|batched)."),
+               "(source=cache|batched|repaired)."),
     MetricSpec(M_SERVE_BATCHES, "counter", (),
                "Batched multi-source traversals executed."),
     MetricSpec(M_SERVE_BATCH_QUERIES, "histogram", (),
@@ -253,7 +262,8 @@ METRICS: tuple[MetricSpec, ...] = (
     MetricSpec(M_SERVE_CACHE_MISSES, "counter", (),
                "Result-cache lookups that required a traversal."),
     MetricSpec(M_SERVE_CACHE_EVICTIONS, "counter", ("cause",),
-               "Result-cache entries dropped (cause=lru|ttl|stale)."),
+               "Result-cache entries dropped "
+               "(cause=lru|ttl|stale|version)."),
     MetricSpec(M_SERVE_ROWS_REQUESTED, "counter", (),
                "Forward-graph rows the batched queries asked for "
                "(one count per query per row)."),
@@ -332,6 +342,29 @@ METRICS: tuple[MetricSpec, ...] = (
                "Workers holding a full replica of a hot graph."),
     MetricSpec(M_DIST_REPLICATIONS, "counter", (),
                "Hot-graph replication passes executed."),
+    # -- dynamic graphs -------------------------------------------------------
+    MetricSpec(M_MUT_APPLIED, "counter", ("graph", "kind"),
+               "Effective edge mutations applied to the delta overlay "
+               "(kind=insert|delete; no-ops are not counted)."),
+    MetricSpec(M_MUT_BATCHES, "counter", ("graph",),
+               "Mutation batches applied (each bumps the graph version)."),
+    MetricSpec(M_MUT_VERSION, "gauge", ("graph",),
+               "Current version of a mutable catalog graph (0 = as built)."),
+    MetricSpec(M_MUT_OVERLAY_BYTES, "gauge", ("graph",),
+               "DRAM resident bytes of the uncompacted delta overlay."),
+    MetricSpec(M_MUT_COMPACTIONS, "counter", ("graph",),
+               "Delta-overlay compactions folded back into the NVM CSR."),
+    MetricSpec(M_MUT_COMPACT_BYTES, "counter", ("graph",),
+               "Bytes sequentially written to NVM by compactions "
+               "(charged via charge_write)."),
+    MetricSpec(M_MUT_REPAIRS, "counter", ("graph", "outcome"),
+               "Incremental BFS-tree repair attempts "
+               "(outcome=repaired|fallback)."),
+    MetricSpec(M_MUT_REPAIR_ROWS, "histogram", ("graph",),
+               "Distinct adjacency rows read per successful repair — the "
+               "affected-region I/O that replaces a full traversal."),
+    MetricSpec(M_MUT_REPAIR_DIRTY, "histogram", ("graph",),
+               "Vertices whose BFS level changed per successful repair."),
 )
 
 
@@ -378,6 +411,9 @@ SPANS: tuple[str, ...] = (
     "dist.query",
     "dist.replicate",
     "serve.admit",
+    "mut.apply",
+    "mut.compact",
+    "mut.repair",
 )
 
 

@@ -40,7 +40,10 @@ class PinnedGraph:
     forward shards, the shared simulated clock, per-node bottom-up
     scanners and the degree vector — i.e. the state
     :class:`~repro.serve.engine.BatchedBFS` reads.  Construction happens
-    in :meth:`GraphCatalog.build`; treat instances as immutable.
+    in :meth:`GraphCatalog.build`; treat instances as immutable — except
+    through :class:`~repro.graphmut.versioned.GraphMutator`, which swaps
+    the derived structures wholesale and bumps :attr:`version` so every
+    reader sees whole-version transitions only.
     """
 
     def __init__(
@@ -85,6 +88,8 @@ class PinnedGraph:
             per_edge_s = self.cost_model.level_time_s(1, 0, 0)
             store.cache_hit_time_per_byte = per_edge_s / 8.0
         self.pins = 0
+        # Bumped by GraphMutator per applied mutation batch; 0 = as built.
+        self.version = 0
 
     @property
     def semi_external(self) -> bool:

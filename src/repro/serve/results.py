@@ -30,11 +30,19 @@ __all__ = ["CachedResult", "ResultCache"]
 
 @dataclass(frozen=True)
 class CachedResult:
-    """A cached query answer: the parent tree and its TEPS numerator."""
+    """A cached query answer: the parent tree and its TEPS numerator.
+
+    ``version`` is the graph version the answer was computed at (0 for
+    immutable graphs).  A lookup pinned to a newer version misses; the
+    stale entry survives as raw material for incremental repair until a
+    compaction prunes the batch history behind it (see
+    :meth:`ResultCache.invalidate_versions`).
+    """
 
     parent: np.ndarray
     traversed_edges: int
     stored_at_s: float
+    version: int = 0
 
 
 class ResultCache:
@@ -75,6 +83,7 @@ class ResultCache:
         self.evictions_lru = 0
         self.evictions_ttl = 0
         self.evictions_stale = 0
+        self.evictions_version = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -85,8 +94,15 @@ class ResultCache:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
-    def get(self, graph: str, root: int) -> CachedResult | None:
-        """Look up ``(graph, root)``; counts a hit or a miss either way."""
+    def get(self, graph: str, root: int,
+            version: int | None = None) -> CachedResult | None:
+        """Look up ``(graph, root)``; counts a hit or a miss either way.
+
+        With ``version`` given, an entry computed at a different graph
+        version counts as a miss but is *kept* — the serve tier may
+        still repair it incrementally (via :meth:`peek`) instead of
+        recomputing from scratch.
+        """
         key = (graph, int(root))
         entry = self._entries.get(key)
         if entry is not None and self.ttl_s is not None:
@@ -95,6 +111,11 @@ class ResultCache:
                 self.evictions_ttl += 1
                 self.obs.counter(M_SERVE_CACHE_EVICTIONS, cause="ttl").inc()
                 entry = None
+        if entry is not None and version is not None \
+                and entry.version != version:
+            self.misses += 1
+            self.obs.counter(M_SERVE_CACHE_MISSES).inc()
+            return None
         if entry is None:
             self.misses += 1
             self.obs.counter(M_SERVE_CACHE_MISSES).inc()
@@ -104,8 +125,13 @@ class ResultCache:
         self.obs.counter(M_SERVE_CACHE_HITS).inc()
         return entry
 
+    def peek(self, graph: str, root: int) -> CachedResult | None:
+        """The resident entry regardless of version, without touching
+        hit/miss accounting or LRU order (repair-path raw material)."""
+        return self._entries.get((graph, int(root)))
+
     def put(self, graph: str, root: int, parent: np.ndarray,
-            traversed_edges: int) -> None:
+            traversed_edges: int, version: int = 0) -> None:
         """Install (or refresh) the answer for ``(graph, root)``."""
         if self.capacity == 0:
             return
@@ -120,6 +146,7 @@ class ResultCache:
             parent=np.asarray(parent),
             traversed_edges=int(traversed_edges),
             stored_at_s=self.clock.now(),
+            version=int(version),
         )
 
     def invalidate_stale(self, graph: str, as_of_s: float) -> int:
@@ -141,6 +168,25 @@ class ResultCache:
             self.evictions_stale += 1
             self.obs.counter(M_SERVE_CACHE_EVICTIONS, cause="stale").inc()
         return len(stale)
+
+    def invalidate_versions(self, graph: str, before_version: int) -> int:
+        """Drop ``graph`` entries with ``version < before_version``.
+
+        The dropped-version guard of mutation compaction: once the batch
+        history behind ``before_version`` is pruned, an older tree can
+        never be repaired forward and serving it would answer against a
+        graph that no longer exists.  Returns the number dropped; each
+        counts as a ``cause="version"`` eviction.
+        """
+        doomed = [
+            key for key, entry in self._entries.items()
+            if key[0] == graph and entry.version < before_version
+        ]
+        for key in doomed:
+            del self._entries[key]
+            self.evictions_version += 1
+            self.obs.counter(M_SERVE_CACHE_EVICTIONS, cause="version").inc()
+        return len(doomed)
 
     def __repr__(self) -> str:
         return (

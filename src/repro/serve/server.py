@@ -40,6 +40,19 @@ Per-request **deadlines** (:attr:`~repro.serve.workload.Request.deadline_s`)
 are enforced at batch formation and again at completion: a request whose
 latency budget has expired is aborted with a ``deadline`` rejection
 through ``serve.reject`` instead of completing late.
+
+**Dynamic graphs**: the request stream may interleave
+:class:`~repro.serve.workload.MutationEvent`\\ s.  Each is applied
+atomically between scheduling batches through a per-graph
+:class:`~repro.graphmut.versioned.GraphMutator` (bumping the graph
+version), after which a fourth answer tier sits between the cache and
+the traversal: a cache entry from an older version is **repaired**
+incrementally (affected-region re-expansion, charged for the rows it
+reads) instead of recomputed, falling back to the batched traversal when
+the dirty region is too large or compaction pruned the history.
+Entries older than the compaction base are dropped with
+``cause="version"`` evictions, and checkpointed crash state of the old
+version is discarded — a requeued query recomputes at the new version.
 """
 
 from __future__ import annotations
@@ -74,7 +87,7 @@ from repro.serve.catalog import GraphCatalog
 from repro.serve.engine import BatchedBFS
 from repro.serve.results import ResultCache
 from repro.serve.scheduler import AdmissionQueue, RejectionStats
-from repro.serve.workload import Request
+from repro.serve.workload import MutationEvent, Request
 from repro.util.rng import derive_rng
 
 __all__ = ["ServedRequest", "ServeReport", "BFSServer"]
@@ -87,7 +100,7 @@ class ServedRequest:
     request: Request
     completed_s: float
     latency_s: float
-    source: str  # "cache" | "batched"
+    source: str  # "cache" | "batched" | "repaired"
     traversed_edges: int
 
 
@@ -118,6 +131,11 @@ class ServeReport:
     n_retries: int = 0
     n_watchdog_restarts: int = 0
     stale_invalidated: int = 0
+    n_mutations: int = 0
+    mutated_edges: int = 0
+    n_repairs: int = 0
+    n_repair_fallbacks: int = 0
+    version_invalidated: int = 0
 
     @property
     def n_requests(self) -> int:
@@ -180,6 +198,12 @@ class BFSServer:
     retry_seed:
         Seed of the jitter RNG (recovery timing is reproducible per
         seed, like everything else here).
+    repair_threshold:
+        Maximum dirty fraction an incremental tree repair may touch
+        before the query falls back to the batched traversal.
+    compact_every:
+        Mutation batches between delta-overlay compactions (``0``
+        disables automatic compaction).
     obs:
         Observability session; defaults to the catalog's.
     """
@@ -197,6 +221,8 @@ class BFSServer:
         backoff_base_s: float = 1e-4,
         backoff_factor: float = 2.0,
         retry_seed: int = 0,
+        repair_threshold: float = 0.25,
+        compact_every: int = 8,
     ) -> None:
         self.catalog = catalog
         self.batch_size = int(batch_size)
@@ -215,6 +241,9 @@ class BFSServer:
         self.backoff_base_s = float(backoff_base_s)
         self.backoff_factor = float(backoff_factor)
         self._retry_rng = derive_rng(retry_seed, "serve", "retry")
+        self.repair_threshold = float(repair_threshold)
+        self.compact_every = int(compact_every)
+        self._mutators: dict = {}
         self._managers: dict[str, CheckpointManager] = {}
         self._resume: dict[str, RestoredRun] = {}
         self._crash_attempts: dict[str, int] = {}
@@ -245,13 +274,31 @@ class BFSServer:
             self._engines[name] = engine
         return engine
 
-    def serve(self, requests: list[Request]) -> ServeReport:
-        """Replay ``requests`` to completion and return the full report.
+    def mutator_for(self, name: str):
+        """The (lazily created) mutation applier for catalog graph ``name``."""
+        mutator = self._mutators.get(name)
+        if mutator is None:
+            from repro.graphmut.versioned import GraphMutator
+
+            mutator = GraphMutator(
+                self.catalog.get(name),
+                obs=self.obs,
+                repair_threshold=self.repair_threshold,
+                compact_every=self.compact_every,
+            )
+            self._mutators[name] = mutator
+        return mutator
+
+    def serve(self, requests: list) -> ServeReport:
+        """Replay a stream of :class:`Request`\\ s (and optionally
+        :class:`MutationEvent`\\ s) to completion; returns the report.
 
         The loop drains gracefully: it returns only once every admitted
         request has completed or been explicitly rejected — requests
         requeued by crash recovery are picked up again on a later
-        iteration, never dropped.
+        iteration, never dropped.  Mutation events apply at their
+        arrival time, strictly between scheduling batches, so every
+        query observes exactly one whole graph version.
         """
         clock = self.catalog.clock
         obs = self.obs
@@ -267,6 +314,9 @@ class BFSServer:
                 now = clock.now()
             while pending and pending[0].arrival_s <= now:
                 r = pending.popleft()
+                if isinstance(r, MutationEvent):
+                    self._apply_mutation(r, report)
+                    continue
                 obs.counter(M_SERVE_REQUESTS, tenant=r.tenant).inc()
                 trace_id = obs.new_trace_id()
                 self._trace_ids[id(r)] = trace_id
@@ -295,6 +345,55 @@ class BFSServer:
         return report
 
     # -- internals -------------------------------------------------------------
+
+    def _apply_mutation(self, event: MutationEvent,
+                        report: ServeReport) -> None:
+        """Apply one mutation batch atomically between batches.
+
+        Also drops every cache entry too old to repair (compaction may
+        have pruned the batch history behind it) and discards
+        checkpointed crash state of the previous version — a requeued
+        query must recompute on the new graph, not resume into it.
+        """
+        from repro.graphmut.stream import MutationBatch
+
+        name = event.graph
+        mutator = self.mutator_for(name)
+        graph = self.catalog.get(name)
+        batch = MutationBatch.make(event.inserts, event.deletes,
+                                   graph.n_vertices)
+        mutator.apply(batch)
+        report.n_mutations += 1
+        report.mutated_edges += batch.n_mutations
+        report.version_invalidated += self.cache.invalidate_versions(
+            name, mutator.min_repairable_version
+        )
+        self._resume.pop(name, None)
+        self._managers.pop(name, None)
+
+    def _try_repair(self, request: Request, version: int,
+                    report: ServeReport) -> int | None:
+        """Repair a stale cache entry to ``version``; returns the
+        traversed-edge count on success, ``None`` to fall through to the
+        batched traversal."""
+        mutator = self._mutators.get(request.graph)
+        if mutator is None:
+            return None
+        entry = self.cache.peek(request.graph, request.root)
+        if entry is None or entry.version == version:
+            return None
+        if not mutator.can_repair(entry.version):
+            return None
+        outcome = mutator.repair(entry.parent, request.root, entry.version)
+        if outcome is None:
+            report.n_repair_fallbacks += 1
+            return None
+        graph = self.catalog.get(request.graph)
+        traversed = int(graph.degrees[outcome.parent >= 0].sum() // 2)
+        self.cache.put(request.graph, request.root, outcome.parent,
+                       traversed, version=version)
+        report.n_repairs += 1
+        return traversed
 
     def _nvm_bytes(self) -> int:
         total = 0
@@ -381,10 +480,19 @@ class BFSServer:
             t_batch = clock.now()
             misses: list[Request] = []
             for r in batch:
-                cached = self.cache.get(r.graph, r.root)
+                version = getattr(self.catalog.get(r.graph), "version", 0)
+                cached = self.cache.get(r.graph, r.root, version=version)
                 if cached is not None:
                     self._complete(report, r, t_batch, "cache",
                                    cached.traversed_edges)
+                    continue
+                # Repair tier: a stale entry for a mutated graph is
+                # patched in the affected region instead of recomputed;
+                # completion time includes the repair's charged reads.
+                traversed = self._try_repair(r, version, report)
+                if traversed is not None:
+                    self._complete(report, r, clock.now(), "repaired",
+                                   traversed)
                 else:
                     misses.append(r)
             # Cache-only serving while a device circuit is open: shed the
@@ -464,8 +572,10 @@ class BFSServer:
             results.extend(engine.run_batch(
                 remaining, checkpointer=hook, trace_ids=trace_ids
             ))
+        version = getattr(self.catalog.get(name), "version", 0)
         for res in results:
-            self.cache.put(name, res.root, res.parent, res.traversed_edges)
+            self.cache.put(name, res.root, res.parent, res.traversed_edges,
+                           version=version)
             answered[(name, res.root)] = res.traversed_edges
         self._crash_attempts.pop(name, None)
         return len(results)

@@ -26,6 +26,7 @@ from repro.util.rng import derive_rng
 
 __all__ = [
     "Request",
+    "MutationEvent",
     "WorkloadSpec",
     "generate_workload",
     "save_trace",
@@ -62,6 +63,27 @@ class Request:
 
 
 @dataclass(frozen=True)
+class MutationEvent:
+    """One edge-mutation batch arriving in the request stream.
+
+    The server applies it atomically between scheduling batches when the
+    simulated clock reaches ``arrival_s``, bumping the target graph's
+    version.  Edge pairs are explicit (not a seed reference) so a saved
+    trace replays bit-for-bit regardless of who generated it.
+    """
+
+    arrival_s: float
+    graph: str
+    inserts: tuple[tuple[int, int], ...] = ()
+    deletes: tuple[tuple[int, int], ...] = ()
+
+    @property
+    def n_mutations(self) -> int:
+        """Total edge mutations (inserts plus deletes) in the event."""
+        return len(self.inserts) + len(self.deletes)
+
+
+@dataclass(frozen=True)
 class WorkloadSpec:
     """Parameters of a synthetic workload (CLI ``--workload`` syntax).
 
@@ -77,6 +99,10 @@ class WorkloadSpec:
     ``seed``   workload RNG seed (defaults to the run seed)
     ``deadline``  per-request latency budget in simulated seconds
                   (default: no deadline)
+    ``mut_rate``  edge-mutation batches per simulated second
+                  (default 0: a static graph)
+    ``mut_ins``   edge inserts per mutation batch (default 4)
+    ``mut_del``   edge deletes per mutation batch (default 4)
     =========  ==================================================
     """
 
@@ -88,6 +114,9 @@ class WorkloadSpec:
     seed: int | None = None
     graph: str = "default"
     deadline_s: float | None = None
+    mut_rate: float = 0.0
+    mut_inserts: int = 4
+    mut_deletes: int = 4
 
     _KEYS = {
         "n": "n_requests",
@@ -97,6 +126,9 @@ class WorkloadSpec:
         "pool": "root_pool",
         "seed": "seed",
         "deadline": "deadline_s",
+        "mut_rate": "mut_rate",
+        "mut_ins": "mut_inserts",
+        "mut_del": "mut_deletes",
     }
 
     def __post_init__(self) -> None:
@@ -124,6 +156,19 @@ class WorkloadSpec:
             raise ConfigurationError(
                 f"deadline must be positive, got deadline={self.deadline_s}"
             )
+        if self.mut_rate < 0:
+            raise ConfigurationError(
+                f"mutation rate must be >= 0, got mut_rate={self.mut_rate}"
+            )
+        if self.mut_inserts < 0 or self.mut_deletes < 0:
+            raise ConfigurationError(
+                f"mutation batch sizes must be >= 0, got "
+                f"mut_ins={self.mut_inserts}, mut_del={self.mut_deletes}"
+            )
+        if self.mut_rate > 0 and self.mut_inserts + self.mut_deletes == 0:
+            raise ConfigurationError(
+                "mut_rate > 0 needs mut_ins or mut_del to be positive"
+            )
 
     @classmethod
     def parse(cls, spec: str) -> "WorkloadSpec":
@@ -150,7 +195,7 @@ class WorkloadSpec:
                     f"(expected one of {sorted(cls._KEYS)})"
                 )
             try:
-                if field in ("rate_rps", "zipf_s", "deadline_s"):
+                if field in ("rate_rps", "zipf_s", "deadline_s", "mut_rate"):
                     kwargs[field] = float(raw)
                 else:
                     kwargs[field] = int(raw)
@@ -167,13 +212,25 @@ class WorkloadSpec:
         return replace(self, seed=seed)
 
 
-def generate_workload(spec: WorkloadSpec, degrees: np.ndarray) -> list[Request]:
+def generate_workload(
+    spec: WorkloadSpec,
+    degrees: np.ndarray,
+    csr=None,
+) -> list:
     """Materialize the request list of ``spec`` against one graph.
 
     ``degrees`` are the graph's vertex degrees; the candidate root pool is
     the ``spec.root_pool`` highest-degree (hence non-isolated, hence
     interesting) vertices, and popularity follows rank :math:`^{-s}` —
     the classic Zipf skew of real query logs.
+
+    With ``mut_rate > 0`` the stream also carries
+    :class:`MutationEvent`\\ s — Poisson arrivals of seeded edge
+    insert/delete batches drawn against the evolving graph (``csr``, the
+    graph's current CSR, is then required).  The request sub-stream is
+    byte-identical to the same spec with ``mut_rate=0``: mutations draw
+    from an independent rng path, so turning them on never perturbs the
+    query timeline.  The combined list is sorted by arrival time.
     """
     degrees = np.asarray(degrees)
     eligible = np.flatnonzero(degrees > 0)
@@ -191,7 +248,7 @@ def generate_workload(spec: WorkloadSpec, degrees: np.ndarray) -> list[Request]:
     gaps = rng.exponential(1.0 / spec.rate_rps, size=spec.n_requests)
     arrivals = np.cumsum(gaps)
     tenants = rng.integers(0, spec.n_tenants, size=spec.n_requests)
-    return [
+    requests: list = [
         Request(
             arrival_s=float(arrivals[i]),
             tenant=f"tenant{int(tenants[i])}",
@@ -201,38 +258,95 @@ def generate_workload(spec: WorkloadSpec, degrees: np.ndarray) -> list[Request]:
         )
         for i in range(spec.n_requests)
     ]
+    if spec.mut_rate <= 0:
+        return requests
+    if csr is None:
+        raise ConfigurationError(
+            "mut_rate > 0 needs the graph's CSR to draw mutations against"
+        )
+    from repro.graphmut.stream import generate_stream
+
+    mut_rng = derive_rng(spec.seed, "serve", "mutations", "arrivals")
+    horizon = float(arrivals[-1])
+    mut_arrivals: list[float] = []
+    t = float(mut_rng.exponential(1.0 / spec.mut_rate))
+    while t < horizon:
+        mut_arrivals.append(t)
+        t += float(mut_rng.exponential(1.0 / spec.mut_rate))
+    stream = generate_stream(
+        csr, len(mut_arrivals), spec.mut_inserts, spec.mut_deletes,
+        spec.seed, "serve", "mutations", "edges",
+    )
+    for when, batch in zip(mut_arrivals, stream):
+        requests.append(MutationEvent(
+            arrival_s=when,
+            graph=spec.graph,
+            inserts=batch.inserts,
+            deletes=batch.deletes,
+        ))
+    requests.sort(key=lambda r: r.arrival_s)
+    return requests
 
 
-def save_trace(requests: list[Request], path: str | Path) -> Path:
-    """Write a request trace as JSONL (one request per line)."""
+def save_trace(requests: list, path: str | Path) -> Path:
+    """Write a mixed request/mutation trace as JSONL (one event per line).
+
+    Mutation events carry ``"kind": "mutation"`` and their explicit edge
+    lists; request records stay exactly the pre-dynamic format (no
+    ``kind`` field), so old traces and old readers interoperate.
+    """
     path = Path(path)
     with path.open("w") as fh:
         for r in requests:
-            rec = {
-                "arrival_s": r.arrival_s,
-                "tenant": r.tenant,
-                "graph": r.graph,
-                "root": r.root,
-            }
-            if r.deadline_s is not None:
-                rec["deadline_s"] = r.deadline_s
+            if isinstance(r, MutationEvent):
+                rec = {
+                    "kind": "mutation",
+                    "arrival_s": r.arrival_s,
+                    "graph": r.graph,
+                    "inserts": [list(e) for e in r.inserts],
+                    "deletes": [list(e) for e in r.deletes],
+                }
+            else:
+                rec = {
+                    "arrival_s": r.arrival_s,
+                    "tenant": r.tenant,
+                    "graph": r.graph,
+                    "root": r.root,
+                }
+                if r.deadline_s is not None:
+                    rec["deadline_s"] = r.deadline_s
             fh.write(json.dumps(rec) + "\n")
     return path
 
 
-def load_trace(path: str | Path) -> list[Request]:
+def load_trace(path: str | Path) -> list:
     """Read a trace written by :func:`save_trace` (strict, line-numbered)."""
     path = Path(path)
     try:
         text = path.read_text()
     except OSError as exc:
         raise ConfigurationError(f"cannot read trace {path}: {exc}") from None
-    requests: list[Request] = []
+    requests: list = []
     for lineno, line in enumerate(text.splitlines(), start=1):
         if not line.strip():
             continue
         try:
             rec = json.loads(line)
+            kind = rec.get("kind", "request")
+            if kind == "mutation":
+                requests.append(MutationEvent(
+                    arrival_s=float(rec["arrival_s"]),
+                    graph=str(rec["graph"]),
+                    inserts=tuple(
+                        (int(u), int(v)) for u, v in rec.get("inserts", ())
+                    ),
+                    deletes=tuple(
+                        (int(u), int(v)) for u, v in rec.get("deletes", ())
+                    ),
+                ))
+                continue
+            if kind != "request":
+                raise ValueError(f"unknown record kind {kind!r}")
             deadline = rec.get("deadline_s")
             requests.append(Request(
                 arrival_s=float(rec["arrival_s"]),

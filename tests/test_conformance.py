@@ -33,7 +33,7 @@ from repro.obs import Observability
 
 ALL_ENGINES = {"reference", "topdown", "bottomup", "hybrid", "parallel",
                "semi_external", "tiered", "fully_external", "batched",
-               "partitioned"}
+               "partitioned", "dynamic"}
 
 
 def _case(pairs, n):
@@ -111,7 +111,12 @@ class TestRegistry:
             "permutation", "duplicates",
         }
         assert {r.name for r in relations_for(get_engine("semi_external"))} \
-            == set(relation_names())
+            == set(relation_names()) - {"mutation_idempotence",
+                                        "mutation_commute"}
+        assert {r.name for r in relations_for(get_engine("dynamic"))} == {
+            "permutation", "duplicates",
+            "mutation_idempotence", "mutation_commute",
+        }
 
     def test_crash_fields_survive_describe_round_trip(self):
         from repro.semiext.faults import FaultPlan

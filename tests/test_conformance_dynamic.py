@@ -1,0 +1,124 @@
+"""The dynamic engine and the mutation metamorphic relations.
+
+The conformance registry's `dynamic` engine answers each query by
+repairing a seeded predecessor graph's tree forward through a mutation
+batch — the serving layer's repair path inverted into a standalone
+oracle subject.  These tests pin the engine's differential byte-identity
+against the reference, the mutation relations (idempotence and
+sub-batch commutativity), and the `applies` filtering that keeps those
+relations off the static engines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.conformance import (
+    ConformanceConfig,
+    run_conformance,
+)
+from repro.conformance.oracles import differential_failures
+from repro.conformance.registry import (
+    GraphCase,
+    TrialSetup,
+    engine_names,
+    get_engine,
+    run_engine,
+)
+from repro.conformance.relations import (
+    get_relation,
+    relation_names,
+    relations_for,
+)
+from repro.graph500 import generate_edges
+from repro.graph500.edgelist import EdgeList
+
+
+def _case(seed: int, scale: int = 6) -> GraphCase:
+    endpoints = generate_edges(scale=scale, edge_factor=6, seed=seed)
+    return GraphCase(EdgeList(endpoints, 1 << scale))
+
+
+class TestRegistration:
+    def test_dynamic_engine_registered_with_flag(self):
+        assert "dynamic" in engine_names()
+        assert get_engine("dynamic").dynamic
+        for name in engine_names():
+            if name != "dynamic":
+                assert not get_engine(name).dynamic, name
+
+    def test_mutation_relations_registered(self):
+        assert "mutation_idempotence" in relation_names()
+        assert "mutation_commute" in relation_names()
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("seed", [7, 19, 101])
+    def test_dynamic_engine_byte_equals_reference(self, seed, tmp_path):
+        case = _case(seed)
+        setup = TrialSetup()
+        rng = np.random.default_rng(seed)
+        for root in rng.integers(0, case.n_vertices, size=4):
+            ref = run_engine("reference", case, setup, int(root), tmp_path)
+            dyn = run_engine("dynamic", case, setup, int(root), tmp_path)
+            assert np.array_equal(dyn.parent, ref.parent), (
+                f"root {root}: repaired tree differs from reference"
+            )
+            assert differential_failures(
+                case.edges, ref.parent, dyn, int(root)
+            ) == []
+
+    def test_dynamic_engine_handles_isolated_root(self, tmp_path):
+        # A fragmented graph: the upper half of the id space is isolated,
+        # so the predecessor/repair path must cope with unreachable roots.
+        endpoints = generate_edges(scale=5, edge_factor=4, seed=3)
+        case = GraphCase(EdgeList(endpoints, 64))
+        setup = TrialSetup()
+        root = 63
+        ref = run_engine("reference", case, setup, root, tmp_path)
+        dyn = run_engine("dynamic", case, setup, root, tmp_path)
+        assert np.array_equal(dyn.parent, ref.parent)
+
+
+class TestMutationRelations:
+    @pytest.mark.parametrize(
+        "relation", ["mutation_idempotence", "mutation_commute"]
+    )
+    @pytest.mark.parametrize("seed", [7, 19, 101])
+    def test_relation_holds_on_random_cases(self, relation, seed, tmp_path):
+        rel = get_relation(relation)
+        spec = get_engine("dynamic")
+        case = _case(seed, scale=5)
+        rng = np.random.default_rng(seed)
+        root = int(rng.integers(0, case.n_vertices))
+        msg = rel.check(spec, case, TrialSetup(), root, seed, tmp_path)
+        assert msg is None, msg
+
+    def test_applies_filters_to_dynamic_engines_only(self):
+        dynamic = get_engine("dynamic")
+        static = get_engine("reference")
+        for name in ("mutation_idempotence", "mutation_commute"):
+            rel = get_relation(name)
+            assert rel.applies(dynamic)
+            assert not rel.applies(static)
+        names = {r.name for r in relations_for(dynamic)}
+        assert {"mutation_idempotence", "mutation_commute"} <= names
+        assert not {"mutation_idempotence", "mutation_commute"} & {
+            r.name for r in relations_for(static)
+        }
+
+
+class TestHarnessIntegration:
+    def test_quick_dynamic_run_is_green(self, tmp_path):
+        report = run_conformance(ConformanceConfig(
+            seeds=(7,),
+            trials=2,
+            max_scale=5,
+            engines=("reference", "dynamic"),
+            relations=("mutation_idempotence", "mutation_commute"),
+            artifact_dir=str(tmp_path),
+            shrink=False,
+        ))
+        assert report.failures == ()
+        assert "dynamic" in report.engines

@@ -1,0 +1,313 @@
+"""Incremental BFS-tree repair (`repro.graphmut.repair` + `GraphMutator`).
+
+The acceptance bar for the whole dynamic-graph subsystem: a repaired
+tree is **byte-identical** to a full recomputation on the post-mutation
+graph, at every version, across local and semi-external backends — and
+the repair only reads rows in the affected region (zero rows when a
+batch misses the BFS tree entirely).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bfs.reference import ReferenceBFS
+from repro.core import DRAM_PCIE_FLASH
+from repro.csr import build_csr
+from repro.errors import ConfigurationError
+from repro.graph500 import generate_edges
+from repro.graph500.edgelist import EdgeList
+from repro.graphmut import (
+    DeltaOverlay,
+    MutationBatch,
+    draw_batch,
+    repair_tree,
+)
+from repro.serve import GraphCatalog
+
+
+def _path_csr(n=6):
+    pairs = np.array([(i, i + 1) for i in range(n - 1)], dtype=np.int64).T
+    return build_csr(EdgeList(pairs, n))
+
+
+class TestRepairByteIdentity:
+    @pytest.mark.parametrize("seed", [7, 19, 101, 3, 55])
+    def test_random_streams_repair_exactly(self, seed):
+        rng = np.random.default_rng(seed)
+        scale = int(rng.integers(4, 8))
+        endpoints = generate_edges(scale=scale, edge_factor=4, seed=seed)
+        csr = build_csr(EdgeList(endpoints, 1 << scale))
+        overlay = DeltaOverlay(csr)
+        root = int(rng.integers(0, csr.n_rows))
+        old = ReferenceBFS(csr).run(root).parent
+        for _ in range(5):
+            batch = draw_batch(overlay.to_csr(), rng,
+                               int(rng.integers(0, 5)),
+                               int(rng.integers(0, 5)))
+            eff = overlay.apply(batch)
+            out = repair_tree(overlay.row, csr.n_rows, root, old, eff,
+                              max_dirty_frac=1.0)
+            fresh = ReferenceBFS(overlay.to_csr()).run(root).parent
+            assert out is not None
+            assert np.array_equal(out.parent, fresh)
+            old = fresh
+
+    def test_reachability_changes_repair_exactly(self):
+        # 0-1-2   3-4: deleting (1,2) strands {2}; inserting (2,4)
+        # attaches it to the far component; both transitions repair.
+        pairs = np.array([(0, 1), (1, 2), (3, 4)], dtype=np.int64).T
+        csr = build_csr(EdgeList(pairs, 5))
+        overlay = DeltaOverlay(csr)
+        old = ReferenceBFS(csr).run(0).parent
+        eff = overlay.apply(MutationBatch.make([], [(1, 2)], 5))
+        out = repair_tree(overlay.row, 5, 0, old, eff, max_dirty_frac=1.0)
+        fresh = ReferenceBFS(overlay.to_csr()).run(0).parent
+        assert np.array_equal(out.parent, fresh)
+        assert out.parent[2] == -1
+        eff = overlay.apply(MutationBatch.make([(0, 2), (2, 4)], [], 5))
+        out = repair_tree(overlay.row, 5, 0, out.parent, eff,
+                          max_dirty_frac=1.0)
+        fresh = ReferenceBFS(overlay.to_csr()).run(0).parent
+        assert np.array_equal(out.parent, fresh)
+        assert out.parent[4] == 2
+
+    def test_canonical_min_parent_after_insert(self):
+        # 0-1, 0-2, 1-3, 2-3: parent(3) is min(1, 2) = 1.  Inserting
+        # (0, 3) moves 3 one level up with canonical parent 0.
+        pairs = np.array([(0, 1), (0, 2), (1, 3), (2, 3)],
+                         dtype=np.int64).T
+        csr = build_csr(EdgeList(pairs, 4))
+        overlay = DeltaOverlay(csr)
+        old = ReferenceBFS(csr).run(0).parent
+        assert old[3] == 1
+        eff = overlay.apply(MutationBatch.make([(0, 3)], [], 4))
+        out = repair_tree(overlay.row, 4, 0, old, eff, max_dirty_frac=1.0)
+        assert out.parent[3] == 0
+        assert np.array_equal(
+            out.parent, ReferenceBFS(overlay.to_csr()).run(0).parent
+        )
+
+
+class TestAffectedRegionIO:
+    def test_batch_missing_the_tree_reads_zero_rows(self):
+        # A cycle 0-1-2-3-4-5-0: inserting the chord (1, 5) links two
+        # level-1 vertices, so no level and no canonical parent moves —
+        # the repair must touch no adjacency row at all.
+        pairs = np.array([(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (0, 5)],
+                         dtype=np.int64).T
+        csr = build_csr(EdgeList(pairs, 6))
+        overlay = DeltaOverlay(csr)
+        old = ReferenceBFS(csr).run(0).parent
+        eff = overlay.apply(MutationBatch.make([(1, 5)], [], 6))
+        out = repair_tree(overlay.row, 6, 0, old, eff, max_dirty_frac=1.0)
+        assert np.array_equal(
+            out.parent, ReferenceBFS(overlay.to_csr()).run(0).parent
+        )
+        assert out.n_rows_read == 0
+        assert out.n_dirty == 0
+        # Deleting that same chord again is equally invisible.
+        eff = overlay.apply(MutationBatch.make([], [(1, 5)], 6))
+        out = repair_tree(overlay.row, 6, 0, old, eff, max_dirty_frac=1.0)
+        assert out.n_rows_read == 0
+
+    def test_non_tree_delete_with_level_gap_reads_zero_rows(self):
+        # Path 0-1-2-3 plus chord (1, 3): vertex 3 sits at level 2 with
+        # canonical parent 1 (the chord), so (2, 3) is a non-tree edge
+        # between same-level-feasible endpoints.
+        pairs = np.array([(0, 1), (1, 2), (2, 3), (1, 3)],
+                         dtype=np.int64).T
+        csr = build_csr(EdgeList(pairs, 4))
+        old = ReferenceBFS(csr).run(0).parent
+        assert old[3] == 1  # chord is the tree edge
+        overlay = DeltaOverlay(csr)
+        # Deleting the non-tree edge (2, 3) keeps levels AND parents.
+        eff = overlay.apply(MutationBatch.make([], [(2, 3)], 4))
+        out = repair_tree(overlay.row, 4, 0, old, eff, max_dirty_frac=1.0)
+        assert np.array_equal(
+            out.parent, ReferenceBFS(overlay.to_csr()).run(0).parent
+        )
+        assert out.n_rows_read == 0
+
+    def test_tree_edge_delete_reads_only_affected_region(self):
+        n = 40
+        csr = _path_csr(n)
+        overlay = DeltaOverlay(csr)
+        old = ReferenceBFS(csr).run(0).parent
+        # Deleting (5, 6) orphans the whole tail — every vertex past the
+        # cut changes, but vertices 0..5 are never read beyond the cut's
+        # own support check.
+        eff = overlay.apply(MutationBatch.make([], [(5, 6)], n))
+        out = repair_tree(overlay.row, n, 0, old, eff, max_dirty_frac=1.0)
+        fresh = ReferenceBFS(overlay.to_csr()).run(0).parent
+        assert np.array_equal(out.parent, fresh)
+        assert out.n_dirty == n - 6
+        assert out.n_rows_read <= n - 5
+
+
+class TestFallback:
+    def test_dirty_region_above_threshold_falls_back(self):
+        n = 40
+        csr = _path_csr(n)
+        overlay = DeltaOverlay(csr)
+        old = ReferenceBFS(csr).run(0).parent
+        eff = overlay.apply(MutationBatch.make([], [(5, 6)], n))
+        # 34 of 40 vertices change level: far beyond a 10% budget.
+        assert repair_tree(overlay.row, n, 0, old, eff,
+                           max_dirty_frac=0.1) is None
+        # The same repair succeeds with the budget open.
+        assert repair_tree(overlay.row, n, 0, old, eff,
+                           max_dirty_frac=1.0) is not None
+
+    def test_inconsistent_old_tree_refused(self):
+        csr = _path_csr(6)
+        overlay = DeltaOverlay(csr)
+        bad = np.array([0, 0, 1, 99, 3, 4], dtype=np.int64)  # 99 invalid
+        eff = overlay.apply(MutationBatch.make([(0, 2)], [], 6))
+        assert repair_tree(overlay.row, 6, 0, bad, eff,
+                           max_dirty_frac=1.0) is None
+
+
+class TestGraphMutatorBackends:
+    @pytest.fixture()
+    def catalog(self, tmp_path):
+        cat = GraphCatalog(workdir=tmp_path)
+        yield cat
+        cat.close()
+
+    def test_semi_external_repair_is_byte_identical_and_charged(
+        self, catalog
+    ):
+        from repro.graphmut.versioned import GraphMutator
+        from repro.serve import BatchedBFS
+
+        graph = catalog.build("g", DRAM_PCIE_FLASH, scale=8, edge_factor=8,
+                              seed=7, alpha=2.0, beta=4.0)
+        assert graph.semi_external
+        mutator = GraphMutator(graph, compact_every=10**6)
+        rng = np.random.default_rng(11)
+        root = int(np.argmax(graph.degrees))
+        old = BatchedBFS(graph).run_batch([root])[0].parent
+        t0 = graph.clock.now()
+        for _ in range(3):
+            batch = draw_batch(mutator.effective_csr, rng, 2, 2)
+            mutator.apply(batch)
+            out = mutator.repair(old, root, mutator.version - 1)
+            fresh = BatchedBFS(graph).run_batch([root])[0].parent
+            assert out is not None
+            assert np.array_equal(out.parent, fresh)
+            old = fresh
+        # Repair I/O ran on the simulated clock (device reads charged).
+        assert graph.clock.now() > t0
+
+    def test_dram_graph_mutates_and_repairs_without_a_store(self, catalog):
+        from repro.core import DRAM_ONLY
+        from repro.graphmut.versioned import GraphMutator
+        from repro.serve import BatchedBFS
+
+        graph = catalog.build("d", DRAM_ONLY, scale=7, edge_factor=8,
+                              seed=7, alpha=2.0, beta=4.0)
+        assert not graph.semi_external
+        mutator = GraphMutator(graph, compact_every=0)  # never compacts
+        rng = np.random.default_rng(13)
+        root = int(np.argmax(graph.degrees))
+        old = BatchedBFS(graph).run_batch([root])[0].parent
+        mutator.apply(draw_batch(mutator.effective_csr, rng, 2, 2))
+        assert mutator.n_compactions == 0
+        out = mutator.repair(old, root, 0)
+        fresh = ReferenceBFS(mutator.effective_csr).run(root).parent
+        assert out is not None
+        assert np.array_equal(out.parent, fresh)
+        # The overlay serves single-row reads too (no device charge).
+        assert np.array_equal(mutator._charged_row(root),
+                              mutator.effective_csr.neighbors(root))
+        assert "version=1" in repr(mutator)
+
+    def test_repair_fallback_counted_at_tight_threshold(self, catalog):
+        from repro.core import DRAM_ONLY
+        from repro.graphmut.versioned import GraphMutator
+        from repro.obs import Observability
+        from repro.obs.schema import M_MUT_REPAIRS
+
+        graph = catalog.build("d", DRAM_ONLY, scale=6, edge_factor=8,
+                              seed=7, alpha=2.0, beta=4.0)
+        # A zero dirty budget forces every non-trivial repair to fall
+        # back; the mutator must count it rather than return a tree.
+        obs = Observability()
+        mutator = GraphMutator(graph, obs=obs, repair_threshold=0.0)
+        rng = np.random.default_rng(3)
+        root = int(np.argmax(graph.degrees))
+        old = ReferenceBFS(mutator.effective_csr).run(root).parent
+        while True:  # draw until the batch actually moves a level
+            batch = draw_batch(mutator.effective_csr, rng, 2, 2)
+            mutator.apply(batch)
+            if mutator.repair(old, root, mutator.version - 1) is None:
+                break
+            old = ReferenceBFS(mutator.effective_csr).run(root).parent
+        assert obs.registry.value(
+            M_MUT_REPAIRS, graph="d", outcome="fallback"
+        ) >= 1
+
+    def test_invalid_threshold_and_window_queries_rejected(self, catalog):
+        from repro.core import DRAM_ONLY
+        from repro.graphmut.versioned import GraphMutator
+
+        graph = catalog.build("d", DRAM_ONLY, scale=6, edge_factor=8,
+                              seed=7, alpha=2.0, beta=4.0)
+        with pytest.raises(ConfigurationError):
+            GraphMutator(graph, repair_threshold=1.5)
+        mutator = GraphMutator(graph)
+        with pytest.raises(ConfigurationError):
+            mutator.batches_since(-1)
+
+    def test_delta_shard_uncharged_views_match_overlay(self, catalog):
+        from repro.graphmut.versioned import GraphMutator
+
+        graph = catalog.build("g", DRAM_PCIE_FLASH, scale=7, edge_factor=8,
+                              seed=7, alpha=2.0, beta=4.0)
+        mutator = GraphMutator(graph, compact_every=10**6)
+        rng = np.random.default_rng(17)
+        mutator.apply(draw_batch(mutator.effective_csr, rng, 3, 3))
+        eff = mutator.effective_csr
+        dirty = mutator.overlay.dirty_rows()
+        rows = np.concatenate([dirty, [0]]).astype(np.int64)
+        # Across all shards, every uncharged view must agree with the
+        # overlay's effective graph row for row.
+        n_cols = 0
+        for shard in graph.external_shards:
+            csr = shard.to_csr_uncharged()
+            deg = shard.degrees_uncharged()
+            _, counts = shard.row_extents(rows)
+            for i, r in enumerate(rows.tolist()):
+                want = eff.neighbors(r)
+                want = want[(want >= shard.lo) & (want < shard.hi)]
+                assert np.array_equal(csr.neighbors(r), want)
+                assert deg[r] == want.size == counts[i]
+            assert f"[{shard.lo}, {shard.hi})" in repr(shard)
+            n_cols += shard.hi - shard.lo
+        assert n_cols == graph.n_vertices
+
+    def test_partitioned_graph_rejected(self, catalog):
+        from repro.graphmut.versioned import GraphMutator
+
+        graph = catalog.build_partitioned(
+            "p", DRAM_PCIE_FLASH, scale=7, n_partitions=2, seed=7,
+        )
+        with pytest.raises(ConfigurationError):
+            GraphMutator(graph)
+
+    def test_repair_window_closes_after_compaction(self, catalog):
+        from repro.graphmut.versioned import GraphMutator
+
+        graph = catalog.build("g", DRAM_PCIE_FLASH, scale=7, edge_factor=8,
+                              seed=7, alpha=2.0, beta=4.0)
+        mutator = GraphMutator(graph, compact_every=2)
+        rng = np.random.default_rng(5)
+        for _ in range(2):
+            mutator.apply(draw_batch(mutator.effective_csr, rng, 2, 1))
+        assert mutator.n_compactions == 1
+        assert mutator.min_repairable_version == 2
+        assert not mutator.can_repair(0)
+        parent = np.zeros(graph.n_vertices, dtype=np.int64)
+        assert mutator.repair(parent, 0, 0) is None

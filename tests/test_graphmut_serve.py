@@ -1,0 +1,221 @@
+"""Dynamic graphs at serve time: versioned cache, invalidation, traces.
+
+Covers the serving-tier plumbing around `repro.graphmut`: version-keyed
+`ResultCache` entries, the dropped-version and pin-count regression
+cases, mutation events in the workload grammar and JSONL traces, and the
+end-to-end claim that every answer a mutating serve produces matches a
+fresh traversal of the graph version it was computed at.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bfs.reference import ReferenceBFS
+from repro.core import DRAM_PCIE_FLASH
+from repro.csr import build_csr
+from repro.errors import ConfigurationError
+from repro.graphmut import draw_batch
+from repro.graphmut.versioned import GraphMutator
+from repro.semiext.clock import SimulatedClock
+from repro.serve import (
+    BFSServer,
+    GraphCatalog,
+    ResultCache,
+    WorkloadSpec,
+    generate_workload,
+    load_trace,
+    save_trace,
+)
+from repro.serve.workload import MutationEvent, Request
+
+
+@pytest.fixture()
+def catalog(tmp_path):
+    cat = GraphCatalog(workdir=tmp_path)
+    cat.build("g", DRAM_PCIE_FLASH, scale=8, edge_factor=8, seed=7,
+              alpha=2.0, beta=4.0)
+    yield cat
+    cat.close()
+
+
+class TestVersionedResultCache:
+    def test_version_mismatch_misses_but_keeps_entry(self):
+        cache = ResultCache(4, clock=SimulatedClock())
+        parent = np.array([0, 0, 1], dtype=np.int64)
+        cache.put("g", 1, parent, 2, version=3)
+        assert cache.get("g", 1, version=3) is not None
+        assert cache.get("g", 1, version=4) is None  # stale: miss
+        # ...but the raw material survives for incremental repair.
+        entry = cache.peek("g", 1)
+        assert entry is not None and entry.version == 3
+        assert cache.misses == 1 and cache.hits == 1
+
+    def test_dropped_version_entries_are_evicted(self):
+        """Regression: entries behind a pruned batch history must go.
+
+        Before the fix, a compaction advanced ``min_repairable_version``
+        but left older cache entries resident; `peek` would hand them to
+        the repair path, which then failed `can_repair` on every query —
+        permanent dead weight that also shadowed fresh `put`s.
+        """
+        cache = ResultCache(8, clock=SimulatedClock())
+        parent = np.zeros(3, dtype=np.int64)
+        cache.put("g", 1, parent, 2, version=0)
+        cache.put("g", 2, parent, 2, version=4)
+        cache.put("other", 3, parent, 2, version=0)
+        dropped = cache.invalidate_versions("g", before_version=4)
+        assert dropped == 1
+        assert cache.peek("g", 1) is None  # behind the window: gone
+        assert cache.peek("g", 2) is not None  # at the window: kept
+        assert cache.peek("other", 3) is not None  # other graph: kept
+        assert cache.evictions_version == 1
+
+    def test_version_eviction_counts_in_metrics(self):
+        from repro.obs import Observability
+        from repro.obs.schema import M_SERVE_CACHE_EVICTIONS
+
+        obs = Observability()
+        cache = ResultCache(4, clock=SimulatedClock(), obs=obs)
+        cache.put("g", 1, np.zeros(2, dtype=np.int64), 1, version=0)
+        cache.invalidate_versions("g", before_version=9)
+        assert obs.registry.value(M_SERVE_CACHE_EVICTIONS,
+                                  cause="version") == 1
+
+
+class TestPinCountInteraction:
+    """Regression: compaction must never replace a pinned store."""
+
+    def test_compaction_deferred_while_pinned(self, catalog):
+        mutator = GraphMutator(catalog.get("g"), compact_every=1)
+        rng = np.random.default_rng(3)
+        with catalog.open("g") as graph:
+            batch = draw_batch(mutator.effective_csr, rng, 2, 1)
+            mutator.apply(batch)  # due, but a handle is open
+            assert mutator.n_compactions == 0
+            assert graph.version == 1
+            with pytest.raises(ConfigurationError):
+                mutator.compact()
+        # Pin released: the next batch compacts both.
+        mutator.apply(draw_batch(mutator.effective_csr, rng, 1, 1))
+        assert mutator.n_compactions == 1
+        assert mutator.min_repairable_version == 2
+
+    def test_compaction_swaps_nvm_files_atomically(self, catalog):
+        graph = catalog.get("g")
+        store = graph.store
+        mutator = GraphMutator(graph, compact_every=10**6)
+        rng = np.random.default_rng(9)
+        before = set(store.arrays()) if hasattr(store, "arrays") else None
+        mutator.apply(draw_batch(mutator.effective_csr, rng, 3, 3))
+        mutator.compact()
+        # Old version's files are dropped, new ones serve reads, and a
+        # traversal on the swapped graph still answers correctly.
+        from repro.serve import BatchedBFS
+
+        root = int(np.argmax(graph.degrees))
+        got = BatchedBFS(graph).run_batch([root])[0].parent
+        want = ReferenceBFS(mutator.effective_csr).run(root).parent
+        assert np.array_equal(got, want)
+        if before is not None:
+            assert set(store.arrays()) != before
+
+
+class TestWorkloadGrammarAndTraces:
+    def test_request_substream_unperturbed_by_mutations(self, catalog):
+        degrees = catalog.get("g").degrees
+        base = WorkloadSpec(n_requests=40, rate_rps=500.0, seed=11,
+                            graph="g")
+        plain = generate_workload(base, degrees)
+        from dataclasses import replace
+
+        muted = generate_workload(
+            replace(base, mut_rate=80.0, mut_inserts=2, mut_deletes=2),
+            degrees, csr=build_csr(catalog.get("g").edges),
+        )
+        queries = [r for r in muted if isinstance(r, Request)]
+        assert len(queries) == len(plain)
+        for a, b in zip(plain, queries):
+            assert (a.arrival_s, a.tenant, a.root) == \
+                (b.arrival_s, b.tenant, b.root)
+        assert any(isinstance(r, MutationEvent) for r in muted)
+
+    def test_mut_rate_requires_csr(self, catalog):
+        spec = WorkloadSpec(n_requests=5, seed=1, mut_rate=10.0)
+        with pytest.raises(ConfigurationError):
+            generate_workload(spec, catalog.get("g").degrees)
+
+    def test_trace_round_trips_mutation_events(self, catalog, tmp_path):
+        spec = WorkloadSpec(n_requests=30, rate_rps=400.0, seed=13,
+                            graph="g", mut_rate=60.0, mut_inserts=2,
+                            mut_deletes=2)
+        stream = generate_workload(
+            spec, catalog.get("g").degrees,
+            csr=build_csr(catalog.get("g").edges),
+        )
+        assert any(isinstance(r, MutationEvent) for r in stream)
+        path = tmp_path / "trace.jsonl"
+        save_trace(stream, path)
+        again = load_trace(path)
+        assert len(again) == len(stream)
+        for a, b in zip(stream, again):
+            assert type(a) is type(b)
+            if isinstance(a, MutationEvent):
+                assert a.inserts == b.inserts
+                assert a.deletes == b.deletes
+                assert a.arrival_s == pytest.approx(b.arrival_s)
+
+
+class TestEndToEndMutatingServe:
+    def test_every_answer_matches_its_version(self, catalog):
+        graph = catalog.get("g")
+        spec = WorkloadSpec(n_requests=60, rate_rps=600.0, seed=17,
+                            graph="g", mut_rate=60.0, mut_inserts=2,
+                            mut_deletes=2)
+        base_csr = build_csr(graph.edges)
+        stream = generate_workload(spec, graph.degrees, csr=base_csr)
+        server = BFSServer(catalog, batch_size=4)
+        report = server.serve(stream)
+        assert report.n_served == len(
+            [r for r in stream if isinstance(r, Request)]
+        )
+        sources = {c.source for c in report.completions}
+        assert "repaired" in sources, (
+            "workload never exercised the repair tier"
+        )
+        # Final-version answers: every cached entry at the final version
+        # byte-equals a reference run on the mutator's effective graph.
+        mutator = server.mutator_for("g")
+        final = mutator.effective_csr
+        checked = 0
+        for c in report.completions:
+            entry = server.cache.peek("g", c.request.root)
+            if entry is not None and entry.version == mutator.version:
+                want = ReferenceBFS(final).run(c.request.root).parent
+                assert np.array_equal(entry.parent, want)
+                checked += 1
+        assert checked > 0
+
+    def test_repair_fallback_counts_surface_in_summary(self, catalog):
+        from repro.analysis.serving import ServeSummary
+
+        spec = WorkloadSpec(n_requests=40, rate_rps=600.0, seed=17,
+                            graph="g", mut_rate=50.0, mut_inserts=2,
+                            mut_deletes=2)
+        stream = generate_workload(
+            spec, catalog.get("g").degrees,
+            csr=build_csr(catalog.get("g").edges),
+        )
+        report = BFSServer(catalog, batch_size=4).serve(stream)
+        text = ServeSummary.from_report(report).format()
+        assert "mutations:" in text
+        # Static workloads keep the summary free of mutation lines (the
+        # CI serve-smoke greps depend on the exact static shape).
+        static = BFSServer(catalog, batch_size=4).serve(
+            generate_workload(
+                WorkloadSpec(n_requests=10, seed=3, graph="g"),
+                catalog.get("g").degrees,
+            )
+        )
+        assert "mutations:" not in ServeSummary.from_report(static).format()

@@ -1,0 +1,203 @@
+"""Stress: mutations × in-flight batched queries × crash injection.
+
+The serving tier's strongest promise under churn: with edge-mutation
+batches landing between traversal batches and seeded crashes killing
+traversals mid-level, every admitted query still completes **at most
+once** (exactly once when nothing is rejected), and no answer is ever
+computed against a *torn* graph version — every completion matches a
+whole version of the mutation history bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.bfs.reference import ReferenceBFS
+from repro.core import DRAM_PCIE_FLASH
+from repro.csr import build_csr
+from repro.graphmut import DeltaOverlay, MutationBatch
+from repro.semiext.faults import FaultPlan
+from repro.serve import (
+    BFSServer,
+    GraphCatalog,
+    WorkloadSpec,
+    generate_workload,
+)
+from repro.serve.workload import MutationEvent, Request
+
+SCALE = 8
+
+
+def _catalog(tmp_path, fault_plan=None, seed=7):
+    scenario = DRAM_PCIE_FLASH
+    if fault_plan is not None:
+        scenario = replace(scenario, fault_plan=fault_plan)
+    cat = GraphCatalog(workdir=tmp_path)
+    cat.build("g", scenario, scale=SCALE, edge_factor=8, seed=seed,
+              alpha=2.0, beta=4.0)
+    return cat
+
+
+def _mutating_stream(cat, seed, n=60, mut_rate=50.0):
+    """Returns (stream, base_csr).
+
+    The base CSR must be snapshotted *before* serving: mutation batches
+    and compactions rewrite the catalog graph in place, so deriving the
+    base from the catalog afterwards replays the history from the wrong
+    starting graph.
+    """
+    spec = WorkloadSpec(
+        n_requests=n, rate_rps=500.0, n_tenants=3, root_pool=16,
+        seed=seed, graph="g", mut_rate=mut_rate, mut_inserts=2,
+        mut_deletes=2,
+    )
+    graph = cat.get("g")
+    base = build_csr(graph.edges)
+    return generate_workload(spec, graph.degrees, csr=base), base
+
+
+def _version_trees(base, stream, roots):
+    """Reference parent trees for every root at every graph version."""
+    overlay = DeltaOverlay(base)
+    per_version = [
+        {r: ReferenceBFS(base).run(r).parent for r in roots}
+    ]
+    for event in stream:
+        if not isinstance(event, MutationEvent):
+            continue
+        overlay.apply(MutationBatch.make(event.inserts, event.deletes,
+                                         base.n_rows))
+        csr = overlay.to_csr()
+        per_version.append(
+            {r: ReferenceBFS(csr).run(r).parent for r in roots}
+        )
+    return per_version
+
+
+def _assert_no_torn_version(report, per_version, cache):
+    """Every surviving answer byte-equals SOME whole version's tree.
+
+    A torn read (half-applied batch or half-swapped compaction) would
+    produce a tree matching no version of the mutation history.
+    """
+    for c in report.completions:
+        root = c.request.root
+        entry = cache.peek("g", root)
+        if entry is None:
+            continue
+        assert any(
+            np.array_equal(entry.parent, trees[root])
+            for trees in per_version
+        ), (
+            f"root {root}: cached tree matches no whole graph version "
+            f"(torn read?)"
+        )
+
+
+class TestMutationStress:
+    @pytest.mark.parametrize("seed", [7, 19, 101])
+    def test_mutations_with_inflight_batches_complete_exactly_once(
+        self, tmp_path, seed
+    ):
+        cat = _catalog(tmp_path, seed=seed)
+        try:
+            stream, base = _mutating_stream(cat, seed)
+            queries = [r for r in stream if isinstance(r, Request)]
+            server = BFSServer(cat, batch_size=4)
+            report = server.serve(stream)
+            # Exactly-once: every admitted query completes once.
+            assert report.n_served + report.n_rejected == len(queries)
+            ids = [id(c.request) for c in report.completions]
+            assert len(ids) == len(set(ids))
+            # No torn version: every still-cached answer matches a
+            # whole version of the history.
+            roots = sorted({q.root for q in queries})
+            per_version = _version_trees(base, stream, roots)
+            _assert_no_torn_version(report, per_version, server.cache)
+            # And the final version's cached answers are byte-exact.
+            mutator = server.mutator_for("g")
+            final = mutator.effective_csr
+            for root in roots:
+                entry = server.cache.peek("g", root)
+                if entry is not None and entry.version == mutator.version:
+                    assert np.array_equal(
+                        entry.parent,
+                        ReferenceBFS(final).run(root).parent,
+                    )
+        finally:
+            cat.close()
+
+    @pytest.mark.parametrize("seed", [5, 23])
+    def test_crash_during_mutating_serve_still_exactly_once(
+        self, tmp_path, seed
+    ):
+        plan = FaultPlan(seed=seed, crash_at_level=1)
+        cat = _catalog(tmp_path, fault_plan=plan, seed=seed)
+        try:
+            stream, base = _mutating_stream(cat, seed, n=40)
+            queries = [r for r in stream if isinstance(r, Request)]
+            server = BFSServer(cat, batch_size=4, checkpoint_every=1)
+            report = server.serve(stream)
+            assert report.n_crashes >= 1
+            assert report.n_served + report.n_rejected == len(queries)
+            ids = [id(c.request) for c in report.completions]
+            assert len(ids) == len(set(ids))
+            # Post-crash answers still land on whole versions only.
+            roots = sorted({q.root for q in queries})
+            per_version = _version_trees(base, stream, roots)
+            _assert_no_torn_version(report, per_version, server.cache)
+        finally:
+            cat.close()
+
+    def test_torn_crash_with_mutations_recovers_to_current_version(
+        self, tmp_path
+    ):
+        plan = FaultPlan(seed=5, crash_at_level=1, crash_torn=True)
+        cat = _catalog(tmp_path, fault_plan=plan)
+        try:
+            stream, _ = _mutating_stream(cat, seed=31, n=40)
+            server = BFSServer(cat, batch_size=4, checkpoint_every=1)
+            report = server.serve(stream)
+            assert report.n_crashes >= 1
+            mutator = server.mutator_for("g")
+            final = mutator.effective_csr
+            # Whatever survived to the final version is byte-exact.
+            checked = 0
+            for c in report.completions:
+                entry = server.cache.peek("g", c.request.root)
+                if entry is not None and entry.version == mutator.version:
+                    assert np.array_equal(
+                        entry.parent,
+                        ReferenceBFS(final).run(c.request.root).parent,
+                    )
+                    checked += 1
+            assert checked > 0
+        finally:
+            cat.close()
+
+    def test_rapid_compaction_never_tears_a_pinned_read(self, tmp_path):
+        """compact_every=1 races compaction against every query batch."""
+        cat = _catalog(tmp_path)
+        try:
+            stream, _ = _mutating_stream(cat, seed=47, n=50, mut_rate=80.0)
+            server = BFSServer(cat, batch_size=4)
+            server.mutator_for("g").compact_every = 1
+            report = server.serve(stream)
+            queries = [r for r in stream if isinstance(r, Request)]
+            assert report.n_served + report.n_rejected == len(queries)
+            mutator = server.mutator_for("g")
+            assert mutator.n_compactions >= 1
+            # The final graph still answers byte-exactly after all the
+            # store swaps.
+            from repro.serve import BatchedBFS
+
+            graph = cat.get("g")
+            root = int(np.argmax(graph.degrees))
+            got = BatchedBFS(graph).run_batch([root])[0].parent
+            want = ReferenceBFS(mutator.effective_csr).run(root).parent
+            assert np.array_equal(got, want)
+        finally:
+            cat.close()

@@ -53,6 +53,7 @@ EXECUTABLE_DOCS = (
     "docs/recovery.md",
     "docs/offload.md",
     "docs/partitioning.md",
+    "docs/dynamic.md",
 )
 
 _LINK = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")

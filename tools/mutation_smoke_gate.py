@@ -1,0 +1,195 @@
+#!/usr/bin/env python
+"""Mutation smoke gate: CI entry point for the dynamic-graph subsystem.
+
+Drives a seeded mutating workload through the batched serving layer
+(:mod:`repro.serve` + :mod:`repro.graphmut`), then replays the mutation
+stream version by version and checks, at every version:
+
+- **graph500 validity** — the served/repaired tree passes
+  :func:`repro.graph500.validate.validate_bfs_tree` against that
+  version's edge list;
+- **byte-equality vs recompute** — incremental repair from the previous
+  version's tree equals :class:`ReferenceBFS` on the post-mutation graph
+  exactly (the acceptance bar for the subsystem);
+- **backend agreement** — on the final post-mutation graph, the
+  partitioned engine and the reference agree byte-for-byte, so dynamic
+  graphs stay consistent across local and partitioned backends.
+
+On failure a ``mutation_repro_<seed>.json`` artifact with the seed,
+version, root, and offending batch is written to ``--out`` so the case
+replays locally.
+
+Usage::
+
+    python tools/mutation_smoke_gate.py --seed 7
+    python tools/mutation_smoke_gate.py --seed 19 --scale 9 --out smoke
+
+Exit codes: 0 all checks passed, 1 divergence (artifact written),
+2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+try:
+    import repro  # noqa: F401
+except ImportError:
+    sys.path.insert(0, str(REPO / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.bfs.reference import ReferenceBFS  # noqa: E402
+from repro.core import PAPER_SCENARIOS  # noqa: E402
+from repro.csr import build_csr  # noqa: E402
+from repro.graph500.validate import validate_bfs_tree  # noqa: E402
+from repro.graphmut import DeltaOverlay, repair_tree  # noqa: E402
+from repro.graphmut.versioned import _edge_list  # noqa: E402
+from repro.serve import (  # noqa: E402
+    BFSServer,
+    GraphCatalog,
+    WorkloadSpec,
+    generate_workload,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The gate's command line."""
+    parser = argparse.ArgumentParser(
+        prog="mutation_smoke_gate",
+        description="serve a seeded mutating workload and verify every "
+                    "graph version against full recomputation",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--scale", type=int, default=9,
+                        help="graph scale (default: %(default)s)")
+    parser.add_argument("--requests", type=int, default=120,
+                        help="workload size (default: %(default)s)")
+    parser.add_argument("--mut-rate", type=float, default=60.0,
+                        help="mutation batches per simulated second "
+                             "(default: %(default)s)")
+    parser.add_argument("--out", type=str, default="mutation-smoke",
+                        metavar="DIR",
+                        help="failure artifact directory "
+                             "(default: %(default)s)")
+    return parser
+
+
+def _fail(outdir: Path, seed: int, **detail) -> int:
+    outdir.mkdir(parents=True, exist_ok=True)
+    path = outdir / f"mutation_repro_{seed}.json"
+    path.write_text(json.dumps({"seed": seed, **detail},
+                               sort_keys=True, indent=1, default=str) + "\n")
+    print(f"FAIL: {detail.get('check')}: {detail.get('message')}")
+    print(f"artifact: {path}")
+    return 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the gate; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.scale < 4 or args.requests < 1 or args.mut_rate <= 0:
+        print("error: need --scale >= 4, --requests >= 1, --mut-rate > 0",
+              file=sys.stderr)
+        return 2
+    outdir = Path(args.out)
+    scenario = {s.name: s for s in PAPER_SCENARIOS}["DRAM+PCIeFlash"]
+    n = 1 << args.scale
+
+    catalog = GraphCatalog()
+    try:
+        graph = catalog.build(
+            "default", scenario, scale=args.scale, edge_factor=8,
+            seed=args.seed, alpha=n / 128.0, beta=n / 128.0,
+        )
+        spec = WorkloadSpec(
+            n_requests=args.requests, rate_rps=800.0, seed=args.seed,
+            mut_rate=args.mut_rate, mut_inserts=3, mut_deletes=3,
+        )
+        base_csr = build_csr(graph.edges)
+        requests = generate_workload(spec, graph.degrees, csr=base_csr)
+        server = BFSServer(catalog, batch_size=8)
+        report = server.serve(requests)
+        final_version = server.mutator_for("default").version
+    finally:
+        catalog.close()
+    from repro.graphmut import MutationBatch
+    from repro.serve.workload import MutationEvent
+
+    batches = [MutationBatch.make(r.inserts, r.deletes, base_csr.n_rows)
+               for r in requests if isinstance(r, MutationEvent)]
+    roots = sorted({r.root for r in requests
+                    if not isinstance(r, MutationEvent)})[:6]
+    print(f"served {len(report.completions)} queries across "
+          f"{final_version + 1} graph versions "
+          f"({len(batches)} mutation events, {len(roots)} roots checked)")
+
+    # Replay the stream: at every version, repair from the previous
+    # version's tree and demand byte-equality with a fresh recompute.
+    overlay = DeltaOverlay(base_csr)
+    prev = {r: ReferenceBFS(base_csr).run(r).parent for r in roots}
+    checks = 0
+    for version, batch in enumerate(batches, start=1):
+        effective = overlay.apply(batch)
+        cur_csr = overlay.to_csr()
+        fresh = {r: ReferenceBFS(cur_csr).run(r).parent for r in roots}
+        edges = _edge_list(cur_csr)
+        for root in roots:
+            outcome = repair_tree(
+                overlay.row, cur_csr.n_rows, root, prev[root],
+                batch=effective, max_dirty_frac=1.0,
+            )
+            repaired = (fresh[root] if outcome is None
+                        else outcome.parent)
+            if not np.array_equal(repaired, fresh[root]):
+                bad = np.flatnonzero(repaired != fresh[root])
+                return _fail(
+                    outdir, args.seed, check="byte-equality",
+                    version=version, root=root,
+                    batch=batch.to_dict(),
+                    message=f"repair diverged from recompute at "
+                            f"{bad.size} vertices (first: {bad[:5]})",
+                )
+            result = validate_bfs_tree(edges, repaired, root)
+            if not result.ok:
+                return _fail(
+                    outdir, args.seed, check="graph500-validate",
+                    version=version, root=root, batch=batch.to_dict(),
+                    message="; ".join(result.violations),
+                )
+            checks += 2
+        prev = fresh
+
+    # Backend agreement on the final version: partitioned vs reference.
+    from repro.conformance import GraphCase, TrialSetup, run_engine
+
+    final_csr = overlay.to_csr()
+    case = GraphCase(_edge_list(final_csr))
+    import tempfile
+
+    with tempfile.TemporaryDirectory(prefix="mut-smoke-") as workdir:
+        for root in roots[:2]:
+            ref = run_engine("reference", case, TrialSetup(), root,
+                             Path(workdir))
+            part = run_engine("partitioned", case, TrialSetup(), root,
+                              Path(workdir))
+            if not np.array_equal(ref.parent, part.parent):
+                return _fail(
+                    outdir, args.seed, check="partitioned-agreement",
+                    version=len(batches), root=root,
+                    message="partitioned engine diverged from reference "
+                            "on the post-mutation graph",
+                )
+            checks += 1
+
+    print(f"mutation smoke: OK ({checks} checks, "
+          f"{len(batches)} versions, seed {args.seed})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
